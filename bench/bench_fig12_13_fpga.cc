@@ -1,0 +1,88 @@
+// Reproduces Figures 12 and 13 (paper section 5.4): FPGA LUT and FF
+// utilization per software/hardware split, broken down by layer module, the
+// generated AXI Lite driver, and "others" (the bus adapter / glue), with the
+// Xilinx IP for comparison. Estimates come from src/driver/resources.cc,
+// derived from the same IR the Verilog backend prints.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/hybrid.h"
+#include "src/driver/resources.h"
+
+namespace efeu {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figures 12/13: estimated FPGA utilization per software/hardware split\n"
+      "(stacked per-component LUTs and FFs; percentages of a ZU9EG-class part)");
+
+  bench::Table table({13, 12, 7, 7, 9, 9});
+  table.Row({"Split", "Component", "LUTs", "FFs", "", ""});
+  bench::PrintRule();
+
+  // Xilinx IP reference row.
+  driver::ResourceEstimate xilinx = driver::EstimateXilinxIp();
+  table.Row({"Xilinx I2C", "IP core", std::to_string(xilinx.luts), std::to_string(xilinx.ffs),
+             "", ""});
+  bench::PrintRule();
+
+  driver::SplitPoint splits[] = {
+      driver::SplitPoint::kElectrical, driver::SplitPoint::kSymbol, driver::SplitPoint::kByte,
+      driver::SplitPoint::kTransaction, driver::SplitPoint::kEepDriver,
+  };
+  for (driver::SplitPoint split : splits) {
+    driver::HybridConfig config;
+    config.split = split;
+    driver::HybridDriver hybrid(config);
+
+    driver::ResourceEstimate total;
+    // Layer modules in hardware.
+    for (const ir::Module* module : hybrid.HardwareModules()) {
+      driver::ResourceEstimate estimate = driver::EstimateModule(*module);
+      table.Row({driver::SplitPointName(split), module->layer_name,
+                 std::to_string(estimate.luts), std::to_string(estimate.ffs), "", ""});
+      total += estimate;
+    }
+    // The generated AXI Lite driver at the boundary.
+    const esi::SystemInfo& info = hybrid.compilation().system();
+    const char* layer_names[] = {"CEepDriver", "CTransaction", "CByte", "CSymbol"};
+    int first_hw = 4 - static_cast<int>(hybrid.HardwareModules().size());
+    std::string upper = first_hw == 0 ? "CWorld" : layer_names[first_hw - 1];
+    std::string lower = first_hw == 4 ? "Electrical" : layer_names[first_hw];
+    const esi::ChannelInfo* down = first_hw == 4 ? info.FindChannel("CSymbol", "Electrical")
+                                                 : info.FindChannel(upper, lower);
+    const esi::ChannelInfo* up = first_hw == 4 ? info.FindChannel("Electrical", "CSymbol")
+                                               : info.FindChannel(lower, upper);
+    driver::ResourceEstimate axil =
+        driver::EstimateAxiLiteDriver(down->flat_size, up->flat_size);
+    table.Row({driver::SplitPointName(split), "AXI Lite drv", std::to_string(axil.luts),
+               std::to_string(axil.ffs), "", ""});
+    total += axil;
+    driver::ResourceEstimate adapter = driver::EstimateBusAdapter();
+    table.Row({driver::SplitPointName(split), "others", std::to_string(adapter.luts),
+               std::to_string(adapter.ffs), "", ""});
+    total += adapter;
+    table.Row({driver::SplitPointName(split), "TOTAL", std::to_string(total.luts),
+               std::to_string(total.ffs),
+               bench::Fmt(100.0 * total.luts / driver::kFpgaTotalLuts, 2) + "% LUT",
+               bench::Fmt(100.0 * total.ffs / driver::kFpgaTotalFfs, 2) + "% FF"});
+    bench::PrintRule();
+  }
+
+  std::printf(
+      "Paper reference: Xilinx IP 386 LUT / 375 FF (0.33%% / 0.16%%); Electrical,\n"
+      "Symbol and Byte splits use fewer resources than the IP; the Transaction\n"
+      "split uses about 2.1x the IP (0.70%% LUT / 0.34%% FF); even the whole\n"
+      "stack in hardware (EepDriver) stays under 1%% of the FPGA.\n");
+}
+
+}  // namespace
+}  // namespace efeu
+
+int main() {
+  efeu::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces the paper's section 7 outlook beyond the headline evaluation:
+//   (a) the methodology extends to other bus-based protocols — a four-wire
+//       SPI subsystem specified in the same ESI/ESM languages, verified by
+//       the same checker, including a clock-phase (CPHA) mismatch quirk;
+//   (b) scaling the verification toward BMC-sized buses ("10-20 devices on
+//       a bus" for the Enzian BMC): EepDriver verification with a growing
+//       number of EEPROM responders at the Transaction abstraction.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/i2c/verify.h"
+#include "src/spi/verify.h"
+
+namespace efeu {
+namespace {
+
+void SpiSection() {
+  std::printf("\n(a) SPI: a second protocol from the same methodology\n\n");
+  bench::Table table({34, 10, 10, 12});
+  table.Row({"Configuration", "verdict", "states", "seconds"});
+  bench::PrintRule();
+  struct Case {
+    const char* name;
+    spi::SpiVerifyLevel level;
+    bool mode1;
+    bool expect_pass;
+  };
+  Case cases[] = {
+      {"SPI byte exchange (mode 0)", spi::SpiVerifyLevel::kByte, false, true},
+      {"SPI register driver (mode 0)", spi::SpiVerifyLevel::kDriver, false, true},
+      {"CPHA mismatch, byte level", spi::SpiVerifyLevel::kByte, true, false},
+      {"CPHA mismatch, driver level", spi::SpiVerifyLevel::kDriver, true, false},
+  };
+  for (const Case& test_case : cases) {
+    spi::SpiVerifyConfig config;
+    config.level = test_case.level;
+    config.num_ops = 2;
+    config.mode1_controller = test_case.mode1;
+    DiagnosticEngine diag;
+    spi::SpiVerifyResult result = spi::RunSpiVerification(config, diag);
+    std::string verdict = result.ok ? "PASSES" : "FAILS";
+    verdict += test_case.expect_pass == result.ok ? "" : "  <-- MISMATCH";
+    table.Row({test_case.name, verdict,
+               std::to_string(result.safety.states_stored), bench::Fmt(result.total_seconds, 3)});
+  }
+  std::printf(
+      "\nThe electrical characteristics (four directional wires instead of two\n"
+      "open-drain ones) are confined to the lowest layer, as section 7 argues.\n");
+}
+
+void ScalingSection() {
+  std::printf("\n(b) Toward BMC-scale buses (the Enzian BMC needs 10-20 devices on a\n"
+              "    bus): EEPROM count sweep at the Transaction abstraction\n\n");
+  bench::Table table({10, 8, 12, 14, 12});
+  table.Row({"devices", "len", "states", "transitions", "seconds"});
+  bench::PrintRule();
+  for (int devices : {1, 2, 4, 8, 12, 16, 20}) {
+    i2c::VerifyConfig config;
+    config.level = i2c::VerifyLevel::kEepDriver;
+    config.abstraction = i2c::VerifyAbstraction::kTransaction;
+    config.num_eeproms = devices;
+    config.num_ops = 2;
+    config.max_len = 1;
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    if (vs == nullptr) {
+      std::printf("build failed: %s\n", diag.RenderAll().c_str());
+      return;
+    }
+    check::CheckResult result = vs->system().Check();
+    table.Row({std::to_string(devices), "1", std::to_string(result.states_stored),
+               std::to_string(result.transitions),
+               bench::Fmt(result.seconds, 3) + (result.ok ? "" : " FAIL")});
+  }
+  // Payload length remains the exploding axis (Figure 9): show it at a
+  // moderate device count.
+  for (int len : {2, 3, 4}) {
+    i2c::VerifyConfig config;
+    config.level = i2c::VerifyLevel::kEepDriver;
+    config.abstraction = i2c::VerifyAbstraction::kTransaction;
+    config.num_eeproms = 8;
+    config.num_ops = 2;
+    config.max_len = len;
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    if (vs == nullptr) {
+      return;
+    }
+    check::CheckResult result = vs->system().Check();
+    table.Row({"8", std::to_string(len), std::to_string(result.states_stored),
+               std::to_string(result.transitions),
+               bench::Fmt(result.seconds, 3) + (result.ok ? "" : " FAIL")});
+  }
+  std::printf(
+      "\nWith the behaviour-spec abstraction, device count alone scales\n"
+      "polynomially: a 20-device bus verifies in seconds at short payloads —\n"
+      "the Enzian BMC target of section 7. Payload length remains the\n"
+      "exponential axis (Figure 9), which is where the symbolic-checker and\n"
+      "pairwise-verification strategies the paper sketches would take over.\n");
+}
+
+}  // namespace
+}  // namespace efeu
+
+int main() {
+  efeu::bench::PrintHeader("Section 7 (future work): other protocols and larger buses");
+  efeu::SpiSection();
+  efeu::ScalingSection();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark/reproduction binaries: simple aligned
+// table printing to stdout, mirroring the paper's tables and figures.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace efeu::bench {
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+// A very small fixed-column table printer.
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::string cell = cells[i];
+      int width = widths_[i];
+      if (static_cast<int>(cell.size()) > width) {
+        cell = cell.substr(0, static_cast<size_t>(width));
+      }
+      line += cell;
+      line.append(static_cast<size_t>(width) - cell.size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace efeu::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// BMC-style scenario (paper sections 1 and 7): one verified hybrid driver
+// managing a shared I2C bus with several devices — the workload class of a
+// server baseboard management controller. Two 24AA512 EEPROMs share the bus:
+// a FRU inventory EEPROM at 0x50 and a sensor-calibration EEPROM at 0x51.
+// The monitor provisions both, then polls them periodically through the
+// generated stack (Transaction split, interrupt-driven: the low-CPU,
+// full-speed configuration of section 5.5).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/driver/hybrid.h"
+
+namespace {
+
+bool WriteBlob(efeu::driver::HybridDriver& driver, int address, int offset,
+               const std::string& text) {
+  std::vector<uint8_t> payload(text.begin(), text.end());
+  if (!driver.WriteTo(address, offset, payload)) {
+    return false;
+  }
+  // Wait out the device's internal write cycle by re-reading until it ACKs.
+  std::vector<uint8_t> probe;
+  for (int attempt = 0; attempt < 5000; ++attempt) {
+    if (driver.ReadFrom(address, offset, 1, &probe)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ReadString(efeu::driver::HybridDriver& driver, int address, int offset,
+                       int length) {
+  std::vector<uint8_t> data;
+  if (!driver.ReadFrom(address, offset, length, &data)) {
+    return "<read error>";
+  }
+  return std::string(data.begin(), data.end());
+}
+
+}  // namespace
+
+int main() {
+  using namespace efeu::driver;
+
+  HybridConfig config;
+  config.split = SplitPoint::kTransaction;
+  config.interrupt_driven = true;
+  config.eeprom.address = 0x50;  // FRU inventory EEPROM
+  efeu::sim::EepromConfig calibration;
+  calibration.address = 0x51;  // sensor calibration EEPROM
+  config.extra_eeproms.push_back(calibration);
+  HybridDriver bus(config);
+
+  std::printf("BMC monitor: verified hybrid driver (Transaction split, interrupts)\n");
+  std::printf("bus population: FRU EEPROM @0x50, calibration EEPROM @0x51\n\n");
+
+  // --- Provision the FRU and calibration data (a manufacturing step). -----
+  if (!WriteBlob(bus, 0x50, 0x0000, "EFEU-BMC-01") ||
+      !WriteBlob(bus, 0x51, 0x0000, "CAL:v2")) {
+    std::printf("provisioning failed\n");
+    return 1;
+  }
+  // Calibration table: per-sensor (offset, gain) byte pairs.
+  std::vector<uint8_t> table = {10, 2, 12, 3, 8, 2, 15, 4};
+  if (!bus.WriteTo(0x51, 0x0010, table)) {
+    std::printf("calibration table write failed\n");
+    return 1;
+  }
+  std::vector<uint8_t> probe;
+  while (!bus.ReadFrom(0x51, 0x0010, 1, &probe)) {
+  }
+
+  std::printf("FRU identity:      %s\n", ReadString(bus, 0x50, 0x0000, 11).c_str());
+  std::printf("calibration tag:   %s\n\n", ReadString(bus, 0x51, 0x0000, 6).c_str());
+
+  // --- Periodic monitoring loop: both devices, one shared bus. -------------
+  std::printf("%-8s %-22s %-26s %s\n", "round", "FRU serial (0x50)", "cal table (0x51)",
+              "bus time");
+  for (int round = 1; round <= 5; ++round) {
+    std::string serial = ReadString(bus, 0x50, 0x0005, 6);
+    std::vector<uint8_t> cal;
+    if (!bus.ReadFrom(0x51, 0x0010, 8, &cal)) {
+      std::printf("round %d: calibration read failed\n", round);
+      return 1;
+    }
+    std::string cal_text;
+    for (size_t i = 0; i + 1 < cal.size(); i += 2) {
+      cal_text += "(" + std::to_string(cal[i]) + "," + std::to_string(cal[i + 1]) + ")";
+    }
+    std::printf("%-8d %-22s %-26s %.2f ms\n", round, serial.c_str(), cal_text.c_str(),
+                bus.now_ns() / 1e6);
+  }
+
+  std::printf("\ninterrupts taken: %llu; CPU busy: %.2f ms of %.2f ms simulated\n",
+              static_cast<unsigned long long>(bus.irq_count()), bus.cpu_busy_ns() / 1e6,
+              bus.now_ns() / 1e6);
+  std::printf("both devices served by one verified stack; no bus lockups.\n");
+  return 0;
+}

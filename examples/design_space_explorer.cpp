@@ -1,0 +1,117 @@
+// Design-space exploration (paper section 5.5): sweep every software/
+// hardware split point in both polling and interrupt-driven modes, measure
+// bus speed, CPU usage and FPGA footprint, and report the optimal
+// implementation for each objective — all from the single specification,
+// without writing any additional code.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/driver/hybrid.h"
+#include "src/driver/resources.h"
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  efeu::driver::SplitPoint split;
+  bool interrupt_driven;
+  efeu::driver::DriverMetrics metrics;
+  efeu::driver::ResourceEstimate resources;
+  bool functional = false;
+};
+
+efeu::driver::ResourceEstimate EstimateHardware(const efeu::driver::HybridDriver& driver) {
+  efeu::driver::ResourceEstimate total;
+  for (const efeu::ir::Module* module : driver.HardwareModules()) {
+    total += efeu::driver::EstimateModule(*module);
+  }
+  total += efeu::driver::EstimateBusAdapter();
+  total += efeu::driver::EstimateAxiLiteDriver(driver.down_words(), driver.up_words());
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace efeu::driver;
+
+  std::printf("Efeu design-space exploration: 14-byte EEPROM reads per configuration\n\n");
+  std::printf("%-13s %-10s %9s %8s %7s %7s %7s\n", "split", "mode", "kHz", "sd", "CPU%",
+              "LUTs", "FFs");
+
+  std::vector<Candidate> candidates;
+  for (SplitPoint split : {SplitPoint::kElectrical, SplitPoint::kSymbol, SplitPoint::kByte,
+                           SplitPoint::kTransaction, SplitPoint::kEepDriver}) {
+    for (bool interrupt_driven : {false, true}) {
+      HybridConfig config;
+      config.split = split;
+      config.interrupt_driven = interrupt_driven;
+      config.capture_waveform = true;
+      HybridDriver driver(config);
+      Candidate candidate;
+      candidate.name = SplitPointName(split);
+      candidate.split = split;
+      candidate.interrupt_driven = interrupt_driven;
+      candidate.metrics = driver.MeasureReads(3, 14);
+      candidate.resources = EstimateHardware(driver);
+      candidate.functional = candidate.metrics.functional;
+      candidates.push_back(candidate);
+      if (candidate.functional) {
+        std::printf("%-13s %-10s %9.2f %8.2f %7.1f %7d %7d\n", candidate.name.c_str(),
+                    interrupt_driven ? "interrupt" : "polling",
+                    candidate.metrics.frequency.mean_khz, candidate.metrics.frequency.stddev_khz,
+                    100 * candidate.metrics.cpu_usage, candidate.resources.luts,
+                    candidate.resources.ffs);
+      } else {
+        std::printf("%-13s %-10s %9s %8s %7s %7d %7d  (%s)\n", candidate.name.c_str(),
+                    interrupt_driven ? "interrupt" : "polling", "n/a", "n/a", "n/a",
+                    candidate.resources.luts, candidate.resources.ffs,
+                    candidate.metrics.note.c_str());
+      }
+    }
+  }
+
+  auto best = [&](auto better) -> const Candidate* {
+    const Candidate* result = nullptr;
+    for (const Candidate& candidate : candidates) {
+      if (!candidate.functional) {
+        continue;
+      }
+      if (result == nullptr || better(candidate, *result)) {
+        result = &candidate;
+      }
+    }
+    return result;
+  };
+
+  const Candidate* throughput = best([](const Candidate& a, const Candidate& b) {
+    return a.metrics.frequency.mean_khz > b.metrics.frequency.mean_khz;
+  });
+  const Candidate* cpu = best([](const Candidate& a, const Candidate& b) {
+    return a.metrics.cpu_usage < b.metrics.cpu_usage;
+  });
+  const Candidate* fpga = best([](const Candidate& a, const Candidate& b) {
+    return a.resources.luts + a.resources.ffs < b.resources.luts + b.resources.ffs;
+  });
+  const Candidate* stability = best([](const Candidate& a, const Candidate& b) {
+    return a.metrics.frequency.stddev_khz < b.metrics.frequency.stddev_khz;
+  });
+
+  std::printf("\nRecommendations (cf. paper section 5.5):\n");
+  auto report = [](const char* objective, const Candidate* candidate) {
+    if (candidate != nullptr) {
+      std::printf("  %-28s %s (%s)\n", objective, candidate->name.c_str(),
+                  candidate->interrupt_driven ? "interrupt-driven" : "polling");
+    }
+  };
+  report("highest throughput:", throughput);
+  report("lowest CPU usage:", cpu);
+  report("smallest FPGA footprint:", fpga);
+  report("most stable bus clock:", stability);
+  std::printf(
+      "  balanced (paper's pick):     Byte (interrupt-driven) — ~350 kHz, <40%% CPU,\n"
+      "                               fewer FPGA resources than the Xilinx IP\n");
+  return 0;
+}

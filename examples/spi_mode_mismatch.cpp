@@ -1,0 +1,64 @@
+// SPI walkthrough (paper section 7): the Efeu methodology applied to a
+// second bus protocol. A four-wire SPI register device is specified in the
+// same ESI/ESM languages; the verifier proves mode-0 interoperability and
+// catches the classic clock-phase (CPHA) mismatch — the SPI ecosystem's
+// version of an I2C quirk.
+
+#include <cstdio>
+
+#include "src/spi/verify.h"
+
+namespace {
+
+efeu::spi::SpiVerifyResult Check(efeu::spi::SpiVerifyLevel level, bool mode1) {
+  efeu::spi::SpiVerifyConfig config;
+  config.level = level;
+  config.num_ops = 2;
+  config.mode1_controller = mode1;
+  efeu::DiagnosticEngine diag;
+  return efeu::spi::RunSpiVerification(config, diag);
+}
+
+}  // namespace
+
+int main() {
+  using namespace efeu::spi;
+
+  std::printf("== SPI through the Efeu methodology (paper section 7) ==============\n\n");
+  std::printf(
+      "Stack: SpWorld / SpDriver / SpByte / SpSymbol over a directional\n"
+      "four-wire Electrical layer; responder: SpRSymbol / SpRByte / SpRegs\n"
+      "(a 16-register device). Only the lowest layer knows about wires.\n\n");
+
+  SpiVerifyResult byte_ok = Check(SpiVerifyLevel::kByte, false);
+  std::printf("byte-exchange verifier (mode 0):        %s  (%llu states, %.3f s)\n",
+              byte_ok.ok ? "PASSES" : "FAILS",
+              static_cast<unsigned long long>(byte_ok.safety.states_stored),
+              byte_ok.total_seconds);
+
+  SpiVerifyResult driver_ok = Check(SpiVerifyLevel::kDriver, false);
+  std::printf("register-driver verifier (mode 0):      %s  (%llu states, %.3f s)\n",
+              driver_ok.ok ? "PASSES" : "FAILS",
+              static_cast<unsigned long long>(driver_ok.safety.states_stored),
+              driver_ok.total_seconds);
+
+  std::printf(
+      "\nNow flip the controller to SPI mode 1 (data shifts on the leading\n"
+      "edge) against the unchanged mode-0 device — a one-line preprocessor\n"
+      "change, like the paper's Raspberry Pi model:\n\n");
+
+  SpiVerifyResult byte_bad = Check(SpiVerifyLevel::kByte, true);
+  std::printf("byte-exchange verifier (CPHA mismatch): %s\n",
+              byte_bad.ok ? "PASSES (?!)" : "FAILS — bytes arrive shifted by one bit");
+  if (!byte_bad.ok && byte_bad.safety.violation.has_value()) {
+    std::printf("  checker: %s\n", byte_bad.safety.violation->message.c_str());
+  }
+  SpiVerifyResult driver_bad = Check(SpiVerifyLevel::kDriver, true);
+  std::printf("register-driver verifier (mismatch):    %s\n",
+              driver_bad.ok ? "PASSES (?!)" : "FAILS — register reads return garbage");
+
+  std::printf(
+      "\nSame languages, same checker, same quirk workflow as the I2C stack:\n"
+      "the interoperability bug is caught before any hardware is built.\n");
+  return byte_ok.ok && driver_ok.ok && !byte_bad.ok && !driver_bad.ok ? 0 : 1;
+}

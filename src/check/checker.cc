@@ -1,0 +1,383 @@
+#include "src/check/checker.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "src/support/check.h"
+
+#include "src/check/ir_process.h"
+#include "src/support/hash.h"
+
+namespace efeu::check {
+
+namespace {
+
+struct StateHash {
+  size_t operator()(const std::vector<int32_t>& state) const {
+    return static_cast<size_t>(HashWords(state));
+  }
+};
+
+}  // namespace
+
+std::string CheckedSystem::Transition::Describe(const CheckedSystem& system) const {
+  if (kind == Kind::kChoice) {
+    return system.entries_[process].process->name() + ": nondet -> " + std::to_string(choice);
+  }
+  return system.entries_[process].process->name() + " -> " +
+         system.entries_[peer].process->name();
+}
+
+int CheckedSystem::AddProcess(std::unique_ptr<Process> process) {
+  Entry entry;
+  entry.links.resize(process->ports().size());
+  entry.process = std::move(process);
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+int CheckedSystem::AddModule(const ir::Module* module, std::string instance_name) {
+  return AddProcess(std::make_unique<IrProcess>(module, std::move(instance_name)));
+}
+
+void CheckedSystem::Connect(vm::PortRef sender, vm::PortRef receiver) {
+  EFEU_CHECK(sender.process >= 0 && sender.process < static_cast<int>(entries_.size()) &&
+                 receiver.process >= 0 && receiver.process < static_cast<int>(entries_.size()),
+             "Connect: process id out of range");
+  EFEU_CHECK(sender.port >= 0 &&
+                 sender.port < static_cast<int>(entries_[sender.process].links.size()) &&
+                 receiver.port >= 0 &&
+                 receiver.port < static_cast<int>(entries_[receiver.process].links.size()),
+             "Connect: port id out of range");
+  const PortDecl& send_port = entries_[sender.process].process->ports()[sender.port];
+  const PortDecl& recv_port = entries_[receiver.process].process->ports()[receiver.port];
+  EFEU_CHECK(send_port.is_send && !recv_port.is_send, "Connect: sender/receiver direction");
+  EFEU_CHECK(send_port.channel == recv_port.channel,
+             "Connect: ports must carry the same channel");
+  EFEU_CHECK(!entries_[sender.process].links[sender.port].has_value() &&
+                 !entries_[receiver.process].links[receiver.port].has_value(),
+             "Connect: port already connected");
+  entries_[sender.process].links[sender.port] = receiver;
+  entries_[receiver.process].links[receiver.port] = sender;
+}
+
+void CheckedSystem::ConnectByChannel(int from_process, int to_process,
+                                     const esi::ChannelInfo* channel) {
+  auto find_free = [&](int process, bool is_send) {
+    const Entry& entry = entries_[process];
+    const std::vector<PortDecl>& decls = entry.process->ports();
+    for (size_t i = 0; i < decls.size(); ++i) {
+      if (decls[i].channel == channel && decls[i].is_send == is_send &&
+          !entry.links[i].has_value()) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  int send_port = find_free(from_process, /*is_send=*/true);
+  int recv_port = find_free(to_process, /*is_send=*/false);
+  EFEU_CHECK(send_port >= 0, "ConnectByChannel: sender has no free port for this channel");
+  EFEU_CHECK(recv_port >= 0, "ConnectByChannel: receiver has no free port for this channel");
+  Connect(vm::PortRef{from_process, send_port}, vm::PortRef{to_process, recv_port});
+}
+
+int CheckedSystem::TotalSnapshotSize() const {
+  int total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.process->SnapshotSize();
+  }
+  return total;
+}
+
+std::vector<int32_t> CheckedSystem::SnapshotAll() const {
+  std::vector<int32_t> state(TotalSnapshotSize());
+  int offset = 0;
+  for (const Entry& entry : entries_) {
+    int size = entry.process->SnapshotSize();
+    entry.process->Snapshot(std::span<int32_t>(state).subspan(offset, size));
+    offset += size;
+  }
+  return state;
+}
+
+void CheckedSystem::RestoreAll(const std::vector<int32_t>& state) {
+  int offset = 0;
+  for (Entry& entry : entries_) {
+    int size = entry.process->SnapshotSize();
+    entry.process->Restore(std::span<const int32_t>(state).subspan(offset, size));
+    offset += size;
+  }
+}
+
+bool CheckedSystem::Closure(Violation* violation, bool* progress) {
+  for (Entry& entry : entries_) {
+    Process& process = *entry.process;
+    if (process.state() != vm::RunState::kRunnable) {
+      continue;
+    }
+    std::string error;
+    vm::RunState state = process.RunToBlock(&error);
+    if (process.TakeProgressFlag()) {
+      *progress = true;
+    }
+    switch (state) {
+      case vm::RunState::kAssertFailed:
+        violation->kind = ViolationKind::kAssertionFailed;
+        violation->message = error;
+        return false;
+      case vm::RunState::kRuntimeError:
+        violation->kind = ViolationKind::kRuntimeError;
+        violation->message = error;
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<CheckedSystem::Transition> CheckedSystem::EnabledTransitions() const {
+  std::vector<Transition> transitions;
+  for (size_t p = 0; p < entries_.size(); ++p) {
+    const Process& process = *entries_[p].process;
+    if (process.state() == vm::RunState::kBlockedSend) {
+      int port = process.blocked_port();
+      const std::optional<vm::PortRef>& link = entries_[p].links[port];
+      if (!link.has_value()) {
+        continue;  // Unconnected port can never fire; shows up as deadlock.
+      }
+      const Process& peer = *entries_[link->process].process;
+      if (peer.state() == vm::RunState::kBlockedRecv && peer.blocked_port() == link->port) {
+        Transition t;
+        t.kind = Transition::Kind::kTransfer;
+        t.process = static_cast<int>(p);
+        t.peer = link->process;
+        transitions.push_back(t);
+      }
+    } else if (process.state() == vm::RunState::kBlockedNondet) {
+      for (int choice = 0; choice < process.NondetArity(); ++choice) {
+        Transition t;
+        t.kind = Transition::Kind::kChoice;
+        t.process = static_cast<int>(p);
+        t.choice = choice;
+        transitions.push_back(t);
+      }
+    }
+  }
+  return transitions;
+}
+
+void CheckedSystem::Apply(const Transition& t) {
+  Process& process = *entries_[t.process].process;
+  if (t.kind == Transition::Kind::kChoice) {
+    process.CompleteNondet(t.choice);
+    return;
+  }
+  Process& peer = *entries_[t.peer].process;
+  std::vector<int32_t> message = process.PendingMessage();
+  process.CompleteSend();
+  peer.CompleteRecv(message);
+}
+
+bool CheckedSystem::AllAtValidEnd() const {
+  for (const Entry& entry : entries_) {
+    if (!entry.process->AtValidEndState()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CheckedSystem::DescribeBlockedProcesses() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (entry.process->AtValidEndState()) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += entry.process->name();
+    switch (entry.process->state()) {
+      case vm::RunState::kBlockedSend:
+        out += " (blocked sending)";
+        break;
+      case vm::RunState::kBlockedRecv:
+        out += " (blocked receiving outside an end label)";
+        break;
+      case vm::RunState::kBlockedNondet:
+        out += " (blocked at nondet)";
+        break;
+      default:
+        out += " (not at end)";
+        break;
+    }
+  }
+  return out;
+}
+
+CheckResult CheckedSystem::Check(const CheckerOptions& options) {
+  auto start_time = std::chrono::steady_clock::now();
+  CheckResult result;
+
+  struct Frame {
+    std::vector<int32_t> state;
+    std::vector<Transition> transitions;
+    size_t next = 0;
+    // Progress transitions taken on the stack up to and including this frame.
+    uint64_t progress_count = 0;
+  };
+
+  std::vector<Frame> stack;
+
+  // Builds the counterexample trace from the DFS stack plus the transition
+  // currently being applied.
+  auto make_trace = [&](const Transition* current) {
+    std::vector<std::string> trace;
+    for (size_t i = 0; i + 1 < stack.size(); ++i) {
+      const Frame& frame = stack[i];
+      assert(frame.next > 0);
+      trace.push_back(frame.transitions[frame.next - 1].Describe(*this));
+    }
+    if (!stack.empty() && current != nullptr) {
+      trace.push_back(current->Describe(*this));
+    }
+    return trace;
+  };
+
+  auto report = [&](ViolationKind kind, std::string message, const Transition* current) {
+    Violation v;
+    v.kind = kind;
+    v.message = std::move(message);
+    v.trace = make_trace(current);
+    result.violation = std::move(v);
+  };
+
+  // Initial closure.
+  for (Entry& entry : entries_) {
+    entry.process->Reset();
+  }
+  Violation violation;
+  bool progress = false;
+  if (!Closure(&violation, &progress)) {
+    result.violation = std::move(violation);
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    return result;
+  }
+
+  std::unordered_set<std::vector<int32_t>, StateHash> visited;
+  std::unordered_map<std::vector<int32_t>, int, StateHash> on_stack;
+
+  Frame initial;
+  initial.state = SnapshotAll();
+  initial.transitions = EnabledTransitions();
+  visited.insert(initial.state);
+  on_stack[initial.state] = 0;
+
+  if (initial.transitions.empty() && options.check_deadlock && !AllAtValidEnd()) {
+    report(ViolationKind::kInvalidEndState, "invalid end state: " + DescribeBlockedProcesses(),
+           nullptr);
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    return result;
+  }
+  stack.push_back(std::move(initial));
+
+  auto out_of_budget = [&]() {
+    if (options.max_states != 0 && visited.size() >= options.max_states) {
+      return true;
+    }
+    if (options.max_transitions != 0 && result.transitions >= options.max_transitions) {
+      return true;
+    }
+    if (options.time_budget_seconds > 0) {
+      double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+      if (elapsed > options.time_budget_seconds) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (!stack.empty() && !result.violation.has_value()) {
+    Frame& frame = stack.back();
+    result.max_depth_reached =
+        std::max(result.max_depth_reached, static_cast<int>(stack.size()));
+    if (frame.next >= frame.transitions.size()) {
+      on_stack.erase(frame.state);
+      stack.pop_back();
+      continue;
+    }
+    if (out_of_budget()) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (static_cast<int>(stack.size()) > options.max_depth) {
+      result.budget_exhausted = true;
+      on_stack.erase(frame.state);
+      stack.pop_back();
+      continue;
+    }
+
+    const Transition t = frame.transitions[frame.next++];
+    uint64_t parent_progress = frame.progress_count;
+
+    RestoreAll(frame.state);
+    Apply(t);
+    ++result.transitions;
+    bool step_progress = false;
+    if (!Closure(&violation, &step_progress)) {
+      report(violation.kind, violation.message, &t);
+      break;
+    }
+
+    std::vector<int32_t> next_state = SnapshotAll();
+
+    // Non-progress cycle: a back edge to an on-stack state with no progress
+    // transition anywhere along the cycle.
+    if (options.check_livelock) {
+      auto it = on_stack.find(next_state);
+      if (it != on_stack.end()) {
+        uint64_t progress_at_entry = stack[it->second].progress_count;
+        uint64_t progress_now = parent_progress + (step_progress ? 1 : 0);
+        if (progress_now == progress_at_entry) {
+          report(ViolationKind::kNonProgressCycle,
+                 "non-progress cycle (livelock): a reachable cycle passes no progress label",
+                 &t);
+          break;
+        }
+      }
+    }
+
+    if (!options.disable_state_dedup && !visited.insert(next_state).second) {
+      continue;  // Already explored.
+    }
+
+    Frame child;
+    child.transitions = EnabledTransitions();
+    child.progress_count = parent_progress + (step_progress ? 1 : 0);
+
+    if (child.transitions.empty()) {
+      if (options.check_deadlock && !AllAtValidEnd()) {
+        report(ViolationKind::kInvalidEndState,
+               "invalid end state: " + DescribeBlockedProcesses(), &t);
+        break;
+      }
+      continue;  // Valid end state; no successors.
+    }
+
+    on_stack[next_state] = static_cast<int>(stack.size());
+    child.state = std::move(next_state);
+    stack.push_back(std::move(child));
+  }
+
+  result.states_stored = visited.size();
+  result.ok = !result.violation.has_value();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  return result;
+}
+
+}  // namespace efeu::check

@@ -1,0 +1,121 @@
+// Explicit-state model checker over a system of processes connected by
+// rendezvous channels — the in-process stand-in for running SPIN on the
+// generated Promela model. Verifies the same properties the paper checks:
+// assertion failures (functional correctness against behaviour
+// specifications), invalid end states (deadlock: some process blocked away
+// from an end label), and non-progress cycles (livelock).
+//
+// The search is a depth-first exploration with an exact visited-state set.
+// Between transitions every process runs deterministically to its next
+// blocking point, so the interleaving alphabet is exactly: one rendezvous
+// transfer on some channel, or one nondet() choice — the same granularity
+// SPIN sees for the generated model.
+
+#ifndef SRC_CHECK_CHECKER_H_
+#define SRC_CHECK_CHECKER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/check/process.h"
+#include "src/ir/ir.h"
+#include "src/vm/system.h"
+
+namespace efeu::check {
+
+struct CheckerOptions {
+  bool check_deadlock = true;
+  // Non-progress-cycle detection: reports a cycle in the state graph that
+  // passes no progress-labeled block.
+  bool check_livelock = false;
+  // 0 = unlimited.
+  uint64_t max_states = 0;
+  int max_depth = 1 << 20;
+  // Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0;
+  // Ablation: skip the visited-state set (pure tree search). Bound the run
+  // with max_transitions when using this.
+  bool disable_state_dedup = false;
+  // 0 = unlimited.
+  uint64_t max_transitions = 0;
+};
+
+enum class ViolationKind {
+  kAssertionFailed,
+  kRuntimeError,
+  kInvalidEndState,
+  kNonProgressCycle,
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kAssertionFailed;
+  std::string message;
+  // One line per transition from the initial state to the violation.
+  std::vector<std::string> trace;
+};
+
+struct CheckResult {
+  bool ok = false;
+  std::optional<Violation> violation;
+  uint64_t states_stored = 0;
+  uint64_t transitions = 0;
+  int max_depth_reached = 0;
+  double seconds = 0;
+  // True when the search stopped early (state/depth/time budget); ok is then
+  // only "no violation found within budget".
+  bool budget_exhausted = false;
+};
+
+class CheckedSystem {
+ public:
+  // Adds a process; returns its id. The system owns the process.
+  int AddProcess(std::unique_ptr<Process> process);
+  // Convenience: wraps `module` in an IrProcess.
+  int AddModule(const ir::Module* module, std::string instance_name);
+
+  // Connects a send port to the matching receive port (same channel).
+  void Connect(vm::PortRef sender, vm::PortRef receiver);
+
+  // Convenience: connects the *first unconnected* matching port pair for
+  // `channel` between the two processes (handles native processes with
+  // several same-channel ports).
+  void ConnectByChannel(int from_process, int to_process, const esi::ChannelInfo* channel);
+
+  Process& process(int id) { return *entries_[id].process; }
+  int process_count() const { return static_cast<int>(entries_.size()); }
+
+  CheckResult Check(const CheckerOptions& options = {});
+
+ private:
+  struct Transition {
+    enum class Kind { kTransfer, kChoice } kind = Kind::kTransfer;
+    int process = -1;  // Sender (transfer) or chooser (choice).
+    int peer = -1;     // Receiver, for transfers.
+    int32_t choice = 0;
+    std::string Describe(const CheckedSystem& system) const;
+  };
+
+  struct Entry {
+    std::unique_ptr<Process> process;
+    std::vector<std::optional<vm::PortRef>> links;
+  };
+
+  int TotalSnapshotSize() const;
+  std::vector<int32_t> SnapshotAll() const;
+  void RestoreAll(const std::vector<int32_t>& state);
+  bool Closure(Violation* violation, bool* progress);
+  std::vector<Transition> EnabledTransitions() const;
+  void Apply(const Transition& t);
+  bool AllAtValidEnd() const;
+  std::string DescribeBlockedProcesses() const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace efeu::check
+
+#endif  // SRC_CHECK_CHECKER_H_

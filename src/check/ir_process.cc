@@ -1,0 +1,46 @@
+#include "src/check/ir_process.h"
+
+namespace efeu::check {
+
+namespace {
+
+// A layer that loops forever without communicating is a specification bug.
+constexpr uint64_t kSliceBudget = 10'000'000;
+
+}  // namespace
+
+IrProcess::IrProcess(const ir::Module* module, std::string instance_name)
+    : executor_(module), name_(std::move(instance_name)) {
+  for (const ir::Port& port : module->ports) {
+    ports_.push_back(PortDecl{port.channel, port.is_send});
+  }
+}
+
+vm::RunState IrProcess::RunToBlock(std::string* error) {
+  executor_.Run(kSliceBudget);
+  switch (executor_.state()) {
+    case vm::RunState::kAssertFailed:
+    case vm::RunState::kRuntimeError:
+      *error = executor_.error();
+      break;
+    case vm::RunState::kRunnable:
+      *error = name_ + ": step budget exceeded (non-communicating loop?)";
+      return vm::RunState::kRuntimeError;
+    default:
+      break;
+  }
+  return executor_.state();
+}
+
+std::vector<int32_t> IrProcess::PendingMessage() const {
+  auto span = executor_.pending_message();
+  return std::vector<int32_t>(span.begin(), span.end());
+}
+
+bool IrProcess::TakeProgressFlag() {
+  bool seen = executor_.ProgressSeen();
+  executor_.ClearProgressSeen();
+  return seen;
+}
+
+}  // namespace efeu::check

@@ -1,0 +1,47 @@
+// Process adapter over the IR interpreter.
+
+#ifndef SRC_CHECK_IR_PROCESS_H_
+#define SRC_CHECK_IR_PROCESS_H_
+
+#include <memory>
+
+#include "src/check/process.h"
+#include "src/ir/ir.h"
+#include "src/vm/executor.h"
+
+namespace efeu::check {
+
+class IrProcess : public Process {
+ public:
+  IrProcess(const ir::Module* module, std::string instance_name);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<PortDecl>& ports() const override { return ports_; }
+  void Reset() override { executor_.Reset(); }
+  vm::RunState RunToBlock(std::string* error) override;
+  vm::RunState state() const override { return executor_.state(); }
+  int blocked_port() const override { return executor_.blocked_port(); }
+  std::vector<int32_t> PendingMessage() const override;
+  int NondetArity() const override { return executor_.nondet_arity(); }
+  void CompleteSend() override { executor_.CompleteSend(); }
+  void CompleteRecv(std::span<const int32_t> message) override {
+    executor_.CompleteRecv(message);
+  }
+  void CompleteNondet(int32_t choice) override { executor_.CompleteNondet(choice); }
+  bool AtValidEndState() const override { return executor_.AtValidEndState(); }
+  bool TakeProgressFlag() override;
+  int SnapshotSize() const override { return executor_.SnapshotSize(); }
+  void Snapshot(std::span<int32_t> out) const override { executor_.Snapshot(out); }
+  void Restore(std::span<const int32_t> in) override { executor_.Restore(in); }
+
+  vm::IrExecutor& executor() { return executor_; }
+
+ private:
+  vm::IrExecutor executor_;
+  std::string name_;
+  std::vector<PortDecl> ports_;
+};
+
+}  // namespace efeu::check
+
+#endif  // SRC_CHECK_IR_PROCESS_H_

@@ -1,0 +1,112 @@
+// Base class for model-checked processes written directly in C++. Subclasses
+// keep their entire mutable state in a flat int32 vector (so snapshot/restore
+// is trivial and exact) and describe their behaviour as an explicit reactive
+// FSM: ComputePending() derives the current blocking operation from the
+// state, OnRecv/OnSendComplete advance it. Native processes never run
+// internal steps — every state change happens at a rendezvous.
+
+#ifndef SRC_CHECK_NATIVE_PROCESS_H_
+#define SRC_CHECK_NATIVE_PROCESS_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "src/check/process.h"
+
+namespace efeu::check {
+
+class NativeProcess : public Process {
+ public:
+  struct PendingOp {
+    vm::RunState kind = vm::RunState::kHalted;
+    int port = -1;
+    // Outgoing message for kBlockedSend.
+    std::vector<int32_t> message;
+  };
+
+  explicit NativeProcess(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  const std::vector<PortDecl>& ports() const override { return ports_; }
+
+  void Reset() override {
+    InitState(state_);
+    pending_valid_ = false;
+  }
+
+  vm::RunState RunToBlock(std::string* error) override { return state(); }
+
+  vm::RunState state() const override { return Pending().kind; }
+
+  int blocked_port() const override { return Pending().port; }
+
+  std::vector<int32_t> PendingMessage() const override { return Pending().message; }
+
+  int NondetArity() const override { return 0; }
+
+  void CompleteSend() override {
+    int port = Pending().port;
+    pending_valid_ = false;
+    OnSendComplete(port, state_);
+  }
+
+  void CompleteRecv(std::span<const int32_t> message) override {
+    int port = Pending().port;
+    pending_valid_ = false;
+    OnRecv(port, message, state_);
+  }
+
+  void CompleteNondet(int32_t choice) override { assert(false && "native nondet unsupported"); }
+
+  bool TakeProgressFlag() override { return false; }
+
+  int SnapshotSize() const override { return static_cast<int>(state_.size()); }
+
+  void Snapshot(std::span<int32_t> out) const override {
+    assert(out.size() == state_.size());
+    std::copy(state_.begin(), state_.end(), out.begin());
+  }
+
+  void Restore(std::span<const int32_t> in) override {
+    assert(in.size() == state_.size());
+    std::copy(in.begin(), in.end(), state_.begin());
+    pending_valid_ = false;
+  }
+
+ protected:
+  int AddPort(const esi::ChannelInfo* channel, bool is_send) {
+    ports_.push_back(PortDecl{channel, is_send});
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  void ResizeState(size_t words) { state_.assign(words, 0); }
+
+  const std::vector<int32_t>& current_state() const { return state_; }
+
+  // Subclass FSM interface.
+  virtual void InitState(std::vector<int32_t>& state) = 0;
+  virtual PendingOp ComputePending(const std::vector<int32_t>& state) const = 0;
+  virtual void OnRecv(int port, std::span<const int32_t> message,
+                      std::vector<int32_t>& state) = 0;
+  virtual void OnSendComplete(int port, std::vector<int32_t>& state) = 0;
+
+ private:
+  const PendingOp& Pending() const {
+    if (!pending_valid_) {
+      pending_ = ComputePending(state_);
+      pending_valid_ = true;
+    }
+    return pending_;
+  }
+
+  std::string name_;
+  std::vector<PortDecl> ports_;
+  std::vector<int32_t> state_;
+  mutable PendingOp pending_;
+  mutable bool pending_valid_ = false;
+};
+
+}  // namespace efeu::check
+
+#endif  // SRC_CHECK_NATIVE_PROCESS_H_

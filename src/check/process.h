@@ -1,0 +1,62 @@
+// The process interface the model checker explores. Two implementations
+// exist: IrProcess (an ESM layer compiled to IR, the common case) and native
+// C++ processes with explicit int32 state (the parameterized Electrical
+// combiner and the multi-responder behaviour specifications, which need
+// several ports of the same channel type — something a single ESM layer
+// cannot express, mirroring how the paper hand-writes this glue in Promela).
+
+#ifndef SRC_CHECK_PROCESS_H_
+#define SRC_CHECK_PROCESS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+#include "src/vm/executor.h"
+
+namespace efeu::check {
+
+struct PortDecl {
+  const esi::ChannelInfo* channel = nullptr;
+  bool is_send = false;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const std::vector<PortDecl>& ports() const = 0;
+
+  virtual void Reset() = 0;
+
+  // Runs deterministically until blocked/halted/failed. Returns the state;
+  // on kAssertFailed/kRuntimeError fills *error.
+  virtual vm::RunState RunToBlock(std::string* error) = 0;
+  virtual vm::RunState state() const = 0;
+
+  // Valid while blocked on a send/recv.
+  virtual int blocked_port() const = 0;
+  // Valid while blocked on a send.
+  virtual std::vector<int32_t> PendingMessage() const = 0;
+  // Valid while blocked on a nondet.
+  virtual int NondetArity() const = 0;
+
+  virtual void CompleteSend() = 0;
+  virtual void CompleteRecv(std::span<const int32_t> message) = 0;
+  virtual void CompleteNondet(int32_t choice) = 0;
+
+  virtual bool AtValidEndState() const = 0;
+  // Returns whether a progress label was passed since the last call, and
+  // clears the flag.
+  virtual bool TakeProgressFlag() = 0;
+
+  virtual int SnapshotSize() const = 0;
+  virtual void Snapshot(std::span<int32_t> out) const = 0;
+  virtual void Restore(std::span<const int32_t> in) = 0;
+};
+
+}  // namespace efeu::check
+
+#endif  // SRC_CHECK_PROCESS_H_

@@ -1,0 +1,110 @@
+#include "src/codegen/common/expr_printer.h"
+
+#include <cassert>
+
+namespace efeu::codegen {
+
+const char* UnaryOpSpelling(esm::UnaryOp op) {
+  switch (op) {
+    case esm::UnaryOp::kPlus:
+      return "+";
+    case esm::UnaryOp::kNegate:
+      return "-";
+    case esm::UnaryOp::kBitNot:
+      return "~";
+    case esm::UnaryOp::kLogicalNot:
+      return "!";
+  }
+  return "?";
+}
+
+const char* BinaryOpSpelling(esm::BinaryOp op) {
+  switch (op) {
+    case esm::BinaryOp::kMul:
+      return "*";
+    case esm::BinaryOp::kDiv:
+      return "/";
+    case esm::BinaryOp::kMod:
+      return "%";
+    case esm::BinaryOp::kAdd:
+      return "+";
+    case esm::BinaryOp::kSub:
+      return "-";
+    case esm::BinaryOp::kShl:
+      return "<<";
+    case esm::BinaryOp::kShr:
+      return ">>";
+    case esm::BinaryOp::kLt:
+      return "<";
+    case esm::BinaryOp::kGt:
+      return ">";
+    case esm::BinaryOp::kLe:
+      return "<=";
+    case esm::BinaryOp::kGe:
+      return ">=";
+    case esm::BinaryOp::kEq:
+      return "==";
+    case esm::BinaryOp::kNe:
+      return "!=";
+    case esm::BinaryOp::kBitAnd:
+      return "&";
+    case esm::BinaryOp::kBitXor:
+      return "^";
+    case esm::BinaryOp::kBitOr:
+      return "|";
+    case esm::BinaryOp::kLogicalAnd:
+      return "&&";
+    case esm::BinaryOp::kLogicalOr:
+      return "||";
+  }
+  return "?";
+}
+
+namespace {
+
+// Parenthesization is conservative: nested binary/unary operands always get
+// parentheses, which keeps the printer simple and the output unambiguous.
+std::string Print(const esm::Expr& expr, bool parenthesize) {
+  switch (expr.kind) {
+    case esm::ExprKind::kIntLiteral: {
+      const auto& node = static_cast<const esm::IntLiteralExpr&>(expr);
+      return std::to_string(node.value);
+    }
+    case esm::ExprKind::kVarRef:
+      return static_cast<const esm::VarRefExpr&>(expr).name;
+    case esm::ExprKind::kIndex: {
+      const auto& node = static_cast<const esm::IndexExpr&>(expr);
+      return Print(*node.base, true) + "[" + Print(*node.index, false) + "]";
+    }
+    case esm::ExprKind::kMember: {
+      const auto& node = static_cast<const esm::MemberExpr&>(expr);
+      return Print(*node.base, true) + "." + node.field;
+    }
+    case esm::ExprKind::kUnary: {
+      const auto& node = static_cast<const esm::UnaryExpr&>(expr);
+      std::string text = std::string(UnaryOpSpelling(node.op)) + Print(*node.operand, true);
+      return parenthesize ? "(" + text + ")" : text;
+    }
+    case esm::ExprKind::kBinary: {
+      const auto& node = static_cast<const esm::BinaryExpr&>(expr);
+      std::string text = Print(*node.lhs, true) + " " + BinaryOpSpelling(node.op) + " " +
+                         Print(*node.rhs, true);
+      return parenthesize ? "(" + text + ")" : text;
+    }
+    case esm::ExprKind::kAssign: {
+      const auto& node = static_cast<const esm::AssignExpr&>(expr);
+      return Print(*node.lhs, false) + " = " + Print(*node.rhs, false);
+    }
+    case esm::ExprKind::kCall: {
+      assert(false && "communication calls are printed by the statement printers");
+      return "<call>";
+    }
+  }
+  return "<expr>";
+}
+
+}  // namespace
+
+std::string PrintExpr(const esm::Expr& expr) { return Print(expr, false); }
+
+}  // namespace efeu::codegen

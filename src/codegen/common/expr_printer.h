@@ -1,0 +1,23 @@
+// Prints ESM expressions back to C-like source text. ESM expressions are a
+// common subset of C and Promela, so both backends share this printer;
+// talk/read/post/nondet calls never nest (sema guarantees it) and are handled
+// by the statement-level printers of each backend.
+
+#ifndef SRC_CODEGEN_COMMON_EXPR_PRINTER_H_
+#define SRC_CODEGEN_COMMON_EXPR_PRINTER_H_
+
+#include <string>
+
+#include "src/esm/ast.h"
+
+namespace efeu::codegen {
+
+std::string PrintExpr(const esm::Expr& expr);
+
+// Operator spellings, shared with diagnostic/dump code.
+const char* UnaryOpSpelling(esm::UnaryOp op);
+const char* BinaryOpSpelling(esm::BinaryOp op);
+
+}  // namespace efeu::codegen
+
+#endif  // SRC_CODEGEN_COMMON_EXPR_PRINTER_H_

@@ -1,0 +1,57 @@
+// The MMIO-AXI Lite backend (paper section 3.5): for a layer interface that
+// straddles the software/hardware boundary, generates the register map (data
+// fields plus the valid/ready handshake signals, memory-mapped at distinct
+// offsets — Figure 7), the C driver stubs (polling and interrupt-driven wait)
+// and the VHDL register file with the automatic valid/ready reset that makes
+// the hardware-style handshake safe for a slow software peer.
+
+#ifndef SRC_CODEGEN_MMIO_MMIO_BACKEND_H_
+#define SRC_CODEGEN_MMIO_MMIO_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+
+namespace efeu::codegen {
+
+struct MmioRegister {
+  std::string name;
+  int offset = 0;       // byte offset
+  int word_count = 1;   // arrays occupy one 32-bit word per element
+};
+
+struct MmioRegisterMap {
+  // Software -> hardware direction ("down"): data, then its valid flag and
+  // the hardware's ready flag.
+  std::vector<MmioRegister> down_data;
+  int down_valid_offset = 0;
+  int down_ready_offset = 0;
+  // Hardware -> software direction ("up").
+  std::vector<MmioRegister> up_data;
+  int up_valid_offset = 0;
+  int up_ready_offset = 0;
+  int status_offset = 0;  // status & reset register
+  int total_bytes = 0;
+
+  // Words the software writes to send one down-message (data + valid).
+  int DownWriteWords() const;
+  // Words the software reads to consume one up-message (data), excluding the
+  // valid polls.
+  int UpReadWords() const;
+};
+
+struct MmioOutput {
+  MmioRegisterMap map;
+  std::string c_driver;  // software stubs (polling + interrupt wait)
+  std::string vhdl;      // register file with automatic valid/ready resets
+};
+
+// `down` is the channel carrying messages from the software side into the
+// hardware side; `up` the reverse. Either may be null for one-way interfaces.
+MmioOutput GenerateMmio(const std::string& interface_name, const esi::ChannelInfo* down,
+                        const esi::ChannelInfo* up);
+
+}  // namespace efeu::codegen
+
+#endif  // SRC_CODEGEN_MMIO_MMIO_BACKEND_H_

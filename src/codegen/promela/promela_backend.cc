@@ -1,0 +1,330 @@
+#include "src/codegen/promela/promela_backend.h"
+
+#include <cassert>
+#include <set>
+
+#include "src/codegen/common/expr_printer.h"
+#include "src/support/text.h"
+
+namespace efeu::codegen {
+
+namespace {
+
+// Channel variable name used in shared declarations and proctype parameters.
+std::string ChanName(const esi::ChannelInfo& channel) {
+  return "ch_" + channel.from + "_" + channel.to;
+}
+
+std::string PromelaTypeName(const Type& type) {
+  switch (type.kind) {
+    case ScalarKind::kBit:
+    case ScalarKind::kBool:
+      return type.kind == ScalarKind::kBit ? "bit" : "bool";
+    case ScalarKind::kU8:
+      return "byte";
+    case ScalarKind::kI16:
+      return "short";
+    case ScalarKind::kI32:
+      return "int";
+    case ScalarKind::kEnum:
+      return "mtype";
+  }
+  return "int";
+}
+
+class LayerPrinter {
+ public:
+  LayerPrinter(const ir::Compilation& compilation, const esm::LayerDef& layer,
+               const esm::LayerInfo& info)
+      : compilation_(compilation), layer_(layer), info_(info) {}
+
+  std::string Print() {
+    const ir::Module* module = compilation_.FindModule(layer_.name);
+    assert(module != nullptr);
+    std::string params;
+    for (const ir::Port& port : module->ports) {
+      if (!params.empty()) {
+        params += "; ";
+      }
+      params += "chan " + ChanName(*port.channel);
+    }
+    out_.Line("proctype " + layer_.name + "(" + params + ") {");
+    out_.Indent();
+    // Declarations first (collected by sema in declaration order), including
+    // the staging variables for outgoing messages.
+    for (const esm::VarInfo& var : info_.vars) {
+      if (var.IsStruct()) {
+        out_.Line(var.struct_channel->MessageStructName() + " " + var.name + ";");
+      } else if (var.type.IsArray()) {
+        out_.Line(PromelaTypeName(var.type) + " " + var.name + "[" +
+                  std::to_string(var.type.array_size) + "];");
+      } else {
+        out_.Line(PromelaTypeName(var.type) + " " + var.name + ";");
+      }
+    }
+    for (const ir::Port& port : module->ports) {
+      if (port.is_send) {
+        out_.Line(port.channel->MessageStructName() + " _out_" +
+                  port.channel->MessageStructName() + ";");
+      } else {
+        out_.Line(port.channel->MessageStructName() + " _in_" +
+                  port.channel->MessageStructName() + ";");
+      }
+    }
+    out_.Line("byte _arr_i;");
+    out_.Blank();
+    PrintBlockContents(*layer_.body);
+    out_.Dedent();
+    out_.Line("}");
+    return out_.TakeString();
+  }
+
+ private:
+  void PrintBlockContents(const esm::BlockStmt& block) {
+    for (const esm::StmtPtr& stmt : block.statements) {
+      PrintStmt(*stmt);
+    }
+  }
+
+  // Fills the staging struct for `call` and emits the send; returns the
+  // staging variable name.
+  void PrintSendParts(const esm::CallExpr& call) {
+    std::string stage = "_out_" + call.out_channel->MessageStructName();
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      const esi::FieldInfo& field = call.out_channel->fields[i];
+      const esm::Expr& arg = *call.args[i];
+      if (field.type.IsArray()) {
+        // Element-wise copy; Promela has no whole-array assignment either.
+        std::string src = PrintExpr(arg);
+        out_.Line("_arr_i = 0;");
+        out_.Line("do");
+        out_.Line(":: (_arr_i < " + std::to_string(field.type.array_size) + ") -> " + stage +
+                  "." + field.name + "[_arr_i] = " + src + "[_arr_i]; _arr_i = _arr_i + 1");
+        out_.Line(":: else -> break");
+        out_.Line("od;");
+      } else {
+        out_.Line(stage + "." + field.name + " = " + PrintExpr(arg) + ";");
+      }
+    }
+    out_.Line(ChanName(*call.out_channel) + " ! " + stage + ";");
+  }
+
+  void PrintComm(const esm::CallExpr& call, const std::string& target) {
+    if (call.call_kind == esm::CallKind::kTalk || call.call_kind == esm::CallKind::kPost) {
+      PrintSendParts(call);
+    }
+    if (call.call_kind == esm::CallKind::kPost) {
+      return;
+    }
+    std::string dest = target.empty() ? "_in_" + call.in_channel->MessageStructName() : target;
+    out_.Line(ChanName(*call.in_channel) + " ? " + dest + ";");
+  }
+
+  void PrintAssign(const esm::AssignExpr& assign) {
+    if (assign.rhs->kind == esm::ExprKind::kCall) {
+      const auto& call = static_cast<const esm::CallExpr&>(*assign.rhs);
+      if (call.call_kind == esm::CallKind::kNondet) {
+        int64_t n = static_cast<const esm::IntLiteralExpr&>(*call.args[0]).value;
+        std::string lhs = PrintExpr(*assign.lhs);
+        out_.Line("if");
+        for (int64_t i = 0; i < n; ++i) {
+          out_.Line(":: " + lhs + " = " + std::to_string(i));
+        }
+        out_.Line("fi;");
+        return;
+      }
+      if (call.call_kind != esm::CallKind::kUnresolved) {
+        PrintComm(call, PrintExpr(*assign.lhs));
+        return;
+      }
+    }
+    out_.Line(PrintExpr(assign) + ";");
+  }
+
+  void PrintStmt(const esm::Stmt& stmt) {
+    switch (stmt.kind) {
+      case esm::StmtKind::kDecl:
+      case esm::StmtKind::kEmpty:
+        return;  // Declarations are hoisted to the proctype head.
+      case esm::StmtKind::kExpr: {
+        const auto& node = static_cast<const esm::ExprStmt&>(stmt);
+        if (node.expr->kind == esm::ExprKind::kCall) {
+          PrintComm(static_cast<const esm::CallExpr&>(*node.expr), "");
+          return;
+        }
+        if (node.expr->kind == esm::ExprKind::kAssign) {
+          PrintAssign(static_cast<const esm::AssignExpr&>(*node.expr));
+          return;
+        }
+        out_.Line(PrintExpr(*node.expr) + ";");
+        return;
+      }
+      case esm::StmtKind::kIf: {
+        const auto& node = static_cast<const esm::IfStmt&>(stmt);
+        out_.Line("if");
+        out_.Line(":: (" + PrintExpr(*node.condition) + ") ->");
+        out_.Indent();
+        PrintStmt(*node.then_branch);
+        out_.Dedent();
+        if (node.else_branch != nullptr) {
+          out_.Line(":: else ->");
+          out_.Indent();
+          PrintStmt(*node.else_branch);
+          out_.Dedent();
+        } else {
+          // In ESM a false condition skips the block; Promela's if would
+          // block, so generate an explicit else -> skip (paper section 3.6).
+          out_.Line(":: else -> skip");
+        }
+        out_.Line("fi;");
+        return;
+      }
+      case esm::StmtKind::kWhile: {
+        const auto& node = static_cast<const esm::WhileStmt&>(stmt);
+        out_.Line("do");
+        out_.Line(":: (" + PrintExpr(*node.condition) + ") ->");
+        out_.Indent();
+        PrintStmt(*node.body);
+        out_.Dedent();
+        out_.Line(":: else -> break");
+        out_.Line("od;");
+        return;
+      }
+      case esm::StmtKind::kGoto: {
+        const auto& node = static_cast<const esm::GotoStmt&>(stmt);
+        out_.Line("goto " + node.label + ";");
+        return;
+      }
+      case esm::StmtKind::kLabel: {
+        const auto& node = static_cast<const esm::LabelStmt&>(stmt);
+        out_.Line(node.name + ":");
+        return;
+      }
+      case esm::StmtKind::kAssert: {
+        const auto& node = static_cast<const esm::AssertStmt&>(stmt);
+        out_.Line("assert(" + PrintExpr(*node.condition) + ");");
+        return;
+      }
+      case esm::StmtKind::kBlock: {
+        const auto& node = static_cast<const esm::BlockStmt&>(stmt);
+        PrintBlockContents(node);
+        return;
+      }
+    }
+  }
+
+  const ir::Compilation& compilation_;
+  const esm::LayerDef& layer_;
+  const esm::LayerInfo& info_;
+  CodeWriter out_;
+};
+
+}  // namespace
+
+std::string PromelaOutput::Combined() const {
+  std::string out = shared;
+  for (const auto& [name, text] : layers) {
+    out += "\n" + text;
+  }
+  out += "\n" + init;
+  return out;
+}
+
+PromelaOutput GeneratePromela(const ir::Compilation& compilation) {
+  PromelaOutput output;
+  const esi::SystemInfo& system = compilation.system();
+
+  CodeWriter shared;
+  shared.Line("/* Generated by ESMC: Promela model of the specified system. */");
+  // All enum members share one mtype namespace.
+  std::string mtype;
+  for (const esi::EnumInfo& info : system.enums()) {
+    for (const std::string& member : info.members) {
+      if (!mtype.empty()) {
+        mtype += ", ";
+      }
+      mtype += member;
+    }
+  }
+  for (const auto& [member, value] : compilation.program().local_enum_values) {
+    (void)value;
+    if (!mtype.empty()) {
+      mtype += ", ";
+    }
+    mtype += member;
+  }
+  if (!mtype.empty()) {
+    shared.Line("mtype = { " + mtype + " };");
+  }
+  shared.Blank();
+
+  // Message struct typedefs and rendezvous channels, one per directed
+  // channel used by some defined layer.
+  std::set<const esi::ChannelInfo*> used;
+  for (const ir::Module& module : compilation.modules()) {
+    for (const ir::Port& port : module.ports) {
+      used.insert(port.channel);
+    }
+  }
+  for (const esi::InterfaceInfo& iface : system.interfaces()) {
+    for (const std::optional<esi::ChannelInfo>* slot : {&iface.to_second, &iface.to_first}) {
+      if (!slot->has_value() || used.count(&**slot) == 0) {
+        continue;
+      }
+      const esi::ChannelInfo& channel = **slot;
+      shared.Line("typedef " + channel.MessageStructName() + " {");
+      shared.Indent();
+      if (channel.fields.empty()) {
+        shared.Line("bit _pad;");
+      }
+      for (const esi::FieldInfo& field : channel.fields) {
+        if (field.type.IsArray()) {
+          shared.Line(PromelaTypeName(field.type) + " " + field.name + "[" +
+                      std::to_string(field.type.array_size) + "];");
+        } else {
+          shared.Line(PromelaTypeName(field.type) + " " + field.name + ";");
+        }
+      }
+      shared.Dedent();
+      shared.Line("};");
+      shared.Line("chan " + ChanName(channel) + " = [0] of { " + channel.MessageStructName() +
+                  " };");
+      shared.Blank();
+    }
+  }
+  output.shared = shared.TakeString();
+
+  // Proctypes.
+  const esm::EsmFile& file = compilation.esm_file();
+  for (const esm::LayerDef& layer : file.layers) {
+    const esm::LayerInfo* info = compilation.FindLayer(layer.name);
+    assert(info != nullptr);
+    LayerPrinter printer(compilation, layer, *info);
+    output.layers[layer.name] = printer.Print();
+  }
+
+  // Init: run every defined layer with its channels.
+  CodeWriter init;
+  init.Line("init {");
+  init.Indent();
+  init.Line("atomic {");
+  init.Indent();
+  for (const ir::Module& module : compilation.modules()) {
+    std::string args;
+    for (const ir::Port& port : module.ports) {
+      if (!args.empty()) {
+        args += ", ";
+      }
+      args += ChanName(*port.channel);
+    }
+    init.Line("run " + module.layer_name + "(" + args + ");");
+  }
+  init.Dedent();
+  init.Line("}");
+  init.Dedent();
+  init.Line("}");
+  output.init = init.TakeString();
+  return output;
+}
+
+}  // namespace efeu::codegen

@@ -1,0 +1,34 @@
+// The Promela backend: transforms the analyzed ESM AST into input for a SPIN-
+// style model checker, preserving variable names and control flow (paper
+// section 3.6). Enumerations become mtype, channels become rendezvous
+// channels, layer functions become proctypes parameterized over their
+// channels, and skipped if-conditions get an explicit `else -> skip`.
+
+#ifndef SRC_CODEGEN_PROMELA_PROMELA_BACKEND_H_
+#define SRC_CODEGEN_PROMELA_PROMELA_BACKEND_H_
+
+#include <map>
+#include <string>
+
+#include "src/ir/compile.h"
+
+namespace efeu::codegen {
+
+struct PromelaOutput {
+  // Shared declarations: mtypes, typedefs, channel declarations.
+  std::string shared;
+  // One proctype per layer, keyed by layer name.
+  std::map<std::string, std::string> layers;
+  // An init block that instantiates every layer connected by the declared
+  // channels (single-instance topology).
+  std::string init;
+
+  // The complete model: shared + layers + init.
+  std::string Combined() const;
+};
+
+PromelaOutput GeneratePromela(const ir::Compilation& compilation);
+
+}  // namespace efeu::codegen
+
+#endif  // SRC_CODEGEN_PROMELA_PROMELA_BACKEND_H_

@@ -1,0 +1,33 @@
+// The Verilog backend (paper section 3.4): each layer's IR becomes one
+// Verilog module; basic blocks become FSM states; instructions become
+// blocking assignments (the EDA tool extracts parallelism); talk/read become
+// ready/valid handshakes — a send adds one state (assert valid, wait for
+// ready), a receive two (assert ready and wait for valid + save; de-assert).
+
+#ifndef SRC_CODEGEN_VERILOG_VERILOG_BACKEND_H_
+#define SRC_CODEGEN_VERILOG_VERILOG_BACKEND_H_
+
+#include <map>
+#include <string>
+
+#include "src/ir/compile.h"
+#include "src/ir/ir.h"
+
+namespace efeu::codegen {
+
+struct VerilogOutput {
+  // One Verilog module per layer, keyed by layer name.
+  std::map<std::string, std::string> modules;
+
+  std::string Combined() const;
+};
+
+// Generates one module.
+std::string GenerateVerilogModule(const ir::Module& module);
+
+// Generates every module of the compilation.
+VerilogOutput GenerateVerilog(const ir::Compilation& compilation);
+
+}  // namespace efeu::codegen
+
+#endif  // SRC_CODEGEN_VERILOG_VERILOG_BACKEND_H_

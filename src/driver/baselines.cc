@@ -1,0 +1,272 @@
+#include "src/driver/baselines.h"
+
+#include <cassert>
+
+#include "src/i2c/codes.h"
+#include "src/i2c/stack.h"
+
+namespace efeu::driver {
+
+// ---------------------------------------------------------------------------
+// BitBangDriver
+// ---------------------------------------------------------------------------
+
+BitBangDriver::BitBangDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
+                             bool capture_waveform)
+    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address) {
+  DiagnosticEngine diag;
+  compilation_ = i2c::CompileControllerStack(diag);
+  assert(compilation_ != nullptr);
+  const esi::SystemInfo& info = compilation_->system();
+
+  gpio_driver_id_ = bus_.AddDriver();
+  sim::EepromConfig eeprom_config = eeprom;
+  eeprom_config.clock_ns = timing.clock_ns;
+  eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
+  rtl_.AddComponent(eeprom_.get());
+  if (capture_waveform) {
+    bus_.EnableCapture(true);
+    rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
+  }
+
+  const char* layers[] = {"CEepDriver", "CTransaction", "CByte", "CSymbol"};
+  std::vector<int> procs;
+  for (const char* layer : layers) {
+    procs.push_back(sw_.AddProcess(compilation_->FindModule(layer), layer));
+  }
+  for (size_t i = 0; i + 1 < procs.size(); ++i) {
+    const esi::ChannelInfo* d = info.FindChannel(layers[i], layers[i + 1]);
+    const esi::ChannelInfo* u = info.FindChannel(layers[i + 1], layers[i]);
+    sw_.Connect(sw_.FindPort(procs[i], d, true), sw_.FindPort(procs[i + 1], d, false));
+    sw_.Connect(sw_.FindPort(procs[i + 1], u, true), sw_.FindPort(procs[i], u, false));
+  }
+  top_in_ = sw_.FindPort(procs.front(), info.FindChannel("CWorld", "CEepDriver"), false);
+  top_out_ = sw_.FindPort(procs.front(), info.FindChannel("CEepDriver", "CWorld"), true);
+  levels_out_ = sw_.FindPort(procs.back(), info.FindChannel("CSymbol", "Electrical"), true);
+  levels_in_ = sw_.FindPort(procs.back(), info.FindChannel("Electrical", "CSymbol"), false);
+  sw_.Run();
+  last_sw_steps_ = sw_.TotalSteps();
+}
+
+BitBangDriver::~BitBangDriver() = default;
+
+void BitBangDriver::Busy(double ns) {
+  sw_time_ns_ += ns;
+  cpu_busy_ns_ += ns;
+}
+
+void BitBangDriver::SyncRtl() { rtl_.TickUntil(sw_time_ns_); }
+
+bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
+                                 std::vector<int32_t>* reply) {
+  // Let the top layer return to its request-receive point first.
+  sw_.Run();
+  bool delivered = sw_.DeliverMessage(top_in_, request);
+  assert(delivered);
+  (void)delivered;
+  constexpr int kMaxPumps = 1 << 22;
+  for (int pump = 0; pump < kMaxPumps; ++pump) {
+    sw_.Run();
+    uint64_t steps = sw_.TotalSteps();
+    Busy(static_cast<double>(steps - last_sw_steps_) * timing_.sw_instr_ns);
+    last_sw_steps_ = steps;
+    if (sw_.WantsToSend(top_out_)) {
+      std::optional<std::vector<int32_t>> result = sw_.TakeMessage(top_out_);
+      *reply = std::move(*result);
+      return true;
+    }
+    if (sw_.WantsToSend(levels_out_)) {
+      // One electrical half cycle, paced entirely by software: set both GPIO
+      // lines, wait the configured delay, then sample them back.
+      std::optional<std::vector<int32_t>> levels = sw_.TakeMessage(levels_out_);
+      bool new_scl = (*levels)[0] != 0;
+      bool new_sda = (*levels)[1] != 0;
+      // GPIO ordering discipline: when raising SCL, settle SDA first (data
+      // changes while the clock is low); when lowering SCL, drop the clock
+      // before touching SDA. Deliberate START/STOP transitions keep SCL high
+      // and only move SDA.
+      if (new_scl) {
+        Busy(timing_.gpio_write_ns);
+        SyncRtl();
+        gpio_sda_ = new_sda;
+        bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+        Busy(timing_.gpio_write_ns);
+        SyncRtl();
+        gpio_scl_ = new_scl;
+        bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+      } else {
+        Busy(timing_.gpio_write_ns);
+        SyncRtl();
+        gpio_scl_ = new_scl;
+        bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+        Busy(timing_.gpio_write_ns);
+        SyncRtl();
+        gpio_sda_ = new_sda;
+        bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+      }
+      Busy(timing_.gpio_udelay_ns);
+      SyncRtl();
+      Busy(timing_.gpio_read_ns);
+      SyncRtl();
+      int32_t scl = bus_.scl() ? 1 : 0;
+      Busy(timing_.gpio_read_ns);
+      SyncRtl();
+      int32_t sda = bus_.sda() ? 1 : 0;
+      std::vector<int32_t> sample = {scl, sda};
+      // Let the stack reach its receive before delivering the sample.
+      sw_.Run();
+      bool ok = sw_.DeliverMessage(levels_in_, sample);
+      assert(ok);
+      (void)ok;
+      continue;
+    }
+    if (sw_.WantsToRecv(levels_in_)) {
+      // CSymbol read without a pending send cannot happen in this stack.
+      assert(false && "unexpected bottom-layer state");
+    }
+  }
+  return false;
+}
+
+bool BitBangDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
+  std::vector<int32_t> request(19, 0);
+  request[0] = i2c::kCeActRead;
+  request[1] = eeprom_address_;
+  request[2] = offset;
+  request[3] = length;
+  std::vector<int32_t> reply;
+  if (!RunOperation(request, &reply) || reply[0] != i2c::kCeResOk || reply[1] != length) {
+    return false;
+  }
+  if (out != nullptr) {
+    out->clear();
+    for (int i = 0; i < length; ++i) {
+      out->push_back(static_cast<uint8_t>(reply[2 + i]));
+    }
+  }
+  return true;
+}
+
+bool BitBangDriver::Write(int offset, const std::vector<uint8_t>& data) {
+  std::vector<int32_t> request(19, 0);
+  request[0] = i2c::kCeActWrite;
+  request[1] = eeprom_address_;
+  request[2] = offset;
+  request[3] = static_cast<int32_t>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    request[4 + i] = data[i];
+  }
+  std::vector<int32_t> reply;
+  return RunOperation(request, &reply) && reply[0] == i2c::kCeResOk;
+}
+
+DriverMetrics BitBangDriver::MeasureReads(int ops, int length) {
+  DriverMetrics metrics;
+  std::vector<uint8_t> data;
+  if (!Read(0, length, &data)) {
+    metrics.functional = false;
+    metrics.note = "warm-up read failed";
+    return metrics;
+  }
+  bus_.ClearSamples();
+  double start_busy = cpu_busy_ns_;
+  double start_time = std::max(sw_time_ns_, rtl_.time_ns());
+  for (int i = 0; i < ops; ++i) {
+    if (!Read(0, length, &data)) {
+      metrics.functional = false;
+      metrics.note = "read failed";
+      return metrics;
+    }
+  }
+  metrics.elapsed_ns = std::max(sw_time_ns_, rtl_.time_ns()) - start_time;
+  metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
+  metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// XilinxIpDriver
+// ---------------------------------------------------------------------------
+
+XilinxIpDriver::XilinxIpDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
+                               bool capture_waveform)
+    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address) {
+  engine_ = std::make_unique<sim::XilinxIpEngine>(&bus_, timing.half_cycle_ticks,
+                                                  timing.xilinx_interbyte_gap_ticks);
+  sim::EepromConfig eeprom_config = eeprom;
+  eeprom_config.clock_ns = timing.clock_ns;
+  eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
+  rtl_.AddComponent(engine_.get());
+  rtl_.AddComponent(eeprom_.get());
+  if (capture_waveform) {
+    bus_.EnableCapture(true);
+    rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
+  }
+}
+
+XilinxIpDriver::~XilinxIpDriver() = default;
+
+bool XilinxIpDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
+  // Driver setup: program the transaction into the TX FIFO.
+  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
+  engine_->StartRead(eeprom_address_, offset, length);
+  constexpr double kTimeoutNs = 2e9;
+  double deadline = rtl_.time_ns() + kTimeoutNs;
+  while (!engine_->done() && rtl_.time_ns() < deadline) {
+    rtl_.Tick();
+  }
+  if (!engine_->done() || engine_->ack_failure()) {
+    return false;
+  }
+  // FIFO-service interrupt per payload byte plus the completion interrupt.
+  irq_count_ += static_cast<uint64_t>(length) + 1;
+  cpu_busy_ns_ += (length + 1) * timing_.xilinx_byte_irq_ns;
+  if (out != nullptr) {
+    *out = engine_->read_data();
+  }
+  return true;
+}
+
+bool XilinxIpDriver::Write(int offset, const std::vector<uint8_t>& data) {
+  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
+  engine_->StartWrite(eeprom_address_, offset, data);
+  constexpr double kTimeoutNs = 2e9;
+  double deadline = rtl_.time_ns() + kTimeoutNs;
+  while (!engine_->done() && rtl_.time_ns() < deadline) {
+    rtl_.Tick();
+  }
+  if (!engine_->done() || engine_->ack_failure()) {
+    return false;
+  }
+  irq_count_ += data.size() + 1;
+  cpu_busy_ns_ += (static_cast<double>(data.size()) + 1) * timing_.xilinx_byte_irq_ns;
+  return true;
+}
+
+DriverMetrics XilinxIpDriver::MeasureReads(int ops, int length) {
+  DriverMetrics metrics;
+  std::vector<uint8_t> data;
+  if (!Read(0, length, &data)) {
+    metrics.functional = false;
+    metrics.note = "warm-up read failed";
+    return metrics;
+  }
+  bus_.ClearSamples();
+  double start_busy = cpu_busy_ns_;
+  double start_time = rtl_.time_ns();
+  uint64_t start_irqs = irq_count_;
+  for (int i = 0; i < ops; ++i) {
+    if (!Read(0, length, &data)) {
+      metrics.functional = false;
+      metrics.note = "read failed";
+      return metrics;
+    }
+  }
+  metrics.elapsed_ns = rtl_.time_ns() - start_time;
+  metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
+  metrics.irq_count = irq_count_ - start_irqs;
+  metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  return metrics;
+}
+
+}  // namespace efeu::driver

@@ -1,0 +1,92 @@
+// The two baselines of the paper's evaluation (section 5): the Linux
+// "bit-banging" GPIO driver (all software, pacing the bus with udelay and
+// paying GPIO access costs per half cycle) and the Xilinx AXI IIC IP (a
+// transaction-level hardware engine with FIFO service interrupts).
+
+#ifndef SRC_DRIVER_BASELINES_H_
+#define SRC_DRIVER_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/driver/hybrid.h"
+#include "src/driver/timing.h"
+#include "src/ir/compile.h"
+#include "src/rtl/system.h"
+#include "src/sim/eeprom.h"
+#include "src/sim/i2c_bus.h"
+#include "src/sim/xilinx_ip.h"
+#include "src/vm/system.h"
+
+namespace efeu::driver {
+
+// Linux i2c-gpio style bit-banging: the full (verified, generated) stack runs
+// in software; every electrical half cycle costs two GPIO writes, the
+// configured udelay, and two GPIO reads for sampling. The CPU spins the
+// whole time.
+class BitBangDriver {
+ public:
+  BitBangDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
+                bool capture_waveform = false);
+  ~BitBangDriver();
+
+  bool Read(int offset, int length, std::vector<uint8_t>* out);
+  bool Write(int offset, const std::vector<uint8_t>& data);
+  DriverMetrics MeasureReads(int ops, int length);
+
+  sim::I2cBus& bus() { return bus_; }
+  sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+
+ private:
+  bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  void Busy(double ns);
+  void SyncRtl();
+
+  TimingModel timing_;
+  std::unique_ptr<ir::Compilation> compilation_;
+  rtl::RtlSystem rtl_;
+  sim::I2cBus bus_;
+  int gpio_driver_id_ = -1;
+  bool gpio_sda_ = true;
+  bool gpio_scl_ = true;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom_;
+  vm::System sw_;
+  vm::PortRef top_in_;
+  vm::PortRef top_out_;
+  vm::PortRef levels_out_;  // CSymbol -> Electrical
+  vm::PortRef levels_in_;   // Electrical -> CSymbol
+  uint64_t last_sw_steps_ = 0;
+  double sw_time_ns_ = 0;
+  double cpu_busy_ns_ = 0;
+  int eeprom_address_;
+};
+
+// Xilinx AXI IIC baseline: hardware engine plus an interrupt-driven driver
+// that services the FIFO per payload byte.
+class XilinxIpDriver {
+ public:
+  XilinxIpDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
+                 bool capture_waveform = false);
+  ~XilinxIpDriver();
+
+  bool Read(int offset, int length, std::vector<uint8_t>* out);
+  bool Write(int offset, const std::vector<uint8_t>& data);
+  DriverMetrics MeasureReads(int ops, int length);
+
+  sim::I2cBus& bus() { return bus_; }
+  sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+
+ private:
+  TimingModel timing_;
+  rtl::RtlSystem rtl_;
+  sim::I2cBus bus_;
+  std::unique_ptr<sim::XilinxIpEngine> engine_;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom_;
+  double cpu_busy_ns_ = 0;
+  uint64_t irq_count_ = 0;
+  int eeprom_address_;
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_BASELINES_H_

@@ -1,0 +1,414 @@
+#include "src/driver/hybrid.h"
+
+#include <cassert>
+
+#include "src/i2c/codes.h"
+#include "src/i2c/stack.h"
+
+namespace efeu::driver {
+
+namespace {
+
+// Controller layers, top to bottom.
+const char* kLayers[] = {"CEepDriver", "CTransaction", "CByte", "CSymbol"};
+
+// Index of the topmost hardware layer in kLayers; 4 = none (Electrical).
+int FirstHardwareLayer(SplitPoint split) {
+  switch (split) {
+    case SplitPoint::kEepDriver:
+      return 0;
+    case SplitPoint::kTransaction:
+      return 1;
+    case SplitPoint::kByte:
+      return 2;
+    case SplitPoint::kSymbol:
+      return 3;
+    case SplitPoint::kElectrical:
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace
+
+const char* SplitPointName(SplitPoint split) {
+  switch (split) {
+    case SplitPoint::kElectrical:
+      return "Electrical";
+    case SplitPoint::kSymbol:
+      return "Symbol";
+    case SplitPoint::kByte:
+      return "Byte";
+    case SplitPoint::kTransaction:
+      return "Transaction";
+    case SplitPoint::kEepDriver:
+      return "EepDriver";
+  }
+  return "?";
+}
+
+HybridDriver::HybridDriver(const HybridConfig& config)
+    : config_(config), rtl_(config.timing.clock_ns) {
+  DiagnosticEngine diag;
+  compilation_ = i2c::CompileControllerStack(diag);
+  assert(compilation_ != nullptr && "controller stack failed to compile");
+  const esi::SystemInfo& info = compilation_->system();
+
+  // ---- Bus, EEPROM, adapter -------------------------------------------
+  sim::EepromConfig eeprom_config = config_.eeprom;
+  eeprom_config.clock_ns = config_.timing.clock_ns;
+  adapter_ = std::make_unique<sim::BusAdapter>(&bus_, config_.timing.half_cycle_ticks,
+                                               !config_.ablate_fixed_hold_adapter);
+  eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
+  rtl_.AddComponent(adapter_.get());
+  rtl_.AddComponent(eeprom_.get());
+  for (const sim::EepromConfig& extra : config_.extra_eeproms) {
+    sim::EepromConfig cfg = extra;
+    cfg.clock_ns = config_.timing.clock_ns;
+    extra_eeproms_.push_back(std::make_unique<sim::Eeprom24aa512>(&bus_, cfg));
+    rtl_.AddComponent(extra_eeproms_.back().get());
+  }
+  if (config_.capture_waveform) {
+    bus_.EnableCapture(true);
+    rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
+  }
+
+  // ---- Boundary channels -------------------------------------------------
+  int first_hw = FirstHardwareLayer(config_.split);
+  std::string upper = first_hw == 0 ? "CWorld" : kLayers[first_hw - 1];
+  std::string lower = first_hw == 4 ? "Electrical" : kLayers[first_hw];
+  std::string hw_top = first_hw == 4 ? "" : kLayers[first_hw];
+  const esi::ChannelInfo* down_channel =
+      first_hw == 4 ? info.FindChannel("CSymbol", "Electrical") : info.FindChannel(upper, lower);
+  const esi::ChannelInfo* up_channel =
+      first_hw == 4 ? info.FindChannel("Electrical", "CSymbol") : info.FindChannel(lower, upper);
+  assert(down_channel != nullptr && up_channel != nullptr);
+  down_words_ = down_channel->flat_size;
+  up_words_ = up_channel->flat_size;
+
+  regfile_ = std::make_unique<rtl::MmioRegfile>(down_words_, up_words_);
+  rtl::HsWire* down_wire = rtl_.CreateWire(down_words_);
+  rtl::HsWire* up_wire = rtl_.CreateWire(up_words_);
+  regfile_->BindDown(down_wire);
+  regfile_->BindUp(up_wire);
+  regfile_->set_disable_auto_reset(config_.ablate_no_auto_reset);
+  rtl_.AddComponent(regfile_.get());
+
+  // ---- Hardware modules ---------------------------------------------------
+  if (first_hw == 4) {
+    // Electrical split: the register file talks straight to the bus adapter.
+    adapter_->BindDown(down_wire);
+    adapter_->BindUp(up_wire);
+  } else {
+    for (int i = first_hw; i < 4; ++i) {
+      const ir::Module* module = compilation_->FindModule(kLayers[i]);
+      assert(module != nullptr);
+      hw_modules_.push_back(std::make_unique<rtl::RtlModule>(module, kLayers[i]));
+      rtl_.AddComponent(hw_modules_.back().get());
+    }
+    // Top hardware module <- register file.
+    rtl::RtlModule& top = *hw_modules_.front();
+    top.BindPort(top.module().FindPort(down_channel, /*is_send=*/false), down_wire);
+    top.BindPort(top.module().FindPort(up_channel, /*is_send=*/true), up_wire);
+    // Chain between hardware modules.
+    for (size_t i = 0; i + 1 < hw_modules_.size(); ++i) {
+      rtl::RtlModule& upper_module = *hw_modules_[i];
+      rtl::RtlModule& lower_module = *hw_modules_[i + 1];
+      const esi::ChannelInfo* d =
+          info.FindChannel(upper_module.name(), lower_module.name());
+      const esi::ChannelInfo* u =
+          info.FindChannel(lower_module.name(), upper_module.name());
+      rtl::HsWire* dw = rtl_.CreateWire(d->flat_size);
+      rtl::HsWire* uw = rtl_.CreateWire(u->flat_size);
+      upper_module.BindPort(upper_module.module().FindPort(d, true), dw);
+      lower_module.BindPort(lower_module.module().FindPort(d, false), dw);
+      lower_module.BindPort(lower_module.module().FindPort(u, true), uw);
+      upper_module.BindPort(upper_module.module().FindPort(u, false), uw);
+    }
+    // Bottom hardware module (CSymbol) <-> bus adapter.
+    rtl::RtlModule& bottom = *hw_modules_.back();
+    const esi::ChannelInfo* to_elec = info.FindChannel("CSymbol", "Electrical");
+    const esi::ChannelInfo* from_elec = info.FindChannel("Electrical", "CSymbol");
+    rtl::HsWire* aw_down = rtl_.CreateWire(to_elec->flat_size);
+    rtl::HsWire* aw_up = rtl_.CreateWire(from_elec->flat_size);
+    bottom.BindPort(bottom.module().FindPort(to_elec, true), aw_down);
+    bottom.BindPort(bottom.module().FindPort(from_elec, false), aw_up);
+    adapter_->BindDown(aw_down);
+    adapter_->BindUp(aw_up);
+  }
+
+  // ---- Software side ------------------------------------------------------
+  sw_empty_ = first_hw == 0;
+  if (!sw_empty_) {
+    std::vector<int> procs;
+    for (int i = 0; i < first_hw; ++i) {
+      const ir::Module* module = compilation_->FindModule(kLayers[i]);
+      assert(module != nullptr);
+      procs.push_back(sw_.AddProcess(module, kLayers[i]));
+    }
+    for (size_t i = 0; i + 1 < procs.size(); ++i) {
+      const esi::ChannelInfo* d = info.FindChannel(kLayers[i], kLayers[i + 1]);
+      const esi::ChannelInfo* u = info.FindChannel(kLayers[i + 1], kLayers[i]);
+      sw_.Connect(sw_.FindPort(procs[i], d, true), sw_.FindPort(procs[i + 1], d, false));
+      sw_.Connect(sw_.FindPort(procs[i + 1], u, true), sw_.FindPort(procs[i], u, false));
+    }
+    const esi::ChannelInfo* world_in = info.FindChannel("CWorld", "CEepDriver");
+    const esi::ChannelInfo* world_out = info.FindChannel("CEepDriver", "CWorld");
+    top_in_ = sw_.FindPort(procs.front(), world_in, /*is_send=*/false);
+    top_out_ = sw_.FindPort(procs.front(), world_out, /*is_send=*/true);
+    int bottom = procs.back();
+    boundary_down_ = sw_.FindPort(bottom, down_channel, /*is_send=*/true);
+    boundary_up_ = sw_.FindPort(bottom, up_channel, /*is_send=*/false);
+    // Let every layer reach its initial blocking point (startup, not timed).
+    sw_.Run();
+    last_sw_steps_ = sw_.TotalSteps();
+  }
+  // Let the hardware reach its initial handshakes.
+  for (int i = 0; i < 32; ++i) {
+    rtl_.Tick();
+  }
+}
+
+HybridDriver::~HybridDriver() = default;
+
+double HybridDriver::now_ns() const { return std::max(sw_time_ns_, rtl_.time_ns()); }
+
+void HybridDriver::SyncRtl() { rtl_.TickUntil(sw_time_ns_); }
+
+void HybridDriver::Busy(double ns) {
+  sw_time_ns_ += ns;
+  cpu_busy_ns_ += ns;
+}
+
+bool HybridDriver::WaitUpMessage() {
+  constexpr double kTimeoutNs = 5e7;  // 50 ms: a realistic driver timeout
+  if (!config_.interrupt_driven) {
+    // Polling: spin on the UP_VALID register.
+    while (true) {
+      Busy(config_.timing.mmio_read_ns);
+      SyncRtl();
+      if (regfile_->UpFull()) {
+        return true;
+      }
+      if (sw_time_ns_ > kTimeoutNs) {
+        return false;
+      }
+    }
+  }
+  // Interrupt-driven: the CPU sleeps in the blocking UIO read; wall time
+  // follows the hardware.
+  SyncRtl();
+  while (!regfile_->irq()) {
+    rtl_.Tick();
+    if (rtl_.time_ns() > kTimeoutNs) {
+      return false;
+    }
+  }
+  sw_time_ns_ = std::max(sw_time_ns_, rtl_.time_ns());
+  // Part of the interrupt path is scheduler latency (core idle/available);
+  // the rest is busy kernel+userspace work.
+  double busy_part = config_.timing.irq_overhead_ns * config_.timing.irq_busy_fraction;
+  sw_time_ns_ += config_.timing.irq_overhead_ns - busy_part;
+  Busy(busy_part);
+  ++irq_count_;
+  // Read the status/valid register once after wakeup.
+  Busy(config_.timing.mmio_read_ns);
+  SyncRtl();
+  Busy(config_.timing.irq_exit_ns);
+  return regfile_->UpFull();
+}
+
+bool HybridDriver::PumpOnce() {
+  if (!sw_empty_) {
+    vm::SystemState state = sw_.Run();
+    assert(state != vm::SystemState::kFailed);
+    (void)state;
+    uint64_t steps = sw_.TotalSteps();
+    Busy(static_cast<double>(steps - last_sw_steps_) * config_.timing.sw_instr_ns);
+    last_sw_steps_ = steps;
+
+    if (sw_.WantsToSend(top_out_)) {
+      return true;  // Result available; consumed by RunOperation.
+    }
+    if (sw_.WantsToSend(boundary_down_)) {
+      std::optional<std::vector<int32_t>> msg = sw_.TakeMessage(boundary_down_);
+      assert(msg.has_value());
+      // In the talk protocol the previous send was necessarily consumed
+      // before its reply arrived, so no valid-flag readback is needed.
+      assert(config_.ablate_no_auto_reset || !regfile_->DownPending());
+      for (int i = 0; i < down_words_; ++i) {
+        Busy(config_.timing.mmio_write_ns);
+        SyncRtl();
+        regfile_->WriteDownWord(i, (*msg)[i]);
+      }
+      Busy(config_.timing.mmio_write_ns);
+      SyncRtl();
+      regfile_->SetDownValid();
+      return false;
+    }
+    if (sw_.WantsToRecv(boundary_up_)) {
+      Busy(config_.timing.mmio_write_ns);
+      SyncRtl();
+      regfile_->ArmUp();
+      bool ok = WaitUpMessage();
+      assert(ok && "hardware did not respond");
+      (void)ok;
+      std::vector<int32_t> msg(up_words_);
+      for (int i = 0; i < up_words_; ++i) {
+        Busy(config_.timing.mmio_read_ns);
+        msg[i] = regfile_->ReadUpWord(i);
+      }
+      SyncRtl();
+      regfile_->ConsumeUp();
+      bool delivered = sw_.DeliverMessage(boundary_up_, msg);
+      assert(delivered);
+      (void)delivered;
+      return false;
+    }
+    assert(false && "software stack quiescent with no pending boundary operation");
+    return false;
+  }
+  return true;
+}
+
+bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
+                                std::vector<int32_t>* reply) {
+  if (sw_empty_) {
+    // Whole stack in hardware: the application performs the MMIO itself.
+    Busy(config_.timing.op_setup_ns);
+    assert(config_.ablate_no_auto_reset || !regfile_->DownPending());
+    for (int i = 0; i < down_words_; ++i) {
+      Busy(config_.timing.mmio_write_ns);
+      SyncRtl();
+      regfile_->WriteDownWord(i, request[i]);
+    }
+    Busy(config_.timing.mmio_write_ns);
+    SyncRtl();
+    regfile_->SetDownValid();
+    Busy(config_.timing.mmio_write_ns);
+    SyncRtl();
+    regfile_->ArmUp();
+    if (!WaitUpMessage()) {
+      return false;
+    }
+    reply->resize(up_words_);
+    for (int i = 0; i < up_words_; ++i) {
+      Busy(config_.timing.mmio_read_ns);
+      (*reply)[i] = regfile_->ReadUpWord(i);
+    }
+    SyncRtl();
+    regfile_->ConsumeUp();
+    Busy(config_.timing.op_setup_ns);
+    return true;
+  }
+
+  // Let the top layer return to its request-receive point first.
+  sw_.Run();
+  bool delivered = sw_.DeliverMessage(top_in_, request);
+  assert(delivered && "stack not ready for a new operation");
+  (void)delivered;
+  constexpr int kMaxPumps = 1 << 22;
+  for (int i = 0; i < kMaxPumps; ++i) {
+    if (PumpOnce()) {
+      std::optional<std::vector<int32_t>> result = sw_.TakeMessage(top_out_);
+      assert(result.has_value());
+      *reply = std::move(*result);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HybridDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
+  return ReadFrom(config_.eeprom.address, offset, length, out);
+}
+
+bool HybridDriver::Write(int offset, const std::vector<uint8_t>& data) {
+  return WriteTo(config_.eeprom.address, offset, data);
+}
+
+bool HybridDriver::ReadFrom(int bus_address, int offset, int length,
+                            std::vector<uint8_t>* out) {
+  assert(length >= 1 && length <= 14);
+  std::vector<int32_t> request(19, 0);
+  request[0] = i2c::kCeActRead;
+  request[1] = bus_address;
+  request[2] = offset;
+  request[3] = length;
+  std::vector<int32_t> reply;
+  if (!RunOperation(request, &reply)) {
+    return false;
+  }
+  if (reply[0] != i2c::kCeResOk || reply[1] != length) {
+    return false;
+  }
+  if (out != nullptr) {
+    out->clear();
+    for (int i = 0; i < length; ++i) {
+      out->push_back(static_cast<uint8_t>(reply[2 + i]));
+    }
+  }
+  return true;
+}
+
+bool HybridDriver::WriteTo(int bus_address, int offset, const std::vector<uint8_t>& data) {
+  assert(!data.empty() && data.size() <= 14);
+  std::vector<int32_t> request(19, 0);
+  request[0] = i2c::kCeActWrite;
+  request[1] = bus_address;
+  request[2] = offset;
+  request[3] = static_cast<int32_t>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    request[4 + i] = data[i];
+  }
+  std::vector<int32_t> reply;
+  if (!RunOperation(request, &reply)) {
+    return false;
+  }
+  return reply[0] == i2c::kCeResOk;
+}
+
+DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
+  DriverMetrics metrics;
+  // Warm-up read so the measurement covers steady state.
+  std::vector<uint8_t> data;
+  if (!Read(0, length, &data)) {
+    metrics.functional = false;
+    metrics.note = "warm-up read failed";
+    return metrics;
+  }
+  bus_.ClearSamples();
+  double start_busy = cpu_busy_ns_;
+  double start_time = now_ns();
+  uint64_t start_irqs = irq_count_;
+  for (int i = 0; i < ops; ++i) {
+    if (!Read(0, length, &data)) {
+      metrics.functional = false;
+      metrics.note = "read failed";
+      return metrics;
+    }
+  }
+  metrics.elapsed_ns = now_ns() - start_time;
+  metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
+  metrics.irq_count = irq_count_ - start_irqs;
+  metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  if (config_.split == SplitPoint::kElectrical && config_.interrupt_driven) {
+    // Platform constraint reproduced from the paper (section 5.2): the
+    // interrupt-driven Electrical driver does not function correctly due to
+    // excessive interrupts — one per bus half cycle exceeds what the Linux
+    // UIO interrupt path sustains.
+    metrics.functional = false;
+    metrics.note = "does not function: excessive interrupts (one per half cycle)";
+  }
+  return metrics;
+}
+
+std::vector<const ir::Module*> HybridDriver::HardwareModules() const {
+  std::vector<const ir::Module*> modules;
+  for (const auto& module : hw_modules_) {
+    modules.push_back(&module->module());
+  }
+  return modules;
+}
+
+}  // namespace efeu::driver

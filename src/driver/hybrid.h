@@ -1,0 +1,144 @@
+// The hybrid hardware/software driver runtime (paper sections 3.5 and 5):
+// instantiates the generated controller stack with the software/hardware
+// boundary at a chosen layer interface. Layers above the split run in the
+// software VM on a modeled CPU timeline; layers at/below the split run as
+// clocked FSMs in the RTL simulator; the generated MMIO-AXI Lite register
+// file couples the two, with polling or interrupt-driven waits on the
+// software side. A behavioural 24AA512 EEPROM hangs off the simulated
+// open-drain bus.
+
+#ifndef SRC_DRIVER_HYBRID_H_
+#define SRC_DRIVER_HYBRID_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/timing.h"
+#include "src/ir/compile.h"
+#include "src/rtl/regfile.h"
+#include "src/rtl/rtl_module.h"
+#include "src/rtl/system.h"
+#include "src/sim/bus_adapter.h"
+#include "src/sim/eeprom.h"
+#include "src/sim/i2c_bus.h"
+#include "src/sim/waveform.h"
+#include "src/vm/system.h"
+
+namespace efeu::driver {
+
+// Denoted by the topmost hardware layer, like the paper: Electrical has only
+// the bus adapter in hardware; EepDriver has the whole stack in hardware.
+enum class SplitPoint {
+  kElectrical,
+  kSymbol,
+  kByte,
+  kTransaction,
+  kEepDriver,
+};
+
+const char* SplitPointName(SplitPoint split);
+
+struct HybridConfig {
+  SplitPoint split = SplitPoint::kByte;
+  bool interrupt_driven = false;
+  TimingModel timing;
+  // Modeled EEPROM (the responder on the bus).
+  sim::EepromConfig eeprom;
+  // Additional EEPROMs sharing the bus (distinct addresses) — the
+  // interoperability scenario the paper motivates.
+  std::vector<sim::EepromConfig> extra_eeproms;
+  bool capture_waveform = false;
+  // Ablations (see bench/bench_ablation.cc and DESIGN.md).
+  bool ablate_no_auto_reset = false;
+  bool ablate_fixed_hold_adapter = false;
+};
+
+struct DriverMetrics {
+  bool functional = true;
+  std::string note;
+  sim::FrequencyStats frequency;
+  double cpu_usage = 0;  // busy fraction of one core (0..1)
+  double elapsed_ns = 0;
+  uint64_t irq_count = 0;
+};
+
+class HybridDriver {
+ public:
+  explicit HybridDriver(const HybridConfig& config);
+  ~HybridDriver();
+
+  HybridDriver(const HybridDriver&) = delete;
+  HybridDriver& operator=(const HybridDriver&) = delete;
+
+  // EEPROM operations through the full generated stack. Lengths up to 14
+  // bytes (two offset bytes share the 16-byte transaction payload).
+  bool Read(int offset, int length, std::vector<uint8_t>* out);
+  bool Write(int offset, const std::vector<uint8_t>& data);
+  // Same, addressing a specific device on the bus.
+  bool ReadFrom(int bus_address, int offset, int length, std::vector<uint8_t>* out);
+  bool WriteTo(int bus_address, int offset, const std::vector<uint8_t>& data);
+
+  // Runs `ops` consecutive reads of `length` bytes and reports the measured
+  // SCL frequency, CPU usage and interrupt count (paper sections 5.2/5.3).
+  DriverMetrics MeasureReads(int ops, int length);
+
+  sim::I2cBus& bus() { return bus_; }
+  sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+  sim::Eeprom24aa512& extra_eeprom(int index) { return *extra_eeproms_[index]; }
+  double now_ns() const;
+  double cpu_busy_ns() const { return cpu_busy_ns_; }
+  uint64_t irq_count() const { return irq_count_; }
+
+  // The modules placed in hardware for this split (resource estimation).
+  std::vector<const ir::Module*> HardwareModules() const;
+  // Boundary message sizes in 32-bit words (MMIO register file sizing).
+  int down_words() const { return down_words_; }
+  int up_words() const { return up_words_; }
+  const ir::Compilation& compilation() const { return *compilation_; }
+
+ private:
+  // Advances the RTL domain to the software timeline.
+  void SyncRtl();
+  // Adds busy CPU time (also advances the software clock).
+  void Busy(double ns);
+  // One step of the host event loop; returns true when the top-level result
+  // message became available (stored in result_).
+  bool PumpOnce();
+  // Waits until the register file has an up-message (polling or IRQ).
+  bool WaitUpMessage();
+  // Runs a full operation: sends `request` into the top of the stack and
+  // returns the stack's reply.
+  bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+
+  HybridConfig config_;
+  std::unique_ptr<ir::Compilation> compilation_;
+
+  // RTL side.
+  rtl::RtlSystem rtl_;
+  sim::I2cBus bus_;
+  std::unique_ptr<sim::BusAdapter> adapter_;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom_;
+  std::vector<std::unique_ptr<sim::Eeprom24aa512>> extra_eeproms_;
+  std::unique_ptr<rtl::MmioRegfile> regfile_;
+  std::vector<std::unique_ptr<rtl::RtlModule>> hw_modules_;
+
+  // Software side.
+  vm::System sw_;
+  bool sw_empty_ = false;       // whole stack in hardware
+  vm::PortRef top_in_;          // CWorld -> CEepDriver injection point
+  vm::PortRef top_out_;         // CEepDriver -> CWorld result point
+  vm::PortRef boundary_down_;   // software layer's send into hardware
+  vm::PortRef boundary_up_;     // software layer's receive from hardware
+  uint64_t last_sw_steps_ = 0;
+
+  double sw_time_ns_ = 0;
+  double cpu_busy_ns_ = 0;
+  uint64_t irq_count_ = 0;
+  int down_words_ = 0;
+  int up_words_ = 0;
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_HYBRID_H_

@@ -1,0 +1,50 @@
+// The platform timing model standing in for the paper's Zynq UltraScale+
+// testbed (quad-core Cortex-A53 + 16nm FPGA @ 100 MHz): per-instruction
+// software cost, MMIO access latencies over AXI, GPIO and interrupt
+// overheads. The constants are calibrated so the evaluation reproduces the
+// paper's qualitative crossovers (section 5); EXPERIMENTS.md records the
+// calibration.
+
+#ifndef SRC_DRIVER_TIMING_H_
+#define SRC_DRIVER_TIMING_H_
+
+namespace efeu::driver {
+
+struct TimingModel {
+  // FPGA clock (100 MHz).
+  double clock_ns = 10.0;
+  // Target I2C Fast Mode: 400 kHz SCL -> 1.25 us per half cycle.
+  int half_cycle_ticks = 125;
+
+  // Cortex-A53 executing the generated C: average cost per ESM-level IR
+  // instruction (memory traffic included).
+  double sw_instr_ns = 9.0;
+  // Posted MMIO write / blocking MMIO read over AXI into the PL.
+  double mmio_write_ns = 130.0;
+  double mmio_read_ns = 420.0;
+  // GPIO register access via the Linux gpiod path (bit-banging baseline);
+  // includes the spinlock-polled wait the kernel driver uses.
+  double gpio_write_ns = 400.0;
+  double gpio_read_ns = 300.0;
+  // The i2c-gpio udelay=1 half-cycle delay.
+  double gpio_udelay_ns = 1000.0;
+  // Interrupt path: PL IRQ -> GIC -> kernel -> UIO blocking-read wakeup.
+  double irq_overhead_ns = 5200.0;
+  // Fraction of the interrupt path the core spends busy (the rest is
+  // scheduler latency while the core is available to other work).
+  double irq_busy_fraction = 0.62;
+  // Userspace work to re-arm and return from the wait.
+  double irq_exit_ns = 800.0;
+  // Fixed per-operation application cost (issuing the request, consuming
+  // the result) when the whole stack is in hardware.
+  double op_setup_ns = 400.0;
+
+  // Baseline: Xilinx AXI IIC IP.
+  double xilinx_setup_writes = 8;      // MMIO writes per transaction setup
+  double xilinx_byte_irq_ns = 3400.0;  // FIFO-service interrupt handling per byte
+  int xilinx_interbyte_gap_ticks = 55; // engine stall per byte awaiting FIFO service
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_TIMING_H_

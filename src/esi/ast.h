@@ -1,0 +1,61 @@
+// AST for ESI files: layer declarations, enums, and interfaces made of two
+// directed channels (paper Figure 4).
+
+#ifndef SRC_ESI_AST_H_
+#define SRC_ESI_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/esi/type.h"
+#include "src/support/source_location.h"
+
+namespace efeu::esi {
+
+struct LayerDecl {
+  std::string name;
+  SourceLocation location;
+};
+
+struct EnumDecl {
+  std::string name;
+  std::vector<std::string> members;
+  SourceLocation location;
+};
+
+struct FieldDecl {
+  Type type;
+  std::string name;
+  SourceLocation location;
+};
+
+// In `interface <A, B>`, `=>` declares the channel A -> B and `<=` the channel
+// B -> A.
+enum class ChannelDirection {
+  kFirstToSecond,  // =>
+  kSecondToFirst,  // <=
+};
+
+struct ChannelDecl {
+  ChannelDirection direction = ChannelDirection::kFirstToSecond;
+  std::vector<FieldDecl> fields;
+  SourceLocation location;
+};
+
+struct InterfaceDecl {
+  std::string first;
+  std::string second;
+  std::vector<ChannelDecl> channels;
+  SourceLocation location;
+};
+
+struct EsiFile {
+  std::vector<LayerDecl> layers;
+  std::vector<EnumDecl> enums;
+  std::vector<InterfaceDecl> interfaces;
+};
+
+}  // namespace efeu::esi
+
+#endif  // SRC_ESI_AST_H_

@@ -1,0 +1,206 @@
+#include "src/esi/lexer.h"
+
+#include <cctype>
+
+namespace efeu::esi {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of file";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kKwLayer:
+      return "'layer'";
+    case TokenKind::kKwEnum:
+      return "'enum'";
+    case TokenKind::kKwInterface:
+      return "'interface'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLAngle:
+      return "'<'";
+    case TokenKind::kRAngle:
+      return "'>'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kArrowTo:
+      return "'=>'";
+    case TokenKind::kArrowFrom:
+      return "'<='";
+    case TokenKind::kError:
+      return "invalid token";
+  }
+  return "unknown";
+}
+
+char Lexer::Peek(size_t ahead) const {
+  std::string_view text = buffer_.text();
+  return pos_ + ahead < text.size() ? text[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = Peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::AtEnd() const { return pos_ >= buffer_.text().size(); }
+
+SourceLocation Lexer::Here() const {
+  return SourceLocation{line_, column_, static_cast<uint32_t>(pos_)};
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      SourceLocation start = Here();
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+        Advance();
+      }
+      if (AtEnd()) {
+        diag_.Error(buffer_, start, "unterminated block comment");
+        return;
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.location = Here();
+  if (AtEnd()) {
+    token.kind = TokenKind::kEof;
+    return token;
+  }
+  char c = Peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      text += Advance();
+    }
+    token.text = text;
+    if (text == "layer") {
+      token.kind = TokenKind::kKwLayer;
+    } else if (text == "enum") {
+      token.kind = TokenKind::kKwEnum;
+    } else if (text == "interface") {
+      token.kind = TokenKind::kKwInterface;
+    } else {
+      token.kind = TokenKind::kIdentifier;
+    }
+    return token;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    int64_t value = 0;
+    std::string text;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      char digit = Advance();
+      text += digit;
+      value = value * 10 + (digit - '0');
+    }
+    token.kind = TokenKind::kIntLiteral;
+    token.text = text;
+    token.int_value = value;
+    return token;
+  }
+  switch (c) {
+    case '{':
+      Advance();
+      token.kind = TokenKind::kLBrace;
+      return token;
+    case '}':
+      Advance();
+      token.kind = TokenKind::kRBrace;
+      return token;
+    case '[':
+      Advance();
+      token.kind = TokenKind::kLBracket;
+      return token;
+    case ']':
+      Advance();
+      token.kind = TokenKind::kRBracket;
+      return token;
+    case ',':
+      Advance();
+      token.kind = TokenKind::kComma;
+      return token;
+    case ';':
+      Advance();
+      token.kind = TokenKind::kSemicolon;
+      return token;
+    case '<':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kArrowFrom;
+      } else {
+        token.kind = TokenKind::kLAngle;
+      }
+      return token;
+    case '>':
+      Advance();
+      token.kind = TokenKind::kRAngle;
+      return token;
+    case '=':
+      Advance();
+      if (Peek() == '>') {
+        Advance();
+        token.kind = TokenKind::kArrowTo;
+        return token;
+      }
+      break;
+    default:
+      break;
+  }
+  diag_.Error(buffer_, token.location, std::string("unexpected character '") + c + "'");
+  Advance();
+  token.kind = TokenKind::kError;
+  token.text = std::string(1, c);
+  return token;
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = Next();
+    bool done = token.Is(TokenKind::kEof);
+    tokens.push_back(std::move(token));
+    if (done) {
+      break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace efeu::esi

@@ -1,0 +1,39 @@
+// Hand-written lexer for ESI. Skips // and /* */ comments, tracks source
+// locations for diagnostics.
+
+#ifndef SRC_ESI_LEXER_H_
+#define SRC_ESI_LEXER_H_
+
+#include <vector>
+
+#include "src/esi/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esi {
+
+class Lexer {
+ public:
+  Lexer(const SourceBuffer& buffer, DiagnosticEngine& diag) : buffer_(buffer), diag_(diag) {}
+
+  // Tokenizes the whole buffer. The returned vector always ends with kEof.
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const;
+  void SkipWhitespaceAndComments();
+  SourceLocation Here() const;
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diag_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace efeu::esi
+
+#endif  // SRC_ESI_LEXER_H_

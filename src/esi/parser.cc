@@ -1,0 +1,249 @@
+#include "src/esi/parser.h"
+
+#include <string>
+
+#include "src/esi/lexer.h"
+
+namespace efeu::esi {
+
+Parser::Parser(const SourceBuffer& buffer, DiagnosticEngine& diag)
+    : buffer_(buffer), diag_(diag) {
+  Lexer lexer(buffer, diag);
+  tokens_ = lexer.Tokenize();
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = index_ + ahead;
+  if (i >= tokens_.size()) {
+    i = tokens_.size() - 1;  // The trailing kEof.
+  }
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& token = tokens_[index_];
+  if (index_ + 1 < tokens_.size()) {
+    ++index_;
+  }
+  return token;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Peek().Is(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::Expect(TokenKind kind, const char* context) {
+  if (Match(kind)) {
+    return true;
+  }
+  diag_.Error(buffer_, Peek().location,
+              std::string("expected ") + std::string(TokenKindName(kind)) + " " + context +
+                  ", found " + std::string(TokenKindName(Peek().kind)));
+  return false;
+}
+
+std::optional<EsiFile> Parser::ParseFile() {
+  EsiFile file;
+  while (!Peek().Is(TokenKind::kEof)) {
+    bool ok = false;
+    switch (Peek().kind) {
+      case TokenKind::kKwLayer:
+        ok = ParseLayer(file);
+        break;
+      case TokenKind::kKwEnum:
+        ok = ParseEnum(file);
+        break;
+      case TokenKind::kKwInterface:
+        ok = ParseInterface(file);
+        break;
+      default:
+        diag_.Error(buffer_, Peek().location,
+                    "expected 'layer', 'enum' or 'interface' declaration, found " +
+                        std::string(TokenKindName(Peek().kind)));
+        break;
+    }
+    if (!ok) {
+      return std::nullopt;
+    }
+  }
+  return file;
+}
+
+bool Parser::ParseLayer(EsiFile& file) {
+  SourceLocation loc = Peek().location;
+  Advance();  // 'layer'
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected layer name");
+    return false;
+  }
+  LayerDecl layer;
+  layer.name = Advance().text;
+  layer.location = loc;
+  file.layers.push_back(std::move(layer));
+  return Expect(TokenKind::kSemicolon, "after layer declaration");
+}
+
+bool Parser::ParseEnum(EsiFile& file) {
+  EnumDecl decl;
+  decl.location = Peek().location;
+  Advance();  // 'enum'
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected enum name");
+    return false;
+  }
+  decl.name = Advance().text;
+  if (!Expect(TokenKind::kLBrace, "after enum name")) {
+    return false;
+  }
+  while (!Peek().Is(TokenKind::kRBrace)) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      diag_.Error(buffer_, Peek().location, "expected enum member name");
+      return false;
+    }
+    decl.members.push_back(Advance().text);
+    if (!Match(TokenKind::kComma)) {
+      break;
+    }
+  }
+  if (!Expect(TokenKind::kRBrace, "to close enum")) {
+    return false;
+  }
+  Match(TokenKind::kSemicolon);  // Trailing semicolon is optional.
+  if (decl.members.empty()) {
+    diag_.Error(buffer_, decl.location, "enum '" + decl.name + "' has no members");
+    return false;
+  }
+  file.enums.push_back(std::move(decl));
+  return true;
+}
+
+bool Parser::ParseInterface(EsiFile& file) {
+  InterfaceDecl decl;
+  decl.location = Peek().location;
+  Advance();  // 'interface'
+  if (!Expect(TokenKind::kLAngle, "after 'interface'")) {
+    return false;
+  }
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected first layer name in interface");
+    return false;
+  }
+  decl.first = Advance().text;
+  if (!Expect(TokenKind::kComma, "between interface layer names")) {
+    return false;
+  }
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected second layer name in interface");
+    return false;
+  }
+  decl.second = Advance().text;
+  if (!Expect(TokenKind::kRAngle, "after interface layer names") ||
+      !Expect(TokenKind::kLBrace, "to open interface body")) {
+    return false;
+  }
+  while (!Peek().Is(TokenKind::kRBrace)) {
+    ChannelDecl channel;
+    if (!ParseChannel(channel)) {
+      return false;
+    }
+    decl.channels.push_back(std::move(channel));
+    if (!Match(TokenKind::kComma)) {
+      break;
+    }
+  }
+  if (!Expect(TokenKind::kRBrace, "to close interface")) {
+    return false;
+  }
+  Match(TokenKind::kSemicolon);
+  file.interfaces.push_back(std::move(decl));
+  return true;
+}
+
+bool Parser::ParseChannel(ChannelDecl& channel) {
+  channel.location = Peek().location;
+  if (Match(TokenKind::kArrowTo)) {
+    channel.direction = ChannelDirection::kFirstToSecond;
+  } else if (Match(TokenKind::kArrowFrom)) {
+    channel.direction = ChannelDirection::kSecondToFirst;
+  } else {
+    diag_.Error(buffer_, Peek().location, "expected '=>' or '<=' to start a channel");
+    return false;
+  }
+  if (!Expect(TokenKind::kLBrace, "to open channel body")) {
+    return false;
+  }
+  while (!Peek().Is(TokenKind::kRBrace)) {
+    FieldDecl field;
+    if (!ParseField(field)) {
+      return false;
+    }
+    channel.fields.push_back(std::move(field));
+  }
+  return Expect(TokenKind::kRBrace, "to close channel");
+}
+
+bool Parser::ParseField(FieldDecl& field) {
+  field.location = Peek().location;
+  std::optional<Type> type = ParseType();
+  if (!type.has_value()) {
+    return false;
+  }
+  field.type = *type;
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected field name");
+    return false;
+  }
+  field.name = Advance().text;
+  if (Match(TokenKind::kLBracket)) {
+    if (!Peek().Is(TokenKind::kIntLiteral)) {
+      diag_.Error(buffer_, Peek().location, "expected array size");
+      return false;
+    }
+    int64_t size = Advance().int_value;
+    if (size < 1 || size > 1024) {
+      diag_.Error(buffer_, field.location, "array size must be between 1 and 1024");
+      return false;
+    }
+    field.type.array_size = static_cast<int>(size);
+    if (!Expect(TokenKind::kRBracket, "after array size")) {
+      return false;
+    }
+  }
+  return Expect(TokenKind::kSemicolon, "after field declaration");
+}
+
+std::optional<Type> Parser::ParseType() {
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected type name");
+    return std::nullopt;
+  }
+  std::string name = Advance().text;
+  if (name == "bit") {
+    return Type::Bit();
+  }
+  if (name == "bool") {
+    return Type::Bool();
+  }
+  if (name == "u8") {
+    return Type::U8();
+  }
+  if (name == "i16") {
+    return Type::I16();
+  }
+  if (name == "i32") {
+    return Type::I32();
+  }
+  // Anything else is resolved as an enum reference during semantic analysis.
+  return Type::Enum(name);
+}
+
+std::optional<EsiFile> ParseEsi(const SourceBuffer& buffer, DiagnosticEngine& diag) {
+  Parser parser(buffer, diag);
+  return parser.ParseFile();
+}
+
+}  // namespace efeu::esi

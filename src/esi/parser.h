@@ -1,0 +1,46 @@
+// Recursive-descent parser for ESI.
+
+#ifndef SRC_ESI_PARSER_H_
+#define SRC_ESI_PARSER_H_
+
+#include <optional>
+
+#include "src/esi/ast.h"
+#include "src/esi/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esi {
+
+class Parser {
+ public:
+  Parser(const SourceBuffer& buffer, DiagnosticEngine& diag);
+
+  // Parses the whole buffer. Returns nullopt after reporting errors.
+  std::optional<EsiFile> ParseFile();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  bool Expect(TokenKind kind, const char* context);
+
+  bool ParseLayer(EsiFile& file);
+  bool ParseEnum(EsiFile& file);
+  bool ParseInterface(EsiFile& file);
+  bool ParseChannel(ChannelDecl& channel);
+  bool ParseField(FieldDecl& field);
+  std::optional<Type> ParseType();
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diag_;
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+// Convenience wrapper: lex + parse.
+std::optional<EsiFile> ParseEsi(const SourceBuffer& buffer, DiagnosticEngine& diag);
+
+}  // namespace efeu::esi
+
+#endif  // SRC_ESI_PARSER_H_

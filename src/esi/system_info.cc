@@ -1,0 +1,225 @@
+#include "src/esi/system_info.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/reserved_words.h"
+
+namespace efeu::esi {
+
+int EnumInfo::ValueOf(std::string_view member) const {
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == member) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const FieldInfo* ChannelInfo::FindField(std::string_view name) const {
+  for (const FieldInfo& field : fields) {
+    if (field.name == name) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Lays out the channel's fields into flat int32 slots and validates them.
+bool BuildChannel(const SystemInfo& info, const ChannelDecl& decl, std::string from,
+                  std::string to, const SourceBuffer& buffer, DiagnosticEngine& diag,
+                  ChannelInfo& out) {
+  out.from = std::move(from);
+  out.to = std::move(to);
+  out.flat_size = 0;
+  std::set<std::string> seen;
+  for (const FieldDecl& field : decl.fields) {
+    if (!seen.insert(field.name).second) {
+      diag.Error(buffer, field.location, "duplicate field name '" + field.name + "'");
+      return false;
+    }
+    if (IsPromelaReservedWord(field.name)) {
+      diag.Error(buffer, field.location,
+                 "field name '" + field.name + "' is a reserved word");
+      return false;
+    }
+    Type type = field.type;
+    if (type.IsEnum() && info.FindEnum(type.enum_name) == nullptr) {
+      diag.Error(buffer, field.location, "unknown type '" + type.enum_name + "'");
+      return false;
+    }
+    FieldInfo field_info;
+    field_info.name = field.name;
+    field_info.type = type;
+    field_info.flat_offset = out.flat_size;
+    out.flat_size += type.FlatSize();
+    out.fields.push_back(std::move(field_info));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<SystemInfo> SystemInfo::Build(const EsiFile& file, const SourceBuffer& buffer,
+                                            DiagnosticEngine& diag) {
+  SystemInfo info;
+
+  // Layers.
+  for (const LayerDecl& layer : file.layers) {
+    if (info.HasLayer(layer.name)) {
+      diag.Error(buffer, layer.location, "duplicate layer '" + layer.name + "'");
+      return std::nullopt;
+    }
+    if (IsPromelaReservedWord(layer.name)) {
+      diag.Error(buffer, layer.location, "layer name '" + layer.name + "' is a reserved word");
+      return std::nullopt;
+    }
+    info.layers_.push_back(layer.name);
+  }
+
+  // Enums; member names are globally unique (they become Promela mtype
+  // constants, which share one namespace).
+  std::set<std::string> all_members;
+  for (const EnumDecl& decl : file.enums) {
+    if (info.FindEnum(decl.name) != nullptr) {
+      diag.Error(buffer, decl.location, "duplicate enum '" + decl.name + "'");
+      return std::nullopt;
+    }
+    EnumInfo enum_info;
+    enum_info.name = decl.name;
+    for (const std::string& member : decl.members) {
+      if (!all_members.insert(member).second) {
+        diag.Error(buffer, decl.location,
+                   "enum member '" + member + "' already defined in another enum");
+        return std::nullopt;
+      }
+      if (IsPromelaReservedWord(member)) {
+        diag.Error(buffer, decl.location, "enum member '" + member + "' is a reserved word");
+        return std::nullopt;
+      }
+      enum_info.members.push_back(member);
+    }
+    info.enums_.push_back(std::move(enum_info));
+  }
+
+  // Interfaces.
+  for (const InterfaceDecl& decl : file.interfaces) {
+    if (!info.HasLayer(decl.first)) {
+      diag.Error(buffer, decl.location, "interface references undeclared layer '" + decl.first + "'");
+      return std::nullopt;
+    }
+    if (!info.HasLayer(decl.second)) {
+      diag.Error(buffer, decl.location,
+                 "interface references undeclared layer '" + decl.second + "'");
+      return std::nullopt;
+    }
+    if (decl.first == decl.second) {
+      diag.Error(buffer, decl.location, "interface endpoints must be distinct layers");
+      return std::nullopt;
+    }
+    if (info.FindInterface(decl.first, decl.second) != nullptr) {
+      diag.Error(buffer, decl.location,
+                 "duplicate interface between '" + decl.first + "' and '" + decl.second + "'");
+      return std::nullopt;
+    }
+    InterfaceInfo iface;
+    iface.first = decl.first;
+    iface.second = decl.second;
+    for (const ChannelDecl& channel : decl.channels) {
+      ChannelInfo channel_info;
+      bool is_forward = channel.direction == ChannelDirection::kFirstToSecond;
+      std::string from = is_forward ? decl.first : decl.second;
+      std::string to = is_forward ? decl.second : decl.first;
+      if (!BuildChannel(info, channel, from, to, buffer, diag, channel_info)) {
+        return std::nullopt;
+      }
+      std::optional<ChannelInfo>& slot = is_forward ? iface.to_second : iface.to_first;
+      if (slot.has_value()) {
+        diag.Error(buffer, channel.location,
+                   "interface declares two channels in the same direction");
+        return std::nullopt;
+      }
+      slot = std::move(channel_info);
+    }
+    if (!iface.to_second.has_value() && !iface.to_first.has_value()) {
+      diag.Error(buffer, decl.location, "interface declares no channels");
+      return std::nullopt;
+    }
+    info.interfaces_.push_back(std::move(iface));
+  }
+
+  return info;
+}
+
+bool SystemInfo::HasLayer(std::string_view name) const {
+  return std::find(layers_.begin(), layers_.end(), name) != layers_.end();
+}
+
+const EnumInfo* SystemInfo::FindEnum(std::string_view name) const {
+  for (const EnumInfo& info : enums_) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+const EnumInfo* SystemInfo::FindEnumByMember(std::string_view member, int* value) const {
+  for (const EnumInfo& info : enums_) {
+    int v = info.ValueOf(member);
+    if (v >= 0) {
+      if (value != nullptr) {
+        *value = v;
+      }
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+const InterfaceInfo* SystemInfo::FindInterface(std::string_view a, std::string_view b) const {
+  for (const InterfaceInfo& iface : interfaces_) {
+    if (iface.Connects(a, b)) {
+      return &iface;
+    }
+  }
+  return nullptr;
+}
+
+const ChannelInfo* SystemInfo::FindChannel(std::string_view from, std::string_view to) const {
+  const InterfaceInfo* iface = FindInterface(from, to);
+  if (iface == nullptr) {
+    return nullptr;
+  }
+  if (iface->first == from) {
+    return iface->to_second.has_value() ? &*iface->to_second : nullptr;
+  }
+  return iface->to_first.has_value() ? &*iface->to_first : nullptr;
+}
+
+const ChannelInfo* SystemInfo::FindChannelByStructName(std::string_view struct_name) const {
+  for (const InterfaceInfo& iface : interfaces_) {
+    for (const std::optional<ChannelInfo>* slot : {&iface.to_second, &iface.to_first}) {
+      if (slot->has_value() && (*slot)->MessageStructName() == struct_name) {
+        return &**slot;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SystemInfo::Neighbors(std::string_view layer) const {
+  std::vector<std::string> result;
+  for (const InterfaceInfo& iface : interfaces_) {
+    if (iface.first == layer) {
+      result.push_back(iface.second);
+    } else if (iface.second == layer) {
+      result.push_back(iface.first);
+    }
+  }
+  return result;
+}
+
+}  // namespace efeu::esi

@@ -1,0 +1,98 @@
+// Semantic model of an ESI specification (the "Efeu System Information"):
+// layers, enums, interfaces and directed channels. This is the registry every
+// later stage consults — the ESM type checker to resolve talk/read stubs and
+// interface struct types, the backends to lay out messages and MMIO register
+// maps, and the runtime to wire processes together.
+
+#ifndef SRC_ESI_SYSTEM_INFO_H_
+#define SRC_ESI_SYSTEM_INFO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/esi/ast.h"
+#include "src/esi/type.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esi {
+
+struct EnumInfo {
+  std::string name;
+  std::vector<std::string> members;
+
+  // Returns the member's ordinal value, or -1 if absent.
+  int ValueOf(std::string_view member) const;
+};
+
+struct FieldInfo {
+  std::string name;
+  Type type;
+  // Offset of the first int32 slot of this field within the flattened message.
+  int flat_offset = 0;
+};
+
+// One direction of an interface: a message type carried from layer `from` to
+// layer `to`.
+struct ChannelInfo {
+  std::string from;
+  std::string to;
+  std::vector<FieldInfo> fields;
+  // Total number of int32 slots in a flattened message.
+  int flat_size = 0;
+
+  // Name of the generated struct type visible in ESM, e.g. "CEepDriverToCTransaction".
+  std::string MessageStructName() const { return from + "To" + to; }
+
+  const FieldInfo* FindField(std::string_view name) const;
+};
+
+struct InterfaceInfo {
+  std::string first;
+  std::string second;
+  // Channel first -> second (declared with "=>"); may be absent for one-way
+  // interfaces.
+  std::optional<ChannelInfo> to_second;
+  // Channel second -> first (declared with "<=").
+  std::optional<ChannelInfo> to_first;
+
+  bool Connects(std::string_view a, std::string_view b) const {
+    return (first == a && second == b) || (first == b && second == a);
+  }
+};
+
+class SystemInfo {
+ public:
+  // Runs semantic analysis over a parsed file. Returns nullopt (with
+  // diagnostics) on error.
+  static std::optional<SystemInfo> Build(const EsiFile& file, const SourceBuffer& buffer,
+                                         DiagnosticEngine& diag);
+
+  const std::vector<std::string>& layers() const { return layers_; }
+  const std::vector<EnumInfo>& enums() const { return enums_; }
+  const std::vector<InterfaceInfo>& interfaces() const { return interfaces_; }
+
+  bool HasLayer(std::string_view name) const;
+  const EnumInfo* FindEnum(std::string_view name) const;
+  // Looks a member name up across all enums (member names are globally unique,
+  // like Promela mtype constants). Sets *value to the ordinal when found.
+  const EnumInfo* FindEnumByMember(std::string_view member, int* value) const;
+  const InterfaceInfo* FindInterface(std::string_view a, std::string_view b) const;
+  // Directed lookup: the channel carrying messages from `from` to `to`.
+  const ChannelInfo* FindChannel(std::string_view from, std::string_view to) const;
+  // Finds the channel whose generated struct name is `struct_name`.
+  const ChannelInfo* FindChannelByStructName(std::string_view struct_name) const;
+
+  // All layers adjacent to `layer` through some interface.
+  std::vector<std::string> Neighbors(std::string_view layer) const;
+
+ private:
+  std::vector<std::string> layers_;
+  std::vector<EnumInfo> enums_;
+  std::vector<InterfaceInfo> interfaces_;
+};
+
+}  // namespace efeu::esi
+
+#endif  // SRC_ESI_SYSTEM_INFO_H_

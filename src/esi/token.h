@@ -1,0 +1,48 @@
+// Tokens of the ESI interface-description language.
+
+#ifndef SRC_ESI_TOKEN_H_
+#define SRC_ESI_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/support/source_location.h"
+
+namespace efeu::esi {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  // Keywords.
+  kKwLayer,
+  kKwEnum,
+  kKwInterface,
+  // Punctuation.
+  kLBrace,    // {
+  kRBrace,    // }
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLAngle,    // <
+  kRAngle,    // >
+  kComma,
+  kSemicolon,
+  kArrowTo,    // =>  (channel first -> second)
+  kArrowFrom,  // <=  (channel second -> first)
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  SourceLocation location;
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace efeu::esi
+
+#endif  // SRC_ESI_TOKEN_H_

@@ -1,0 +1,260 @@
+// AST for ESM. Nodes carry slots that semantic analysis fills in (types,
+// resolved variables, enum values, talk/read channel bindings) so that
+// lowering to IR is a single annotated-tree walk.
+
+#ifndef SRC_ESM_AST_H_
+#define SRC_ESM_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+#include "src/esi/type.h"
+#include "src/support/source_location.h"
+
+namespace efeu::esm {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kIntLiteral,
+  kVarRef,       // possibly resolved to an enum constant by sema
+  kIndex,        // base[index]
+  kMember,       // base.field
+  kUnary,
+  kBinary,
+  kAssign,
+  kCall,         // talk/read stubs and the nondet() builtin
+};
+
+enum class UnaryOp { kPlus, kNegate, kBitNot, kLogicalNot };
+
+enum class BinaryOp {
+  kMul,
+  kDiv,
+  kMod,
+  kAdd,
+  kSub,
+  kShl,
+  kShr,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kNe,
+  kBitAnd,
+  kBitXor,
+  kBitOr,
+  kLogicalAnd,
+  kLogicalOr,
+};
+
+// What a VarRef resolved to.
+enum class RefKind {
+  kUnresolved,
+  kLocal,      // index into the layer's variable table
+  kEnumConst,  // constant with value `enum_value`
+};
+
+// What a Call resolved to.
+enum class CallKind {
+  kUnresolved,
+  kTalk,    // send on out_channel, then receive on in_channel
+  kRead,    // receive on in_channel
+  kPost,    // send on out_channel without waiting for a reply (verifier glue
+            // only; corresponds to a bare Promela channel send)
+  kNondet,  // nondeterministic choice 0 .. (arg-1); verifier specs only
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind;
+  SourceLocation location;
+
+  // Filled by sema. For struct-typed expressions `struct_channel` is set and
+  // `type` is meaningless; otherwise `type` holds the scalar/array type.
+  Type type;
+  const esi::ChannelInfo* struct_channel = nullptr;
+
+  bool IsStruct() const { return struct_channel != nullptr; }
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLiteralExpr : Expr {
+  IntLiteralExpr() : Expr(ExprKind::kIntLiteral) {}
+  int64_t value = 0;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr() : Expr(ExprKind::kVarRef) {}
+  std::string name;
+  // Sema results:
+  RefKind ref_kind = RefKind::kUnresolved;
+  int var_index = -1;
+  int enum_value = 0;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr() : Expr(ExprKind::kIndex) {}
+  ExprPtr base;
+  ExprPtr index;
+};
+
+struct MemberExpr : Expr {
+  MemberExpr() : Expr(ExprKind::kMember) {}
+  ExprPtr base;
+  std::string field;
+  // Sema result: the field inside the base's channel struct.
+  const esi::FieldInfo* field_info = nullptr;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr() : Expr(ExprKind::kUnary) {}
+  UnaryOp op = UnaryOp::kPlus;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(ExprKind::kBinary) {}
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct AssignExpr : Expr {
+  AssignExpr() : Expr(ExprKind::kAssign) {}
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct CallExpr : Expr {
+  CallExpr() : Expr(ExprKind::kCall) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  // Sema results:
+  CallKind call_kind = CallKind::kUnresolved;
+  // For talk: channel this->other; null for read.
+  const esi::ChannelInfo* out_channel = nullptr;
+  // Channel other->this whose message struct is the call's result type.
+  const esi::ChannelInfo* in_channel = nullptr;
+  // The peer layer name.
+  std::string peer;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kDecl,
+  kExpr,
+  kIf,
+  kWhile,
+  kGoto,
+  kLabel,
+  kAssert,
+  kBlock,
+  kEmpty,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+
+  StmtKind kind;
+  SourceLocation location;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct DeclStmt : Stmt {
+  DeclStmt() : Stmt(StmtKind::kDecl) {}
+  // The declared type: a scalar/array type, or an interface struct when
+  // `type_name` resolves to a channel's message struct.
+  std::string type_name;  // as written; empty for builtin scalar keywords
+  Type type;
+  std::string name;
+  int array_size = 0;  // > 0 when declared as name[N]
+  // Sema result: index into the layer's variable table.
+  int var_index = -1;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt() : Stmt(StmtKind::kExpr) {}
+  ExprPtr expr;
+};
+
+struct IfStmt : Stmt {
+  IfStmt() : Stmt(StmtKind::kIf) {}
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt() : Stmt(StmtKind::kWhile) {}
+  ExprPtr condition;
+  StmtPtr body;
+};
+
+struct GotoStmt : Stmt {
+  GotoStmt() : Stmt(StmtKind::kGoto) {}
+  std::string label;
+};
+
+struct LabelStmt : Stmt {
+  LabelStmt() : Stmt(StmtKind::kLabel) {}
+  std::string name;
+  // Promela conventions: labels starting with "end" mark valid blocking
+  // points, labels starting with "progress" mark progress for non-progress-
+  // cycle (livelock) detection.
+  bool IsEndLabel() const { return name.rfind("end", 0) == 0; }
+  bool IsProgressLabel() const { return name.rfind("progress", 0) == 0; }
+};
+
+struct AssertStmt : Stmt {
+  AssertStmt() : Stmt(StmtKind::kAssert) {}
+  ExprPtr condition;
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt() : Stmt(StmtKind::kBlock) {}
+  std::vector<StmtPtr> statements;
+};
+
+struct EmptyStmt : Stmt {
+  EmptyStmt() : Stmt(StmtKind::kEmpty) {}
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+struct LocalEnumDecl {
+  std::string name;
+  std::vector<std::string> members;
+  SourceLocation location;
+};
+
+// One layer definition: an indefinitely-running function without return.
+struct LayerDef {
+  std::string name;
+  std::unique_ptr<BlockStmt> body;
+  SourceLocation location;
+};
+
+struct EsmFile {
+  std::vector<LocalEnumDecl> enums;
+  std::vector<LayerDef> layers;
+};
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_AST_H_

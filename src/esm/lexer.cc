@@ -1,0 +1,339 @@
+#include "src/esm/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace efeu::esm {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of file";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kKwVoid:
+      return "'void'";
+    case TokenKind::kKwEnum:
+      return "'enum'";
+    case TokenKind::kKwIf:
+      return "'if'";
+    case TokenKind::kKwElse:
+      return "'else'";
+    case TokenKind::kKwWhile:
+      return "'while'";
+    case TokenKind::kKwGoto:
+      return "'goto'";
+    case TokenKind::kKwBit:
+      return "'bit'";
+    case TokenKind::kKwBool:
+      return "'bool'";
+    case TokenKind::kKwByte:
+      return "'byte'";
+    case TokenKind::kKwShort:
+      return "'short'";
+    case TokenKind::kKwInt:
+      return "'int'";
+    case TokenKind::kKwAssert:
+      return "'assert'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kTilde:
+      return "'~'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kAmpAmp:
+      return "'&&'";
+    case TokenKind::kPipePipe:
+      return "'||'";
+    case TokenKind::kShl:
+      return "'<<'";
+    case TokenKind::kShr:
+      return "'>>'";
+    case TokenKind::kError:
+      return "invalid token";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* keywords = new std::unordered_map<std::string_view, TokenKind>{
+      {"void", TokenKind::kKwVoid},     {"enum", TokenKind::kKwEnum},
+      {"if", TokenKind::kKwIf},         {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},   {"goto", TokenKind::kKwGoto},
+      {"bit", TokenKind::kKwBit},       {"bool", TokenKind::kKwBool},
+      {"byte", TokenKind::kKwByte},     {"short", TokenKind::kKwShort},
+      {"int", TokenKind::kKwInt},       {"assert", TokenKind::kKwAssert},
+      {"true", TokenKind::kKwTrue},     {"false", TokenKind::kKwFalse},
+  };
+  return *keywords;
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  std::string_view text = buffer_.text();
+  return pos_ + ahead < text.size() ? text[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = Peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::AtEnd() const { return pos_ >= buffer_.text().size(); }
+
+SourceLocation Lexer::Here() const {
+  return SourceLocation{line_, column_, static_cast<uint32_t>(pos_)};
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      SourceLocation start = Here();
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+        Advance();
+      }
+      if (AtEnd()) {
+        diag_.Error(buffer_, start, "unterminated block comment");
+        return;
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.location = Here();
+  if (AtEnd()) {
+    return token;
+  }
+  char c = Peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      text += Advance();
+    }
+    auto it = Keywords().find(text);
+    token.kind = it != Keywords().end() ? it->second : TokenKind::kIdentifier;
+    token.text = std::move(text);
+    return token;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    int64_t value = 0;
+    std::string text;
+    if (c == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      text += Advance();
+      text += Advance();
+      while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        char digit = Advance();
+        text += digit;
+        int nibble = 0;
+        if (digit >= '0' && digit <= '9') {
+          nibble = digit - '0';
+        } else {
+          nibble = 10 + (std::tolower(digit) - 'a');
+        }
+        value = value * 16 + nibble;
+      }
+      if (text.size() == 2) {
+        diag_.Error(buffer_, token.location, "expected hex digits after '0x'");
+        token.kind = TokenKind::kError;
+        return token;
+      }
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        char digit = Advance();
+        text += digit;
+        value = value * 10 + (digit - '0');
+      }
+    }
+    token.kind = TokenKind::kIntLiteral;
+    token.text = std::move(text);
+    token.int_value = value;
+    return token;
+  }
+
+  auto single = [&](TokenKind kind) {
+    Advance();
+    token.kind = kind;
+    return token;
+  };
+  auto pair = [&](char second, TokenKind two, TokenKind one) {
+    Advance();
+    if (Peek() == second) {
+      Advance();
+      token.kind = two;
+    } else {
+      token.kind = one;
+    }
+    return token;
+  };
+
+  switch (c) {
+    case '(':
+      return single(TokenKind::kLParen);
+    case ')':
+      return single(TokenKind::kRParen);
+    case '{':
+      return single(TokenKind::kLBrace);
+    case '}':
+      return single(TokenKind::kRBrace);
+    case '[':
+      return single(TokenKind::kLBracket);
+    case ']':
+      return single(TokenKind::kRBracket);
+    case ';':
+      return single(TokenKind::kSemicolon);
+    case ',':
+      return single(TokenKind::kComma);
+    case ':':
+      return single(TokenKind::kColon);
+    case '.':
+      return single(TokenKind::kDot);
+    case '+':
+      return single(TokenKind::kPlus);
+    case '-':
+      return single(TokenKind::kMinus);
+    case '*':
+      return single(TokenKind::kStar);
+    case '/':
+      return single(TokenKind::kSlash);
+    case '%':
+      return single(TokenKind::kPercent);
+    case '~':
+      return single(TokenKind::kTilde);
+    case '^':
+      return single(TokenKind::kCaret);
+    case '=':
+      return pair('=', TokenKind::kEq, TokenKind::kAssign);
+    case '!':
+      return pair('=', TokenKind::kNe, TokenKind::kBang);
+    case '&':
+      return pair('&', TokenKind::kAmpAmp, TokenKind::kAmp);
+    case '|':
+      return pair('|', TokenKind::kPipePipe, TokenKind::kPipe);
+    case '<':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kLe;
+      } else if (Peek() == '<') {
+        Advance();
+        token.kind = TokenKind::kShl;
+      } else {
+        token.kind = TokenKind::kLt;
+      }
+      return token;
+    case '>':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kGe;
+      } else if (Peek() == '>') {
+        Advance();
+        token.kind = TokenKind::kShr;
+      } else {
+        token.kind = TokenKind::kGt;
+      }
+      return token;
+    default:
+      break;
+  }
+  diag_.Error(buffer_, token.location, std::string("unexpected character '") + c + "'");
+  Advance();
+  token.kind = TokenKind::kError;
+  token.text = std::string(1, c);
+  return token;
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = Next();
+    bool done = token.Is(TokenKind::kEof);
+    tokens.push_back(std::move(token));
+    if (done) {
+      break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace efeu::esm

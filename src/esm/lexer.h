@@ -1,0 +1,37 @@
+// Hand-written lexer for ESM.
+
+#ifndef SRC_ESM_LEXER_H_
+#define SRC_ESM_LEXER_H_
+
+#include <vector>
+
+#include "src/esm/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esm {
+
+class Lexer {
+ public:
+  Lexer(const SourceBuffer& buffer, DiagnosticEngine& diag) : buffer_(buffer), diag_(diag) {}
+
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const;
+  void SkipWhitespaceAndComments();
+  SourceLocation Here() const;
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diag_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_LEXER_H_

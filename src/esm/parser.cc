@@ -1,0 +1,562 @@
+#include "src/esm/parser.h"
+
+#include "src/esm/lexer.h"
+
+namespace efeu::esm {
+
+namespace {
+
+// Binary operator precedence, C-style: higher binds tighter.
+struct BinOpInfo {
+  BinaryOp op;
+  int precedence;
+};
+
+std::optional<BinOpInfo> BinOpFor(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStar:
+      return BinOpInfo{BinaryOp::kMul, 10};
+    case TokenKind::kSlash:
+      return BinOpInfo{BinaryOp::kDiv, 10};
+    case TokenKind::kPercent:
+      return BinOpInfo{BinaryOp::kMod, 10};
+    case TokenKind::kPlus:
+      return BinOpInfo{BinaryOp::kAdd, 9};
+    case TokenKind::kMinus:
+      return BinOpInfo{BinaryOp::kSub, 9};
+    case TokenKind::kShl:
+      return BinOpInfo{BinaryOp::kShl, 8};
+    case TokenKind::kShr:
+      return BinOpInfo{BinaryOp::kShr, 8};
+    case TokenKind::kLt:
+      return BinOpInfo{BinaryOp::kLt, 7};
+    case TokenKind::kGt:
+      return BinOpInfo{BinaryOp::kGt, 7};
+    case TokenKind::kLe:
+      return BinOpInfo{BinaryOp::kLe, 7};
+    case TokenKind::kGe:
+      return BinOpInfo{BinaryOp::kGe, 7};
+    case TokenKind::kEq:
+      return BinOpInfo{BinaryOp::kEq, 6};
+    case TokenKind::kNe:
+      return BinOpInfo{BinaryOp::kNe, 6};
+    case TokenKind::kAmp:
+      return BinOpInfo{BinaryOp::kBitAnd, 5};
+    case TokenKind::kCaret:
+      return BinOpInfo{BinaryOp::kBitXor, 4};
+    case TokenKind::kPipe:
+      return BinOpInfo{BinaryOp::kBitOr, 3};
+    case TokenKind::kAmpAmp:
+      return BinOpInfo{BinaryOp::kLogicalAnd, 2};
+    case TokenKind::kPipePipe:
+      return BinOpInfo{BinaryOp::kLogicalOr, 1};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(const SourceBuffer& buffer, DiagnosticEngine& diag)
+    : buffer_(buffer), diag_(diag) {
+  Lexer lexer(buffer, diag);
+  tokens_ = lexer.Tokenize();
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = index_ + ahead;
+  if (i >= tokens_.size()) {
+    i = tokens_.size() - 1;
+  }
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& token = tokens_[index_];
+  if (index_ + 1 < tokens_.size()) {
+    ++index_;
+  }
+  return token;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Peek().Is(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::Expect(TokenKind kind, const char* context) {
+  if (Match(kind)) {
+    return true;
+  }
+  diag_.Error(buffer_, Peek().location,
+              std::string("expected ") + std::string(TokenKindName(kind)) + " " + context +
+                  ", found " + std::string(TokenKindName(Peek().kind)));
+  return false;
+}
+
+bool Parser::IsTypeKeyword(TokenKind kind) const {
+  switch (kind) {
+    case TokenKind::kKwBit:
+    case TokenKind::kKwBool:
+    case TokenKind::kKwByte:
+    case TokenKind::kKwShort:
+    case TokenKind::kKwInt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<EsmFile> Parser::ParseFile() {
+  EsmFile file;
+  while (!Peek().Is(TokenKind::kEof)) {
+    bool ok = false;
+    if (Peek().Is(TokenKind::kKwEnum)) {
+      ok = ParseEnum(file);
+    } else if (Peek().Is(TokenKind::kKwVoid)) {
+      ok = ParseLayer(file);
+    } else {
+      diag_.Error(buffer_, Peek().location,
+                  "expected enum declaration or layer definition at top level, found " +
+                      std::string(TokenKindName(Peek().kind)));
+    }
+    if (!ok) {
+      return std::nullopt;
+    }
+  }
+  return file;
+}
+
+bool Parser::ParseEnum(EsmFile& file) {
+  LocalEnumDecl decl;
+  decl.location = Peek().location;
+  Advance();  // 'enum'
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected enum name");
+    return false;
+  }
+  decl.name = Advance().text;
+  if (!Expect(TokenKind::kLBrace, "after enum name")) {
+    return false;
+  }
+  while (!Peek().Is(TokenKind::kRBrace)) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      diag_.Error(buffer_, Peek().location, "expected enum member name");
+      return false;
+    }
+    decl.members.push_back(Advance().text);
+    if (Peek().Is(TokenKind::kAssign)) {
+      // Unlike C, corresponding integer values may not be specified (§3.1).
+      diag_.Error(buffer_, Peek().location, "ESM enums may not specify member values");
+      return false;
+    }
+    if (!Match(TokenKind::kComma)) {
+      break;
+    }
+  }
+  if (!Expect(TokenKind::kRBrace, "to close enum")) {
+    return false;
+  }
+  Match(TokenKind::kSemicolon);
+  if (decl.members.empty()) {
+    diag_.Error(buffer_, decl.location, "enum '" + decl.name + "' has no members");
+    return false;
+  }
+  file.enums.push_back(std::move(decl));
+  return true;
+}
+
+bool Parser::ParseLayer(EsmFile& file) {
+  LayerDef layer;
+  layer.location = Peek().location;
+  Advance();  // 'void'
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected layer name after 'void'");
+    return false;
+  }
+  layer.name = Advance().text;
+  if (!Expect(TokenKind::kLParen, "after layer name") ||
+      !Expect(TokenKind::kRParen, "(layers take no parameters)")) {
+    return false;
+  }
+  layer.body = ParseBlock();
+  if (layer.body == nullptr) {
+    return false;
+  }
+  file.layers.push_back(std::move(layer));
+  return true;
+}
+
+std::unique_ptr<BlockStmt> Parser::ParseBlock() {
+  if (!Expect(TokenKind::kLBrace, "to open block")) {
+    return nullptr;
+  }
+  auto block = std::make_unique<BlockStmt>();
+  block->location = Peek().location;
+  while (!Peek().Is(TokenKind::kRBrace)) {
+    if (Peek().Is(TokenKind::kEof)) {
+      diag_.Error(buffer_, Peek().location, "unexpected end of file inside block");
+      return nullptr;
+    }
+    StmtPtr stmt = ParseStatement();
+    if (stmt == nullptr) {
+      return nullptr;
+    }
+    block->statements.push_back(std::move(stmt));
+  }
+  Advance();  // '}'
+  return block;
+}
+
+StmtPtr Parser::ParseStatement() {
+  SourceLocation loc = Peek().location;
+  switch (Peek().kind) {
+    case TokenKind::kSemicolon: {
+      Advance();
+      auto stmt = std::make_unique<EmptyStmt>();
+      stmt->location = loc;
+      return stmt;
+    }
+    case TokenKind::kLBrace:
+      return ParseBlock();
+    case TokenKind::kKwIf: {
+      Advance();
+      auto stmt = std::make_unique<IfStmt>();
+      stmt->location = loc;
+      if (!Expect(TokenKind::kLParen, "after 'if'")) {
+        return nullptr;
+      }
+      stmt->condition = ParseExpression();
+      if (stmt->condition == nullptr || !Expect(TokenKind::kRParen, "after if condition")) {
+        return nullptr;
+      }
+      stmt->then_branch = ParseStatement();
+      if (stmt->then_branch == nullptr) {
+        return nullptr;
+      }
+      if (Match(TokenKind::kKwElse)) {
+        stmt->else_branch = ParseStatement();
+        if (stmt->else_branch == nullptr) {
+          return nullptr;
+        }
+      }
+      return stmt;
+    }
+    case TokenKind::kKwWhile: {
+      Advance();
+      auto stmt = std::make_unique<WhileStmt>();
+      stmt->location = loc;
+      if (!Expect(TokenKind::kLParen, "after 'while'")) {
+        return nullptr;
+      }
+      stmt->condition = ParseExpression();
+      if (stmt->condition == nullptr || !Expect(TokenKind::kRParen, "after while condition")) {
+        return nullptr;
+      }
+      stmt->body = ParseStatement();
+      if (stmt->body == nullptr) {
+        return nullptr;
+      }
+      return stmt;
+    }
+    case TokenKind::kKwGoto: {
+      Advance();
+      auto stmt = std::make_unique<GotoStmt>();
+      stmt->location = loc;
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        diag_.Error(buffer_, Peek().location, "expected label name after 'goto'");
+        return nullptr;
+      }
+      stmt->label = Advance().text;
+      if (!Expect(TokenKind::kSemicolon, "after goto")) {
+        return nullptr;
+      }
+      return stmt;
+    }
+    case TokenKind::kKwAssert: {
+      Advance();
+      auto stmt = std::make_unique<AssertStmt>();
+      stmt->location = loc;
+      if (!Expect(TokenKind::kLParen, "after 'assert'")) {
+        return nullptr;
+      }
+      stmt->condition = ParseExpression();
+      if (stmt->condition == nullptr || !Expect(TokenKind::kRParen, "after assert condition") ||
+          !Expect(TokenKind::kSemicolon, "after assert")) {
+        return nullptr;
+      }
+      return stmt;
+    }
+    default:
+      break;
+  }
+
+  // Label: IDENT ':'.
+  if (Peek().Is(TokenKind::kIdentifier) && Peek(1).Is(TokenKind::kColon)) {
+    auto stmt = std::make_unique<LabelStmt>();
+    stmt->location = loc;
+    stmt->name = Advance().text;
+    Advance();  // ':'
+    return stmt;
+  }
+
+  // Declaration: builtin type keyword, or two consecutive identifiers
+  // (enum/struct type followed by variable name).
+  if (IsTypeKeyword(Peek().kind) ||
+      (Peek().Is(TokenKind::kIdentifier) && Peek(1).Is(TokenKind::kIdentifier))) {
+    return ParseDeclaration();
+  }
+
+  // Expression statement.
+  auto stmt = std::make_unique<ExprStmt>();
+  stmt->location = loc;
+  stmt->expr = ParseExpression();
+  if (stmt->expr == nullptr || !Expect(TokenKind::kSemicolon, "after expression")) {
+    return nullptr;
+  }
+  return stmt;
+}
+
+StmtPtr Parser::ParseDeclaration() {
+  auto stmt = std::make_unique<DeclStmt>();
+  stmt->location = Peek().location;
+  switch (Peek().kind) {
+    case TokenKind::kKwBit:
+      stmt->type = Type::Bit();
+      Advance();
+      break;
+    case TokenKind::kKwBool:
+      stmt->type = Type::Bool();
+      Advance();
+      break;
+    case TokenKind::kKwByte:
+      stmt->type = Type::U8();
+      Advance();
+      break;
+    case TokenKind::kKwShort:
+      stmt->type = Type::I16();
+      Advance();
+      break;
+    case TokenKind::kKwInt:
+      stmt->type = Type::I32();
+      Advance();
+      break;
+    default:
+      // Named type: enum or interface struct; resolved by sema.
+      stmt->type_name = Advance().text;
+      break;
+  }
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    diag_.Error(buffer_, Peek().location, "expected variable name in declaration");
+    return nullptr;
+  }
+  stmt->name = Advance().text;
+  if (Match(TokenKind::kLBracket)) {
+    if (!Peek().Is(TokenKind::kIntLiteral)) {
+      diag_.Error(buffer_, Peek().location, "expected array size");
+      return nullptr;
+    }
+    int64_t size = Advance().int_value;
+    if (size < 1 || size > 1024) {
+      diag_.Error(buffer_, stmt->location, "array size must be between 1 and 1024");
+      return nullptr;
+    }
+    stmt->array_size = static_cast<int>(size);
+    if (!Expect(TokenKind::kRBracket, "after array size")) {
+      return nullptr;
+    }
+  }
+  if (Peek().Is(TokenKind::kAssign)) {
+    // No variable initialization at declaration time (§3.1).
+    diag_.Error(buffer_, Peek().location,
+                "ESM does not allow initialization at declaration time");
+    return nullptr;
+  }
+  if (!Expect(TokenKind::kSemicolon, "after declaration")) {
+    return nullptr;
+  }
+  return stmt;
+}
+
+ExprPtr Parser::ParseExpression() { return ParseAssignment(); }
+
+ExprPtr Parser::ParseAssignment() {
+  ExprPtr lhs = ParseBinary(1);
+  if (lhs == nullptr) {
+    return nullptr;
+  }
+  if (Peek().Is(TokenKind::kAssign)) {
+    SourceLocation loc = Peek().location;
+    Advance();
+    ExprPtr rhs = ParseAssignment();
+    if (rhs == nullptr) {
+      return nullptr;
+    }
+    auto assign = std::make_unique<AssignExpr>();
+    assign->location = loc;
+    assign->lhs = std::move(lhs);
+    assign->rhs = std::move(rhs);
+    return assign;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseBinary(int min_precedence) {
+  ExprPtr lhs = ParseUnary();
+  if (lhs == nullptr) {
+    return nullptr;
+  }
+  while (true) {
+    std::optional<BinOpInfo> info = BinOpFor(Peek().kind);
+    if (!info.has_value() || info->precedence < min_precedence) {
+      return lhs;
+    }
+    SourceLocation loc = Peek().location;
+    Advance();
+    ExprPtr rhs = ParseBinary(info->precedence + 1);
+    if (rhs == nullptr) {
+      return nullptr;
+    }
+    auto binary = std::make_unique<BinaryExpr>();
+    binary->location = loc;
+    binary->op = info->op;
+    binary->lhs = std::move(lhs);
+    binary->rhs = std::move(rhs);
+    lhs = std::move(binary);
+  }
+}
+
+ExprPtr Parser::ParseUnary() {
+  SourceLocation loc = Peek().location;
+  UnaryOp op;
+  switch (Peek().kind) {
+    case TokenKind::kPlus:
+      op = UnaryOp::kPlus;
+      break;
+    case TokenKind::kMinus:
+      op = UnaryOp::kNegate;
+      break;
+    case TokenKind::kTilde:
+      op = UnaryOp::kBitNot;
+      break;
+    case TokenKind::kBang:
+      op = UnaryOp::kLogicalNot;
+      break;
+    default:
+      return ParsePostfix();
+  }
+  Advance();
+  ExprPtr operand = ParseUnary();
+  if (operand == nullptr) {
+    return nullptr;
+  }
+  auto unary = std::make_unique<UnaryExpr>();
+  unary->location = loc;
+  unary->op = op;
+  unary->operand = std::move(operand);
+  return unary;
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr expr = ParsePrimary();
+  if (expr == nullptr) {
+    return nullptr;
+  }
+  while (true) {
+    if (Peek().Is(TokenKind::kLBracket)) {
+      SourceLocation loc = Peek().location;
+      Advance();
+      ExprPtr index = ParseExpression();
+      if (index == nullptr || !Expect(TokenKind::kRBracket, "after array index")) {
+        return nullptr;
+      }
+      auto node = std::make_unique<IndexExpr>();
+      node->location = loc;
+      node->base = std::move(expr);
+      node->index = std::move(index);
+      expr = std::move(node);
+    } else if (Peek().Is(TokenKind::kDot)) {
+      SourceLocation loc = Peek().location;
+      Advance();
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        diag_.Error(buffer_, Peek().location, "expected field name after '.'");
+        return nullptr;
+      }
+      auto node = std::make_unique<MemberExpr>();
+      node->location = loc;
+      node->base = std::move(expr);
+      node->field = Advance().text;
+      expr = std::move(node);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::ParsePrimary() {
+  SourceLocation loc = Peek().location;
+  switch (Peek().kind) {
+    case TokenKind::kIntLiteral: {
+      auto node = std::make_unique<IntLiteralExpr>();
+      node->location = loc;
+      node->value = Advance().int_value;
+      return node;
+    }
+    case TokenKind::kKwTrue:
+    case TokenKind::kKwFalse: {
+      auto node = std::make_unique<IntLiteralExpr>();
+      node->location = loc;
+      node->value = Advance().Is(TokenKind::kKwTrue) ? 1 : 0;
+      return node;
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      ExprPtr inner = ParseExpression();
+      if (inner == nullptr || !Expect(TokenKind::kRParen, "to close parenthesized expression")) {
+        return nullptr;
+      }
+      return inner;
+    }
+    case TokenKind::kIdentifier: {
+      std::string name = Advance().text;
+      if (Peek().Is(TokenKind::kLParen)) {
+        Advance();
+        auto call = std::make_unique<CallExpr>();
+        call->location = loc;
+        call->callee = std::move(name);
+        while (!Peek().Is(TokenKind::kRParen)) {
+          ExprPtr arg = ParseAssignment();
+          if (arg == nullptr) {
+            return nullptr;
+          }
+          call->args.push_back(std::move(arg));
+          if (!Match(TokenKind::kComma)) {
+            break;
+          }
+        }
+        if (!Expect(TokenKind::kRParen, "to close call")) {
+          return nullptr;
+        }
+        return call;
+      }
+      auto ref = std::make_unique<VarRefExpr>();
+      ref->location = loc;
+      ref->name = std::move(name);
+      return ref;
+    }
+    default:
+      diag_.Error(buffer_, loc, "expected expression, found " +
+                                    std::string(TokenKindName(Peek().kind)));
+      return nullptr;
+  }
+}
+
+std::optional<EsmFile> ParseEsm(const SourceBuffer& buffer, DiagnosticEngine& diag) {
+  Parser parser(buffer, diag);
+  return parser.ParseFile();
+}
+
+}  // namespace efeu::esm

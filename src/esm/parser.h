@@ -1,0 +1,52 @@
+// Recursive-descent parser for ESM with standard C operator precedence.
+
+#ifndef SRC_ESM_PARSER_H_
+#define SRC_ESM_PARSER_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/esm/ast.h"
+#include "src/esm/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esm {
+
+class Parser {
+ public:
+  Parser(const SourceBuffer& buffer, DiagnosticEngine& diag);
+
+  std::optional<EsmFile> ParseFile();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  bool Expect(TokenKind kind, const char* context);
+  bool IsTypeKeyword(TokenKind kind) const;
+
+  bool ParseEnum(EsmFile& file);
+  bool ParseLayer(EsmFile& file);
+  StmtPtr ParseStatement();
+  StmtPtr ParseDeclaration();
+  std::unique_ptr<BlockStmt> ParseBlock();
+
+  ExprPtr ParseExpression();
+  ExprPtr ParseAssignment();
+  ExprPtr ParseBinary(int min_precedence);
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diag_;
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+std::optional<EsmFile> ParseEsm(const SourceBuffer& buffer, DiagnosticEngine& diag);
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_PARSER_H_

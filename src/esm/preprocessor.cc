@@ -1,0 +1,202 @@
+#include "src/esm/preprocessor.h"
+
+#include <cctype>
+#include <vector>
+
+#include "src/support/text.h"
+
+namespace efeu::esm {
+
+namespace {
+
+constexpr int kMaxIncludeDepth = 16;
+constexpr int kMaxMacroExpansions = 64;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Parses `#directive rest`; returns empty if the line is not a directive.
+std::string_view DirectiveName(std::string_view line, std::string_view* rest) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] != '#') {
+    return {};
+  }
+  trimmed.remove_prefix(1);
+  trimmed = Trim(trimmed);
+  size_t end = 0;
+  while (end < trimmed.size() && IsIdentChar(trimmed[end])) {
+    ++end;
+  }
+  *rest = Trim(trimmed.substr(end));
+  return trimmed.substr(0, end);
+}
+
+}  // namespace
+
+void Preprocessor::AddInclude(std::string name, std::string text) {
+  includes_[std::move(name)] = std::move(text);
+}
+
+void Preprocessor::Define(std::string name, std::string value) {
+  macros_[std::move(name)] = std::move(value);
+}
+
+std::string Preprocessor::ExpandMacros(std::string_view line) const {
+  std::string current(line);
+  for (int round = 0; round < kMaxMacroExpansions; ++round) {
+    std::string next;
+    next.reserve(current.size());
+    bool changed = false;
+    size_t i = 0;
+    while (i < current.size()) {
+      char c = current[i];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < current.size() && IsIdentChar(current[i])) {
+          ++i;
+        }
+        std::string word = current.substr(start, i - start);
+        auto it = macros_.find(word);
+        if (it != macros_.end()) {
+          next += it->second;
+          changed = true;
+        } else {
+          next += word;
+        }
+      } else if (c == '/' && i + 1 < current.size() &&
+                 (current[i + 1] == '/' || current[i + 1] == '*')) {
+        // Do not expand inside comments; copy the rest verbatim. (Block
+        // comments spanning lines are rare in specs and left untouched.)
+        next += current.substr(i);
+        i = current.size();
+      } else {
+        next += c;
+        ++i;
+      }
+    }
+    current = std::move(next);
+    if (!changed) {
+      break;
+    }
+  }
+  return current;
+}
+
+bool Preprocessor::ProcessInto(std::string_view text, std::string& out, std::string* error,
+                               int depth) {
+  if (depth > kMaxIncludeDepth) {
+    *error = "maximum #include depth exceeded";
+    return false;
+  }
+  // Conditional stack: each entry records whether the current branch is live
+  // and whether any branch of this conditional has been taken.
+  struct Conditional {
+    bool live = true;
+    bool taken = false;
+  };
+  std::vector<Conditional> conditionals;
+  auto currently_live = [&]() {
+    for (const Conditional& c : conditionals) {
+      if (!c.live) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::string_view line : SplitLines(text)) {
+    std::string_view rest;
+    std::string_view directive = DirectiveName(line, &rest);
+    if (directive.empty()) {
+      if (currently_live()) {
+        out += ExpandMacros(line);
+        out += '\n';
+      }
+      continue;
+    }
+    if (directive == "ifdef" || directive == "ifndef") {
+      bool defined = macros_.count(std::string(rest)) > 0;
+      bool take = directive == "ifdef" ? defined : !defined;
+      Conditional cond;
+      cond.live = currently_live() && take;
+      cond.taken = take;
+      conditionals.push_back(cond);
+    } else if (directive == "else") {
+      if (conditionals.empty()) {
+        *error = "#else without matching #ifdef";
+        return false;
+      }
+      Conditional& cond = conditionals.back();
+      bool outer_live = true;
+      for (size_t i = 0; i + 1 < conditionals.size(); ++i) {
+        outer_live = outer_live && conditionals[i].live;
+      }
+      cond.live = outer_live && !cond.taken;
+      cond.taken = true;
+    } else if (directive == "endif") {
+      if (conditionals.empty()) {
+        *error = "#endif without matching #ifdef";
+        return false;
+      }
+      conditionals.pop_back();
+    } else if (directive == "define") {
+      if (currently_live()) {
+        size_t end = 0;
+        while (end < rest.size() && IsIdentChar(rest[end])) {
+          ++end;
+        }
+        if (end == 0) {
+          *error = "#define requires a macro name";
+          return false;
+        }
+        std::string name(rest.substr(0, end));
+        std::string value(Trim(rest.substr(end)));
+        macros_[name] = value;
+      }
+    } else if (directive == "undef") {
+      if (currently_live()) {
+        macros_.erase(std::string(rest));
+      }
+    } else if (directive == "include") {
+      if (currently_live()) {
+        if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+          *error = "#include expects a quoted snippet name";
+          return false;
+        }
+        std::string name(rest.substr(1, rest.size() - 2));
+        auto it = includes_.find(name);
+        if (it == includes_.end()) {
+          *error = "unknown include '" + name + "'";
+          return false;
+        }
+        if (!ProcessInto(it->second, out, error, depth + 1)) {
+          return false;
+        }
+      }
+    } else {
+      *error = "unknown preprocessor directive '#" + std::string(directive) + "'";
+      return false;
+    }
+  }
+  if (!conditionals.empty()) {
+    *error = "unterminated #ifdef";
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Preprocessor::Process(std::string_view text, std::string* error) {
+  std::string out;
+  out.reserve(text.size());
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  if (!ProcessInto(text, out, error, 0)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace efeu::esm

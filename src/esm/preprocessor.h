@@ -1,0 +1,37 @@
+// A minimal C-style preprocessor for ESM sources. The paper relies on the C
+// preprocessor (inherited from Clang) for conditional compilation and for
+// sharing layer code between controller and responder; we support the subset
+// the I2C specifications need: object-like #define/#undef, #ifdef/#ifndef/
+// #else/#endif, and #include of registered named snippets.
+
+#ifndef SRC_ESM_PREPROCESSOR_H_
+#define SRC_ESM_PREPROCESSOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace efeu::esm {
+
+class Preprocessor {
+ public:
+  // Registers a named snippet resolvable via #include "name".
+  void AddInclude(std::string name, std::string text);
+  // Predefines an object-like macro (like -D on a compiler command line).
+  void Define(std::string name, std::string value = "1");
+
+  // Expands the input. On failure returns nullopt and sets *error.
+  std::optional<std::string> Process(std::string_view text, std::string* error);
+
+ private:
+  bool ProcessInto(std::string_view text, std::string& out, std::string* error, int depth);
+  std::string ExpandMacros(std::string_view line) const;
+
+  std::map<std::string, std::string> includes_;
+  std::map<std::string, std::string> macros_;
+};
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_PREPROCESSOR_H_

@@ -1,0 +1,660 @@
+#include "src/esm/sema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/reserved_words.h"
+
+namespace efeu::esm {
+
+namespace {
+
+class SemaContext {
+ public:
+  SemaContext(const esi::SystemInfo& system, const SourceBuffer& buffer, DiagnosticEngine& diag,
+              const SemaOptions& options)
+      : system_(system), buffer_(buffer), diag_(diag), options_(options) {}
+
+  std::optional<ProgramInfo> Analyze(EsmFile& file);
+
+ private:
+  bool CollectLocalEnums(const EsmFile& file);
+  bool AnalyzeLayer(LayerDef& layer, LayerInfo& info);
+  bool CollectDeclsAndLabels(Stmt& stmt, LayerInfo& info, std::set<std::string>& labels);
+  bool CheckGotos(const Stmt& stmt, const std::set<std::string>& labels);
+  bool CheckStmt(Stmt& stmt, LayerInfo& info);
+
+  // `allow_comm` is true only where a talk/read may legally appear: as the
+  // full RHS of an assignment or as a bare expression statement.
+  bool CheckExpr(Expr& expr, LayerInfo& info, bool allow_comm);
+  bool CheckLValue(Expr& expr, LayerInfo& info);
+  bool CheckCall(CallExpr& call, LayerInfo& info);
+  bool ResolveNamedType(DeclStmt& decl);
+
+  const VarInfo* FindVar(const LayerInfo& info, std::string_view name, int* index) const;
+  bool LookupEnumConst(std::string_view name, int* value, std::string* enum_name) const;
+
+  void Error(SourceLocation loc, std::string message) {
+    diag_.Error(buffer_, loc, std::move(message));
+  }
+
+  const esi::SystemInfo& system_;
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diag_;
+  SemaOptions options_;
+  ProgramInfo program_;
+  // Local enum name -> member names, for named-type resolution.
+  std::map<std::string, std::vector<std::string>> local_enums_;
+};
+
+const VarInfo* SemaContext::FindVar(const LayerInfo& info, std::string_view name,
+                                    int* index) const {
+  for (size_t i = 0; i < info.vars.size(); ++i) {
+    if (info.vars[i].name == name) {
+      if (index != nullptr) {
+        *index = static_cast<int>(i);
+      }
+      return &info.vars[i];
+    }
+  }
+  return nullptr;
+}
+
+bool SemaContext::LookupEnumConst(std::string_view name, int* value,
+                                  std::string* enum_name) const {
+  int v = 0;
+  if (const esi::EnumInfo* e = system_.FindEnumByMember(name, &v)) {
+    *value = v;
+    *enum_name = e->name;
+    return true;
+  }
+  auto it = program_.local_enum_values.find(std::string(name));
+  if (it != program_.local_enum_values.end()) {
+    *value = it->second;
+    for (const auto& [ename, members] : local_enums_) {
+      for (const std::string& m : members) {
+        if (m == name) {
+          *enum_name = ename;
+          return true;
+        }
+      }
+    }
+    *enum_name = "";
+    return true;
+  }
+  return false;
+}
+
+bool SemaContext::CollectLocalEnums(const EsmFile& file) {
+  for (const LocalEnumDecl& decl : file.enums) {
+    if (system_.FindEnum(decl.name) != nullptr || local_enums_.count(decl.name) > 0) {
+      Error(decl.location, "enum '" + decl.name + "' is already defined");
+      return false;
+    }
+    std::vector<std::string> members;
+    for (size_t i = 0; i < decl.members.size(); ++i) {
+      const std::string& member = decl.members[i];
+      int dummy = 0;
+      std::string dummy_name;
+      if (LookupEnumConst(member, &dummy, &dummy_name) ||
+          program_.local_enum_values.count(member) > 0) {
+        Error(decl.location, "enum member '" + member + "' already defined");
+        return false;
+      }
+      if (IsPromelaReservedWord(member)) {
+        Error(decl.location, "enum member '" + member + "' is a reserved word");
+        return false;
+      }
+      program_.local_enum_values[member] = static_cast<int>(i);
+      members.push_back(member);
+    }
+    local_enums_[decl.name] = std::move(members);
+  }
+  return true;
+}
+
+bool SemaContext::ResolveNamedType(DeclStmt& decl) {
+  // A named type is either an enum (ESI or local) or an interface message
+  // struct named "<From>To<To>".
+  if (system_.FindEnum(decl.type_name) != nullptr || local_enums_.count(decl.type_name) > 0) {
+    decl.type = Type::Enum(decl.type_name);
+    decl.type.array_size = decl.array_size;
+    return true;
+  }
+  if (const esi::ChannelInfo* channel = system_.FindChannelByStructName(decl.type_name)) {
+    if (decl.array_size > 0) {
+      Error(decl.location, "arrays of interface structs are not supported");
+      return false;
+    }
+    // Mark as struct by pointing type at the channel via a sentinel; the
+    // caller stores the channel in VarInfo.
+    decl.type = Type::I32();
+    decl.type_name = channel->MessageStructName();
+    return true;
+  }
+  Error(decl.location, "unknown type '" + decl.type_name + "'");
+  return false;
+}
+
+bool SemaContext::CollectDeclsAndLabels(Stmt& stmt, LayerInfo& info,
+                                        std::set<std::string>& labels) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      auto& decl = static_cast<DeclStmt&>(stmt);
+      if (FindVar(info, decl.name, nullptr) != nullptr) {
+        Error(decl.location, "duplicate variable '" + decl.name + "'");
+        return false;
+      }
+      if (IsPromelaReservedWord(decl.name)) {
+        Error(decl.location, "variable name '" + decl.name + "' is a reserved word");
+        return false;
+      }
+      VarInfo var;
+      var.name = decl.name;
+      if (!decl.type_name.empty()) {
+        if (!ResolveNamedType(decl)) {
+          return false;
+        }
+        if (const esi::ChannelInfo* channel =
+                system_.FindChannelByStructName(decl.type_name)) {
+          var.struct_channel = channel;
+        } else {
+          var.type = decl.type;
+        }
+      } else {
+        decl.type.array_size = decl.array_size;
+        var.type = decl.type;
+      }
+      decl.var_index = static_cast<int>(info.vars.size());
+      info.vars.push_back(std::move(var));
+      return true;
+    }
+    case StmtKind::kLabel: {
+      auto& label = static_cast<LabelStmt&>(stmt);
+      if (!labels.insert(label.name).second) {
+        Error(label.location, "duplicate label '" + label.name + "'");
+        return false;
+      }
+      return true;
+    }
+    case StmtKind::kBlock: {
+      auto& block = static_cast<BlockStmt&>(stmt);
+      for (StmtPtr& child : block.statements) {
+        if (!CollectDeclsAndLabels(*child, info, labels)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kIf: {
+      auto& node = static_cast<IfStmt&>(stmt);
+      if (!CollectDeclsAndLabels(*node.then_branch, info, labels)) {
+        return false;
+      }
+      if (node.else_branch != nullptr) {
+        return CollectDeclsAndLabels(*node.else_branch, info, labels);
+      }
+      return true;
+    }
+    case StmtKind::kWhile: {
+      auto& node = static_cast<WhileStmt&>(stmt);
+      return CollectDeclsAndLabels(*node.body, info, labels);
+    }
+    default:
+      return true;
+  }
+}
+
+bool SemaContext::CheckGotos(const Stmt& stmt, const std::set<std::string>& labels) {
+  switch (stmt.kind) {
+    case StmtKind::kGoto: {
+      const auto& node = static_cast<const GotoStmt&>(stmt);
+      if (labels.count(node.label) == 0) {
+        Error(node.location, "goto to undefined label '" + node.label + "'");
+        return false;
+      }
+      return true;
+    }
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const StmtPtr& child : block.statements) {
+        if (!CheckGotos(*child, labels)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kIf: {
+      const auto& node = static_cast<const IfStmt&>(stmt);
+      if (!CheckGotos(*node.then_branch, labels)) {
+        return false;
+      }
+      return node.else_branch == nullptr || CheckGotos(*node.else_branch, labels);
+    }
+    case StmtKind::kWhile: {
+      const auto& node = static_cast<const WhileStmt&>(stmt);
+      return CheckGotos(*node.body, labels);
+    }
+    default:
+      return true;
+  }
+}
+
+bool SemaContext::CheckCall(CallExpr& call, LayerInfo& info) {
+  if (call.callee == "nondet") {
+    if (!options_.allow_nondet) {
+      Error(call.location, "nondet() is only allowed in verifier specifications");
+      return false;
+    }
+    if (call.args.size() != 1 || call.args[0]->kind != ExprKind::kIntLiteral) {
+      Error(call.location, "nondet() takes one integer-literal argument");
+      return false;
+    }
+    int64_t n = static_cast<IntLiteralExpr&>(*call.args[0]).value;
+    if (n < 2 || n > 64) {
+      Error(call.location, "nondet(N) requires 2 <= N <= 64");
+      return false;
+    }
+    call.args[0]->type = Type::I32();
+    call.call_kind = CallKind::kNondet;
+    call.type = Type::I32();
+    return true;
+  }
+
+  // Talk/read stub: "<Layer>Talk<Peer>" or "<Layer>Read<Peer>". Driver
+  // specifications may only use their own layer as <Layer>; verifier
+  // specifications (allow_nondet) may "act as" any declared layer, which is
+  // how input-space and glue processes own channel endpoints of the layers
+  // they stand in for (the paper hand-writes this glue in Promela).
+  const std::string& name = call.callee;
+  CallKind kind = CallKind::kUnresolved;
+  std::string self;
+  std::string peer;
+  auto try_prefix = [&](const std::string& layer_name) {
+    if (name.size() <= layer_name.size() ||
+        name.compare(0, layer_name.size(), layer_name) != 0) {
+      return false;
+    }
+    std::string_view rest = std::string_view(name).substr(layer_name.size());
+    std::string candidate;
+    CallKind candidate_kind = CallKind::kUnresolved;
+    if (rest.rfind("Talk", 0) == 0) {
+      candidate_kind = CallKind::kTalk;
+      candidate = std::string(rest.substr(4));
+    } else if (rest.rfind("Read", 0) == 0) {
+      candidate_kind = CallKind::kRead;
+      candidate = std::string(rest.substr(4));
+    } else if (rest.rfind("Post", 0) == 0) {
+      candidate_kind = CallKind::kPost;
+      candidate = std::string(rest.substr(4));
+    } else {
+      return false;
+    }
+    if (!system_.HasLayer(candidate)) {
+      return false;
+    }
+    self = layer_name;
+    peer = std::move(candidate);
+    kind = candidate_kind;
+    return true;
+  };
+  bool resolved = try_prefix(info.name);
+  if (!resolved && options_.allow_nondet) {
+    // Longest layer-name prefix first, so e.g. "CSymbolX" wins over "CSymbol".
+    std::vector<std::string> layers = system_.layers();
+    std::sort(layers.begin(), layers.end(),
+              [](const std::string& a, const std::string& b) { return a.size() > b.size(); });
+    for (const std::string& layer_name : layers) {
+      if (try_prefix(layer_name)) {
+        resolved = true;
+        break;
+      }
+    }
+  }
+  if (!resolved) {
+    Error(call.location,
+          "unknown function '" + name + "' (only " + info.name + "Talk<Peer>/" + info.name +
+              "Read<Peer> stubs, assert and nondet are callable)");
+    return false;
+  }
+  if (kind == CallKind::kPost && !options_.allow_nondet) {
+    Error(call.location, "post is only allowed in verifier specifications");
+    return false;
+  }
+  const esi::ChannelInfo* out = system_.FindChannel(self, peer);
+  const esi::ChannelInfo* in = system_.FindChannel(peer, self);
+  bool sends = kind == CallKind::kTalk || kind == CallKind::kPost;
+  if (sends) {
+    if (out == nullptr) {
+      Error(call.location, "no channel from '" + self + "' to '" + peer + "'");
+      return false;
+    }
+    if (call.args.size() != out->fields.size()) {
+      Error(call.location, "send expects " + std::to_string(out->fields.size()) +
+                               " arguments matching the channel fields, got " +
+                               std::to_string(call.args.size()));
+      return false;
+    }
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      Expr& arg = *call.args[i];
+      if (!CheckExpr(arg, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      const esi::FieldInfo& field = out->fields[i];
+      if (field.type.IsArray()) {
+        if (arg.IsStruct() || !arg.type.IsArray() ||
+            arg.type.array_size != field.type.array_size) {
+          Error(arg.location, "argument " + std::to_string(i + 1) + " must be an array of " +
+                                  std::to_string(field.type.array_size) + " elements");
+          return false;
+        }
+      } else {
+        if (arg.IsStruct() || arg.type.IsArray()) {
+          Error(arg.location, "argument " + std::to_string(i + 1) + " must be a scalar");
+          return false;
+        }
+      }
+    }
+  } else {
+    if (!call.args.empty()) {
+      Error(call.location, "read takes no arguments");
+      return false;
+    }
+  }
+  if (kind != CallKind::kPost && in == nullptr) {
+    Error(call.location, "no channel from '" + peer + "' to '" + self + "'");
+    return false;
+  }
+  call.call_kind = kind;
+  call.out_channel = sends ? out : nullptr;
+  call.in_channel = kind == CallKind::kPost ? nullptr : in;
+  call.peer = peer;
+  // The call's value is the received message; a post has none.
+  call.struct_channel = call.in_channel;
+  return true;
+}
+
+bool SemaContext::CheckLValue(Expr& expr, LayerInfo& info) {
+  switch (expr.kind) {
+    case ExprKind::kVarRef: {
+      auto& ref = static_cast<VarRefExpr&>(expr);
+      if (ref.ref_kind != RefKind::kLocal) {
+        Error(expr.location, "cannot assign to '" + ref.name + "'");
+        return false;
+      }
+      return true;
+    }
+    case ExprKind::kIndex:
+      // Element of a local array or of a struct's array field.
+      return true;
+    case ExprKind::kMember:
+      return true;
+    default:
+      Error(expr.location, "expression is not assignable");
+      return false;
+  }
+}
+
+bool SemaContext::CheckExpr(Expr& expr, LayerInfo& info, bool allow_comm) {
+  switch (expr.kind) {
+    case ExprKind::kIntLiteral:
+      expr.type = Type::I32();
+      return true;
+    case ExprKind::kVarRef: {
+      auto& ref = static_cast<VarRefExpr&>(expr);
+      int index = -1;
+      if (const VarInfo* var = FindVar(info, ref.name, &index)) {
+        ref.ref_kind = RefKind::kLocal;
+        ref.var_index = index;
+        if (var->IsStruct()) {
+          ref.struct_channel = var->struct_channel;
+        } else {
+          ref.type = var->type;
+        }
+        return true;
+      }
+      int value = 0;
+      std::string enum_name;
+      if (LookupEnumConst(ref.name, &value, &enum_name)) {
+        ref.ref_kind = RefKind::kEnumConst;
+        ref.enum_value = value;
+        ref.type = enum_name.empty() ? Type::U8() : Type::Enum(enum_name);
+        return true;
+      }
+      Error(ref.location, "use of undeclared identifier '" + ref.name + "'");
+      return false;
+    }
+    case ExprKind::kIndex: {
+      auto& node = static_cast<IndexExpr&>(expr);
+      if (!CheckExpr(*node.base, info, /*allow_comm=*/false) ||
+          !CheckExpr(*node.index, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.base->IsStruct() || !node.base->type.IsArray()) {
+        Error(node.location, "subscripted value is not an array");
+        return false;
+      }
+      if (node.index->IsStruct() || node.index->type.IsArray()) {
+        Error(node.index->location, "array index must be a scalar");
+        return false;
+      }
+      node.type = node.base->type.Element();
+      return true;
+    }
+    case ExprKind::kMember: {
+      auto& node = static_cast<MemberExpr&>(expr);
+      if (!CheckExpr(*node.base, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (!node.base->IsStruct()) {
+        Error(node.location, "member access on non-struct value");
+        return false;
+      }
+      const esi::FieldInfo* field = node.base->struct_channel->FindField(node.field);
+      if (field == nullptr) {
+        Error(node.location, "no field '" + node.field + "' in struct '" +
+                                 node.base->struct_channel->MessageStructName() + "'");
+        return false;
+      }
+      node.field_info = field;
+      node.type = field->type;
+      return true;
+    }
+    case ExprKind::kUnary: {
+      auto& node = static_cast<UnaryExpr&>(expr);
+      if (!CheckExpr(*node.operand, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.operand->IsStruct() || node.operand->type.IsArray()) {
+        Error(node.location, "unary operator requires a scalar operand");
+        return false;
+      }
+      node.type = node.op == UnaryOp::kLogicalNot ? Type::Bool() : Type::I32();
+      return true;
+    }
+    case ExprKind::kBinary: {
+      auto& node = static_cast<BinaryExpr&>(expr);
+      if (!CheckExpr(*node.lhs, info, /*allow_comm=*/false) ||
+          !CheckExpr(*node.rhs, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.lhs->IsStruct() || node.lhs->type.IsArray() || node.rhs->IsStruct() ||
+          node.rhs->type.IsArray()) {
+        Error(node.location, "binary operator requires scalar operands");
+        return false;
+      }
+      switch (node.op) {
+        case BinaryOp::kLt:
+        case BinaryOp::kGt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGe:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLogicalAnd:
+        case BinaryOp::kLogicalOr:
+          node.type = Type::Bool();
+          break;
+        default:
+          node.type = Type::I32();
+          break;
+      }
+      return true;
+    }
+    case ExprKind::kAssign: {
+      auto& node = static_cast<AssignExpr&>(expr);
+      // RHS first so struct-producing calls resolve before the LHS check.
+      if (!CheckExpr(*node.rhs, info, allow_comm)) {
+        return false;
+      }
+      if (!CheckExpr(*node.lhs, info, /*allow_comm=*/false) || !CheckLValue(*node.lhs, info)) {
+        return false;
+      }
+      if (node.rhs->kind == ExprKind::kCall &&
+          static_cast<const CallExpr&>(*node.rhs).call_kind == CallKind::kPost) {
+        Error(node.location, "post returns no value");
+        return false;
+      }
+      if (node.rhs->IsStruct()) {
+        if (!node.lhs->IsStruct() ||
+            node.lhs->struct_channel != node.rhs->struct_channel) {
+          Error(node.location, "struct assignment requires matching interface struct types");
+          return false;
+        }
+        expr.struct_channel = node.lhs->struct_channel;
+        return true;
+      }
+      if (node.lhs->IsStruct()) {
+        Error(node.location, "cannot assign a scalar to a struct variable");
+        return false;
+      }
+      if (node.lhs->type.IsArray() || node.rhs->type.IsArray()) {
+        Error(node.location, "whole-array assignment is not supported");
+        return false;
+      }
+      expr.type = node.lhs->type;
+      return true;
+    }
+    case ExprKind::kCall: {
+      auto& call = static_cast<CallExpr&>(expr);
+      if (!CheckCall(call, info)) {
+        return false;
+      }
+      if ((call.call_kind == CallKind::kTalk || call.call_kind == CallKind::kRead ||
+           call.call_kind == CallKind::kPost) &&
+          !allow_comm) {
+        Error(call.location,
+              "talk/read may only appear as a whole statement or assignment right-hand side");
+        return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SemaContext::CheckStmt(Stmt& stmt, LayerInfo& info) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl:
+    case StmtKind::kLabel:
+    case StmtKind::kGoto:
+    case StmtKind::kEmpty:
+      return true;  // Handled in the collection passes.
+    case StmtKind::kExpr: {
+      auto& node = static_cast<ExprStmt&>(stmt);
+      return CheckExpr(*node.expr, info, /*allow_comm=*/true);
+    }
+    case StmtKind::kIf: {
+      auto& node = static_cast<IfStmt&>(stmt);
+      if (!CheckExpr(*node.condition, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.condition->IsStruct() || node.condition->type.IsArray()) {
+        Error(node.condition->location, "if condition must be a scalar");
+        return false;
+      }
+      if (!CheckStmt(*node.then_branch, info)) {
+        return false;
+      }
+      return node.else_branch == nullptr || CheckStmt(*node.else_branch, info);
+    }
+    case StmtKind::kWhile: {
+      auto& node = static_cast<WhileStmt&>(stmt);
+      if (!CheckExpr(*node.condition, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.condition->IsStruct() || node.condition->type.IsArray()) {
+        Error(node.condition->location, "while condition must be a scalar");
+        return false;
+      }
+      return CheckStmt(*node.body, info);
+    }
+    case StmtKind::kAssert: {
+      auto& node = static_cast<AssertStmt&>(stmt);
+      if (!CheckExpr(*node.condition, info, /*allow_comm=*/false)) {
+        return false;
+      }
+      if (node.condition->IsStruct() || node.condition->type.IsArray()) {
+        Error(node.condition->location, "assert condition must be a scalar");
+        return false;
+      }
+      return true;
+    }
+    case StmtKind::kBlock: {
+      auto& block = static_cast<BlockStmt&>(stmt);
+      for (StmtPtr& child : block.statements) {
+        if (!CheckStmt(*child, info)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SemaContext::AnalyzeLayer(LayerDef& layer, LayerInfo& info) {
+  info.name = layer.name;
+  info.body = layer.body.get();
+  std::set<std::string> labels;
+  if (!CollectDeclsAndLabels(*layer.body, info, labels)) {
+    return false;
+  }
+  if (!CheckGotos(*layer.body, labels)) {
+    return false;
+  }
+  return CheckStmt(*layer.body, info);
+}
+
+std::optional<ProgramInfo> SemaContext::Analyze(EsmFile& file) {
+  if (!CollectLocalEnums(file)) {
+    return std::nullopt;
+  }
+  std::set<std::string> seen;
+  for (LayerDef& layer : file.layers) {
+    if (!system_.HasLayer(layer.name)) {
+      Error(layer.location, "layer '" + layer.name + "' is not declared in the ESI specification");
+      return std::nullopt;
+    }
+    if (!seen.insert(layer.name).second) {
+      Error(layer.location, "duplicate definition of layer '" + layer.name + "'");
+      return std::nullopt;
+    }
+    LayerInfo info;
+    if (!AnalyzeLayer(layer, info)) {
+      return std::nullopt;
+    }
+    program_.layers.push_back(std::move(info));
+  }
+  return std::move(program_);
+}
+
+}  // namespace
+
+std::optional<ProgramInfo> AnalyzeEsm(EsmFile& file, const esi::SystemInfo& system,
+                                      const SourceBuffer& buffer, DiagnosticEngine& diag,
+                                      const SemaOptions& options) {
+  SemaContext context(system, buffer, diag, options);
+  return context.Analyze(file);
+}
+
+}  // namespace efeu::esm

@@ -1,0 +1,67 @@
+// Semantic analysis for ESM. Annotates the AST in place (variable bindings,
+// enum constants, expression types, talk/read channel resolution) and returns
+// the per-layer variable tables that lowering and the backends consume.
+
+#ifndef SRC_ESM_SEMA_H_
+#define SRC_ESM_SEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+#include "src/esm/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::esm {
+
+// One local variable of a layer. Struct variables (whose type is an interface
+// message) have `struct_channel` set; scalars and arrays use `type`.
+struct VarInfo {
+  std::string name;
+  Type type;
+  const esi::ChannelInfo* struct_channel = nullptr;
+
+  bool IsStruct() const { return struct_channel != nullptr; }
+  int FlatSize() const { return IsStruct() ? struct_channel->flat_size : type.FlatSize(); }
+};
+
+struct LayerInfo {
+  std::string name;
+  std::vector<VarInfo> vars;
+  // The analyzed body; owned by the EsmFile passed to AnalyzeEsm.
+  const BlockStmt* body = nullptr;
+};
+
+struct ProgramInfo {
+  std::vector<LayerInfo> layers;
+  // Local (non-ESI) enums declared in the ESM file: member -> ordinal.
+  std::map<std::string, int> local_enum_values;
+
+  const LayerInfo* FindLayer(std::string_view name) const {
+    for (const LayerInfo& layer : layers) {
+      if (layer.name == name) {
+        return &layer;
+      }
+    }
+    return nullptr;
+  }
+};
+
+struct SemaOptions {
+  // Permits the nondet(N) builtin; enabled only for verifier specifications
+  // (behaviour specs and input-space definitions), never for drivers.
+  bool allow_nondet = false;
+};
+
+// Runs semantic analysis. Mutates `file` (annotations) and reports through
+// `diag`; returns nullopt on error.
+std::optional<ProgramInfo> AnalyzeEsm(EsmFile& file, const esi::SystemInfo& system,
+                                      const SourceBuffer& buffer, DiagnosticEngine& diag,
+                                      const SemaOptions& options = {});
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_SEMA_H_

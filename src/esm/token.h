@@ -1,0 +1,81 @@
+// Tokens of the ESM layer-FSM language (a restricted C subset, paper §3.1).
+
+#ifndef SRC_ESM_TOKEN_H_
+#define SRC_ESM_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/source_location.h"
+
+namespace efeu::esm {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  // Keywords.
+  kKwVoid,
+  kKwEnum,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwGoto,
+  kKwBit,
+  kKwBool,
+  kKwByte,
+  kKwShort,
+  kKwInt,
+  kKwAssert,
+  kKwTrue,
+  kKwFalse,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kColon,
+  kDot,
+  kAssign,      // =
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kGt,          // >
+  kLe,          // <=
+  kGe,          // >=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kTilde,       // ~
+  kBang,        // !
+  kAmp,         // &
+  kPipe,        // |
+  kCaret,       // ^
+  kAmpAmp,      // &&
+  kPipePipe,    // ||
+  kShl,         // <<
+  kShr,         // >>
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  SourceLocation location;
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace efeu::esm
+
+#endif  // SRC_ESM_TOKEN_H_

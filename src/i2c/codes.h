@@ -1,0 +1,98 @@
+// C++ mirrors of the ESI enum encodings (members are ordinals in declaration
+// order). A unit test cross-checks every value against the compiled
+// SystemInfo so the two can never drift apart.
+
+#ifndef SRC_I2C_CODES_H_
+#define SRC_I2C_CODES_H_
+
+#include <cstdint>
+
+namespace efeu::i2c {
+
+// enum CEAction
+inline constexpr int32_t kCeActWrite = 0;
+inline constexpr int32_t kCeActRead = 1;
+inline constexpr int32_t kCeActIdle = 2;
+
+// enum CEResult
+inline constexpr int32_t kCeResOk = 0;
+inline constexpr int32_t kCeResFail = 1;
+inline constexpr int32_t kCeResNack = 2;
+
+// enum CTAction
+inline constexpr int32_t kCtActWrite = 0;
+inline constexpr int32_t kCtActRead = 1;
+inline constexpr int32_t kCtActStop = 2;
+inline constexpr int32_t kCtActIdle = 3;
+
+// enum CTResult
+inline constexpr int32_t kCtResOk = 0;
+inline constexpr int32_t kCtResFail = 1;
+inline constexpr int32_t kCtResNack = 2;
+
+// enum CBAction
+inline constexpr int32_t kCbActStart = 0;
+inline constexpr int32_t kCbActStop = 1;
+inline constexpr int32_t kCbActWrite = 2;
+inline constexpr int32_t kCbActRead = 3;
+inline constexpr int32_t kCbActAck = 4;
+inline constexpr int32_t kCbActNack = 5;
+inline constexpr int32_t kCbActIdle = 6;
+
+// enum CBResult
+inline constexpr int32_t kCbResOk = 0;
+inline constexpr int32_t kCbResNack = 1;
+inline constexpr int32_t kCbResArbLost = 2;
+
+// enum CSAction
+inline constexpr int32_t kCsActStart = 0;
+inline constexpr int32_t kCsActStop = 1;
+inline constexpr int32_t kCsActBit0 = 2;
+inline constexpr int32_t kCsActBit1 = 3;
+inline constexpr int32_t kCsActIdle = 4;
+
+// enum RSAction
+inline constexpr int32_t kRsActListen = 0;
+inline constexpr int32_t kRsActDrive0 = 1;
+inline constexpr int32_t kRsActDrive1 = 2;
+inline constexpr int32_t kRsActStretch = 3;
+
+// enum RSEvent
+inline constexpr int32_t kRsEvStart = 0;
+inline constexpr int32_t kRsEvStop = 1;
+inline constexpr int32_t kRsEvBit0 = 2;
+inline constexpr int32_t kRsEvBit1 = 3;
+inline constexpr int32_t kRsEvStretched = 4;
+
+// enum RBAction
+inline constexpr int32_t kRbActListen = 0;
+inline constexpr int32_t kRbActAck = 1;
+inline constexpr int32_t kRbActNack = 2;
+inline constexpr int32_t kRbActSend = 3;
+
+// enum RBEvent
+inline constexpr int32_t kRbEvStart = 0;
+inline constexpr int32_t kRbEvStop = 1;
+inline constexpr int32_t kRbEvByte = 2;
+inline constexpr int32_t kRbEvAcked = 3;
+inline constexpr int32_t kRbEvNacked = 4;
+inline constexpr int32_t kRbEvDone = 5;
+
+// enum REEvent
+inline constexpr int32_t kReEvAddrWrite = 0;
+inline constexpr int32_t kReEvAddrRead = 1;
+inline constexpr int32_t kReEvData = 2;
+inline constexpr int32_t kReEvReadReq = 3;
+inline constexpr int32_t kReEvStop = 4;
+
+// enum REResult
+inline constexpr int32_t kReResAck = 0;
+inline constexpr int32_t kReResNack = 1;
+
+// Bus address of the first modeled EEPROM; additional EEPROMs use
+// consecutive addresses.
+inline constexpr int32_t kEepBaseAddress = 0x50;
+
+}  // namespace efeu::i2c
+
+#endif  // SRC_I2C_CODES_H_

@@ -1,0 +1,296 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// The ESI description of the complete I2C subsystem (paper Figure 1): the
+// controller stack (CWorld application interface down to CSymbol), the
+// responder stack (REep EEPROM logic down to RSymbol), and the Electrical
+// layer both Symbol layers exchange wire levels with.
+//
+// Direction conventions: in `interface <A, B>`, "=>" declares the channel
+// A -> B and "<=" the channel B -> A (paper Figure 4).
+const std::string& StandardEsi() {
+  static const std::string* text = new std::string(R"esi(
+// ---------------------------------------------------------------------------
+// Layers (controller stack, responder stack, shared electrical).
+// ---------------------------------------------------------------------------
+layer CWorld;
+layer CEepDriver;
+layer CTransaction;
+layer CByte;
+layer CSymbol;
+layer Electrical;
+layer REep;
+layer RTransaction;
+layer RByte;
+layer RSymbol;
+
+// ---------------------------------------------------------------------------
+// Controller-side operation and result codes.
+// ---------------------------------------------------------------------------
+
+// EEPROM driver operations (CWorld -> CEepDriver).
+enum CEAction {
+  CE_ACT_WRITE,
+  CE_ACT_READ,
+  CE_ACT_IDLE,
+};
+
+enum CEResult {
+  CE_RES_OK,
+  CE_RES_FAIL,
+  CE_RES_NACK,
+};
+
+// Transaction operations (paper Figure 4).
+enum CTAction {
+  CT_ACT_WRITE,
+  CT_ACT_READ,
+  CT_ACT_STOP,
+  CT_ACT_IDLE,
+};
+
+enum CTResult {
+  CT_RES_OK,
+  CT_RES_FAIL,
+  CT_RES_NACK,
+};
+
+// Byte-layer operations: Start, Stop, Read byte, Write byte, ACK, NACK, Idle
+// (paper Figure 1).
+enum CBAction {
+  CB_ACT_START,
+  CB_ACT_STOP,
+  CB_ACT_WRITE,
+  CB_ACT_READ,
+  CB_ACT_ACK,
+  CB_ACT_NACK,
+  CB_ACT_IDLE,
+};
+
+enum CBResult {
+  CB_RES_OK,
+  CB_RES_NACK,
+  CB_RES_ARB_LOST,
+};
+
+// Symbol-layer operations: START, STOP, BIT0, BIT1, Idle (paper Figure 1).
+enum CSAction {
+  CS_ACT_START,
+  CS_ACT_STOP,
+  CS_ACT_BIT0,
+  CS_ACT_BIT1,
+  CS_ACT_IDLE,
+};
+
+// ---------------------------------------------------------------------------
+// Responder-side operations and events.
+// ---------------------------------------------------------------------------
+
+// What the responder Byte layer asks of its Symbol layer. LISTEN releases
+// both lines; DRIVE0/DRIVE1 hold SDA through the next clock; STRETCH pulls
+// SCL low for one cycle — the only operation with which a responder can
+// drive SCL (paper section 2.3).
+enum RSAction {
+  RS_ACT_LISTEN,
+  RS_ACT_DRIVE0,
+  RS_ACT_DRIVE1,
+  RS_ACT_STRETCH,
+};
+
+enum RSEvent {
+  RS_EV_START,
+  RS_EV_STOP,
+  RS_EV_BIT0,
+  RS_EV_BIT1,
+  RS_EV_STRETCHED,
+};
+
+enum RBAction {
+  RB_ACT_LISTEN,
+  RB_ACT_ACK,
+  RB_ACT_NACK,
+  RB_ACT_SEND,
+};
+
+enum RBEvent {
+  RB_EV_START,
+  RB_EV_STOP,
+  RB_EV_BYTE,
+  RB_EV_ACKED,
+  RB_EV_NACKED,
+  RB_EV_DONE,
+};
+
+// Device events delivered from the responder Transaction layer to the EEPROM
+// logic on top.
+enum REEvent {
+  RE_EV_ADDR_WRITE,
+  RE_EV_ADDR_READ,
+  RE_EV_DATA,
+  RE_EV_READ_REQ,
+  RE_EV_STOP,
+};
+
+enum REResult {
+  RE_RES_ACK,
+  RE_RES_NACK,
+};
+
+// ---------------------------------------------------------------------------
+// Controller stack interfaces.
+// ---------------------------------------------------------------------------
+
+interface <CWorld, CEepDriver> {
+  => {
+    CEAction action;
+    u8 dev;
+    i16 offset;
+    u8 length;
+    u8 data[16];
+  },
+  <= {
+    CEResult res;
+    u8 length;
+    u8 data[16];
+  }
+};
+
+interface <CEepDriver, CTransaction> {
+  => {
+    CTAction action;
+    u8 addr;
+    u8 length;
+    u8 data[16];
+  },
+  <= {
+    CTResult res;
+    u8 length;
+    u8 data[16];
+  }
+};
+
+interface <CTransaction, CByte> {
+  => {
+    CBAction action;
+    u8 wdata;
+  },
+  <= {
+    CBResult res;
+    u8 rdata;
+  }
+};
+
+interface <CByte, CSymbol> {
+  => {
+    CSAction action;
+  },
+  <= {
+    bit sda;
+  }
+};
+
+interface <CSymbol, Electrical> {
+  => {
+    bit scl;
+    bit sda;
+  },
+  <= {
+    bit scl;
+    bit sda;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Responder stack interfaces.
+// ---------------------------------------------------------------------------
+
+interface <RSymbol, Electrical> {
+  => {
+    bit scl;
+    bit sda;
+  },
+  <= {
+    bit scl;
+    bit sda;
+  }
+};
+
+interface <RByte, RSymbol> {
+  => {
+    RSAction action;
+  },
+  <= {
+    RSEvent ev;
+  }
+};
+
+interface <RTransaction, RByte> {
+  => {
+    RBAction action;
+    u8 wdata;
+  },
+  <= {
+    RBEvent ev;
+    u8 rdata;
+  }
+};
+
+interface <RTransaction, REep> {
+  => {
+    REEvent ev;
+    u8 wdata;
+  },
+  <= {
+    REResult res;
+    u8 rdata;
+  }
+};
+)esi");
+  return *text;
+}
+
+// Verifier-only "oracle" interfaces: each verifier's input-space process
+// (controller side) coordinates expectations with the behaviour-checking
+// observer (responder side) over one of these. They correspond to the
+// hand-written glue in the paper's Promela verifiers.
+const std::string& VerifierEsi() {
+  static const std::string* text = new std::string(R"esi(
+// Oracle codes are small integers whose meaning is verifier-specific.
+interface <CByte, RByte> {
+  => {
+    u8 op;
+    u8 value;
+  },
+  <= {
+    u8 op;
+    u8 value;
+  }
+};
+
+interface <CTransaction, RTransaction> {
+  => {
+    u8 op;
+    u8 value;
+  },
+  <= {
+    u8 op;
+    u8 value;
+  }
+};
+
+interface <CEepDriver, REep> {
+  => {
+    u8 op;
+    u8 value;
+  },
+  <= {
+    u8 op;
+    u8 value;
+  }
+};
+)esi");
+  return *text;
+}
+
+}  // namespace efeu::i2c

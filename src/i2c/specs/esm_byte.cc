@@ -1,0 +1,337 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// The Byte layer, shared between controller and responder via preprocessor
+// guards the way the paper's _Byte.inc.esm is (Table 1 reports combined
+// lines). The controller half encodes/decodes bytes to bit symbols, samples
+// acknowledgments and detects arbitration loss; the responder half assembles
+// bytes from decoded symbol events and drives data/acknowledgment bits.
+//
+// KS0127_COMPAT (controller half) suppresses the read-acknowledgment clock —
+// the Linux I2C_M_NO_RD_ACK behaviour required by the KS0127 video decoder
+// (paper section 4.5). This is the paper's "10 lines of additional code" in
+// the controller Byte layer.
+const std::string& ByteIncEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifdef EFEU_CONTROLLER
+void CByte() {
+  CTransactionToCByte cmd;
+  CSymbolToCByte s;
+  byte i;
+  byte val;
+  CBResult res;
+  byte outdata;
+  bit b;
+
+  end_init:
+  cmd = CByteReadCTransaction();
+
+  process:
+  res = CB_RES_OK;
+  outdata = 0;
+  if (cmd.action == CB_ACT_START) {
+    s = CByteTalkCSymbol(CS_ACT_START);
+  } else if (cmd.action == CB_ACT_STOP) {
+    s = CByteTalkCSymbol(CS_ACT_STOP);
+  } else if (cmd.action == CB_ACT_IDLE) {
+    s = CByteTalkCSymbol(CS_ACT_IDLE);
+  } else if (cmd.action == CB_ACT_WRITE) {
+    // Transmit 8 bits MSB first; a high bit read back low means another
+    // controller won arbitration (paper section 2.3).
+    i = 0;
+    while (i < 8) {
+      b = (cmd.wdata >> (7 - i)) & 1;
+      if (b == 1) {
+        s = CByteTalkCSymbol(CS_ACT_BIT1);
+        if (s.sda == 0) {
+          res = CB_RES_ARB_LOST;
+        }
+      } else {
+        s = CByteTalkCSymbol(CS_ACT_BIT0);
+      }
+      i = i + 1;
+    }
+    if (res == CB_RES_OK) {
+      // Acknowledgment clock: release SDA and sample the responder.
+      s = CByteTalkCSymbol(CS_ACT_BIT1);
+      if (s.sda == 1) {
+        res = CB_RES_NACK;
+      }
+    }
+  } else if (cmd.action == CB_ACT_READ) {
+    i = 0;
+    val = 0;
+    while (i < 8) {
+      s = CByteTalkCSymbol(CS_ACT_BIT1);
+      val = (val << 1) | s.sda;
+      i = i + 1;
+    }
+    outdata = val;
+  } else if (cmd.action == CB_ACT_ACK) {
+#ifdef KS0127_COMPAT
+    // The KS0127 samples a stop condition where the acknowledgment bit
+    // should be; never generate the acknowledgment clock (I2C_M_NO_RD_ACK).
+    res = CB_RES_OK;
+#else
+    s = CByteTalkCSymbol(CS_ACT_BIT0);
+#endif
+  } else if (cmd.action == CB_ACT_NACK) {
+#ifdef KS0127_COMPAT
+    res = CB_RES_OK;
+#else
+    s = CByteTalkCSymbol(CS_ACT_BIT1);
+#endif
+  }
+
+  end_reply:
+  cmd = CByteTalkCTransaction(res, outdata);
+  goto process;
+}
+#endif
+
+#ifdef EFEU_RESPONDER
+void RByte() {
+  RTransactionToRByte cmd;
+  RSymbolToRByte s;
+  byte nbits;
+  byte val;
+  RBEvent outev;
+  byte outdata;
+  bit b;
+  bit done;
+
+  end_init:
+  cmd = RByteReadRTransaction();
+
+  process:
+  outev = RB_EV_DONE;
+  outdata = 0;
+  if (cmd.action == RB_ACT_LISTEN) {
+    // Collect 8 bits into a byte; START and STOP abort the byte (repeated
+    // START resets bit counting, as in real responders).
+    nbits = 0;
+    val = 0;
+    done = 0;
+    while (done == 0) {
+      // Waiting for the first bit of a byte is the responder's idle state
+      // (a valid end state); waiting mid-byte is not.
+      if (nbits == 0) {
+        end_listen_idle:
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      } else {
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      }
+      if (s.ev == RS_EV_START) {
+        outev = RB_EV_START;
+        done = 1;
+      } else if (s.ev == RS_EV_STOP) {
+        outev = RB_EV_STOP;
+        done = 1;
+      } else {
+        if (s.ev == RS_EV_BIT1) {
+          b = 1;
+        } else {
+          b = 0;
+        }
+        val = (val << 1) | b;
+        nbits = nbits + 1;
+        if (nbits == 8) {
+          outev = RB_EV_BYTE;
+          outdata = val;
+          done = 1;
+        }
+      }
+    }
+  } else if (cmd.action == RB_ACT_ACK) {
+    // Drive SDA low through the acknowledgment clock.
+    s = RByteTalkRSymbol(RS_ACT_DRIVE0);
+    if (s.ev == RS_EV_START) {
+      outev = RB_EV_START;
+    } else if (s.ev == RS_EV_STOP) {
+      outev = RB_EV_STOP;
+    }
+  } else if (cmd.action == RB_ACT_NACK) {
+    // Stay off the bus for one clock (also used to skip the acknowledgment
+    // clock of transfers addressed to other devices).
+    s = RByteTalkRSymbol(RS_ACT_LISTEN);
+    if (s.ev == RS_EV_START) {
+      outev = RB_EV_START;
+    } else if (s.ev == RS_EV_STOP) {
+      outev = RB_EV_STOP;
+    }
+  } else if (cmd.action == RB_ACT_SEND) {
+    // Transmit 8 bits MSB first, then sample the controller's
+    // acknowledgment on the ninth clock.
+    nbits = 0;
+    done = 0;
+    while (done == 0 && nbits < 8) {
+      b = (cmd.wdata >> (7 - nbits)) & 1;
+      if (b == 1) {
+        s = RByteTalkRSymbol(RS_ACT_DRIVE1);
+      } else {
+        s = RByteTalkRSymbol(RS_ACT_DRIVE0);
+      }
+      if (s.ev == RS_EV_START) {
+        outev = RB_EV_START;
+        done = 1;
+      } else if (s.ev == RS_EV_STOP) {
+        outev = RB_EV_STOP;
+        done = 1;
+      } else {
+        nbits = nbits + 1;
+      }
+    }
+    if (done == 0) {
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      if (s.ev == RS_EV_BIT0) {
+        outev = RB_EV_ACKED;
+      } else if (s.ev == RS_EV_BIT1) {
+        outev = RB_EV_NACKED;
+      } else if (s.ev == RS_EV_START) {
+        outev = RB_EV_START;
+      } else {
+        outev = RB_EV_STOP;
+      }
+    }
+  }
+
+  end_reply:
+  cmd = RByteTalkRTransaction(outev, outdata);
+  goto process;
+}
+#endif
+)esm");
+  return *text;
+}
+
+// The KS0127 video decoder's Byte layer (paper section 4.5): in a read
+// transfer it samples a stop condition at the place where the acknowledgment
+// bit should be; if the controller clocks an acknowledgment bit instead, the
+// stop condition is never recognized and the device blocks the bus
+// indefinitely. The responder half below replaces the standard one; the
+// controller half is unchanged. This mirrors the paper's
+// _Byte-KS0127.inc.esm (13 additional responder lines).
+const std::string& ByteKs0127IncEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifdef EFEU_CONTROLLER
+#include "_Byte_controller"
+#endif
+
+#ifdef EFEU_RESPONDER
+void RByte() {
+  RTransactionToRByte cmd;
+  RSymbolToRByte s;
+  byte nbits;
+  byte val;
+  RBEvent outev;
+  byte outdata;
+  bit b;
+  bit done;
+
+  end_init:
+  cmd = RByteReadRTransaction();
+
+  process:
+  outev = RB_EV_DONE;
+  outdata = 0;
+  if (cmd.action == RB_ACT_LISTEN) {
+    nbits = 0;
+    val = 0;
+    done = 0;
+    while (done == 0) {
+      // Waiting for the first bit of a byte is the responder's idle state
+      // (a valid end state); waiting mid-byte is not.
+      if (nbits == 0) {
+        end_listen_idle:
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      } else {
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      }
+      if (s.ev == RS_EV_START) {
+        outev = RB_EV_START;
+        done = 1;
+      } else if (s.ev == RS_EV_STOP) {
+        outev = RB_EV_STOP;
+        done = 1;
+      } else {
+        if (s.ev == RS_EV_BIT1) {
+          b = 1;
+        } else {
+          b = 0;
+        }
+        val = (val << 1) | b;
+        nbits = nbits + 1;
+        if (nbits == 8) {
+          outev = RB_EV_BYTE;
+          outdata = val;
+          done = 1;
+        }
+      }
+    }
+  } else if (cmd.action == RB_ACT_ACK) {
+    s = RByteTalkRSymbol(RS_ACT_DRIVE0);
+    if (s.ev == RS_EV_START) {
+      outev = RB_EV_START;
+    } else if (s.ev == RS_EV_STOP) {
+      outev = RB_EV_STOP;
+    }
+  } else if (cmd.action == RB_ACT_NACK) {
+    s = RByteTalkRSymbol(RS_ACT_LISTEN);
+    if (s.ev == RS_EV_START) {
+      outev = RB_EV_START;
+    } else if (s.ev == RS_EV_STOP) {
+      outev = RB_EV_STOP;
+    }
+  } else if (cmd.action == RB_ACT_SEND) {
+    nbits = 0;
+    done = 0;
+    while (done == 0 && nbits < 8) {
+      b = (cmd.wdata >> (7 - nbits)) & 1;
+      if (b == 1) {
+        s = RByteTalkRSymbol(RS_ACT_DRIVE1);
+      } else {
+        s = RByteTalkRSymbol(RS_ACT_DRIVE0);
+      }
+      if (s.ev == RS_EV_START) {
+        outev = RB_EV_START;
+        done = 1;
+      } else if (s.ev == RS_EV_STOP) {
+        outev = RB_EV_STOP;
+        done = 1;
+      } else {
+        nbits = nbits + 1;
+      }
+    }
+    if (done == 0) {
+      // KS0127 quirk: sample a stop condition at the place where the
+      // acknowledgment bit should be. The clock of a stop sequence rises
+      // with SDA low, then SDA rises while SCL is high. If the controller
+      // instead generates a (high) acknowledgment clock, the stop condition
+      // is never recognized and the device blocks the bus indefinitely.
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      if (s.ev == RS_EV_BIT0) {
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+        if (s.ev == RS_EV_STOP) {
+          outev = RB_EV_STOP;
+        } else {
+          goto quirk_hang;
+        }
+      } else {
+        quirk_hang:
+        cmd = RByteReadRTransaction();
+        goto quirk_hang;
+      }
+    }
+  }
+
+  end_reply:
+  cmd = RByteTalkRTransaction(outev, outdata);
+  goto process;
+}
+#endif
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,251 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// Controller Symbol layer: converts I2C symbols (START, STOP, BIT0, BIT1,
+// IDLE) into SCL/SDA half-cycle levels exchanged with the Electrical layer,
+// and handles responder clock stretching by waiting for SCL to actually rise
+// (paper section 2.3). Compiling with NO_CLOCK_STRETCHING models the
+// Raspberry Pi hardware controller bug (paper section 4.5).
+const std::string& CSymbolEsm() {
+  static const std::string* text = new std::string(R"esm(
+void CSymbol() {
+  CByteToCSymbol cmd;
+  ElectricalToCSymbol lv;
+  bit sampled;
+  bit b;
+
+  end_init:
+  cmd = CSymbolReadCByte();
+
+  process:
+  sampled = 1;
+  if (cmd.action == CS_ACT_START) {
+    // Release SDA during a low clock phase, raise SCL, then pull SDA low
+    // while SCL is high: the START condition (also valid as repeated START).
+    lv = CSymbolTalkElectrical(0, 1);
+    lv = CSymbolTalkElectrical(1, 1);
+#ifndef NO_CLOCK_STRETCHING
+    while (lv.scl == 0) {
+      lv = CSymbolTalkElectrical(1, 1);
+    }
+#endif
+    lv = CSymbolTalkElectrical(1, 0);
+  } else if (cmd.action == CS_ACT_STOP) {
+    // Pull SDA low during a low clock phase, raise SCL, then release SDA
+    // while SCL is high: the STOP condition.
+    lv = CSymbolTalkElectrical(0, 0);
+    lv = CSymbolTalkElectrical(1, 0);
+#ifndef NO_CLOCK_STRETCHING
+    while (lv.scl == 0) {
+      lv = CSymbolTalkElectrical(1, 0);
+    }
+#endif
+    lv = CSymbolTalkElectrical(1, 1);
+  } else if (cmd.action == CS_ACT_IDLE) {
+    // No-op to the bus: both lines released for one half cycle.
+    lv = CSymbolTalkElectrical(1, 1);
+  } else {
+    // BIT0 / BIT1: set SDA while SCL is low, then clock it out. Responders
+    // may stretch the high phase by holding SCL down; wait it out.
+    if (cmd.action == CS_ACT_BIT1) {
+      b = 1;
+    } else {
+      b = 0;
+    }
+    lv = CSymbolTalkElectrical(0, b);
+    lv = CSymbolTalkElectrical(1, b);
+#ifndef NO_CLOCK_STRETCHING
+    while (lv.scl == 0) {
+      lv = CSymbolTalkElectrical(1, b);
+    }
+#endif
+    sampled = lv.sda;
+  }
+
+  end_reply:
+  cmd = CSymbolTalkCByte(sampled);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Controller Transaction layer: issues read/write transactions (START,
+// address+R/W, payload, per-byte acknowledgments). STOP is a separate
+// operation so the EEPROM driver above can use repeated START for random
+// reads (paper Figure 2).
+const std::string& CTransactionEsm() {
+  static const std::string* text = new std::string(R"esm(
+void CTransaction() {
+  CEepDriverToCTransaction cmd;
+  CByteToCTransaction b;
+  CTResult res;
+  byte plen;
+  byte rdata[16];
+  byte i;
+
+  end_init:
+  cmd = CTransactionReadCEepDriver();
+
+  process:
+  res = CT_RES_OK;
+  plen = 0;
+  i = 0;
+  while (i < 16) {
+    rdata[i] = 0;
+    i = i + 1;
+  }
+
+  if (cmd.action == CT_ACT_WRITE) {
+    b = CTransactionTalkCByte(CB_ACT_START, 0);
+    b = CTransactionTalkCByte(CB_ACT_WRITE, cmd.addr << 1);
+    if (b.res == CB_RES_NACK) {
+      res = CT_RES_NACK;
+      goto end_reply;
+    }
+    if (b.res == CB_RES_ARB_LOST) {
+      res = CT_RES_FAIL;
+      goto end_reply;
+    }
+    i = 0;
+    while (i < cmd.length) {
+      b = CTransactionTalkCByte(CB_ACT_WRITE, cmd.data[i]);
+      if (b.res == CB_RES_NACK) {
+        res = CT_RES_NACK;
+        plen = i;
+        goto end_reply;
+      }
+      if (b.res == CB_RES_ARB_LOST) {
+        res = CT_RES_FAIL;
+        plen = i;
+        goto end_reply;
+      }
+      i = i + 1;
+    }
+    plen = cmd.length;
+  } else if (cmd.action == CT_ACT_READ) {
+    b = CTransactionTalkCByte(CB_ACT_START, 0);
+    b = CTransactionTalkCByte(CB_ACT_WRITE, (cmd.addr << 1) | 1);
+    if (b.res == CB_RES_NACK) {
+      res = CT_RES_NACK;
+      goto end_reply;
+    }
+    if (b.res == CB_RES_ARB_LOST) {
+      res = CT_RES_FAIL;
+      goto end_reply;
+    }
+    i = 0;
+    while (i < cmd.length) {
+      b = CTransactionTalkCByte(CB_ACT_READ, 0);
+      rdata[i] = b.rdata;
+      i = i + 1;
+      // ACK every byte except the last, which is NACKed to end the
+      // transfer (paper Figure 2).
+      if (i < cmd.length) {
+        b = CTransactionTalkCByte(CB_ACT_ACK, 0);
+      } else {
+        b = CTransactionTalkCByte(CB_ACT_NACK, 0);
+      }
+    }
+    plen = cmd.length;
+  } else if (cmd.action == CT_ACT_STOP) {
+    b = CTransactionTalkCByte(CB_ACT_STOP, 0);
+  } else {
+    b = CTransactionTalkCByte(CB_ACT_IDLE, 0);
+  }
+
+  end_reply:
+  cmd = CTransactionTalkCEepDriver(res, plen, rdata);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Controller EEPROM driver (Microchip 24AA512 protocol): writes send a
+// two-byte data offset followed by the payload; reads first write the offset,
+// then issue a read with a repeated START (paper section 2.3, Figure 2).
+const std::string& CEepDriverEsm() {
+  static const std::string* text = new std::string(R"esm(
+void CEepDriver() {
+  CWorldToCEepDriver cmd;
+  CTransactionToCEepDriver t;
+  CEResult res;
+  byte plen;
+  byte out[16];
+  byte buf[16];
+  byte i;
+
+  end_init:
+  cmd = CEepDriverReadCWorld();
+
+  process:
+  res = CE_RES_OK;
+  plen = 0;
+  i = 0;
+  while (i < 16) {
+    out[i] = 0;
+    buf[i] = 0;
+    i = i + 1;
+  }
+
+  if (cmd.action == CE_ACT_WRITE) {
+    buf[0] = (cmd.offset >> 8) & 0xFF;
+    buf[1] = cmd.offset & 0xFF;
+    i = 0;
+    while (i < cmd.length) {
+      buf[i + 2] = cmd.data[i];
+      i = i + 1;
+    }
+    t = CEepDriverTalkCTransaction(CT_ACT_WRITE, cmd.dev, cmd.length + 2, buf);
+    if (t.res == CT_RES_OK) {
+      plen = cmd.length;
+    } else if (t.res == CT_RES_NACK) {
+      res = CE_RES_NACK;
+    } else {
+      res = CE_RES_FAIL;
+    }
+    t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, buf);
+  } else if (cmd.action == CE_ACT_READ) {
+    buf[0] = (cmd.offset >> 8) & 0xFF;
+    buf[1] = cmd.offset & 0xFF;
+    t = CEepDriverTalkCTransaction(CT_ACT_WRITE, cmd.dev, 2, buf);
+    if (t.res != CT_RES_OK) {
+      if (t.res == CT_RES_NACK) {
+        res = CE_RES_NACK;
+      } else {
+        res = CE_RES_FAIL;
+      }
+      t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, buf);
+    } else {
+      // Repeated START: stream data out from the offset just written.
+      t = CEepDriverTalkCTransaction(CT_ACT_READ, cmd.dev, cmd.length, buf);
+      if (t.res == CT_RES_OK) {
+        plen = t.length;
+        i = 0;
+        while (i < plen) {
+          out[i] = t.data[i];
+          i = i + 1;
+        }
+      } else if (t.res == CT_RES_NACK) {
+        res = CE_RES_NACK;
+      } else {
+        res = CE_RES_FAIL;
+      }
+      t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, buf);
+    }
+  } else {
+    // CE_ACT_IDLE: keep the stack alive without touching the bus state.
+    t = CEepDriverTalkCTransaction(CT_ACT_IDLE, 0, 0, buf);
+  }
+
+  end_reply:
+  cmd = CEepDriverTalkCWorld(res, plen, out);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,263 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// Responder Symbol layer: passively follows the bus, decoding START/STOP
+// conditions and clocked bits from the SCL/SDA levels, while driving SDA (for
+// data and acknowledgments) or stretching SCL as instructed by the Byte layer
+// above. STRETCH is the only operation with which a responder drives SCL
+// (paper section 2.3).
+const std::string& RSymbolEsm() {
+  static const std::string* text = new std::string(R"esm(
+void RSymbol() {
+  RByteToRSymbol cmd;
+  ElectricalToRSymbol lv;
+  bit out_scl;
+  bit out_sda;
+  bit prev_scl;
+  bit prev_sda;
+  RSEvent ev;
+  bit have_ev;
+
+  // The bus idles with both lines pulled up.
+  prev_scl = 1;
+  prev_sda = 1;
+
+  end_init:
+  cmd = RSymbolReadRByte();
+
+  process:
+  out_scl = 1;
+  out_sda = 1;
+  if (cmd.action == RS_ACT_DRIVE0) {
+    out_sda = 0;
+  } else if (cmd.action == RS_ACT_STRETCH) {
+    out_scl = 0;
+  }
+
+  if (cmd.action == RS_ACT_STRETCH) {
+    // Hold SCL low for one half cycle, then report completion so the layer
+    // above can decide whether to keep stretching.
+    lv = RSymbolTalkElectrical(0, 1);
+    prev_scl = lv.scl;
+    prev_sda = lv.sda;
+    ev = RS_EV_STRETCHED;
+  } else {
+    // Keep driving the commanded levels until a symbol appears on the bus.
+    have_ev = 0;
+    while (have_ev == 0) {
+      end_wait_bus:
+      lv = RSymbolTalkElectrical(out_scl, out_sda);
+      if (prev_scl == 1 && lv.scl == 1 && prev_sda == 1 && lv.sda == 0) {
+        ev = RS_EV_START;
+        have_ev = 1;
+      } else if (prev_scl == 1 && lv.scl == 1 && prev_sda == 0 && lv.sda == 1) {
+        ev = RS_EV_STOP;
+        have_ev = 1;
+      } else if (prev_scl == 0 && lv.scl == 1) {
+        if (lv.sda == 1) {
+          ev = RS_EV_BIT1;
+        } else {
+          ev = RS_EV_BIT0;
+        }
+        have_ev = 1;
+      }
+      prev_scl = lv.scl;
+      prev_sda = lv.sda;
+    }
+  }
+
+  end_reply:
+  cmd = RSymbolTalkRByte(ev);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Responder Transaction layer: frames the byte stream into transactions.
+// Matches the device address (EEP_ADDR, 7-bit), forwards write data and read
+// requests to the EEPROM logic above, and keeps byte framing (skipping
+// acknowledgment clocks) for transfers addressed to other devices on the
+// shared bus.
+const std::string& RTransactionEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef EEP_ADDR
+#define EEP_ADDR 0x50
+#endif
+
+void RTransaction() {
+  RByteToRTransaction r;
+  REepToRTransaction e;
+  byte addr7;
+  bit rw;
+  bit in_txn;
+
+  main_loop:
+  end_listen:
+  r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+
+  handle:
+  if (r.ev == RB_EV_START) {
+    goto addr_phase;
+  }
+  if (r.ev == RB_EV_STOP) {
+    if (in_txn == 1) {
+      e = RTransactionTalkREep(RE_EV_STOP, 0);
+      in_txn = 0;
+    }
+    goto main_loop;
+  }
+  // Stray byte outside any transaction of ours: ignore.
+  goto main_loop;
+
+  addr_phase:
+  end_addr:
+  r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+  if (r.ev == RB_EV_START) {
+    goto addr_phase;
+  }
+  if (r.ev == RB_EV_STOP) {
+    if (in_txn == 1) {
+      e = RTransactionTalkREep(RE_EV_STOP, 0);
+      in_txn = 0;
+    }
+    goto main_loop;
+  }
+  addr7 = r.rdata >> 1;
+  rw = r.rdata & 1;
+  if (addr7 != EEP_ADDR) {
+    // Another device is being addressed. Skip the address byte's
+    // acknowledgment clock, then keep byte framing until START or STOP.
+    if (in_txn == 1) {
+      e = RTransactionTalkREep(RE_EV_STOP, 0);
+      in_txn = 0;
+    }
+    r = RTransactionTalkRByte(RB_ACT_NACK, 0);
+    if (r.ev == RB_EV_START) {
+      goto addr_phase;
+    }
+    if (r.ev == RB_EV_STOP) {
+      goto main_loop;
+    }
+    goto other_device;
+  }
+  if (rw == 0) {
+    e = RTransactionTalkREep(RE_EV_ADDR_WRITE, 0);
+  } else {
+    e = RTransactionTalkREep(RE_EV_ADDR_READ, 0);
+  }
+  if (e.res == RE_RES_ACK) {
+    r = RTransactionTalkRByte(RB_ACT_ACK, 0);
+    in_txn = 1;
+  } else {
+    r = RTransactionTalkRByte(RB_ACT_NACK, 0);
+    goto main_loop;
+  }
+  if (rw == 0) {
+    goto write_loop;
+  }
+  goto read_loop;
+
+  write_loop:
+  end_write:
+  r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+  if (r.ev == RB_EV_BYTE) {
+    e = RTransactionTalkREep(RE_EV_DATA, r.rdata);
+    if (e.res == RE_RES_ACK) {
+      r = RTransactionTalkRByte(RB_ACT_ACK, 0);
+    } else {
+      r = RTransactionTalkRByte(RB_ACT_NACK, 0);
+    }
+    goto write_loop;
+  }
+  goto handle;
+
+  read_loop:
+  e = RTransactionTalkREep(RE_EV_READ_REQ, 0);
+  end_read:
+  r = RTransactionTalkRByte(RB_ACT_SEND, e.rdata);
+  if (r.ev == RB_EV_ACKED) {
+    goto read_loop;
+  }
+  if (r.ev == RB_EV_NACKED) {
+    // The controller ends the transfer; a STOP or repeated START follows.
+    goto main_loop;
+  }
+  goto handle;
+
+  other_device:
+  end_other:
+  r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+  if (r.ev == RB_EV_BYTE) {
+    // Skip the other transfer's acknowledgment clock to stay framed.
+    r = RTransactionTalkRByte(RB_ACT_NACK, 0);
+    if (r.ev == RB_EV_START) {
+      goto addr_phase;
+    }
+    if (r.ev == RB_EV_STOP) {
+      goto main_loop;
+    }
+    goto other_device;
+  }
+  goto handle;
+}
+)esm");
+  return *text;
+}
+
+// The EEPROM logic (Microchip 24AA512 protocol): the first two data bytes of
+// a write transfer set the 16-bit data offset; subsequent bytes are written
+// at the offset, which auto-increments. Read requests stream bytes from the
+// offset. EEP_MEM_SIZE bounds the modeled memory.
+const std::string& REepEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef EEP_MEM_SIZE
+#define EEP_MEM_SIZE 32
+#endif
+
+void REep() {
+  RTransactionToREep q;
+  byte mem[EEP_MEM_SIZE];
+  int offset;
+  byte obytes;
+  REResult res;
+  byte outdata;
+
+  end_init:
+  q = REepReadRTransaction();
+
+  process:
+  res = RE_RES_ACK;
+  outdata = 0;
+  if (q.ev == RE_EV_ADDR_WRITE) {
+    obytes = 0;
+  } else if (q.ev == RE_EV_ADDR_READ) {
+    obytes = 2;
+  } else if (q.ev == RE_EV_DATA) {
+    if (obytes == 0) {
+      offset = q.wdata << 8;
+      obytes = 1;
+    } else if (obytes == 1) {
+      offset = (offset | q.wdata) % EEP_MEM_SIZE;
+      obytes = 2;
+    } else {
+      mem[offset] = q.wdata;
+      offset = (offset + 1) % EEP_MEM_SIZE;
+    }
+  } else if (q.ev == RE_EV_READ_REQ) {
+    outdata = mem[offset];
+    offset = (offset + 1) % EEP_MEM_SIZE;
+  }
+  // RE_EV_STOP needs no state change: the offset pointer persists, as on
+  // the real 24AA512.
+
+  end_reply:
+  q = REepTalkRTransaction(res, outdata);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,183 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// Symbol behaviour specification (paper section 4.1): stands in for
+// CSymbol + Electrical + RSymbol when verifying higher layers, specifying how
+// symbols combine on the bus — e.g. a START plus a passively listening
+// responder becomes a START operation received by both devices, and BIT0 plus
+// BIT1 combine to BIT0 because of the bus's pull-down characteristic. The
+// event sequence delivered to the responder matches the full stack exactly,
+// including the spurious bit observed before START and STOP conditions.
+//
+// The process is named Electrical because it occupies the electrical position
+// of the stack; it owns the CByte<->CSymbol and RByte<->RSymbol channel ends
+// ("acting as" CSymbol and RSymbol, the way the paper's hand-written Promela
+// glue owns channel ends).
+const std::string& SymbolSpecEsm() {
+  static const std::string* text = new std::string(R"esm(
+void Electrical() {
+  CByteToCSymbol ca;
+  RByteToRSymbol ra;
+  bit sampled;
+  bit rdrive;
+  bit b;
+  bit have_ra;
+
+  have_ra = 0;
+
+  main_loop:
+  // Invariant: park on the responder's armed action first, then on the
+  // controller's next symbol; both are valid end states. Replies go out as
+  // posts so neither side's next action is consumed eagerly.
+  if (have_ra == 0) {
+    end_idle_r:
+    ra = RSymbolReadRByte();
+    while (ra.action == RS_ACT_STRETCH) {
+      RSymbolPostRByte(RS_EV_STRETCHED);
+      end_stretch_a:
+      ra = RSymbolReadRByte();
+    }
+    have_ra = 1;
+  }
+
+  end_wait_c:
+  ca = CSymbolReadCByte();
+
+  if (ca.action == CS_ACT_IDLE) {
+    // No edge on the bus: the responder observes nothing and its armed
+    // action stays pending.
+    CSymbolPostCByte(1);
+    goto main_loop;
+  }
+
+  rdrive = 1;
+  if (ra.action == RS_ACT_DRIVE0) {
+    rdrive = 0;
+  }
+  have_ra = 0;
+
+  if (ca.action == CS_ACT_START) {
+    // The responder sees the SCL rise of the START preamble as a bit, then
+    // the START condition itself (each consuming one responder action).
+    if (rdrive == 1) {
+      RSymbolPostRByte(RS_EV_BIT1);
+    } else {
+      RSymbolPostRByte(RS_EV_BIT0);
+    }
+    end_arm2:
+    ra = RSymbolReadRByte();
+    while (ra.action == RS_ACT_STRETCH) {
+      RSymbolPostRByte(RS_EV_STRETCHED);
+      end_stretch_b:
+      ra = RSymbolReadRByte();
+    }
+    RSymbolPostRByte(RS_EV_START);
+    sampled = 1;
+  } else if (ca.action == CS_ACT_STOP) {
+    // The rising clock edge of the STOP sequence carries SDA low.
+    RSymbolPostRByte(RS_EV_BIT0);
+    end_arm3:
+    ra = RSymbolReadRByte();
+    while (ra.action == RS_ACT_STRETCH) {
+      RSymbolPostRByte(RS_EV_STRETCHED);
+      end_stretch_c:
+      ra = RSymbolReadRByte();
+    }
+    RSymbolPostRByte(RS_EV_STOP);
+    sampled = 1;
+  } else {
+    // BIT0/BIT1 combined with the responder's drive (wired AND).
+    if (ca.action == CS_ACT_BIT1) {
+      b = 1;
+    } else {
+      b = 0;
+    }
+    b = b & rdrive;
+    if (b == 1) {
+      RSymbolPostRByte(RS_EV_BIT1);
+    } else {
+      RSymbolPostRByte(RS_EV_BIT0);
+    }
+    sampled = b;
+  }
+
+  progress_sym:
+  CSymbolPostCByte(sampled);
+  goto main_loop;
+}
+)esm");
+  return *text;
+}
+
+// Byte behaviour specification: stands in for both Byte layers and everything
+// below. Controller byte operations map directly to responder byte events —
+// a written byte is seen by both devices, read bytes come from the
+// responder's pending SEND, acknowledgments couple the two sides (paper
+// section 4.1). Named CByte: it owns the CTransaction<->CByte and
+// RTransaction<->RByte channel ends.
+const std::string& ByteSpecEsm() {
+  static const std::string* text = new std::string(R"esm(
+void CByte() {
+  CTransactionToCByte cmd;
+  RTransactionToRByte ra;
+  CBResult cres;
+  byte cdata;
+  RBEvent ev;
+
+  end_init_r:
+  ra = RByteReadRTransaction();
+  end_init_c:
+  cmd = CByteReadCTransaction();
+
+  main_loop:
+  cres = CB_RES_OK;
+  cdata = 0;
+  if (cmd.action == CB_ACT_START) {
+    ev = RB_EV_START;
+    end_r_start:
+    ra = RByteTalkRTransaction(ev, 0);
+  } else if (cmd.action == CB_ACT_STOP) {
+    ev = RB_EV_STOP;
+    end_r_stop:
+    ra = RByteTalkRTransaction(ev, 0);
+  } else if (cmd.action == CB_ACT_IDLE) {
+    cres = CB_RES_OK;
+  } else if (cmd.action == CB_ACT_WRITE) {
+    // The responder must be listening; deliver the byte, and its following
+    // acknowledgment decision determines the controller's result.
+    assert(ra.action == RB_ACT_LISTEN);
+    end_r_byte:
+    ra = RByteTalkRTransaction(RB_EV_BYTE, cmd.wdata);
+    if (ra.action == RB_ACT_ACK) {
+      cres = CB_RES_OK;
+    } else {
+      cres = CB_RES_NACK;
+    }
+    end_r_ackdone:
+    ra = RByteTalkRTransaction(RB_EV_DONE, 0);
+  } else if (cmd.action == CB_ACT_READ) {
+    // The responder must be mid-SEND; its pending byte is what the
+    // controller reads. The SEND completes on the controller's ACK/NACK.
+    assert(ra.action == RB_ACT_SEND);
+    cdata = ra.wdata;
+  } else if (cmd.action == CB_ACT_ACK) {
+    assert(ra.action == RB_ACT_SEND);
+    end_r_acked:
+    ra = RByteTalkRTransaction(RB_EV_ACKED, 0);
+  } else if (cmd.action == CB_ACT_NACK) {
+    assert(ra.action == RB_ACT_SEND);
+    end_r_nacked:
+    ra = RByteTalkRTransaction(RB_EV_NACKED, 0);
+  }
+
+  progress_byte:
+  end_reply_c:
+  cmd = CByteTalkCTransaction(cres, cdata);
+  goto main_loop;
+}
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,471 @@
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+// Symbol verifier: drives the controller Symbol layer directly with
+// nondeterministically chosen symbols while the responder-side observer
+// drives RSymbol with listen/drive/stretch actions and checks the decoded
+// events against the wired-AND semantics. The two glue processes coordinate
+// over the CByte<->RByte oracle interface. SYM_STRETCH adds clock stretching
+// (0-2 half cycles per bit) to the input space; removing it models a
+// responder that never stretches (paper section 4.5).
+const std::string& SymbolVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef SYM_VERIF_OPS
+#define SYM_VERIF_OPS 2
+#endif
+
+void CByte() {
+  CSymbolToCByte s;
+  byte steps;
+  byte cb;
+  byte rd;
+  byte enc;
+  byte expected;
+
+  steps = 0;
+  while (steps < SYM_VERIF_OPS) {
+    CBytePostRByte(1, 0);
+    s = CByteTalkCSymbol(CS_ACT_START);
+    cb = nondet(2);
+    rd = nondet(2);
+    enc = cb | (rd << 1);
+    CBytePostRByte(3, enc);
+    if (cb == 1) {
+      s = CByteTalkCSymbol(CS_ACT_BIT1);
+    } else {
+      s = CByteTalkCSymbol(CS_ACT_BIT0);
+    }
+    expected = cb & rd;
+    assert(s.sda == expected);
+    CBytePostRByte(2, 0);
+    s = CByteTalkCSymbol(CS_ACT_STOP);
+    steps = steps + 1;
+  }
+  CBytePostRByte(0, 0);
+}
+
+void RByte() {
+  RSymbolToRByte s;
+  CByteToRByte o;
+  bit running;
+  byte cb;
+  byte rd;
+  byte st;
+  byte expected;
+
+  running = 1;
+  while (running == 1) {
+    end_oracle:
+    o = RByteReadCByte();
+    if (o.op == 0) {
+      running = 0;
+    } else if (o.op == 1) {
+      // START: the SCL rise of the preamble reads as a bit, then the START.
+      end_start_bit:
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      assert(s.ev == RS_EV_BIT1);
+      end_start_ev:
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      assert(s.ev == RS_EV_START);
+    } else if (o.op == 2) {
+      end_stop_bit:
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      assert(s.ev == RS_EV_BIT0);
+      end_stop_ev:
+      s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      assert(s.ev == RS_EV_STOP);
+    } else {
+      cb = o.value & 1;
+      rd = (o.value >> 1) & 1;
+#ifdef SYM_STRETCH
+      st = nondet(3);
+      while (st > 0) {
+        end_stretch:
+        s = RByteTalkRSymbol(RS_ACT_STRETCH);
+        assert(s.ev == RS_EV_STRETCHED);
+        st = st - 1;
+      }
+#endif
+      expected = cb & rd;
+      if (rd == 1) {
+        end_bit_listen:
+        s = RByteTalkRSymbol(RS_ACT_LISTEN);
+      } else {
+        end_bit_drive:
+        s = RByteTalkRSymbol(RS_ACT_DRIVE0);
+      }
+      if (expected == 1) {
+        assert(s.ev == RS_EV_BIT1);
+      } else {
+        assert(s.ev == RS_EV_BIT0);
+      }
+    }
+  }
+}
+)esm");
+  return *text;
+}
+
+// Byte verifier: the controller-side input space drives CByte with
+// transaction-shaped byte sequences (START, one write or read byte with a
+// chosen acknowledgment, STOP); the responder-side observer listens through
+// RByte and checks that the written byte is seen intact, supplies the byte
+// for reads, and checks the acknowledgment coupling (paper Figure 8).
+const std::string& ByteVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef BYTE_VERIF_OPS
+#define BYTE_VERIF_OPS 2
+#endif
+
+void CTransaction() {
+  CByteToCTransaction b;
+  byte steps;
+  byte v;
+  byte c;
+  byte ack;
+
+  steps = 0;
+  while (steps < BYTE_VERIF_OPS) {
+    CTransactionPostRTransaction(1, 0);
+    b = CTransactionTalkCByte(CB_ACT_START, 0);
+    assert(b.res == CB_RES_OK);
+    c = nondet(2);
+    if (c == 1) {
+      v = 0xA5;
+    } else {
+      v = 0x00;
+    }
+    ack = nondet(2);
+    c = nondet(2);
+    if (c == 0) {
+      // Write byte; the observer acknowledges it (or not).
+      if (ack == 1) {
+        CTransactionPostRTransaction(2, v);
+      } else {
+        CTransactionPostRTransaction(3, v);
+      }
+      b = CTransactionTalkCByte(CB_ACT_WRITE, v);
+      if (ack == 1) {
+        assert(b.res == CB_RES_OK);
+      } else {
+        assert(b.res == CB_RES_NACK);
+      }
+    } else {
+#ifdef KS0127_VERIF
+      // KS0127 input space: reads are one byte, never acknowledged, and the
+      // device consumes the STOP in place of the acknowledgment bit (paper
+      // section 4.5), so the STOP expectation is folded into op 5.
+      CTransactionPostRTransaction(5, v);
+      b = CTransactionTalkCByte(CB_ACT_READ, 0);
+      assert(b.res == CB_RES_OK);
+      assert(b.rdata == v);
+      b = CTransactionTalkCByte(CB_ACT_NACK, 0);
+      b = CTransactionTalkCByte(CB_ACT_STOP, 0);
+      assert(b.res == CB_RES_OK);
+      steps = steps + 1;
+      goto next_txn;
+#else
+      // Read byte; the observer transmits v, we acknowledge (or not).
+      if (ack == 1) {
+        CTransactionPostRTransaction(4, v);
+      } else {
+        CTransactionPostRTransaction(5, v);
+      }
+      b = CTransactionTalkCByte(CB_ACT_READ, 0);
+      assert(b.res == CB_RES_OK);
+      assert(b.rdata == v);
+      if (ack == 1) {
+        b = CTransactionTalkCByte(CB_ACT_ACK, 0);
+      } else {
+        b = CTransactionTalkCByte(CB_ACT_NACK, 0);
+      }
+#endif
+    }
+    CTransactionPostRTransaction(6, 0);
+    b = CTransactionTalkCByte(CB_ACT_STOP, 0);
+    assert(b.res == CB_RES_OK);
+    steps = steps + 1;
+    next_txn: ;
+  }
+  CTransactionPostRTransaction(0, 0);
+}
+
+void RTransaction() {
+  RByteToRTransaction r;
+  CTransactionToRTransaction o;
+  bit running;
+
+  running = 1;
+  while (running == 1) {
+    end_oracle:
+    o = RTransactionReadCTransaction();
+    if (o.op == 0) {
+      running = 0;
+    } else if (o.op == 1) {
+      end_start:
+      r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+      assert(r.ev == RB_EV_START);
+    } else if (o.op == 2) {
+      end_wb_ack:
+      r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+      assert(r.ev == RB_EV_BYTE);
+      assert(r.rdata == o.value);
+      end_wb_ack2:
+      r = RTransactionTalkRByte(RB_ACT_ACK, 0);
+      assert(r.ev == RB_EV_DONE);
+    } else if (o.op == 3) {
+      end_wb_nack:
+      r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+      assert(r.ev == RB_EV_BYTE);
+      assert(r.rdata == o.value);
+      end_wb_nack2:
+      r = RTransactionTalkRByte(RB_ACT_NACK, 0);
+      assert(r.ev == RB_EV_DONE);
+    } else if (o.op == 4) {
+      end_rb_ack:
+      r = RTransactionTalkRByte(RB_ACT_SEND, o.value);
+      assert(r.ev == RB_EV_ACKED);
+    } else if (o.op == 5) {
+      end_rb_nack:
+      r = RTransactionTalkRByte(RB_ACT_SEND, o.value);
+#ifdef KS0127_VERIF
+      // The KS0127 recognizes the stop condition in place of the
+      // acknowledgment bit and reports it instead of NACKED.
+      assert(r.ev == RB_EV_STOP);
+#else
+      assert(r.ev == RB_EV_NACKED);
+#endif
+    } else {
+      end_stop:
+      r = RTransactionTalkRByte(RB_ACT_LISTEN, 0);
+      assert(r.ev == RB_EV_STOP);
+    }
+  }
+}
+)esm");
+  return *text;
+}
+
+// Transaction verifier: the input space issues read/write transactions (with
+// a variable payload length up to TXN_MAX_LEN and fixed content, paper
+// section 4.1) plus transactions to an unpopulated address; the observer
+// stands in for the EEPROM logic and checks the event stream the responder
+// Transaction layer produces.
+const std::string& TransactionVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef TXN_VERIF_OPS
+#define TXN_VERIF_OPS 2
+#endif
+
+void CEepDriver() {
+  CTransactionToCEepDriver t;
+  byte data[16];
+  byte i;
+  byte plen;
+  byte op;
+  byte steps;
+
+  steps = 0;
+  while (steps < TXN_VERIF_OPS) {
+    op = nondet(3);
+    if (op < 2) {
+#ifdef TXN_LEN_ONE
+      plen = 1;
+#else
+      plen = nondet(TXN_MAX_LEN);
+      plen = plen + 1;
+#endif
+    } else {
+      plen = 1;
+    }
+    i = 0;
+    while (i < 16) {
+      data[i] = 0;
+      i = i + 1;
+    }
+    if (op == 0) {
+      // Write transaction with fixed payload content.
+      CEepDriverPostREep(1, plen);
+      i = 0;
+      while (i < plen) {
+        data[i] = 0x60 + i;
+        i = i + 1;
+      }
+      t = CEepDriverTalkCTransaction(CT_ACT_WRITE, 0x50, plen, data);
+      assert(t.res == CT_RES_OK);
+      assert(t.length == plen);
+      t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, data);
+      assert(t.res == CT_RES_OK);
+    } else if (op == 1) {
+      // Read transaction; the observer supplies 0x70+i.
+      CEepDriverPostREep(2, plen);
+      t = CEepDriverTalkCTransaction(CT_ACT_READ, 0x50, plen, data);
+      assert(t.res == CT_RES_OK);
+      assert(t.length == plen);
+      i = 0;
+      while (i < plen) {
+        assert(t.data[i] == 0x70 + i);
+        i = i + 1;
+      }
+      t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, data);
+      assert(t.res == CT_RES_OK);
+    } else {
+      // Nobody answers at 0x31: the address byte must be NACKed and the
+      // observer must see no event at all.
+      CEepDriverPostREep(3, 0);
+      t = CEepDriverTalkCTransaction(CT_ACT_WRITE, 0x31, 1, data);
+      assert(t.res == CT_RES_NACK);
+      t = CEepDriverTalkCTransaction(CT_ACT_STOP, 0, 0, data);
+      assert(t.res == CT_RES_OK);
+    }
+    steps = steps + 1;
+  }
+  CEepDriverPostREep(0, 0);
+}
+
+void REep() {
+  RTransactionToREep q;
+  CEepDriverToREep o;
+  byte i;
+  bit running;
+
+  running = 1;
+  while (running == 1) {
+    end_oracle:
+    o = REepReadCEepDriver();
+    if (o.op == 0) {
+      running = 0;
+    } else if (o.op == 1) {
+      end_w_addr:
+      q = REepReadRTransaction();
+      assert(q.ev == RE_EV_ADDR_WRITE);
+      REepPostRTransaction(RE_RES_ACK, 0);
+      i = 0;
+      while (i < o.value) {
+        end_w_data:
+        q = REepReadRTransaction();
+        assert(q.ev == RE_EV_DATA);
+        assert(q.wdata == 0x60 + i);
+        REepPostRTransaction(RE_RES_ACK, 0);
+        i = i + 1;
+      }
+      end_w_stop:
+      q = REepReadRTransaction();
+      assert(q.ev == RE_EV_STOP);
+      REepPostRTransaction(RE_RES_ACK, 0);
+    } else if (o.op == 2) {
+      end_r_addr:
+      q = REepReadRTransaction();
+      assert(q.ev == RE_EV_ADDR_READ);
+      REepPostRTransaction(RE_RES_ACK, 0);
+      i = 0;
+      while (i < o.value) {
+        end_r_req:
+        q = REepReadRTransaction();
+        assert(q.ev == RE_EV_READ_REQ);
+        REepPostRTransaction(RE_RES_ACK, 0x70 + i);
+        i = i + 1;
+      }
+      end_r_stop:
+      q = REepReadRTransaction();
+      assert(q.ev == RE_EV_STOP);
+      REepPostRTransaction(RE_RES_ACK, 0);
+    }
+    // op 3: a transaction to another address; nothing must reach us.
+  }
+}
+)esm");
+  return *text;
+}
+
+// EepDriver verifier: the input space issues EEPROM reads and writes at a
+// fixed offset with 1..EEP_MAX_LEN bytes of fixed content against the full
+// responder stack (the real EEPROM model), and checks read results against
+// its own memory model — the EepDriver behaviour specification (paper
+// section 4.1). EEP_VARIABLE_PAYLOAD makes the first payload byte a
+// nondeterministic choice of two values (paper section 4.4).
+const std::string& EepVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef EEP_VERIF_OPS
+#define EEP_VERIF_OPS 2
+#endif
+#ifndef EEP_MEM_SIZE
+#define EEP_MEM_SIZE 32
+#endif
+#ifndef EEP_MODEL_SIZE
+#define EEP_MODEL_SIZE 32
+#endif
+#ifndef EEP_FIXED_OFFSET
+#define EEP_FIXED_OFFSET 3
+#endif
+
+void CWorld() {
+  CEepDriverToCWorld r;
+  byte model[EEP_MODEL_SIZE];
+  byte data[16];
+  byte i;
+  byte plen;
+  byte op;
+  byte steps;
+  byte dev;
+  int base;
+  byte firstbyte;
+
+  steps = 0;
+  while (steps < EEP_VERIF_OPS) {
+    op = nondet(2);
+#ifdef EEP_LEN_ONE
+    plen = 1;
+#else
+    plen = nondet(EEP_MAX_LEN);
+    plen = plen + 1;
+#endif
+#ifdef EEP_MULTI
+    dev = nondet(EEP_NUM_DEVS);
+#else
+    dev = 0;
+#endif
+    base = dev * EEP_MEM_SIZE;
+    i = 0;
+    while (i < 16) {
+      data[i] = 0;
+      i = i + 1;
+    }
+    if (op == 0) {
+      firstbyte = 0x41;
+#ifdef EEP_VARIABLE_PAYLOAD
+      firstbyte = nondet(2);
+      firstbyte = 0x41 + firstbyte;
+#endif
+      data[0] = firstbyte;
+      i = 1;
+      while (i < plen) {
+        data[i] = 0x41 + i;
+        i = i + 1;
+      }
+      r = CWorldTalkCEepDriver(CE_ACT_WRITE, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+      assert(r.res == CE_RES_OK);
+      i = 0;
+      while (i < plen) {
+        model[base + ((EEP_FIXED_OFFSET + i) % EEP_MEM_SIZE)] = data[i];
+        i = i + 1;
+      }
+    } else {
+      r = CWorldTalkCEepDriver(CE_ACT_READ, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+      assert(r.res == CE_RES_OK);
+      assert(r.length == plen);
+      i = 0;
+      while (i < plen) {
+        assert(r.data[i] == model[base + ((EEP_FIXED_OFFSET + i) % EEP_MEM_SIZE)]);
+        i = i + 1;
+      }
+    }
+    steps = steps + 1;
+  }
+}
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,44 @@
+// The I2C stack specifications (ESI + ESM sources), embedded as strings so
+// every binary is self-contained. One accessor per specification file; the
+// file layout mirrors the paper's artifact (shared _Byte include, quirk
+// variants for KS0127 and the Raspberry Pi controller, per-level verifiers).
+
+#ifndef SRC_I2C_SPECS_SPECS_H_
+#define SRC_I2C_SPECS_SPECS_H_
+
+#include <string>
+
+namespace efeu::i2c {
+
+// ESI: the system description (layers, enums, interfaces).
+const std::string& StandardEsi();
+// Verifier-only oracle interfaces, appended to StandardEsi() for verifiers.
+const std::string& VerifierEsi();
+
+// ESM layer sources. Controller stack.
+const std::string& CSymbolEsm();       // honors #define NO_CLOCK_STRETCHING
+const std::string& ByteIncEsm();       // shared controller/responder Byte layer
+                                       // (#define EFEU_CONTROLLER / EFEU_RESPONDER;
+                                       //  controller honors KS0127_COMPAT)
+const std::string& ByteKs0127IncEsm(); // responder Byte with the KS0127 quirk
+const std::string& CTransactionEsm();
+const std::string& CEepDriverEsm();
+
+// Responder stack.
+const std::string& RSymbolEsm();
+const std::string& RTransactionEsm();  // honors #define EEP_ADDR (default 0x50)
+const std::string& REepEsm();          // honors #define EEP_MEM_SIZE (default 32)
+
+// Behaviour specifications used to abstract lower layers (single responder).
+const std::string& SymbolSpecEsm();    // stands in for CSymbol+Electrical+RSymbol
+const std::string& ByteSpecEsm();      // stands in for Byte layers and below
+
+// Verifier input-space and observer processes, per level.
+const std::string& SymbolVerifierEsm();       // drives CSymbol/RSymbol directly
+const std::string& ByteVerifierEsm();         // drives CByte; observes RByte
+const std::string& TransactionVerifierEsm();  // drives CTransaction; observes REep side
+const std::string& EepVerifierEsm();          // drives CEepDriver; self-checking memory model
+
+}  // namespace efeu::i2c
+
+#endif  // SRC_I2C_SPECS_SPECS_H_

@@ -1,0 +1,107 @@
+#include "src/i2c/stack.h"
+
+#include "src/i2c/specs/specs.h"
+
+namespace efeu::i2c {
+
+namespace {
+
+void AddCommonIncludes(ir::CompileOptions& options) {
+  options.includes["CSymbol"] = CSymbolEsm();
+  options.includes["_Byte"] = ByteIncEsm();
+  options.includes["_Byte-KS0127"] = ByteKs0127IncEsm();
+  options.includes["_Byte_controller"] = ByteIncEsm();
+  options.includes["CTransaction"] = CTransactionEsm();
+  options.includes["CEepDriver"] = CEepDriverEsm();
+  options.includes["RSymbol"] = RSymbolEsm();
+  options.includes["RTransaction"] = RTransactionEsm();
+  options.includes["REep"] = REepEsm();
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Compilation> CompileControllerStack(DiagnosticEngine& diag,
+                                                        const ControllerStackOptions& options) {
+  MixOptions mix;
+  mix.csymbol = true;
+  mix.cbyte = true;
+  mix.ctransaction = true;
+  mix.ceepdriver = true;
+  mix.controller = options;
+  return CompileMix(diag, mix);
+}
+
+std::unique_ptr<ir::Compilation> CompileResponderStack(DiagnosticEngine& diag,
+                                                       const ResponderStackOptions& options) {
+  MixOptions mix;
+  mix.rsymbol = true;
+  mix.rbyte = true;
+  mix.rtransaction = true;
+  mix.reep = true;
+  mix.responder = options;
+  return CompileMix(diag, mix);
+}
+
+std::unique_ptr<ir::Compilation> CompileMix(DiagnosticEngine& diag, const MixOptions& options) {
+  ir::CompileOptions compile_options;
+  compile_options.allow_nondet = options.verifier;
+  AddCommonIncludes(compile_options);
+  compile_options.defines = options.defines;
+
+  std::string esi = StandardEsi();
+  if (options.verifier) {
+    esi += VerifierEsi();
+  }
+
+  // The EFEU_CONTROLLER / EFEU_RESPONDER selection is sequenced with textual
+  // directives so the KS0127 configuration can take the controller half from
+  // the standard _Byte and the responder half from the quirk variant.
+  std::string esm;
+  if (options.controller.no_clock_stretching) {
+    esm += "#define NO_CLOCK_STRETCHING 1\n";
+  }
+  if (options.controller.ks0127_compat) {
+    esm += "#define KS0127_COMPAT 1\n";
+  }
+  if (options.csymbol) {
+    esm += "#include \"CSymbol\"\n";
+  }
+  if (options.cbyte) {
+    esm += "#define EFEU_CONTROLLER 1\n";
+    esm += "#include \"_Byte\"\n";
+    esm += "#undef EFEU_CONTROLLER\n";
+  }
+  if (options.rsymbol) {
+    esm += "#include \"RSymbol\"\n";
+  }
+  if (options.rbyte) {
+    esm += "#define EFEU_RESPONDER 1\n";
+    if (options.responder.ks0127) {
+      esm += "#include \"_Byte-KS0127\"\n";
+    } else {
+      esm += "#include \"_Byte\"\n";
+    }
+    esm += "#undef EFEU_RESPONDER\n";
+  }
+  if (options.ctransaction) {
+    esm += "#include \"CTransaction\"\n";
+  }
+  if (options.ceepdriver) {
+    esm += "#include \"CEepDriver\"\n";
+  }
+  if (options.rtransaction || options.reep) {
+    compile_options.defines["EEP_ADDR"] = std::to_string(options.responder.address);
+    compile_options.defines["EEP_MEM_SIZE"] = std::to_string(options.responder.mem_size);
+  }
+  if (options.rtransaction) {
+    esm += "#include \"RTransaction\"\n";
+  }
+  if (options.reep) {
+    esm += "#include \"REep\"\n";
+  }
+  esm += options.extra_esm;
+
+  return ir::Compile(esi, esm, diag, compile_options);
+}
+
+}  // namespace efeu::i2c

@@ -1,0 +1,67 @@
+// Compilation entry points for the I2C specifications: assemble the right
+// ESI text, ESM includes and preprocessor defines for a driver stack or a
+// verifier, and run the ESMC pipeline.
+
+#ifndef SRC_I2C_STACK_H_
+#define SRC_I2C_STACK_H_
+
+#include <memory>
+#include <string>
+
+#include "src/ir/compile.h"
+#include "src/support/diagnostics.h"
+
+namespace efeu::i2c {
+
+struct ControllerStackOptions {
+  // Drop the clock-stretching handling from the controller Symbol layer
+  // (the Raspberry Pi hardware controller bug, paper section 4.5).
+  bool no_clock_stretching = false;
+  // Suppress the read-acknowledgment clock (Linux I2C_M_NO_RD_ACK; required
+  // to interoperate with the KS0127, paper section 4.5).
+  bool ks0127_compat = false;
+};
+
+// Compiles the controller stack: CSymbol, CByte, CTransaction, CEepDriver.
+std::unique_ptr<ir::Compilation> CompileControllerStack(DiagnosticEngine& diag,
+                                                        const ControllerStackOptions& options = {});
+
+struct ResponderStackOptions {
+  // 7-bit bus address the EEPROM answers to.
+  int address = 0x50;
+  // Modeled memory size in bytes.
+  int mem_size = 32;
+  // Use the KS0127 video decoder's quirky Byte layer instead of the
+  // standard one.
+  bool ks0127 = false;
+};
+
+// Compiles the responder stack: RSymbol, RByte, RTransaction, REep.
+std::unique_ptr<ir::Compilation> CompileResponderStack(DiagnosticEngine& diag,
+                                                       const ResponderStackOptions& options = {});
+
+// Low-level helper used by the verifier builders: compiles an arbitrary mix
+// of stack layers plus verifier glue.
+struct MixOptions {
+  bool csymbol = false;
+  bool cbyte = false;
+  bool ctransaction = false;
+  bool ceepdriver = false;
+  bool rsymbol = false;
+  bool rbyte = false;
+  bool rtransaction = false;
+  bool reep = false;
+  ControllerStackOptions controller;
+  ResponderStackOptions responder;
+  // Extra ESM text appended after the stack layers (verifier glue, specs).
+  std::string extra_esm;
+  // Extra preprocessor defines.
+  std::map<std::string, std::string> defines;
+  bool verifier = false;  // include oracle interfaces, allow nondet/post/act-as
+};
+
+std::unique_ptr<ir::Compilation> CompileMix(DiagnosticEngine& diag, const MixOptions& options);
+
+}  // namespace efeu::i2c
+
+#endif  // SRC_I2C_STACK_H_

@@ -1,0 +1,61 @@
+// The Transaction behaviour specification as a native process: stands in for
+// both Transaction layers and everything below when verifying the EepDriver
+// layer. Controller transactions map directly onto EEPROM events: a write
+// transaction becomes ADDR_WRITE followed by one DATA event per payload byte;
+// a read becomes ADDR_READ followed by READ_REQ events; STOP is delivered to
+// the addressed device. Native so it can serve any number of EEPROM
+// responders (paper section 4.4 scales to three).
+
+#ifndef SRC_I2C_TRANSACTION_SPEC_H_
+#define SRC_I2C_TRANSACTION_SPEC_H_
+
+#include <vector>
+
+#include "src/check/native_process.h"
+#include "src/esi/system_info.h"
+
+namespace efeu::i2c {
+
+struct TransactionSpecDevice {
+  // Channel RTransaction -> REep of this device's compilation.
+  const esi::ChannelInfo* to_eep = nullptr;
+  // Channel REep -> RTransaction.
+  const esi::ChannelInfo* from_eep = nullptr;
+  // 7-bit bus address the device answers to.
+  int address = 0x50;
+};
+
+class TransactionSpecProcess : public check::NativeProcess {
+ public:
+  // `cmd_channel` is CEepDriver -> CTransaction, `reply_channel` the reverse.
+  TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
+                         const esi::ChannelInfo* reply_channel,
+                         std::vector<TransactionSpecDevice> devices);
+
+  bool AtValidEndState() const override;
+
+ protected:
+  void InitState(std::vector<int32_t>& state) override;
+  PendingOp ComputePending(const std::vector<int32_t>& state) const override;
+  void OnRecv(int port, std::span<const int32_t> message,
+              std::vector<int32_t>& state) override;
+  void OnSendComplete(int port, std::vector<int32_t>& state) override;
+
+ private:
+  // The number of REep events the latched command produces.
+  int32_t EventCount(const std::vector<int32_t>& state) const;
+  // The event message for event index `i` of the latched command.
+  std::vector<int32_t> EventMessage(const std::vector<int32_t>& state) const;
+  // Device index targeted by the latched command (or -1).
+  int TargetDevice(const std::vector<int32_t>& state) const;
+
+  std::vector<TransactionSpecDevice> devices_;
+  int recv_cmd_ = -1;
+  int send_reply_ = -1;
+  std::vector<int> send_ev_;
+  std::vector<int> recv_ack_;
+};
+
+}  // namespace efeu::i2c
+
+#endif  // SRC_I2C_TRANSACTION_SPEC_H_

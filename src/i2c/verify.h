@@ -1,0 +1,93 @@
+// Builds model-checked verifier systems for every stack level and
+// abstraction (paper section 4): the unit-under-test layers, the lower stack
+// (or the behaviour specification replacing it), the input-space and observer
+// glue processes, and the Electrical combiner.
+
+#ifndef SRC_I2C_VERIFY_H_
+#define SRC_I2C_VERIFY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/i2c/stack.h"
+#include "src/ir/compile.h"
+#include "src/support/diagnostics.h"
+
+namespace efeu::i2c {
+
+enum class VerifyLevel {
+  kSymbol,
+  kByte,
+  kTransaction,
+  kEepDriver,
+};
+
+enum class VerifyAbstraction {
+  kNone,         // full stack below the unit under test
+  kSymbol,       // Symbol behaviour spec replaces Symbol+Electrical
+  kByte,         // Byte behaviour spec replaces Byte and below
+  kTransaction,  // Transaction behaviour spec replaces Transaction and below
+};
+
+struct VerifyConfig {
+  VerifyLevel level = VerifyLevel::kEepDriver;
+  VerifyAbstraction abstraction = VerifyAbstraction::kNone;
+  // Number of EEPROM responders (paper section 4.4). More than one is
+  // supported for the EepDriver verifier with kNone or kTransaction
+  // abstraction.
+  int num_eeproms = 1;
+  // Maximum payload length for Transaction/EepDriver verifiers (>= 1).
+  int max_len = 4;
+  // Operations the input space issues.
+  int num_ops = 2;
+  // First payload byte nondeterministically chosen from two values
+  // (the "variable payload" configuration, paper section 4.4).
+  bool variable_payload = false;
+  // Include clock stretching in the Symbol verifier's input space.
+  bool stretch_input = false;
+  // Controller quirks under test.
+  bool no_clock_stretching = false;      // Raspberry Pi bug
+  bool ks0127_compat_controller = false;  // I2C_M_NO_RD_ACK behaviour
+  // Responder quirk: the KS0127 Byte layer (implies the KS0127 input space
+  // for the Byte verifier).
+  bool ks0127_responder = false;
+  int mem_size = 32;
+};
+
+// Owns everything a verification run needs: compilations (whose channel and
+// module objects the processes reference) and the checked system itself.
+class VerifierSystem {
+ public:
+  check::CheckedSystem& system() { return system_; }
+  const std::vector<std::unique_ptr<ir::Compilation>>& compilations() const {
+    return compilations_;
+  }
+
+  // Internal; used by BuildVerifier.
+  std::vector<std::unique_ptr<ir::Compilation>> compilations_;
+  check::CheckedSystem system_;
+};
+
+// Returns nullptr (with diagnostics) if the specifications fail to compile or
+// the configuration is unsupported.
+std::unique_ptr<VerifierSystem> BuildVerifier(const VerifyConfig& config,
+                                              DiagnosticEngine& diag);
+
+// Runs the verification the way the paper runs SPIN (section 4.3): one pass
+// checking assertions + invalid end states, one pass checking non-progress
+// cycles, with the runtimes summed.
+struct VerifyRunResult {
+  check::CheckResult safety;
+  check::CheckResult liveness;
+  double total_seconds = 0;
+  bool ok = false;
+};
+
+VerifyRunResult RunVerification(const VerifyConfig& config, DiagnosticEngine& diag,
+                                const check::CheckerOptions& base_options = {});
+
+}  // namespace efeu::i2c
+
+#endif  // SRC_I2C_VERIFY_H_

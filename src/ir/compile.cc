@@ -1,0 +1,82 @@
+#include "src/ir/compile.h"
+
+#include "src/esi/parser.h"
+#include "src/esm/parser.h"
+#include "src/esm/preprocessor.h"
+#include "src/ir/lower.h"
+
+namespace efeu::ir {
+
+const Module* Compilation::FindModule(std::string_view layer_name) const {
+  for (const Module& module : modules_) {
+    if (module.layer_name == layer_name) {
+      return &module;
+    }
+  }
+  return nullptr;
+}
+
+const esm::LayerInfo* Compilation::FindLayer(std::string_view layer_name) const {
+  return program_.FindLayer(layer_name);
+}
+
+std::unique_ptr<Compilation> Compile(const std::string& esi_text, const std::string& esm_text,
+                                     DiagnosticEngine& diag, const CompileOptions& options) {
+  auto compilation = std::make_unique<Compilation>();
+
+  // ESI.
+  compilation->esi_buffer_ = std::make_unique<SourceBuffer>("spec.esi", esi_text);
+  std::optional<esi::EsiFile> esi_file = esi::ParseEsi(*compilation->esi_buffer_, diag);
+  if (!esi_file.has_value()) {
+    return nullptr;
+  }
+  std::optional<esi::SystemInfo> system =
+      esi::SystemInfo::Build(*esi_file, *compilation->esi_buffer_, diag);
+  if (!system.has_value()) {
+    return nullptr;
+  }
+  compilation->system_ = std::move(*system);
+
+  // Preprocess and parse ESM.
+  esm::Preprocessor preprocessor;
+  for (const auto& [name, value] : options.defines) {
+    preprocessor.Define(name, value);
+  }
+  for (const auto& [name, text] : options.includes) {
+    preprocessor.AddInclude(name, text);
+  }
+  std::string pp_error;
+  std::optional<std::string> preprocessed = preprocessor.Process(esm_text, &pp_error);
+  if (!preprocessed.has_value()) {
+    SourceBuffer raw("spec.esm", esm_text);
+    diag.Error(raw, SourceLocation{1, 1, 0}, "preprocessor: " + pp_error);
+    return nullptr;
+  }
+  compilation->preprocessed_esm_ = std::move(*preprocessed);
+  compilation->esm_buffer_ =
+      std::make_unique<SourceBuffer>("spec.esm", compilation->preprocessed_esm_);
+  std::optional<esm::EsmFile> esm_file = esm::ParseEsm(*compilation->esm_buffer_, diag);
+  if (!esm_file.has_value()) {
+    return nullptr;
+  }
+  compilation->esm_file_ = std::move(*esm_file);
+
+  // Sema.
+  esm::SemaOptions sema_options;
+  sema_options.allow_nondet = options.allow_nondet;
+  std::optional<esm::ProgramInfo> program =
+      esm::AnalyzeEsm(compilation->esm_file_, compilation->system_, *compilation->esm_buffer_,
+                      diag, sema_options);
+  if (!program.has_value()) {
+    return nullptr;
+  }
+  compilation->program_ = std::move(*program);
+
+  // Lowering.
+  for (const esm::LayerInfo& layer : compilation->program_.layers) {
+    compilation->modules_.push_back(LowerLayer(layer, compilation->system_));
+  }
+  return compilation;
+}
+
+}  // namespace efeu::ir

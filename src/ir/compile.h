@@ -1,0 +1,66 @@
+// The full ESMC pipeline in one call: preprocess ESM, parse ESI and ESM, run
+// semantic analysis, lower every layer to IR. This is the entry point used by
+// the I2C specifications, the backends, the verifiers and the driver runtime.
+
+#ifndef SRC_IR_COMPILE_H_
+#define SRC_IR_COMPILE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+#include "src/esm/ast.h"
+#include "src/esm/sema.h"
+#include "src/ir/ir.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_buffer.h"
+
+namespace efeu::ir {
+
+struct CompileOptions {
+  // Enables the nondet() builtin (verifier specifications only).
+  bool allow_nondet = false;
+  // Predefined preprocessor macros (like -D).
+  std::map<std::string, std::string> defines;
+  // Named snippets resolvable via #include "name" in the ESM source.
+  std::map<std::string, std::string> includes;
+};
+
+// Owns every artifact of one compilation so that internal cross-references
+// (ChannelInfo pointers, AST statement pointers) stay valid for its lifetime.
+class Compilation {
+ public:
+  const esi::SystemInfo& system() const { return system_; }
+  const esm::ProgramInfo& program() const { return program_; }
+  const std::vector<Module>& modules() const { return modules_; }
+  // The preprocessed ESM text (what the backends see).
+  const std::string& preprocessed_esm() const { return preprocessed_esm_; }
+
+  const Module* FindModule(std::string_view layer_name) const;
+  const esm::LayerInfo* FindLayer(std::string_view layer_name) const;
+  const esm::EsmFile& esm_file() const { return esm_file_; }
+
+ private:
+  friend std::unique_ptr<Compilation> Compile(const std::string& esi_text,
+                                              const std::string& esm_text,
+                                              DiagnosticEngine& diag,
+                                              const CompileOptions& options);
+
+  std::unique_ptr<SourceBuffer> esi_buffer_;
+  std::unique_ptr<SourceBuffer> esm_buffer_;
+  std::string preprocessed_esm_;
+  esi::SystemInfo system_;
+  esm::EsmFile esm_file_;
+  esm::ProgramInfo program_;
+  std::vector<Module> modules_;
+};
+
+// Runs the pipeline. Returns nullptr after reporting diagnostics on error.
+std::unique_ptr<Compilation> Compile(const std::string& esi_text, const std::string& esm_text,
+                                     DiagnosticEngine& diag, const CompileOptions& options = {});
+
+}  // namespace efeu::ir
+
+#endif  // SRC_IR_COMPILE_H_

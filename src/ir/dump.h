@@ -1,0 +1,16 @@
+// Human-readable IR dump, used in tests and for debugging specifications.
+
+#ifndef SRC_IR_DUMP_H_
+#define SRC_IR_DUMP_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace efeu::ir {
+
+std::string DumpModule(const Module& module);
+
+}  // namespace efeu::ir
+
+#endif  // SRC_IR_DUMP_H_

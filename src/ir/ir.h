@@ -1,0 +1,133 @@
+// The Efeu intermediate representation. Each ESM layer lowers to a Module: a
+// control-flow graph of basic blocks over a flat frame of int32 slots. The
+// same IR is executed by the software VM (with a cost model), explored by the
+// model checker, stepped cycle-by-cycle by the RTL simulator, and printed by
+// the Verilog backend (blocks become FSM states). The C and Promela backends
+// work on the ESM AST instead, mirroring the paper's architecture (Clang AST
+// for C/Promela, LLVM IR for Verilog).
+
+#ifndef SRC_IR_IR_H_
+#define SRC_IR_IR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+#include "src/esm/ast.h"
+#include "src/support/source_location.h"
+
+namespace efeu::ir {
+
+// Frame slot classes. Temps are guaranteed dead at every blocking instruction
+// (send/recv/nondet), which lets the model checker canonicalize them to zero
+// when hashing states.
+enum class SlotClass {
+  kVar,    // a named ESM local (structs/arrays span several slots)
+  kStage,  // staging area for an outgoing message; live while blocked at send
+  kTemp,   // expression temporary; dead at blocking points
+};
+
+struct SlotInfo {
+  std::string name;  // variable name, "stage.<chan>", or "t<N>"
+  Type type;         // element type (drives truncation and FF width estimate)
+  SlotClass slot_class = SlotClass::kTemp;
+  int offset = 0;
+  int size = 1;  // number of int32 words
+};
+
+enum class Opcode {
+  kConst,     // frame[dst] = Truncate(imm)
+  kCopy,      // frame[dst] = Truncate(frame[a])
+  kUnOp,      // frame[dst] = unop(frame[a])
+  kBinOp,     // frame[dst] = binop(frame[a], frame[b])
+  kLoadIdx,   // frame[dst] = frame[a + clamp(frame[b], size)]   (a = array base)
+  kStoreIdx,  // frame[dst + clamp(frame[b], size)] = Truncate(frame[a])
+  kSend,      // block until the message at frame[a .. a+count) is delivered on port
+  kRecv,      // block until a message arrives on port; lands at frame[dst .. dst+count)
+  kNondet,    // frame[dst] = checker-chosen value in [0, imm)
+  kAssert,    // verification failure if frame[a] == 0
+  kJump,      // goto blocks[target]
+  kBranch,    // frame[a] != 0 ? blocks[target] : blocks[target2]
+  kHalt,      // process terminates (valid end state)
+};
+
+struct Inst {
+  Opcode op = Opcode::kHalt;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  int32_t imm = 0;
+  esm::UnaryOp unop = esm::UnaryOp::kPlus;
+  esm::BinaryOp binop = esm::BinaryOp::kAdd;
+  // Truncation type for kConst/kCopy/kStoreIdx; element count bound for
+  // kLoadIdx/kStoreIdx lives in `imm`.
+  Type type;
+  int port = -1;     // kSend/kRecv
+  int count = 0;     // kSend/kRecv message word count
+  int target = -1;   // kJump/kBranch
+  int target2 = -1;  // kBranch else-target
+  SourceLocation loc;
+
+  bool IsTerminator() const {
+    return op == Opcode::kJump || op == Opcode::kBranch || op == Opcode::kHalt;
+  }
+  bool IsBlocking() const {
+    return op == Opcode::kSend || op == Opcode::kRecv || op == Opcode::kNondet;
+  }
+};
+
+struct Block {
+  std::vector<Inst> insts;  // Non-empty; last instruction is the terminator.
+  std::string label;        // Original ESM label, if this block carries one.
+  bool is_end_label = false;
+  bool is_progress_label = false;
+};
+
+// A channel endpoint used by the module. Send ports carry messages from this
+// layer to `channel->to`; receive ports carry messages from `channel->from`.
+struct Port {
+  const esi::ChannelInfo* channel = nullptr;
+  bool is_send = false;
+
+  std::string peer() const { return is_send ? channel->to : channel->from; }
+};
+
+struct Module {
+  std::string layer_name;
+  std::vector<SlotInfo> slots;
+  int frame_size = 0;
+  std::vector<Block> blocks;  // blocks[0] is the entry.
+  std::vector<Port> ports;
+
+  // Index of the port for `channel` in the given direction, or -1.
+  int FindPort(const esi::ChannelInfo* channel, bool is_send) const {
+    for (size_t i = 0; i < ports.size(); ++i) {
+      if (ports[i].channel == channel && ports[i].is_send == is_send) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  // The slot record covering frame offset `offset` (for diagnostics/dumps).
+  const SlotInfo* SlotAt(int offset) const {
+    for (const SlotInfo& slot : slots) {
+      if (offset >= slot.offset && offset < slot.offset + slot.size) {
+        return &slot;
+      }
+    }
+    return nullptr;
+  }
+
+  int CountInsts() const {
+    int n = 0;
+    for (const Block& block : blocks) {
+      n += static_cast<int>(block.insts.size());
+    }
+    return n;
+  }
+};
+
+}  // namespace efeu::ir
+
+#endif  // SRC_IR_IR_H_

@@ -1,0 +1,722 @@
+#include "src/ir/lower.h"
+
+#include <cassert>
+#include <map>
+
+namespace efeu::ir {
+
+namespace {
+
+using esm::AssertStmt;
+using esm::AssignExpr;
+using esm::BinaryExpr;
+using esm::BlockStmt;
+using esm::CallExpr;
+using esm::CallKind;
+using esm::DeclStmt;
+using esm::Expr;
+using esm::ExprKind;
+using esm::ExprStmt;
+using esm::GotoStmt;
+using esm::IfStmt;
+using esm::IndexExpr;
+using esm::IntLiteralExpr;
+using esm::LabelStmt;
+using esm::MemberExpr;
+using esm::RefKind;
+using esm::Stmt;
+using esm::StmtKind;
+using esm::UnaryExpr;
+using esm::VarRefExpr;
+using esm::WhileStmt;
+
+class Lowerer {
+ public:
+  Lowerer(const esm::LayerInfo& layer, const esi::SystemInfo& system)
+      : layer_(layer), system_(system) {}
+
+  Module Lower();
+
+ private:
+  // -- Frame layout -----------------------------------------------------
+  void LayOutFrame();
+  void CollectPorts(const Stmt& stmt);
+  void CollectPortsInExpr(const Expr& expr);
+  int GetPort(const esi::ChannelInfo* channel, bool is_send);
+
+  int AllocTemp();
+  void ResetTemps() { temp_top_ = 0; }
+
+  // -- Block management ---------------------------------------------------
+  int NewBlock();
+  // Appends `inst` to the current block.
+  void Emit(Inst inst);
+  // Ends the current block with a jump to `target` unless already terminated,
+  // then makes `target` current.
+  void StartBlock(int target);
+  bool CurrentBlockTerminated() const;
+  int GetLabelBlock(const std::string& name);
+
+  // -- Lowering ------------------------------------------------------------
+  void LowerStmt(const Stmt& stmt);
+  // Returns the frame offset holding the expression's scalar value.
+  int LowerExpr(const Expr& expr);
+  void LowerStore(const Expr& lhs, int value_slot);
+  // Lowers a talk/read whose received message lands at frame offset
+  // `dst_base` (a struct variable or a scratch region).
+  void LowerComm(const CallExpr& call, int dst_base);
+  void LowerAssign(const AssignExpr& assign);
+  int LowerShortCircuit(const BinaryExpr& expr);
+
+  // Static frame offset of an lvalue's aggregate base (array var, struct
+  // field array, or struct var).
+  int VarOffset(int var_index) const { return var_offsets_[var_index]; }
+  // Base offset + element type of an array-typed expression (VarRef to a
+  // local array or Member naming an array field).
+  int ArrayBase(const Expr& expr, Type* elem_type) const;
+
+  const esm::LayerInfo& layer_;
+  const esi::SystemInfo& system_;
+  Module module_;
+  std::vector<int> var_offsets_;
+  std::map<std::pair<const esi::ChannelInfo*, bool>, int> port_ids_;
+  std::map<int, int> stage_offsets_;    // send port -> staging base
+  std::map<int, int> scratch_offsets_;  // recv port -> scratch base
+  std::map<std::string, int> label_blocks_;
+  int temp_base_ = 0;
+  int temp_top_ = 0;
+  int temp_watermark_ = 0;
+  int current_block_ = 0;
+};
+
+void Lowerer::CollectPortsInExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.call_kind == CallKind::kTalk) {
+        GetPort(call.out_channel, /*is_send=*/true);
+        GetPort(call.in_channel, /*is_send=*/false);
+      } else if (call.call_kind == CallKind::kRead) {
+        GetPort(call.in_channel, /*is_send=*/false);
+      } else if (call.call_kind == CallKind::kPost) {
+        GetPort(call.out_channel, /*is_send=*/true);
+      }
+      for (const esm::ExprPtr& arg : call.args) {
+        CollectPortsInExpr(*arg);
+      }
+      return;
+    }
+    case ExprKind::kAssign: {
+      const auto& node = static_cast<const AssignExpr&>(expr);
+      CollectPortsInExpr(*node.lhs);
+      CollectPortsInExpr(*node.rhs);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectPortsInExpr(*static_cast<const UnaryExpr&>(expr).operand);
+      return;
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      CollectPortsInExpr(*node.lhs);
+      CollectPortsInExpr(*node.rhs);
+      return;
+    }
+    case ExprKind::kIndex: {
+      const auto& node = static_cast<const IndexExpr&>(expr);
+      CollectPortsInExpr(*node.base);
+      CollectPortsInExpr(*node.index);
+      return;
+    }
+    case ExprKind::kMember:
+      CollectPortsInExpr(*static_cast<const MemberExpr&>(expr).base);
+      return;
+    default:
+      return;
+  }
+}
+
+void Lowerer::CollectPorts(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kExpr:
+      CollectPortsInExpr(*static_cast<const ExprStmt&>(stmt).expr);
+      return;
+    case StmtKind::kIf: {
+      const auto& node = static_cast<const IfStmt&>(stmt);
+      CollectPortsInExpr(*node.condition);
+      CollectPorts(*node.then_branch);
+      if (node.else_branch != nullptr) {
+        CollectPorts(*node.else_branch);
+      }
+      return;
+    }
+    case StmtKind::kWhile: {
+      const auto& node = static_cast<const WhileStmt&>(stmt);
+      CollectPortsInExpr(*node.condition);
+      CollectPorts(*node.body);
+      return;
+    }
+    case StmtKind::kAssert:
+      CollectPortsInExpr(*static_cast<const AssertStmt&>(stmt).condition);
+      return;
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const esm::StmtPtr& child : block.statements) {
+        CollectPorts(*child);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+int Lowerer::GetPort(const esi::ChannelInfo* channel, bool is_send) {
+  auto key = std::make_pair(channel, is_send);
+  auto it = port_ids_.find(key);
+  if (it != port_ids_.end()) {
+    return it->second;
+  }
+  int id = static_cast<int>(module_.ports.size());
+  module_.ports.push_back(Port{channel, is_send});
+  port_ids_[key] = id;
+  return id;
+}
+
+void Lowerer::LayOutFrame() {
+  int offset = 0;
+  var_offsets_.resize(layer_.vars.size());
+  for (size_t i = 0; i < layer_.vars.size(); ++i) {
+    const esm::VarInfo& var = layer_.vars[i];
+    var_offsets_[i] = offset;
+    if (var.IsStruct()) {
+      // One slot record per field so dumps and the FF estimate see field
+      // types; all share the variable's name prefix.
+      for (const esi::FieldInfo& field : var.struct_channel->fields) {
+        SlotInfo slot;
+        slot.name = var.name + "." + field.name;
+        slot.type = field.type.Element();
+        slot.slot_class = SlotClass::kVar;
+        slot.offset = offset + field.flat_offset;
+        slot.size = field.type.FlatSize();
+        module_.slots.push_back(std::move(slot));
+      }
+      offset += var.struct_channel->flat_size;
+    } else {
+      SlotInfo slot;
+      slot.name = var.name;
+      slot.type = var.type.Element();
+      slot.slot_class = SlotClass::kVar;
+      slot.offset = offset;
+      slot.size = var.type.FlatSize();
+      module_.slots.push_back(std::move(slot));
+      offset += var.type.FlatSize();
+    }
+  }
+  // Staging and scratch areas for every port, in port order.
+  CollectPorts(*layer_.body);
+  for (size_t p = 0; p < module_.ports.size(); ++p) {
+    const Port& port = module_.ports[p];
+    int size = port.channel->flat_size;
+    if (port.is_send) {
+      stage_offsets_[static_cast<int>(p)] = offset;
+      if (size > 0) {
+        SlotInfo slot;
+        slot.name = "stage." + port.channel->MessageStructName();
+        slot.type = Type::I32();
+        slot.slot_class = SlotClass::kStage;
+        slot.offset = offset;
+        slot.size = size;
+        module_.slots.push_back(std::move(slot));
+      }
+    } else {
+      scratch_offsets_[static_cast<int>(p)] = offset;
+      if (size > 0) {
+        SlotInfo slot;
+        slot.name = "scratch." + port.channel->MessageStructName();
+        slot.type = Type::I32();
+        slot.slot_class = SlotClass::kTemp;
+        slot.offset = offset;
+        slot.size = size;
+        module_.slots.push_back(std::move(slot));
+      }
+    }
+    offset += size;
+  }
+  temp_base_ = offset;
+}
+
+int Lowerer::AllocTemp() {
+  int offset = temp_base_ + temp_top_;
+  ++temp_top_;
+  if (temp_top_ > temp_watermark_) {
+    temp_watermark_ = temp_top_;
+    SlotInfo slot;
+    slot.name = "t" + std::to_string(temp_top_ - 1);
+    slot.type = Type::I32();
+    slot.slot_class = SlotClass::kTemp;
+    slot.offset = offset;
+    slot.size = 1;
+    module_.slots.push_back(std::move(slot));
+  }
+  return offset;
+}
+
+int Lowerer::NewBlock() {
+  module_.blocks.emplace_back();
+  return static_cast<int>(module_.blocks.size()) - 1;
+}
+
+void Lowerer::Emit(Inst inst) { module_.blocks[current_block_].insts.push_back(inst); }
+
+bool Lowerer::CurrentBlockTerminated() const {
+  const Block& block = module_.blocks[current_block_];
+  return !block.insts.empty() && block.insts.back().IsTerminator();
+}
+
+void Lowerer::StartBlock(int target) {
+  if (!CurrentBlockTerminated()) {
+    Inst jump;
+    jump.op = Opcode::kJump;
+    jump.target = target;
+    Emit(jump);
+  }
+  current_block_ = target;
+}
+
+int Lowerer::GetLabelBlock(const std::string& name) {
+  auto it = label_blocks_.find(name);
+  if (it != label_blocks_.end()) {
+    return it->second;
+  }
+  int id = NewBlock();
+  label_blocks_[name] = id;
+  return id;
+}
+
+int Lowerer::ArrayBase(const Expr& expr, Type* elem_type) const {
+  if (expr.kind == ExprKind::kVarRef) {
+    const auto& ref = static_cast<const VarRefExpr&>(expr);
+    assert(ref.ref_kind == RefKind::kLocal && ref.type.IsArray());
+    *elem_type = ref.type.Element();
+    return VarOffset(ref.var_index);
+  }
+  assert(expr.kind == ExprKind::kMember);
+  const auto& member = static_cast<const MemberExpr&>(expr);
+  const auto& base = static_cast<const VarRefExpr&>(*member.base);
+  assert(base.kind == ExprKind::kVarRef && base.ref_kind == RefKind::kLocal);
+  *elem_type = member.field_info->type.Element();
+  return VarOffset(base.var_index) + member.field_info->flat_offset;
+}
+
+int Lowerer::LowerShortCircuit(const BinaryExpr& expr) {
+  bool is_and = expr.op == esm::BinaryOp::kLogicalAnd;
+  int result = AllocTemp();
+  int lhs = LowerExpr(*expr.lhs);
+  Inst copy;
+  copy.op = Opcode::kCopy;
+  copy.dst = result;
+  copy.a = lhs;
+  copy.type = Type::Bool();
+  copy.loc = expr.location;
+  Emit(copy);
+
+  int rhs_block = NewBlock();
+  int end_block = NewBlock();
+  Inst branch;
+  branch.op = Opcode::kBranch;
+  branch.a = result;
+  branch.target = is_and ? rhs_block : end_block;
+  branch.target2 = is_and ? end_block : rhs_block;
+  branch.loc = expr.location;
+  Emit(branch);
+
+  current_block_ = rhs_block;
+  int rhs = LowerExpr(*expr.rhs);
+  Inst copy2 = copy;
+  copy2.a = rhs;
+  Emit(copy2);
+  StartBlock(end_block);
+  return result;
+}
+
+int Lowerer::LowerExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLiteral: {
+      const auto& node = static_cast<const IntLiteralExpr&>(expr);
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kConst;
+      inst.dst = t;
+      inst.imm = static_cast<int32_t>(node.value);
+      inst.type = Type::I32();
+      inst.loc = expr.location;
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kVarRef: {
+      const auto& ref = static_cast<const VarRefExpr&>(expr);
+      if (ref.ref_kind == RefKind::kLocal) {
+        return VarOffset(ref.var_index);
+      }
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kConst;
+      inst.dst = t;
+      inst.imm = ref.enum_value;
+      inst.type = Type::I32();
+      inst.loc = expr.location;
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kIndex: {
+      const auto& node = static_cast<const IndexExpr&>(expr);
+      Type elem_type;
+      int base = ArrayBase(*node.base, &elem_type);
+      int index = LowerExpr(*node.index);
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kLoadIdx;
+      inst.dst = t;
+      inst.a = base;
+      inst.b = index;
+      inst.imm = node.base->type.array_size;
+      inst.type = elem_type;
+      inst.loc = expr.location;
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kMember: {
+      const auto& node = static_cast<const MemberExpr&>(expr);
+      assert(!node.field_info->type.IsArray() && "array fields are lowered via ArrayBase");
+      const auto& base = static_cast<const VarRefExpr&>(*node.base);
+      return VarOffset(base.var_index) + node.field_info->flat_offset;
+    }
+    case ExprKind::kUnary: {
+      const auto& node = static_cast<const UnaryExpr&>(expr);
+      int operand = LowerExpr(*node.operand);
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kUnOp;
+      inst.dst = t;
+      inst.a = operand;
+      inst.unop = node.op;
+      inst.type = Type::I32();
+      inst.loc = expr.location;
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      if (node.op == esm::BinaryOp::kLogicalAnd || node.op == esm::BinaryOp::kLogicalOr) {
+        return LowerShortCircuit(node);
+      }
+      int lhs = LowerExpr(*node.lhs);
+      int rhs = LowerExpr(*node.rhs);
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kBinOp;
+      inst.dst = t;
+      inst.a = lhs;
+      inst.b = rhs;
+      inst.binop = node.op;
+      inst.type = Type::I32();
+      inst.loc = expr.location;
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kAssign: {
+      LowerAssign(static_cast<const AssignExpr&>(expr));
+      // The value of an assignment expression is unused in ESM statements;
+      // return a dummy slot holding zero to keep the contract simple.
+      int t = AllocTemp();
+      Inst inst;
+      inst.op = Opcode::kConst;
+      inst.dst = t;
+      inst.imm = 0;
+      inst.type = Type::I32();
+      Emit(inst);
+      return t;
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.call_kind == CallKind::kNondet) {
+        int t = AllocTemp();
+        Inst inst;
+        inst.op = Opcode::kNondet;
+        inst.dst = t;
+        inst.imm = static_cast<int32_t>(static_cast<const IntLiteralExpr&>(*call.args[0]).value);
+        inst.loc = expr.location;
+        Emit(inst);
+        return t;
+      }
+      if (call.call_kind == CallKind::kPost) {
+        LowerComm(call, /*dst_base=*/-1);
+        return AllocTemp();
+      }
+      // Discarded talk/read: receive into the scratch region.
+      assert(call.call_kind == CallKind::kTalk || call.call_kind == CallKind::kRead);
+      int in_port = GetPort(call.in_channel, /*is_send=*/false);
+      LowerComm(call, scratch_offsets_.at(in_port));
+      return AllocTemp();
+    }
+  }
+  assert(false && "unhandled expression kind");
+  return 0;
+}
+
+void Lowerer::LowerStore(const Expr& lhs, int value_slot) {
+  switch (lhs.kind) {
+    case ExprKind::kVarRef: {
+      const auto& ref = static_cast<const VarRefExpr&>(lhs);
+      Inst inst;
+      inst.op = Opcode::kCopy;
+      inst.dst = VarOffset(ref.var_index);
+      inst.a = value_slot;
+      inst.type = ref.type.Element();
+      inst.loc = lhs.location;
+      Emit(inst);
+      return;
+    }
+    case ExprKind::kMember: {
+      const auto& member = static_cast<const MemberExpr&>(lhs);
+      const auto& base = static_cast<const VarRefExpr&>(*member.base);
+      Inst inst;
+      inst.op = Opcode::kCopy;
+      inst.dst = VarOffset(base.var_index) + member.field_info->flat_offset;
+      inst.a = value_slot;
+      inst.type = member.field_info->type.Element();
+      inst.loc = lhs.location;
+      Emit(inst);
+      return;
+    }
+    case ExprKind::kIndex: {
+      const auto& node = static_cast<const IndexExpr&>(lhs);
+      Type elem_type;
+      int base = ArrayBase(*node.base, &elem_type);
+      int index = LowerExpr(*node.index);
+      Inst inst;
+      inst.op = Opcode::kStoreIdx;
+      inst.dst = base;
+      inst.a = value_slot;
+      inst.b = index;
+      inst.imm = node.base->type.array_size;
+      inst.type = elem_type;
+      inst.loc = lhs.location;
+      Emit(inst);
+      return;
+    }
+    default:
+      assert(false && "not an lvalue");
+  }
+}
+
+void Lowerer::LowerComm(const CallExpr& call, int dst_base) {
+  if (call.call_kind == CallKind::kTalk || call.call_kind == CallKind::kPost) {
+    int out_port = GetPort(call.out_channel, /*is_send=*/true);
+    int stage = stage_offsets_.at(out_port);
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      const Expr& arg = *call.args[i];
+      const esi::FieldInfo& field = call.out_channel->fields[i];
+      if (field.type.IsArray()) {
+        Type elem_type;
+        int src_base = ArrayBase(arg, &elem_type);
+        for (int j = 0; j < field.type.array_size; ++j) {
+          Inst copy;
+          copy.op = Opcode::kCopy;
+          copy.dst = stage + field.flat_offset + j;
+          copy.a = src_base + j;
+          copy.type = field.type.Element();
+          copy.loc = arg.location;
+          Emit(copy);
+        }
+      } else {
+        int value = LowerExpr(arg);
+        Inst copy;
+        copy.op = Opcode::kCopy;
+        copy.dst = stage + field.flat_offset;
+        copy.a = value;
+        copy.type = field.type;
+        copy.loc = arg.location;
+        Emit(copy);
+      }
+    }
+    Inst send;
+    send.op = Opcode::kSend;
+    send.port = out_port;
+    send.a = stage;
+    send.count = call.out_channel->flat_size;
+    send.loc = call.location;
+    Emit(send);
+  }
+  if (call.call_kind == CallKind::kPost) {
+    return;
+  }
+  int in_port = GetPort(call.in_channel, /*is_send=*/false);
+  Inst recv;
+  recv.op = Opcode::kRecv;
+  recv.port = in_port;
+  recv.dst = dst_base;
+  recv.count = call.in_channel->flat_size;
+  recv.loc = call.location;
+  Emit(recv);
+}
+
+void Lowerer::LowerAssign(const AssignExpr& assign) {
+  // Struct assignments: from a talk/read call or another struct variable.
+  if (assign.rhs->IsStruct()) {
+    const auto& lhs = static_cast<const VarRefExpr&>(*assign.lhs);
+    int dst_base = VarOffset(lhs.var_index);
+    if (assign.rhs->kind == ExprKind::kCall) {
+      LowerComm(static_cast<const CallExpr&>(*assign.rhs), dst_base);
+      return;
+    }
+    const auto& rhs = static_cast<const VarRefExpr&>(*assign.rhs);
+    int src_base = VarOffset(rhs.var_index);
+    for (const esi::FieldInfo& field : lhs.struct_channel->fields) {
+      for (int j = 0; j < field.type.FlatSize(); ++j) {
+        Inst copy;
+        copy.op = Opcode::kCopy;
+        copy.dst = dst_base + field.flat_offset + j;
+        copy.a = src_base + field.flat_offset + j;
+        copy.type = field.type.Element();
+        copy.loc = assign.location;
+        Emit(copy);
+      }
+    }
+    return;
+  }
+  int value = LowerExpr(*assign.rhs);
+  LowerStore(*assign.lhs, value);
+}
+
+void Lowerer::LowerStmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl:
+    case StmtKind::kEmpty:
+      return;
+    case StmtKind::kExpr: {
+      const auto& node = static_cast<const ExprStmt&>(stmt);
+      LowerExpr(*node.expr);
+      ResetTemps();
+      return;
+    }
+    case StmtKind::kIf: {
+      const auto& node = static_cast<const IfStmt&>(stmt);
+      int cond = LowerExpr(*node.condition);
+      ResetTemps();
+      int then_block = NewBlock();
+      int end_block = NewBlock();
+      int else_block = node.else_branch != nullptr ? NewBlock() : end_block;
+      Inst branch;
+      branch.op = Opcode::kBranch;
+      branch.a = cond;
+      branch.target = then_block;
+      branch.target2 = else_block;
+      branch.loc = node.location;
+      Emit(branch);
+      current_block_ = then_block;
+      LowerStmt(*node.then_branch);
+      StartBlock(end_block);
+      if (node.else_branch != nullptr) {
+        current_block_ = else_block;
+        LowerStmt(*node.else_branch);
+        StartBlock(end_block);
+      }
+      current_block_ = end_block;
+      return;
+    }
+    case StmtKind::kWhile: {
+      const auto& node = static_cast<const WhileStmt&>(stmt);
+      int head = NewBlock();
+      StartBlock(head);
+      int cond = LowerExpr(*node.condition);
+      ResetTemps();
+      int body_block = NewBlock();
+      int end_block = NewBlock();
+      Inst branch;
+      branch.op = Opcode::kBranch;
+      branch.a = cond;
+      branch.target = body_block;
+      branch.target2 = end_block;
+      branch.loc = node.location;
+      Emit(branch);
+      current_block_ = body_block;
+      LowerStmt(*node.body);
+      StartBlock(head);
+      current_block_ = end_block;
+      return;
+    }
+    case StmtKind::kGoto: {
+      const auto& node = static_cast<const GotoStmt&>(stmt);
+      Inst jump;
+      jump.op = Opcode::kJump;
+      jump.target = GetLabelBlock(node.label);
+      jump.loc = node.location;
+      Emit(jump);
+      // Statements after an unconditional goto are unreachable; start a fresh
+      // block for them so lowering stays well-formed.
+      current_block_ = NewBlock();
+      return;
+    }
+    case StmtKind::kLabel: {
+      const auto& node = static_cast<const LabelStmt&>(stmt);
+      int block = GetLabelBlock(node.name);
+      StartBlock(block);
+      module_.blocks[block].label = node.name;
+      module_.blocks[block].is_end_label = node.IsEndLabel();
+      module_.blocks[block].is_progress_label = node.IsProgressLabel();
+      return;
+    }
+    case StmtKind::kAssert: {
+      const auto& node = static_cast<const AssertStmt&>(stmt);
+      int cond = LowerExpr(*node.condition);
+      Inst inst;
+      inst.op = Opcode::kAssert;
+      inst.a = cond;
+      inst.loc = node.location;
+      Emit(inst);
+      ResetTemps();
+      return;
+    }
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const esm::StmtPtr& child : block.statements) {
+        LowerStmt(*child);
+      }
+      return;
+    }
+  }
+}
+
+Module Lowerer::Lower() {
+  module_.layer_name = layer_.name;
+  LayOutFrame();
+  NewBlock();  // Entry block 0.
+  current_block_ = 0;
+  LowerStmt(*layer_.body);
+  if (!CurrentBlockTerminated()) {
+    Inst halt;
+    halt.op = Opcode::kHalt;
+    Emit(halt);
+  }
+  // Every block must be terminated (blocks created for labels that were never
+  // reached by fallthrough, or post-goto blocks, may be empty).
+  for (Block& block : module_.blocks) {
+    if (block.insts.empty() || !block.insts.back().IsTerminator()) {
+      Inst halt;
+      halt.op = Opcode::kHalt;
+      block.insts.push_back(halt);
+    }
+  }
+  module_.frame_size = temp_base_ + temp_watermark_;
+  return std::move(module_);
+}
+
+}  // namespace
+
+Module LowerLayer(const esm::LayerInfo& layer, const esi::SystemInfo& system) {
+  Lowerer lowerer(layer, system);
+  return lowerer.Lower();
+}
+
+}  // namespace efeu::ir

@@ -1,0 +1,16 @@
+// Lowers an analyzed ESM layer to IR. Sema must have succeeded; lowering
+// itself cannot fail (internal invariant violations assert).
+
+#ifndef SRC_IR_LOWER_H_
+#define SRC_IR_LOWER_H_
+
+#include "src/esm/sema.h"
+#include "src/ir/ir.h"
+
+namespace efeu::ir {
+
+Module LowerLayer(const esm::LayerInfo& layer, const esi::SystemInfo& system);
+
+}  // namespace efeu::ir
+
+#endif  // SRC_IR_LOWER_H_

@@ -1,0 +1,40 @@
+// The cycle-accurate RTL simulation substrate: handshake wires and the
+// two-phase (evaluate/commit) component interface. Every hardware entity —
+// generated layer FSMs, the MMIO register file, the bus adapter, I2C device
+// models — implements RtlComponent; RtlSystem clocks them all at 100 MHz.
+
+#ifndef SRC_RTL_COMPONENT_H_
+#define SRC_RTL_COMPONENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace efeu::rtl {
+
+// One ready/valid handshake channel: the sender owns data+valid, the
+// receiver owns ready. Components read peer-owned fields during Evaluate()
+// (they then hold the values committed at the previous clock edge) and write
+// their own fields during Commit().
+struct HsWire {
+  std::vector<int32_t> data;
+  bool valid = false;
+  bool ready = false;
+
+  explicit HsWire(int words = 0) : data(static_cast<size_t>(words), 0) {}
+};
+
+class RtlComponent {
+ public:
+  virtual ~RtlComponent() = default;
+
+  // Phase 1: compute this clock's outputs from the currently visible wire
+  // values; stage them internally.
+  virtual void Evaluate() = 0;
+  // Phase 2: publish the staged outputs.
+  virtual void Commit() = 0;
+};
+
+}  // namespace efeu::rtl
+
+#endif  // SRC_RTL_COMPONENT_H_

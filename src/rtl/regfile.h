@@ -1,0 +1,79 @@
+// The MMIO-AXI Lite register file as an RTL component (the hardware half of
+// the generated software/hardware boundary, paper section 3.5 and Figure 7).
+// The software side accesses the registers between clock ticks through the
+// methods below; the hardware side speaks the ready/valid handshake. The
+// valid and ready flags auto-reset: a non-zero software write to VALID
+// publishes the staged message exactly once, a non-zero write to READY
+// accepts exactly one packet — preventing double delivery and packet loss
+// with a slow software peer.
+
+#ifndef SRC_RTL_REGFILE_H_
+#define SRC_RTL_REGFILE_H_
+
+#include <vector>
+
+#include "src/rtl/component.h"
+
+namespace efeu::rtl {
+
+class MmioRegfile : public RtlComponent {
+ public:
+  MmioRegfile(int down_words, int up_words)
+      : down_staged_(static_cast<size_t>(down_words), 0),
+        up_latched_(static_cast<size_t>(up_words), 0) {}
+
+  // Ablation: disable the automatic valid/ready reset of section 3.5. The
+  // handshake then behaves like the pure-hardware protocol, and a slow
+  // software peer double-delivers messages (the failure mode the paper's
+  // design prevents).
+  void set_disable_auto_reset(bool disable) { disable_auto_reset_ = disable; }
+
+  // `down` carries messages software -> hardware (this component sends);
+  // `up` the reverse (this component receives).
+  void BindDown(HsWire* wire) { down_wire_ = wire; }
+  void BindUp(HsWire* wire) { up_wire_ = wire; }
+
+  // -- Software-side register accesses (between ticks) ---------------------
+  void WriteDownWord(int index, int32_t value) { down_staged_[index] = value; }
+  void SetDownValid() { sw_down_valid_ = true; }
+  // True while the published message has not been consumed by hardware.
+  bool DownPending() const { return sw_down_valid_ || down_out_valid_; }
+  void ArmUp() { sw_up_ready_ = true; }
+  bool UpFull() const { return up_full_; }
+  int32_t ReadUpWord(int index) const { return up_latched_[index]; }
+  // Acknowledges the landed message and clears the interrupt.
+  void ConsumeUp() {
+    up_full_ = false;
+    irq_ = false;
+  }
+  bool irq() const { return irq_; }
+
+  // -- RtlComponent -----------------------------------------------------
+  void Evaluate() override;
+  void Commit() override;
+
+ private:
+  HsWire* down_wire_ = nullptr;
+  HsWire* up_wire_ = nullptr;
+
+  std::vector<int32_t> down_staged_;
+  bool sw_down_valid_ = false;
+  bool down_out_valid_ = false;
+  bool next_down_out_valid_ = false;
+  bool next_clear_sw_down_ = false;
+
+  std::vector<int32_t> up_latched_;
+  bool sw_up_ready_ = false;
+  bool up_out_ready_ = false;
+  bool next_up_out_ready_ = false;
+  bool next_clear_sw_up_ = false;
+  std::vector<int32_t> next_up_latched_;
+  bool next_latch_up_ = false;
+  bool up_full_ = false;
+  bool irq_ = false;
+  bool disable_auto_reset_ = false;
+};
+
+}  // namespace efeu::rtl
+
+#endif  // SRC_RTL_REGFILE_H_

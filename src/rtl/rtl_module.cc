@@ -1,0 +1,254 @@
+#include "src/rtl/rtl_module.h"
+
+#include <cassert>
+
+#include "src/support/check.h"
+
+namespace efeu::rtl {
+
+namespace {
+
+int32_t EvalUnOp(esm::UnaryOp op, int32_t a) {
+  switch (op) {
+    case esm::UnaryOp::kPlus:
+      return a;
+    case esm::UnaryOp::kNegate:
+      return static_cast<int32_t>(-static_cast<int64_t>(a));
+    case esm::UnaryOp::kBitNot:
+      return ~a;
+    case esm::UnaryOp::kLogicalNot:
+      return a == 0 ? 1 : 0;
+  }
+  return 0;
+}
+
+int32_t EvalBinOp(esm::BinaryOp op, int32_t a, int32_t b) {
+  int64_t wa = a;
+  int64_t wb = b;
+  switch (op) {
+    case esm::BinaryOp::kMul:
+      return static_cast<int32_t>(wa * wb);
+    case esm::BinaryOp::kDiv:
+      return b == 0 ? 0 : static_cast<int32_t>(wa / wb);
+    case esm::BinaryOp::kMod:
+      return b == 0 ? 0 : static_cast<int32_t>(wa % wb);
+    case esm::BinaryOp::kAdd:
+      return static_cast<int32_t>(wa + wb);
+    case esm::BinaryOp::kSub:
+      return static_cast<int32_t>(wa - wb);
+    case esm::BinaryOp::kShl:
+      return (b >= 0 && b < 32) ? static_cast<int32_t>(wa << wb) : 0;
+    case esm::BinaryOp::kShr:
+      return (b >= 0 && b < 32) ? static_cast<int32_t>(wa >> wb) : 0;
+    case esm::BinaryOp::kLt:
+      return wa < wb ? 1 : 0;
+    case esm::BinaryOp::kGt:
+      return wa > wb ? 1 : 0;
+    case esm::BinaryOp::kLe:
+      return wa <= wb ? 1 : 0;
+    case esm::BinaryOp::kGe:
+      return wa >= wb ? 1 : 0;
+    case esm::BinaryOp::kEq:
+      return wa == wb ? 1 : 0;
+    case esm::BinaryOp::kNe:
+      return wa != wb ? 1 : 0;
+    case esm::BinaryOp::kBitAnd:
+      return a & b;
+    case esm::BinaryOp::kBitXor:
+      return a ^ b;
+    case esm::BinaryOp::kBitOr:
+      return a | b;
+    case esm::BinaryOp::kLogicalAnd:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case esm::BinaryOp::kLogicalOr:
+      return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+RtlModule::RtlModule(const ir::Module* module, std::string instance_name)
+    : module_(module), name_(std::move(instance_name)), segmentation_(ir::SegmentModule(*module)) {
+  ports_.resize(module->ports.size());
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    int words = module->ports[p].channel->flat_size;
+    ports_[p].out_data.assign(words, 0);
+    ports_[p].next_data.assign(words, 0);
+  }
+  Reset();
+}
+
+void RtlModule::BindPort(int port, HsWire* wire) {
+  EFEU_CHECK(port >= 0 && port < static_cast<int>(ports_.size()),
+             "BindPort: port id out of range (channel not used by this layer?)");
+  ports_[port].wire = wire;
+}
+
+void RtlModule::Reset() {
+  frame_.assign(module_->frame_size, 0);
+  next_frame_ = frame_;
+  segment_ = 0;
+  in_recv_deassert_ = false;
+  next_segment_ = 0;
+  next_in_recv_deassert_ = false;
+  halted_ = false;
+  busy_cycles_ = 0;
+  for (PortState& port : ports_) {
+    port.out_valid = false;
+    port.out_ready = false;
+    std::fill(port.out_data.begin(), port.out_data.end(), 0);
+    port.next_valid = false;
+    port.next_ready = false;
+    std::fill(port.next_data.begin(), port.next_data.end(), 0);
+  }
+}
+
+void RtlModule::Evaluate() {
+  // Stage defaults: hold previous values.
+  next_frame_ = frame_;
+  next_segment_ = segment_;
+  next_in_recv_deassert_ = in_recv_deassert_;
+  for (PortState& port : ports_) {
+    port.next_valid = port.out_valid;
+    port.next_ready = port.out_ready;
+    port.next_data = port.out_data;
+  }
+  if (halted_) {
+    return;
+  }
+
+  const ir::Segment& segment = segmentation_.segments[segment_];
+  const ir::Block& block = module_->blocks[segment.block];
+
+  if (in_recv_deassert_) {
+    // De-assert-ready state after a receive.
+    const ir::Inst& inst = block.insts[segment.ender];
+    ports_[inst.port].next_ready = false;
+    next_in_recv_deassert_ = false;
+    next_segment_ = segment_ + 1;  // Blocking insts never end a block.
+    ++busy_cycles_;
+    return;
+  }
+
+  // Run the segment's plain instructions (blocking assignments).
+  auto& frame = next_frame_;
+  for (int i = segment.first; i < segment.last; ++i) {
+    const ir::Inst& inst = block.insts[i];
+    switch (inst.op) {
+      case ir::Opcode::kConst:
+        frame[inst.dst] = inst.type.Truncate(inst.imm);
+        break;
+      case ir::Opcode::kCopy:
+        frame[inst.dst] = inst.type.Truncate(frame[inst.a]);
+        break;
+      case ir::Opcode::kUnOp:
+        frame[inst.dst] = EvalUnOp(inst.unop, frame[inst.a]);
+        break;
+      case ir::Opcode::kBinOp:
+        frame[inst.dst] = EvalBinOp(inst.binop, frame[inst.a], frame[inst.b]);
+        break;
+      case ir::Opcode::kLoadIdx: {
+        int32_t index = frame[inst.b];
+        frame[inst.dst] =
+            (index >= 0 && index < inst.imm) ? inst.type.Truncate(frame[inst.a + index]) : 0;
+        break;
+      }
+      case ir::Opcode::kStoreIdx: {
+        int32_t index = frame[inst.b];
+        if (index >= 0 && index < inst.imm) {
+          frame[inst.dst + index] = inst.type.Truncate(frame[inst.a]);
+        }
+        break;
+      }
+      case ir::Opcode::kAssert:
+      case ir::Opcode::kNondet:
+        // Checked by the model checker; not synthesizable behaviour.
+        break;
+      default:
+        assert(false && "unexpected instruction in segment body");
+        break;
+    }
+  }
+
+  if (segment.ender < 0) {
+    next_segment_ = segment_ + 1;
+    ++busy_cycles_;
+    return;
+  }
+
+  const ir::Inst& inst = block.insts[segment.ender];
+  switch (inst.op) {
+    case ir::Opcode::kSend: {
+      PortState& port = ports_[inst.port];
+      assert(port.wire != nullptr);
+      if (port.out_valid && port.wire->ready) {
+        // Transfer edge: both registered flags were visible this cycle.
+        port.next_valid = false;
+        next_segment_ = segment_ + 1;
+        ++busy_cycles_;
+      } else {
+        for (int w = 0; w < inst.count; ++w) {
+          port.next_data[w] = frame[inst.a + w];
+        }
+        port.next_valid = true;
+      }
+      break;
+    }
+    case ir::Opcode::kRecv: {
+      PortState& port = ports_[inst.port];
+      assert(port.wire != nullptr);
+      if (port.out_ready && port.wire->valid) {
+        for (int w = 0; w < inst.count; ++w) {
+          frame[inst.dst + w] = port.wire->data[w];
+        }
+        next_in_recv_deassert_ = true;
+        ++busy_cycles_;
+      } else {
+        port.next_ready = true;
+      }
+      break;
+    }
+    case ir::Opcode::kJump:
+      next_segment_ = segmentation_.block_entry[inst.target];
+      ++busy_cycles_;
+      break;
+    case ir::Opcode::kBranch:
+      next_segment_ = frame[inst.a] != 0 ? segmentation_.block_entry[inst.target]
+                                         : segmentation_.block_entry[inst.target2];
+      ++busy_cycles_;
+      break;
+    case ir::Opcode::kHalt:
+      halted_ = true;
+      break;
+    default:
+      assert(false && "unexpected segment ender");
+      break;
+  }
+}
+
+void RtlModule::Commit() {
+  frame_ = next_frame_;
+  segment_ = next_segment_;
+  in_recv_deassert_ = next_in_recv_deassert_;
+  for (PortState& port : ports_) {
+    if (port.wire == nullptr) {
+      port.out_valid = port.next_valid;
+      port.out_ready = port.next_ready;
+      port.out_data = port.next_data;
+      continue;
+    }
+    bool is_send = module_->ports[&port - ports_.data()].is_send;
+    port.out_valid = port.next_valid;
+    port.out_ready = port.next_ready;
+    port.out_data = port.next_data;
+    if (is_send) {
+      port.wire->valid = port.out_valid;
+      port.wire->data = port.out_data;
+    } else {
+      port.wire->ready = port.out_ready;
+    }
+  }
+}
+
+}  // namespace efeu::rtl

@@ -1,0 +1,94 @@
+// Behavioural model of the Microchip 24AA512 512-Kbit I2C EEPROM (paper
+// section 5): a real bus device reacting to SCL/SDA edges. Implements 7-bit
+// addressing, the two-byte data offset, sequential reads with address
+// wrap-around, page writes committed on STOP, and the multi-millisecond
+// internal write cycle during which the device stops acknowledging.
+
+#ifndef SRC_SIM_EEPROM_H_
+#define SRC_SIM_EEPROM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rtl/component.h"
+#include "src/sim/i2c_bus.h"
+
+namespace efeu::sim {
+
+struct EepromConfig {
+  int address = 0x50;           // 7-bit bus address
+  int memory_bytes = 65536;     // 24AA512: 64 KiB
+  int page_bytes = 128;
+  double write_cycle_ns = 5e6;  // up to 5 ms per datasheet
+  double clock_ns = 10;         // simulation tick length
+};
+
+class Eeprom24aa512 : public rtl::RtlComponent {
+ public:
+  Eeprom24aa512(I2cBus* bus, const EepromConfig& config);
+
+  void Evaluate() override;
+  void Commit() override;
+
+  // Direct memory access for tests and result checking.
+  uint8_t MemoryAt(int offset) const { return memory_[offset % memory_.size()]; }
+  void Preload(int offset, uint8_t value) { memory_[offset % memory_.size()] = value; }
+
+  bool busy() const { return busy_ticks_left_ > 0; }
+  // Protocol statistics.
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t transactions_seen() const { return starts_seen_; }
+
+ private:
+  enum class Mode {
+    kIdle,          // waiting for a START
+    kReceiveByte,   // shifting in address or data bits
+    kAckDrive,      // driving the acknowledgment bit low
+    kSendBits,      // transmitting data bits (read transfer)
+    kAckSample,     // sampling the controller's acknowledgment
+    kIgnore,        // not addressed; wait for START/STOP
+  };
+
+  void OnStart();
+  void OnStop();
+  void OnRisingEdge(bool sda);
+  void OnFallingEdge();
+  void HandleReceivedByte();
+  void LoadSendByte();
+  void AdvancePointerAfterWrite();
+
+  I2cBus* bus_;
+  int driver_id_;
+  EepromConfig config_;
+  std::vector<uint8_t> memory_;
+
+  // Bus-follower state.
+  bool prev_scl_ = true;
+  bool prev_sda_ = true;
+  bool drive_sda_ = true;  // current (committed) drive
+  bool next_drive_sda_ = true;
+
+  Mode mode_ = Mode::kIdle;
+  bool addressed_phase_ = false;  // the byte being received is the address
+  bool writing_ = false;          // current transfer is a write
+  int shift_ = 0;
+  int bit_count_ = 0;
+  int send_byte_ = 0;
+  int send_bit_index_ = 0;
+
+  // Offset pointer handling (two offset bytes, then data).
+  int offset_bytes_seen_ = 2;
+  int pointer_ = 0;
+  bool wrote_data_ = false;
+
+  int64_t busy_ticks_left_ = 0;
+
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t starts_seen_ = 0;
+};
+
+}  // namespace efeu::sim
+
+#endif  // SRC_SIM_EEPROM_H_

@@ -1,0 +1,45 @@
+#include "src/sim/i2c_bus.h"
+
+namespace efeu::sim {
+
+int I2cBus::AddDriver() {
+  drivers_.push_back(Drive{});
+  return static_cast<int>(drivers_.size()) - 1;
+}
+
+void I2cBus::SetDriver(int id, bool scl, bool sda) {
+  drivers_[id].scl = scl;
+  drivers_[id].sda = sda;
+}
+
+bool I2cBus::scl() const {
+  for (const Drive& drive : drivers_) {
+    if (!drive.scl) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool I2cBus::sda() const {
+  for (const Drive& drive : drivers_) {
+    if (!drive.sda) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void I2cBus::Capture(double t_ns) {
+  if (!capture_) {
+    return;
+  }
+  bool s = scl();
+  bool d = sda();
+  if (!samples_.empty() && samples_.back().scl == s && samples_.back().sda == d) {
+    return;
+  }
+  samples_.push_back(Sample{t_ns, s, d});
+}
+
+}  // namespace efeu::sim

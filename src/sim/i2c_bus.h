@@ -1,0 +1,50 @@
+// The open-drain two-wire I2C bus: both SCL and SDA have pull-up resistors
+// and devices may only drive the lines low, so the observed level is the AND
+// of every driver's contribution (paper section 2.3). Includes waveform
+// capture standing in for the paper's oscilloscope.
+
+#ifndef SRC_SIM_I2C_BUS_H_
+#define SRC_SIM_I2C_BUS_H_
+
+#include <vector>
+
+namespace efeu::sim {
+
+class I2cBus {
+ public:
+  // Registers a new driver (initially releasing both lines); returns its id.
+  int AddDriver();
+
+  void SetDriver(int id, bool scl, bool sda);
+
+  // Combined (wired-AND) levels.
+  bool scl() const;
+  bool sda() const;
+
+  // -- Waveform capture ------------------------------------------------------
+  struct Sample {
+    double t_ns = 0;
+    bool scl = false;
+    bool sda = false;
+  };
+
+  void EnableCapture(bool enabled) { capture_ = enabled; }
+  // Records a sample if a line changed since the last one (call once per
+  // simulation step).
+  void Capture(double t_ns);
+  const std::vector<Sample>& samples() const { return samples_; }
+  void ClearSamples() { samples_.clear(); }
+
+ private:
+  struct Drive {
+    bool scl = true;
+    bool sda = true;
+  };
+  std::vector<Drive> drivers_;
+  bool capture_ = false;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace efeu::sim
+
+#endif  // SRC_SIM_I2C_BUS_H_

@@ -1,0 +1,540 @@
+#include "src/spi/specs.h"
+
+namespace efeu::spi {
+
+const std::string& SpiEsi() {
+  static const std::string* text = new std::string(R"esi(
+// Four-wire SPI, mode 0 (clock idles low, both sides sample on the rising
+// edge). SCLK, MOSI and CS are driven by the controller; MISO by the
+// responder — the Electrical layer routes them directionally (no wired-AND).
+layer SpWorld;
+layer SpDriver;
+layer SpByte;
+layer SpSymbol;
+layer SpElectrical;
+layer SpRSymbol;
+layer SpRByte;
+layer SpRegs;
+
+enum SPDAction {
+  SPD_ACT_WRITE,
+  SPD_ACT_READ,
+};
+
+enum SBAction {
+  SB_ACT_SELECT,
+  SB_ACT_DESELECT,
+  SB_ACT_XFER,
+};
+
+enum SSAction {
+  SS_ACT_SELECT,
+  SS_ACT_DESELECT,
+  SS_ACT_BIT0,
+  SS_ACT_BIT1,
+};
+
+enum SRAction {
+  SR_ACT_IDLE,
+  SR_ACT_PRESENT0,
+  SR_ACT_PRESENT1,
+};
+
+enum SREvent {
+  SR_EV_SELECTED,
+  SR_EV_DESELECTED,
+  SR_EV_BIT0,
+  SR_EV_BIT1,
+};
+
+enum RSBAction {
+  RSB_ACT_WAIT_SELECT,
+  RSB_ACT_XCHG,
+};
+
+enum RSBEvent {
+  RSB_EV_SELECTED,
+  RSB_EV_DESELECTED,
+  RSB_EV_BYTE,
+};
+
+interface <SpWorld, SpDriver> {
+  => { SPDAction action; u8 addr; u8 value; },
+  <= { u8 value; }
+};
+
+interface <SpDriver, SpByte> {
+  => { SBAction action; u8 value; },
+  <= { u8 value; }
+};
+
+interface <SpByte, SpSymbol> {
+  => { SSAction action; },
+  <= { bit miso; }
+};
+
+interface <SpSymbol, SpElectrical> {
+  => { bit sclk; bit mosi; bit cs; },
+  <= { bit miso; }
+};
+
+interface <SpRSymbol, SpElectrical> {
+  => { bit miso; },
+  <= { bit sclk; bit mosi; bit cs; }
+};
+
+interface <SpRByte, SpRSymbol> {
+  => { SRAction action; },
+  <= { SREvent ev; }
+};
+
+interface <SpRegs, SpRByte> {
+  => { RSBAction action; u8 value; },
+  <= { RSBEvent ev; u8 value; }
+};
+
+// Verifier-only oracle between the two glue processes.
+interface <SpDriver, SpRegs> {
+  => { u8 op; u8 value; },
+  <= { u8 op; u8 value; }
+};
+)esi");
+  return *text;
+}
+
+// Controller symbol layer. Mode 0: set MOSI while SCLK is low, then raise
+// SCLK; both sides sample on the rising edge. SPI_MODE1 models the classic
+// clock-phase mismatch: data shifts on the leading edge, so against a
+// mode-0 device every bit arrives one half cycle late.
+const std::string& SpSymbolEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpSymbol() {
+  SpByteToSpSymbol cmd;
+  SpElectricalToSpSymbol w;
+  bit sampled;
+  bit b;
+#ifdef SPI_MODE1
+  bit prevb;
+#endif
+
+  end_init:
+  cmd = SpSymbolReadSpByte();
+
+  process:
+  sampled = 0;
+  if (cmd.action == SS_ACT_SELECT) {
+    w = SpSymbolTalkSpElectrical(0, 1, 0);
+#ifdef SPI_MODE1
+    prevb = 1;
+#endif
+  } else if (cmd.action == SS_ACT_DESELECT) {
+    w = SpSymbolTalkSpElectrical(0, 1, 1);
+  } else {
+    if (cmd.action == SS_ACT_BIT1) {
+      b = 1;
+    } else {
+      b = 0;
+    }
+#ifdef SPI_MODE1
+    // CPHA mismatch: the new bit only appears after the rising edge and
+    // MISO is sampled on the trailing edge.
+    w = SpSymbolTalkSpElectrical(1, prevb, 0);
+    sampled = w.miso;
+    w = SpSymbolTalkSpElectrical(0, b, 0);
+    prevb = b;
+#else
+    w = SpSymbolTalkSpElectrical(0, b, 0);
+    w = SpSymbolTalkSpElectrical(1, b, 0);
+    sampled = w.miso;
+#endif
+  }
+
+  end_reply:
+  cmd = SpSymbolTalkSpByte(sampled);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Controller byte layer: full-duplex byte exchange plus chip-select control.
+const std::string& SpByteEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpByte() {
+  SpDriverToSpByte cmd;
+  SpSymbolToSpByte s;
+  byte i;
+  byte val;
+  byte outval;
+
+  end_init:
+  cmd = SpByteReadSpDriver();
+
+  process:
+  outval = 0;
+  if (cmd.action == SB_ACT_SELECT) {
+    s = SpByteTalkSpSymbol(SS_ACT_SELECT);
+  } else if (cmd.action == SB_ACT_DESELECT) {
+    s = SpByteTalkSpSymbol(SS_ACT_DESELECT);
+  } else {
+    i = 0;
+    val = 0;
+    while (i < 8) {
+      if (((cmd.value >> (7 - i)) & 1) == 1) {
+        s = SpByteTalkSpSymbol(SS_ACT_BIT1);
+      } else {
+        s = SpByteTalkSpSymbol(SS_ACT_BIT0);
+      }
+      val = (val << 1) | s.miso;
+      i = i + 1;
+    }
+    outval = val;
+  }
+
+  end_reply:
+  cmd = SpByteTalkSpDriver(outval);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Controller register-access driver: write = cmd(0x80|addr) + data byte;
+// read = cmd(addr) + dummy byte streaming the register value back.
+const std::string& SpDriverEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpDriver() {
+  SpWorldToSpDriver cmd;
+  SpByteToSpDriver b;
+  byte outval;
+
+  end_init:
+  cmd = SpDriverReadSpWorld();
+
+  process:
+  outval = 0;
+  b = SpDriverTalkSpByte(SB_ACT_SELECT, 0);
+  if (cmd.action == SPD_ACT_WRITE) {
+    b = SpDriverTalkSpByte(SB_ACT_XFER, 128 | (cmd.addr & 15));
+    b = SpDriverTalkSpByte(SB_ACT_XFER, cmd.value);
+  } else {
+    b = SpDriverTalkSpByte(SB_ACT_XFER, cmd.addr & 15);
+    b = SpDriverTalkSpByte(SB_ACT_XFER, 0);
+    outval = b.value;
+  }
+  b = SpDriverTalkSpByte(SB_ACT_DESELECT, 0);
+
+  end_reply:
+  cmd = SpDriverTalkSpWorld(outval);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// The Electrical layer: one round per half cycle, directional routing.
+// Replies go out as posts so neither side's next round is consumed eagerly;
+// parks on the responder's round first, then the controller's.
+const std::string& SpElectricalEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpElectrical() {
+  SpRSymbolToSpElectrical r;
+  SpSymbolToSpElectrical c;
+
+  round:
+  end_resp:
+  r = SpElectricalReadSpRSymbol();
+  end_ctrl:
+  c = SpElectricalReadSpSymbol();
+  SpElectricalPostSpSymbol(r.miso);
+  SpElectricalPostSpRSymbol(c.sclk, c.mosi, c.cs);
+  goto round;
+}
+)esm");
+  return *text;
+}
+
+// Responder symbol layer: presents MISO as instructed and decodes chip
+// select transitions and rising clock edges into events.
+const std::string& SpRSymbolEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpRSymbol() {
+  SpRByteToSpRSymbol cmd;
+  SpElectricalToSpRSymbol w;
+  bit out_miso;
+  bit prev_sclk;
+  bit prev_cs;
+  SREvent ev;
+  bit have;
+
+  prev_sclk = 0;
+  prev_cs = 1;
+
+  end_init:
+  cmd = SpRSymbolReadSpRByte();
+
+  process:
+  out_miso = 1;
+  if (cmd.action == SR_ACT_PRESENT0) {
+    out_miso = 0;
+  }
+  have = 0;
+  while (have == 0) {
+    end_wait:
+    w = SpRSymbolTalkSpElectrical(out_miso);
+    if (prev_cs == 1 && w.cs == 0) {
+      ev = SR_EV_SELECTED;
+      have = 1;
+    } else if (prev_cs == 0 && w.cs == 1) {
+      ev = SR_EV_DESELECTED;
+      have = 1;
+    } else if (w.cs == 0 && prev_sclk == 0 && w.sclk == 1) {
+      if (w.mosi == 1) {
+        ev = SR_EV_BIT1;
+      } else {
+        ev = SR_EV_BIT0;
+      }
+      have = 1;
+    }
+    prev_sclk = w.sclk;
+    prev_cs = w.cs;
+  }
+
+  end_reply:
+  cmd = SpRSymbolTalkSpRByte(ev);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// Responder byte layer: assembles MOSI bits while presenting the outgoing
+// byte MSB-first (full duplex); chip-select transitions abort the exchange.
+const std::string& SpRByteEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpRByte() {
+  SpRegsToSpRByte cmd;
+  SpRSymbolToSpRByte s;
+  byte nbits;
+  byte val;
+  RSBEvent outev;
+  byte outval;
+  bit b;
+  bit done;
+
+  end_init:
+  cmd = SpRByteReadSpRegs();
+
+  process:
+  outev = RSB_EV_BYTE;
+  outval = 0;
+  if (cmd.action == RSB_ACT_WAIT_SELECT) {
+    done = 0;
+    while (done == 0) {
+      end_idle:
+      s = SpRByteTalkSpRSymbol(SR_ACT_IDLE);
+      if (s.ev == SR_EV_SELECTED) {
+        outev = RSB_EV_SELECTED;
+        done = 1;
+      }
+      // Stray edges and deselects while idle are ignored.
+    }
+  } else {
+    nbits = 0;
+    val = 0;
+    done = 0;
+    while (done == 0) {
+      b = (cmd.value >> (7 - nbits)) & 1;
+      if (b == 1) {
+        s = SpRByteTalkSpRSymbol(SR_ACT_PRESENT1);
+      } else {
+        s = SpRByteTalkSpRSymbol(SR_ACT_PRESENT0);
+      }
+      if (s.ev == SR_EV_DESELECTED) {
+        outev = RSB_EV_DESELECTED;
+        done = 1;
+      } else if (s.ev == SR_EV_BIT0 || s.ev == SR_EV_BIT1) {
+        if (s.ev == SR_EV_BIT1) {
+          val = (val << 1) | 1;
+        } else {
+          val = val << 1;
+        }
+        nbits = nbits + 1;
+        if (nbits == 8) {
+          outev = RSB_EV_BYTE;
+          outval = val;
+          done = 1;
+        }
+      }
+    }
+  }
+
+  end_reply:
+  cmd = SpRByteTalkSpRegs(outev, outval);
+  goto process;
+}
+)esm");
+  return *text;
+}
+
+// The device: a 16-entry register file. Command byte: bit 7 = write, low
+// nibble = register index; one data byte follows (incoming for writes,
+// streamed out for reads).
+const std::string& SpRegsEsm() {
+  static const std::string* text = new std::string(R"esm(
+void SpRegs() {
+  SpRByteToSpRegs r;
+  byte regs[16];
+  byte cmd;
+  byte idx;
+
+  main_loop:
+  end_wait:
+  r = SpRegsTalkSpRByte(RSB_ACT_WAIT_SELECT, 0);
+
+  end_cmd:
+  r = SpRegsTalkSpRByte(RSB_ACT_XCHG, 0);
+  if (r.ev == RSB_EV_DESELECTED) {
+    goto main_loop;
+  }
+  cmd = r.value;
+  idx = cmd & 15;
+  if ((cmd >> 7) == 1) {
+    end_wdata:
+    r = SpRegsTalkSpRByte(RSB_ACT_XCHG, 0);
+    if (r.ev == RSB_EV_BYTE) {
+      regs[idx] = r.value;
+    }
+  } else {
+    end_rdata:
+    r = SpRegsTalkSpRByte(RSB_ACT_XCHG, regs[idx]);
+  }
+
+  drain:
+  end_drain:
+  r = SpRegsTalkSpRByte(RSB_ACT_XCHG, 0);
+  if (r.ev == RSB_EV_DESELECTED) {
+    goto main_loop;
+  }
+  goto drain;
+}
+)esm");
+  return *text;
+}
+
+// Byte-level verifier: the input space exchanges nondeterministically chosen
+// bytes in both directions; the observer checks both arrive intact — the
+// property a clock-phase mismatch breaks.
+const std::string& SpByteVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef SPI_VERIF_OPS
+#define SPI_VERIF_OPS 2
+#endif
+
+void SpDriver() {
+  SpByteToSpDriver b;
+  byte steps;
+  byte c;
+  byte v;
+  byte rv;
+
+  steps = 0;
+  while (steps < SPI_VERIF_OPS) {
+    c = nondet(2);
+    if (c == 1) {
+      v = 0xA5;
+    } else {
+      v = 0x3C;
+    }
+    c = nondet(2);
+    if (c == 1) {
+      rv = 0x96;
+    } else {
+      rv = 0x0F;
+    }
+    SpDriverPostSpRegs(1, v);
+    SpDriverPostSpRegs(2, rv);
+    b = SpDriverTalkSpByte(SB_ACT_SELECT, 0);
+    b = SpDriverTalkSpByte(SB_ACT_XFER, v);
+    assert(b.value == rv);
+    SpDriverPostSpRegs(3, 0);
+    b = SpDriverTalkSpByte(SB_ACT_DESELECT, 0);
+    steps = steps + 1;
+  }
+  SpDriverPostSpRegs(0, 0);
+}
+
+void SpRegs() {
+  SpRByteToSpRegs r;
+  SpDriverToSpRegs o;
+  bit running;
+  byte expv;
+  byte outv;
+
+  running = 1;
+  while (running == 1) {
+    end_oracle:
+    o = SpRegsReadSpDriver();
+    if (o.op == 0) {
+      running = 0;
+    } else {
+      expv = o.value;
+      end_oracle2:
+      o = SpRegsReadSpDriver();
+      outv = o.value;
+      end_sel:
+      r = SpRegsTalkSpRByte(RSB_ACT_WAIT_SELECT, 0);
+      assert(r.ev == RSB_EV_SELECTED);
+      end_xchg:
+      r = SpRegsTalkSpRByte(RSB_ACT_XCHG, outv);
+      assert(r.ev == RSB_EV_BYTE);
+      assert(r.value == expv);
+      end_oracle3:
+      o = SpRegsReadSpDriver();
+      end_deselect:
+      r = SpRegsTalkSpRByte(RSB_ACT_XCHG, 0);
+      assert(r.ev == RSB_EV_DESELECTED);
+    }
+  }
+}
+)esm");
+  return *text;
+}
+
+// Driver-level verifier: a self-checking register model over the full
+// responder stack (writes then reads back, like the EepDriver verifier).
+const std::string& SpDriverVerifierEsm() {
+  static const std::string* text = new std::string(R"esm(
+#ifndef SPI_VERIF_OPS
+#define SPI_VERIF_OPS 2
+#endif
+
+void SpWorld() {
+  SpDriverToSpWorld r;
+  byte model[16];
+  byte steps;
+  byte a;
+  byte c;
+  byte v;
+
+  steps = 0;
+  while (steps < SPI_VERIF_OPS) {
+    a = nondet(4);
+    c = nondet(2);
+    if (c == 1) {
+      v = nondet(2);
+      v = 0x51 + v;
+      r = SpWorldTalkSpDriver(SPD_ACT_WRITE, a, v);
+      model[a] = v;
+    } else {
+      r = SpWorldTalkSpDriver(SPD_ACT_READ, a, 0);
+      assert(r.value == model[a]);
+    }
+    steps = steps + 1;
+  }
+}
+)esm");
+  return *text;
+}
+
+}  // namespace efeu::spi

@@ -1,0 +1,44 @@
+// SPI specifications — the paper's future-work claim (section 7): the Efeu
+// methodology extends to other bus-based protocols whose electrical
+// characteristics only appear in the lowest layer. This module specifies a
+// four-wire SPI subsystem (SCLK/MOSI/MISO/CS, mode 0) in the same ESI/ESM
+// languages: a controller stack (register-access driver, byte layer, symbol
+// layer), a responder stack (symbol layer, byte layer, a 16-register
+// device), an Electrical layer, and per-level verifiers. The modeled quirk
+// is the classic clock-phase (CPHA) mismatch: a mode-1 controller shifts
+// data out one half cycle late, so a mode-0 device samples every byte
+// shifted by one bit.
+
+#ifndef SRC_SPI_SPECS_H_
+#define SRC_SPI_SPECS_H_
+
+#include <string>
+
+namespace efeu::spi {
+
+// ESI: layers, enums, interfaces (plus the verifier oracle interface).
+const std::string& SpiEsi();
+
+// Controller stack: SpDriver (register access), SpByte (full-duplex byte
+// exchange + chip select), SpSymbol (bit exchange; honors SPI_MODE1).
+const std::string& SpDriverEsm();
+const std::string& SpByteEsm();
+const std::string& SpSymbolEsm();
+
+// The Electrical layer: directional wire routing (no wired-AND: SCLK, MOSI
+// and CS belong to the controller; MISO to the responder).
+const std::string& SpElectricalEsm();
+
+// Responder stack: SpRSymbol (edge detection, MISO presentation), SpRByte
+// (byte assembly, full duplex), SpRegs (a 16-register device).
+const std::string& SpRSymbolEsm();
+const std::string& SpRByteEsm();
+const std::string& SpRegsEsm();
+
+// Verifiers: byte-level echo checking and driver-level register semantics.
+const std::string& SpByteVerifierEsm();
+const std::string& SpDriverVerifierEsm();
+
+}  // namespace efeu::spi
+
+#endif  // SRC_SPI_SPECS_H_

@@ -1,0 +1,52 @@
+// Verifier builders for the SPI subsystem (the paper's future-work protocol,
+// section 7). Same architecture as the I2C verifiers: unit-under-test layers
+// plus the full lower stack, input-space and observer glue, model-checked
+// for assertions, invalid end states and non-progress cycles.
+
+#ifndef SRC_SPI_VERIFY_H_
+#define SRC_SPI_VERIFY_H_
+
+#include <memory>
+
+#include "src/check/checker.h"
+#include "src/ir/compile.h"
+#include "src/support/diagnostics.h"
+
+namespace efeu::spi {
+
+enum class SpiVerifyLevel {
+  kByte,    // byte exchange integrity in both directions
+  kDriver,  // register read/write semantics over the full stack
+};
+
+struct SpiVerifyConfig {
+  SpiVerifyLevel level = SpiVerifyLevel::kDriver;
+  int num_ops = 2;
+  // The CPHA-mismatch quirk: the controller shifts data on the leading edge
+  // (mode 1) while the device samples mode-0 style.
+  bool mode1_controller = false;
+};
+
+class SpiVerifierSystem {
+ public:
+  check::CheckedSystem& system() { return system_; }
+
+  std::unique_ptr<ir::Compilation> compilation_;
+  check::CheckedSystem system_;
+};
+
+std::unique_ptr<SpiVerifierSystem> BuildSpiVerifier(const SpiVerifyConfig& config,
+                                                    DiagnosticEngine& diag);
+
+struct SpiVerifyResult {
+  check::CheckResult safety;
+  check::CheckResult liveness;
+  double total_seconds = 0;
+  bool ok = false;
+};
+
+SpiVerifyResult RunSpiVerification(const SpiVerifyConfig& config, DiagnosticEngine& diag);
+
+}  // namespace efeu::spi
+
+#endif  // SRC_SPI_VERIFY_H_

@@ -1,0 +1,21 @@
+// Always-on runtime checks for API misuse that would otherwise corrupt
+// memory (wrong wiring, bad port indices). Unlike assert(), these stay
+// active in release builds; they guard conditions caused by caller bugs,
+// not by input data.
+
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define EFEU_CHECK(cond, message)                                                        \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "EFEU_CHECK failed at %s:%d: %s\n  condition: %s\n", __FILE__, \
+                   __LINE__, (message), #cond);                                          \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (false)
+
+#endif  // SRC_SUPPORT_CHECK_H_

@@ -1,0 +1,62 @@
+#include "src/support/diagnostics.h"
+
+#include <sstream>
+
+namespace efeu {
+
+namespace {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string Diagnostic::Render() const {
+  std::ostringstream out;
+  out << buffer_name << ":" << location.ToString() << ": " << SeverityName(severity) << ": "
+      << message;
+  if (!source_line.empty() && location.IsValid()) {
+    out << "\n  " << source_line << "\n  ";
+    for (uint32_t i = 1; i < location.column; ++i) {
+      out << ' ';
+    }
+    out << '^';
+  }
+  return out.str();
+}
+
+void DiagnosticEngine::Report(Severity severity, const SourceBuffer& buffer, SourceLocation loc,
+                              std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.location = loc;
+  diag.message = std::move(message);
+  diag.buffer_name = buffer.name();
+  diag.source_line = std::string(buffer.LineAt(loc));
+  if (severity == Severity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back(std::move(diag));
+}
+
+std::string DiagnosticEngine::RenderAll() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << diagnostics_[i].Render();
+  }
+  return out.str();
+}
+
+}  // namespace efeu

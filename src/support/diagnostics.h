@@ -1,0 +1,75 @@
+// Diagnostics engine shared by the ESI and ESM frontends. Modeled on the role
+// the Clang diagnostics engine plays for ESMC in the paper: collects errors,
+// warnings and notes with source locations and renders readable excerpts.
+
+#ifndef SRC_SUPPORT_DIAGNOSTICS_H_
+#define SRC_SUPPORT_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/source_buffer.h"
+#include "src/support/source_location.h"
+
+namespace efeu {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+  // Name of the buffer the location refers to (copied so diagnostics outlive
+  // the buffer).
+  std::string buffer_name;
+  // The source line the location points into, for rendering excerpts.
+  std::string source_line;
+
+  // "file:line:col: error: message" followed by the excerpt and a caret.
+  std::string Render() const;
+};
+
+class DiagnosticEngine {
+ public:
+  DiagnosticEngine() = default;
+
+  // Non-copyable: frontends keep a reference to one engine.
+  DiagnosticEngine(const DiagnosticEngine&) = delete;
+  DiagnosticEngine& operator=(const DiagnosticEngine&) = delete;
+
+  void Report(Severity severity, const SourceBuffer& buffer, SourceLocation loc,
+              std::string message);
+  void Error(const SourceBuffer& buffer, SourceLocation loc, std::string message) {
+    Report(Severity::kError, buffer, loc, std::move(message));
+  }
+  void Warning(const SourceBuffer& buffer, SourceLocation loc, std::string message) {
+    Report(Severity::kWarning, buffer, loc, std::move(message));
+  }
+  void Note(const SourceBuffer& buffer, SourceLocation loc, std::string message) {
+    Report(Severity::kNote, buffer, loc, std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t error_count() const { return error_count_; }
+  bool HasErrors() const { return error_count_ > 0; }
+
+  // All diagnostics rendered one per paragraph; empty string when clean.
+  std::string RenderAll() const;
+
+  void Clear() {
+    diagnostics_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_DIAGNOSTICS_H_

@@ -1,0 +1,33 @@
+// FNV-1a hashing over raw words; used by the model checker's visited-state
+// set, where states are flat vectors of 32-bit words.
+
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstdint>
+#include <span>
+
+namespace efeu {
+
+inline uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline uint64_t HashWords(std::span<const int32_t> words, uint64_t seed = 0xcbf29ce484222325ull) {
+  return HashBytes(words.data(), words.size() * sizeof(int32_t), seed);
+}
+
+inline uint64_t CombineHash(uint64_t a, uint64_t b) {
+  // Boost-style combiner; good enough for visited-set bucketing.
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_HASH_H_

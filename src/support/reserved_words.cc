@@ -1,0 +1,26 @@
+#include "src/support/reserved_words.h"
+
+#include <algorithm>
+#include <array>
+
+namespace efeu {
+
+namespace {
+
+// Keep sorted; looked up with binary search.
+constexpr std::array<std::string_view, 48> kPromelaReserved = {
+    "active", "assert",  "atomic",   "bit",      "bool",   "break",    "byte",     "chan",
+    "d_step", "do",      "else",     "empty",    "enabled", "eval",    "false",    "fi",
+    "for",    "full",    "goto",     "hidden",   "if",      "init",    "inline",   "int",
+    "len",    "mtype",   "nempty",   "never",    "nfull",   "np_",     "od",       "of",
+    "pc_value", "printf", "priority", "proctype", "provided", "run",   "select",   "short",
+    "show",   "skip",    "timeout",  "true",     "typedef", "unless",  "unsigned", "xr",
+};
+
+}  // namespace
+
+bool IsPromelaReservedWord(std::string_view word) {
+  return std::binary_search(kPromelaReserved.begin(), kPromelaReserved.end(), word);
+}
+
+}  // namespace efeu

@@ -1,0 +1,15 @@
+// Promela reserved words are also reserved in ESI/ESM (paper section 3.1),
+// because generated identifiers must be valid in the Promela backend.
+
+#ifndef SRC_SUPPORT_RESERVED_WORDS_H_
+#define SRC_SUPPORT_RESERVED_WORDS_H_
+
+#include <string_view>
+
+namespace efeu {
+
+bool IsPromelaReservedWord(std::string_view word);
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_RESERVED_WORDS_H_

@@ -1,0 +1,20 @@
+#include "src/support/source_buffer.h"
+
+namespace efeu {
+
+std::string_view SourceBuffer::LineAt(SourceLocation loc) const {
+  if (!loc.IsValid() || loc.offset > text_.size()) {
+    return {};
+  }
+  size_t begin = loc.offset;
+  while (begin > 0 && text_[begin - 1] != '\n') {
+    --begin;
+  }
+  size_t end = loc.offset;
+  while (end < text_.size() && text_[end] != '\n') {
+    ++end;
+  }
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+}  // namespace efeu

@@ -1,0 +1,32 @@
+// An immutable, named piece of source text (one .esi or .esm "file").
+
+#ifndef SRC_SUPPORT_SOURCE_BUFFER_H_
+#define SRC_SUPPORT_SOURCE_BUFFER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/support/source_location.h"
+
+namespace efeu {
+
+class SourceBuffer {
+ public:
+  SourceBuffer(std::string name, std::string text)
+      : name_(std::move(name)), text_(std::move(text)) {}
+
+  const std::string& name() const { return name_; }
+  std::string_view text() const { return text_; }
+
+  // Returns the full line of text containing `loc` (without the newline).
+  // Used by the diagnostics engine to print source excerpts.
+  std::string_view LineAt(SourceLocation loc) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+};
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_SOURCE_BUFFER_H_

@@ -1,0 +1,39 @@
+// Source locations and ranges used by the ESI/ESM frontends and the
+// diagnostics engine.
+
+#ifndef SRC_SUPPORT_SOURCE_LOCATION_H_
+#define SRC_SUPPORT_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace efeu {
+
+// A position inside one source buffer. Lines and columns are 1-based; a
+// default-constructed location (line 0) means "unknown".
+struct SourceLocation {
+  uint32_t line = 0;
+  uint32_t column = 0;
+  // Byte offset into the buffer; used to slice out the offending line.
+  uint32_t offset = 0;
+
+  bool IsValid() const { return line != 0; }
+  std::string ToString() const {
+    if (!IsValid()) {
+      return "<unknown>";
+    }
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+// A half-open range [begin, end) inside one buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  bool IsValid() const { return begin.IsValid(); }
+};
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_SOURCE_LOCATION_H_

@@ -1,0 +1,112 @@
+#include "src/support/text.h"
+
+#include <cassert>
+
+namespace efeu {
+
+void CodeWriter::Line(std::string_view text) {
+  if (text.empty()) {
+    out_ << '\n';
+    return;
+  }
+  for (int i = 0; i < depth_ * indent_width_; ++i) {
+    out_ << ' ';
+  }
+  out_ << text << '\n';
+}
+
+void CodeWriter::Blank() { out_ << '\n'; }
+
+void CodeWriter::Dedent() {
+  assert(depth_ > 0 && "unbalanced Dedent");
+  --depth_;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < text.size()) {
+        lines.push_back(text.substr(start));
+      }
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && (text[begin] == ' ' || text[begin] == '\t' ||
+                                 text[begin] == '\r' || text[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+int CountCodeLines(std::string_view text, std::string_view line_comment) {
+  int count = 0;
+  bool in_block_comment = false;
+  for (std::string_view raw : SplitLines(text)) {
+    std::string_view line = Trim(raw);
+    if (in_block_comment) {
+      size_t close = line.find("*/");
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      in_block_comment = false;
+      line = Trim(line.substr(close + 2));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (!line_comment.empty() && StartsWith(line, line_comment)) {
+      continue;
+    }
+    if (StartsWith(line, "/*")) {
+      size_t close = line.find("*/", 2);
+      if (close == std::string_view::npos) {
+        in_block_comment = true;
+        continue;
+      }
+      if (Trim(line.substr(close + 2)).empty()) {
+        continue;
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to) {
+  assert(!from.empty());
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+}  // namespace efeu

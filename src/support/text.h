@@ -1,0 +1,70 @@
+// Text utilities: an indentation-aware code writer used by all backends, and
+// line-counting helpers that reproduce the paper's "cloc" methodology
+// (comments and blank lines excluded).
+
+#ifndef SRC_SUPPORT_TEXT_H_
+#define SRC_SUPPORT_TEXT_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efeu {
+
+// Streams generated source code with automatic indentation. Backends call
+// Line() for complete lines and Indent()/Dedent() (or the RAII Scope) around
+// nested regions.
+class CodeWriter {
+ public:
+  explicit CodeWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  void Line(std::string_view text);
+  // Emits an empty line (never indented).
+  void Blank();
+  void Indent() { ++depth_; }
+  void Dedent();
+
+  // Appends a raw chunk verbatim (used for preformatted tables/headers).
+  void Raw(std::string_view text) { out_ << text; }
+
+  std::string TakeString() { return std::move(out_).str(); }
+  std::string str() const { return out_.str(); }
+
+  class Scope {
+   public:
+    explicit Scope(CodeWriter& writer) : writer_(writer) { writer_.Indent(); }
+    ~Scope() { writer_.Dedent(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    CodeWriter& writer_;
+  };
+
+ private:
+  std::ostringstream out_;
+  int indent_width_;
+  int depth_ = 0;
+};
+
+// Splits into lines; the trailing newline does not produce an empty entry.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Counts source lines the way the paper does for Tables 1 and 3: blank lines
+// and comment-only lines are excluded. `line_comment` is the language's line
+// comment leader ("//" for ESM/C/Verilog, "#" would be Promela-style but the
+// generated Promela also uses "//"-style markers via /* */; both are handled).
+int CountCodeLines(std::string_view text, std::string_view line_comment = "//");
+
+// Replaces every occurrence of `from` in `text` with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_TEXT_H_

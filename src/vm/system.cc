@@ -1,0 +1,155 @@
+#include "src/vm/system.h"
+
+#include <cassert>
+
+#include "src/support/check.h"
+
+namespace efeu::vm {
+
+int System::AddProcess(const ir::Module* module, std::string instance_name) {
+  ProcessEntry entry;
+  entry.executor = std::make_unique<IrExecutor>(module);
+  entry.name = std::move(instance_name);
+  entry.links.resize(module->ports.size());
+  processes_.push_back(std::move(entry));
+  return static_cast<int>(processes_.size()) - 1;
+}
+
+void System::Connect(PortRef sender, PortRef receiver) {
+  const ir::Module& send_module = processes_[sender.process].executor->module();
+  const ir::Module& recv_module = processes_[receiver.process].executor->module();
+  EFEU_CHECK(sender.port >= 0 && sender.port < static_cast<int>(send_module.ports.size()) &&
+                 receiver.port >= 0 &&
+                 receiver.port < static_cast<int>(recv_module.ports.size()),
+             "Connect: port id out of range (channel not used by this layer?)");
+  const ir::Port& send_port = send_module.ports[sender.port];
+  const ir::Port& recv_port = recv_module.ports[receiver.port];
+  EFEU_CHECK(send_port.is_send && !recv_port.is_send, "Connect: sender/receiver direction");
+  EFEU_CHECK(send_port.channel == recv_port.channel,
+             "Connect: ports must carry the same channel");
+  EFEU_CHECK(!processes_[sender.process].links[sender.port].has_value() &&
+                 !processes_[receiver.process].links[receiver.port].has_value(),
+             "Connect: port already connected");
+  processes_[sender.process].links[sender.port] = receiver;
+  processes_[receiver.process].links[receiver.port] = sender;
+}
+
+PortRef System::FindPort(int process, const esi::ChannelInfo* channel, bool is_send) const {
+  int port = processes_[process].executor->module().FindPort(channel, is_send);
+  return PortRef{process, port};
+}
+
+bool System::TryTransfer() {
+  for (size_t p = 0; p < processes_.size(); ++p) {
+    ProcessEntry& entry = processes_[p];
+    IrExecutor& sender = *entry.executor;
+    if (sender.state() != RunState::kBlockedSend) {
+      continue;
+    }
+    int port = sender.blocked_port();
+    const std::optional<PortRef>& link = entry.links[port];
+    if (!link.has_value()) {
+      continue;  // External port; host handles it.
+    }
+    IrExecutor& receiver = *processes_[link->process].executor;
+    if (receiver.state() != RunState::kBlockedRecv ||
+        receiver.blocked_port() != link->port) {
+      continue;
+    }
+    std::vector<int32_t> message(sender.pending_message().begin(),
+                                 sender.pending_message().end());
+    sender.CompleteSend();
+    receiver.CompleteRecv(message);
+    return true;
+  }
+  return false;
+}
+
+SystemState System::Run(uint64_t max_transfers) {
+  uint64_t transfers = 0;
+  while (true) {
+    bool progressed = false;
+    for (ProcessEntry& entry : processes_) {
+      IrExecutor& executor = *entry.executor;
+      if (executor.state() == RunState::kRunnable) {
+        // A layer that loops forever without communicating is a spec bug;
+        // bound the slice so Run() always returns.
+        constexpr uint64_t kSliceBudget = 100'000'000;
+        executor.Run(kSliceBudget);
+        if (executor.state() == RunState::kRunnable) {
+          error_ = executor.module().layer_name + ": step budget exceeded (runaway loop?)";
+          return SystemState::kFailed;
+        }
+        progressed = true;
+      }
+      if (executor.state() == RunState::kAssertFailed ||
+          executor.state() == RunState::kRuntimeError) {
+        error_ = executor.error();
+        return SystemState::kFailed;
+      }
+      if (executor.state() == RunState::kBlockedNondet) {
+        error_ = executor.module().layer_name + ": nondet() reached outside the model checker";
+        return SystemState::kFailed;
+      }
+    }
+    while (TryTransfer()) {
+      progressed = true;
+      if (max_transfers != 0 && ++transfers >= max_transfers) {
+        return SystemState::kRunning;
+      }
+    }
+    if (!progressed) {
+      return SystemState::kQuiescent;
+    }
+    // Re-run processes unblocked by the transfers before concluding.
+    bool any_runnable = false;
+    for (ProcessEntry& entry : processes_) {
+      if (entry.executor->state() == RunState::kRunnable) {
+        any_runnable = true;
+        break;
+      }
+    }
+    if (!any_runnable) {
+      return SystemState::kQuiescent;
+    }
+  }
+}
+
+bool System::WantsToSend(PortRef ref) const {
+  const IrExecutor& executor = *processes_[ref.process].executor;
+  return executor.state() == RunState::kBlockedSend && executor.blocked_port() == ref.port;
+}
+
+bool System::WantsToRecv(PortRef ref) const {
+  const IrExecutor& executor = *processes_[ref.process].executor;
+  return executor.state() == RunState::kBlockedRecv && executor.blocked_port() == ref.port;
+}
+
+std::optional<std::vector<int32_t>> System::TakeMessage(PortRef ref) {
+  if (!WantsToSend(ref)) {
+    return std::nullopt;
+  }
+  IrExecutor& executor = *processes_[ref.process].executor;
+  std::vector<int32_t> message(executor.pending_message().begin(),
+                               executor.pending_message().end());
+  executor.CompleteSend();
+  return message;
+}
+
+bool System::DeliverMessage(PortRef ref, std::span<const int32_t> message) {
+  if (!WantsToRecv(ref)) {
+    return false;
+  }
+  processes_[ref.process].executor->CompleteRecv(message);
+  return true;
+}
+
+uint64_t System::TotalSteps() const {
+  uint64_t total = 0;
+  for (const ProcessEntry& entry : processes_) {
+    total += entry.executor->steps();
+  }
+  return total;
+}
+
+}  // namespace efeu::vm

@@ -1,0 +1,94 @@
+// The software VM: a set of layer FSM instances connected by rendezvous
+// channels, executed cooperatively. This implements the semantics of the
+// generated C drivers (coroutine switching between layers) for simulation and
+// tests. Ports left unconnected are "external": the host (a driver runtime, a
+// test, or an example program) exchanges messages with them directly, playing
+// the role of the paper's boilerplate glue (lib entry, event loop, scanf/
+// printf in Figure 5).
+
+#ifndef SRC_VM_SYSTEM_H_
+#define SRC_VM_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/vm/executor.h"
+
+namespace efeu::vm {
+
+struct PortRef {
+  int process = -1;
+  int port = -1;
+
+  bool operator==(const PortRef& other) const {
+    return process == other.process && port == other.port;
+  }
+};
+
+enum class SystemState {
+  kRunning,     // some process can still make progress
+  kQuiescent,   // every process blocked on an unmatched channel (or halted)
+  kFailed,      // assertion/runtime error in some process
+};
+
+class System {
+ public:
+  // Adds an instance of `module` (several instances of one module may
+  // coexist, e.g. multiple EEPROM responders). Returns the process id.
+  int AddProcess(const ir::Module* module, std::string instance_name);
+
+  // Connects a send port to a receive port carrying the same channel.
+  // Asserts on mismatched direction or channel identity.
+  void Connect(PortRef sender, PortRef receiver);
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+  IrExecutor& executor(int process) { return *processes_[process].executor; }
+  const IrExecutor& executor(int process) const { return *processes_[process].executor; }
+  const std::string& process_name(int process) const { return processes_[process].name; }
+
+  // Finds the port id of `channel` (in the given direction) on `process`.
+  PortRef FindPort(int process, const esi::ChannelInfo* channel, bool is_send) const;
+
+  // Runs processes and transfers messages until quiescent or failed.
+  // `max_transfers` bounds rendezvous transfers (0 = unlimited).
+  SystemState Run(uint64_t max_transfers = 0);
+
+  // -- External ports --------------------------------------------------------
+  // True if `ref`'s process is blocked sending on `ref.port`.
+  bool WantsToSend(PortRef ref) const;
+  // True if blocked receiving on `ref.port`.
+  bool WantsToRecv(PortRef ref) const;
+  // Completes a pending external send: copies the message out. Returns
+  // nullopt if the process is not blocked sending on this port.
+  std::optional<std::vector<int32_t>> TakeMessage(PortRef ref);
+  // Completes a pending external recv by delivering `message`. Returns false
+  // if the process is not blocked receiving on this port.
+  bool DeliverMessage(PortRef ref, std::span<const int32_t> message);
+
+  // Total instructions executed across all processes (cost accounting).
+  uint64_t TotalSteps() const;
+
+  // First error encountered (valid when Run returned kFailed).
+  const std::string& error() const { return error_; }
+
+ private:
+  struct ProcessEntry {
+    std::unique_ptr<IrExecutor> executor;
+    std::string name;
+    // For each port: the connected peer, or nullopt for external ports.
+    std::vector<std::optional<PortRef>> links;
+  };
+
+  // Attempts one rendezvous transfer anywhere in the system.
+  bool TryTransfer();
+
+  std::vector<ProcessEntry> processes_;
+  std::string error_;
+};
+
+}  // namespace efeu::vm
+
+#endif  // SRC_VM_SYSTEM_H_

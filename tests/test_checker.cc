@@ -1,0 +1,336 @@
+// Unit tests for the model checker on small synthetic systems: assertion
+// failures with counterexample traces, invalid end states (deadlock),
+// nondeterministic choice exploration, non-progress cycles (livelock),
+// budgets, and native-process integration.
+
+#include <gtest/gtest.h>
+
+#include "src/check/checker.h"
+#include "src/check/native_process.h"
+#include "src/ir/compile.h"
+
+namespace efeu {
+namespace {
+
+constexpr const char* kEsi = R"esi(
+layer Up;
+layer Down;
+interface <Up, Down> {
+  => { i32 v; },
+  <= { i32 r; }
+};
+)esi";
+
+std::unique_ptr<ir::Compilation> Compile(const std::string& esm) {
+  DiagnosticEngine diag;
+  ir::CompileOptions options;
+  options.allow_nondet = true;
+  auto comp = ir::Compile(kEsi, esm, diag, options);
+  EXPECT_NE(comp, nullptr) << diag.RenderAll();
+  return comp;
+}
+
+void Wire(check::CheckedSystem& system, const ir::Compilation& comp, int up, int down) {
+  system.ConnectByChannel(up, down, comp.system().FindChannel("Up", "Down"));
+  system.ConnectByChannel(down, up, comp.system().FindChannel("Down", "Up"));
+}
+
+TEST(Checker, CleanSystemPasses) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 42);
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(q.v * 2);
+  goto end_reply;
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  Wire(system, *comp, up, down);
+  check::CheckResult result = system.Check();
+  EXPECT_TRUE(result.ok);
+  EXPECT_GT(result.states_stored, 0u);
+  EXPECT_GT(result.transitions, 0u);
+}
+
+TEST(Checker, AssertionFailureWithTrace) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 43);
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(q.v * 2);
+  goto end_reply;
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  Wire(system, *comp, up, down);
+  check::CheckResult result = system.Check();
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kAssertionFailed);
+  EXPECT_FALSE(result.violation->trace.empty());
+}
+
+TEST(Checker, DeadlockIsInvalidEndState) {
+  // Down never replies: Up remains blocked receiving at a non-end position.
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(1);
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  stuck:
+  q = DownReadUp();
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  // Down never talks back; only the forward channel exists to wire.
+  system.ConnectByChannel(up, down, comp->system().FindChannel("Up", "Down"));
+  check::CheckResult result = system.Check();
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kInvalidEndState);
+  EXPECT_NE(result.violation->message.find("Up"), std::string::npos);
+}
+
+TEST(Checker, EndLabelMakesBlockingValid) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(1);
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(9);
+  goto end_reply;
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  Wire(system, *comp, up, down);
+  EXPECT_TRUE(system.Check().ok);
+}
+
+TEST(Checker, NondetExploresAllChoices) {
+  // Only choice 3 trips the assert; the checker must find it.
+  auto comp = Compile(R"esm(
+void Up() {
+  int x;
+  x = nondet(5);
+  assert(x != 3);
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckResult result = system.Check();
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kAssertionFailed);
+  // The trace names the fatal choice.
+  bool found = false;
+  for (const std::string& step : result.violation->trace) {
+    if (step.find("nondet -> 3") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Checker, NondetAllChoicesPass) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int x;
+  int y;
+  x = nondet(4);
+  y = nondet(4);
+  assert(x + y <= 6);
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckResult result = system.Check();
+  EXPECT_TRUE(result.ok);
+  // 4 choices for x, then 4 for y: at least 16 leaf states explored.
+  EXPECT_GE(result.transitions, 16u);
+}
+
+TEST(Checker, LivelockDetectedWithoutProgressLabel) {
+  // Up and Down exchange forever with no progress label anywhere.
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  spin:
+  r = UpTalkDown(1);
+  goto spin;
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(2);
+  goto end_reply;
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  Wire(system, *comp, up, down);
+  check::CheckerOptions options;
+  options.check_deadlock = false;
+  options.check_livelock = true;
+  check::CheckResult result = system.Check(options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kNonProgressCycle);
+}
+
+TEST(Checker, ProgressLabelSuppressesLivelock) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  progress_spin:
+  r = UpTalkDown(1);
+  goto progress_spin;
+}
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(2);
+  goto end_reply;
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  int down = system.AddModule(comp->FindModule("Down"), "Down");
+  Wire(system, *comp, up, down);
+  check::CheckerOptions options;
+  options.check_deadlock = false;
+  options.check_livelock = true;
+  EXPECT_TRUE(system.Check(options).ok);
+}
+
+TEST(Checker, StateBudgetStopsSearch) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int x;
+  int a;
+  int b;
+  int c;
+  a = nondet(8);
+  b = nondet(8);
+  c = nondet(8);
+  x = a + b + c;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.max_states = 10;
+  check::CheckResult result = system.Check(options);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(Checker, RuntimeErrorReported) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int x;
+  int d;
+  d = nondet(2);
+  x = 4 / d;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckResult result = system.Check();
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kRuntimeError);
+}
+
+// A native process that answers one request with value*2 and then parks.
+class DoublerProcess : public check::NativeProcess {
+ public:
+  DoublerProcess(const esi::ChannelInfo* in, const esi::ChannelInfo* out)
+      : NativeProcess("Doubler") {
+    in_port_ = AddPort(in, /*is_send=*/false);
+    out_port_ = AddPort(out, /*is_send=*/true);
+    ResizeState(2);  // [phase, value]
+    Reset();
+  }
+
+  bool AtValidEndState() const override { return current_state()[0] == 0; }
+
+ protected:
+  void InitState(std::vector<int32_t>& state) override { std::fill(state.begin(), state.end(), 0); }
+
+  PendingOp ComputePending(const std::vector<int32_t>& state) const override {
+    PendingOp op;
+    if (state[0] == 0) {
+      op.kind = vm::RunState::kBlockedRecv;
+      op.port = in_port_;
+    } else {
+      op.kind = vm::RunState::kBlockedSend;
+      op.port = out_port_;
+      op.message = {state[1] * 2};
+    }
+    return op;
+  }
+
+  void OnRecv(int port, std::span<const int32_t> message,
+              std::vector<int32_t>& state) override {
+    state[1] = message[0];
+    state[0] = 1;
+  }
+
+  void OnSendComplete(int port, std::vector<int32_t>& state) override { state[0] = 0; }
+
+ private:
+  int in_port_ = -1;
+  int out_port_ = -1;
+};
+
+TEST(Checker, NativeProcessInterops) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 42);
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  const esi::ChannelInfo* to_down = comp->system().FindChannel("Up", "Down");
+  const esi::ChannelInfo* to_up = comp->system().FindChannel("Down", "Up");
+  int doubler = system.AddProcess(std::make_unique<DoublerProcess>(to_down, to_up));
+  system.ConnectByChannel(up, doubler, to_down);
+  system.ConnectByChannel(doubler, up, to_up);
+  check::CheckResult result = system.Check();
+  EXPECT_TRUE(result.ok) << (result.violation.has_value() ? result.violation->message : "");
+}
+
+}  // namespace
+}  // namespace efeu

@@ -1,0 +1,228 @@
+// Unit tests for the four backends: Promela, C (call graph/continuations),
+// Verilog (FSM/handshake structure), and the MMIO-AXI Lite interface
+// generator. These are structural checks over the generated text.
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/c/c_backend.h"
+#include "src/codegen/mmio/mmio_backend.h"
+#include "src/codegen/promela/promela_backend.h"
+#include "src/codegen/verilog/verilog_backend.h"
+#include "src/i2c/stack.h"
+#include "src/ir/compile.h"
+
+namespace efeu {
+namespace {
+
+std::unique_ptr<ir::Compilation> Controller() {
+  DiagnosticEngine diag;
+  auto comp = i2c::CompileControllerStack(diag);
+  EXPECT_NE(comp, nullptr) << diag.RenderAll();
+  return comp;
+}
+
+// ---------------------------------------------------------------------------
+// Promela backend
+// ---------------------------------------------------------------------------
+
+TEST(PromelaBackend, DeclaresMtypeAndChannels) {
+  auto comp = Controller();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  EXPECT_NE(out.shared.find("mtype = {"), std::string::npos);
+  EXPECT_NE(out.shared.find("CS_ACT_START"), std::string::npos);
+  // Rendezvous channels of message typedefs.
+  EXPECT_NE(out.shared.find("chan ch_CByte_CSymbol = [0] of { CByteToCSymbol };"),
+            std::string::npos);
+  EXPECT_NE(out.shared.find("typedef CByteToCSymbol {"), std::string::npos);
+}
+
+TEST(PromelaBackend, LayersBecomeParameterizedProctypes) {
+  auto comp = Controller();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  ASSERT_TRUE(out.layers.count("CSymbol"));
+  const std::string& text = out.layers.at("CSymbol");
+  EXPECT_NE(text.find("proctype CSymbol(chan "), std::string::npos);
+  // talk = send + receive on the rendezvous channels.
+  EXPECT_NE(text.find("ch_CSymbol_Electrical ! "), std::string::npos);
+  EXPECT_NE(text.find("ch_Electrical_CSymbol ? "), std::string::npos);
+}
+
+TEST(PromelaBackend, IfGetsElseSkip) {
+  // A condition without else must get ': else -> skip' so the Promela if
+  // cannot block where ESM would fall through (paper section 3.6).
+  auto comp = Controller();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  const std::string& text = out.layers.at("CTransaction");
+  EXPECT_NE(text.find(":: else -> skip"), std::string::npos);
+}
+
+TEST(PromelaBackend, WhileBecomesDoOd) {
+  auto comp = Controller();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  const std::string& text = out.layers.at("CByte");
+  EXPECT_NE(text.find("do"), std::string::npos);
+  EXPECT_NE(text.find(":: else -> break"), std::string::npos);
+  EXPECT_NE(text.find("od;"), std::string::npos);
+}
+
+TEST(PromelaBackend, InitRunsEveryLayer) {
+  auto comp = Controller();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  for (const char* layer : {"CSymbol", "CByte", "CTransaction", "CEepDriver"}) {
+    EXPECT_NE(out.init.find(std::string("run ") + layer + "("), std::string::npos) << layer;
+  }
+}
+
+TEST(PromelaBackend, NondetBecomesChoiceIf) {
+  DiagnosticEngine diag;
+  ir::CompileOptions options;
+  options.allow_nondet = true;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 v; }, <= { i32 r; } };",
+      "void A() { int x; x = nondet(3); BToA r; r = ATalkB(x); }", diag, options);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  const std::string& text = out.layers.at("A");
+  EXPECT_NE(text.find(":: x = 0"), std::string::npos);
+  EXPECT_NE(text.find(":: x = 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// C backend
+// ---------------------------------------------------------------------------
+
+TEST(CBackend, TopDownLibraryStructure) {
+  auto comp = Controller();
+  codegen::COutput out = codegen::GenerateC(*comp, "CEepDriver");
+  // Entry function for the library (top-down driver library of Figure 5).
+  EXPECT_NE(out.layers.at("CEepDriver").find("void CEepDriver_invoke(struct "),
+            std::string::npos);
+  // Forward edges become direct function calls into the child layer.
+  EXPECT_NE(out.layers.at("CEepDriver").find("CTransaction_step("), std::string::npos);
+  EXPECT_NE(out.layers.at("CTransaction").find("CByte_step("), std::string::npos);
+  // Reverse edges become continuations (Figure 6).
+  const std::string& byte_c = out.layers.at("CByte");
+  EXPECT_NE(byte_c.find("_continuation_pos = "), std::string::npos);
+  EXPECT_NE(byte_c.find("return;"), std::string::npos);
+  EXPECT_NE(byte_c.find("_continuation_1:"), std::string::npos);
+  EXPECT_NE(byte_c.find("switch (_continuation_pos)"), std::string::npos);
+}
+
+TEST(CBackend, BottomUpServerStructure) {
+  // Entering at the bottom yields the event-loop style: CSymbol is invoked
+  // with electrical levels and calls upward into CByte.
+  auto comp = Controller();
+  codegen::COutput out = codegen::GenerateC(*comp, "CSymbol");
+  EXPECT_NE(out.layers.at("CSymbol").find("void CSymbol_invoke(struct ElectricalToCSymbol"),
+            std::string::npos);
+  EXPECT_NE(out.layers.at("CSymbol").find("CByte_step("), std::string::npos);
+  // Now CByte's talks to CSymbol (its caller) are continuations instead.
+  EXPECT_NE(out.layers.at("CByte").find("_continuation_pos"), std::string::npos);
+}
+
+TEST(CBackend, HeaderHasEnumsStructsPrototypes) {
+  auto comp = Controller();
+  codegen::COutput out = codegen::GenerateC(*comp, "CEepDriver");
+  EXPECT_NE(out.header.find("enum CTAction {"), std::string::npos);
+  EXPECT_NE(out.header.find("struct CWorldToCEepDriver {"), std::string::npos);
+  EXPECT_NE(out.header.find("byte data[16];"), std::string::npos);
+  EXPECT_NE(out.header.find("void CEepDriver_invoke(struct "), std::string::npos);
+}
+
+TEST(CBackend, LocalsAreStaticFsmState) {
+  auto comp = Controller();
+  codegen::COutput out = codegen::GenerateC(*comp, "CEepDriver");
+  EXPECT_NE(out.layers.at("CTransaction").find("static byte rdata[16];"), std::string::npos);
+  EXPECT_NE(out.layers.at("CTransaction").find("static int _continuation_pos;"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Verilog backend
+// ---------------------------------------------------------------------------
+
+TEST(VerilogBackend, ModulePerLayerWithHandshakePorts) {
+  auto comp = Controller();
+  codegen::VerilogOutput out = codegen::GenerateVerilog(*comp);
+  const std::string& text = out.modules.at("CSymbol");
+  EXPECT_NE(text.find("module CSymbol ("), std::string::npos);
+  EXPECT_NE(text.find("input wire clk"), std::string::npos);
+  EXPECT_NE(text.find("_valid,"), std::string::npos);
+  EXPECT_NE(text.find("_ready"), std::string::npos);
+  EXPECT_NE(text.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(text.find("case (state)"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogBackend, HandshakeCompletesOnRegisteredFlags) {
+  auto comp = Controller();
+  codegen::VerilogOutput out = codegen::GenerateVerilog(*comp);
+  const std::string& text = out.modules.at("CSymbol");
+  // Send completes only when both the registered valid and the sampled ready
+  // are high at the same edge (no lost-transfer race).
+  EXPECT_NE(text.find("_valid && "), std::string::npos);
+  EXPECT_NE(text.find("_ready && "), std::string::npos);
+}
+
+TEST(VerilogBackend, RegistersCarryDeclaredWidths) {
+  auto comp = Controller();
+  codegen::VerilogOutput out = codegen::GenerateVerilog(*comp);
+  const std::string& text = out.modules.at("CTransaction");
+  EXPECT_NE(text.find("reg [7:0] rdata [0:15];"), std::string::npos);
+  EXPECT_NE(text.find("reg [7:0] plen;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MMIO backend
+// ---------------------------------------------------------------------------
+
+TEST(MmioBackend, RegisterMapLayout) {
+  auto comp = Controller();
+  const esi::ChannelInfo* down = comp->system().FindChannel("CTransaction", "CByte");
+  const esi::ChannelInfo* up = comp->system().FindChannel("CByte", "CTransaction");
+  codegen::MmioOutput out = codegen::GenerateMmio("ByteBoundary", down, up);
+  // Status at 0, then data, then the handshake flags at distinct offsets
+  // (Figure 7).
+  EXPECT_EQ(out.map.status_offset, 0);
+  ASSERT_EQ(out.map.down_data.size(), 2u);
+  EXPECT_EQ(out.map.down_data[0].offset, 4);
+  EXPECT_GT(out.map.down_valid_offset, out.map.down_data.back().offset);
+  EXPECT_EQ(out.map.down_ready_offset, out.map.down_valid_offset + 4);
+  EXPECT_GT(out.map.up_valid_offset, out.map.up_data.back().offset);
+  EXPECT_EQ(out.map.DownWriteWords(), 3);  // action + wdata + valid
+  EXPECT_EQ(out.map.UpReadWords(), 2);     // res + rdata
+}
+
+TEST(MmioBackend, CDriverHasPollingAndIrqVariants) {
+  auto comp = Controller();
+  const esi::ChannelInfo* down = comp->system().FindChannel("CTransaction", "CByte");
+  const esi::ChannelInfo* up = comp->system().FindChannel("CByte", "CTransaction");
+  codegen::MmioOutput out = codegen::GenerateMmio("ByteBoundary", down, up);
+  EXPECT_NE(out.c_driver.find("ByteBoundary_send("), std::string::npos);
+  EXPECT_NE(out.c_driver.find("ByteBoundary_recv_poll("), std::string::npos);
+  EXPECT_NE(out.c_driver.find("ByteBoundary_recv_irq("), std::string::npos);
+  EXPECT_NE(out.c_driver.find("efeu_mmio_wait_irq"), std::string::npos);
+}
+
+TEST(MmioBackend, VhdlImplementsAutoReset) {
+  auto comp = Controller();
+  const esi::ChannelInfo* down = comp->system().FindChannel("CTransaction", "CByte");
+  const esi::ChannelInfo* up = comp->system().FindChannel("CByte", "CTransaction");
+  codegen::MmioOutput out = codegen::GenerateMmio("ByteBoundary", down, up);
+  EXPECT_NE(out.vhdl.find("entity ByteBoundary_axil"), std::string::npos);
+  EXPECT_NE(out.vhdl.find("r_down_valid <= '0';  -- consumed: auto-reset"), std::string::npos);
+  EXPECT_NE(out.vhdl.find("s_axi_awaddr"), std::string::npos);
+}
+
+TEST(MmioBackend, ArrayFieldsOccupyOneWordPerElement) {
+  auto comp = Controller();
+  const esi::ChannelInfo* down = comp->system().FindChannel("CEepDriver", "CTransaction");
+  const esi::ChannelInfo* up = comp->system().FindChannel("CTransaction", "CEepDriver");
+  codegen::MmioOutput out = codegen::GenerateMmio("TxnBoundary", down, up);
+  // down: action + addr + length + data[16] + valid = 20 words to write.
+  EXPECT_EQ(out.map.DownWriteWords(), 20);
+  EXPECT_EQ(out.map.UpReadWords(), 18);
+}
+
+}  // namespace
+}  // namespace efeu

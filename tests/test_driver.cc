@@ -1,0 +1,104 @@
+// End-to-end hybrid driver tests: every software/hardware split must move
+// real bytes over the simulated bus to the behavioural EEPROM and back, in
+// both polling and interrupt-driven modes; baselines must function too.
+
+#include <gtest/gtest.h>
+
+#include "src/driver/baselines.h"
+#include "src/driver/hybrid.h"
+
+namespace efeu::driver {
+namespace {
+
+HybridConfig MakeConfig(SplitPoint split, bool interrupt_driven) {
+  HybridConfig config;
+  config.split = split;
+  config.interrupt_driven = interrupt_driven;
+  config.capture_waveform = true;
+  // Keep the model's write cycle short so write tests stay fast.
+  config.eeprom.write_cycle_ns = 50000;
+  return config;
+}
+
+class HybridSplitTest : public ::testing::TestWithParam<std::tuple<SplitPoint, bool>> {};
+
+TEST_P(HybridSplitTest, WriteThenReadBack) {
+  auto [split, interrupt_driven] = GetParam();
+  HybridDriver driver(MakeConfig(split, interrupt_driven));
+  std::vector<uint8_t> payload = {0x42, 0x43, 0x44, 0x45};
+  ASSERT_TRUE(driver.Write(0x0123, payload));
+  // The device enters its internal write cycle after the STOP; wait it out
+  // by reading from a different page first (NACK-while-busy is retried by
+  // polling the device through fresh operations).
+  std::vector<uint8_t> data;
+  // Spin until the device answers again.
+  int attempts = 0;
+  while (!driver.Read(0x0123, 4, &data) && attempts < 100) {
+    ++attempts;
+  }
+  ASSERT_LT(attempts, 100);
+  EXPECT_EQ(data, payload);
+  // Memory content matches on the device side too.
+  for (size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(driver.eeprom().MemoryAt(0x0123 + static_cast<int>(i)), payload[i]);
+  }
+}
+
+TEST_P(HybridSplitTest, SequentialReadOfPreloadedData) {
+  auto [split, interrupt_driven] = GetParam();
+  HybridDriver driver(MakeConfig(split, interrupt_driven));
+  for (int i = 0; i < 14; ++i) {
+    driver.eeprom().Preload(0x0200 + i, static_cast<uint8_t>(0xA0 + i));
+  }
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(driver.Read(0x0200, 14, &data));
+  ASSERT_EQ(data.size(), 14u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(data[i], 0xA0 + i) << "byte " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSplits, HybridSplitTest,
+    ::testing::Combine(::testing::Values(SplitPoint::kElectrical, SplitPoint::kSymbol,
+                                         SplitPoint::kByte, SplitPoint::kTransaction,
+                                         SplitPoint::kEepDriver),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<std::tuple<SplitPoint, bool>>& param_info) {
+      return std::string(SplitPointName(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) ? "_irq" : "_poll");
+    });
+
+TEST(BitBangBaseline, WriteThenReadBack) {
+  TimingModel timing;
+  sim::EepromConfig eeprom;
+  eeprom.write_cycle_ns = 50000;
+  BitBangDriver driver(timing, eeprom, /*capture_waveform=*/true);
+  std::vector<uint8_t> payload = {0x11, 0x22, 0x33};
+  ASSERT_TRUE(driver.Write(0x40, payload));
+  std::vector<uint8_t> data;
+  int attempts = 0;
+  while (!driver.Read(0x40, 3, &data) && attempts < 100) {
+    ++attempts;
+  }
+  ASSERT_LT(attempts, 100);
+  EXPECT_EQ(data, payload);
+}
+
+TEST(XilinxIpBaseline, ReadsPreloadedData) {
+  TimingModel timing;
+  sim::EepromConfig eeprom;
+  XilinxIpDriver driver(timing, eeprom, /*capture_waveform=*/true);
+  for (int i = 0; i < 14; ++i) {
+    driver.eeprom().Preload(i, static_cast<uint8_t>(0x30 + i));
+  }
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(driver.Read(0, 14, &data));
+  ASSERT_EQ(data.size(), 14u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(data[i], 0x30 + i);
+  }
+}
+
+}  // namespace
+}  // namespace efeu::driver

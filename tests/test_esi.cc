@@ -1,0 +1,169 @@
+// Unit tests for the ESI frontend: lexing, parsing, and semantic analysis of
+// layer/enum/interface declarations.
+
+#include <gtest/gtest.h>
+
+#include "src/esi/parser.h"
+#include "src/esi/system_info.h"
+
+namespace efeu::esi {
+namespace {
+
+std::optional<SystemInfo> Build(const std::string& text, std::string* errors = nullptr) {
+  SourceBuffer buffer("test.esi", text);
+  DiagnosticEngine diag;
+  std::optional<EsiFile> file = ParseEsi(buffer, diag);
+  if (!file.has_value()) {
+    if (errors != nullptr) {
+      *errors = diag.RenderAll();
+    }
+    return std::nullopt;
+  }
+  std::optional<SystemInfo> info = SystemInfo::Build(*file, buffer, diag);
+  if (!info.has_value() && errors != nullptr) {
+    *errors = diag.RenderAll();
+  }
+  return info;
+}
+
+constexpr const char* kBasic = R"esi(
+layer A;
+layer B;
+enum Op { OP_X, OP_Y, };
+interface <A, B> {
+  => { Op op; u8 value; u8 data[4]; },
+  <= { bit done; }
+};
+)esi";
+
+TEST(EsiParser, ParsesLayersEnumsInterfaces) {
+  std::string errors;
+  auto info = Build(kBasic, &errors);
+  ASSERT_TRUE(info.has_value()) << errors;
+  EXPECT_EQ(info->layers().size(), 2u);
+  EXPECT_EQ(info->enums().size(), 1u);
+  EXPECT_EQ(info->interfaces().size(), 1u);
+}
+
+TEST(EsiParser, CommentsAreSkipped) {
+  auto info = Build("// comment\nlayer A; /* block\ncomment */ layer B;\n");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->layers().size(), 2u);
+}
+
+TEST(EsiSema, ChannelLayoutFlattensArrays) {
+  auto info = Build(kBasic);
+  ASSERT_TRUE(info.has_value());
+  const ChannelInfo* channel = info->FindChannel("A", "B");
+  ASSERT_NE(channel, nullptr);
+  EXPECT_EQ(channel->flat_size, 6);  // op + value + data[4]
+  const FieldInfo* data = channel->FindField("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->flat_offset, 2);
+  EXPECT_EQ(data->type.array_size, 4);
+}
+
+TEST(EsiSema, DirectedChannelLookup) {
+  auto info = Build(kBasic);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NE(info->FindChannel("A", "B"), nullptr);
+  ASSERT_NE(info->FindChannel("B", "A"), nullptr);
+  EXPECT_EQ(info->FindChannel("B", "A")->flat_size, 1);
+  EXPECT_EQ(info->FindChannel("A", "C"), nullptr);
+}
+
+TEST(EsiSema, MessageStructNames) {
+  auto info = Build(kBasic);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->FindChannel("A", "B")->MessageStructName(), "AToB");
+  EXPECT_NE(info->FindChannelByStructName("BToA"), nullptr);
+  EXPECT_EQ(info->FindChannelByStructName("CToA"), nullptr);
+}
+
+TEST(EsiSema, EnumMemberLookupIsGlobal) {
+  auto info = Build(kBasic);
+  ASSERT_TRUE(info.has_value());
+  int value = -1;
+  const EnumInfo* e = info->FindEnumByMember("OP_Y", &value);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->name, "Op");
+  EXPECT_EQ(value, 1);
+}
+
+TEST(EsiSema, Neighbors) {
+  auto info = Build(kBasic);
+  ASSERT_TRUE(info.has_value());
+  auto neighbors = info->Neighbors("A");
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0], "B");
+}
+
+TEST(EsiSema, RejectsDuplicateLayer) {
+  EXPECT_FALSE(Build("layer A;\nlayer A;\n").has_value());
+}
+
+TEST(EsiSema, RejectsUndeclaredInterfaceEndpoint) {
+  EXPECT_FALSE(Build("layer A;\ninterface <A, B> { => { bit x; } };\n").has_value());
+}
+
+TEST(EsiSema, RejectsSelfInterface) {
+  EXPECT_FALSE(Build("layer A;\ninterface <A, A> { => { bit x; } };\n").has_value());
+}
+
+TEST(EsiSema, RejectsDuplicateEnumMemberAcrossEnums) {
+  EXPECT_FALSE(Build("layer A;\nenum E1 { M };\nenum E2 { M };\n").has_value());
+}
+
+TEST(EsiSema, RejectsUnknownFieldType) {
+  EXPECT_FALSE(
+      Build("layer A; layer B;\ninterface <A, B> { => { Wat x; } };\n").has_value());
+}
+
+TEST(EsiSema, RejectsDuplicateFieldName) {
+  EXPECT_FALSE(
+      Build("layer A; layer B;\ninterface <A, B> { => { bit x; bit x; } };\n").has_value());
+}
+
+TEST(EsiSema, RejectsReservedFieldName) {
+  EXPECT_FALSE(
+      Build("layer A; layer B;\ninterface <A, B> { => { u8 len; } };\n").has_value());
+}
+
+TEST(EsiSema, RejectsTwoChannelsSameDirection) {
+  EXPECT_FALSE(
+      Build("layer A; layer B;\ninterface <A, B> { => { bit x; }, => { bit y; } };\n")
+          .has_value());
+}
+
+TEST(EsiParser, RejectsGarbage) { EXPECT_FALSE(Build("layer ;").has_value()); }
+
+TEST(EsiParser, RejectsHugeArray) {
+  EXPECT_FALSE(
+      Build("layer A; layer B;\ninterface <A, B> { => { u8 d[9999]; } };\n").has_value());
+}
+
+TEST(EsiType, TruncationSemantics) {
+  EXPECT_EQ(Type::U8().Truncate(0x1FF), 0xFF);
+  EXPECT_EQ(Type::I16().Truncate(0x18000), -32768);
+  EXPECT_EQ(Type::Bit().Truncate(7), 1);
+  EXPECT_EQ(Type::Bool().Truncate(0), 0);
+  EXPECT_EQ(Type::I32().Truncate(-5), -5);
+}
+
+TEST(EsiType, BitWidths) {
+  EXPECT_EQ(Type::Bit().BitWidth(), 1);
+  EXPECT_EQ(Type::U8().BitWidth(), 8);
+  EXPECT_EQ(Type::I16().BitWidth(), 16);
+  EXPECT_EQ(Type::I32().BitWidth(), 32);
+  EXPECT_EQ(Type::Enum("E").BitWidth(), 8);
+}
+
+TEST(EsiType, FlatSizeAndToString) {
+  Type array = Type::U8().Array(4);
+  EXPECT_EQ(array.FlatSize(), 4);
+  EXPECT_EQ(array.ToString(), "u8[4]");
+  EXPECT_EQ(array.Element().ToString(), "u8");
+}
+
+}  // namespace
+}  // namespace efeu::esi

@@ -1,0 +1,334 @@
+// Unit tests for the ESM frontend: the preprocessor, parser restrictions
+// (the paper's C-subset rules), and semantic analysis including talk/read
+// resolution.
+
+#include <gtest/gtest.h>
+
+#include "src/esm/preprocessor.h"
+#include "src/ir/compile.h"
+
+namespace efeu {
+namespace {
+
+constexpr const char* kEsi = R"esi(
+layer Up;
+layer Down;
+enum Cmd { CMD_GO, CMD_HALT, };
+interface <Up, Down> {
+  => { Cmd cmd; u8 value; u8 data[4]; },
+  <= { u8 result; }
+};
+)esi";
+
+std::unique_ptr<ir::Compilation> CompileEsm(const std::string& esm, std::string* errors,
+                                            bool verifier = false) {
+  DiagnosticEngine diag;
+  ir::CompileOptions options;
+  options.allow_nondet = verifier;
+  auto comp = ir::Compile(kEsi, esm, diag, options);
+  if (comp == nullptr && errors != nullptr) {
+    *errors = diag.RenderAll();
+  }
+  return comp;
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessor
+// ---------------------------------------------------------------------------
+
+TEST(Preprocessor, ObjectMacroSubstitution) {
+  esm::Preprocessor pp;
+  pp.Define("N", "42");
+  std::string error;
+  auto out = pp.Process("int x; x = N; NN = N;", &error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_NE(out->find("x = 42;"), std::string::npos);
+  // Whole-word matching only.
+  EXPECT_NE(out->find("NN = 42;"), std::string::npos);
+}
+
+TEST(Preprocessor, IfdefElseEndif) {
+  esm::Preprocessor pp;
+  pp.Define("FLAG");
+  std::string error;
+  auto out = pp.Process("#ifdef FLAG\nyes\n#else\nno\n#endif\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("yes"), std::string::npos);
+  EXPECT_EQ(out->find("no"), std::string::npos);
+}
+
+TEST(Preprocessor, IfndefAndNestedConditionals) {
+  esm::Preprocessor pp;
+  std::string error;
+  auto out = pp.Process(
+      "#ifndef A\nouter\n#ifdef B\ninner\n#endif\n#endif\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("outer"), std::string::npos);
+  EXPECT_EQ(out->find("inner"), std::string::npos);
+}
+
+TEST(Preprocessor, DefineInsideDeadBranchIgnored) {
+  esm::Preprocessor pp;
+  std::string error;
+  auto out = pp.Process("#ifdef NOPE\n#define X 1\n#endif\nX\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("X"), std::string::npos);  // not substituted
+}
+
+TEST(Preprocessor, IncludeRegistry) {
+  esm::Preprocessor pp;
+  pp.AddInclude("snippet", "included_text\n");
+  std::string error;
+  auto out = pp.Process("#include \"snippet\"\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("included_text"), std::string::npos);
+}
+
+TEST(Preprocessor, UnknownIncludeFails) {
+  esm::Preprocessor pp;
+  std::string error;
+  EXPECT_FALSE(pp.Process("#include \"nope\"\n", &error).has_value());
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(Preprocessor, UnterminatedIfdefFails) {
+  esm::Preprocessor pp;
+  std::string error;
+  EXPECT_FALSE(pp.Process("#ifdef X\n", &error).has_value());
+}
+
+TEST(Preprocessor, UndefStopsSubstitution) {
+  esm::Preprocessor pp;
+  std::string error;
+  auto out = pp.Process("#define A 1\n#undef A\nA\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("A"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parser & sema: accepted programs
+// ---------------------------------------------------------------------------
+
+TEST(EsmSema, MinimalLayerPairCompiles) {
+  std::string errors;
+  auto comp = CompileEsm(R"esm(
+void Up() {
+  DownToUp r;
+  byte buf[4];
+  byte i;
+  i = 0;
+  while (i < 4) {
+    buf[i] = i + 0x10;
+    i = i + 1;
+  }
+  r = UpTalkDown(CMD_GO, 7, buf);
+  assert(r.result == 7);
+}
+
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  loop:
+  DownPostUp(q.value);
+  end_next:
+  q = DownReadUp();
+  goto loop;
+}
+)esm",
+                          &errors, /*verifier=*/true);
+  ASSERT_NE(comp, nullptr) << errors;
+  EXPECT_EQ(comp->modules().size(), 2u);
+  const ir::Module* up = comp->FindModule("Up");
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->ports.size(), 2u);
+}
+
+TEST(EsmSema, LocalEnumsGetOrdinals) {
+  std::string errors;
+  auto comp = CompileEsm(R"esm(
+enum Local { L_A, L_B, L_C };
+void Up() {
+  int x;
+  x = L_C;
+  assert(x == 2);
+}
+)esm",
+                          &errors);
+  ASSERT_NE(comp, nullptr) << errors;
+}
+
+TEST(EsmSema, GotoAndLabels) {
+  std::string errors;
+  auto comp = CompileEsm(R"esm(
+void Up() {
+  int x;
+  x = 0;
+  again:
+  x = x + 1;
+  if (x < 3) {
+    goto again;
+  }
+}
+)esm",
+                          &errors);
+  ASSERT_NE(comp, nullptr) << errors;
+}
+
+// ---------------------------------------------------------------------------
+// Parser & sema: the paper's restrictions are enforced
+// ---------------------------------------------------------------------------
+
+TEST(EsmSema, RejectsInitializationAtDeclaration) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { int x = 3; }", &errors), nullptr);
+  EXPECT_NE(errors.find("initialization"), std::string::npos);
+}
+
+TEST(EsmSema, RejectsEnumValueSpecification) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("enum E { A = 1 };\nvoid Up() { ; }", &errors), nullptr);
+}
+
+TEST(EsmSema, RejectsForLoops) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { for (;;) { } }", &errors), nullptr);
+}
+
+TEST(EsmSema, RejectsUnknownLayerDefinition) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Nobody() { ; }", &errors), nullptr);
+  EXPECT_NE(errors.find("not declared"), std::string::npos);
+}
+
+TEST(EsmSema, RejectsReservedVariableNames) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { byte timeout; }", &errors), nullptr);
+  EXPECT_NE(errors.find("reserved"), std::string::npos);
+}
+
+TEST(EsmSema, RejectsUndeclaredIdentifier) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { int x; x = y; }", &errors), nullptr);
+  EXPECT_NE(errors.find("undeclared"), std::string::npos);
+}
+
+TEST(EsmSema, RejectsGotoUndefinedLabel) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { goto nowhere; }", &errors), nullptr);
+}
+
+TEST(EsmSema, RejectsDuplicateLabel) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { l: ; l: ; }", &errors), nullptr);
+}
+
+TEST(EsmSema, RejectsNondetInDriverMode) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { int x; x = nondet(2); }", &errors, /*verifier=*/false),
+            nullptr);
+  EXPECT_NE(errors.find("verifier"), std::string::npos);
+}
+
+TEST(EsmSema, AcceptsNondetInVerifierMode) {
+  std::string errors;
+  EXPECT_NE(CompileEsm("void Up() { int x; x = nondet(2); }", &errors, /*verifier=*/true),
+            nullptr)
+      << errors;
+}
+
+TEST(EsmSema, RejectsTalkWithWrongArity) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(CMD_GO);
+}
+)esm",
+                        &errors),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsTalkWithWrongArraySize) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  DownToUp r;
+  byte small[2];
+  r = UpTalkDown(CMD_GO, 1, small);
+}
+)esm",
+                        &errors),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsNestedTalk) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  byte buf[4];
+  int x;
+  x = 1 + UpTalkDown(CMD_GO, 1, buf);
+}
+)esm",
+                        &errors),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsActAsInDriverMode) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  UpToDown q;
+  q = DownReadUp();
+}
+)esm",
+                        &errors, /*verifier=*/false),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsStructScalarMixups) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  DownToUp r;
+  int x;
+  x = r;
+}
+)esm",
+                        &errors),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsUnknownStructField) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  DownToUp r;
+  int x;
+  x = r.nothing;
+}
+)esm",
+                        &errors),
+            nullptr);
+}
+
+TEST(EsmSema, RejectsAssignToEnumConstant) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm("void Up() { CMD_GO = 1; }", &errors), nullptr);
+}
+
+TEST(EsmSema, RejectsPostWithResult) {
+  std::string errors;
+  EXPECT_EQ(CompileEsm(R"esm(
+void Up() {
+  int x;
+  x = UpPostDown(CMD_GO, 1, x);
+}
+)esm",
+                        &errors, /*verifier=*/true),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace efeu

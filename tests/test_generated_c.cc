@@ -1,0 +1,242 @@
+// End-to-end validation of the C backend: generate the controller stack as C
+// (top-down driver library, Figure 5), compile it with the system's C
+// compiler, load it with dlopen, plug a bus-adapter hook underneath
+// (the "boilerplate written by user"), and run real EEPROM operations
+// through the *generated C code* against the simulated open-drain bus and
+// the behavioural 24AA512 — the strongest possible check that the generated
+// driver is not just well-formed but correct.
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/c/c_backend.h"
+#include "src/i2c/stack.h"
+#include "src/rtl/system.h"
+#include "src/sim/eeprom.h"
+#include "src/sim/i2c_bus.h"
+
+namespace efeu {
+namespace {
+
+// The bus world the generated C drives through its Electrical_step hook.
+struct BusWorld {
+  sim::I2cBus bus;
+  int driver_id = -1;
+  rtl::RtlSystem rtl;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom;
+};
+
+BusWorld* g_world = nullptr;
+
+extern "C" void ElecHook(int scl, int sda, int* out_scl, int* out_sda) {
+  // One bus half cycle: drive the levels, let the device observe them for a
+  // hold period, then sample the combined lines.
+  g_world->bus.SetDriver(g_world->driver_id, scl != 0, sda != 0);
+  for (int i = 0; i < 50; ++i) {
+    g_world->rtl.Tick();
+  }
+  *out_scl = g_world->bus.scl() ? 1 : 0;
+  *out_sda = g_world->bus.sda() ? 1 : 0;
+}
+
+constexpr const char* kHarnessC = R"c(
+#include "efeu_gen.h"
+
+typedef void (*efeu_elec_hook_t)(int scl, int sda, int* out_scl, int* out_sda);
+efeu_elec_hook_t efeu_elec_hook;
+
+/* The user-provided bus-driving boilerplate under the generated stack. */
+void Electrical_step(struct CSymbolToElectrical _in, struct ElectricalToCSymbol* _out) {
+  int scl;
+  int sda;
+  efeu_elec_hook(_in.scl, _in.sda, &scl, &sda);
+  _out->scl = (bit)scl;
+  _out->sda = (bit)sda;
+}
+
+/* Plain-int ABI wrapper so the test does not depend on struct layout. */
+void efeu_test_op(int action, int dev, int offset, int length, const unsigned char* data,
+                  int* res, int* rlen, unsigned char* rdata) {
+  struct CWorldToCEepDriver in;
+  struct CEepDriverToCWorld out;
+  int i;
+  for (i = 0; i < 16; ++i) {
+    in.data[i] = data != 0 ? data[i] : 0;
+    out.data[i] = 0;
+  }
+  in.action = (enum CEAction)action;
+  in.dev = (byte)dev;
+  in.offset = (short)offset;
+  in.length = (byte)length;
+  out.res = CE_RES_FAIL;
+  out.length = 0;
+  CEepDriver_invoke(in, &out);
+  *res = (int)out.res;
+  *rlen = (int)out.length;
+  for (i = 0; i < 16; ++i) {
+    rdata[i] = out.data[i];
+  }
+}
+)c";
+
+class GeneratedCDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Generate the C driver library.
+    DiagnosticEngine diag;
+    compilation_ = i2c::CompileControllerStack(diag);
+    ASSERT_NE(compilation_, nullptr) << diag.RenderAll();
+    codegen::COutput output = codegen::GenerateC(*compilation_, "CEepDriver");
+
+    char tmpl[] = "/tmp/efeu_gen_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    WriteFile("efeu_gen.h", output.header);
+    std::string sources;
+    for (const auto& [layer, text] : output.layers) {
+      WriteFile(layer + ".c", text);
+      sources += dir_ + "/" + layer + ".c ";
+    }
+    WriteFile("harness.c", kHarnessC);
+    sources += dir_ + "/harness.c";
+
+    // Compile with the system C compiler; warnings surfaced but not fatal.
+    std::string command = "cc -std=c99 -Wall -O1 -shared -fPIC -I" + dir_ + " -o " + dir_ +
+                          "/libgen.so " + sources + " 2>" + dir_ + "/cc.log";
+    int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::ifstream log(dir_ + "/cc.log");
+      std::string line;
+      std::string all;
+      while (std::getline(log, line)) {
+        all += line + "\n";
+      }
+      FAIL() << "generated C failed to compile:\n" << all;
+    }
+
+    handle_ = dlopen((dir_ + "/libgen.so").c_str(), RTLD_NOW);
+    ASSERT_NE(handle_, nullptr) << dlerror();
+    op_ = reinterpret_cast<OpFn>(dlsym(handle_, "efeu_test_op"));
+    ASSERT_NE(op_, nullptr);
+    auto* hook = reinterpret_cast<void (**)(int, int, int*, int*)>(
+        dlsym(handle_, "efeu_elec_hook"));
+    ASSERT_NE(hook, nullptr);
+    *hook = &ElecHook;
+
+    // Stand up the bus world.
+    world_ = std::make_unique<BusWorld>();
+    world_->driver_id = world_->bus.AddDriver();
+    sim::EepromConfig config;
+    config.write_cycle_ns = 20000;
+    world_->eeprom = std::make_unique<sim::Eeprom24aa512>(&world_->bus, config);
+    world_->rtl.AddComponent(world_->eeprom.get());
+    g_world = world_.get();
+  }
+
+  void TearDown() override {
+    g_world = nullptr;
+    if (handle_ != nullptr) {
+      dlclose(handle_);
+    }
+    if (!dir_.empty()) {
+      std::string cleanup = "rm -rf " + dir_;
+      (void)std::system(cleanup.c_str());
+    }
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name);
+    out << content;
+  }
+
+  struct OpResult {
+    int res = -1;
+    int length = 0;
+    unsigned char data[16] = {};
+  };
+
+  OpResult Invoke(int action, int dev, int offset, int length, const unsigned char* data) {
+    OpResult result;
+    op_(action, dev, offset, length, data, &result.res, &result.length, result.data);
+    return result;
+  }
+
+  using OpFn = void (*)(int, int, int, int, const unsigned char*, int*, int*, unsigned char*);
+
+  std::unique_ptr<ir::Compilation> compilation_;
+  std::string dir_;
+  void* handle_ = nullptr;
+  OpFn op_ = nullptr;
+  std::unique_ptr<BusWorld> world_;
+};
+
+constexpr int kActWrite = 0;  // CE_ACT_WRITE
+constexpr int kActRead = 1;   // CE_ACT_READ
+constexpr int kResOk = 0;     // CE_RES_OK
+
+TEST_F(GeneratedCDriver, ReadsPreloadedBytes) {
+  for (int i = 0; i < 8; ++i) {
+    world_->eeprom->Preload(0x40 + i, static_cast<uint8_t>(0xC0 + i));
+  }
+  OpResult result = Invoke(kActRead, 0x50, 0x40, 8, nullptr);
+  ASSERT_EQ(result.res, kResOk);
+  ASSERT_EQ(result.length, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.data[i], 0xC0 + i) << "byte " << i;
+  }
+}
+
+TEST_F(GeneratedCDriver, WriteThenReadBack) {
+  unsigned char payload[16] = {0x11, 0x22, 0x33, 0x44, 0x55};
+  OpResult write_result = Invoke(kActWrite, 0x50, 0x0200, 5, payload);
+  ASSERT_EQ(write_result.res, kResOk);
+  // Device memory updated on the device side.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(world_->eeprom->MemoryAt(0x0200 + i), payload[i]);
+  }
+  // The device is busy after the STOP; retry until it acknowledges again.
+  OpResult read_result;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    read_result = Invoke(kActRead, 0x50, 0x0200, 5, nullptr);
+    if (read_result.res == kResOk) {
+      break;
+    }
+  }
+  ASSERT_EQ(read_result.res, kResOk);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(read_result.data[i], payload[i]) << "byte " << i;
+  }
+}
+
+TEST_F(GeneratedCDriver, NackFromEmptyAddress) {
+  OpResult result = Invoke(kActRead, 0x31, 0, 1, nullptr);
+  EXPECT_NE(result.res, kResOk);  // CE_RES_NACK: nobody answers at 0x31
+}
+
+TEST_F(GeneratedCDriver, BackToBackOperationsKeepFsmStateConsistent) {
+  // The generated library keeps its FSM state in statics; consecutive
+  // operations must not interfere.
+  for (int round = 0; round < 3; ++round) {
+    unsigned char payload[16] = {static_cast<unsigned char>(0xA0 + round)};
+    OpResult write_result = Invoke(kActWrite, 0x50, round, 1, payload);
+    ASSERT_EQ(write_result.res, kResOk) << "round " << round;
+    OpResult read_result;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      read_result = Invoke(kActRead, 0x50, round, 1, nullptr);
+      if (read_result.res == kResOk) {
+        break;
+      }
+    }
+    ASSERT_EQ(read_result.res, kResOk) << "round " << round;
+    EXPECT_EQ(read_result.data[0], 0xA0 + round);
+  }
+}
+
+}  // namespace
+}  // namespace efeu

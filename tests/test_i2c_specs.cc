@@ -1,0 +1,237 @@
+// Tests for the I2C specification module: the C++ enum-code mirrors match
+// the compiled ESI, compilation variants work, and the native verifier
+// processes (Electrical combiner, Transaction behaviour spec) behave.
+
+#include <gtest/gtest.h>
+
+#include "src/i2c/codes.h"
+#include "src/i2c/electrical.h"
+#include "src/i2c/specs/specs.h"
+#include "src/i2c/stack.h"
+#include "src/i2c/transaction_spec.h"
+#include "src/support/text.h"
+
+namespace efeu::i2c {
+namespace {
+
+TEST(I2cCodes, MirrorsCompiledEnumOrdinals) {
+  DiagnosticEngine diag;
+  auto comp = CompileControllerStack(diag);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  const esi::SystemInfo& info = comp->system();
+  struct Expect {
+    const char* member;
+    int32_t value;
+  };
+  Expect expectations[] = {
+      {"CE_ACT_WRITE", kCeActWrite},   {"CE_ACT_READ", kCeActRead},
+      {"CE_ACT_IDLE", kCeActIdle},     {"CE_RES_OK", kCeResOk},
+      {"CE_RES_NACK", kCeResNack},     {"CT_ACT_WRITE", kCtActWrite},
+      {"CT_ACT_READ", kCtActRead},     {"CT_ACT_STOP", kCtActStop},
+      {"CT_ACT_IDLE", kCtActIdle},     {"CT_RES_OK", kCtResOk},
+      {"CT_RES_FAIL", kCtResFail},     {"CT_RES_NACK", kCtResNack},
+      {"CB_ACT_START", kCbActStart},   {"CB_ACT_STOP", kCbActStop},
+      {"CB_ACT_WRITE", kCbActWrite},   {"CB_ACT_READ", kCbActRead},
+      {"CB_ACT_ACK", kCbActAck},       {"CB_ACT_NACK", kCbActNack},
+      {"CB_ACT_IDLE", kCbActIdle},     {"CB_RES_OK", kCbResOk},
+      {"CB_RES_NACK", kCbResNack},     {"CB_RES_ARB_LOST", kCbResArbLost},
+      {"CS_ACT_START", kCsActStart},   {"CS_ACT_STOP", kCsActStop},
+      {"CS_ACT_BIT0", kCsActBit0},     {"CS_ACT_BIT1", kCsActBit1},
+      {"CS_ACT_IDLE", kCsActIdle},     {"RS_ACT_LISTEN", kRsActListen},
+      {"RS_ACT_DRIVE0", kRsActDrive0}, {"RS_ACT_STRETCH", kRsActStretch},
+      {"RS_EV_START", kRsEvStart},     {"RS_EV_STOP", kRsEvStop},
+      {"RS_EV_BIT0", kRsEvBit0},       {"RS_EV_BIT1", kRsEvBit1},
+      {"RS_EV_STRETCHED", kRsEvStretched},
+      {"RB_ACT_LISTEN", kRbActListen}, {"RB_ACT_ACK", kRbActAck},
+      {"RB_ACT_NACK", kRbActNack},     {"RB_ACT_SEND", kRbActSend},
+      {"RB_EV_START", kRbEvStart},     {"RB_EV_STOP", kRbEvStop},
+      {"RB_EV_BYTE", kRbEvByte},       {"RB_EV_ACKED", kRbEvAcked},
+      {"RB_EV_NACKED", kRbEvNacked},   {"RB_EV_DONE", kRbEvDone},
+      {"RE_EV_ADDR_WRITE", kReEvAddrWrite},
+      {"RE_EV_ADDR_READ", kReEvAddrRead},
+      {"RE_EV_DATA", kReEvData},       {"RE_EV_READ_REQ", kReEvReadReq},
+      {"RE_EV_STOP", kReEvStop},       {"RE_RES_ACK", kReResAck},
+      {"RE_RES_NACK", kReResNack},
+  };
+  for (const Expect& expectation : expectations) {
+    int value = -1;
+    ASSERT_NE(info.FindEnumByMember(expectation.member, &value), nullptr)
+        << expectation.member;
+    EXPECT_EQ(value, expectation.value) << expectation.member;
+  }
+}
+
+TEST(I2cStack, ControllerVariantsCompile) {
+  for (bool no_stretch : {false, true}) {
+    for (bool compat : {false, true}) {
+      DiagnosticEngine diag;
+      ControllerStackOptions options;
+      options.no_clock_stretching = no_stretch;
+      options.ks0127_compat = compat;
+      EXPECT_NE(CompileControllerStack(diag, options), nullptr)
+          << no_stretch << compat << "\n"
+          << diag.RenderAll();
+    }
+  }
+}
+
+TEST(I2cStack, ResponderVariantsCompile) {
+  for (bool ks : {false, true}) {
+    for (int address : {0x50, 0x51, 0x52}) {
+      DiagnosticEngine diag;
+      ResponderStackOptions options;
+      options.ks0127 = ks;
+      options.address = address;
+      EXPECT_NE(CompileResponderStack(diag, options), nullptr) << diag.RenderAll();
+    }
+  }
+}
+
+TEST(I2cStack, AllFourLayersPresent) {
+  DiagnosticEngine diag;
+  auto comp = CompileControllerStack(diag);
+  ASSERT_NE(comp, nullptr);
+  for (const char* layer : {"CSymbol", "CByte", "CTransaction", "CEepDriver"}) {
+    EXPECT_NE(comp->FindModule(layer), nullptr) << layer;
+  }
+  auto rcomp = CompileResponderStack(diag);
+  ASSERT_NE(rcomp, nullptr);
+  for (const char* layer : {"RSymbol", "RByte", "RTransaction", "REep"}) {
+    EXPECT_NE(rcomp->FindModule(layer), nullptr) << layer;
+  }
+}
+
+TEST(I2cSpecs, AllSpecificationsNonTrivial) {
+  // Every specification file has real content (guards against accidental
+  // truncation of the embedded sources).
+  EXPECT_GT(CountCodeLines(StandardEsi()), 100);
+  EXPECT_GT(CountCodeLines(CSymbolEsm()), 30);
+  EXPECT_GT(CountCodeLines(ByteIncEsm()), 100);
+  EXPECT_GT(CountCodeLines(ByteKs0127IncEsm()), 60);
+  EXPECT_GT(CountCodeLines(CTransactionEsm()), 50);
+  EXPECT_GT(CountCodeLines(CEepDriverEsm()), 40);
+  EXPECT_GT(CountCodeLines(RSymbolEsm()), 30);
+  EXPECT_GT(CountCodeLines(RTransactionEsm()), 70);
+  EXPECT_GT(CountCodeLines(REepEsm()), 20);
+  EXPECT_GT(CountCodeLines(SymbolSpecEsm()), 40);
+  EXPECT_GT(CountCodeLines(ByteSpecEsm()), 30);
+  EXPECT_GT(CountCodeLines(SymbolVerifierEsm()), 50);
+  EXPECT_GT(CountCodeLines(ByteVerifierEsm()), 80);
+  EXPECT_GT(CountCodeLines(TransactionVerifierEsm()), 80);
+  EXPECT_GT(CountCodeLines(EepVerifierEsm()), 40);
+}
+
+TEST(ElectricalProcess, CombinesWiredAnd) {
+  DiagnosticEngine diag;
+  auto ccomp = CompileControllerStack(diag);
+  auto rcomp = CompileResponderStack(diag);
+  ASSERT_NE(ccomp, nullptr);
+  ASSERT_NE(rcomp, nullptr);
+  ElectricalEndpoint controller;
+  controller.from_symbol = ccomp->system().FindChannel("CSymbol", "Electrical");
+  controller.to_symbol = ccomp->system().FindChannel("Electrical", "CSymbol");
+  ElectricalEndpoint responder;
+  responder.from_symbol = rcomp->system().FindChannel("RSymbol", "Electrical");
+  responder.to_symbol = rcomp->system().FindChannel("Electrical", "RSymbol");
+  ElectricalProcess electrical(controller, {responder});
+
+  // Round: responder drives (1,0), controller (0,1): combined (0,0).
+  ASSERT_EQ(electrical.state(), vm::RunState::kBlockedRecv);
+  std::vector<int32_t> r_levels = {1, 0};
+  electrical.CompleteRecv(r_levels);
+  ASSERT_EQ(electrical.state(), vm::RunState::kBlockedRecv);
+  EXPECT_TRUE(electrical.AtValidEndState());  // parked at the controller recv
+  std::vector<int32_t> c_levels = {0, 1};
+  electrical.CompleteRecv(c_levels);
+  ASSERT_EQ(electrical.state(), vm::RunState::kBlockedSend);
+  EXPECT_FALSE(electrical.AtValidEndState());
+  std::vector<int32_t> combined = electrical.PendingMessage();
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0], 0);
+  EXPECT_EQ(combined[1], 0);
+  // Deliver to controller, then to the responder; the round wraps.
+  electrical.CompleteSend();
+  ASSERT_EQ(electrical.state(), vm::RunState::kBlockedSend);
+  electrical.CompleteSend();
+  EXPECT_EQ(electrical.state(), vm::RunState::kBlockedRecv);
+}
+
+TEST(ElectricalProcess, SnapshotRoundTrip) {
+  DiagnosticEngine diag;
+  auto ccomp = CompileControllerStack(diag);
+  auto rcomp = CompileResponderStack(diag);
+  ElectricalEndpoint controller{ccomp->system().FindChannel("CSymbol", "Electrical"),
+                                ccomp->system().FindChannel("Electrical", "CSymbol")};
+  ElectricalEndpoint responder{rcomp->system().FindChannel("RSymbol", "Electrical"),
+                               rcomp->system().FindChannel("Electrical", "RSymbol")};
+  ElectricalProcess electrical(controller, {responder});
+  std::vector<int32_t> levels = {0, 1};
+  electrical.CompleteRecv(levels);
+  std::vector<int32_t> snapshot(electrical.SnapshotSize());
+  electrical.Snapshot(snapshot);
+  electrical.Reset();
+  EXPECT_TRUE(electrical.AtValidEndState() || electrical.state() == vm::RunState::kBlockedRecv);
+  electrical.Restore(snapshot);
+  std::vector<int32_t> snapshot2(electrical.SnapshotSize());
+  electrical.Snapshot(snapshot2);
+  EXPECT_EQ(snapshot, snapshot2);
+}
+
+TEST(TransactionSpec, RoutesByAddressAndNacksUnknown) {
+  DiagnosticEngine diag;
+  MixOptions mix;
+  mix.ceepdriver = true;
+  mix.reep = true;
+  mix.verifier = true;
+  auto comp = CompileMix(diag, mix);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  const esi::SystemInfo& info = comp->system();
+
+  TransactionSpecDevice device;
+  device.to_eep = info.FindChannel("RTransaction", "REep");
+  device.from_eep = info.FindChannel("REep", "RTransaction");
+  device.address = 0x50;
+  TransactionSpecProcess spec(info.FindChannel("CEepDriver", "CTransaction"),
+                              info.FindChannel("CTransaction", "CEepDriver"), {device});
+
+  // A write to an unpopulated address is NACKed without touching the device.
+  std::vector<int32_t> cmd(19, 0);
+  cmd[0] = kCtActWrite;
+  cmd[1] = 0x31;
+  cmd[2] = 1;
+  ASSERT_EQ(spec.state(), vm::RunState::kBlockedRecv);
+  spec.CompleteRecv(cmd);
+  ASSERT_EQ(spec.state(), vm::RunState::kBlockedSend);
+  std::vector<int32_t> reply = spec.PendingMessage();
+  EXPECT_EQ(reply[0], kCtResNack);
+  spec.CompleteSend();
+  EXPECT_TRUE(spec.AtValidEndState());
+
+  // A write to 0x50 produces ADDR_WRITE then DATA events.
+  cmd[1] = 0x50;
+  cmd[2] = 2;
+  cmd[3] = 0xAB;
+  cmd[4] = 0xCD;
+  spec.CompleteRecv(cmd);
+  ASSERT_EQ(spec.state(), vm::RunState::kBlockedSend);
+  EXPECT_EQ(spec.PendingMessage()[0], kReEvAddrWrite);
+  spec.CompleteSend();
+  std::vector<int32_t> ack = {kReResAck, 0};
+  spec.CompleteRecv(ack);
+  ASSERT_EQ(spec.state(), vm::RunState::kBlockedSend);
+  EXPECT_EQ(spec.PendingMessage()[0], kReEvData);
+  EXPECT_EQ(spec.PendingMessage()[1], 0xAB);
+  spec.CompleteSend();
+  spec.CompleteRecv(ack);
+  EXPECT_EQ(spec.PendingMessage()[1], 0xCD);
+  spec.CompleteSend();
+  spec.CompleteRecv(ack);
+  // Reply to the controller: OK with the full length.
+  ASSERT_EQ(spec.state(), vm::RunState::kBlockedSend);
+  reply = spec.PendingMessage();
+  EXPECT_EQ(reply[0], kCtResOk);
+  EXPECT_EQ(reply[1], 2);
+}
+
+}  // namespace
+}  // namespace efeu::i2c

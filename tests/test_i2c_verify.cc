@@ -1,0 +1,232 @@
+// End-to-end verification tests: every stack level at every abstraction
+// passes; the quirk configurations fail exactly the way the paper describes
+// (section 4.5).
+
+#include <gtest/gtest.h>
+
+#include "src/i2c/verify.h"
+
+namespace efeu::i2c {
+namespace {
+
+std::string Describe(const VerifyRunResult& result) {
+  std::string out;
+  if (result.safety.violation.has_value()) {
+    out += "safety: " + result.safety.violation->message + "\n";
+    for (const std::string& step : result.safety.violation->trace) {
+      out += "  " + step + "\n";
+    }
+  }
+  if (result.liveness.violation.has_value()) {
+    out += "liveness: " + result.liveness.violation->message;
+  }
+  return out;
+}
+
+VerifyRunResult RunConfig(const VerifyConfig& config) {
+  DiagnosticEngine diag;
+  VerifyRunResult result = RunVerification(config, diag);
+  EXPECT_FALSE(diag.HasErrors()) << diag.RenderAll();
+  return result;
+}
+
+TEST(SymbolVerifier, FullStackPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kSymbol;
+  config.num_ops = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+  EXPECT_GT(result.safety.states_stored, 0u);
+}
+
+TEST(SymbolVerifier, FullStackWithStretchingPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kSymbol;
+  config.num_ops = 2;
+  config.stretch_input = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(SymbolVerifier, RaspberryPiControllerFailsWithStretching) {
+  // The Raspberry Pi hardware controller does not handle clock stretching;
+  // the standard Symbol verifier detects problems in the modified stack.
+  VerifyConfig config;
+  config.level = VerifyLevel::kSymbol;
+  config.num_ops = 2;
+  config.stretch_input = true;
+  config.no_clock_stretching = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(SymbolVerifier, RaspberryPiControllerPassesWithoutStretching) {
+  // Removing clock stretching from the input space models a responder that
+  // never stretches; then the verifier passes (paper section 4.5).
+  VerifyConfig config;
+  config.level = VerifyLevel::kSymbol;
+  config.num_ops = 2;
+  config.stretch_input = false;
+  config.no_clock_stretching = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(ByteVerifier, FullStackPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(ByteVerifier, SymbolAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.abstraction = VerifyAbstraction::kSymbol;
+  config.num_ops = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(ByteVerifier, AbstractionShrinksStateSpace) {
+  VerifyConfig full;
+  full.level = VerifyLevel::kByte;
+  full.num_ops = 2;
+  VerifyConfig abstracted = full;
+  abstracted.abstraction = VerifyAbstraction::kSymbol;
+  VerifyRunResult full_result = RunConfig(full);
+  VerifyRunResult abs_result = RunConfig(abstracted);
+  ASSERT_TRUE(full_result.ok) << Describe(full_result);
+  ASSERT_TRUE(abs_result.ok) << Describe(abs_result);
+  EXPECT_LT(abs_result.safety.states_stored, full_result.safety.states_stored);
+}
+
+TEST(ByteVerifier, Ks0127WithStandardControllerDeadlocks) {
+  // Standard controller + KS0127 responder: the system can enter an invalid
+  // end state (paper section 4.5).
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 1;
+  config.ks0127_responder = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_FALSE(result.safety.ok);
+  ASSERT_TRUE(result.safety.violation.has_value());
+  EXPECT_EQ(result.safety.violation->kind, check::ViolationKind::kInvalidEndState);
+}
+
+TEST(ByteVerifier, Ks0127WithCompatControllerPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 1;
+  config.ks0127_responder = true;
+  config.ks0127_compat_controller = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(TransactionVerifier, ByteAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kTransaction;
+  config.abstraction = VerifyAbstraction::kByte;
+  config.num_ops = 2;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(TransactionVerifier, SymbolAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kTransaction;
+  config.abstraction = VerifyAbstraction::kSymbol;
+  config.num_ops = 1;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(TransactionVerifier, FullStackPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kTransaction;
+  config.num_ops = 1;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(TransactionVerifier, Ks0127StackFullyVerifies) {
+  // Above the modified Byte layers the Transaction layer is used unmodified
+  // and the stack fully verifies (paper section 4.5).
+  VerifyConfig config;
+  config.level = VerifyLevel::kTransaction;
+  config.num_ops = 1;
+  config.max_len = 1;
+  config.ks0127_responder = true;
+  config.ks0127_compat_controller = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, TransactionAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, ByteAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kByte;
+  config.num_ops = 2;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, SymbolAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kSymbol;
+  config.num_ops = 1;
+  config.max_len = 1;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, FullStackPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.num_ops = 1;
+  config.max_len = 1;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, TwoEepromsTransactionAbstractionPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_eeproms = 2;
+  config.num_ops = 2;
+  config.max_len = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+TEST(EepVerifier, VariablePayloadPasses) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 2;
+  config.variable_payload = true;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+}  // namespace
+}  // namespace efeu::i2c

@@ -1,0 +1,320 @@
+// Additional coverage: executor invariants at blocking points, checker
+// interleaving over concurrent channels, generated-text well-formedness
+// properties, and smaller utilities.
+
+#include <gtest/gtest.h>
+
+#include "src/check/checker.h"
+#include "src/codegen/common/expr_printer.h"
+#include "src/codegen/mmio/mmio_backend.h"
+#include "src/codegen/promela/promela_backend.h"
+#include "src/codegen/verilog/verilog_backend.h"
+#include "src/esm/preprocessor.h"
+#include <sstream>
+#include "src/i2c/stack.h"
+#include "src/ir/compile.h"
+#include "src/sim/waveform.h"
+#include "src/vm/system.h"
+
+namespace efeu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor: staged message survives a snapshot taken while blocked at a send.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, StagedSendSurvivesSnapshotRestore) {
+  DiagnosticEngine diag;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 x; i32 y; }, <= { i32 r; } };",
+      "void A() { BToA v; v = ATalkB(11, 22); }", diag);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  vm::IrExecutor executor(comp->FindModule("A"));
+  executor.Run();
+  ASSERT_EQ(executor.state(), vm::RunState::kBlockedSend);
+  std::vector<int32_t> staged(executor.pending_message().begin(),
+                              executor.pending_message().end());
+  EXPECT_EQ(staged, (std::vector<int32_t>{11, 22}));
+
+  // Snapshot while blocked at the send (temps are canonicalized; the staging
+  // area must not be).
+  std::vector<int32_t> snapshot(executor.SnapshotSize());
+  executor.Snapshot(snapshot);
+  vm::IrExecutor other(comp->FindModule("A"));
+  other.Restore(snapshot);
+  ASSERT_EQ(other.state(), vm::RunState::kBlockedSend);
+  std::vector<int32_t> staged2(other.pending_message().begin(),
+                               other.pending_message().end());
+  EXPECT_EQ(staged2, staged);
+}
+
+// ---------------------------------------------------------------------------
+// Checker: two independent rendezvous pairs are explored in both orders but
+// converge (the visited set collapses the commuting interleavings).
+// ---------------------------------------------------------------------------
+
+TEST(CheckerInterleaving, ConcurrentPairsConverge) {
+  DiagnosticEngine diag;
+  ir::CompileOptions options;
+  options.allow_nondet = true;
+  auto comp = ir::Compile(
+      R"esi(
+layer A; layer B; layer C; layer D;
+interface <A, B> { => { i32 v; }, <= { i32 r; } };
+interface <C, D> { => { i32 v; }, <= { i32 r; } };
+)esi",
+      R"esm(
+void A() { BToA r; r = ATalkB(1); assert(r.r == 2); }
+void B() {
+  AToB q;
+  end_i: q = BReadA();
+  end_r: q = BTalkA(q.v + 1);
+  goto end_r;
+}
+void C() { DToC r; r = CTalkD(5); assert(r.r == 10); }
+void D() {
+  CToD q;
+  end_i: q = DReadC();
+  end_r: q = DTalkC(q.v * 2);
+  goto end_r;
+}
+)esm",
+      diag, options);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  check::CheckedSystem system;
+  int a = system.AddModule(comp->FindModule("A"), "A");
+  int b = system.AddModule(comp->FindModule("B"), "B");
+  int c = system.AddModule(comp->FindModule("C"), "C");
+  int d = system.AddModule(comp->FindModule("D"), "D");
+  system.ConnectByChannel(a, b, comp->system().FindChannel("A", "B"));
+  system.ConnectByChannel(b, a, comp->system().FindChannel("B", "A"));
+  system.ConnectByChannel(c, d, comp->system().FindChannel("C", "D"));
+  system.ConnectByChannel(d, c, comp->system().FindChannel("D", "C"));
+  check::CheckResult result = system.Check();
+  EXPECT_TRUE(result.ok);
+  // Both interleavings of the two independent transfers were tried: more
+  // transitions than a single linear execution would take (4).
+  EXPECT_GT(result.transitions, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessor: nested includes and re-includes.
+// ---------------------------------------------------------------------------
+
+TEST(PreprocessorNesting, IncludeWithinInclude) {
+  esm::Preprocessor pp;
+  pp.AddInclude("inner", "leaf\n");
+  pp.AddInclude("outer", "#include \"inner\"\nmiddle\n");
+  std::string error;
+  auto out = pp.Process("#include \"outer\"\ntop\n", &error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_LT(out->find("leaf"), out->find("middle"));
+  EXPECT_LT(out->find("middle"), out->find("top"));
+}
+
+TEST(PreprocessorNesting, MacroDefinedInIncludeVisibleAfter) {
+  esm::Preprocessor pp;
+  pp.AddInclude("defs", "#define WIDTH 8\n");
+  std::string error;
+  auto out = pp.Process("#include \"defs\"\nx = WIDTH;\n", &error);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->find("x = 8;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Expression printer.
+// ---------------------------------------------------------------------------
+
+TEST(ExprPrinter, RoundTripsThroughGeneratedPromela) {
+  // Build an expression-heavy layer and verify the printed Promela contains
+  // faithfully parenthesized expressions.
+  DiagnosticEngine diag;
+  ir::CompileOptions options;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 v; }, <= { i32 r; } };",
+      R"esm(
+void A() {
+  int x;
+  int y;
+  x = (1 + 2) * 3 - (4 >> 1);
+  y = ~x & (x | 7) ^ 1;
+  if (x < y && !(y == 0)) {
+    x = -y;
+  }
+  BToA r;
+  r = ATalkB(x);
+}
+)esm",
+      diag, options);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  const std::string& text = out.layers.at("A");
+  EXPECT_NE(text.find("((1 + 2) * 3) - (4 >> 1)"), std::string::npos);
+  EXPECT_NE(text.find("(x < y) && (!(y == 0))"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Generated-text well-formedness properties across all layers.
+// ---------------------------------------------------------------------------
+
+int Balance(const std::string& text, char open, char close) {
+  int depth = 0;
+  for (char c : text) {
+    if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      --depth;
+    }
+  }
+  return depth;
+}
+
+TEST(GeneratedText, PromelaBracesBalanceInEveryLayer) {
+  DiagnosticEngine diag;
+  auto comp = i2c::CompileControllerStack(diag);
+  ASSERT_NE(comp, nullptr);
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  for (const auto& [layer, text] : out.layers) {
+    EXPECT_EQ(Balance(text, '{', '}'), 0) << layer;
+    EXPECT_EQ(Balance(text, '(', ')'), 0) << layer;
+  }
+  EXPECT_EQ(Balance(out.shared, '{', '}'), 0);
+}
+
+TEST(GeneratedText, PromelaIfFiAndDoOdBalance) {
+  DiagnosticEngine diag;
+  auto comp = i2c::CompileControllerStack(diag);
+  codegen::PromelaOutput out = codegen::GeneratePromela(*comp);
+  for (const auto& [layer, text] : out.layers) {
+    size_t ifs = 0;
+    size_t fis = 0;
+    size_t dos = 0;
+    size_t ods = 0;
+    for (size_t pos = 0; (pos = text.find("\n", pos)) != std::string::npos; ++pos) {
+      std::string_view rest = std::string_view(text).substr(pos + 1);
+      // Count statement-leading keywords only (indented lines).
+      size_t start = rest.find_first_not_of(' ');
+      if (start == std::string_view::npos) {
+        continue;
+      }
+      rest = rest.substr(start);
+      if (rest.rfind("if\n", 0) == 0 || rest.rfind("if ", 0) == 0) {
+        ++ifs;
+      } else if (rest.rfind("fi;", 0) == 0) {
+        ++fis;
+      } else if (rest.rfind("do\n", 0) == 0) {
+        ++dos;
+      } else if (rest.rfind("od;", 0) == 0) {
+        ++ods;
+      }
+    }
+    EXPECT_EQ(ifs, fis) << layer;
+    EXPECT_EQ(dos, ods) << layer;
+  }
+}
+
+TEST(GeneratedText, VerilogBeginEndBalanceInEveryModule) {
+  DiagnosticEngine diag;
+  auto comp = i2c::CompileControllerStack(diag);
+  auto out = codegen::GenerateVerilog(*comp);
+  for (const auto& [layer, text] : out.modules) {
+    // Count whole-word begin/end tokens.
+    int begins = 0;
+    int ends = 0;
+    std::istringstream stream(text);
+    std::string token;
+    while (stream >> token) {
+      if (token == "begin") {
+        ++begins;
+      } else if (token == "end") {
+        ++ends;
+      }
+    }
+    EXPECT_EQ(begins, ends) << layer;
+    EXPECT_NE(text.find("endmodule"), std::string::npos) << layer;
+  }
+}
+
+TEST(GeneratedText, MmioRegistersNeverOverlap) {
+  DiagnosticEngine diag;
+  auto comp = i2c::CompileControllerStack(diag);
+  const esi::ChannelInfo* down = comp->system().FindChannel("CEepDriver", "CTransaction");
+  const esi::ChannelInfo* up = comp->system().FindChannel("CTransaction", "CEepDriver");
+  codegen::MmioOutput out = codegen::GenerateMmio("X", down, up);
+  std::vector<std::pair<int, int>> ranges;  // offset, bytes
+  ranges.push_back({out.map.status_offset, 4});
+  for (const auto& reg : out.map.down_data) {
+    ranges.push_back({reg.offset, 4 * reg.word_count});
+  }
+  ranges.push_back({out.map.down_valid_offset, 4});
+  ranges.push_back({out.map.down_ready_offset, 4});
+  for (const auto& reg : out.map.up_data) {
+    ranges.push_back({reg.offset, 4 * reg.word_count});
+  }
+  ranges.push_back({out.map.up_valid_offset, 4});
+  ranges.push_back({out.map.up_ready_offset, 4});
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      bool disjoint = ranges[i].first + ranges[i].second <= ranges[j].first ||
+                      ranges[j].first + ranges[j].second <= ranges[i].first;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+  }
+  EXPECT_LE(ranges.back().first + 4, out.map.total_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Waveform edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(WaveformEdge, EmptyCapture) {
+  std::vector<sim::I2cBus::Sample> samples;
+  sim::FrequencyStats stats = sim::AnalyzeSclFrequency(samples);
+  EXPECT_EQ(stats.edge_count, 0);
+  EXPECT_EQ(stats.mean_khz, 0);
+  EXPECT_EQ(sim::RenderAsciiWaveform(samples, 1000), "(no samples)\n");
+}
+
+TEST(WaveformEdge, SingleEdgeNoFrequency) {
+  std::vector<sim::I2cBus::Sample> samples = {{0, false, true}, {100, true, true}};
+  sim::FrequencyStats stats = sim::AnalyzeSclFrequency(samples);
+  EXPECT_EQ(stats.edge_count, 1);
+  EXPECT_EQ(stats.mean_khz, 0);
+}
+
+// ---------------------------------------------------------------------------
+// vm::System bounded transfers.
+// ---------------------------------------------------------------------------
+
+TEST(VmSystemBudget, MaxTransfersStopsEarly) {
+  DiagnosticEngine diag;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 v; }, <= { i32 r; } };",
+      R"esm(
+void A() {
+  BToA r;
+  spin:
+  r = ATalkB(1);
+  goto spin;
+}
+void B() {
+  AToB q;
+  end_i: q = BReadA();
+  end_r: q = BTalkA(2);
+  goto end_r;
+}
+)esm",
+      diag);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  vm::System system;
+  int a = system.AddProcess(comp->FindModule("A"), "A");
+  int b = system.AddProcess(comp->FindModule("B"), "B");
+  const esi::ChannelInfo* ab = comp->system().FindChannel("A", "B");
+  const esi::ChannelInfo* ba = comp->system().FindChannel("B", "A");
+  system.Connect(system.FindPort(a, ab, true), system.FindPort(b, ab, false));
+  system.Connect(system.FindPort(b, ba, true), system.FindPort(a, ba, false));
+  EXPECT_EQ(system.Run(/*max_transfers=*/10), vm::SystemState::kRunning);
+}
+
+}  // namespace
+}  // namespace efeu

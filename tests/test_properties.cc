@@ -1,0 +1,223 @@
+// Property-style parameterized sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants that must hold across whole parameter grids — EEPROM transfer
+// integrity for every length, arithmetic agreement between the VM and the
+// RTL interpretation of the same IR, verifier determinism, and resource-
+// estimate monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "src/driver/hybrid.h"
+#include "src/driver/resources.h"
+#include "src/i2c/verify.h"
+#include "src/ir/compile.h"
+#include "src/rtl/rtl_module.h"
+#include "src/rtl/system.h"
+#include "src/vm/executor.h"
+
+namespace efeu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: every read length 1..14 moves the exact bytes (Xilinx-fast path
+// would not exercise the generated stack; use the all-hardware split).
+// ---------------------------------------------------------------------------
+
+class ReadLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadLengthProperty, TransfersExactBytes) {
+  int length = GetParam();
+  driver::HybridConfig config;
+  config.split = driver::SplitPoint::kEepDriver;
+  driver::HybridDriver hybrid(config);
+  for (int i = 0; i < length; ++i) {
+    hybrid.eeprom().Preload(0x300 + i, static_cast<uint8_t>(0x80 + 7 * i));
+  }
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(hybrid.Read(0x300, length, &data));
+  ASSERT_EQ(static_cast<int>(data.size()), length);
+  for (int i = 0; i < length; ++i) {
+    EXPECT_EQ(data[i], static_cast<uint8_t>(0x80 + 7 * i)) << "byte " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ReadLengthProperty, ::testing::Range(1, 15));
+
+// ---------------------------------------------------------------------------
+// Property: the VM and the RTL simulator compute identical results for the
+// same IR on a sweep of operand pairs (one engine is used for software
+// layers, the other for hardware layers: they must agree bit-for-bit).
+// ---------------------------------------------------------------------------
+
+class VmRtlEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VmRtlEquivalence, SameResults) {
+  auto [a, b] = GetParam();
+  DiagnosticEngine diag;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 x; i32 y; }, <= { i32 r[8]; } };",
+      R"esm(
+void B() {
+  AToB q;
+  int out[8];
+  byte u;
+  end_init:
+  q = BReadA();
+  out[0] = q.x + q.y;
+  out[1] = q.x - q.y;
+  out[2] = q.x * q.y;
+  out[3] = q.x & q.y;
+  out[4] = q.x | q.y;
+  out[5] = q.x ^ q.y;
+  out[6] = (q.x < q.y) + ((q.x >> 2) << 1);
+  u = q.x;
+  out[7] = u + (q.y % 7);
+  end_reply:
+  q = BTalkA(out);
+  goto end_reply;
+}
+)esm",
+      diag);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+  const ir::Module* module = comp->FindModule("B");
+  const esi::ChannelInfo* in = comp->system().FindChannel("A", "B");
+  const esi::ChannelInfo* out = comp->system().FindChannel("B", "A");
+
+  // VM execution.
+  vm::IrExecutor executor(module);
+  executor.Run();
+  std::vector<int32_t> request = {a, b};
+  executor.CompleteRecv(request);
+  executor.Run();
+  ASSERT_EQ(executor.state(), vm::RunState::kBlockedSend);
+  std::vector<int32_t> vm_result(executor.pending_message().begin(),
+                                 executor.pending_message().end());
+
+  // RTL execution of the same module.
+  rtl::RtlSystem system;
+  rtl::RtlModule hardware(module, "B");
+  rtl::HsWire* down = system.CreateWire(in->flat_size);
+  rtl::HsWire* up = system.CreateWire(out->flat_size);
+  hardware.BindPort(hardware.module().FindPort(in, false), down);
+  hardware.BindPort(hardware.module().FindPort(out, true), up);
+  system.AddComponent(&hardware);
+  down->data = {a, b};
+  down->valid = true;
+  up->ready = true;
+  int guard = 0;
+  while (!up->valid && guard++ < 2000) {
+    system.Tick();
+  }
+  ASSERT_TRUE(up->valid);
+  EXPECT_EQ(up->data, vm_result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandGrid, VmRtlEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 7, 200, -3, 100000),
+                       ::testing::Values(1, 5, 255, -17, 4096)));
+
+// ---------------------------------------------------------------------------
+// Property: verification is deterministic — repeated runs of the same
+// configuration explore the identical state space.
+// ---------------------------------------------------------------------------
+
+class VerifierDeterminism
+    : public ::testing::TestWithParam<std::tuple<i2c::VerifyLevel, i2c::VerifyAbstraction>> {};
+
+TEST_P(VerifierDeterminism, SameStateCountTwice) {
+  auto [level, abstraction] = GetParam();
+  i2c::VerifyConfig config;
+  config.level = level;
+  config.abstraction = abstraction;
+  config.num_ops = 1;
+  config.max_len = 1;
+  uint64_t states[2];
+  for (int round = 0; round < 2; ++round) {
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    ASSERT_NE(vs, nullptr) << diag.RenderAll();
+    check::CheckResult result = vs->system().Check();
+    ASSERT_TRUE(result.ok);
+    states[round] = result.states_stored;
+  }
+  EXPECT_EQ(states[0], states[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, VerifierDeterminism,
+    ::testing::Values(
+        std::make_tuple(i2c::VerifyLevel::kByte, i2c::VerifyAbstraction::kNone),
+        std::make_tuple(i2c::VerifyLevel::kByte, i2c::VerifyAbstraction::kSymbol),
+        std::make_tuple(i2c::VerifyLevel::kTransaction, i2c::VerifyAbstraction::kByte),
+        std::make_tuple(i2c::VerifyLevel::kEepDriver, i2c::VerifyAbstraction::kTransaction)));
+
+// ---------------------------------------------------------------------------
+// Property: payload growth only ever grows the verified state space.
+// ---------------------------------------------------------------------------
+
+TEST(VerifierMonotonicity, StatesGrowWithPayloadLength) {
+  uint64_t previous = 0;
+  for (int len = 1; len <= 4; ++len) {
+    i2c::VerifyConfig config;
+    config.level = i2c::VerifyLevel::kEepDriver;
+    config.abstraction = i2c::VerifyAbstraction::kTransaction;
+    config.num_ops = 2;
+    config.max_len = len;
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    ASSERT_NE(vs, nullptr);
+    check::CheckResult result = vs->system().Check();
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.states_stored, previous) << "len " << len;
+    previous = result.states_stored;
+  }
+}
+
+TEST(VerifierMonotonicity, StatesGrowWithResponderCount) {
+  uint64_t previous = 0;
+  for (int eeproms = 1; eeproms <= 3; ++eeproms) {
+    i2c::VerifyConfig config;
+    config.level = i2c::VerifyLevel::kEepDriver;
+    config.abstraction = i2c::VerifyAbstraction::kTransaction;
+    config.num_ops = 2;
+    config.max_len = 2;
+    config.num_eeproms = eeproms;
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    ASSERT_NE(vs, nullptr);
+    check::CheckResult result = vs->system().Check();
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.states_stored, previous) << eeproms << " EEPROMs";
+    previous = result.states_stored;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: resource estimates are positive and grow with the hardware set.
+// ---------------------------------------------------------------------------
+
+TEST(Resources, MonotoneAcrossSplits) {
+  int previous_luts = 0;
+  int previous_ffs = 0;
+  for (driver::SplitPoint split :
+       {driver::SplitPoint::kElectrical, driver::SplitPoint::kSymbol,
+        driver::SplitPoint::kByte, driver::SplitPoint::kTransaction,
+        driver::SplitPoint::kEepDriver}) {
+    driver::HybridConfig config;
+    config.split = split;
+    driver::HybridDriver hybrid(config);
+    driver::ResourceEstimate total;
+    for (const ir::Module* module : hybrid.HardwareModules()) {
+      total += driver::EstimateModule(*module);
+    }
+    total += driver::EstimateBusAdapter();
+    total += driver::EstimateAxiLiteDriver(hybrid.down_words(), hybrid.up_words());
+    EXPECT_GT(total.luts, previous_luts) << driver::SplitPointName(split);
+    EXPECT_GT(total.ffs, previous_ffs) << driver::SplitPointName(split);
+    previous_luts = total.luts;
+    previous_ffs = total.ffs;
+  }
+}
+
+}  // namespace
+}  // namespace efeu

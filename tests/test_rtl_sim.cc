@@ -1,0 +1,367 @@
+// Unit tests for the RTL substrate and the platform simulation: handshake
+// wires between clocked FSMs, the MMIO register file's auto-reset semantics,
+// the deadline-paced bus adapter, the open-drain bus, the 24AA512 model, the
+// waveform analysis, and the Xilinx IP engine.
+
+#include <gtest/gtest.h>
+
+#include "src/ir/compile.h"
+#include "src/rtl/regfile.h"
+#include "src/rtl/rtl_module.h"
+#include "src/rtl/system.h"
+#include "src/sim/bus_adapter.h"
+#include "src/sim/eeprom.h"
+#include "src/sim/i2c_bus.h"
+#include "src/sim/waveform.h"
+#include "src/sim/xilinx_ip.h"
+
+namespace efeu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// I2C bus
+// ---------------------------------------------------------------------------
+
+TEST(I2cBus, WiredAndSemantics) {
+  sim::I2cBus bus;
+  int a = bus.AddDriver();
+  int b = bus.AddDriver();
+  EXPECT_TRUE(bus.scl());
+  EXPECT_TRUE(bus.sda());
+  bus.SetDriver(a, true, false);
+  EXPECT_TRUE(bus.scl());
+  EXPECT_FALSE(bus.sda());
+  bus.SetDriver(b, false, true);
+  EXPECT_FALSE(bus.scl());
+  EXPECT_FALSE(bus.sda());
+  bus.SetDriver(a, true, true);
+  EXPECT_FALSE(bus.scl());
+  EXPECT_TRUE(bus.sda());
+}
+
+TEST(I2cBus, CaptureRecordsOnlyChanges) {
+  sim::I2cBus bus;
+  int d = bus.AddDriver();
+  bus.EnableCapture(true);
+  bus.Capture(0);
+  bus.Capture(10);  // no change: not recorded
+  bus.SetDriver(d, false, true);
+  bus.Capture(20);
+  ASSERT_EQ(bus.samples().size(), 2u);
+  EXPECT_EQ(bus.samples()[1].t_ns, 20);
+  EXPECT_FALSE(bus.samples()[1].scl);
+}
+
+// ---------------------------------------------------------------------------
+// Waveform analysis
+// ---------------------------------------------------------------------------
+
+TEST(Waveform, EdgeDetectionAndFrequency) {
+  std::vector<sim::I2cBus::Sample> samples;
+  // A clean 400 kHz clock: edges every 1250 ns.
+  bool level = true;
+  double t = 0;
+  samples.push_back({0, true, true});
+  for (int i = 0; i < 20; ++i) {
+    t += 1250;
+    level = !level;
+    samples.push_back({t, level, true});
+  }
+  auto rising = sim::SclRisingEdges(samples);
+  EXPECT_EQ(rising.size(), 10u);
+  sim::FrequencyStats stats = sim::AnalyzeSclFrequency(samples);
+  EXPECT_NEAR(stats.mean_khz, 400.0, 0.5);
+  EXPECT_NEAR(stats.stddev_khz, 0.0, 0.01);
+}
+
+TEST(Waveform, AsciiRendering) {
+  std::vector<sim::I2cBus::Sample> samples = {{0, true, true}, {500, false, true}};
+  std::string art = sim::RenderAsciiWaveform(samples, 1000, 10);
+  EXPECT_NE(art.find("SCL #####_____"), std::string::npos);
+  EXPECT_NE(art.find("SDA ##########"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RtlModule handshake between two generated FSMs
+// ---------------------------------------------------------------------------
+
+TEST(RtlModule, TwoModulesHandshakeOverWires) {
+  DiagnosticEngine diag;
+  auto comp = ir::Compile(
+      "layer A; layer B; interface <A, B> { => { i32 v; }, <= { i32 r; } };",
+      R"esm(
+void A() {
+  BToA r;
+  r = ATalkB(21);
+  r = ATalkB(r.r);
+}
+void B() {
+  AToB q;
+  end_init:
+  q = BReadA();
+  end_reply:
+  q = BTalkA(q.v * 2);
+  goto end_reply;
+}
+)esm",
+      diag);
+  ASSERT_NE(comp, nullptr) << diag.RenderAll();
+
+  rtl::RtlSystem system;
+  rtl::RtlModule a(comp->FindModule("A"), "A");
+  rtl::RtlModule b(comp->FindModule("B"), "B");
+  const esi::ChannelInfo* to_b = comp->system().FindChannel("A", "B");
+  const esi::ChannelInfo* to_a = comp->system().FindChannel("B", "A");
+  rtl::HsWire* down = system.CreateWire(to_b->flat_size);
+  rtl::HsWire* up = system.CreateWire(to_a->flat_size);
+  a.BindPort(a.module().FindPort(to_b, true), down);
+  a.BindPort(a.module().FindPort(to_a, false), up);
+  b.BindPort(b.module().FindPort(to_b, false), down);
+  b.BindPort(b.module().FindPort(to_a, true), up);
+  system.AddComponent(&a);
+  system.AddComponent(&b);
+
+  for (int i = 0; i < 200 && !a.halted(); ++i) {
+    system.Tick();
+  }
+  EXPECT_TRUE(a.halted());
+  // The second talk sent 42 down; B is parked waiting for the next request.
+  EXPECT_FALSE(b.halted());
+}
+
+// ---------------------------------------------------------------------------
+// MMIO register file semantics
+// ---------------------------------------------------------------------------
+
+TEST(Regfile, AutoResetDeliversExactlyOnce) {
+  rtl::RtlSystem system;
+  rtl::MmioRegfile regfile(1, 1);
+  rtl::HsWire* down = system.CreateWire(1);
+  rtl::HsWire* up = system.CreateWire(1);
+  regfile.BindDown(down);
+  regfile.BindUp(up);
+  system.AddComponent(&regfile);
+
+  regfile.WriteDownWord(0, 77);
+  regfile.SetDownValid();
+  // Nobody ready yet: valid stays pending.
+  system.Tick();
+  system.Tick();
+  EXPECT_TRUE(regfile.DownPending());
+  EXPECT_TRUE(down->valid);
+  // Peer asserts ready: one transfer, then the flag auto-resets.
+  down->ready = true;
+  system.Tick();
+  system.Tick();
+  down->ready = false;
+  system.Tick();
+  EXPECT_FALSE(regfile.DownPending());
+  EXPECT_FALSE(down->valid);
+  EXPECT_EQ(down->data[0], 77);
+}
+
+TEST(Regfile, UpLatchRaisesIrqOnceArmed) {
+  rtl::RtlSystem system;
+  rtl::MmioRegfile regfile(1, 1);
+  rtl::HsWire* down = system.CreateWire(1);
+  rtl::HsWire* up = system.CreateWire(1);
+  regfile.BindDown(down);
+  regfile.BindUp(up);
+  system.AddComponent(&regfile);
+
+  // Hardware offers a message; not armed yet: nothing happens.
+  up->valid = true;
+  up->data[0] = 9;
+  system.Tick();
+  system.Tick();
+  EXPECT_FALSE(regfile.UpFull());
+  // Arm, then the packet lands, ready auto-resets, irq raises.
+  regfile.ArmUp();
+  for (int i = 0; i < 4; ++i) {
+    system.Tick();
+  }
+  EXPECT_TRUE(regfile.UpFull());
+  EXPECT_TRUE(regfile.irq());
+  EXPECT_FALSE(up->ready);  // auto-reset: no second packet can land
+  EXPECT_EQ(regfile.ReadUpWord(0), 9);
+  regfile.ConsumeUp();
+  EXPECT_FALSE(regfile.irq());
+}
+
+TEST(Regfile, AblatedAutoResetRedelivers) {
+  rtl::RtlSystem system;
+  rtl::MmioRegfile regfile(1, 1);
+  rtl::HsWire* down = system.CreateWire(1);
+  rtl::HsWire* up = system.CreateWire(1);
+  regfile.BindDown(down);
+  regfile.BindUp(up);
+  regfile.set_disable_auto_reset(true);
+  system.AddComponent(&regfile);
+
+  regfile.WriteDownWord(0, 5);
+  regfile.SetDownValid();
+  down->ready = true;
+  for (int i = 0; i < 4; ++i) {
+    system.Tick();
+  }
+  // Without the auto-reset the message stays published: double delivery.
+  EXPECT_TRUE(down->valid);
+  EXPECT_TRUE(regfile.DownPending());
+}
+
+// ---------------------------------------------------------------------------
+// Bus adapter pacing
+// ---------------------------------------------------------------------------
+
+TEST(BusAdapter, HoldsLevelsForHalfCycle) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::BusAdapter adapter(&bus, /*half_cycle_ticks=*/50);
+  rtl::HsWire* down = system.CreateWire(2);
+  rtl::HsWire* up = system.CreateWire(2);
+  adapter.BindDown(down);
+  adapter.BindUp(up);
+  system.AddComponent(&adapter);
+
+  // Offer (scl=0, sda=1).
+  down->data = {0, 1};
+  down->valid = true;
+  up->ready = true;
+  uint64_t start = system.cycles();
+  // Run until the adapter answers with the sample.
+  int guard = 0;
+  while (!up->valid && guard++ < 500) {
+    system.Tick();
+  }
+  ASSERT_TRUE(up->valid);
+  // The sample reflects the driven levels.
+  EXPECT_EQ(up->data[0], 0);
+  EXPECT_EQ(up->data[1], 1);
+  EXPECT_FALSE(bus.scl());
+  // A full (late-requester) half cycle elapsed.
+  EXPECT_GE(system.cycles() - start, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// EEPROM model driven by the Xilinx IP engine (bit-level cross-check)
+// ---------------------------------------------------------------------------
+
+TEST(Eeprom, XilinxEngineReadsAndWrites) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::XilinxIpEngine engine(&bus, 25, 0);
+  sim::EepromConfig config;
+  config.write_cycle_ns = 1000;
+  sim::Eeprom24aa512 eeprom(&bus, config);
+  system.AddComponent(&engine);
+  system.AddComponent(&eeprom);
+
+  engine.StartWrite(0x50, 0x0123, {0xAA, 0xBB, 0xCC});
+  while (!engine.done()) {
+    system.Tick();
+  }
+  ASSERT_FALSE(engine.ack_failure());
+  EXPECT_EQ(eeprom.MemoryAt(0x0123), 0xAA);
+  EXPECT_EQ(eeprom.MemoryAt(0x0125), 0xCC);
+  EXPECT_TRUE(eeprom.busy());
+  while (eeprom.busy()) {
+    system.Tick();
+  }
+
+  engine.StartRead(0x50, 0x0123, 3);
+  while (!engine.done()) {
+    system.Tick();
+  }
+  ASSERT_FALSE(engine.ack_failure());
+  ASSERT_EQ(engine.read_data().size(), 3u);
+  EXPECT_EQ(engine.read_data()[0], 0xAA);
+  EXPECT_EQ(engine.read_data()[2], 0xCC);
+}
+
+TEST(Eeprom, NacksWrongAddress) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::XilinxIpEngine engine(&bus, 25, 0);
+  sim::EepromConfig config;
+  sim::Eeprom24aa512 eeprom(&bus, config);
+  system.AddComponent(&engine);
+  system.AddComponent(&eeprom);
+
+  engine.StartRead(0x31, 0, 1);  // nobody home at 0x31
+  while (!engine.done()) {
+    system.Tick();
+  }
+  EXPECT_TRUE(engine.ack_failure());
+}
+
+TEST(Eeprom, NacksWhileBusy) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::XilinxIpEngine engine(&bus, 25, 0);
+  sim::EepromConfig config;
+  config.write_cycle_ns = 1e6;  // long write cycle
+  sim::Eeprom24aa512 eeprom(&bus, config);
+  system.AddComponent(&engine);
+  system.AddComponent(&eeprom);
+
+  engine.StartWrite(0x50, 0, {1});
+  while (!engine.done()) {
+    system.Tick();
+  }
+  ASSERT_TRUE(eeprom.busy());
+  engine.StartRead(0x50, 0, 1);
+  while (!engine.done()) {
+    system.Tick();
+  }
+  EXPECT_TRUE(engine.ack_failure());  // device stops responding while busy
+}
+
+TEST(Eeprom, SequentialReadWrapsPointer) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::XilinxIpEngine engine(&bus, 25, 0);
+  sim::EepromConfig config;
+  config.memory_bytes = 256;  // wrap quickly
+  sim::Eeprom24aa512 eeprom(&bus, config);
+  system.AddComponent(&engine);
+  system.AddComponent(&eeprom);
+  eeprom.Preload(254, 0x11);
+  eeprom.Preload(255, 0x22);
+  eeprom.Preload(0, 0x33);
+
+  engine.StartRead(0x50, 254, 3);
+  while (!engine.done()) {
+    system.Tick();
+  }
+  ASSERT_EQ(engine.read_data().size(), 3u);
+  EXPECT_EQ(engine.read_data()[0], 0x11);
+  EXPECT_EQ(engine.read_data()[1], 0x22);
+  EXPECT_EQ(engine.read_data()[2], 0x33);
+}
+
+TEST(Eeprom, PageWriteWrapsWithinPage) {
+  sim::I2cBus bus;
+  rtl::RtlSystem system;
+  sim::XilinxIpEngine engine(&bus, 25, 0);
+  sim::EepromConfig config;
+  config.page_bytes = 4;
+  config.write_cycle_ns = 100;
+  sim::Eeprom24aa512 eeprom(&bus, config);
+  system.AddComponent(&engine);
+  system.AddComponent(&eeprom);
+
+  // Write 6 bytes starting at offset 2 of a 4-byte page: wraps to offset 0.
+  engine.StartWrite(0x50, 2, {1, 2, 3, 4, 5, 6});
+  while (!engine.done()) {
+    system.Tick();
+  }
+  // Pointer sequence: 2,3,0,1,2,3 — the later bytes overwrite the earlier
+  // ones after wrapping within the page, as on the real device.
+  EXPECT_EQ(eeprom.MemoryAt(0), 3);
+  EXPECT_EQ(eeprom.MemoryAt(1), 4);
+  EXPECT_EQ(eeprom.MemoryAt(2), 5);
+  EXPECT_EQ(eeprom.MemoryAt(3), 6);
+}
+
+}  // namespace
+}  // namespace efeu

@@ -1,0 +1,142 @@
+// Unit tests for the support utilities: text handling, line counting,
+// diagnostics rendering, hashing, reserved words.
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/support/hash.h"
+#include "src/support/reserved_words.h"
+#include "src/support/source_buffer.h"
+#include "src/support/text.h"
+
+namespace efeu {
+namespace {
+
+TEST(Text, SplitLinesBasic) {
+  auto lines = SplitLines("a\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Text, SplitLinesTrailingNewline) {
+  auto lines = SplitLines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(Text, SplitLinesEmpty) { EXPECT_TRUE(SplitLines("").empty()); }
+
+TEST(Text, SplitLinesBlankLinesPreserved) {
+  auto lines = SplitLines("a\n\nb");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(Text, TrimBothEnds) { EXPECT_EQ(Trim("  \thi \n"), "hi"); }
+
+TEST(Text, TrimAllWhitespace) { EXPECT_EQ(Trim(" \t\r\n"), ""); }
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(Text, CountCodeLinesSkipsBlanksAndComments) {
+  const char* source =
+      "// header comment\n"
+      "\n"
+      "int x;\n"
+      "  // indented comment\n"
+      "int y; // trailing comment counts as code\n";
+  EXPECT_EQ(CountCodeLines(source), 2);
+}
+
+TEST(Text, CountCodeLinesBlockComments) {
+  const char* source =
+      "/* one\n"
+      "   two\n"
+      "   three */\n"
+      "code;\n"
+      "/* inline */ more;\n";
+  EXPECT_EQ(CountCodeLines(source), 2);
+}
+
+TEST(Text, CountCodeLinesCustomLineComment) {
+  EXPECT_EQ(CountCodeLines("-- vhdl comment\nsignal x;\n", "--"), 1);
+}
+
+TEST(Text, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(Text, CodeWriterIndentation) {
+  CodeWriter writer;
+  writer.Line("top {");
+  {
+    CodeWriter::Scope scope(writer);
+    writer.Line("inner;");
+  }
+  writer.Line("}");
+  EXPECT_EQ(writer.str(), "top {\n  inner;\n}\n");
+}
+
+TEST(Text, CodeWriterBlankNeverIndented) {
+  CodeWriter writer;
+  writer.Indent();
+  writer.Blank();
+  writer.Dedent();
+  EXPECT_EQ(writer.str(), "\n");
+}
+
+TEST(SourceBuffer, LineAtMiddleLine) {
+  SourceBuffer buffer("test", "first\nsecond\nthird");
+  SourceLocation loc{2, 3, 8};  // inside "second"
+  EXPECT_EQ(buffer.LineAt(loc), "second");
+}
+
+TEST(SourceBuffer, LineAtInvalid) {
+  SourceBuffer buffer("test", "abc");
+  EXPECT_EQ(buffer.LineAt(SourceLocation{}), "");
+}
+
+TEST(Diagnostics, RenderIncludesCaret) {
+  SourceBuffer buffer("spec.esm", "int x = 3;");
+  DiagnosticEngine diag;
+  diag.Error(buffer, SourceLocation{1, 7, 6}, "no initialization");
+  ASSERT_EQ(diag.error_count(), 1u);
+  std::string rendered = diag.RenderAll();
+  EXPECT_NE(rendered.find("spec.esm:1:7: error: no initialization"), std::string::npos);
+  EXPECT_NE(rendered.find("^"), std::string::npos);
+}
+
+TEST(Diagnostics, WarningsDoNotCountAsErrors) {
+  SourceBuffer buffer("b", "x");
+  DiagnosticEngine diag;
+  diag.Warning(buffer, SourceLocation{1, 1, 0}, "meh");
+  EXPECT_FALSE(diag.HasErrors());
+  EXPECT_EQ(diag.diagnostics().size(), 1u);
+}
+
+TEST(Hash, DistinctForDifferentData) {
+  std::vector<int32_t> a = {1, 2, 3};
+  std::vector<int32_t> b = {1, 2, 4};
+  EXPECT_NE(HashWords(a), HashWords(b));
+}
+
+TEST(Hash, StableForSameData) {
+  std::vector<int32_t> a = {5, 6};
+  EXPECT_EQ(HashWords(a), HashWords(a));
+}
+
+TEST(ReservedWords, PromelaKeywords) {
+  EXPECT_TRUE(IsPromelaReservedWord("len"));
+  EXPECT_TRUE(IsPromelaReservedWord("timeout"));
+  EXPECT_TRUE(IsPromelaReservedWord("active"));
+  EXPECT_TRUE(IsPromelaReservedWord("mtype"));
+  EXPECT_FALSE(IsPromelaReservedWord("plen"));
+  EXPECT_FALSE(IsPromelaReservedWord("CSymbol"));
+}
+
+}  // namespace
+}  // namespace efeu
