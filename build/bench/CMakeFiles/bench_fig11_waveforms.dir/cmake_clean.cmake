@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_waveforms.dir/bench_fig11_waveforms.cc.o"
+  "CMakeFiles/bench_fig11_waveforms.dir/bench_fig11_waveforms.cc.o.d"
+  "bench_fig11_waveforms"
+  "bench_fig11_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

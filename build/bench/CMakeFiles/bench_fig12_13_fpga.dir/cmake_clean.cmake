@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_fpga.dir/bench_fig12_13_fpga.cc.o"
+  "CMakeFiles/bench_fig12_13_fpga.dir/bench_fig12_13_fpga.cc.o.d"
+  "bench_fig12_13_fpga"
+  "bench_fig12_13_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_future_work.cc" "bench/CMakeFiles/bench_future_work.dir/bench_future_work.cc.o" "gcc" "bench/CMakeFiles/bench_future_work.dir/bench_future_work.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/efeu_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/spi/CMakeFiles/efeu_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/efeu_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2c/CMakeFiles/efeu_i2c.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/efeu_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/efeu_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/efeu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/efeu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

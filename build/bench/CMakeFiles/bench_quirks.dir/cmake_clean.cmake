@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quirks.dir/bench_quirks.cc.o"
+  "CMakeFiles/bench_quirks.dir/bench_quirks.cc.o.d"
+  "bench_quirks"
+  "bench_quirks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quirks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_sensor_monitor.dir/bmc_sensor_monitor.cpp.o"
+  "CMakeFiles/bmc_sensor_monitor.dir/bmc_sensor_monitor.cpp.o.d"
+  "bmc_sensor_monitor"
+  "bmc_sensor_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_sensor_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quirk_ks0127.dir/quirk_ks0127.cpp.o"
+  "CMakeFiles/quirk_ks0127.dir/quirk_ks0127.cpp.o.d"
+  "quirk_ks0127"
+  "quirk_ks0127.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quirk_ks0127.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

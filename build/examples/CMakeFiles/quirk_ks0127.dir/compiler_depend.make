@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quirk_ks0127.
+# This may be replaced when dependencies are built.

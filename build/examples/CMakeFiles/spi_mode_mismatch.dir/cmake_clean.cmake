@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_mode_mismatch.dir/spi_mode_mismatch.cpp.o"
+  "CMakeFiles/spi_mode_mismatch.dir/spi_mode_mismatch.cpp.o.d"
+  "spi_mode_mismatch"
+  "spi_mode_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_mode_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spi_mode_mismatch.
+# This may be replaced when dependencies are built.

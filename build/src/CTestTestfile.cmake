@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("esi")
+subdirs("esm")
+subdirs("ir")
+subdirs("codegen")
+subdirs("vm")
+subdirs("rtl")
+subdirs("check")
+subdirs("i2c")
+subdirs("spi")
+subdirs("sim")
+subdirs("driver")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_check.dir/checker.cc.o"
+  "CMakeFiles/efeu_check.dir/checker.cc.o.d"
+  "CMakeFiles/efeu_check.dir/ir_process.cc.o"
+  "CMakeFiles/efeu_check.dir/ir_process.cc.o.d"
+  "libefeu_check.a"
+  "libefeu_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

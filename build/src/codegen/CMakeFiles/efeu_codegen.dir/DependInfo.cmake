@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/c/c_backend.cc" "src/codegen/CMakeFiles/efeu_codegen.dir/c/c_backend.cc.o" "gcc" "src/codegen/CMakeFiles/efeu_codegen.dir/c/c_backend.cc.o.d"
+  "/root/repo/src/codegen/common/expr_printer.cc" "src/codegen/CMakeFiles/efeu_codegen.dir/common/expr_printer.cc.o" "gcc" "src/codegen/CMakeFiles/efeu_codegen.dir/common/expr_printer.cc.o.d"
+  "/root/repo/src/codegen/mmio/mmio_backend.cc" "src/codegen/CMakeFiles/efeu_codegen.dir/mmio/mmio_backend.cc.o" "gcc" "src/codegen/CMakeFiles/efeu_codegen.dir/mmio/mmio_backend.cc.o.d"
+  "/root/repo/src/codegen/promela/promela_backend.cc" "src/codegen/CMakeFiles/efeu_codegen.dir/promela/promela_backend.cc.o" "gcc" "src/codegen/CMakeFiles/efeu_codegen.dir/promela/promela_backend.cc.o.d"
+  "/root/repo/src/codegen/verilog/verilog_backend.cc" "src/codegen/CMakeFiles/efeu_codegen.dir/verilog/verilog_backend.cc.o" "gcc" "src/codegen/CMakeFiles/efeu_codegen.dir/verilog/verilog_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_codegen.dir/c/c_backend.cc.o"
+  "CMakeFiles/efeu_codegen.dir/c/c_backend.cc.o.d"
+  "CMakeFiles/efeu_codegen.dir/common/expr_printer.cc.o"
+  "CMakeFiles/efeu_codegen.dir/common/expr_printer.cc.o.d"
+  "CMakeFiles/efeu_codegen.dir/mmio/mmio_backend.cc.o"
+  "CMakeFiles/efeu_codegen.dir/mmio/mmio_backend.cc.o.d"
+  "CMakeFiles/efeu_codegen.dir/promela/promela_backend.cc.o"
+  "CMakeFiles/efeu_codegen.dir/promela/promela_backend.cc.o.d"
+  "CMakeFiles/efeu_codegen.dir/verilog/verilog_backend.cc.o"
+  "CMakeFiles/efeu_codegen.dir/verilog/verilog_backend.cc.o.d"
+  "libefeu_codegen.a"
+  "libefeu_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_driver.dir/baselines.cc.o"
+  "CMakeFiles/efeu_driver.dir/baselines.cc.o.d"
+  "CMakeFiles/efeu_driver.dir/hybrid.cc.o"
+  "CMakeFiles/efeu_driver.dir/hybrid.cc.o.d"
+  "CMakeFiles/efeu_driver.dir/resources.cc.o"
+  "CMakeFiles/efeu_driver.dir/resources.cc.o.d"
+  "libefeu_driver.a"
+  "libefeu_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

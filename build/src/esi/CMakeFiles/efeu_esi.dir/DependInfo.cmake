@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esi/lexer.cc" "src/esi/CMakeFiles/efeu_esi.dir/lexer.cc.o" "gcc" "src/esi/CMakeFiles/efeu_esi.dir/lexer.cc.o.d"
+  "/root/repo/src/esi/parser.cc" "src/esi/CMakeFiles/efeu_esi.dir/parser.cc.o" "gcc" "src/esi/CMakeFiles/efeu_esi.dir/parser.cc.o.d"
+  "/root/repo/src/esi/system_info.cc" "src/esi/CMakeFiles/efeu_esi.dir/system_info.cc.o" "gcc" "src/esi/CMakeFiles/efeu_esi.dir/system_info.cc.o.d"
+  "/root/repo/src/esi/type.cc" "src/esi/CMakeFiles/efeu_esi.dir/type.cc.o" "gcc" "src/esi/CMakeFiles/efeu_esi.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

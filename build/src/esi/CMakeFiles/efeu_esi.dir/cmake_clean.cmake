@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_esi.dir/lexer.cc.o"
+  "CMakeFiles/efeu_esi.dir/lexer.cc.o.d"
+  "CMakeFiles/efeu_esi.dir/parser.cc.o"
+  "CMakeFiles/efeu_esi.dir/parser.cc.o.d"
+  "CMakeFiles/efeu_esi.dir/system_info.cc.o"
+  "CMakeFiles/efeu_esi.dir/system_info.cc.o.d"
+  "CMakeFiles/efeu_esi.dir/type.cc.o"
+  "CMakeFiles/efeu_esi.dir/type.cc.o.d"
+  "libefeu_esi.a"
+  "libefeu_esi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_esi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

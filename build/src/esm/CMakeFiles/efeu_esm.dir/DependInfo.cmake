@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esm/lexer.cc" "src/esm/CMakeFiles/efeu_esm.dir/lexer.cc.o" "gcc" "src/esm/CMakeFiles/efeu_esm.dir/lexer.cc.o.d"
+  "/root/repo/src/esm/parser.cc" "src/esm/CMakeFiles/efeu_esm.dir/parser.cc.o" "gcc" "src/esm/CMakeFiles/efeu_esm.dir/parser.cc.o.d"
+  "/root/repo/src/esm/preprocessor.cc" "src/esm/CMakeFiles/efeu_esm.dir/preprocessor.cc.o" "gcc" "src/esm/CMakeFiles/efeu_esm.dir/preprocessor.cc.o.d"
+  "/root/repo/src/esm/sema.cc" "src/esm/CMakeFiles/efeu_esm.dir/sema.cc.o" "gcc" "src/esm/CMakeFiles/efeu_esm.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

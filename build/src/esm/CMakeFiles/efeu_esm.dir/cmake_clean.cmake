@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_esm.dir/lexer.cc.o"
+  "CMakeFiles/efeu_esm.dir/lexer.cc.o.d"
+  "CMakeFiles/efeu_esm.dir/parser.cc.o"
+  "CMakeFiles/efeu_esm.dir/parser.cc.o.d"
+  "CMakeFiles/efeu_esm.dir/preprocessor.cc.o"
+  "CMakeFiles/efeu_esm.dir/preprocessor.cc.o.d"
+  "CMakeFiles/efeu_esm.dir/sema.cc.o"
+  "CMakeFiles/efeu_esm.dir/sema.cc.o.d"
+  "libefeu_esm.a"
+  "libefeu_esm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_esm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/i2c/electrical.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/electrical.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/electrical.cc.o.d"
+  "/root/repo/src/i2c/specs/esi_standard.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esi_standard.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esi_standard.cc.o.d"
+  "/root/repo/src/i2c/specs/esm_byte.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_byte.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_byte.cc.o.d"
+  "/root/repo/src/i2c/specs/esm_controller.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_controller.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_controller.cc.o.d"
+  "/root/repo/src/i2c/specs/esm_responder.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_responder.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_responder.cc.o.d"
+  "/root/repo/src/i2c/specs/esm_specs.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_specs.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_specs.cc.o.d"
+  "/root/repo/src/i2c/specs/esm_verifiers.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_verifiers.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/specs/esm_verifiers.cc.o.d"
+  "/root/repo/src/i2c/stack.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/stack.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/stack.cc.o.d"
+  "/root/repo/src/i2c/transaction_spec.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/transaction_spec.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/transaction_spec.cc.o.d"
+  "/root/repo/src/i2c/verify.cc" "src/i2c/CMakeFiles/efeu_i2c.dir/verify.cc.o" "gcc" "src/i2c/CMakeFiles/efeu_i2c.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/efeu_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/efeu_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

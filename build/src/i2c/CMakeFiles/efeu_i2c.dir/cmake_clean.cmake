@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_i2c.dir/electrical.cc.o"
+  "CMakeFiles/efeu_i2c.dir/electrical.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esi_standard.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esi_standard.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_byte.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_byte.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_controller.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_controller.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_responder.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_responder.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_specs.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_specs.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_verifiers.cc.o"
+  "CMakeFiles/efeu_i2c.dir/specs/esm_verifiers.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/stack.cc.o"
+  "CMakeFiles/efeu_i2c.dir/stack.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/transaction_spec.cc.o"
+  "CMakeFiles/efeu_i2c.dir/transaction_spec.cc.o.d"
+  "CMakeFiles/efeu_i2c.dir/verify.cc.o"
+  "CMakeFiles/efeu_i2c.dir/verify.cc.o.d"
+  "libefeu_i2c.a"
+  "libefeu_i2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_i2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libefeu_i2c.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/compile.cc" "src/ir/CMakeFiles/efeu_ir.dir/compile.cc.o" "gcc" "src/ir/CMakeFiles/efeu_ir.dir/compile.cc.o.d"
+  "/root/repo/src/ir/dump.cc" "src/ir/CMakeFiles/efeu_ir.dir/dump.cc.o" "gcc" "src/ir/CMakeFiles/efeu_ir.dir/dump.cc.o.d"
+  "/root/repo/src/ir/lower.cc" "src/ir/CMakeFiles/efeu_ir.dir/lower.cc.o" "gcc" "src/ir/CMakeFiles/efeu_ir.dir/lower.cc.o.d"
+  "/root/repo/src/ir/segment.cc" "src/ir/CMakeFiles/efeu_ir.dir/segment.cc.o" "gcc" "src/ir/CMakeFiles/efeu_ir.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

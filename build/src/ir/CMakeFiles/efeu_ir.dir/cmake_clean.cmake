@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_ir.dir/compile.cc.o"
+  "CMakeFiles/efeu_ir.dir/compile.cc.o.d"
+  "CMakeFiles/efeu_ir.dir/dump.cc.o"
+  "CMakeFiles/efeu_ir.dir/dump.cc.o.d"
+  "CMakeFiles/efeu_ir.dir/lower.cc.o"
+  "CMakeFiles/efeu_ir.dir/lower.cc.o.d"
+  "CMakeFiles/efeu_ir.dir/segment.cc.o"
+  "CMakeFiles/efeu_ir.dir/segment.cc.o.d"
+  "libefeu_ir.a"
+  "libefeu_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

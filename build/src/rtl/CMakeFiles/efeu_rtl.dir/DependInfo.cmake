@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/regfile.cc" "src/rtl/CMakeFiles/efeu_rtl.dir/regfile.cc.o" "gcc" "src/rtl/CMakeFiles/efeu_rtl.dir/regfile.cc.o.d"
+  "/root/repo/src/rtl/rtl_module.cc" "src/rtl/CMakeFiles/efeu_rtl.dir/rtl_module.cc.o" "gcc" "src/rtl/CMakeFiles/efeu_rtl.dir/rtl_module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_rtl.dir/regfile.cc.o"
+  "CMakeFiles/efeu_rtl.dir/regfile.cc.o.d"
+  "CMakeFiles/efeu_rtl.dir/rtl_module.cc.o"
+  "CMakeFiles/efeu_rtl.dir/rtl_module.cc.o.d"
+  "libefeu_rtl.a"
+  "libefeu_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

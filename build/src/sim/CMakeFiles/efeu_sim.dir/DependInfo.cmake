@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus_adapter.cc" "src/sim/CMakeFiles/efeu_sim.dir/bus_adapter.cc.o" "gcc" "src/sim/CMakeFiles/efeu_sim.dir/bus_adapter.cc.o.d"
+  "/root/repo/src/sim/eeprom.cc" "src/sim/CMakeFiles/efeu_sim.dir/eeprom.cc.o" "gcc" "src/sim/CMakeFiles/efeu_sim.dir/eeprom.cc.o.d"
+  "/root/repo/src/sim/i2c_bus.cc" "src/sim/CMakeFiles/efeu_sim.dir/i2c_bus.cc.o" "gcc" "src/sim/CMakeFiles/efeu_sim.dir/i2c_bus.cc.o.d"
+  "/root/repo/src/sim/waveform.cc" "src/sim/CMakeFiles/efeu_sim.dir/waveform.cc.o" "gcc" "src/sim/CMakeFiles/efeu_sim.dir/waveform.cc.o.d"
+  "/root/repo/src/sim/xilinx_ip.cc" "src/sim/CMakeFiles/efeu_sim.dir/xilinx_ip.cc.o" "gcc" "src/sim/CMakeFiles/efeu_sim.dir/xilinx_ip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/efeu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_sim.dir/bus_adapter.cc.o"
+  "CMakeFiles/efeu_sim.dir/bus_adapter.cc.o.d"
+  "CMakeFiles/efeu_sim.dir/eeprom.cc.o"
+  "CMakeFiles/efeu_sim.dir/eeprom.cc.o.d"
+  "CMakeFiles/efeu_sim.dir/i2c_bus.cc.o"
+  "CMakeFiles/efeu_sim.dir/i2c_bus.cc.o.d"
+  "CMakeFiles/efeu_sim.dir/waveform.cc.o"
+  "CMakeFiles/efeu_sim.dir/waveform.cc.o.d"
+  "CMakeFiles/efeu_sim.dir/xilinx_ip.cc.o"
+  "CMakeFiles/efeu_sim.dir/xilinx_ip.cc.o.d"
+  "libefeu_sim.a"
+  "libefeu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

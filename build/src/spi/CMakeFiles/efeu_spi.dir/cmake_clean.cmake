@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_spi.dir/specs.cc.o"
+  "CMakeFiles/efeu_spi.dir/specs.cc.o.d"
+  "CMakeFiles/efeu_spi.dir/verify.cc.o"
+  "CMakeFiles/efeu_spi.dir/verify.cc.o.d"
+  "libefeu_spi.a"
+  "libefeu_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_support.dir/diagnostics.cc.o"
+  "CMakeFiles/efeu_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/efeu_support.dir/reserved_words.cc.o"
+  "CMakeFiles/efeu_support.dir/reserved_words.cc.o.d"
+  "CMakeFiles/efeu_support.dir/source_buffer.cc.o"
+  "CMakeFiles/efeu_support.dir/source_buffer.cc.o.d"
+  "CMakeFiles/efeu_support.dir/text.cc.o"
+  "CMakeFiles/efeu_support.dir/text.cc.o.d"
+  "libefeu_support.a"
+  "libefeu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

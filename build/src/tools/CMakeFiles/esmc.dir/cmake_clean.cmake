@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esmc.dir/esmc_main.cc.o"
+  "CMakeFiles/esmc.dir/esmc_main.cc.o.d"
+  "esmc"
+  "esmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/executor.cc" "src/vm/CMakeFiles/efeu_vm.dir/executor.cc.o" "gcc" "src/vm/CMakeFiles/efeu_vm.dir/executor.cc.o.d"
+  "/root/repo/src/vm/system.cc" "src/vm/CMakeFiles/efeu_vm.dir/system.cc.o" "gcc" "src/vm/CMakeFiles/efeu_vm.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efeu_vm.dir/executor.cc.o"
+  "CMakeFiles/efeu_vm.dir/executor.cc.o.d"
+  "CMakeFiles/efeu_vm.dir/system.cc.o"
+  "CMakeFiles/efeu_vm.dir/system.cc.o.d"
+  "libefeu_vm.a"
+  "libefeu_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efeu_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_checker.cc" "tests/CMakeFiles/efeu_tests.dir/test_checker.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_checker.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/efeu_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/efeu_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_driver_metrics.cc" "tests/CMakeFiles/efeu_tests.dir/test_driver_metrics.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_driver_metrics.cc.o.d"
+  "/root/repo/tests/test_esi.cc" "tests/CMakeFiles/efeu_tests.dir/test_esi.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_esi.cc.o.d"
+  "/root/repo/tests/test_esm.cc" "tests/CMakeFiles/efeu_tests.dir/test_esm.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_esm.cc.o.d"
+  "/root/repo/tests/test_generated_c.cc" "tests/CMakeFiles/efeu_tests.dir/test_generated_c.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_generated_c.cc.o.d"
+  "/root/repo/tests/test_i2c_specs.cc" "tests/CMakeFiles/efeu_tests.dir/test_i2c_specs.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_i2c_specs.cc.o.d"
+  "/root/repo/tests/test_i2c_verify.cc" "tests/CMakeFiles/efeu_tests.dir/test_i2c_verify.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_i2c_verify.cc.o.d"
+  "/root/repo/tests/test_ir_vm.cc" "tests/CMakeFiles/efeu_tests.dir/test_ir_vm.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_ir_vm.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/efeu_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/efeu_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rtl_sim.cc" "tests/CMakeFiles/efeu_tests.dir/test_rtl_sim.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_rtl_sim.cc.o.d"
+  "/root/repo/tests/test_spi.cc" "tests/CMakeFiles/efeu_tests.dir/test_spi.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_spi.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/efeu_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/efeu_tests.dir/test_support.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/efeu_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/spi/CMakeFiles/efeu_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/efeu_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2c/CMakeFiles/efeu_i2c.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/efeu_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/efeu_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/efeu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/efeu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/efeu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/efeu_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/efeu_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efeu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/efeu_tests[1]_include.cmake")
+add_test(esmc_promela "/root/repo/build/src/tools/esmc" "--builtin-i2c" "controller" "--emit" "promela")
+set_tests_properties(esmc_promela PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(esmc_verilog "/root/repo/build/src/tools/esmc" "--builtin-i2c" "responder" "--emit" "verilog")
+set_tests_properties(esmc_verilog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(esmc_c "/root/repo/build/src/tools/esmc" "--builtin-i2c" "controller" "--emit" "c" "--entry" "CEepDriver")
+set_tests_properties(esmc_c PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(esmc_mmio "/root/repo/build/src/tools/esmc" "--builtin-i2c" "controller" "--emit" "mmio" "--iface" "CTransaction:CByte")
+set_tests_properties(esmc_mmio PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(esmc_ir "/root/repo/build/src/tools/esmc" "--builtin-i2c" "controller" "--emit" "ir")
+set_tests_properties(esmc_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
