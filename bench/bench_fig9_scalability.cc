@@ -7,6 +7,7 @@
 // with the number of responders.
 
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "src/i2c/verify.h"
@@ -56,10 +57,66 @@ void Run() {
       "variable payload.\n");
 }
 
+// Multi-core scaling of the same verifier: the safety pass of the heaviest
+// 2-EEPROM point above, run with 1/2/4/8 checker threads, in the full-state
+// and fingerprint-only (hash compaction) table modes.
+void RunThreadScaling() {
+  bench::PrintHeader(
+      "Checker thread scaling: EepDriver verifier (Transaction spec below,\n"
+      "2 EEPROMs, len=4, 3 ops), safety pass, threads = {1, 2, 4, 8}.");
+
+  i2c::VerifyConfig config;
+  config.level = i2c::VerifyLevel::kEepDriver;
+  config.abstraction = i2c::VerifyAbstraction::kTransaction;
+  config.num_eeproms = 2;
+  config.max_len = 4;
+  config.num_ops = 3;
+
+  bench::Table table({10, 12, 10, 12, 13, 12});
+  table.Row({"threads", "seconds", "speedup", "states", "bytes/state", "table"});
+  bench::PrintRule();
+
+  double base_seconds = 0;
+  for (bool fingerprint_only : {false, true}) {
+    for (int threads : {1, 2, 4, 8}) {
+      DiagnosticEngine diag;
+      auto vs = i2c::BuildVerifier(config, diag);
+      if (vs == nullptr) {
+        std::printf("verifier build FAILED\n%s", diag.RenderAll().c_str());
+        return;
+      }
+      check::CheckerOptions options;
+      options.check_deadlock = true;
+      options.num_threads = threads;
+      options.fingerprint_only = fingerprint_only;
+      check::CheckResult r = vs->system().Check(options);
+      if (!r.ok) {
+        std::printf("safety pass FAILED at %d threads\n", threads);
+        return;
+      }
+      if (!fingerprint_only && threads == 1) {
+        base_seconds = r.seconds;
+      }
+      double per_state =
+          r.states_stored > 0 ? static_cast<double>(r.state_bytes) / r.states_stored : 0.0;
+      table.Row({std::to_string(threads), bench::Fmt(r.seconds, 3),
+                 r.seconds > 0 ? bench::Fmt(base_seconds / r.seconds, 2) + "x" : "",
+                 std::to_string(r.states_stored), bench::Fmt(per_state, 1),
+                 fingerprint_only ? "fingerprint" : "full"});
+    }
+  }
+  std::printf(
+      "\nHardware threads on this host: %u. speedup is relative to the 1-thread\n"
+      "full-table run. Fingerprint mode stores 8 bytes/state regardless of the\n"
+      "snapshot size.\n",
+      std::thread::hardware_concurrency());
+}
+
 }  // namespace
 }  // namespace efeu
 
 int main() {
   efeu::Run();
+  efeu::RunThreadScaling();
   return 0;
 }

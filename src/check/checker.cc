@@ -6,7 +6,9 @@
 #include "src/support/check.h"
 
 #include "src/check/ir_process.h"
+#include "src/check/parallel.h"
 #include "src/support/hash.h"
+#include "src/support/state_table.h"
 
 namespace efeu::check {
 
@@ -79,6 +81,22 @@ void CheckedSystem::ConnectByChannel(int from_process, int to_process,
   EFEU_CHECK(send_port >= 0, "ConnectByChannel: sender has no free port for this channel");
   EFEU_CHECK(recv_port >= 0, "ConnectByChannel: receiver has no free port for this channel");
   Connect(vm::PortRef{from_process, send_port}, vm::PortRef{to_process, recv_port});
+}
+
+void CheckedSystem::ResetAll() {
+  for (Entry& entry : entries_) {
+    entry.process->Reset();
+  }
+}
+
+std::unique_ptr<CheckedSystem> CheckedSystem::Clone() const {
+  auto clone = std::make_unique<CheckedSystem>();
+  for (const Entry& entry : entries_) {
+    clone->AddProcess(entry.process->Clone());
+    // Links are (process id, port id) pairs; ids are identical in the clone.
+    clone->entries_.back().links = entry.links;
+  }
+  return clone;
 }
 
 int CheckedSystem::TotalSnapshotSize() const {
@@ -217,6 +235,18 @@ std::string CheckedSystem::DescribeBlockedProcesses() const {
 }
 
 CheckResult CheckedSystem::Check(const CheckerOptions& options) {
+  // Safety checking with dedup parallelizes; non-progress-cycle detection
+  // needs the DFS stack and stays sequential (same restriction as SPIN's
+  // multi-core mode), as does the dedup-disabled tree search.
+  if (options.num_threads > 1 && !options.check_livelock && !options.disable_state_dedup) {
+    ParallelCheckerOptions parallel;
+    parallel.num_threads = options.num_threads;
+    parallel.fingerprint_only = options.fingerprint_only;
+    parallel.base = options;
+    parallel.base.num_threads = 1;
+    return CheckParallel(*this, parallel);
+  }
+
   auto start_time = std::chrono::steady_clock::now();
   CheckResult result;
 
@@ -254,9 +284,7 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
   };
 
   // Initial closure.
-  for (Entry& entry : entries_) {
-    entry.process->Reset();
-  }
+  ResetAll();
   Violation violation;
   bool progress = false;
   if (!Closure(&violation, &progress)) {
@@ -266,13 +294,25 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     return result;
   }
 
-  std::unordered_set<std::vector<int32_t>, StateHash> visited;
+  // With livelock checking the table tracks the minimum progress credit each
+  // state was reached with, and re-admits a state reached with strictly lower
+  // credit. Without this, a non-progress cycle entered through a cross edge
+  // is missed: the cycle's states can all be first visited on paths with
+  // higher credit (e.g. via a progress-labeled detour), so plain dedup prunes
+  // the low-credit re-traversal before it can close the equal-credit back
+  // edge below. Credits only shrink toward zero, so the re-exploration
+  // terminates.
+  StateTableOptions table_options;
+  table_options.num_shards = 1;
+  table_options.fingerprint_only = options.fingerprint_only;
+  table_options.track_progress = options.check_livelock;
+  ShardedStateTable visited(table_options);
   std::unordered_map<std::vector<int32_t>, int, StateHash> on_stack;
 
   Frame initial;
   initial.state = SnapshotAll();
   initial.transitions = EnabledTransitions();
-  visited.insert(initial.state);
+  visited.Claim(initial.state, 0);
   on_stack[initial.state] = 0;
 
   if (initial.transitions.empty() && options.check_deadlock && !AllAtValidEnd()) {
@@ -303,8 +343,6 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
 
   while (!stack.empty() && !result.violation.has_value()) {
     Frame& frame = stack.back();
-    result.max_depth_reached =
-        std::max(result.max_depth_reached, static_cast<int>(stack.size()));
     if (frame.next >= frame.transitions.size()) {
       on_stack.erase(frame.state);
       stack.pop_back();
@@ -315,11 +353,35 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       break;
     }
     if (static_cast<int>(stack.size()) > options.max_depth) {
-      result.budget_exhausted = true;
+      // Depth prune. The budget flag means "a reachable subtree was actually
+      // skipped", so probe the frame's successors: only an unvisited one (or
+      // a violating closure we are not reporting) marks the run incomplete.
+      if (!result.budget_exhausted) {
+        for (size_t i = frame.next; i < frame.transitions.size(); ++i) {
+          RestoreAll(frame.state);
+          Apply(frame.transitions[i]);
+          Violation probe_violation;
+          bool probe_progress = false;
+          if (!Closure(&probe_violation, &probe_progress)) {
+            result.budget_exhausted = true;
+            break;
+          }
+          std::vector<int32_t> probe_state = SnapshotAll();
+          uint64_t probe_credit = frame.progress_count + (probe_progress ? 1 : 0);
+          if (options.disable_state_dedup || visited.WouldClaim(probe_state, probe_credit)) {
+            result.budget_exhausted = true;
+            break;
+          }
+        }
+      }
       on_stack.erase(frame.state);
       stack.pop_back();
       continue;
     }
+    // Pruned frames above are not counted: with depth pruning active,
+    // max_depth_reached never exceeds max_depth.
+    result.max_depth_reached =
+        std::max(result.max_depth_reached, static_cast<int>(stack.size()));
 
     const Transition t = frame.transitions[frame.next++];
     uint64_t parent_progress = frame.progress_count;
@@ -351,13 +413,14 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       }
     }
 
-    if (!options.disable_state_dedup && !visited.insert(next_state).second) {
-      continue;  // Already explored.
+    uint64_t next_progress = parent_progress + (step_progress ? 1 : 0);
+    if (!options.disable_state_dedup && !visited.Claim(next_state, next_progress)) {
+      continue;  // Already explored (at this progress credit or lower).
     }
 
     Frame child;
     child.transitions = EnabledTransitions();
-    child.progress_count = parent_progress + (step_progress ? 1 : 0);
+    child.progress_count = next_progress;
 
     if (child.transitions.empty()) {
       if (options.check_deadlock && !AllAtValidEnd()) {
@@ -374,6 +437,7 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
   }
 
   result.states_stored = visited.size();
+  result.state_bytes = visited.payload_bytes();
   result.ok = !result.violation.has_value();
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();

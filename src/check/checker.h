@@ -10,6 +10,11 @@
 // blocking point, so the interleaving alphabet is exactly: one rendezvous
 // transfer on some channel, or one nondet() choice — the same granularity
 // SPIN sees for the generated model.
+//
+// Safety checking also has a multi-threaded engine (src/check/parallel.h),
+// reached by setting CheckerOptions::num_threads > 1; and a hash-compaction
+// mode (fingerprint_only) that stores 8 bytes per visited state instead of
+// the full vector, trading a small false-negative probability for memory.
 
 #ifndef SRC_CHECK_CHECKER_H_
 #define SRC_CHECK_CHECKER_H_
@@ -42,6 +47,15 @@ struct CheckerOptions {
   bool disable_state_dedup = false;
   // 0 = unlimited.
   uint64_t max_transitions = 0;
+  // Ablation knob: store only the 64-bit fingerprint of each visited state
+  // ("hash compaction", 8 bytes/state). A fingerprint collision silently
+  // prunes an unexplored state, so `ok` carries a small false-negative
+  // probability (~states^2 / 2^65); see DESIGN.md.
+  bool fingerprint_only = false;
+  // Worker threads for the exploration. 1 = the sequential DFS below; > 1
+  // dispatches safety checking to the parallel engine (src/check/parallel.h).
+  // Non-progress-cycle checking always runs sequentially.
+  int num_threads = 1;
 };
 
 enum class ViolationKind {
@@ -65,9 +79,14 @@ struct CheckResult {
   uint64_t transitions = 0;
   int max_depth_reached = 0;
   double seconds = 0;
-  // True when the search stopped early (state/depth/time budget); ok is then
-  // only "no violation found within budget".
+  // True when the search was incomplete: a state/transition/time budget
+  // stopped it mid-exploration, or depth pruning actually skipped an
+  // unvisited successor (pruned frames whose successors were all visited do
+  // NOT set this). ok is then only "no violation found within budget".
   bool budget_exhausted = false;
+  // Bytes of visited-set payload held when the search finished (full state
+  // vectors, or 8-byte fingerprints in fingerprint_only mode).
+  uint64_t state_bytes = 0;
 };
 
 class CheckedSystem {
@@ -88,9 +107,17 @@ class CheckedSystem {
   Process& process(int id) { return *entries_[id].process; }
   int process_count() const { return static_cast<int>(entries_.size()); }
 
+  // Structural deep copy: every process cloned in its reset state, all
+  // connections preserved. Parallel-checker workers each own a clone so they
+  // can snapshot/restore independently of the other threads.
+  std::unique_ptr<CheckedSystem> Clone() const;
+
   CheckResult Check(const CheckerOptions& options = {});
 
- private:
+  // -- Low-level exploration interface ---------------------------------------
+  // Used by the parallel engine (src/check/parallel.cc) and tests; everything
+  // below operates on the live process states.
+
   struct Transition {
     enum class Kind { kTransfer, kChoice } kind = Kind::kTransfer;
     int process = -1;  // Sender (transfer) or chooser (choice).
@@ -99,19 +126,26 @@ class CheckedSystem {
     std::string Describe(const CheckedSystem& system) const;
   };
 
+  // Resets every process to its initial state.
+  void ResetAll();
+  std::vector<int32_t> SnapshotAll() const;
+  void RestoreAll(const std::vector<int32_t>& state);
+  // Runs every runnable process to its next blocking point. Returns false on
+  // an assertion failure or runtime error (violation filled in); sets
+  // *progress when a progress label was passed.
+  bool Closure(Violation* violation, bool* progress);
+  std::vector<Transition> EnabledTransitions() const;
+  void Apply(const Transition& t);
+  bool AllAtValidEnd() const;
+  std::string DescribeBlockedProcesses() const;
+
+ private:
   struct Entry {
     std::unique_ptr<Process> process;
     std::vector<std::optional<vm::PortRef>> links;
   };
 
   int TotalSnapshotSize() const;
-  std::vector<int32_t> SnapshotAll() const;
-  void RestoreAll(const std::vector<int32_t>& state);
-  bool Closure(Violation* violation, bool* progress);
-  std::vector<Transition> EnabledTransitions() const;
-  void Apply(const Transition& t);
-  bool AllAtValidEnd() const;
-  std::string DescribeBlockedProcesses() const;
 
   std::vector<Entry> entries_;
 };

@@ -33,6 +33,9 @@ class IrProcess : public Process {
   int SnapshotSize() const override { return executor_.SnapshotSize(); }
   void Snapshot(std::span<int32_t> out) const override { executor_.Snapshot(out); }
   void Restore(std::span<const int32_t> in) override { executor_.Restore(in); }
+  std::unique_ptr<Process> Clone() const override {
+    return std::make_unique<IrProcess>(&executor_.module(), name_);
+  }
 
   vm::IrExecutor& executor() { return executor_; }
 

@@ -1,0 +1,418 @@
+#include "src/check/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "src/support/state_table.h"
+
+namespace efeu::check {
+
+namespace {
+
+struct WorkItem {
+  // Post-closure snapshot, already claimed in the shared table.
+  std::vector<int32_t> state;
+  // Transition descriptions from the initial state to `state`; doubles as the
+  // item's depth (transitions taken so far).
+  std::vector<std::string> trace;
+};
+
+class Engine {
+ public:
+  Engine(const ParallelCheckerOptions& options, int workers)
+      : options_(options), workers_(workers), table_(TableOptions(options, workers)) {}
+
+  CheckResult Run(CheckedSystem& system);
+
+ private:
+  static StateTableOptions TableOptions(const ParallelCheckerOptions& options, int workers) {
+    StateTableOptions t;
+    t.num_shards = workers * 8;
+    t.fingerprint_only = options.fingerprint_only;
+    return t;
+  }
+
+  // Expands a BFS prefix on the caller's system until the frontier is large
+  // enough to feed every worker, then moves it into the global queue. Returns
+  // false when no worker phase is needed: the space was fully explored during
+  // seeding, a violation was found (stored in *result), or a budget ran out.
+  bool Seed(CheckedSystem& system, CheckResult* result);
+
+  void Worker(CheckedSystem& system);
+  void Explore(CheckedSystem& system, const WorkItem& item);
+
+  // Depth-prune probe: sets the exhausted flag only if one of the remaining
+  // successors of `state` is actually unvisited (or its closure violates).
+  void ProbeSkipped(CheckedSystem& system, const std::vector<int32_t>& state,
+                    const std::vector<CheckedSystem::Transition>& transitions, size_t next);
+
+  std::optional<WorkItem> Pop();
+  void PushWork(WorkItem item);
+  void RequestStop();
+  bool ShouldStop() const { return stop_.load(std::memory_order_relaxed); }
+  bool OutOfBudget();
+  void ReportViolation(Violation v);
+  void NoteDepth(int depth);
+  double Elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+  }
+
+  const ParallelCheckerOptions& options_;
+  const int workers_;
+  ShardedStateTable table_;
+  const std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  int idle_ = 0;
+  std::atomic<bool> stop_{false};
+  // Approximate queue length, readable without the lock; workers donate
+  // subtrees while it is below the worker count.
+  std::atomic<size_t> queue_hint_{0};
+
+  std::mutex violation_mu_;
+  std::optional<Violation> violation_;
+
+  std::atomic<uint64_t> transitions_{0};
+  std::atomic<int> max_depth_{0};
+  std::atomic<bool> exhausted_{false};
+};
+
+std::optional<WorkItem> Engine::Pop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  ++idle_;
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    if (!queue_.empty()) {
+      --idle_;
+      WorkItem item = std::move(queue_.front());
+      queue_.pop_front();
+      queue_hint_.store(queue_.size(), std::memory_order_relaxed);
+      return item;
+    }
+    if (idle_ == workers_) {
+      // Every worker is waiting on an empty queue: exploration is complete.
+      stop_.store(true, std::memory_order_relaxed);
+      queue_cv_.notify_all();
+      return std::nullopt;
+    }
+    queue_cv_.wait(lock);
+  }
+}
+
+void Engine::PushWork(WorkItem item) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(item));
+    queue_hint_.store(queue_.size(), std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+}
+
+void Engine::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+}
+
+void Engine::ReportViolation(Violation v) {
+  {
+    std::lock_guard<std::mutex> lock(violation_mu_);
+    if (!violation_.has_value()) {
+      violation_ = std::move(v);
+    }
+  }
+  RequestStop();
+}
+
+void Engine::NoteDepth(int depth) {
+  int seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+bool Engine::OutOfBudget() {
+  const CheckerOptions& base = options_.base;
+  bool over = false;
+  if (base.max_states != 0 && table_.size() >= base.max_states) {
+    over = true;
+  }
+  if (!over && base.max_transitions != 0 &&
+      transitions_.load(std::memory_order_relaxed) >= base.max_transitions) {
+    over = true;
+  }
+  if (!over && base.time_budget_seconds > 0 && Elapsed() > base.time_budget_seconds) {
+    over = true;
+  }
+  if (over) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    RequestStop();
+  }
+  return over;
+}
+
+void Engine::ProbeSkipped(CheckedSystem& system, const std::vector<int32_t>& state,
+                          const std::vector<CheckedSystem::Transition>& transitions,
+                          size_t next) {
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  for (size_t i = next; i < transitions.size(); ++i) {
+    system.RestoreAll(state);
+    system.Apply(transitions[i]);
+    Violation violation;
+    bool progress = false;
+    if (!system.Closure(&violation, &progress) || table_.WouldClaim(system.SnapshotAll())) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
+  system.ResetAll();
+  Violation violation;
+  bool progress = false;
+  if (!system.Closure(&violation, &progress)) {
+    result->violation = std::move(violation);
+    return false;
+  }
+  std::vector<int32_t> init = system.SnapshotAll();
+  table_.Claim(init);
+  if (system.EnabledTransitions().empty()) {
+    if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
+      Violation v;
+      v.kind = ViolationKind::kInvalidEndState;
+      v.message = "invalid end state: " + system.DescribeBlockedProcesses();
+      result->violation = std::move(v);
+    }
+    return false;
+  }
+
+  std::deque<WorkItem> frontier;
+  frontier.push_back(WorkItem{std::move(init), {}});
+  int seed_factor = options_.seed_factor < 1 ? 1 : options_.seed_factor;
+  size_t target = static_cast<size_t>(seed_factor) * static_cast<size_t>(workers_);
+
+  while (!frontier.empty() && frontier.size() < target) {
+    if (OutOfBudget()) {
+      return false;
+    }
+    WorkItem item = std::move(frontier.front());
+    frontier.pop_front();
+    int depth = static_cast<int>(item.trace.size()) + 1;
+    system.RestoreAll(item.state);
+    std::vector<CheckedSystem::Transition> transitions = system.EnabledTransitions();
+    if (depth > options_.base.max_depth) {
+      ProbeSkipped(system, item.state, transitions, 0);
+      continue;
+    }
+    NoteDepth(depth);
+    for (const CheckedSystem::Transition& t : transitions) {
+      system.RestoreAll(item.state);
+      system.Apply(t);
+      transitions_.fetch_add(1, std::memory_order_relaxed);
+      Violation step_violation;
+      bool step_progress = false;
+      if (!system.Closure(&step_violation, &step_progress)) {
+        step_violation.trace = item.trace;
+        step_violation.trace.push_back(t.Describe(system));
+        result->violation = std::move(step_violation);
+        return false;
+      }
+      std::vector<int32_t> next_state = system.SnapshotAll();
+      if (!table_.Claim(next_state)) {
+        continue;
+      }
+      std::vector<std::string> trace = item.trace;
+      trace.push_back(t.Describe(system));
+      if (system.EnabledTransitions().empty()) {
+        if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
+          Violation v;
+          v.kind = ViolationKind::kInvalidEndState;
+          v.message = "invalid end state: " + system.DescribeBlockedProcesses();
+          v.trace = std::move(trace);
+          result->violation = std::move(v);
+          return false;
+        }
+        continue;
+      }
+      frontier.push_back(WorkItem{std::move(next_state), std::move(trace)});
+    }
+  }
+
+  if (frontier.empty()) {
+    return false;  // Fully explored during seeding.
+  }
+  queue_ = std::move(frontier);
+  queue_hint_.store(queue_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Engine::Worker(CheckedSystem& system) {
+  for (;;) {
+    std::optional<WorkItem> item = Pop();
+    if (!item.has_value()) {
+      return;
+    }
+    Explore(system, *item);
+  }
+}
+
+void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
+  struct Frame {
+    std::vector<int32_t> state;
+    std::vector<CheckedSystem::Transition> transitions;
+    size_t next = 0;
+    // Description of the transition that led into this frame (empty for the
+    // item's root frame, whose path is item.trace).
+    std::string desc;
+  };
+  std::vector<Frame> stack;
+
+  auto build_trace = [&](const CheckedSystem::Transition* current) {
+    std::vector<std::string> trace = item.trace;
+    for (size_t i = 1; i < stack.size(); ++i) {
+      trace.push_back(stack[i].desc);
+    }
+    if (current != nullptr) {
+      trace.push_back(current->Describe(system));
+    }
+    return trace;
+  };
+
+  system.RestoreAll(item.state);
+  Frame root;
+  root.state = item.state;
+  root.transitions = system.EnabledTransitions();
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    if (ShouldStop()) {
+      return;
+    }
+    Frame& frame = stack.back();
+    if (frame.next >= frame.transitions.size()) {
+      stack.pop_back();
+      continue;
+    }
+    if (OutOfBudget()) {
+      return;
+    }
+    int depth = static_cast<int>(item.trace.size() + stack.size());
+    if (depth > options_.base.max_depth) {
+      ProbeSkipped(system, frame.state, frame.transitions, frame.next);
+      stack.pop_back();
+      continue;
+    }
+    NoteDepth(depth);
+
+    const CheckedSystem::Transition t = frame.transitions[frame.next++];
+    system.RestoreAll(frame.state);
+    system.Apply(t);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    Violation violation;
+    bool progress = false;
+    if (!system.Closure(&violation, &progress)) {
+      violation.trace = build_trace(&t);
+      ReportViolation(std::move(violation));
+      return;
+    }
+    std::vector<int32_t> next_state = system.SnapshotAll();
+    if (!table_.Claim(next_state)) {
+      continue;  // Another worker (or this one) already owns this state.
+    }
+    std::vector<CheckedSystem::Transition> next_transitions = system.EnabledTransitions();
+    if (next_transitions.empty()) {
+      if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
+        Violation v;
+        v.kind = ViolationKind::kInvalidEndState;
+        v.message = "invalid end state: " + system.DescribeBlockedProcesses();
+        v.trace = build_trace(&t);
+        ReportViolation(std::move(v));
+        return;
+      }
+      continue;
+    }
+    if (queue_hint_.load(std::memory_order_relaxed) < static_cast<size_t>(workers_)) {
+      // Other workers look starved: donate this subtree instead of descending.
+      WorkItem donated;
+      donated.trace = build_trace(&t);
+      donated.state = std::move(next_state);
+      PushWork(std::move(donated));
+      continue;
+    }
+    Frame child;
+    child.desc = t.Describe(system);
+    child.state = std::move(next_state);
+    child.transitions = std::move(next_transitions);
+    stack.push_back(std::move(child));
+  }
+}
+
+CheckResult Engine::Run(CheckedSystem& system) {
+  CheckResult result;
+  if (Seed(system, &result)) {
+    // Each worker explores on its own structural clone of the system.
+    std::vector<std::unique_ptr<CheckedSystem>> clones;
+    clones.reserve(static_cast<size_t>(workers_));
+    for (int i = 0; i < workers_; ++i) {
+      clones.push_back(system.Clone());
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers_));
+    for (int i = 0; i < workers_; ++i) {
+      threads.emplace_back([this, &clones, i] { Worker(*clones[static_cast<size_t>(i)]); });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(violation_mu_);
+    if (violation_.has_value() && !result.violation.has_value()) {
+      result.violation = std::move(*violation_);
+    }
+  }
+  result.states_stored = table_.size();
+  result.state_bytes = table_.payload_bytes();
+  result.transitions = transitions_.load(std::memory_order_relaxed);
+  result.max_depth_reached = max_depth_.load(std::memory_order_relaxed);
+  result.budget_exhausted = exhausted_.load(std::memory_order_relaxed);
+  result.ok = !result.violation.has_value();
+  result.seconds = Elapsed();
+  return result;
+}
+
+}  // namespace
+
+CheckResult CheckParallel(CheckedSystem& system, const ParallelCheckerOptions& options) {
+  int workers = options.num_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) {
+      workers = 1;
+    }
+  }
+  if (workers <= 1 || options.base.check_livelock || options.base.disable_state_dedup) {
+    CheckerOptions sequential = options.base;
+    sequential.num_threads = 1;
+    sequential.fingerprint_only = options.fingerprint_only || sequential.fingerprint_only;
+    return system.Check(sequential);
+  }
+  Engine engine(options, workers);
+  return engine.Run(system);
+}
+
+}  // namespace efeu::check

@@ -1,0 +1,42 @@
+// Multi-threaded safety checking: a sequential BFS prefix seeds per-worker
+// frontiers, then workers explore concurrently over a shared sharded
+// visited-state table, donating subtrees back to a global queue when other
+// workers starve. Mirrors the usual multi-core explicit-state design (cf.
+// SPIN's -DNCORE): safety properties only — non-progress-cycle detection
+// needs the DFS stack and stays in the sequential engine (checker.cc).
+//
+// Determinism notes: with a full-state table, the set of stored states and
+// the number of applied transitions are identical to the sequential search
+// (every state is claimed exactly once before expansion, every edge applied
+// exactly once). Which violation is found first — and its trace — can differ
+// between runs, but any reported trace is a valid path from the initial
+// state.
+
+#ifndef SRC_CHECK_PARALLEL_H_
+#define SRC_CHECK_PARALLEL_H_
+
+#include "src/check/checker.h"
+
+namespace efeu::check {
+
+struct ParallelCheckerOptions {
+  // Worker threads; 0 = one per hardware thread.
+  int num_threads = 0;
+  // Hash compaction for the shared table (see CheckerOptions::fingerprint_only).
+  bool fingerprint_only = false;
+  // Budgets and deadlock checking. check_livelock and disable_state_dedup
+  // fall back to a sequential Check; num_threads here is ignored.
+  CheckerOptions base;
+  // The sequential BFS prefix grows the frontier to about seed_factor *
+  // num_threads states before workers start.
+  int seed_factor = 4;
+};
+
+// Explores `system` with worker threads, each running on its own
+// CheckedSystem::Clone(). The passed-in system is used for the BFS prefix and
+// is left in an unspecified (restorable) state.
+CheckResult CheckParallel(CheckedSystem& system, const ParallelCheckerOptions& options);
+
+}  // namespace efeu::check
+
+#endif  // SRC_CHECK_PARALLEL_H_

@@ -31,7 +31,10 @@ constexpr int32_t kPhaseReply = 3;
 TransactionSpecProcess::TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
                                                const esi::ChannelInfo* reply_channel,
                                                std::vector<TransactionSpecDevice> devices)
-    : NativeProcess("TransactionSpec"), devices_(std::move(devices)) {
+    : NativeProcess("TransactionSpec"),
+      cmd_channel_(cmd_channel),
+      reply_channel_(reply_channel),
+      devices_(std::move(devices)) {
   recv_cmd_ = AddPort(cmd_channel, /*is_send=*/false);
   send_reply_ = AddPort(reply_channel, /*is_send=*/true);
   for (const TransactionSpecDevice& device : devices_) {

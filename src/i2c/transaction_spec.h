@@ -9,6 +9,7 @@
 #ifndef SRC_I2C_TRANSACTION_SPEC_H_
 #define SRC_I2C_TRANSACTION_SPEC_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/check/native_process.h"
@@ -34,6 +35,10 @@ class TransactionSpecProcess : public check::NativeProcess {
 
   bool AtValidEndState() const override;
 
+  std::unique_ptr<check::Process> Clone() const override {
+    return std::make_unique<TransactionSpecProcess>(cmd_channel_, reply_channel_, devices_);
+  }
+
  protected:
   void InitState(std::vector<int32_t>& state) override;
   PendingOp ComputePending(const std::vector<int32_t>& state) const override;
@@ -49,6 +54,8 @@ class TransactionSpecProcess : public check::NativeProcess {
   // Device index targeted by the latched command (or -1).
   int TargetDevice(const std::vector<int32_t>& state) const;
 
+  const esi::ChannelInfo* cmd_channel_ = nullptr;
+  const esi::ChannelInfo* reply_channel_ = nullptr;
   std::vector<TransactionSpecDevice> devices_;
   int recv_cmd_ = -1;
   int send_reply_ = -1;

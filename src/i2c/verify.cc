@@ -1,6 +1,8 @@
 #include "src/i2c/verify.h"
 
+#include <atomic>
 #include <cassert>
+#include <thread>
 
 #include "src/i2c/codes.h"
 #include "src/i2c/electrical.h"
@@ -456,6 +458,54 @@ VerifyRunResult RunVerification(const VerifyConfig& config, DiagnosticEngine& di
   result.total_seconds = result.safety.seconds + result.liveness.seconds;
   result.ok = result.safety.ok && result.liveness.ok;
   return result;
+}
+
+std::vector<VerifySuiteItem> RunVerificationSuite(const std::vector<VerifyConfig>& configs,
+                                                  const check::CheckerOptions& base_options,
+                                                  int pool_threads) {
+  std::vector<VerifySuiteItem> items(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    items[i].config = configs[i];
+  }
+  int workers = pool_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) {
+      workers = 1;
+    }
+  }
+  if (workers > static_cast<int>(items.size())) {
+    workers = static_cast<int>(items.size());
+  }
+
+  std::atomic<size_t> next{0};
+  auto run = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) {
+        return;
+      }
+      DiagnosticEngine diag;
+      items[i].result = RunVerification(items[i].config, diag, base_options);
+      if (diag.HasErrors()) {
+        items[i].error = diag.RenderAll();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    run();
+    return items;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads.emplace_back(run);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return items;
 }
 
 }  // namespace efeu::i2c

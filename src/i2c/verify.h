@@ -88,6 +88,24 @@ struct VerifyRunResult {
 VerifyRunResult RunVerification(const VerifyConfig& config, DiagnosticEngine& diag,
                                 const check::CheckerOptions& base_options = {});
 
+// One configuration of a verification suite and its outcome.
+struct VerifySuiteItem {
+  VerifyConfig config;
+  VerifyRunResult result;
+  // Rendered compile/build diagnostics when the verifier could not be built;
+  // empty on success.
+  std::string error;
+};
+
+// Runs every configuration through RunVerification on a pool of
+// `pool_threads` threads (0 = one per hardware thread). Each run gets its own
+// DiagnosticEngine and verifier system, so the combos are fully independent;
+// results come back in input order. Combine with base_options.num_threads > 1
+// to additionally parallelize inside each (safety) check.
+std::vector<VerifySuiteItem> RunVerificationSuite(const std::vector<VerifyConfig>& configs,
+                                                  const check::CheckerOptions& base_options = {},
+                                                  int pool_threads = 0);
+
 }  // namespace efeu::i2c
 
 #endif  // SRC_I2C_VERIFY_H_

@@ -42,6 +42,11 @@ FrequencyStats AnalyzeSclFrequency(const std::vector<I2cBus::Sample>& samples) {
       freqs_khz.push_back(1e6 / period_ns);
     }
   }
+  if (freqs_khz.empty()) {
+    // Every period was zero-length (coincident timestamps): no measurable
+    // frequency, not a 0/0 NaN.
+    return stats;
+  }
   double sum = 0;
   for (double f : freqs_khz) {
     sum += f;
@@ -59,6 +64,9 @@ std::string RenderAsciiWaveform(const std::vector<I2cBus::Sample>& samples, doub
                                 int columns) {
   if (samples.empty()) {
     return "(no samples)\n";
+  }
+  if (columns <= 0 || window_ns <= 0) {
+    return "(empty window)\n";
   }
   double start = samples.front().t_ns;
   double step = window_ns / columns;

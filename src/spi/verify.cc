@@ -103,16 +103,18 @@ std::unique_ptr<SpiVerifierSystem> BuildSpiVerifier(const SpiVerifyConfig& confi
   return vs;
 }
 
-SpiVerifyResult RunSpiVerification(const SpiVerifyConfig& config, DiagnosticEngine& diag) {
+SpiVerifyResult RunSpiVerification(const SpiVerifyConfig& config, DiagnosticEngine& diag,
+                                   const check::CheckerOptions& base_options) {
   SpiVerifyResult result;
   auto vs = BuildSpiVerifier(config, diag);
   if (vs == nullptr) {
     return result;
   }
-  check::CheckerOptions safety;
+  check::CheckerOptions safety = base_options;
   safety.check_deadlock = true;
+  safety.check_livelock = false;
   result.safety = vs->system().Check(safety);
-  check::CheckerOptions liveness;
+  check::CheckerOptions liveness = base_options;
   liveness.check_deadlock = false;
   liveness.check_livelock = true;
   result.liveness = vs->system().Check(liveness);

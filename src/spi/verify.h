@@ -45,7 +45,12 @@ struct SpiVerifyResult {
   bool ok = false;
 };
 
-SpiVerifyResult RunSpiVerification(const SpiVerifyConfig& config, DiagnosticEngine& diag);
+// Runs a safety pass (assertions + invalid end states) and a liveness pass
+// (non-progress cycles), both derived from `base_options` — so callers can
+// set budgets, thread counts or hash compaction exactly like
+// i2c::RunVerification.
+SpiVerifyResult RunSpiVerification(const SpiVerifyConfig& config, DiagnosticEngine& diag,
+                                   const check::CheckerOptions& base_options = {});
 
 }  // namespace efeu::spi
 

@@ -1,5 +1,7 @@
-// FNV-1a hashing over raw words; used by the model checker's visited-state
-// set, where states are flat vectors of 32-bit words.
+// Hashing for the model checker's visited-state sets, where states are flat
+// vectors of 32-bit words. HashWords is the hot path (called once per stored
+// state) and mixes a 64-bit lane at a time, xxhash/wyhash-style; HashBytes
+// keeps the byte-at-a-time FNV-1a for odd-sized callers.
 
 #ifndef SRC_SUPPORT_HASH_H_
 #define SRC_SUPPORT_HASH_H_
@@ -19,8 +21,34 @@ inline uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 0xcbf29
   return hash;
 }
 
+// Finalizer with full avalanche (the 64-bit murmur3/splitmix mix): every
+// input bit flips each output bit with probability ~1/2.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Word-at-a-time state fingerprint: consumes two 32-bit state words per
+// multiply-xor-rotate round instead of FNV's one-multiply-per-byte, then runs
+// the final avalanche mix. Roughly 8x fewer multiplies per state than the
+// byte-at-a-time loop on the visited-set hot path.
 inline uint64_t HashWords(std::span<const int32_t> words, uint64_t seed = 0xcbf29ce484222325ull) {
-  return HashBytes(words.data(), words.size() * sizeof(int32_t), seed);
+  uint64_t hash = seed ^ (static_cast<uint64_t>(words.size()) * 0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  for (; i + 2 <= words.size(); i += 2) {
+    uint64_t lane = static_cast<uint64_t>(static_cast<uint32_t>(words[i])) |
+                    (static_cast<uint64_t>(static_cast<uint32_t>(words[i + 1])) << 32);
+    hash = (hash ^ lane) * 0xd6e8feb86659fd93ull;
+    hash = (hash << 27) | (hash >> 37);
+  }
+  if (i < words.size()) {
+    hash = (hash ^ static_cast<uint32_t>(words[i])) * 0xd6e8feb86659fd93ull;
+  }
+  return Mix64(hash);
 }
 
 inline uint64_t CombineHash(uint64_t a, uint64_t b) {

@@ -1,0 +1,99 @@
+#include "src/support/state_table.h"
+
+#include "src/support/hash.h"
+
+namespace efeu {
+
+size_t ShardedStateTable::VectorHash::operator()(const std::vector<int32_t>& v) const {
+  return static_cast<size_t>(HashWords(v));
+}
+
+ShardedStateTable::ShardedStateTable(const StateTableOptions& options) : options_(options) {
+  int shards = options_.num_shards < 1 ? 1 : options_.num_shards;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedStateTable::Claim(std::span<const int32_t> state, uint64_t progress) {
+  uint64_t fingerprint = HashWords(state);
+  Shard& shard = shard_for(fingerprint);
+  uint64_t entry_bytes = options_.fingerprint_only ? 8 : state.size() * sizeof(int32_t);
+  if (options_.track_progress) {
+    entry_bytes += sizeof(uint64_t);
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  uint64_t* stored = nullptr;
+  bool inserted = false;
+  if (options_.fingerprint_only) {
+    auto [it, is_new] = shard.by_fingerprint.try_emplace(fingerprint, progress);
+    stored = &it->second;
+    inserted = is_new;
+  } else {
+    auto [it, is_new] =
+        shard.by_state.try_emplace(std::vector<int32_t>(state.begin(), state.end()), progress);
+    stored = &it->second;
+    inserted = is_new;
+  }
+  if (inserted) {
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
+    return true;
+  }
+  if (options_.track_progress && progress < *stored) {
+    *stored = progress;
+    return true;
+  }
+  return false;
+}
+
+bool ShardedStateTable::WouldClaim(std::span<const int32_t> state, uint64_t progress) const {
+  uint64_t fingerprint = HashWords(state);
+  const Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const uint64_t* stored = nullptr;
+  if (options_.fingerprint_only) {
+    auto it = shard.by_fingerprint.find(fingerprint);
+    if (it != shard.by_fingerprint.end()) {
+      stored = &it->second;
+    }
+  } else {
+    auto it = shard.by_state.find(std::vector<int32_t>(state.begin(), state.end()));
+    if (it != shard.by_state.end()) {
+      stored = &it->second;
+    }
+  }
+  if (stored == nullptr) {
+    return true;
+  }
+  return options_.track_progress && progress < *stored;
+}
+
+uint64_t ShardedStateTable::size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ShardedStateTable::payload_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedStateTable::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->by_fingerprint.clear();
+    shard->by_state.clear();
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace efeu

@@ -1,0 +1,88 @@
+// Concurrency-safe visited-state table for the model checker: N-way striped
+// buckets keyed by the 64-bit state fingerprint, so worker threads contend
+// only when their states land in the same stripe. Two storage modes:
+//
+//  - full (default): the complete state vector is stored and compared, so
+//    membership is exact;
+//  - fingerprint-only ("hash compaction", cf. SPIN's -DHC): only the 8-byte
+//    fingerprint is stored. Two distinct states colliding on the fingerprint
+//    are treated as one, so an unexplored state can be silently pruned — a
+//    false-negative probability of roughly stored_states^2 / 2^65 in
+//    exchange for a fixed 8 bytes per state.
+//
+// With track_progress the table additionally remembers the minimum progress
+// credit each state was reached with, and Claim re-admits a state reached
+// with a strictly lower credit — the re-entry rule the sequential checker's
+// non-progress-cycle search needs to catch cycles entered through cross
+// edges (see checker.cc).
+
+#ifndef SRC_SUPPORT_STATE_TABLE_H_
+#define SRC_SUPPORT_STATE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace efeu {
+
+struct StateTableOptions {
+  // Number of independently locked stripes; 1 is fine for single-threaded
+  // callers, parallel workers want >= 4x the thread count.
+  int num_shards = 1;
+  // Store 8-byte fingerprints instead of full state vectors.
+  bool fingerprint_only = false;
+  // Remember the minimum progress credit per state and re-admit claims with
+  // a strictly lower credit.
+  bool track_progress = false;
+};
+
+class ShardedStateTable {
+ public:
+  explicit ShardedStateTable(const StateTableOptions& options = {});
+
+  // Claims `state` for exploration. Returns true when the caller should
+  // explore it: the state is new, or (with track_progress) it was reached
+  // with a strictly lower progress credit than every earlier visit.
+  bool Claim(std::span<const int32_t> state, uint64_t progress = 0);
+
+  // Read-only variant: whether Claim would return true, without inserting.
+  bool WouldClaim(std::span<const int32_t> state, uint64_t progress = 0) const;
+
+  // Distinct states stored.
+  uint64_t size() const;
+  // Bytes of state payload held (full vectors or 8-byte fingerprints, plus
+  // the progress credit when tracked) — the bench's bytes/state numerator.
+  uint64_t payload_bytes() const;
+
+  void Clear();
+
+ private:
+  struct VectorHash {
+    size_t operator()(const std::vector<int32_t>& v) const;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // fingerprint -> min progress credit (fingerprint_only mode).
+    std::unordered_map<uint64_t, uint64_t> by_fingerprint;
+    // full state -> min progress credit (exact mode).
+    std::unordered_map<std::vector<int32_t>, uint64_t, VectorHash> by_state;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+
+  Shard& shard_for(uint64_t fingerprint) const {
+    return *shards_[fingerprint % shards_.size()];
+  }
+
+  StateTableOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace efeu
+
+#endif  // SRC_SUPPORT_STATE_TABLE_H_

@@ -275,7 +275,7 @@ void Up() {
 class DoublerProcess : public check::NativeProcess {
  public:
   DoublerProcess(const esi::ChannelInfo* in, const esi::ChannelInfo* out)
-      : NativeProcess("Doubler") {
+      : NativeProcess("Doubler"), in_(in), out_(out) {
     in_port_ = AddPort(in, /*is_send=*/false);
     out_port_ = AddPort(out, /*is_send=*/true);
     ResizeState(2);  // [phase, value]
@@ -283,6 +283,10 @@ class DoublerProcess : public check::NativeProcess {
   }
 
   bool AtValidEndState() const override { return current_state()[0] == 0; }
+
+  std::unique_ptr<check::Process> Clone() const override {
+    return std::make_unique<DoublerProcess>(in_, out_);
+  }
 
  protected:
   void InitState(std::vector<int32_t>& state) override { std::fill(state.begin(), state.end(), 0); }
@@ -309,9 +313,245 @@ class DoublerProcess : public check::NativeProcess {
   void OnSendComplete(int port, std::vector<int32_t>& state) override { state[0] = 0; }
 
  private:
+  const esi::ChannelInfo* in_ = nullptr;
+  const esi::ChannelInfo* out_ = nullptr;
   int in_port_ = -1;
   int out_port_ = -1;
 };
+
+// Regression: a non-progress cycle whose states are first visited on a
+// higher-credit path (through the progress-labeled detour) and then
+// re-reached through a cross edge with no progress. Plain visited-state
+// dedup prunes the low-credit re-traversal before it can close the
+// equal-credit back edge, silently missing the livelock; the checker must
+// re-admit states reached with strictly lower progress credit.
+TEST(Checker, CrossEdgeLivelockDetected) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int b;
+  hub:
+  b = nondet(2);
+  if (b == 0) {
+    progress_detour:
+    b = 0;
+  }
+  b = 0;
+  yy:
+  b = nondet(2);
+  b = 0;
+  cc:
+  b = nondet(2);
+  b = 0;
+  goto hub;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.check_deadlock = false;
+  options.check_livelock = true;
+  check::CheckResult result = system.Check(options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kNonProgressCycle);
+}
+
+// Counterpart: progress on the shared cycle path itself. Every cycle passes
+// progress_mid, so the credit-relaxation re-exploration must not turn this
+// into a false positive.
+TEST(Checker, ProgressOnCycleSuppressesCrossEdgeLivelock) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int b;
+  hub:
+  b = nondet(2);
+  if (b == 0) {
+    progress_detour:
+    b = 0;
+  }
+  b = 0;
+  progress_mid:
+  b = nondet(2);
+  b = 0;
+  cc:
+  b = nondet(2);
+  b = 0;
+  goto hub;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.check_deadlock = false;
+  options.check_livelock = true;
+  check::CheckResult result = system.Check(options);
+  EXPECT_TRUE(result.ok) << (result.violation.has_value() ? result.violation->message : "");
+}
+
+// budget_exhausted means "a reachable subtree was actually skipped". A
+// depth-pruned frame whose successors were all visited already does not
+// qualify: this one-state self-loop is fully explored even at max_depth 0.
+TEST(Checker, DepthPruneWithoutSkippedWorkNotExhausted) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int b;
+  spin:
+  b = nondet(2);
+  b = 0;
+  goto spin;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.max_depth = 0;
+  check::CheckResult result = system.Check(options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.budget_exhausted);
+  // Pruned frames are not counted toward the deepest explored depth.
+  EXPECT_LE(result.max_depth_reached, options.max_depth);
+}
+
+TEST(Checker, DepthPruneWithSkippedWorkExhausted) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int a;
+  int b;
+  int c;
+  a = nondet(2);
+  b = nondet(2);
+  c = nondet(2);
+  a = a + b + c;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.max_depth = 1;
+  check::CheckResult result = system.Check(options);
+  EXPECT_TRUE(result.ok);  // No violation found within the budget...
+  EXPECT_TRUE(result.budget_exhausted);  // ...but deeper states were skipped.
+  EXPECT_LE(result.max_depth_reached, options.max_depth);
+}
+
+TEST(Checker, FingerprintOnlyMatchesFullSearch) {
+  const char* esm = R"esm(
+void Up() {
+  int x;
+  int y;
+  x = nondet(4);
+  y = nondet(4);
+  assert(x + y <= 6);
+}
+)esm";
+  auto comp = Compile(esm);
+  check::CheckedSystem full_system;
+  full_system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckResult full = full_system.Check();
+
+  check::CheckedSystem fp_system;
+  fp_system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.fingerprint_only = true;
+  check::CheckResult fp = fp_system.Check(options);
+
+  EXPECT_EQ(full.ok, fp.ok);
+  EXPECT_EQ(full.states_stored, fp.states_stored);
+  EXPECT_EQ(full.transitions, fp.transitions);
+  // Hash compaction stores exactly 8 bytes per state; the full table stores
+  // the complete snapshot vector.
+  EXPECT_EQ(fp.state_bytes, 8 * fp.states_stored);
+  EXPECT_GT(full.state_bytes, fp.state_bytes);
+}
+
+TEST(Checker, CloneExploresIdentically) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 42);
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  const esi::ChannelInfo* to_down = comp->system().FindChannel("Up", "Down");
+  const esi::ChannelInfo* to_up = comp->system().FindChannel("Down", "Up");
+  int doubler = system.AddProcess(std::make_unique<DoublerProcess>(to_down, to_up));
+  system.ConnectByChannel(up, doubler, to_down);
+  system.ConnectByChannel(doubler, up, to_up);
+
+  std::unique_ptr<check::CheckedSystem> clone = system.Clone();
+  check::CheckResult original = system.Check();
+  check::CheckResult cloned = clone->Check();
+  EXPECT_EQ(original.ok, cloned.ok);
+  EXPECT_EQ(original.states_stored, cloned.states_stored);
+  EXPECT_EQ(original.transitions, cloned.transitions);
+}
+
+// With a full-state table the parallel engine claims every state exactly once
+// before expanding it, so the stored-state and applied-transition counts are
+// identical to the sequential search — not merely close.
+TEST(Checker, ParallelMatchesSequentialOnNondetSystem) {
+  const char* esm = R"esm(
+void Up() {
+  int a;
+  int b;
+  int c;
+  a = nondet(6);
+  b = nondet(6);
+  c = nondet(6);
+  a = a + b + c;
+}
+)esm";
+  auto comp = Compile(esm);
+  check::CheckedSystem seq_system;
+  seq_system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckResult seq = seq_system.Check();
+
+  check::CheckedSystem par_system;
+  par_system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.num_threads = 4;
+  check::CheckResult par = par_system.Check(options);
+
+  EXPECT_EQ(seq.ok, par.ok);
+  EXPECT_EQ(seq.states_stored, par.states_stored);
+  EXPECT_EQ(seq.transitions, par.transitions);
+  EXPECT_FALSE(par.budget_exhausted);
+}
+
+TEST(Checker, ParallelFindsViolationWithValidTrace) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int a;
+  int b;
+  a = nondet(5);
+  b = nondet(5);
+  assert(!(a == 3 && b == 4));
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.num_threads = 4;
+  check::CheckResult result = system.Check(options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kAssertionFailed);
+  ASSERT_FALSE(result.violation->trace.empty());
+  // The trace must contain both fatal choices, in order.
+  size_t first = std::string::npos;
+  size_t second = std::string::npos;
+  for (size_t i = 0; i < result.violation->trace.size(); ++i) {
+    if (result.violation->trace[i].find("nondet -> 3") != std::string::npos && first == std::string::npos) {
+      first = i;
+    }
+    if (result.violation->trace[i].find("nondet -> 4") != std::string::npos) {
+      second = i;
+    }
+  }
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
 
 TEST(Checker, NativeProcessInterops) {
   auto comp = Compile(R"esm(

@@ -228,5 +228,89 @@ TEST(EepVerifier, VariablePayloadPasses) {
   EXPECT_TRUE(result.ok) << Describe(result);
 }
 
+// The parallel safety engine must agree with the sequential one on the full
+// Byte-layer stack: same verdict, same stored-state and transition counts
+// (claim-before-expand makes them exactly equal, not just close).
+TEST(ParallelVerify, ByteFullStackMatchesSequential) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 2;
+  VerifyRunResult sequential = RunConfig(config);
+  ASSERT_TRUE(sequential.ok) << Describe(sequential);
+
+  check::CheckerOptions base;
+  base.num_threads = 4;
+  DiagnosticEngine diag;
+  VerifyRunResult parallel = RunVerification(config, diag, base);
+  ASSERT_TRUE(parallel.ok) << Describe(parallel);
+  EXPECT_EQ(parallel.safety.states_stored, sequential.safety.states_stored);
+  EXPECT_EQ(parallel.safety.transitions, sequential.safety.transitions);
+  // The liveness pass runs sequentially regardless of num_threads.
+  EXPECT_EQ(parallel.liveness.states_stored, sequential.liveness.states_stored);
+}
+
+// The KS0127 quirk deadlock must be found with the parallel engine too, with
+// the same violation kind as the sequential run.
+TEST(ParallelVerify, Ks0127DeadlockFoundInParallel) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 1;
+  config.ks0127_responder = true;
+  check::CheckerOptions base;
+  base.num_threads = 4;
+  DiagnosticEngine diag;
+  VerifyRunResult result = RunVerification(config, diag, base);
+  EXPECT_FALSE(result.safety.ok);
+  ASSERT_TRUE(result.safety.violation.has_value());
+  EXPECT_EQ(result.safety.violation->kind, check::ViolationKind::kInvalidEndState);
+  EXPECT_FALSE(result.safety.violation->trace.empty());
+}
+
+TEST(ParallelVerify, FingerprintOnlyShrinksBytesPerState) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kByte;
+  config.num_ops = 2;
+  VerifyRunResult full = RunConfig(config);
+  ASSERT_TRUE(full.ok) << Describe(full);
+
+  check::CheckerOptions base;
+  base.fingerprint_only = true;
+  DiagnosticEngine diag;
+  VerifyRunResult compact = RunVerification(config, diag, base);
+  ASSERT_TRUE(compact.ok) << Describe(compact);
+  EXPECT_EQ(compact.safety.states_stored, full.safety.states_stored);
+  EXPECT_EQ(compact.safety.state_bytes, 8 * compact.safety.states_stored);
+  // The acceptance bar: at least 4x less memory per stored state.
+  EXPECT_GE(full.safety.state_bytes, 4 * compact.safety.state_bytes);
+}
+
+TEST(VerifySuite, PoolRunsCombosIndependently) {
+  std::vector<VerifyConfig> configs;
+  VerifyConfig symbol;
+  symbol.level = VerifyLevel::kSymbol;
+  symbol.num_ops = 2;
+  configs.push_back(symbol);
+  VerifyConfig byte_abs;
+  byte_abs.level = VerifyLevel::kByte;
+  byte_abs.abstraction = VerifyAbstraction::kSymbol;
+  byte_abs.num_ops = 2;
+  configs.push_back(byte_abs);
+  VerifyConfig quirk;
+  quirk.level = VerifyLevel::kByte;
+  quirk.num_ops = 1;
+  quirk.ks0127_responder = true;
+  configs.push_back(quirk);
+
+  std::vector<VerifySuiteItem> items = RunVerificationSuite(configs, {}, /*pool_threads=*/3);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_TRUE(items[0].error.empty()) << items[0].error;
+  EXPECT_TRUE(items[0].result.ok);
+  EXPECT_TRUE(items[1].result.ok);
+  // The quirk combo must still fail with the deadlock, in input order.
+  EXPECT_FALSE(items[2].result.safety.ok);
+  ASSERT_TRUE(items[2].result.safety.violation.has_value());
+  EXPECT_EQ(items[2].result.safety.violation->kind, check::ViolationKind::kInvalidEndState);
+}
+
 }  // namespace
 }  // namespace efeu::i2c

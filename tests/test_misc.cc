@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/check/checker.h"
 #include "src/codegen/common/expr_printer.h"
 #include "src/codegen/mmio/mmio_backend.h"
@@ -280,6 +282,29 @@ TEST(WaveformEdge, SingleEdgeNoFrequency) {
   sim::FrequencyStats stats = sim::AnalyzeSclFrequency(samples);
   EXPECT_EQ(stats.edge_count, 1);
   EXPECT_EQ(stats.mean_khz, 0);
+}
+
+// Two rising edges with coincident timestamps: every period is zero-length,
+// so no frequency is measurable. This used to divide by zero and report NaN.
+TEST(WaveformEdge, CoincidentEdgesNoFrequency) {
+  std::vector<sim::I2cBus::Sample> samples = {
+      {100, false, true}, {100, true, true}, {100, false, true}, {100, true, true}};
+  sim::FrequencyStats stats = sim::AnalyzeSclFrequency(samples);
+  EXPECT_EQ(stats.edge_count, 2);
+  EXPECT_EQ(stats.mean_khz, 0);
+  EXPECT_EQ(stats.stddev_khz, 0);
+  EXPECT_FALSE(std::isnan(stats.mean_khz));
+}
+
+TEST(WaveformEdge, DegenerateRenderWindow) {
+  std::vector<sim::I2cBus::Sample> samples = {{0, true, true}};
+  EXPECT_EQ(sim::RenderAsciiWaveform(samples, 1000, 0), "(empty window)\n");
+  EXPECT_EQ(sim::RenderAsciiWaveform(samples, 0, 100), "(empty window)\n");
+  EXPECT_EQ(sim::RenderAsciiWaveform(samples, -5, -1), "(empty window)\n");
+  // A real window still renders one row per signal.
+  std::string rendered = sim::RenderAsciiWaveform(samples, 1000, 10);
+  EXPECT_NE(rendered.find("SCL"), std::string::npos);
+  EXPECT_NE(rendered.find("SDA"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -69,6 +69,47 @@ TEST(SpiVerifier, Mode1ControllerFailsDriverLevel) {
   EXPECT_FALSE(result.ok);
 }
 
+// Regression: RunSpiVerification used to ignore caller options entirely
+// (building fresh CheckerOptions for both passes), unlike the I2C runner. A
+// caller-supplied state budget must reach both checker passes.
+TEST(SpiVerifier, BaseOptionsReachThePasses) {
+  SpiVerifyConfig config;
+  config.level = SpiVerifyLevel::kByte;
+  config.num_ops = 2;
+  check::CheckerOptions base;
+  base.max_states = 5;
+  DiagnosticEngine diag;
+  SpiVerifyResult result = RunSpiVerification(config, diag, base);
+  ASSERT_FALSE(diag.HasErrors()) << diag.RenderAll();
+  EXPECT_TRUE(result.safety.budget_exhausted);
+  EXPECT_LE(result.safety.states_stored, 5u);
+  EXPECT_TRUE(result.liveness.budget_exhausted);
+}
+
+TEST(SpiVerifier, ParallelMatchesSequentialAcrossCphaQuirk) {
+  for (bool mode1 : {false, true}) {
+    SpiVerifyConfig config;
+    config.level = SpiVerifyLevel::kByte;
+    config.num_ops = 2;
+    config.mode1_controller = mode1;
+    DiagnosticEngine diag;
+    SpiVerifyResult sequential = RunSpiVerification(config, diag);
+    check::CheckerOptions base;
+    base.num_threads = 4;
+    DiagnosticEngine diag2;
+    SpiVerifyResult parallel = RunSpiVerification(config, diag2, base);
+    EXPECT_EQ(sequential.ok, parallel.ok) << "mode1=" << mode1;
+    EXPECT_EQ(sequential.safety.ok, parallel.safety.ok) << "mode1=" << mode1;
+    if (sequential.safety.ok) {
+      EXPECT_EQ(sequential.safety.states_stored, parallel.safety.states_stored);
+      EXPECT_EQ(sequential.safety.transitions, parallel.safety.transitions);
+    } else {
+      ASSERT_TRUE(parallel.safety.violation.has_value());
+      EXPECT_EQ(sequential.safety.violation->kind, parallel.safety.violation->kind);
+    }
+  }
+}
+
 TEST(SpiVerifier, DeterministicStateCounts) {
   SpiVerifyConfig config;
   config.level = SpiVerifyLevel::kByte;

@@ -3,10 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <bit>
+#include <thread>
+
 #include "src/support/diagnostics.h"
 #include "src/support/hash.h"
 #include "src/support/reserved_words.h"
 #include "src/support/source_buffer.h"
+#include "src/support/state_table.h"
 #include "src/support/text.h"
 
 namespace efeu {
@@ -127,6 +132,100 @@ TEST(Hash, DistinctForDifferentData) {
 TEST(Hash, StableForSameData) {
   std::vector<int32_t> a = {5, 6};
   EXPECT_EQ(HashWords(a), HashWords(a));
+}
+
+// Avalanche: flipping a single input bit should flip close to half the 64
+// output bits. A weak word mix (like byte-FNV folded to 64 bits) fails this
+// badly for low-entropy int32 state vectors.
+TEST(Hash, SingleBitAvalanche) {
+  std::vector<int32_t> base = {7, -3, 1 << 20, 0, 42};
+  uint64_t h0 = HashWords(base);
+  for (size_t word = 0; word < base.size(); ++word) {
+    for (int bit = 0; bit < 32; ++bit) {
+      std::vector<int32_t> flipped = base;
+      flipped[word] ^= (int32_t{1} << bit);
+      uint64_t h1 = HashWords(flipped);
+      int changed = std::popcount(h0 ^ h1);
+      EXPECT_GE(changed, 16) << "word " << word << " bit " << bit;
+      EXPECT_LE(changed, 48) << "word " << word << " bit " << bit;
+    }
+  }
+}
+
+TEST(Hash, LengthIsSignificant) {
+  std::vector<int32_t> a = {0, 0};
+  std::vector<int32_t> b = {0, 0, 0};
+  EXPECT_NE(HashWords(a), HashWords(b));
+}
+
+TEST(StateTable, ClaimOnceThenDuplicate) {
+  ShardedStateTable table;
+  std::vector<int32_t> s1 = {1, 2, 3};
+  std::vector<int32_t> s2 = {1, 2, 4};
+  EXPECT_TRUE(table.WouldClaim(s1));
+  EXPECT_TRUE(table.Claim(s1));
+  EXPECT_FALSE(table.Claim(s1));
+  EXPECT_FALSE(table.WouldClaim(s1));
+  EXPECT_TRUE(table.Claim(s2));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.payload_bytes(), 2u * 3u * sizeof(int32_t));
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.WouldClaim(s1));
+}
+
+TEST(StateTable, FingerprintOnlyStoresEightBytesPerState) {
+  StateTableOptions options;
+  options.fingerprint_only = true;
+  ShardedStateTable table(options);
+  std::vector<int32_t> s1(64, 7);
+  std::vector<int32_t> s2(64, 8);
+  EXPECT_TRUE(table.Claim(s1));
+  EXPECT_FALSE(table.Claim(s1));
+  EXPECT_TRUE(table.Claim(s2));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.payload_bytes(), 16u);  // 8 bytes each, not 256.
+}
+
+TEST(StateTable, TrackProgressReadmitsLowerCredit) {
+  StateTableOptions options;
+  options.track_progress = true;
+  ShardedStateTable table(options);
+  std::vector<int32_t> s = {9, 9};
+  EXPECT_TRUE(table.Claim(s, 5));
+  EXPECT_FALSE(table.Claim(s, 5));   // Same credit: pruned.
+  EXPECT_FALSE(table.Claim(s, 7));   // Higher credit: pruned.
+  EXPECT_TRUE(table.WouldClaim(s, 3));
+  EXPECT_TRUE(table.Claim(s, 3));    // Strictly lower: re-admitted.
+  EXPECT_FALSE(table.Claim(s, 4));   // Minimum is now 3.
+  EXPECT_EQ(table.size(), 1u);       // Still one distinct state.
+}
+
+TEST(StateTable, ConcurrentClaimsAdmitEachStateOnce) {
+  StateTableOptions options;
+  options.num_shards = 16;
+  ShardedStateTable table(options);
+  constexpr int kThreads = 8;
+  constexpr int32_t kStates = 2000;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &admitted] {
+      for (int32_t i = 0; i < kStates; ++i) {
+        std::vector<int32_t> state = {i, i * 3, i ^ 0x55};
+        if (table.Claim(state)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // All threads race on the same 2000 states; each must be admitted to
+  // exactly one of them.
+  EXPECT_EQ(admitted.load(), kStates);
+  EXPECT_EQ(table.size(), static_cast<uint64_t>(kStates));
 }
 
 TEST(ReservedWords, PromelaKeywords) {
