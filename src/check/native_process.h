@@ -23,6 +23,8 @@ class NativeProcess : public Process {
     int port = -1;
     // Outgoing message for kBlockedSend.
     std::vector<int32_t> message;
+    // Number of branches for kBlockedNondet.
+    int arity = 0;
   };
 
   explicit NativeProcess(std::string name) : name_(std::move(name)) {}
@@ -43,7 +45,7 @@ class NativeProcess : public Process {
 
   std::vector<int32_t> PendingMessage() const override { return Pending().message; }
 
-  int NondetArity() const override { return 0; }
+  int NondetArity() const override { return Pending().arity; }
 
   void CompleteSend() override {
     int port = Pending().port;
@@ -57,7 +59,10 @@ class NativeProcess : public Process {
     OnRecv(port, message, state_);
   }
 
-  void CompleteNondet(int32_t choice) override { assert(false && "native nondet unsupported"); }
+  void CompleteNondet(int32_t choice) override {
+    pending_valid_ = false;
+    OnChoice(choice, state_);
+  }
 
   bool TakeProgressFlag() override { return false; }
 
@@ -90,6 +95,13 @@ class NativeProcess : public Process {
   virtual void OnRecv(int port, std::span<const int32_t> message,
                       std::vector<int32_t>& state) = 0;
   virtual void OnSendComplete(int port, std::vector<int32_t>& state) = 0;
+  // Resolves a kBlockedNondet branch; only called when ComputePending reported
+  // a nonzero arity, with 0 <= choice < arity.
+  virtual void OnChoice(int32_t choice, std::vector<int32_t>& state) {
+    (void)choice;
+    (void)state;
+    assert(false && "native nondet unsupported by this process");
+  }
 
  private:
   const PendingOp& Pending() const {

@@ -1,5 +1,6 @@
 #include "src/driver/baselines.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/i2c/codes.h"
@@ -12,8 +13,10 @@ namespace efeu::driver {
 // ---------------------------------------------------------------------------
 
 BitBangDriver::BitBangDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
-                             bool capture_waveform)
-    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address) {
+                             bool capture_waveform, const sim::FaultPlan& fault_plan,
+                             const RecoveryPolicy& recovery)
+    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address),
+      fault_plan_(fault_plan), recovery_(recovery) {
   DiagnosticEngine diag;
   compilation_ = i2c::CompileControllerStack(diag);
   assert(compilation_ != nullptr);
@@ -23,11 +26,13 @@ BitBangDriver::BitBangDriver(const TimingModel& timing, const sim::EepromConfig&
   sim::EepromConfig eeprom_config = eeprom;
   eeprom_config.clock_ns = timing.clock_ns;
   eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
+  eeprom_->SetFaultPlan(&fault_plan_);
   rtl_.AddComponent(eeprom_.get());
   if (capture_waveform) {
     bus_.EnableCapture(true);
     rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
   }
+  last_status_ = i2c::kCeResOk;
 
   const char* layers[] = {"CEepDriver", "CTransaction", "CByte", "CSymbol"};
   std::vector<int> procs;
@@ -55,6 +60,11 @@ void BitBangDriver::Busy(double ns) {
   cpu_busy_ns_ += ns;
 }
 
+void BitBangDriver::Idle(double ns) {
+  sw_time_ns_ += ns;
+  SyncRtl();
+}
+
 void BitBangDriver::SyncRtl() { rtl_.TickUntil(sw_time_ns_); }
 
 bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
@@ -65,11 +75,15 @@ bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
   assert(delivered);
   (void)delivered;
   constexpr int kMaxPumps = 1 << 22;
+  const double op_deadline = sw_time_ns_ + recovery_.op_deadline_ns;
   for (int pump = 0; pump < kMaxPumps; ++pump) {
     sw_.Run();
     uint64_t steps = sw_.TotalSteps();
     Busy(static_cast<double>(steps - last_sw_steps_) * timing_.sw_instr_ns);
     last_sw_steps_ = steps;
+    if (recovery_.enabled && sw_time_ns_ > op_deadline) {
+      return false;
+    }
     if (sw_.WantsToSend(top_out_)) {
       std::optional<std::vector<int32_t>> result = sw_.TakeMessage(top_out_);
       *reply = std::move(*result);
@@ -108,10 +122,16 @@ bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
       SyncRtl();
       Busy(timing_.gpio_read_ns);
       SyncRtl();
+      fault_plan_.StepLineFaults(&bus_);
       int32_t scl = bus_.scl() ? 1 : 0;
       Busy(timing_.gpio_read_ns);
       SyncRtl();
       int32_t sda = bus_.sda() ? 1 : 0;
+      // ACK-window glitch: the controller released SDA and a responder pulls
+      // it low; a glitch makes the sampled level read high instead.
+      if (sda == 0 && gpio_sda_ && fault_plan_.ConsultAckGlitch()) {
+        sda = 1;
+      }
       std::vector<int32_t> sample = {scl, sda};
       // Let the stack reach its receive before delivering the sample.
       sw_.Run();
@@ -128,14 +148,85 @@ bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
   return false;
 }
 
+bool BitBangDriver::Transact(const std::vector<int32_t>& request, std::vector<int32_t>* reply) {
+  if (wedged_) {
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
+  double backoff = recovery_.initial_backoff_ns;
+  const double deadline = sw_time_ns_ + recovery_.op_deadline_ns;
+  for (int attempt = 1;; ++attempt) {
+    ++recovery_counters_.attempts;
+    if (!RunOperation(request, reply)) {
+      ++recovery_counters_.timeouts;
+      wedged_ = true;
+      last_status_ = i2c::kCeResFail;
+      if (recovery_.enabled && recovery_.bus_recovery) {
+        RecoverBus();
+      }
+      return false;
+    }
+    last_status_ = (*reply)[0];
+    if (last_status_ == i2c::kCeResOk) {
+      return true;
+    }
+    if (last_status_ == i2c::kCeResNack) {
+      ++recovery_counters_.nacks;
+    } else {
+      ++recovery_counters_.failures;
+      if (recovery_.enabled && recovery_.bus_recovery) {
+        RecoverBus();
+      }
+    }
+    if (!recovery_.enabled || attempt >= recovery_.max_attempts) {
+      return false;
+    }
+    if (sw_time_ns_ + backoff > deadline) {
+      ++recovery_counters_.deadline_hits;
+      return false;
+    }
+    ++recovery_counters_.retries;
+    recovery_counters_.backoff_ns += backoff;
+    Idle(backoff);
+    backoff = std::min(backoff * recovery_.backoff_multiplier, recovery_.max_backoff_ns);
+  }
+}
+
+void BitBangDriver::RecoverBus() {
+  ++recovery_counters_.bus_recoveries;
+  const double half_ns = timing_.gpio_udelay_ns;
+  // Release SDA, pulse SCL nine times: a responder stranded mid-read lets go
+  // of SDA within nine clocks.
+  gpio_sda_ = true;
+  for (int i = 0; i < 9; ++i) {
+    gpio_scl_ = false;
+    bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+    Busy(timing_.gpio_write_ns + half_ns);
+    SyncRtl();
+    gpio_scl_ = true;
+    bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+    Busy(timing_.gpio_write_ns + half_ns);
+    SyncRtl();
+  }
+  // Manufactured START then STOP returns every device FSM to idle.
+  gpio_sda_ = false;
+  bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+  Busy(timing_.gpio_write_ns + half_ns);
+  SyncRtl();
+  gpio_sda_ = true;
+  bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+  Busy(timing_.gpio_write_ns + half_ns);
+  SyncRtl();
+}
+
 bool BitBangDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
-  std::vector<int32_t> request(19, 0);
+  std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActRead;
   request[1] = eeprom_address_;
   request[2] = offset;
   request[3] = length;
   std::vector<int32_t> reply;
-  if (!RunOperation(request, &reply) || reply[0] != i2c::kCeResOk || reply[1] != length) {
+  if (!Transact(request, &reply) || reply[1] != length) {
     return false;
   }
   if (out != nullptr) {
@@ -148,7 +239,7 @@ bool BitBangDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
 }
 
 bool BitBangDriver::Write(int offset, const std::vector<uint8_t>& data) {
-  std::vector<int32_t> request(19, 0);
+  std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActWrite;
   request[1] = eeprom_address_;
   request[2] = offset;
@@ -157,7 +248,7 @@ bool BitBangDriver::Write(int offset, const std::vector<uint8_t>& data) {
     request[4 + i] = data[i];
   }
   std::vector<int32_t> reply;
-  return RunOperation(request, &reply) && reply[0] == i2c::kCeResOk;
+  return Transact(request, &reply);
 }
 
 DriverMetrics BitBangDriver::MeasureReads(int ops, int length) {
@@ -181,6 +272,8 @@ DriverMetrics BitBangDriver::MeasureReads(int ops, int length) {
   metrics.elapsed_ns = std::max(sw_time_ns_, rtl_.time_ns()) - start_time;
   metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  metrics.recovery = recovery_counters_;
+  metrics.faults_injected = fault_plan_.faults_injected();
   return metrics;
 }
 

@@ -27,7 +27,8 @@ namespace efeu::driver {
 class BitBangDriver {
  public:
   BitBangDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
-                bool capture_waveform = false);
+                bool capture_waveform = false, const sim::FaultPlan& fault_plan = {},
+                const RecoveryPolicy& recovery = {});
   ~BitBangDriver();
 
   bool Read(int offset, int length, std::vector<uint8_t>* out);
@@ -36,10 +37,16 @@ class BitBangDriver {
 
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+  sim::FaultPlan& fault_plan() { return fault_plan_; }
+  const RecoveryCounters& recovery_counters() const { return recovery_counters_; }
+  int32_t last_status() const { return last_status_; }
 
  private:
   bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  bool Transact(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  void RecoverBus();
   void Busy(double ns);
+  void Idle(double ns);
   void SyncRtl();
 
   TimingModel timing_;
@@ -59,6 +66,13 @@ class BitBangDriver {
   double sw_time_ns_ = 0;
   double cpu_busy_ns_ = 0;
   int eeprom_address_;
+
+  // Fault injection and recovery (mirrors HybridDriver).
+  sim::FaultPlan fault_plan_;
+  RecoveryPolicy recovery_;
+  RecoveryCounters recovery_counters_;
+  int32_t last_status_ = 0;
+  bool wedged_ = false;
 };
 
 // Xilinx AXI IIC baseline: hardware engine plus an interrupt-driven driver

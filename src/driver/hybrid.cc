@@ -1,5 +1,6 @@
 #include "src/driver/hybrid.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/i2c/codes.h"
@@ -72,6 +73,15 @@ HybridDriver::HybridDriver(const HybridConfig& config)
     bus_.EnableCapture(true);
     rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
   }
+  // Fault injection: the driver owns the live plan; the adapter injects the
+  // electrical faults, the primary EEPROM the device-side ones. The recovery
+  // driver releases both lines until a bus-recovery sequence runs, so an
+  // inactive plan leaves the bus byte-identical to the ideal one.
+  fault_plan_ = config_.fault_plan;
+  adapter_->SetFaultPlan(&fault_plan_);
+  eeprom_->SetFaultPlan(&fault_plan_);
+  recovery_driver_id_ = bus_.AddDriver();
+  last_status_ = i2c::kCeResOk;
 
   // ---- Boundary channels -------------------------------------------------
   int first_hw = FirstHardwareLayer(config_.split);
@@ -180,8 +190,14 @@ void HybridDriver::Busy(double ns) {
   cpu_busy_ns_ += ns;
 }
 
+void HybridDriver::Idle(double ns) {
+  sw_time_ns_ += ns;
+  SyncRtl();
+}
+
 bool HybridDriver::WaitUpMessage() {
-  constexpr double kTimeoutNs = 5e7;  // 50 ms: a realistic driver timeout
+  // A realistic driver timeout, relative to when this wait started.
+  const double deadline = now_ns() + config_.recovery.wait_timeout_ns;
   if (!config_.interrupt_driven) {
     // Polling: spin on the UP_VALID register.
     while (true) {
@@ -190,7 +206,7 @@ bool HybridDriver::WaitUpMessage() {
       if (regfile_->UpFull()) {
         return true;
       }
-      if (sw_time_ns_ > kTimeoutNs) {
+      if (sw_time_ns_ > deadline) {
         return false;
       }
     }
@@ -200,7 +216,7 @@ bool HybridDriver::WaitUpMessage() {
   SyncRtl();
   while (!regfile_->irq()) {
     rtl_.Tick();
-    if (rtl_.time_ns() > kTimeoutNs) {
+    if (rtl_.time_ns() > deadline) {
       return false;
     }
   }
@@ -250,9 +266,12 @@ bool HybridDriver::PumpOnce() {
       Busy(config_.timing.mmio_write_ns);
       SyncRtl();
       regfile_->ArmUp();
-      bool ok = WaitUpMessage();
-      assert(ok && "hardware did not respond");
-      (void)ok;
+      if (!WaitUpMessage()) {
+        // The hardware missed its deadline with the software stack blocked
+        // mid-protocol: surface a terminal failure instead of hanging.
+        pump_dead_ = true;
+        return true;
+      }
       std::vector<int32_t> msg(up_words_);
       for (int i = 0; i < up_words_; ++i) {
         Busy(config_.timing.mmio_read_ns);
@@ -308,15 +327,89 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
   assert(delivered && "stack not ready for a new operation");
   (void)delivered;
   constexpr int kMaxPumps = 1 << 22;
+  const double op_deadline =
+      config_.recovery.enabled ? now_ns() + config_.recovery.op_deadline_ns : 0;
   for (int i = 0; i < kMaxPumps; ++i) {
     if (PumpOnce()) {
+      if (pump_dead_) {
+        pump_dead_ = false;
+        return false;
+      }
       std::optional<std::vector<int32_t>> result = sw_.TakeMessage(top_out_);
       assert(result.has_value());
       *reply = std::move(*result);
       return true;
     }
+    if (config_.recovery.enabled && now_ns() > op_deadline) {
+      return false;
+    }
   }
   return false;
+}
+
+bool HybridDriver::Transact(const std::vector<int32_t>& request,
+                            std::vector<int32_t>* reply) {
+  const RecoveryPolicy& policy = config_.recovery;
+  if (wedged_) {
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
+  double backoff = policy.initial_backoff_ns;
+  const double deadline = now_ns() + policy.op_deadline_ns;
+  for (int attempt = 1;; ++attempt) {
+    ++recovery_counters_.attempts;
+    if (!RunOperation(request, reply)) {
+      // The stack itself stopped responding (stuck bus, dead hardware): the
+      // software layers are blocked mid-protocol, so this is terminal.
+      ++recovery_counters_.timeouts;
+      wedged_ = true;
+      last_status_ = i2c::kCeResFail;
+      if (policy.enabled && policy.bus_recovery) {
+        RecoverBus();
+      }
+      return false;
+    }
+    last_status_ = (*reply)[0];
+    if (last_status_ == i2c::kCeResOk) {
+      return true;
+    }
+    if (last_status_ == i2c::kCeResNack) {
+      ++recovery_counters_.nacks;
+    } else {
+      ++recovery_counters_.failures;
+      if (policy.enabled && policy.bus_recovery) {
+        RecoverBus();
+      }
+    }
+    if (!policy.enabled || attempt >= policy.max_attempts) {
+      return false;
+    }
+    if (now_ns() + backoff > deadline) {
+      ++recovery_counters_.deadline_hits;
+      return false;
+    }
+    ++recovery_counters_.retries;
+    recovery_counters_.backoff_ns += backoff;
+    Idle(backoff);
+    backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_ns);
+  }
+}
+
+void HybridDriver::RecoverBus() {
+  ++recovery_counters_.bus_recoveries;
+  const double half_ns = config_.timing.half_cycle_ticks * config_.timing.clock_ns;
+  // Nine clock pulses: a responder left mid-read releases SDA within nine
+  // clocks; the manufactured STOP then returns every device FSM to idle.
+  for (int i = 0; i < 9; ++i) {
+    bus_.SetDriver(recovery_driver_id_, /*scl=*/false, /*sda=*/true);
+    Idle(half_ns);
+    bus_.SetDriver(recovery_driver_id_, /*scl=*/true, /*sda=*/true);
+    Idle(half_ns);
+  }
+  bus_.SetDriver(recovery_driver_id_, /*scl=*/true, /*sda=*/false);
+  Idle(half_ns);
+  bus_.SetDriver(recovery_driver_id_, /*scl=*/true, /*sda=*/true);
+  Idle(half_ns);
 }
 
 bool HybridDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
@@ -330,16 +423,16 @@ bool HybridDriver::Write(int offset, const std::vector<uint8_t>& data) {
 bool HybridDriver::ReadFrom(int bus_address, int offset, int length,
                             std::vector<uint8_t>* out) {
   assert(length >= 1 && length <= 14);
-  std::vector<int32_t> request(19, 0);
+  std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActRead;
   request[1] = bus_address;
   request[2] = offset;
   request[3] = length;
   std::vector<int32_t> reply;
-  if (!RunOperation(request, &reply)) {
+  if (!Transact(request, &reply)) {
     return false;
   }
-  if (reply[0] != i2c::kCeResOk || reply[1] != length) {
+  if (reply[1] != length) {
     return false;
   }
   if (out != nullptr) {
@@ -353,7 +446,7 @@ bool HybridDriver::ReadFrom(int bus_address, int offset, int length,
 
 bool HybridDriver::WriteTo(int bus_address, int offset, const std::vector<uint8_t>& data) {
   assert(!data.empty() && data.size() <= 14);
-  std::vector<int32_t> request(19, 0);
+  std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActWrite;
   request[1] = bus_address;
   request[2] = offset;
@@ -362,10 +455,7 @@ bool HybridDriver::WriteTo(int bus_address, int offset, const std::vector<uint8_
     request[4 + i] = data[i];
   }
   std::vector<int32_t> reply;
-  if (!RunOperation(request, &reply)) {
-    return false;
-  }
-  return reply[0] == i2c::kCeResOk;
+  return Transact(request, &reply);
 }
 
 DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
@@ -392,6 +482,8 @@ DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
   metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
   metrics.irq_count = irq_count_ - start_irqs;
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  metrics.recovery = recovery_counters_;
+  metrics.faults_injected = fault_plan_.faults_injected();
   if (config_.split == SplitPoint::kElectrical && config_.interrupt_driven) {
     // Platform constraint reproduced from the paper (section 5.2): the
     // interrupt-driven Electrical driver does not function correctly due to

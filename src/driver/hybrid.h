@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/recovery.h"
 #include "src/driver/timing.h"
 #include "src/ir/compile.h"
 #include "src/rtl/regfile.h"
@@ -21,6 +22,7 @@
 #include "src/rtl/system.h"
 #include "src/sim/bus_adapter.h"
 #include "src/sim/eeprom.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/i2c_bus.h"
 #include "src/sim/waveform.h"
 #include "src/vm/system.h"
@@ -49,6 +51,11 @@ struct HybridConfig {
   // interoperability scenario the paper motivates.
   std::vector<sim::EepromConfig> extra_eeproms;
   bool capture_waveform = false;
+  // Deterministic fault injection on the simulated bus and the primary
+  // EEPROM (extra EEPROMs stay ideal). Default-constructed = inactive.
+  sim::FaultPlan fault_plan;
+  // Retry/timeout/backoff policy; disabled by default.
+  RecoveryPolicy recovery;
   // Ablations (see bench/bench_ablation.cc and DESIGN.md).
   bool ablate_no_auto_reset = false;
   bool ablate_fixed_hold_adapter = false;
@@ -61,6 +68,9 @@ struct DriverMetrics {
   double cpu_usage = 0;  // busy fraction of one core (0..1)
   double elapsed_ns = 0;
   uint64_t irq_count = 0;
+  // Recovery cost of the whole driver lifetime so far.
+  RecoveryCounters recovery;
+  uint64_t faults_injected = 0;
 };
 
 class HybridDriver {
@@ -89,6 +99,15 @@ class HybridDriver {
   double now_ns() const;
   double cpu_busy_ns() const { return cpu_busy_ns_; }
   uint64_t irq_count() const { return irq_count_; }
+  // The live fault plan (the driver's own copy of config.fault_plan; its
+  // trace grows as faults fire).
+  sim::FaultPlan& fault_plan() { return fault_plan_; }
+  const RecoveryCounters& recovery_counters() const { return recovery_counters_; }
+  // CE_RES_* code of the last completed operation attempt.
+  int32_t last_status() const { return last_status_; }
+  // True once the stack missed a hardware deadline mid-protocol; every
+  // further operation fails fast instead of hanging.
+  bool wedged() const { return wedged_; }
 
   // The modules placed in hardware for this split (resource estimation).
   std::vector<const ir::Module*> HardwareModules() const;
@@ -102,14 +121,23 @@ class HybridDriver {
   void SyncRtl();
   // Adds busy CPU time (also advances the software clock).
   void Busy(double ns);
+  // Advances wall time without CPU work (sleeping between retries); the
+  // hardware — including a device write cycle — keeps running.
+  void Idle(double ns);
   // One step of the host event loop; returns true when the top-level result
-  // message became available (stored in result_).
+  // message became available (stored in result_) or the hardware missed its
+  // deadline (pump_dead_).
   bool PumpOnce();
   // Waits until the register file has an up-message (polling or IRQ).
   bool WaitUpMessage();
   // Runs a full operation: sends `request` into the top of the stack and
   // returns the stack's reply.
   bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  // RunOperation wrapped in the configured retry/backoff/deadline policy.
+  bool Transact(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  // The 9-clock-pulse + STOP bus-recovery sequence, driven over the
+  // driver-owned bus driver (i2c_recover_bus style).
+  void RecoverBus();
 
   HybridConfig config_;
   std::unique_ptr<ir::Compilation> compilation_;
@@ -137,6 +165,14 @@ class HybridDriver {
   uint64_t irq_count_ = 0;
   int down_words_ = 0;
   int up_words_ = 0;
+
+  // Fault injection and recovery.
+  sim::FaultPlan fault_plan_;
+  RecoveryCounters recovery_counters_;
+  int recovery_driver_id_ = -1;
+  int32_t last_status_ = 0;
+  bool wedged_ = false;
+  bool pump_dead_ = false;
 };
 
 }  // namespace efeu::driver

@@ -1,0 +1,48 @@
+// Retry/timeout/backoff policy for the generated drivers, modeled on what a
+// production Linux I2C client does around a flaky bus: bounded exponential
+// backoff between attempts, a per-transaction deadline, a hardware-response
+// timeout, and the standard 9-clock-pulse bus-recovery sequence (a responder
+// left mid-read holding SDA releases it after at most nine clocks, after
+// which a manufactured STOP returns every device FSM to idle).
+
+#ifndef SRC_DRIVER_RECOVERY_H_
+#define SRC_DRIVER_RECOVERY_H_
+
+#include <cstdint>
+
+namespace efeu::driver {
+
+struct RecoveryPolicy {
+  // Disabled (default) preserves the pre-recovery behavior exactly: one
+  // attempt per operation, failures surfaced to the caller.
+  bool enabled = false;
+  // Attempts per operation (first try included).
+  int max_attempts = 8;
+  // Exponential backoff between attempts, spent idle (the CPU sleeps; the
+  // device's write cycle keeps running).
+  double initial_backoff_ns = 50e3;
+  double max_backoff_ns = 3.2e6;
+  double backoff_multiplier = 2.0;
+  // Per-operation deadline across all attempts and backoffs.
+  double op_deadline_ns = 4e7;
+  // Issue the 9-pulse + STOP sequence after a non-NACK failure or timeout.
+  bool bus_recovery = true;
+  // How long a single wait for the hardware (MMIO up-message or IRQ) may
+  // take before the driver declares the stack wedged instead of hanging.
+  double wait_timeout_ns = 5e7;
+};
+
+struct RecoveryCounters {
+  uint64_t attempts = 0;        // operations issued into the stack, retries included
+  uint64_t retries = 0;         // re-issues after a recoverable failure
+  uint64_t nacks = 0;           // attempts that ended in CE_RES_NACK
+  uint64_t failures = 0;        // attempts that ended in CE_RES_FAIL
+  uint64_t timeouts = 0;        // stack/hardware waits that hit the deadline
+  uint64_t bus_recoveries = 0;  // 9-pulse sequences issued
+  uint64_t deadline_hits = 0;   // operations abandoned at the deadline
+  double backoff_ns = 0;        // idle time spent backing off
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_RECOVERY_H_

@@ -1,6 +1,7 @@
 #include "src/driver/resources.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "src/ir/segment.h"
 
@@ -118,5 +119,32 @@ ResourceEstimate EstimateAxiLiteDriver(int down_words, int up_words) {
 ResourceEstimate EstimateBusAdapter() { return ResourceEstimate{62, 48}; }
 
 ResourceEstimate EstimateXilinxIp() { return ResourceEstimate{386, 375}; }
+
+ResourceEstimate EstimateRecoveryWatchdog(int up_words) {
+  ResourceEstimate estimate;
+  // 24-bit deadline counter + compare, the 9-pulse sequencer FSM (a 4-bit
+  // pulse counter, two half-cycle timers sharing the adapter's divider), and
+  // a stale-flag per up-message word so software can tell a late reply from
+  // a fresh one.
+  estimate.luts = 48 + 2 * up_words;
+  estimate.ffs = 38 + up_words;
+  return estimate;
+}
+
+std::string FormatRecoveryCounters(const RecoveryCounters& counters) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "attempts=%llu retries=%llu nacks=%llu failures=%llu timeouts=%llu "
+                "bus_recoveries=%llu deadline_hits=%llu backoff_us=%.1f",
+                static_cast<unsigned long long>(counters.attempts),
+                static_cast<unsigned long long>(counters.retries),
+                static_cast<unsigned long long>(counters.nacks),
+                static_cast<unsigned long long>(counters.failures),
+                static_cast<unsigned long long>(counters.timeouts),
+                static_cast<unsigned long long>(counters.bus_recoveries),
+                static_cast<unsigned long long>(counters.deadline_hits),
+                counters.backoff_ns / 1e3);
+  return std::string(buf);
+}
 
 }  // namespace efeu::driver

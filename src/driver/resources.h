@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/recovery.h"
 #include "src/ir/ir.h"
 
 namespace efeu::driver {
@@ -39,6 +40,15 @@ ResourceEstimate EstimateBusAdapter();
 // The Xilinx AXI IIC IP baseline (0.33% LUTs / 0.16% FFs of the XCZU devices
 // per the paper).
 ResourceEstimate EstimateXilinxIp();
+
+// The hardware-side recovery watchdog a robust split needs: a deadline
+// counter on the up-message path plus the 9-pulse bus-recovery sequencer
+// (roughly the i2c_recover_bus portion of a Linux adapter, in logic).
+ResourceEstimate EstimateRecoveryWatchdog(int up_words);
+
+// One-line human-readable rendering of the recovery counters for benchmark
+// tables and demos.
+std::string FormatRecoveryCounters(const RecoveryCounters& counters);
 
 // Total programmable-logic resources of the evaluation MPSoC (ZU9EG class).
 inline constexpr int kFpgaTotalLuts = 117120;

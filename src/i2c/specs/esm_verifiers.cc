@@ -445,14 +445,24 @@ void CWorld() {
         i = i + 1;
       }
       r = CWorldTalkCEepDriver(CE_ACT_WRITE, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+#ifdef EEP_FAULTS
+      // Under fault injection a transaction may end in NACK and a write may
+      // land partially, so the memory model cannot be tracked; the oracle
+      // degrades to "every operation terminates with a sane status".
+      assert(r.res == CE_RES_OK || r.res == CE_RES_NACK);
+#else
       assert(r.res == CE_RES_OK);
       i = 0;
       while (i < plen) {
         model[base + ((EEP_FIXED_OFFSET + i) % EEP_MEM_SIZE)] = data[i];
         i = i + 1;
       }
+#endif
     } else {
       r = CWorldTalkCEepDriver(CE_ACT_READ, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+#ifdef EEP_FAULTS
+      assert(r.res == CE_RES_OK || r.res == CE_RES_NACK);
+#else
       assert(r.res == CE_RES_OK);
       assert(r.length == plen);
       i = 0;
@@ -460,6 +470,7 @@ void CWorld() {
         assert(r.data[i] == model[base + ((EEP_FIXED_OFFSET + i) % EEP_MEM_SIZE)]);
         i = i + 1;
       }
+#endif
     }
     steps = steps + 1;
   }

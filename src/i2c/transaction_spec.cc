@@ -18,23 +18,29 @@ constexpr int kRData = 22;  // 16 words
 constexpr int kEventIndex = 38;
 constexpr int kActive = 39;  // 0 = none, otherwise device index + 1
 constexpr int kTarget = 40;  // device index + 1 for the latched command
-constexpr int kStateWords = 41;
+constexpr int kFaultsLeft = 41;  // remaining fault budget for this execution
+constexpr int kStateWords = 42;
 
 // Phases.
 constexpr int32_t kPhaseRecvCmd = 0;
 constexpr int32_t kPhaseSendEvent = 1;
 constexpr int32_t kPhaseRecvAck = 2;
 constexpr int32_t kPhaseReply = 3;
+// Nondet branch point before an acknowledged event: choice 0 delivers the
+// event, choice 1 spends a fault and the event NACKs instead.
+constexpr int32_t kPhaseChooseFault = 4;
 
 }  // namespace
 
 TransactionSpecProcess::TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
                                                const esi::ChannelInfo* reply_channel,
-                                               std::vector<TransactionSpecDevice> devices)
+                                               std::vector<TransactionSpecDevice> devices,
+                                               int max_faults)
     : NativeProcess("TransactionSpec"),
       cmd_channel_(cmd_channel),
       reply_channel_(reply_channel),
-      devices_(std::move(devices)) {
+      devices_(std::move(devices)),
+      max_faults_(max_faults) {
   recv_cmd_ = AddPort(cmd_channel, /*is_send=*/false);
   send_reply_ = AddPort(reply_channel, /*is_send=*/true);
   for (const TransactionSpecDevice& device : devices_) {
@@ -47,6 +53,7 @@ TransactionSpecProcess::TransactionSpecProcess(const esi::ChannelInfo* cmd_chann
 
 void TransactionSpecProcess::InitState(std::vector<int32_t>& state) {
   std::fill(state.begin(), state.end(), 0);
+  state[kFaultsLeft] = max_faults_;
 }
 
 int TransactionSpecProcess::TargetDevice(const std::vector<int32_t>& state) const {
@@ -105,6 +112,10 @@ check::NativeProcess::PendingOp TransactionSpecProcess::ComputePending(
       op.port = recv_ack_[dev];
       return op;
     }
+    case kPhaseChooseFault:
+      op.kind = vm::RunState::kBlockedNondet;
+      op.arity = 2;
+      return op;
     default: {
       op.kind = vm::RunState::kBlockedSend;
       op.port = send_reply_;
@@ -151,7 +162,7 @@ void TransactionSpecProcess::OnRecv(int port, std::span<const int32_t> message,
         return;
       }
       state[kActive] = state[kTarget];
-      state[kPhase] = kPhaseSendEvent;
+      state[kPhase] = state[kFaultsLeft] > 0 ? kPhaseChooseFault : kPhaseSendEvent;
       return;
     }
     if (state[kAction] == kCtActStop && state[kActive] > 0) {
@@ -183,8 +194,29 @@ void TransactionSpecProcess::OnRecv(int port, std::span<const int32_t> message,
     }
     state[kPhase] = kPhaseReply;
   } else {
-    state[kPhase] = kPhaseSendEvent;
+    state[kPhase] = state[kFaultsLeft] > 0 ? kPhaseChooseFault : kPhaseSendEvent;
   }
+}
+
+void TransactionSpecProcess::OnChoice(int32_t choice, std::vector<int32_t>& state) {
+  assert(state[kPhase] == kPhaseChooseFault);
+  if (choice == 0) {
+    state[kPhase] = kPhaseSendEvent;
+    return;
+  }
+  // Spend a fault: event kEventIndex never reaches the device and the
+  // controller observes NACK. kRLen reflects the payload bytes that did
+  // complete (the address byte is event 0).
+  state[kFaultsLeft] -= 1;
+  int32_t i = state[kEventIndex];
+  state[kRes] = kCtResNack;
+  state[kRLen] = i > 0 ? i - 1 : 0;
+  if (i == 0) {
+    // Address byte faulted: the device never joined the session, so a
+    // following STOP has nothing to deliver.
+    state[kActive] = 0;
+  }
+  state[kPhase] = kPhaseReply;
 }
 
 void TransactionSpecProcess::OnSendComplete(int port, std::vector<int32_t>& state) {

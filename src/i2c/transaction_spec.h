@@ -29,14 +29,21 @@ struct TransactionSpecDevice {
 class TransactionSpecProcess : public check::NativeProcess {
  public:
   // `cmd_channel` is CEepDriver -> CTransaction, `reply_channel` the reverse.
+  // With `max_faults` > 0 the spec exposes a nondeterministic choice before
+  // every acknowledged bus event (address or data/read byte, not STOP): the
+  // checker explores both the fault-free branch and a branch where that event
+  // fails with NACK, up to `max_faults` faults per execution. This models the
+  // transaction-level effect of every electrical single fault (address NACK,
+  // data NACK, ACK glitch) the simulator can inject.
   TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
                          const esi::ChannelInfo* reply_channel,
-                         std::vector<TransactionSpecDevice> devices);
+                         std::vector<TransactionSpecDevice> devices, int max_faults = 0);
 
   bool AtValidEndState() const override;
 
   std::unique_ptr<check::Process> Clone() const override {
-    return std::make_unique<TransactionSpecProcess>(cmd_channel_, reply_channel_, devices_);
+    return std::make_unique<TransactionSpecProcess>(cmd_channel_, reply_channel_, devices_,
+                                                    max_faults_);
   }
 
  protected:
@@ -45,6 +52,7 @@ class TransactionSpecProcess : public check::NativeProcess {
   void OnRecv(int port, std::span<const int32_t> message,
               std::vector<int32_t>& state) override;
   void OnSendComplete(int port, std::vector<int32_t>& state) override;
+  void OnChoice(int32_t choice, std::vector<int32_t>& state) override;
 
  private:
   // The number of REep events the latched command produces.
@@ -57,6 +65,7 @@ class TransactionSpecProcess : public check::NativeProcess {
   const esi::ChannelInfo* cmd_channel_ = nullptr;
   const esi::ChannelInfo* reply_channel_ = nullptr;
   std::vector<TransactionSpecDevice> devices_;
+  int max_faults_ = 0;
   int recv_cmd_ = -1;
   int send_reply_ = -1;
   std::vector<int> send_ev_;

@@ -89,6 +89,9 @@ std::map<std::string, std::string> CommonDefines(const VerifyConfig& config) {
   if (config.ks0127_responder) {
     defines["KS0127_VERIF"] = "1";
   }
+  if (config.fault_events > 0) {
+    defines["EEP_FAULTS"] = "1";
+  }
   return defines;
 }
 
@@ -294,7 +297,7 @@ std::unique_ptr<VerifierSystem> BuildEepVerifier(const VerifyConfig& config,
     }
     int spec = sys.AddProcess(std::make_unique<TransactionSpecProcess>(
         info.FindChannel("CEepDriver", "CTransaction"),
-        info.FindChannel("CTransaction", "CEepDriver"), devices));
+        info.FindChannel("CTransaction", "CEepDriver"), devices, config.fault_events));
     WireAdjacent(sys, info, ced, "CEepDriver", spec, "CTransaction");
     for (int k = 0; k < config.num_eeproms; ++k) {
       sys.ConnectByChannel(spec, eeps[k], info.FindChannel("RTransaction", "REep"));
@@ -424,6 +427,10 @@ std::unique_ptr<VerifierSystem> BuildEepVerifier(const VerifyConfig& config,
 
 std::unique_ptr<VerifierSystem> BuildVerifier(const VerifyConfig& config,
                                               DiagnosticEngine& diag) {
+  assert((config.fault_events == 0 ||
+          (config.level == VerifyLevel::kEepDriver &&
+           config.abstraction == VerifyAbstraction::kTransaction)) &&
+         "fault_events needs the EepDriver verifier with the Transaction abstraction");
   switch (config.level) {
     case VerifyLevel::kSymbol:
       assert(config.abstraction == VerifyAbstraction::kNone);

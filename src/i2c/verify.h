@@ -54,6 +54,12 @@ struct VerifyConfig {
   // for the Byte verifier).
   bool ks0127_responder = false;
   int mem_size = 32;
+  // Fault budget per execution: the checker additionally explores every
+  // schedule in which up to this many acknowledged bus events fail with NACK
+  // (the transaction-level shadow of the simulator's electrical faults).
+  // Only supported by the EepDriver verifier with the Transaction
+  // abstraction; implies the EEP_FAULTS relaxation of the CWorld oracle.
+  int fault_events = 0;
 };
 
 // Owns everything a verification run needs: compilations (whose channel and

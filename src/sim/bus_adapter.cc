@@ -51,8 +51,19 @@ void BusAdapter::Evaluate() {
         next_hold_left_ = hold_left_ - 1;
       } else {
         // Sample the combined bus at the end of the half cycle.
-        next_sample_scl_ = bus_->scl();
-        next_sample_sda_ = bus_->sda();
+        if (fault_plan_ != nullptr) {
+          fault_plan_->StepLineFaults(bus_);
+        }
+        bool sampled_scl = bus_->scl();
+        bool sampled_sda = bus_->sda();
+        // An ACK-window glitch can only flip a low bit the adapter is
+        // listening to (its own SDA released, somebody else pulling low).
+        if (!sampled_sda && drive_sda_ && fault_plan_ != nullptr &&
+            fault_plan_->ConsultAckGlitch()) {
+          sampled_sda = true;
+        }
+        next_sample_scl_ = sampled_scl;
+        next_sample_sda_ = sampled_sda;
         prev_sample_tick_ = tick_;
         next_phase_ = Phase::kSendSample;
       }

@@ -10,6 +10,7 @@
 #define SRC_SIM_BUS_ADAPTER_H_
 
 #include "src/rtl/component.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/i2c_bus.h"
 
 namespace efeu::sim {
@@ -33,6 +34,10 @@ class BusAdapter : public rtl::RtlComponent {
   // Sampled levels back up (this component sends).
   void BindUp(rtl::HsWire* wire) { up_wire_ = wire; }
 
+  // Electrical fault injection (stuck lines, ACK-window glitches), consulted
+  // at every bus sample. Non-owning; nullptr = ideal bus.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
+
   void Evaluate() override;
   void Commit() override;
 
@@ -45,6 +50,7 @@ class BusAdapter : public rtl::RtlComponent {
   bool deadline_pacing_;
   rtl::HsWire* down_wire_ = nullptr;
   rtl::HsWire* up_wire_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
 
   Phase phase_ = Phase::kWaitLevels;
   int hold_left_ = 0;

@@ -8,6 +8,9 @@ Eeprom24aa512::Eeprom24aa512(I2cBus* bus, const EepromConfig& config)
 }
 
 void Eeprom24aa512::OnStart() {
+  // A (repeated) START aborts an uncommitted write: the datasheet commits
+  // page data only on a STOP, anything else discards the buffer.
+  pending_write_.clear();
   mode_ = Mode::kReceiveByte;
   addressed_phase_ = true;
   bit_count_ = 0;
@@ -17,12 +20,17 @@ void Eeprom24aa512::OnStart() {
 }
 
 void Eeprom24aa512::OnStop() {
-  if (writing_ && wrote_data_) {
-    // Internal write cycle: the device stops acknowledging until done.
+  if (writing_ && !pending_write_.empty()) {
+    // The STOP latches the page buffer and starts the internal write cycle,
+    // during which the device stops acknowledging.
+    for (const auto& [address, value] : pending_write_) {
+      memory_[static_cast<size_t>(address)] = value;
+      ++bytes_written_;
+    }
     busy_ticks_left_ = static_cast<int64_t>(config_.write_cycle_ns / config_.clock_ns);
   }
+  pending_write_.clear();
   writing_ = false;
-  wrote_data_ = false;
   mode_ = Mode::kIdle;
   next_drive_sda_ = true;
 }
@@ -50,6 +58,26 @@ void Eeprom24aa512::HandleReceivedByte() {
       next_drive_sda_ = true;
       return;
     }
+    if (forced_busy_addrs_ > 0) {
+      // Injected busy burst: behave exactly like the write-cycle window.
+      --forced_busy_addrs_;
+      mode_ = Mode::kIgnore;
+      next_drive_sda_ = true;
+      return;
+    }
+    if (fault_plan_ != nullptr) {
+      if (fault_plan_->Consult(FaultKind::kNackOnAddress) > 0) {
+        mode_ = Mode::kIgnore;
+        next_drive_sda_ = true;
+        return;
+      }
+      if (int duration = fault_plan_->Consult(FaultKind::kDeviceBusy)) {
+        forced_busy_addrs_ = duration - 1;
+        mode_ = Mode::kIgnore;
+        next_drive_sda_ = true;
+        return;
+      }
+    }
     writing_ = !read;
     if (writing_) {
       offset_bytes_seen_ = 0;
@@ -59,6 +87,13 @@ void Eeprom24aa512::HandleReceivedByte() {
     return;
   }
   // Data byte of a write transfer.
+  if (fault_plan_ != nullptr && fault_plan_->Consult(FaultKind::kNackOnData) > 0) {
+    // The refused byte is not latched; the controller sees a NACK and will
+    // abort the transfer.
+    mode_ = Mode::kIgnore;
+    next_drive_sda_ = true;
+    return;
+  }
   if (offset_bytes_seen_ == 0) {
     pointer_ = (shift_ & 0xFF) << 8;
     offset_bytes_seen_ = 1;
@@ -66,10 +101,8 @@ void Eeprom24aa512::HandleReceivedByte() {
     pointer_ = (pointer_ | (shift_ & 0xFF)) % config_.memory_bytes;
     offset_bytes_seen_ = 2;
   } else {
-    memory_[static_cast<size_t>(pointer_)] = static_cast<uint8_t>(shift_);
+    pending_write_.emplace_back(pointer_, static_cast<uint8_t>(shift_));
     AdvancePointerAfterWrite();
-    wrote_data_ = true;
-    ++bytes_written_;
   }
   next_drive_sda_ = false;  // ACK
   mode_ = Mode::kAckDrive;

@@ -8,9 +8,11 @@
 #define SRC_SIM_EEPROM_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/rtl/component.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/i2c_bus.h"
 
 namespace efeu::sim {
@@ -29,6 +31,10 @@ class Eeprom24aa512 : public rtl::RtlComponent {
 
   void Evaluate() override;
   void Commit() override;
+
+  // Device-side fault injection (NACK-on-address, NACK-on-data, busy
+  // bursts). Non-owning; nullptr = ideal device.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
 
   // Direct memory access for tests and result checking.
   uint8_t MemoryAt(int offset) const { return memory_[offset % memory_.size()]; }
@@ -80,9 +86,15 @@ class Eeprom24aa512 : public rtl::RtlComponent {
   // Offset pointer handling (two offset bytes, then data).
   int offset_bytes_seen_ = 2;
   int pointer_ = 0;
-  bool wrote_data_ = false;
+  // Received write data is buffered and only committed by the STOP that
+  // starts the internal write cycle, as on the real part; a transfer aborted
+  // by a START (or a STOP the device never saw) is discarded.
+  std::vector<std::pair<int, uint8_t>> pending_write_;
 
   int64_t busy_ticks_left_ = 0;
+  // Injected device-busy burst: address bytes left to NACK.
+  int forced_busy_addrs_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;

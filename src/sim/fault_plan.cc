@@ -1,0 +1,147 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+
+namespace efeu::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNackOnAddress:
+      return "nack-on-address";
+    case FaultKind::kNackOnData:
+      return "nack-on-data";
+    case FaultKind::kAckGlitch:
+      return "ack-glitch";
+    case FaultKind::kSdaStuckLow:
+      return "sda-stuck-low";
+    case FaultKind::kSclStuckLow:
+      return "scl-stuck-low";
+    case FaultKind::kDeviceBusy:
+      return "device-busy";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.mode_ = Mode::kScripted;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, double rate, int64_t max_faults) {
+  FaultPlan plan;
+  plan.mode_ = Mode::kRandom;
+  plan.seed_ = seed != 0 ? seed : 0x9E3779B97F4A7C15ull;
+  plan.rng_ = plan.seed_;
+  plan.rate_ = std::clamp(rate, 0.0, 1.0);
+  plan.max_faults_ = max_faults;
+  return plan;
+}
+
+uint64_t FaultPlan::NextRandom() {
+  // xorshift64: small, fast and fully reproducible across platforms.
+  uint64_t x = rng_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_ = x;
+  return x;
+}
+
+int FaultPlan::RandomDuration(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSdaStuckLow:
+    case FaultKind::kSclStuckLow:
+      // A short burst of bus samples; bounded so the stack's stretch-wait
+      // loops always see the line release again.
+      return 1 + static_cast<int>(NextRandom() % 4);
+    case FaultKind::kDeviceBusy:
+      return 1 + static_cast<int>(NextRandom() % 2);
+    default:
+      return 1;
+  }
+}
+
+int FaultPlan::Consult(FaultKind kind) {
+  if (mode_ == Mode::kInactive) {
+    return 0;
+  }
+  uint64_t opportunity = opportunities_[static_cast<int>(kind)]++;
+  int duration = 0;
+  if (mode_ == Mode::kScripted) {
+    for (const FaultEvent& event : events_) {
+      if (event.kind == kind && event.at == opportunity) {
+        duration = std::max(event.duration, 1);
+        break;
+      }
+    }
+  } else {
+    bool budget_left =
+        max_faults_ < 0 || static_cast<int64_t>(trace_.size()) < max_faults_;
+    // One draw per opportunity keeps the stream position deterministic.
+    bool fire = (static_cast<double>(NextRandom() >> 11) * 0x1.0p-53) < rate_;
+    if (budget_left && fire) {
+      duration = RandomDuration(kind);
+    }
+  }
+  if (duration > 0) {
+    trace_.push_back(FaultRecord{kind, opportunity, duration});
+  }
+  return duration;
+}
+
+void FaultPlan::StepLineFaults(I2cBus* bus) {
+  if (mode_ == Mode::kInactive) {
+    return;
+  }
+  if (scl_forced_left_ > 0 && --scl_forced_left_ == 0) {
+    bus->ForceSclLow(false);
+  }
+  if (sda_forced_left_ > 0 && --sda_forced_left_ == 0) {
+    bus->ForceSdaLow(false);
+  }
+  if (scl_forced_left_ == 0) {
+    if (int duration = Consult(FaultKind::kSclStuckLow)) {
+      scl_forced_left_ = duration;
+      bus->ForceSclLow(true);
+    }
+  }
+  if (sda_forced_left_ == 0) {
+    if (int duration = Consult(FaultKind::kSdaStuckLow)) {
+      sda_forced_left_ = duration;
+      bus->ForceSdaLow(true);
+    }
+  }
+}
+
+int FaultPlan::DistinctKindsInjected() const {
+  bool seen[kNumFaultKinds] = {};
+  int distinct = 0;
+  for (const FaultRecord& record : trace_) {
+    if (!seen[static_cast<int>(record.kind)]) {
+      seen[static_cast<int>(record.kind)] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+FaultPlan FaultPlan::Replayed() const {
+  std::vector<FaultEvent> events;
+  events.reserve(trace_.size());
+  for (const FaultRecord& record : trace_) {
+    events.push_back(FaultEvent{record.kind, record.opportunity, record.duration});
+  }
+  return Scripted(std::move(events));
+}
+
+void FaultPlan::Reset() {
+  rng_ = seed_;
+  std::fill(std::begin(opportunities_), std::end(opportunities_), 0);
+  trace_.clear();
+  scl_forced_left_ = 0;
+  sda_forced_left_ = 0;
+}
+
+}  // namespace efeu::sim

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the simulated I2C world. A FaultPlan is
+// consulted by the bus devices at well-defined protocol opportunities (one
+// counter per fault kind), so a schedule is reproducible independent of
+// wall-clock time: either scripted ("fire at the k-th opportunity of this
+// kind") or drawn from a seeded xorshift64 stream. Every injected fault is
+// appended to a trace that can be turned back into a scripted plan
+// (Replayed), making any random run replayable bit-for-bit.
+
+#ifndef SRC_SIM_FAULT_PLAN_H_
+#define SRC_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/i2c_bus.h"
+
+namespace efeu::sim {
+
+enum class FaultKind {
+  kNackOnAddress,  // device stays silent for one address byte
+  kNackOnData,     // device refuses one received data byte
+  kAckGlitch,      // a low SDA sample in an ACK window reads high
+  kSdaStuckLow,    // SDA held low for `duration` bus samples
+  kSclStuckLow,    // SCL held low for `duration` bus samples (stretch burst)
+  kDeviceBusy,     // device NACKs `duration` consecutive address bytes
+};
+
+inline constexpr int kNumFaultKinds = 6;
+
+const char* FaultKindName(FaultKind kind);
+
+// One scripted fault: fire at the `at`-th opportunity (0-based, per kind).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNackOnAddress;
+  uint64_t at = 0;
+  int duration = 1;
+};
+
+// One injected fault, as recorded in the trace. `opportunity` is the per-kind
+// opportunity counter at which it fired, so a trace replays exactly against
+// the same stimulus without any notion of time.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kNackOnAddress;
+  uint64_t opportunity = 0;
+  int duration = 1;
+};
+
+class FaultPlan {
+ public:
+  // Inactive plan: every Consult says "no fault". This is the default
+  // everywhere, so an unconfigured simulation is byte-identical to one built
+  // before fault injection existed.
+  FaultPlan() = default;
+
+  static FaultPlan Scripted(std::vector<FaultEvent> events);
+  // Every opportunity independently fires with probability `rate`, with the
+  // kind-appropriate duration drawn from the same stream. `max_faults` bounds
+  // the total number of injected faults (< 0 = unbounded).
+  static FaultPlan Random(uint64_t seed, double rate, int64_t max_faults = -1);
+
+  bool active() const { return mode_ != Mode::kInactive; }
+
+  // Consulted by a device at one opportunity for `kind`; returns the fault
+  // duration (0 = behave normally) and advances the per-kind counter.
+  int Consult(FaultKind kind);
+
+  // Line-stuck bookkeeping shared by the bus samplers: call once per bus
+  // sample. Decrements active forced-low windows and consults
+  // kSclStuckLow/kSdaStuckLow for new ones, applying the open-drain overlay
+  // on `bus` (a forced line reads low for every device).
+  void StepLineFaults(I2cBus* bus);
+
+  // Consulted when a sampler that released SDA reads it low (an ACK window
+  // or a responder-driven data bit); true = report the sample as high.
+  bool ConsultAckGlitch() { return Consult(FaultKind::kAckGlitch) > 0; }
+
+  // The replayable trace of everything injected so far.
+  const std::vector<FaultRecord>& trace() const { return trace_; }
+  uint64_t faults_injected() const { return trace_.size(); }
+  int DistinctKindsInjected() const;
+
+  // A scripted plan that reproduces this plan's trace against the same
+  // stimulus.
+  FaultPlan Replayed() const;
+
+  // Clears counters, trace and stuck-line state; reseeds the RNG. The plan
+  // then behaves exactly as freshly constructed.
+  void Reset();
+
+ private:
+  enum class Mode { kInactive, kScripted, kRandom };
+
+  uint64_t NextRandom();
+  int RandomDuration(FaultKind kind);
+
+  Mode mode_ = Mode::kInactive;
+  std::vector<FaultEvent> events_;
+  uint64_t seed_ = 0;
+  uint64_t rng_ = 0;
+  double rate_ = 0;
+  int64_t max_faults_ = -1;
+
+  uint64_t opportunities_[kNumFaultKinds] = {};
+  std::vector<FaultRecord> trace_;
+
+  // Active forced-low windows, in bus samples.
+  int scl_forced_left_ = 0;
+  int sda_forced_left_ = 0;
+};
+
+}  // namespace efeu::sim
+
+#endif  // SRC_SIM_FAULT_PLAN_H_

@@ -13,6 +13,9 @@ void I2cBus::SetDriver(int id, bool scl, bool sda) {
 }
 
 bool I2cBus::scl() const {
+  if (scl_forced_low_) {
+    return false;
+  }
   for (const Drive& drive : drivers_) {
     if (!drive.scl) {
       return false;
@@ -22,6 +25,9 @@ bool I2cBus::scl() const {
 }
 
 bool I2cBus::sda() const {
+  if (sda_forced_low_) {
+    return false;
+  }
   for (const Drive& drive : drivers_) {
     if (!drive.sda) {
       return false;

@@ -21,6 +21,14 @@ class I2cBus {
   bool scl() const;
   bool sda() const;
 
+  // Fault-injection overlay: an externally forced-low line reads low for
+  // every device, like a short to ground (the stuck-bus faults of
+  // sim::FaultPlan). Normal drivers are unaffected otherwise.
+  void ForceSclLow(bool forced) { scl_forced_low_ = forced; }
+  void ForceSdaLow(bool forced) { sda_forced_low_ = forced; }
+  bool scl_forced_low() const { return scl_forced_low_; }
+  bool sda_forced_low() const { return sda_forced_low_; }
+
   // -- Waveform capture ------------------------------------------------------
   struct Sample {
     double t_ns = 0;
@@ -41,6 +49,8 @@ class I2cBus {
     bool sda = true;
   };
   std::vector<Drive> drivers_;
+  bool scl_forced_low_ = false;
+  bool sda_forced_low_ = false;
   bool capture_ = false;
   std::vector<Sample> samples_;
 };

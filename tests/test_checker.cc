@@ -387,6 +387,41 @@ void Up() {
   EXPECT_TRUE(result.ok) << (result.violation.has_value() ? result.violation->message : "");
 }
 
+// Order-swapped companion to CrossEdgeLivelockDetected: here the progress
+// detour is the second nondet branch, so DFS visits the cycle states on the
+// credit-0 path first and the re-admission logic is exercised in the other
+// direction. Detection must not depend on which branch happens to be
+// explored first.
+TEST(Checker, CrossEdgeLivelockDetectedRegardlessOfBranchOrder) {
+  auto comp = Compile(R"esm(
+void Up() {
+  int b;
+  hub:
+  b = nondet(2);
+  if (b == 1) {
+    progress_detour:
+    b = 0;
+  }
+  b = 0;
+  yy:
+  b = nondet(2);
+  b = 0;
+  cc:
+  b = nondet(2);
+  b = 0;
+  goto hub;
+}
+)esm");
+  check::CheckedSystem system;
+  system.AddModule(comp->FindModule("Up"), "Up");
+  check::CheckerOptions options;
+  options.check_deadlock = false;
+  options.check_livelock = true;
+  check::CheckResult result = system.Check(options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation->kind, check::ViolationKind::kNonProgressCycle);
+}
+
 // budget_exhausted means "a reachable subtree was actually skipped". A
 // depth-pruned frame whose successors were all visited already does not
 // qualify: this one-state self-loop is fully explored even at max_depth 0.
@@ -570,6 +605,142 @@ void Up() {
   system.ConnectByChannel(doubler, up, to_up);
   check::CheckResult result = system.Check();
   EXPECT_TRUE(result.ok) << (result.violation.has_value() ? result.violation->message : "");
+}
+
+// A native process with its own nondeterministic branch point (the shape the
+// TransactionSpecProcess fault choice uses): after receiving a request it
+// either answers value*2 or "fails" with -1.
+class FlakyDoublerProcess : public check::NativeProcess {
+ public:
+  FlakyDoublerProcess(const esi::ChannelInfo* in, const esi::ChannelInfo* out)
+      : NativeProcess("FlakyDoubler"), in_(in), out_(out) {
+    in_port_ = AddPort(in, /*is_send=*/false);
+    out_port_ = AddPort(out, /*is_send=*/true);
+    ResizeState(2);  // [phase, value]
+    Reset();
+  }
+
+  bool AtValidEndState() const override { return current_state()[0] == 0; }
+
+  std::unique_ptr<check::Process> Clone() const override {
+    return std::make_unique<FlakyDoublerProcess>(in_, out_);
+  }
+
+ protected:
+  void InitState(std::vector<int32_t>& state) override { std::fill(state.begin(), state.end(), 0); }
+
+  PendingOp ComputePending(const std::vector<int32_t>& state) const override {
+    PendingOp op;
+    if (state[0] == 0) {
+      op.kind = vm::RunState::kBlockedRecv;
+      op.port = in_port_;
+    } else if (state[0] == 1) {
+      op.kind = vm::RunState::kBlockedNondet;
+      op.arity = 2;
+    } else {
+      op.kind = vm::RunState::kBlockedSend;
+      op.port = out_port_;
+      op.message = {state[1]};
+    }
+    return op;
+  }
+
+  void OnRecv(int port, std::span<const int32_t> message,
+              std::vector<int32_t>& state) override {
+    state[1] = message[0];
+    state[0] = 1;
+  }
+
+  void OnChoice(int32_t choice, std::vector<int32_t>& state) override {
+    state[1] = choice == 0 ? state[1] * 2 : -1;
+    state[0] = 2;
+  }
+
+  void OnSendComplete(int port, std::vector<int32_t>& state) override { state[0] = 0; }
+
+ private:
+  const esi::ChannelInfo* in_ = nullptr;
+  const esi::ChannelInfo* out_ = nullptr;
+  int in_port_ = -1;
+  int out_port_ = -1;
+};
+
+// Both native nondet branches are genuinely explored: the tolerant oracle
+// passes, the strict one sees the -1 branch fail.
+TEST(Checker, NativeNondetExploresAllChoices) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 42 || r.r == 0 - 1);
+}
+)esm");
+  check::CheckedSystem system;
+  int up = system.AddModule(comp->FindModule("Up"), "Up");
+  const esi::ChannelInfo* to_down = comp->system().FindChannel("Up", "Down");
+  const esi::ChannelInfo* to_up = comp->system().FindChannel("Down", "Up");
+  int flaky = system.AddProcess(std::make_unique<FlakyDoublerProcess>(to_down, to_up));
+  system.ConnectByChannel(up, flaky, to_down);
+  system.ConnectByChannel(flaky, up, to_up);
+  check::CheckResult result = system.Check();
+  EXPECT_TRUE(result.ok) << (result.violation.has_value() ? result.violation->message : "");
+
+  auto strict = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(21);
+  assert(r.r == 42);
+}
+)esm");
+  check::CheckedSystem strict_system;
+  int sup = strict_system.AddModule(strict->FindModule("Up"), "Up");
+  const esi::ChannelInfo* sdown = strict->system().FindChannel("Up", "Down");
+  const esi::ChannelInfo* sup_ch = strict->system().FindChannel("Down", "Up");
+  int sflaky = strict_system.AddProcess(std::make_unique<FlakyDoublerProcess>(sdown, sup_ch));
+  strict_system.ConnectByChannel(sup, sflaky, sdown);
+  strict_system.ConnectByChannel(sflaky, sup, sup_ch);
+  check::CheckResult strict_result = strict_system.Check();
+  ASSERT_FALSE(strict_result.ok);
+  EXPECT_EQ(strict_result.violation->kind, check::ViolationKind::kAssertionFailed);
+}
+
+// The parallel engine handles native nondet branches identically to the
+// sequential one.
+TEST(Checker, ParallelMatchesSequentialOnNativeNondet) {
+  auto comp = Compile(R"esm(
+void Up() {
+  DownToUp r;
+  int i;
+  i = 0;
+  while (i < 3) {
+    r = UpTalkDown(i + 7);
+    assert(r.r == 2 * (i + 7) || r.r == 0 - 1);
+    i = i + 1;
+  }
+}
+)esm");
+  const esi::ChannelInfo* to_down = comp->system().FindChannel("Up", "Down");
+  const esi::ChannelInfo* to_up = comp->system().FindChannel("Down", "Up");
+  auto build = [&](check::CheckedSystem& system) {
+    int up = system.AddModule(comp->FindModule("Up"), "Up");
+    int flaky = system.AddProcess(std::make_unique<FlakyDoublerProcess>(to_down, to_up));
+    system.ConnectByChannel(up, flaky, to_down);
+    system.ConnectByChannel(flaky, up, to_up);
+  };
+  check::CheckedSystem seq_system;
+  build(seq_system);
+  check::CheckResult seq = seq_system.Check();
+
+  check::CheckedSystem par_system;
+  build(par_system);
+  check::CheckerOptions options;
+  options.num_threads = 4;
+  check::CheckResult par = par_system.Check(options);
+
+  EXPECT_TRUE(seq.ok) << (seq.violation.has_value() ? seq.violation->message : "");
+  EXPECT_EQ(seq.ok, par.ok);
+  EXPECT_EQ(seq.states_stored, par.states_stored);
+  EXPECT_EQ(seq.transitions, par.transitions);
 }
 
 }  // namespace

@@ -1,0 +1,423 @@
+// Fault-injection harness tests: the deterministic FaultPlan itself, the
+// faithful 24AA512 behaviours it perturbs (page-buffer commit-on-STOP, the
+// write-cycle busy window), and the drivers' retry/timeout/backoff recovery
+// on top — including the acceptance demo (read-after-write completing under
+// a seeded schedule of several distinct fault kinds) and the zero-fault
+// byte-identical guarantee.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/driver/baselines.h"
+#include "src/driver/hybrid.h"
+#include "src/driver/resources.h"
+#include "src/i2c/codes.h"
+#include "src/rtl/system.h"
+#include "src/sim/eeprom.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/i2c_bus.h"
+
+namespace efeu::driver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, InactiveByDefault) {
+  sim::FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kNackOnAddress), 0);
+  EXPECT_EQ(plan.faults_injected(), 0u);
+}
+
+TEST(FaultPlan, ScriptedFiresAtExactOpportunity) {
+  sim::FaultPlan plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kNackOnAddress, 2, 1},
+      {sim::FaultKind::kDeviceBusy, 0, 3},
+  });
+  ASSERT_TRUE(plan.active());
+  // Opportunities 0 and 1 pass, 2 fires, 3 passes again.
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kNackOnAddress), 0);
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kNackOnAddress), 0);
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kNackOnAddress), 1);
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kNackOnAddress), 0);
+  // Independent per-kind counter; the duration comes through.
+  EXPECT_EQ(plan.Consult(sim::FaultKind::kDeviceBusy), 3);
+  ASSERT_EQ(plan.trace().size(), 2u);
+  EXPECT_EQ(plan.trace()[0].kind, sim::FaultKind::kNackOnAddress);
+  EXPECT_EQ(plan.trace()[0].opportunity, 2u);
+  EXPECT_EQ(plan.trace()[1].kind, sim::FaultKind::kDeviceBusy);
+  EXPECT_EQ(plan.DistinctKindsInjected(), 2);
+}
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  auto drive = [](sim::FaultPlan& plan) {
+    for (int i = 0; i < 400; ++i) {
+      plan.Consult(sim::FaultKind::kNackOnAddress);
+      plan.Consult(sim::FaultKind::kNackOnData);
+      plan.Consult(sim::FaultKind::kAckGlitch);
+    }
+  };
+  sim::FaultPlan a = sim::FaultPlan::Random(1234, 0.05);
+  sim::FaultPlan b = sim::FaultPlan::Random(1234, 0.05);
+  sim::FaultPlan c = sim::FaultPlan::Random(99, 0.05);
+  drive(a);
+  drive(b);
+  drive(c);
+  EXPECT_GT(a.faults_injected(), 0u);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].kind, b.trace()[i].kind);
+    EXPECT_EQ(a.trace()[i].opportunity, b.trace()[i].opportunity);
+    EXPECT_EQ(a.trace()[i].duration, b.trace()[i].duration);
+  }
+  // A different seed gives a different schedule (with overwhelming
+  // probability for 1200 draws at rate 0.05).
+  bool differs = a.trace().size() != c.trace().size();
+  for (size_t i = 0; !differs && i < a.trace().size(); ++i) {
+    differs = a.trace()[i].opportunity != c.trace()[i].opportunity ||
+              a.trace()[i].kind != c.trace()[i].kind;
+  }
+  EXPECT_TRUE(differs);
+
+  // Reset rewinds the stream completely.
+  std::vector<sim::FaultRecord> before = a.trace();
+  a.Reset();
+  EXPECT_EQ(a.faults_injected(), 0u);
+  drive(a);
+  ASSERT_EQ(a.trace().size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(a.trace()[i].opportunity, before[i].opportunity);
+  }
+}
+
+TEST(FaultPlan, RandomHonorsMaxFaults) {
+  sim::FaultPlan plan = sim::FaultPlan::Random(7, 0.5, /*max_faults=*/3);
+  for (int i = 0; i < 200; ++i) {
+    plan.Consult(sim::FaultKind::kNackOnData);
+  }
+  EXPECT_EQ(plan.faults_injected(), 3u);
+}
+
+TEST(FaultPlan, ReplayedReproducesRandomTrace) {
+  sim::FaultPlan random = sim::FaultPlan::Random(42, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    random.Consult(sim::FaultKind::kNackOnAddress);
+    random.Consult(sim::FaultKind::kAckGlitch);
+  }
+  ASSERT_GT(random.faults_injected(), 0u);
+  sim::FaultPlan replay = random.Replayed();
+  for (int i = 0; i < 100; ++i) {
+    replay.Consult(sim::FaultKind::kNackOnAddress);
+    replay.Consult(sim::FaultKind::kAckGlitch);
+  }
+  ASSERT_EQ(replay.trace().size(), random.trace().size());
+  for (size_t i = 0; i < random.trace().size(); ++i) {
+    EXPECT_EQ(replay.trace()[i].kind, random.trace()[i].kind);
+    EXPECT_EQ(replay.trace()[i].opportunity, random.trace()[i].opportunity);
+    EXPECT_EQ(replay.trace()[i].duration, random.trace()[i].duration);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EEPROM page-buffer and write-cycle faithfulness (bit-banged directly)
+// ---------------------------------------------------------------------------
+
+// Minimal bus rig: one GPIO-style driver plus the EEPROM on an RTL timeline.
+class EepromRig {
+ public:
+  explicit EepromRig(const sim::EepromConfig& config) : rtl_(10.0) {
+    id_ = bus_.AddDriver();
+    eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, config);
+    rtl_.AddComponent(eeprom_.get());
+    Set(true, true);
+    Step(4);
+  }
+
+  sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+
+  void Start() {
+    Set(true, true);
+    Step(2);
+    Set(true, false);
+    Step(2);
+    Set(false, false);
+    Step(2);
+  }
+
+  void Stop() {
+    Set(false, false);
+    Step(2);
+    Set(true, false);
+    Step(2);
+    Set(true, true);
+    Step(2);
+  }
+
+  // Clocks out one byte MSB-first and samples the acknowledgment.
+  bool SendByte(uint8_t byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      bool sda = ((byte >> bit) & 1) != 0;
+      Set(false, sda);
+      Step(2);
+      Set(true, sda);
+      Step(2);
+      Set(false, sda);
+      Step(2);
+    }
+    Set(false, true);  // release SDA for the device's ACK
+    Step(2);
+    Set(true, true);
+    Step(2);
+    bool ack = !bus_.sda();
+    Set(false, true);
+    Step(2);
+    return ack;
+  }
+
+ private:
+  void Set(bool scl, bool sda) { bus_.SetDriver(id_, scl, sda); }
+  void Step(int n) {
+    for (int i = 0; i < n; ++i) {
+      rtl_.Tick();
+    }
+  }
+
+  sim::I2cBus bus_;
+  rtl::RtlSystem rtl_;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom_;
+  int id_ = -1;
+};
+
+TEST(EepromModel, StopCommitsPageBufferAndArmsWriteCycle) {
+  sim::EepromConfig config;
+  config.write_cycle_ns = 100000;
+  EepromRig rig(config);
+  rig.Start();
+  ASSERT_TRUE(rig.SendByte(0x50 << 1));  // address, write
+  ASSERT_TRUE(rig.SendByte(0x01));       // offset high
+  ASSERT_TRUE(rig.SendByte(0x10));       // offset low
+  ASSERT_TRUE(rig.SendByte(0xAB));
+  // Nothing lands in memory before the STOP, and no write cycle runs.
+  EXPECT_EQ(rig.eeprom().MemoryAt(0x0110), 0x00);
+  EXPECT_FALSE(rig.eeprom().busy());
+  EXPECT_EQ(rig.eeprom().bytes_written(), 0u);
+  rig.Stop();
+  EXPECT_EQ(rig.eeprom().MemoryAt(0x0110), 0xAB);
+  EXPECT_TRUE(rig.eeprom().busy());
+  EXPECT_EQ(rig.eeprom().bytes_written(), 1u);
+}
+
+// The regression this harness was built to catch: a write transfer whose
+// STOP never arrives (e.g. glitched away) must not silently land in memory —
+// previously each byte was committed immediately on receipt, so a torn
+// transfer both corrupted memory and skipped the busy window.
+TEST(EepromModel, MissedStopDiscardsPageBuffer) {
+  sim::EepromConfig config;
+  config.write_cycle_ns = 100000;
+  EepromRig rig(config);
+  rig.Start();
+  ASSERT_TRUE(rig.SendByte(0x50 << 1));
+  ASSERT_TRUE(rig.SendByte(0x01));
+  ASSERT_TRUE(rig.SendByte(0x10));
+  ASSERT_TRUE(rig.SendByte(0xAB));
+  // A new START instead of the STOP aborts the transfer.
+  rig.Start();
+  rig.Stop();
+  EXPECT_EQ(rig.eeprom().MemoryAt(0x0110), 0x00);
+  EXPECT_FALSE(rig.eeprom().busy());
+  EXPECT_EQ(rig.eeprom().bytes_written(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Driver recovery (satellite: write-during-write-cycle NACKs; tentpole:
+// retry/backoff completes operations under faults)
+// ---------------------------------------------------------------------------
+
+HybridConfig BaseConfig() {
+  HybridConfig config;
+  config.split = SplitPoint::kByte;
+  // Keep the model's write cycle short so tests stay fast.
+  config.eeprom.write_cycle_ns = 50000;
+  return config;
+}
+
+TEST(DriverRecovery, WriteDuringWriteCycleNacksWithoutRecovery) {
+  HybridDriver driver(BaseConfig());
+  ASSERT_TRUE(driver.Write(0x20, {0x01, 0x02}));
+  // The device is in its internal write cycle; the next write must be
+  // refused (address NACK), not silently succeed.
+  EXPECT_FALSE(driver.Write(0x20, {0x03, 0x04}));
+  EXPECT_EQ(driver.last_status(), i2c::kCeResNack);
+  EXPECT_EQ(driver.eeprom().MemoryAt(0x20), 0x01);
+}
+
+TEST(DriverRecovery, BackoffRidesOutWriteCycle) {
+  HybridConfig config = BaseConfig();
+  config.recovery.enabled = true;
+  HybridDriver driver(config);
+  ASSERT_TRUE(driver.Write(0x20, {0x01, 0x02}));
+  // With the retry/backoff policy the second write rides out the 50 us write
+  // cycle by sleeping between attempts and then succeeds.
+  ASSERT_TRUE(driver.Write(0x20, {0x03, 0x04}));
+  EXPECT_EQ(driver.eeprom().MemoryAt(0x20), 0x03);
+  EXPECT_EQ(driver.eeprom().MemoryAt(0x21), 0x04);
+  const RecoveryCounters& counters = driver.recovery_counters();
+  EXPECT_GT(counters.retries, 0u);
+  EXPECT_GT(counters.nacks, 0u);
+  EXPECT_GT(counters.backoff_ns, 0.0);
+  EXPECT_EQ(counters.timeouts, 0u);
+  EXPECT_FALSE(driver.wedged());
+}
+
+// The acceptance demo: a read-after-write completes under a seeded schedule
+// with several distinct fault kinds, with the counters showing the work.
+TEST(DriverRecovery, ReadAfterWriteUnderSeededFaultSchedule) {
+  HybridConfig config = BaseConfig();
+  config.recovery.enabled = true;
+  config.fault_plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kSclStuckLow, 0, 2},   // stretch burst at the very start
+      {sim::FaultKind::kNackOnAddress, 0, 1}, // first address byte refused
+      {sim::FaultKind::kAckGlitch, 0, 1},     // next address ACK misread
+      {sim::FaultKind::kNackOnData, 0, 1},    // then the first data byte refused
+  });
+  HybridDriver driver(config);
+  std::vector<uint8_t> payload = {0x5A, 0x5B, 0x5C};
+  ASSERT_TRUE(driver.Write(0x0140, payload)) << FormatRecoveryCounters(driver.recovery_counters());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(driver.Read(0x0140, 3, &data)) << FormatRecoveryCounters(driver.recovery_counters());
+  EXPECT_EQ(data, payload);
+
+  const RecoveryCounters& counters = driver.recovery_counters();
+  EXPECT_GE(counters.retries, 3u) << FormatRecoveryCounters(counters);
+  EXPECT_GE(counters.nacks, 3u);
+  EXPECT_GE(driver.fault_plan().DistinctKindsInjected(), 3);
+  EXPECT_GE(driver.fault_plan().faults_injected(), 3u);
+  EXPECT_FALSE(driver.wedged());
+}
+
+// Zero faults => byte-identical behaviour: enabling the recovery machinery
+// without any fault plan must not change a single bus sample.
+TEST(DriverRecovery, ZeroFaultsIsByteIdentical) {
+  HybridConfig plain = BaseConfig();
+  plain.capture_waveform = true;
+  // No write cycle: every operation succeeds first try, so the armed driver's
+  // internal retry loop never engages and the two timelines must coincide.
+  // (With a write cycle the plain run retries the NACK from the app loop while
+  // the armed run retries internally with backoff — different by design.)
+  plain.eeprom.write_cycle_ns = 0;
+  HybridConfig armed = plain;
+  armed.recovery.enabled = true;
+  armed.fault_plan = sim::FaultPlan::Scripted({});  // active but empty
+
+  HybridDriver a(plain);
+  HybridDriver b(armed);
+  std::vector<uint8_t> payload = {0x10, 0x22, 0x34, 0x46};
+  for (HybridDriver* driver : {&a, &b}) {
+    ASSERT_TRUE(driver->Write(0x0300, payload));
+    std::vector<uint8_t> data;
+    ASSERT_TRUE(driver->Read(0x0300, 4, &data));
+    EXPECT_EQ(data, payload);
+  }
+  const auto& sa = a.bus().samples();
+  const auto& sb = b.bus().samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].t_ns, sb[i].t_ns) << "sample " << i;
+    ASSERT_EQ(sa[i].scl, sb[i].scl) << "sample " << i;
+    ASSERT_EQ(sa[i].sda, sb[i].sda) << "sample " << i;
+  }
+  EXPECT_EQ(b.fault_plan().faults_injected(), 0u);
+  EXPECT_EQ(b.recovery_counters().retries, 0u);
+}
+
+// A bus held down forever is a terminal error: the per-wait deadline fires,
+// the one-off bus recovery is attempted, and the driver reports failure
+// instead of hanging — then fails fast on every further operation.
+TEST(DriverRecovery, StuckBusIsTerminalNotHang) {
+  HybridConfig config = BaseConfig();
+  config.recovery.enabled = true;
+  config.recovery.wait_timeout_ns = 2e6;
+  config.recovery.op_deadline_ns = 1e7;
+  config.fault_plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kSclStuckLow, 4, 1 << 30},
+  });
+  HybridDriver driver(config);
+  EXPECT_FALSE(driver.Write(0x10, {0x01}));
+  EXPECT_TRUE(driver.wedged());
+  EXPECT_EQ(driver.last_status(), i2c::kCeResFail);
+  const RecoveryCounters& counters = driver.recovery_counters();
+  EXPECT_EQ(counters.timeouts, 1u);
+  EXPECT_GE(counters.bus_recoveries, 1u);
+  // Fail-fast: no further attempts are issued into the dead stack.
+  uint64_t attempts = counters.attempts;
+  EXPECT_FALSE(driver.Write(0x10, {0x02}));
+  EXPECT_EQ(driver.recovery_counters().attempts, attempts);
+}
+
+TEST(DriverRecovery, BitBangRecoversFromFaults) {
+  TimingModel timing;
+  sim::EepromConfig eeprom;
+  eeprom.write_cycle_ns = 50000;
+  sim::FaultPlan plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kNackOnAddress, 0, 1},
+      {sim::FaultKind::kNackOnData, 0, 1},
+  });
+  RecoveryPolicy recovery;
+  recovery.enabled = true;
+  BitBangDriver driver(timing, eeprom, /*capture_waveform=*/false, plan, recovery);
+  std::vector<uint8_t> payload = {0x77, 0x78};
+  ASSERT_TRUE(driver.Write(0x60, payload)) << FormatRecoveryCounters(driver.recovery_counters());
+  ASSERT_TRUE(driver.Write(0x62, payload));  // rides out the write cycle too
+  EXPECT_EQ(driver.eeprom().MemoryAt(0x60), 0x77);
+  EXPECT_EQ(driver.eeprom().MemoryAt(0x62), 0x77);
+  EXPECT_GE(driver.recovery_counters().retries, 2u);
+  EXPECT_GE(driver.fault_plan().DistinctKindsInjected(), 2);
+}
+
+// A random run is replayable bit-for-bit from its recorded trace.
+TEST(DriverRecovery, ReplayedPlanReproducesRandomRun) {
+  auto run = [](const sim::FaultPlan& plan, sim::FaultPlan* trace_out,
+                std::vector<int32_t>* statuses) {
+    HybridConfig config = BaseConfig();
+    config.recovery.enabled = true;
+    config.fault_plan = plan;
+    HybridDriver driver(config);
+    statuses->push_back(driver.Write(0x80, {0x01, 0x02}) ? 1 : 0);
+    statuses->push_back(driver.last_status());
+    std::vector<uint8_t> data;
+    statuses->push_back(driver.Read(0x80, 2, &data) ? 1 : 0);
+    statuses->push_back(driver.last_status());
+    *trace_out = driver.fault_plan();
+  };
+  sim::FaultPlan first_trace;
+  std::vector<int32_t> first_statuses;
+  run(sim::FaultPlan::Random(2024, 0.01, /*max_faults=*/4), &first_trace, &first_statuses);
+
+  sim::FaultPlan replay_trace;
+  std::vector<int32_t> replay_statuses;
+  run(first_trace.Replayed(), &replay_trace, &replay_statuses);
+
+  EXPECT_EQ(replay_statuses, first_statuses);
+  ASSERT_EQ(replay_trace.trace().size(), first_trace.trace().size());
+  for (size_t i = 0; i < first_trace.trace().size(); ++i) {
+    EXPECT_EQ(replay_trace.trace()[i].kind, first_trace.trace()[i].kind);
+    EXPECT_EQ(replay_trace.trace()[i].opportunity, first_trace.trace()[i].opportunity);
+    EXPECT_EQ(replay_trace.trace()[i].duration, first_trace.trace()[i].duration);
+  }
+}
+
+TEST(Resources, RecoveryWatchdogEstimateIsSmall) {
+  ResourceEstimate watchdog = EstimateRecoveryWatchdog(/*up_words=*/18);
+  EXPECT_GT(watchdog.luts, 0);
+  EXPECT_GT(watchdog.ffs, 0);
+  // The robustness add-on must stay a rounding error next to the FPGA.
+  EXPECT_LT(watchdog.luts * 100, kFpgaTotalLuts);
+  EXPECT_LT(watchdog.ffs * 100, kFpgaTotalFfs);
+}
+
+}  // namespace
+}  // namespace efeu::driver

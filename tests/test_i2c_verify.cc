@@ -228,6 +228,41 @@ TEST(EepVerifier, VariablePayloadPasses) {
   EXPECT_TRUE(result.ok) << Describe(result);
 }
 
+// The acceptance configuration of the fault-injection work: the quickstart
+// verification (EepDriver level, Transaction abstraction, 2 ops, up to 4
+// bytes) stays deadlock- and livelock-free when the checker additionally
+// explores every single-fault schedule (any one acknowledged bus event may
+// NACK). The relaxed CWorld oracle still requires every operation to
+// terminate with OK or NACK.
+TEST(EepVerifier, QuiescesUnderSingleFaultSchedules) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 4;
+  config.fault_events = 1;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+
+  // The fault branches genuinely enlarge the explored space.
+  VerifyConfig no_faults = config;
+  no_faults.fault_events = 0;
+  VerifyRunResult baseline = RunConfig(no_faults);
+  ASSERT_TRUE(baseline.ok) << Describe(baseline);
+  EXPECT_GT(result.safety.states_stored, baseline.safety.states_stored);
+}
+
+TEST(EepVerifier, QuiescesUnderDoubleFaultSchedules) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 2;
+  config.fault_events = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
 // The parallel safety engine must agree with the sequential one on the full
 // Byte-layer stack: same verdict, same stored-state and transition counts
 // (claim-before-expand makes them exactly equal, not just close).
@@ -282,6 +317,44 @@ TEST(ParallelVerify, FingerprintOnlyShrinksBytesPerState) {
   EXPECT_EQ(compact.safety.state_bytes, 8 * compact.safety.states_stored);
   // The acceptance bar: at least 4x less memory per stored state.
   EXPECT_GE(full.safety.state_bytes, 4 * compact.safety.state_bytes);
+}
+
+// Determinism across worker counts on the EepDriver/Transaction verifier
+// (with fault branches, so native nondet is in the mix): 1 and 4 threads in
+// full-state mode must store the same states, take the same transitions and
+// reach the same verdict; fingerprint-only must agree on the verdict.
+TEST(ParallelVerify, EepTransactionDeterministicAcrossThreadCounts) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 4;
+  config.fault_events = 1;
+
+  check::CheckerOptions one;
+  one.num_threads = 1;
+  DiagnosticEngine diag1;
+  VerifyRunResult sequential = RunVerification(config, diag1, one);
+  ASSERT_FALSE(diag1.HasErrors()) << diag1.RenderAll();
+  ASSERT_TRUE(sequential.ok) << Describe(sequential);
+
+  check::CheckerOptions four;
+  four.num_threads = 4;
+  DiagnosticEngine diag4;
+  VerifyRunResult parallel = RunVerification(config, diag4, four);
+  ASSERT_FALSE(diag4.HasErrors()) << diag4.RenderAll();
+  ASSERT_TRUE(parallel.ok) << Describe(parallel);
+  EXPECT_EQ(parallel.safety.states_stored, sequential.safety.states_stored);
+  EXPECT_EQ(parallel.safety.transitions, sequential.safety.transitions);
+  EXPECT_EQ(parallel.liveness.states_stored, sequential.liveness.states_stored);
+
+  check::CheckerOptions compact = four;
+  compact.fingerprint_only = true;
+  DiagnosticEngine diagc;
+  VerifyRunResult fingerprint = RunVerification(config, diagc, compact);
+  ASSERT_FALSE(diagc.HasErrors()) << diagc.RenderAll();
+  EXPECT_TRUE(fingerprint.ok) << Describe(fingerprint);
+  EXPECT_EQ(fingerprint.safety.states_stored, sequential.safety.states_stored);
 }
 
 TEST(VerifySuite, PoolRunsCombosIndependently) {

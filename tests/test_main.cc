@@ -1,0 +1,23 @@
+// Custom test entry point: `efeu_tests --update-goldens` regenerates the
+// committed golden files (see test_promela_golden.cc) instead of comparing
+// against them, then runs the suite as usual.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-goldens") == 0) {
+      setenv("EFEU_UPDATE_GOLDENS", "1", /*overwrite=*/1);
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
