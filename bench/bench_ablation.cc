@@ -56,6 +56,11 @@ void AblationDedup() {
     check::CheckerOptions options;
     options.disable_state_dedup = disable;
     options.max_transitions = 2000000;
+    // Unreduced search: this ablation isolates the visited set, and POR
+    // would otherwise prune the duplicated subtrees before dedup gets to
+    // (fail to) merge them, hiding the blowup being demonstrated.
+    options.por = false;
+    options.collapse = false;
     check::CheckResult result = vs->system().Check(options);
     std::printf("  dedup %-3s  transitions=%8llu time=%7.3fs%s\n", disable ? "off" : "on",
                 static_cast<unsigned long long>(result.transitions), result.seconds,

@@ -7,6 +7,9 @@
 // with the number of responders.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -89,6 +92,12 @@ void RunThreadScaling() {
       options.check_deadlock = true;
       options.num_threads = threads;
       options.fingerprint_only = fingerprint_only;
+      // Unreduced search, like bench_table2's scaling section: keeps state
+      // counts identical across thread counts and the full-vs-fingerprint
+      // payload contrast meaningful. The fault ablation below owns the
+      // por/collapse story.
+      options.por = false;
+      options.collapse = false;
       check::CheckResult r = vs->system().Check(options);
       if (!r.ok) {
         std::printf("safety pass FAILED at %d threads\n", threads);
@@ -112,11 +121,133 @@ void RunThreadScaling() {
       std::thread::hardware_concurrency());
 }
 
+// Reduction ablation over the EEPROM fault-injection configurations: the
+// EepDriver verifier with the Transaction behaviour spec below and a fault
+// budget >= 2, which is where the fault schedules multiply the state space.
+// That pipeline is request/response-serialized (one message in flight), so
+// POR finds nothing to reduce there — the win on these configs is COLLAPSE:
+// snapshots shrink to component-id tuples and the wall time roughly halves.
+// The tripwire fails the bench if a reduced search stores more states than
+// the unreduced one or flips a verdict.
+bool RunFaultAblation(bench::JsonReport* json) {
+  bench::PrintHeader(
+      "Reduction ablation on EEPROM fault configs (EepDriver verifier,\n"
+      "Transaction spec below, fault budget >= 2): {por, collapse} x {on, off}.");
+
+  struct AblationConfig {
+    const char* name;
+    int num_eeproms;
+    int fault_events;
+  };
+  AblationConfig configs[] = {
+      {"eep1/txn/faults2", 1, 2},
+      {"eep1/txn/faults3", 1, 3},
+      {"eep2/txn/faults2", 2, 2},
+  };
+
+  bench::Table table({18, 10, 10, 10, 12, 10, 13, 10});
+  table.Row({"config", "por", "collapse", "states", "transitions", "reduced",
+             "bytes/state", "seconds"});
+  bench::PrintRule();
+
+  bool sound = true;
+  for (const AblationConfig& entry : configs) {
+    i2c::VerifyConfig config;
+    config.level = i2c::VerifyLevel::kEepDriver;
+    config.abstraction = i2c::VerifyAbstraction::kTransaction;
+    config.num_eeproms = entry.num_eeproms;
+    config.max_len = 4;
+    config.num_ops = 2;
+    config.fault_events = entry.fault_events;
+
+    uint64_t unreduced_states = 0;
+    bool unreduced_ok = false;
+    for (int por = 0; por <= 1; ++por) {
+      for (int collapse = 0; collapse <= 1; ++collapse) {
+        check::CheckerOptions base;
+        base.por = por != 0;
+        base.collapse = collapse != 0;
+        DiagnosticEngine diag;
+        i2c::VerifyRunResult r = i2c::RunVerification(config, diag, base);
+        uint64_t payload = r.safety.state_bytes + r.safety.component_bytes;
+        double per_state = r.safety.states_stored > 0
+                               ? static_cast<double>(payload) / r.safety.states_stored
+                               : 0.0;
+        table.Row({entry.name, por ? "on" : "off", collapse ? "on" : "off",
+                   std::to_string(r.safety.states_stored),
+                   std::to_string(r.safety.transitions),
+                   std::to_string(r.safety.por_reduced_states), bench::Fmt(per_state, 1),
+                   bench::Fmt(r.total_seconds, 3)});
+        if (json != nullptr) {
+          json->AddRow()
+              .Set("section", "fault_ablation")
+              .Set("config", entry.name)
+              .Set("num_eeproms", entry.num_eeproms)
+              .Set("fault_events", entry.fault_events)
+              .Set("por", base.por)
+              .Set("collapse", base.collapse)
+              .Set("ok", r.ok)
+              .Set("states", r.safety.states_stored)
+              .Set("transitions", r.safety.transitions)
+              .Set("por_reduced_states", r.safety.por_reduced_states)
+              .Set("state_bytes", r.safety.state_bytes)
+              .Set("component_bytes", r.safety.component_bytes)
+              .Set("bytes_per_state", per_state)
+              .Set("seconds", r.total_seconds);
+        }
+        if (por == 0 && collapse == 0) {
+          unreduced_states = r.safety.states_stored;
+          unreduced_ok = r.ok;
+        } else {
+          if (r.ok != unreduced_ok) {
+            std::printf("TRIPWIRE: verdict changed under por=%d collapse=%d on %s\n",
+                        por, collapse, entry.name);
+            sound = false;
+          }
+          if (r.safety.states_stored > unreduced_states) {
+            std::printf(
+                "TRIPWIRE: reduced search stored MORE states (%llu > %llu) under "
+                "por=%d collapse=%d on %s\n",
+                static_cast<unsigned long long>(r.safety.states_stored),
+                static_cast<unsigned long long>(unreduced_states), por, collapse,
+                entry.name);
+            sound = false;
+          }
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: identical state counts across all four combinations\n"
+      "(the fault pipeline is serialized, POR has nothing to remove); COLLAPSE\n"
+      "cuts bytes/state by an order of magnitude and wall time by >= 30%%.\n");
+  return sound;
+}
+
 }  // namespace
 }  // namespace efeu
 
-int main() {
-  efeu::Run();
-  efeu::RunThreadScaling();
-  return 0;
+int main(int argc, char** argv) {
+  // Flags: --json <path> writes the machine-readable report; --quick keeps
+  // only the ablation section (CI perf smoke).
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  efeu::bench::JsonReport json("fig9_scalability");
+  if (!quick) {
+    efeu::Run();
+    efeu::RunThreadScaling();
+  }
+  bool sound = efeu::RunFaultAblation(json_path.empty() ? nullptr : &json);
+  if (!json_path.empty() && !json.WriteTo(json_path)) {
+    return 1;
+  }
+  return sound ? 0 : 1;
 }

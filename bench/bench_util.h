@@ -4,8 +4,10 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace efeu::bench {
@@ -52,6 +54,91 @@ inline std::string Fmt(double value, int decimals = 2) {
   std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
   return buffer;
 }
+
+// Machine-readable mirror of the tables: benches accumulate flat rows and
+// write them as `{"bench": ..., "rows": [...]}` when invoked with
+// `--json <path>`. CI merges the per-bench files into BENCH_check.json.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+      }
+      escaped += c;
+    }
+    fields_.emplace_back(key, "\"" + escaped + "\"");
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonRow& Set(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    fields_.emplace_back(key, buffer);
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  JsonRow& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Returns false (and prints a message) if the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(file, "    %s%s\n", rows_[i].Render().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonRow> rows_;
+};
 
 }  // namespace efeu::bench
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Merge per-bench --json reports into one BENCH_check.json.
+
+Usage: merge_bench_json.py OUTPUT INPUT [INPUT...]
+
+Each input is the `{"bench": name, "rows": [...]}` file a bench binary wrote
+via --json. The merged file maps bench name -> rows and re-checks the
+reduction soundness tripwire across every ablation row: a reduced search
+(por or collapse on) must never store more states than the unreduced run of
+the same config, and must agree on the verdict. Exits nonzero on violation
+so CI fails even if a bench binary's own tripwire was bypassed.
+
+Stdlib only.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    output_path, input_paths = argv[1], argv[2:]
+
+    merged = {"benches": {}}
+    ablation_rows = []
+    for path in input_paths:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+        name = report.get("bench", path)
+        rows = report.get("rows", [])
+        merged["benches"][name] = rows
+        ablation_rows.extend(
+            r for r in rows if "por" in r and "collapse" in r and "config" in r
+        )
+
+    failures = []
+    by_config = {}
+    for row in ablation_rows:
+        by_config.setdefault(row["config"], []).append(row)
+    for config, rows in sorted(by_config.items()):
+        baseline = [r for r in rows if not r["por"] and not r["collapse"]]
+        if not baseline:
+            failures.append(f"{config}: no unreduced baseline row")
+            continue
+        base = baseline[0]
+        for row in rows:
+            if row is base:
+                continue
+            if row["states"] > base["states"]:
+                failures.append(
+                    f"{config}: por={row['por']} collapse={row['collapse']} stored "
+                    f"{row['states']} states > unreduced {base['states']}"
+                )
+            if row["ok"] != base["ok"]:
+                failures.append(
+                    f"{config}: por={row['por']} collapse={row['collapse']} verdict "
+                    f"{row['ok']} != unreduced {base['ok']}"
+                )
+
+    merged["soundness"] = {"ok": not failures, "failures": failures}
+    with open(output_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+
+    for failure in failures:
+        print(f"TRIPWIRE: {failure}", file=sys.stderr)
+    print(
+        f"merged {len(input_paths)} report(s), {len(ablation_rows)} ablation row(s) "
+        f"-> {output_path}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

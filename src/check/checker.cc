@@ -1,12 +1,15 @@
 #include "src/check/checker.h"
 
+#include <bit>
 #include <cassert>
 #include <chrono>
+#include <memory>
 
 #include "src/support/check.h"
 
 #include "src/check/ir_process.h"
 #include "src/check/parallel.h"
+#include "src/check/state_codec.h"
 #include "src/support/hash.h"
 #include "src/support/state_table.h"
 
@@ -61,6 +64,7 @@ void CheckedSystem::Connect(vm::PortRef sender, vm::PortRef receiver) {
              "Connect: port already connected");
   entries_[sender.process].links[sender.port] = receiver;
   entries_[receiver.process].links[receiver.port] = sender;
+  channel_links_ready_ = false;
 }
 
 void CheckedSystem::ConnectByChannel(int from_process, int to_process,
@@ -105,6 +109,15 @@ int CheckedSystem::TotalSnapshotSize() const {
     total += entry.process->SnapshotSize();
   }
   return total;
+}
+
+std::vector<int> CheckedSystem::SnapshotSizes() const {
+  std::vector<int> sizes;
+  sizes.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    sizes.push_back(entry.process->SnapshotSize());
+  }
+  return sizes;
 }
 
 std::vector<int32_t> CheckedSystem::SnapshotAll() const {
@@ -192,9 +205,68 @@ void CheckedSystem::Apply(const Transition& t) {
     return;
   }
   Process& peer = *entries_[t.peer].process;
-  std::vector<int32_t> message = process.PendingMessage();
-  process.CompleteSend();
+  // PendingMessage borrows the sender's staging buffer, so deliver to the
+  // receiver before completing the send invalidates it.
+  std::span<const int32_t> message = process.PendingMessage();
   peer.CompleteRecv(message);
+  process.CompleteSend();
+}
+
+bool CheckedSystem::TransferOnExclusiveChannel(const Transition& t) const {
+  if (!channel_links_ready_) {
+    channel_links_.clear();
+    for (const Entry& entry : entries_) {
+      const std::vector<PortDecl>& decls = entry.process->ports();
+      for (size_t port = 0; port < decls.size(); ++port) {
+        if (decls[port].is_send && entry.links[port].has_value()) {
+          ++channel_links_[decls[port].channel];
+        }
+      }
+    }
+    channel_links_ready_ = true;
+  }
+  const Process& sender = *entries_[t.process].process;
+  const esi::ChannelInfo* channel = sender.ports()[sender.blocked_port()].channel;
+  auto it = channel_links_.find(channel);
+  return it != channel_links_.end() && it->second == 1;
+}
+
+int CheckedSystem::PickAmple(const std::vector<Transition>& transitions,
+                             bool livelock_sensitive) const {
+  if (transitions.size() < 2) {
+    return -1;  // Nothing to reduce (and never shrink a singleton: keeps the
+                // reduced graph a subgraph with identical verdict structure).
+  }
+  int fallback = -1;
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    const Transition& t = transitions[i];
+    if (t.kind != Transition::Kind::kTransfer || !TransferOnExclusiveChannel(t)) {
+      continue;
+    }
+    // Both endpoints are blocked on a 1:1 channel no other process touches:
+    // the transfer stays enabled and unchanged along any interleaving of the
+    // other transitions, and firing it cannot enable, disable, or alter any
+    // of them — a persistent singleton. Its closure only moves the two
+    // participants, so assertions/end-state changes in other processes are
+    // impossible (invisibility), leaving only progress labels (below) and
+    // the caller's cycle proviso.
+    NextStepSummary sender = entries_[static_cast<size_t>(t.process)].process->PeekNextStep();
+    NextStepSummary receiver = entries_[static_cast<size_t>(t.peer)].process->PeekNextStep();
+    if (livelock_sensitive && (sender.may_pass_progress || receiver.may_pass_progress)) {
+      continue;  // Might pass a progress label: visible to the NPC search.
+    }
+    if (fallback < 0) {
+      fallback = static_cast<int>(i);
+    }
+    // Prefer a transfer whose endpoints continue deterministically to at most
+    // one port each: those chain into further forced rendezvous, giving the
+    // longest reduced runs.
+    if (!sender.may_choose && !receiver.may_choose &&
+        std::popcount(sender.port_mask) <= 1 && std::popcount(receiver.port_mask) <= 1) {
+      return static_cast<int>(i);
+    }
+  }
+  return fallback;
 }
 
 bool CheckedSystem::AllAtValidEnd() const {
@@ -250,12 +322,28 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
   auto start_time = std::chrono::steady_clock::now();
   CheckResult result;
 
+  // COLLAPSE storage (see state_codec.h): visited keys become one component
+  // id per process; the codec also gives the incremental snapshot/restore
+  // hot path. Without collapse the codec degrades to full-vector mode.
+  std::unique_ptr<CollapseTable> components;
+  if (options.collapse) {
+    components = std::make_unique<CollapseTable>(SnapshotSizes());
+  }
+  StateCodec codec(*this, components.get());
+
   struct Frame {
-    std::vector<int32_t> state;
+    std::vector<int32_t> key;
     std::vector<Transition> transitions;
     size_t next = 0;
     // Progress transitions taken on the stack up to and including this frame.
     uint64_t progress_count = 0;
+    // >= 0: partial-order reduction is active and only transitions[ample] is
+    // explored (`next` then just counts 0 -> 1). Reset to -1 with next = 0
+    // when the cycle proviso or progress visibility forces full expansion.
+    int ample = -1;
+    // Index of the edge this frame most recently descended through (for
+    // counterexample traces).
+    int taken = -1;
   };
 
   std::vector<Frame> stack;
@@ -266,8 +354,8 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     std::vector<std::string> trace;
     for (size_t i = 0; i + 1 < stack.size(); ++i) {
       const Frame& frame = stack[i];
-      assert(frame.next > 0);
-      trace.push_back(frame.transitions[frame.next - 1].Describe(*this));
+      assert(frame.taken >= 0);
+      trace.push_back(frame.transitions[static_cast<size_t>(frame.taken)].Describe(*this));
     }
     if (!stack.empty() && current != nullptr) {
       trace.push_back(current->Describe(*this));
@@ -310,10 +398,10 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
   std::unordered_map<std::vector<int32_t>, int, StateHash> on_stack;
 
   Frame initial;
-  initial.state = SnapshotAll();
+  codec.EncodeFull(&initial.key);
   initial.transitions = EnabledTransitions();
-  visited.Claim(initial.state, 0);
-  on_stack[initial.state] = 0;
+  visited.ClaimHashed(HashWords(initial.key), initial.key, 0);
+  on_stack[initial.key] = 0;
 
   if (initial.transitions.empty() && options.check_deadlock && !AllAtValidEnd()) {
     report(ViolationKind::kInvalidEndState, "invalid end state: " + DescribeBlockedProcesses(),
@@ -321,6 +409,9 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
     return result;
+  }
+  if (options.por) {
+    initial.ample = PickAmple(initial.transitions, options.check_livelock);
   }
   stack.push_back(std::move(initial));
 
@@ -341,10 +432,19 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     return false;
   };
 
+  // Reused per-step scratch: the would-be child key is encoded here and only
+  // copied when the child is actually pushed.
+  std::vector<int32_t> next_key;
+
   while (!stack.empty() && !result.violation.has_value()) {
     Frame& frame = stack.back();
-    if (frame.next >= frame.transitions.size()) {
-      on_stack.erase(frame.state);
+    bool frame_done =
+        frame.ample >= 0 ? frame.next > 0 : frame.next >= frame.transitions.size();
+    if (frame_done) {
+      if (frame.ample >= 0) {
+        ++result.por_reduced_states;
+      }
+      on_stack.erase(frame.key);
       stack.pop_back();
       continue;
     }
@@ -356,9 +456,12 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       // Depth prune. The budget flag means "a reachable subtree was actually
       // skipped", so probe the frame's successors: only an unvisited one (or
       // a violating closure we are not reporting) marks the run incomplete.
+      // Under an active reduction every edge is still unexplored.
       if (!result.budget_exhausted) {
-        for (size_t i = frame.next; i < frame.transitions.size(); ++i) {
-          RestoreAll(frame.state);
+        size_t probe_begin = frame.ample >= 0 ? 0 : frame.next;
+        for (size_t i = probe_begin; i < frame.transitions.size(); ++i) {
+          codec.Restore(frame.key);
+          codec.NoteStep(frame.transitions[i]);
           Apply(frame.transitions[i]);
           Violation probe_violation;
           bool probe_progress = false;
@@ -366,15 +469,16 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
             result.budget_exhausted = true;
             break;
           }
-          std::vector<int32_t> probe_state = SnapshotAll();
+          codec.EncodeStep(&next_key);
           uint64_t probe_credit = frame.progress_count + (probe_progress ? 1 : 0);
-          if (options.disable_state_dedup || visited.WouldClaim(probe_state, probe_credit)) {
+          if (options.disable_state_dedup ||
+              visited.WouldClaimHashed(HashWords(next_key), next_key, probe_credit)) {
             result.budget_exhausted = true;
             break;
           }
         }
       }
-      on_stack.erase(frame.state);
+      on_stack.erase(frame.key);
       stack.pop_back();
       continue;
     }
@@ -383,10 +487,14 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     result.max_depth_reached =
         std::max(result.max_depth_reached, static_cast<int>(stack.size()));
 
-    const Transition t = frame.transitions[frame.next++];
+    size_t index = frame.ample >= 0 ? static_cast<size_t>(frame.ample) : frame.next;
+    frame.taken = static_cast<int>(index);
+    ++frame.next;
+    const Transition t = frame.transitions[index];
     uint64_t parent_progress = frame.progress_count;
 
-    RestoreAll(frame.state);
+    codec.Restore(frame.key);
+    codec.NoteStep(t);
     Apply(t);
     ++result.transitions;
     bool step_progress = false;
@@ -395,26 +503,40 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       break;
     }
 
-    std::vector<int32_t> next_state = SnapshotAll();
+    codec.EncodeStep(&next_key);
+    uint64_t next_hash = HashWords(next_key);
+
+    auto stack_it = on_stack.end();
+    if (options.check_livelock || frame.ample >= 0) {
+      stack_it = on_stack.find(next_key);
+    }
 
     // Non-progress cycle: a back edge to an on-stack state with no progress
     // transition anywhere along the cycle.
-    if (options.check_livelock) {
-      auto it = on_stack.find(next_state);
-      if (it != on_stack.end()) {
-        uint64_t progress_at_entry = stack[it->second].progress_count;
-        uint64_t progress_now = parent_progress + (step_progress ? 1 : 0);
-        if (progress_now == progress_at_entry) {
-          report(ViolationKind::kNonProgressCycle,
-                 "non-progress cycle (livelock): a reachable cycle passes no progress label",
-                 &t);
-          break;
-        }
+    if (options.check_livelock && stack_it != on_stack.end()) {
+      uint64_t progress_at_entry = stack[static_cast<size_t>(stack_it->second)].progress_count;
+      uint64_t progress_now = parent_progress + (step_progress ? 1 : 0);
+      if (progress_now == progress_at_entry) {
+        report(ViolationKind::kNonProgressCycle,
+               "non-progress cycle (livelock): a reachable cycle passes no progress label",
+               &t);
+        break;
       }
     }
 
+    // Cycle proviso + progress visibility: abandon the reduction and
+    // re-expand this frame in full when the ample edge closes a DFS-stack
+    // cycle (otherwise the postponed transitions could be ignored forever
+    // around that cycle), or when it dynamically passed a progress label the
+    // static lookahead missed.
+    if (frame.ample >= 0 && (stack_it != on_stack.end() || step_progress)) {
+      frame.ample = -1;
+      frame.next = 0;
+    }
+
     uint64_t next_progress = parent_progress + (step_progress ? 1 : 0);
-    if (!options.disable_state_dedup && !visited.Claim(next_state, next_progress)) {
+    if (!options.disable_state_dedup &&
+        !visited.ClaimHashed(next_hash, next_key, next_progress)) {
       continue;  // Already explored (at this progress credit or lower).
     }
 
@@ -431,13 +553,17 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       continue;  // Valid end state; no successors.
     }
 
-    on_stack[next_state] = static_cast<int>(stack.size());
-    child.state = std::move(next_state);
+    if (options.por) {
+      child.ample = PickAmple(child.transitions, options.check_livelock);
+    }
+    child.key = next_key;
+    on_stack[child.key] = static_cast<int>(stack.size());
     stack.push_back(std::move(child));
   }
 
   result.states_stored = visited.size();
   result.state_bytes = visited.payload_bytes();
+  result.component_bytes = components != nullptr ? components->payload_bytes() : 0;
   result.ok = !result.violation.has_value();
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();

@@ -56,6 +56,21 @@ struct CheckerOptions {
   // dispatches safety checking to the parallel engine (src/check/parallel.h).
   // Non-progress-cycle checking always runs sequentially.
   int num_threads = 1;
+  // Ample-set partial-order reduction: when one process's sole enabled
+  // transition is a rendezvous on a channel with exactly one connected
+  // sender/receiver pair, and the rendezvous is invisible to the checked
+  // properties, explore only that transition. A DFS-stack cycle proviso (the
+  // parallel engine uses an already-visited proviso) falls back to the full
+  // expansion, so verdicts match the unreduced search. Off switch kept for
+  // ablation.
+  bool por = true;
+  // COLLAPSE-style compressed state storage: visited states become tuples of
+  // per-process component ids (see src/check/state_codec.h), with
+  // incremental re-snapshot/restore of only the processes a transition
+  // moved. Verdicts and stored-state counts are identical either way; off
+  // switch kept for ablation. Composes with fingerprint_only (the
+  // fingerprint is then taken over the compressed tuple).
+  bool collapse = true;
 };
 
 enum class ViolationKind {
@@ -85,8 +100,16 @@ struct CheckResult {
   // NOT set this). ok is then only "no violation found within budget".
   bool budget_exhausted = false;
   // Bytes of visited-set payload held when the search finished (full state
-  // vectors, or 8-byte fingerprints in fingerprint_only mode).
+  // vectors, compressed component-id tuples under `collapse`, or 8-byte
+  // fingerprints in fingerprint_only mode).
   uint64_t state_bytes = 0;
+  // Bytes of COLLAPSE component-table payload backing the compressed keys
+  // (0 without `collapse`). Total checker memory for bytes/state comparisons
+  // is state_bytes + component_bytes.
+  uint64_t component_bytes = 0;
+  // States that were expanded with a reduced (singleton ample) transition
+  // set and never fell back to the full expansion.
+  uint64_t por_reduced_states = 0;
 };
 
 class CheckedSystem {
@@ -105,7 +128,11 @@ class CheckedSystem {
   void ConnectByChannel(int from_process, int to_process, const esi::ChannelInfo* channel);
 
   Process& process(int id) { return *entries_[id].process; }
+  const Process& process(int id) const { return *entries_[id].process; }
   int process_count() const { return static_cast<int>(entries_.size()); }
+  // Per-process snapshot word counts, in process-id order (the layout both
+  // SnapshotAll and the collapse codec use).
+  std::vector<int> SnapshotSizes() const;
 
   // Structural deep copy: every process cloned in its reset state, all
   // connections preserved. Parallel-checker workers each own a clone so they
@@ -139,6 +166,20 @@ class CheckedSystem {
   bool AllAtValidEnd() const;
   std::string DescribeBlockedProcesses() const;
 
+  // Ample-set partial-order reduction (see CheckerOptions::por): index into
+  // `transitions` of a transition that is safe to explore *alone* at the
+  // current state, or -1 when no reduction applies. A transfer qualifies
+  // when its channel has exactly one connected sender/receiver pair
+  // system-wide (so no third process can interact with it) — both endpoints
+  // are committed to the rendezvous and every other enabled transition is
+  // independent of it. With `livelock_sensitive`, transfers whose
+  // participants might pass a progress label before blocking again are
+  // skipped (progress visibility). Callers still owe the cycle proviso: the
+  // reduction must be abandoned when the ample edge would close a cycle of
+  // reduced states (DFS stack hit sequentially, already-claimed successor in
+  // the parallel engine).
+  int PickAmple(const std::vector<Transition>& transitions, bool livelock_sensitive) const;
+
  private:
   struct Entry {
     std::unique_ptr<Process> process;
@@ -146,8 +187,14 @@ class CheckedSystem {
   };
 
   int TotalSnapshotSize() const;
+  // True when `t` is a transfer whose channel has exactly one connected link.
+  bool TransferOnExclusiveChannel(const Transition& t) const;
 
   std::vector<Entry> entries_;
+  // Lazy link count per channel for TransferOnExclusiveChannel; rebuilt after
+  // any Connect.
+  mutable std::unordered_map<const esi::ChannelInfo*, int> channel_links_;
+  mutable bool channel_links_ready_ = false;
 };
 
 }  // namespace efeu::check

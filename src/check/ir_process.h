@@ -21,8 +21,11 @@ class IrProcess : public Process {
   vm::RunState RunToBlock(std::string* error) override;
   vm::RunState state() const override { return executor_.state(); }
   int blocked_port() const override { return executor_.blocked_port(); }
-  std::vector<int32_t> PendingMessage() const override;
+  std::span<const int32_t> PendingMessage() const override {
+    return executor_.pending_message();
+  }
   int NondetArity() const override { return executor_.nondet_arity(); }
+  NextStepSummary PeekNextStep() const override;
   void CompleteSend() override { executor_.CompleteSend(); }
   void CompleteRecv(std::span<const int32_t> message) override {
     executor_.CompleteRecv(message);
@@ -40,9 +43,16 @@ class IrProcess : public Process {
   vm::IrExecutor& executor() { return executor_; }
 
  private:
+  // Lazily computed CFG fixpoint for PeekNextStep: what can happen from the
+  // entry of each block before the next blocking instruction.
+  void EnsureBlockSummaries() const;
+  NextStepSummary ScanFrom(int block, int inst_index) const;
+
   vm::IrExecutor executor_;
   std::string name_;
   std::vector<PortDecl> ports_;
+  mutable std::vector<NextStepSummary> block_entry_summary_;
+  mutable bool summaries_ready_ = false;
 };
 
 }  // namespace efeu::check

@@ -43,9 +43,18 @@ class NativeProcess : public Process {
 
   int blocked_port() const override { return Pending().port; }
 
-  std::vector<int32_t> PendingMessage() const override { return Pending().message; }
+  std::span<const int32_t> PendingMessage() const override { return Pending().message; }
 
   int NondetArity() const override { return Pending().arity; }
+
+  // Native processes never carry progress labels (TakeProgressFlag is
+  // constant false), so the only conservative field is the port/choice
+  // lookahead.
+  NextStepSummary PeekNextStep() const override {
+    NextStepSummary summary;
+    summary.may_pass_progress = false;
+    return summary;
+  }
 
   void CompleteSend() override {
     int port = Pending().port;

@@ -8,6 +8,8 @@
 #include <optional>
 #include <thread>
 
+#include "src/check/state_codec.h"
+#include "src/support/hash.h"
 #include "src/support/state_table.h"
 
 namespace efeu::check {
@@ -15,7 +17,8 @@ namespace efeu::check {
 namespace {
 
 struct WorkItem {
-  // Post-closure snapshot, already claimed in the shared table.
+  // Post-closure state key (see StateCodec), already claimed in the shared
+  // table.
   std::vector<int32_t> state;
   // Transition descriptions from the initial state to `state`; doubles as the
   // item's depth (transitions taken so far).
@@ -41,15 +44,18 @@ class Engine {
   // enough to feed every worker, then moves it into the global queue. Returns
   // false when no worker phase is needed: the space was fully explored during
   // seeding, a violation was found (stored in *result), or a budget ran out.
+  // The prefix is expanded without partial-order reduction: seed states are
+  // the roots every worker's reduced DFS hangs off, and fully expanding them
+  // trivially satisfies the cycle proviso for any cycle through them.
   bool Seed(CheckedSystem& system, CheckResult* result);
 
   void Worker(CheckedSystem& system);
-  void Explore(CheckedSystem& system, const WorkItem& item);
+  void Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& item);
 
   // Depth-prune probe: sets the exhausted flag only if one of the remaining
-  // successors of `state` is actually unvisited (or its closure violates).
-  void ProbeSkipped(CheckedSystem& system, const std::vector<int32_t>& state,
-                    const std::vector<CheckedSystem::Transition>& transitions, size_t next);
+  // successors of `key` is actually unvisited (or its closure violates).
+  void ProbeSkipped(CheckedSystem& system, StateCodec& codec, const std::vector<int32_t>& key,
+                    const std::vector<CheckedSystem::Transition>& transitions, size_t begin);
 
   std::optional<WorkItem> Pop();
   void PushWork(WorkItem item);
@@ -65,6 +71,9 @@ class Engine {
   const ParallelCheckerOptions& options_;
   const int workers_;
   ShardedStateTable table_;
+  // Shared COLLAPSE component store (null without options.base.collapse).
+  // Interning is content-addressed, so all workers' codecs agree on ids.
+  std::unique_ptr<CollapseTable> collapse_;
   const std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
 
   std::mutex queue_mu_;
@@ -80,6 +89,7 @@ class Engine {
   std::optional<Violation> violation_;
 
   std::atomic<uint64_t> transitions_{0};
+  std::atomic<uint64_t> por_reduced_{0};
   std::atomic<int> max_depth_{0};
   std::atomic<bool> exhausted_{false};
 };
@@ -162,18 +172,26 @@ bool Engine::OutOfBudget() {
   return over;
 }
 
-void Engine::ProbeSkipped(CheckedSystem& system, const std::vector<int32_t>& state,
+void Engine::ProbeSkipped(CheckedSystem& system, StateCodec& codec,
+                          const std::vector<int32_t>& key,
                           const std::vector<CheckedSystem::Transition>& transitions,
-                          size_t next) {
+                          size_t begin) {
   if (exhausted_.load(std::memory_order_relaxed)) {
     return;
   }
-  for (size_t i = next; i < transitions.size(); ++i) {
-    system.RestoreAll(state);
+  std::vector<int32_t> probe_key;
+  for (size_t i = begin; i < transitions.size(); ++i) {
+    codec.Restore(key);
+    codec.NoteStep(transitions[i]);
     system.Apply(transitions[i]);
     Violation violation;
     bool progress = false;
-    if (!system.Closure(&violation, &progress) || table_.WouldClaim(system.SnapshotAll())) {
+    if (!system.Closure(&violation, &progress)) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    codec.EncodeStep(&probe_key);
+    if (table_.WouldClaimHashed(HashWords(probe_key), probe_key)) {
       exhausted_.store(true, std::memory_order_relaxed);
       return;
     }
@@ -181,6 +199,7 @@ void Engine::ProbeSkipped(CheckedSystem& system, const std::vector<int32_t>& sta
 }
 
 bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
+  StateCodec codec(system, collapse_.get());
   system.ResetAll();
   Violation violation;
   bool progress = false;
@@ -188,8 +207,9 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
     result->violation = std::move(violation);
     return false;
   }
-  std::vector<int32_t> init = system.SnapshotAll();
-  table_.Claim(init);
+  std::vector<int32_t> init;
+  codec.EncodeFull(&init);
+  table_.ClaimHashed(HashWords(init), init);
   if (system.EnabledTransitions().empty()) {
     if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
       Violation v;
@@ -205,6 +225,7 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
   int seed_factor = options_.seed_factor < 1 ? 1 : options_.seed_factor;
   size_t target = static_cast<size_t>(seed_factor) * static_cast<size_t>(workers_);
 
+  std::vector<int32_t> next_key;
   while (!frontier.empty() && frontier.size() < target) {
     if (OutOfBudget()) {
       return false;
@@ -212,15 +233,16 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
     WorkItem item = std::move(frontier.front());
     frontier.pop_front();
     int depth = static_cast<int>(item.trace.size()) + 1;
-    system.RestoreAll(item.state);
+    codec.Restore(item.state);
     std::vector<CheckedSystem::Transition> transitions = system.EnabledTransitions();
     if (depth > options_.base.max_depth) {
-      ProbeSkipped(system, item.state, transitions, 0);
+      ProbeSkipped(system, codec, item.state, transitions, 0);
       continue;
     }
     NoteDepth(depth);
     for (const CheckedSystem::Transition& t : transitions) {
-      system.RestoreAll(item.state);
+      codec.Restore(item.state);
+      codec.NoteStep(t);
       system.Apply(t);
       transitions_.fetch_add(1, std::memory_order_relaxed);
       Violation step_violation;
@@ -231,8 +253,8 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
         result->violation = std::move(step_violation);
         return false;
       }
-      std::vector<int32_t> next_state = system.SnapshotAll();
-      if (!table_.Claim(next_state)) {
+      codec.EncodeStep(&next_key);
+      if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
         continue;
       }
       std::vector<std::string> trace = item.trace;
@@ -248,7 +270,7 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
         }
         continue;
       }
-      frontier.push_back(WorkItem{std::move(next_state), std::move(trace)});
+      frontier.push_back(WorkItem{next_key, std::move(trace)});
     }
   }
 
@@ -261,20 +283,27 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
 }
 
 void Engine::Worker(CheckedSystem& system) {
+  StateCodec codec(system, collapse_.get());
   for (;;) {
     std::optional<WorkItem> item = Pop();
     if (!item.has_value()) {
       return;
     }
-    Explore(system, *item);
+    Explore(system, codec, *item);
   }
 }
 
-void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
+void Engine::Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& item) {
+  const bool por = options_.base.por;
   struct Frame {
-    std::vector<int32_t> state;
+    std::vector<int32_t> key;
     std::vector<CheckedSystem::Transition> transitions;
     size_t next = 0;
+    // >= 0: only transitions[ample] is explored (partial-order reduction);
+    // reset to -1 with next = 0 when the ample successor turns out to be
+    // already claimed (the parallel cycle proviso, conservative: any cycle's
+    // closing edge necessarily targets an already-claimed state).
+    int ample = -1;
     // Description of the transition that led into this frame (empty for the
     // item's root frame, whose path is item.trace).
     std::string desc;
@@ -292,18 +321,29 @@ void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
     return trace;
   };
 
-  system.RestoreAll(item.state);
+  codec.Restore(item.state);
   Frame root;
-  root.state = item.state;
+  root.key = item.state;
   root.transitions = system.EnabledTransitions();
+  if (por) {
+    // The parallel engine only runs safety passes (no livelock), so progress
+    // visibility never constrains the ample choice.
+    root.ample = system.PickAmple(root.transitions, /*livelock_sensitive=*/false);
+  }
   stack.push_back(std::move(root));
 
+  std::vector<int32_t> next_key;
   while (!stack.empty()) {
     if (ShouldStop()) {
       return;
     }
     Frame& frame = stack.back();
-    if (frame.next >= frame.transitions.size()) {
+    bool frame_done =
+        frame.ample >= 0 ? frame.next > 0 : frame.next >= frame.transitions.size();
+    if (frame_done) {
+      if (frame.ample >= 0) {
+        por_reduced_.fetch_add(1, std::memory_order_relaxed);
+      }
       stack.pop_back();
       continue;
     }
@@ -312,14 +352,18 @@ void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
     }
     int depth = static_cast<int>(item.trace.size() + stack.size());
     if (depth > options_.base.max_depth) {
-      ProbeSkipped(system, frame.state, frame.transitions, frame.next);
+      ProbeSkipped(system, codec, frame.key, frame.transitions,
+                   frame.ample >= 0 ? 0 : frame.next);
       stack.pop_back();
       continue;
     }
     NoteDepth(depth);
 
-    const CheckedSystem::Transition t = frame.transitions[frame.next++];
-    system.RestoreAll(frame.state);
+    size_t index = frame.ample >= 0 ? static_cast<size_t>(frame.ample) : frame.next;
+    ++frame.next;
+    const CheckedSystem::Transition t = frame.transitions[index];
+    codec.Restore(frame.key);
+    codec.NoteStep(t);
     system.Apply(t);
     transitions_.fetch_add(1, std::memory_order_relaxed);
     Violation violation;
@@ -329,9 +373,16 @@ void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
       ReportViolation(std::move(violation));
       return;
     }
-    std::vector<int32_t> next_state = system.SnapshotAll();
-    if (!table_.Claim(next_state)) {
-      continue;  // Another worker (or this one) already owns this state.
+    codec.EncodeStep(&next_key);
+    if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
+      // Another worker (or this one) already owns this state. If it was the
+      // ample successor, it might close a cycle of reduced states: fall back
+      // to the full expansion (cycle proviso).
+      if (frame.ample >= 0) {
+        frame.ample = -1;
+        frame.next = 0;
+      }
+      continue;
     }
     std::vector<CheckedSystem::Transition> next_transitions = system.EnabledTransitions();
     if (next_transitions.empty()) {
@@ -349,20 +400,26 @@ void Engine::Explore(CheckedSystem& system, const WorkItem& item) {
       // Other workers look starved: donate this subtree instead of descending.
       WorkItem donated;
       donated.trace = build_trace(&t);
-      donated.state = std::move(next_state);
+      donated.state = next_key;
       PushWork(std::move(donated));
       continue;
     }
     Frame child;
     child.desc = t.Describe(system);
-    child.state = std::move(next_state);
+    child.key = next_key;
     child.transitions = std::move(next_transitions);
+    if (por) {
+      child.ample = system.PickAmple(child.transitions, /*livelock_sensitive=*/false);
+    }
     stack.push_back(std::move(child));
   }
 }
 
 CheckResult Engine::Run(CheckedSystem& system) {
   CheckResult result;
+  if (options_.base.collapse) {
+    collapse_ = std::make_unique<CollapseTable>(system.SnapshotSizes());
+  }
   if (Seed(system, &result)) {
     // Each worker explores on its own structural clone of the system.
     std::vector<std::unique_ptr<CheckedSystem>> clones;
@@ -387,6 +444,8 @@ CheckResult Engine::Run(CheckedSystem& system) {
   }
   result.states_stored = table_.size();
   result.state_bytes = table_.payload_bytes();
+  result.component_bytes = collapse_ != nullptr ? collapse_->payload_bytes() : 0;
+  result.por_reduced_states = por_reduced_.load(std::memory_order_relaxed);
   result.transitions = transitions_.load(std::memory_order_relaxed);
   result.max_depth_reached = max_depth_.load(std::memory_order_relaxed);
   result.budget_exhausted = exhausted_.load(std::memory_order_relaxed);

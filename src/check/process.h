@@ -23,6 +23,22 @@ struct PortDecl {
   bool is_send = false;
 };
 
+// Conservative static summary of what a blocked process may do between
+// completing its current blocking operation and reaching its next one. The
+// partial-order reduction layer (checker.cc) uses it to decide whether a
+// rendezvous is invisible to the checked properties. Every field
+// over-approximates: false / a narrow mask is a guarantee, the defaults just
+// mean "unknown".
+struct NextStepSummary {
+  // The process might pass a progress label before blocking again.
+  bool may_pass_progress = true;
+  // The process might block at a nondet choice next.
+  bool may_choose = true;
+  // Bit p set: the process might block on port p next (ports >= 64 saturate
+  // the whole mask).
+  uint64_t port_mask = ~uint64_t{0};
+};
+
 class Process {
  public:
   virtual ~Process() = default;
@@ -39,10 +55,17 @@ class Process {
 
   // Valid while blocked on a send/recv.
   virtual int blocked_port() const = 0;
-  // Valid while blocked on a send.
-  virtual std::vector<int32_t> PendingMessage() const = 0;
+  // Valid while blocked on a send. The span borrows the sender's staging
+  // buffer: it stays valid until the sender's next state change, so a
+  // rendezvous must deliver it to the receiver before CompleteSend().
+  virtual std::span<const int32_t> PendingMessage() const = 0;
   // Valid while blocked on a nondet.
   virtual int NondetArity() const = 0;
+
+  // Static lookahead past the current blocking operation (see
+  // NextStepSummary). The default is fully conservative, which simply makes
+  // the process ineligible for some partial-order reductions.
+  virtual NextStepSummary PeekNextStep() const { return {}; }
 
   virtual void CompleteSend() = 0;
   virtual void CompleteRecv(std::span<const int32_t> message) = 0;

@@ -1,0 +1,151 @@
+#include "src/check/state_codec.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/hash.h"
+
+namespace efeu::check {
+
+CollapseTable::CollapseTable(std::vector<int> sizes) {
+  per_process_.reserve(sizes.size());
+  for (int size : sizes) {
+    auto pp = std::make_unique<PerProcess>();
+    pp->size = size;
+    per_process_.push_back(std::move(pp));
+  }
+}
+
+int32_t CollapseTable::Intern(int process, std::span<const int32_t> snapshot) {
+  PerProcess& pp = *per_process_[process];
+  uint64_t fingerprint = HashWords(snapshot);
+  std::lock_guard<std::mutex> lock(pp.mu);
+  std::vector<int32_t>& chain = pp.index[fingerprint];
+  for (int32_t id : chain) {
+    const int32_t* stored = Slot(pp, id);
+    if (std::equal(snapshot.begin(), snapshot.end(), stored)) {
+      return id;
+    }
+  }
+  int32_t id = pp.count.load(std::memory_order_relaxed);
+  EFEU_CHECK(id < PerProcess::kChunkSize * PerProcess::kMaxChunks,
+             "CollapseTable: per-process component table overflow");
+  size_t chunk_index = static_cast<size_t>(id) >> PerProcess::kChunkShift;
+  int32_t* chunk = pp.chunks[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    auto owned = std::make_unique<int32_t[]>(static_cast<size_t>(PerProcess::kChunkSize) *
+                                             static_cast<size_t>(pp.size));
+    chunk = owned.get();
+    pp.owned.push_back(std::move(owned));
+    pp.chunks[chunk_index].store(chunk, std::memory_order_release);
+  }
+  int32_t* slot = chunk + (static_cast<size_t>(id) & (PerProcess::kChunkSize - 1)) *
+                              static_cast<size_t>(pp.size);
+  std::copy(snapshot.begin(), snapshot.end(), slot);
+  chain.push_back(id);
+  // Publish after the payload is in place; readers that learned `id` through
+  // a synchronized handoff see the filled slot.
+  pp.count.store(id + 1, std::memory_order_release);
+  payload_bytes_.fetch_add(static_cast<uint64_t>(pp.size) * sizeof(int32_t) + sizeof(int32_t),
+                           std::memory_order_relaxed);
+  return id;
+}
+
+void CollapseTable::Expand(int process, int32_t id, std::span<int32_t> out) const {
+  const PerProcess& pp = *per_process_[process];
+  const int32_t* stored = Slot(pp, id);
+  std::copy(stored, stored + pp.size, out.begin());
+}
+
+uint64_t CollapseTable::components() const {
+  uint64_t total = 0;
+  for (const auto& pp : per_process_) {
+    total += static_cast<uint64_t>(pp->count.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+StateCodec::StateCodec(CheckedSystem& system, CollapseTable* table)
+    : system_(system), table_(table) {
+  int process_count = system.process_count();
+  sizes_.resize(static_cast<size_t>(process_count));
+  offsets_.resize(static_cast<size_t>(process_count));
+  int max_size = 0;
+  int total = 0;
+  for (int p = 0; p < process_count; ++p) {
+    sizes_[static_cast<size_t>(p)] = system.process(p).SnapshotSize();
+    offsets_[static_cast<size_t>(p)] = total;
+    total += sizes_[static_cast<size_t>(p)];
+    max_size = std::max(max_size, sizes_[static_cast<size_t>(p)]);
+  }
+  if (table_ != nullptr) {
+    key_size_ = process_count;
+    current_.assign(static_cast<size_t>(process_count), kDirty);
+    scratch_.resize(static_cast<size_t>(max_size));
+  } else {
+    key_size_ = total;
+  }
+}
+
+void StateCodec::EncodeProcess(int process) {
+  std::span<int32_t> buffer(scratch_.data(), static_cast<size_t>(sizes_[static_cast<size_t>(process)]));
+  system_.process(process).Snapshot(buffer);
+  current_[static_cast<size_t>(process)] = table_->Intern(process, buffer);
+}
+
+void StateCodec::EncodeFull(std::vector<int32_t>* key) {
+  if (table_ == nullptr) {
+    key->resize(static_cast<size_t>(key_size_));
+    for (size_t p = 0; p < sizes_.size(); ++p) {
+      system_.process(static_cast<int>(p))
+          .Snapshot(std::span<int32_t>(*key).subspan(static_cast<size_t>(offsets_[p]),
+                                                     static_cast<size_t>(sizes_[p])));
+    }
+    return;
+  }
+  for (size_t p = 0; p < sizes_.size(); ++p) {
+    EncodeProcess(static_cast<int>(p));
+  }
+  *key = current_;
+}
+
+void StateCodec::NoteStep(const CheckedSystem::Transition& t) {
+  if (table_ == nullptr) {
+    return;
+  }
+  current_[static_cast<size_t>(t.process)] = kDirty;
+  if (t.kind == CheckedSystem::Transition::Kind::kTransfer) {
+    current_[static_cast<size_t>(t.peer)] = kDirty;
+  }
+}
+
+void StateCodec::EncodeStep(std::vector<int32_t>* key) {
+  if (table_ == nullptr) {
+    EncodeFull(key);
+    return;
+  }
+  for (size_t p = 0; p < current_.size(); ++p) {
+    if (current_[p] == kDirty) {
+      EncodeProcess(static_cast<int>(p));
+    }
+  }
+  *key = current_;
+}
+
+void StateCodec::Restore(const std::vector<int32_t>& key) {
+  if (table_ == nullptr) {
+    system_.RestoreAll(key);
+    return;
+  }
+  for (size_t p = 0; p < current_.size(); ++p) {
+    if (current_[p] == key[p]) {
+      continue;  // Live process already holds this component.
+    }
+    std::span<int32_t> buffer(scratch_.data(), static_cast<size_t>(sizes_[p]));
+    table_->Expand(static_cast<int>(p), key[p], buffer);
+    system_.process(static_cast<int>(p)).Restore(buffer);
+    current_[p] = key[p];
+  }
+}
+
+}  // namespace efeu::check

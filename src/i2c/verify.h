@@ -83,7 +83,10 @@ std::unique_ptr<VerifierSystem> BuildVerifier(const VerifyConfig& config,
 
 // Runs the verification the way the paper runs SPIN (section 4.3): one pass
 // checking assertions + invalid end states, one pass checking non-progress
-// cycles, with the runtimes summed.
+// cycles, with the runtimes summed. Both passes derive their options from
+// `base_options`, so callers can set budgets, thread counts, hash
+// compaction, or toggle the state-space reductions (por/collapse, on by
+// default; see DESIGN.md "State-space reduction").
 struct VerifyRunResult {
   check::CheckResult safety;
   check::CheckResult liveness;

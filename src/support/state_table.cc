@@ -1,12 +1,8 @@
 #include "src/support/state_table.h"
 
-#include "src/support/hash.h"
+#include <algorithm>
 
 namespace efeu {
-
-size_t ShardedStateTable::VectorHash::operator()(const std::vector<int32_t>& v) const {
-  return static_cast<size_t>(HashWords(v));
-}
 
 ShardedStateTable::ShardedStateTable(const StateTableOptions& options) : options_(options) {
   int shards = options_.num_shards < 1 ? 1 : options_.num_shards;
@@ -16,8 +12,8 @@ ShardedStateTable::ShardedStateTable(const StateTableOptions& options) : options
   }
 }
 
-bool ShardedStateTable::Claim(std::span<const int32_t> state, uint64_t progress) {
-  uint64_t fingerprint = HashWords(state);
+bool ShardedStateTable::ClaimHashed(uint64_t fingerprint, std::span<const int32_t> state,
+                                    uint64_t progress) {
   Shard& shard = shard_for(fingerprint);
   uint64_t entry_bytes = options_.fingerprint_only ? 8 : state.size() * sizeof(int32_t);
   if (options_.track_progress) {
@@ -25,18 +21,25 @@ bool ShardedStateTable::Claim(std::span<const int32_t> state, uint64_t progress)
   }
   std::lock_guard<std::mutex> lock(shard.mu);
   uint64_t* stored = nullptr;
-  bool inserted = false;
   if (options_.fingerprint_only) {
     auto [it, is_new] = shard.by_fingerprint.try_emplace(fingerprint, progress);
-    stored = &it->second;
-    inserted = is_new;
+    if (!is_new) {
+      stored = &it->second;
+    }
   } else {
-    auto [it, is_new] =
-        shard.by_state.try_emplace(std::vector<int32_t>(state.begin(), state.end()), progress);
-    stored = &it->second;
-    inserted = is_new;
+    std::vector<Entry>& chain = shard.by_state[fingerprint];
+    for (Entry& entry : chain) {
+      if (entry.words.size() == state.size() &&
+          std::equal(entry.words.begin(), entry.words.end(), state.begin())) {
+        stored = &entry.progress;
+        break;
+      }
+    }
+    if (stored == nullptr) {
+      chain.push_back(Entry{std::vector<int32_t>(state.begin(), state.end()), progress});
+    }
   }
-  if (inserted) {
+  if (stored == nullptr) {
     shard.count.fetch_add(1, std::memory_order_relaxed);
     shard.bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
     return true;
@@ -48,8 +51,8 @@ bool ShardedStateTable::Claim(std::span<const int32_t> state, uint64_t progress)
   return false;
 }
 
-bool ShardedStateTable::WouldClaim(std::span<const int32_t> state, uint64_t progress) const {
-  uint64_t fingerprint = HashWords(state);
+bool ShardedStateTable::WouldClaimHashed(uint64_t fingerprint, std::span<const int32_t> state,
+                                         uint64_t progress) const {
   const Shard& shard = shard_for(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   const uint64_t* stored = nullptr;
@@ -59,9 +62,15 @@ bool ShardedStateTable::WouldClaim(std::span<const int32_t> state, uint64_t prog
       stored = &it->second;
     }
   } else {
-    auto it = shard.by_state.find(std::vector<int32_t>(state.begin(), state.end()));
+    auto it = shard.by_state.find(fingerprint);
     if (it != shard.by_state.end()) {
-      stored = &it->second;
+      for (const Entry& entry : it->second) {
+        if (entry.words.size() == state.size() &&
+            std::equal(entry.words.begin(), entry.words.end(), state.begin())) {
+          stored = &entry.progress;
+          break;
+        }
+      }
     }
   }
   if (stored == nullptr) {

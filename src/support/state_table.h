@@ -10,6 +10,12 @@
 //    false-negative probability of roughly stored_states^2 / 2^65 in
 //    exchange for a fixed 8 bytes per state.
 //
+// Each state vector is hashed exactly once: callers that already computed
+// HashWords (the checker DFS needs it anyway) pass it to the *Hashed entry
+// points, which use it for both shard selection and bucket placement. Exact
+// mode keeps fingerprint-collision chains, so a colliding pair of distinct
+// states still occupies two entries and membership stays exact.
+//
 // With track_progress the table additionally remembers the minimum progress
 // credit each state was reached with, and Claim re-admits a state reached
 // with a strictly lower credit — the re-entry rule the sequential checker's
@@ -26,6 +32,8 @@
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "src/support/hash.h"
 
 namespace efeu {
 
@@ -47,10 +55,18 @@ class ShardedStateTable {
   // Claims `state` for exploration. Returns true when the caller should
   // explore it: the state is new, or (with track_progress) it was reached
   // with a strictly lower progress credit than every earlier visit.
-  bool Claim(std::span<const int32_t> state, uint64_t progress = 0);
+  bool Claim(std::span<const int32_t> state, uint64_t progress = 0) {
+    return ClaimHashed(HashWords(state), state, progress);
+  }
+  // Same, with the caller-precomputed HashWords(state) fingerprint.
+  bool ClaimHashed(uint64_t fingerprint, std::span<const int32_t> state, uint64_t progress = 0);
 
   // Read-only variant: whether Claim would return true, without inserting.
-  bool WouldClaim(std::span<const int32_t> state, uint64_t progress = 0) const;
+  bool WouldClaim(std::span<const int32_t> state, uint64_t progress = 0) const {
+    return WouldClaimHashed(HashWords(state), state, progress);
+  }
+  bool WouldClaimHashed(uint64_t fingerprint, std::span<const int32_t> state,
+                        uint64_t progress = 0) const;
 
   // Distinct states stored.
   uint64_t size() const;
@@ -61,16 +77,18 @@ class ShardedStateTable {
   void Clear();
 
  private:
-  struct VectorHash {
-    size_t operator()(const std::vector<int32_t>& v) const;
+  struct Entry {
+    std::vector<int32_t> words;
+    uint64_t progress = 0;
   };
 
   struct Shard {
     mutable std::mutex mu;
     // fingerprint -> min progress credit (fingerprint_only mode).
     std::unordered_map<uint64_t, uint64_t> by_fingerprint;
-    // full state -> min progress credit (exact mode).
-    std::unordered_map<std::vector<int32_t>, uint64_t, VectorHash> by_state;
+    // fingerprint -> states with that fingerprint (exact mode; the chain is
+    // almost always a single entry).
+    std::unordered_map<uint64_t, std::vector<Entry>> by_state;
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> bytes{0};
   };

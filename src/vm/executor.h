@@ -84,6 +84,11 @@ class IrExecutor {
   std::span<const int32_t> frame() const { return frame_; }
   std::span<int32_t> mutable_frame() { return frame_; }
 
+  // Program-counter accessors for the model checker's static lookahead
+  // (partial-order reduction; src/check/ir_process.cc).
+  int current_block() const { return block_; }
+  int current_inst_index() const { return inst_index_; }
+
   void Reset();
 
  private:

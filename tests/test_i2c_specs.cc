@@ -145,7 +145,7 @@ TEST(ElectricalProcess, CombinesWiredAnd) {
   electrical.CompleteRecv(c_levels);
   ASSERT_EQ(electrical.state(), vm::RunState::kBlockedSend);
   EXPECT_FALSE(electrical.AtValidEndState());
-  std::vector<int32_t> combined = electrical.PendingMessage();
+  std::span<const int32_t> combined = electrical.PendingMessage();
   ASSERT_EQ(combined.size(), 2u);
   EXPECT_EQ(combined[0], 0);
   EXPECT_EQ(combined[1], 0);
@@ -202,7 +202,7 @@ TEST(TransactionSpec, RoutesByAddressAndNacksUnknown) {
   ASSERT_EQ(spec.state(), vm::RunState::kBlockedRecv);
   spec.CompleteRecv(cmd);
   ASSERT_EQ(spec.state(), vm::RunState::kBlockedSend);
-  std::vector<int32_t> reply = spec.PendingMessage();
+  std::span<const int32_t> reply = spec.PendingMessage();
   EXPECT_EQ(reply[0], kCtResNack);
   spec.CompleteSend();
   EXPECT_TRUE(spec.AtValidEndState());

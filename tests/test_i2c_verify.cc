@@ -270,11 +270,18 @@ TEST(ParallelVerify, ByteFullStackMatchesSequential) {
   VerifyConfig config;
   config.level = VerifyLevel::kByte;
   config.num_ops = 2;
-  VerifyRunResult sequential = RunConfig(config);
+  // POR off: the two engines use different cycle provisos, so only the
+  // unreduced searches store identical state sets (verdict equivalence with
+  // POR on is covered by the por/collapse equivalence suite).
+  check::CheckerOptions unreduced;
+  unreduced.por = false;
+  DiagnosticEngine diag_seq;
+  VerifyRunResult sequential = RunVerification(config, diag_seq, unreduced);
   ASSERT_TRUE(sequential.ok) << Describe(sequential);
 
   check::CheckerOptions base;
   base.num_threads = 4;
+  base.por = false;
   DiagnosticEngine diag;
   VerifyRunResult parallel = RunVerification(config, diag, base);
   ASSERT_TRUE(parallel.ok) << Describe(parallel);
@@ -305,11 +312,17 @@ TEST(ParallelVerify, FingerprintOnlyShrinksBytesPerState) {
   VerifyConfig config;
   config.level = VerifyLevel::kByte;
   config.num_ops = 2;
-  VerifyRunResult full = RunConfig(config);
+  // COLLAPSE off on both sides: this test compares hash compaction against
+  // full snapshot vectors (compressed-tuple storage has its own tests).
+  check::CheckerOptions uncompressed;
+  uncompressed.collapse = false;
+  DiagnosticEngine diag_full;
+  VerifyRunResult full = RunVerification(config, diag_full, uncompressed);
   ASSERT_TRUE(full.ok) << Describe(full);
 
   check::CheckerOptions base;
   base.fingerprint_only = true;
+  base.collapse = false;
   DiagnosticEngine diag;
   VerifyRunResult compact = RunVerification(config, diag, base);
   ASSERT_TRUE(compact.ok) << Describe(compact);
@@ -331,8 +344,11 @@ TEST(ParallelVerify, EepTransactionDeterministicAcrossThreadCounts) {
   config.max_len = 4;
   config.fault_events = 1;
 
+  // POR off throughout: stored-state equality across thread counts is only
+  // guaranteed for the unreduced search (the engines' cycle provisos differ).
   check::CheckerOptions one;
   one.num_threads = 1;
+  one.por = false;
   DiagnosticEngine diag1;
   VerifyRunResult sequential = RunVerification(config, diag1, one);
   ASSERT_FALSE(diag1.HasErrors()) << diag1.RenderAll();
@@ -340,6 +356,7 @@ TEST(ParallelVerify, EepTransactionDeterministicAcrossThreadCounts) {
 
   check::CheckerOptions four;
   four.num_threads = 4;
+  four.por = false;
   DiagnosticEngine diag4;
   VerifyRunResult parallel = RunVerification(config, diag4, four);
   ASSERT_FALSE(diag4.HasErrors()) << diag4.RenderAll();
