@@ -1,0 +1,622 @@
+#include "src/analysis/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/dataflow.h"
+#include "src/support/text.h"
+
+namespace efeu::analysis {
+
+namespace {
+
+std::string IntervalStr(const Interval& v) {
+  return "[" + std::to_string(v.lo) + ", " + std::to_string(v.hi) + "]";
+}
+
+std::string SlotName(const ir::Module& module, int record) {
+  if (record < 0 || record >= static_cast<int>(module.slots.size())) {
+    return "<unknown>";
+  }
+  return module.slots[record].name;
+}
+
+std::string ChannelName(const esi::ChannelInfo& channel) {
+  return channel.from + " -> " + channel.to;
+}
+
+void AddDeclNote(const ir::Module& module, int record, Finding& finding) {
+  if (record < 0 || record >= static_cast<int>(module.slots.size())) {
+    return;
+  }
+  const ir::SlotInfo& slot = module.slots[record];
+  if (slot.decl_loc.IsValid()) {
+    finding.notes.push_back({slot.decl_loc, "'" + slot.name + "' declared here"});
+  }
+}
+
+// Collects the dataflow-driven rule events during the replay pass.
+class RuleObserver : public DataflowObserver {
+ public:
+  explicit RuleObserver(const ir::Module& module) : module_(module) {}
+
+  void OnUninitRead(int block, const ir::Inst& inst, int record) override {
+    if (!inst.loc.IsValid()) {
+      return;
+    }
+    auto it = first_uninit_read_.find(record);
+    if (it == first_uninit_read_.end() || Earlier(inst.loc, it->second)) {
+      first_uninit_read_[record] = inst.loc;
+    }
+  }
+
+  void OnTruncationLoss(int block, const ir::Inst& inst, int record, const Interval& src,
+                        const Type& type) override {
+    if (!inst.loc.IsValid() || !Once(inst.loc, kRuleTruncationLoss)) {
+      return;
+    }
+    Finding finding;
+    finding.rule = kRuleTruncationLoss;
+    finding.severity = Severity::kWarning;
+    finding.location = inst.loc;
+    finding.message = "value in range " + IntervalStr(src) + " never fits " + type.ToString() +
+                      " '" + SlotName(module_, record) + "' (storage range " +
+                      IntervalStr(Interval::Storage(type)) + "); the stored value always differs";
+    AddDeclNote(module_, record, finding);
+    findings.push_back(std::move(finding));
+  }
+
+  void OnDefiniteOutOfBounds(int block, const ir::Inst& inst, int base_record,
+                             const Interval& index, int bound) override {
+    if (!inst.loc.IsValid() || !Once(inst.loc, kRuleStaticBounds)) {
+      return;
+    }
+    Finding finding;
+    finding.rule = kRuleStaticBounds;
+    finding.severity = Severity::kError;
+    finding.location = inst.loc;
+    finding.message = "array index in range " + IntervalStr(index) +
+                      " is always out of bounds for '" + SlotName(module_, base_record) + "' (" +
+                      std::to_string(bound) + " elements); this access always fails at runtime";
+    AddDeclNote(module_, base_record, finding);
+    findings.push_back(std::move(finding));
+  }
+
+  // Converts the deduplicated uninitialized-read sites into findings.
+  void FlushUninitReads() {
+    for (const auto& [record, loc] : first_uninit_read_) {
+      Finding finding;
+      finding.rule = kRuleUseBeforeInit;
+      finding.severity = Severity::kWarning;
+      finding.location = loc;
+      finding.message = "'" + SlotName(module_, record) +
+                        "' may be read before initialization (frames start zeroed, but no "
+                        "assignment or message dominates this read)";
+      AddDeclNote(module_, record, finding);
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  std::vector<Finding> findings;
+
+ private:
+  static bool Earlier(const SourceLocation& a, const SourceLocation& b) {
+    return a.line != b.line ? a.line < b.line : a.column < b.column;
+  }
+
+  bool Once(const SourceLocation& loc, const std::string& rule) {
+    return reported_.insert(rule + "@" + std::to_string(loc.line) + ":" +
+                            std::to_string(loc.column))
+        .second;
+  }
+
+  const ir::Module& module_;
+  std::map<int, SourceLocation> first_uninit_read_;
+  std::set<std::string> reported_;
+};
+
+// First valid source location found by breadth-first search over `allowed`
+// blocks starting at `root`; marks every visited block in `visited`.
+SourceLocation FindRegionLoc(const ir::Module& module, const CfgFacts& cfg, int root,
+                             const std::vector<char>& allowed, std::vector<char>& visited) {
+  SourceLocation loc;
+  std::vector<int> queue{root};
+  visited[root] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int b = queue[head];
+    if (!loc.IsValid()) {
+      for (const ir::Inst& inst : module.blocks[b].insts) {
+        if (inst.loc.IsValid()) {
+          loc = inst.loc;
+          break;
+        }
+      }
+    }
+    for (int s : cfg.succs[b]) {
+      if (allowed[s] && !visited[s]) {
+        visited[s] = 1;
+        queue.push_back(s);
+      }
+    }
+  }
+  return loc;
+}
+
+void RunUnreachableRule(const ir::Module& module, const CfgFacts& cfg, const DataflowFacts& df,
+                        std::vector<Finding>& findings) {
+  size_t n = module.blocks.size();
+  // Graph-unreachable code: report once per dead region, at the root blocks
+  // (no predecessors at all). Dead blocks reached only from other dead blocks
+  // ride along silently to avoid a cascade of reports.
+  std::vector<char> dead(n, 0);
+  for (size_t b = 0; b < n; ++b) {
+    dead[b] = !cfg.reachable[b];
+  }
+  std::vector<char> visited(n, 0);
+  for (size_t b = 0; b < n; ++b) {
+    if (!dead[b] || !cfg.preds[b].empty() || visited[b]) {
+      continue;
+    }
+    SourceLocation loc = FindRegionLoc(module, cfg, static_cast<int>(b), dead, visited);
+    if (!loc.IsValid()) {
+      continue;  // Purely synthetic blocks (e.g. a lone halt after a goto).
+    }
+    Finding finding;
+    finding.rule = kRuleUnreachableCode;
+    finding.severity = Severity::kWarning;
+    finding.location = loc;
+    finding.message = "unreachable code: no control path reaches this statement";
+    findings.push_back(std::move(finding));
+  }
+
+  // Feasibility-unreachable code: the CFG reaches the block, but every branch
+  // leading here has a statically constant condition that picks the other
+  // arm. Report at the boundary (an infeasible block with a feasible
+  // predecessor).
+  std::vector<char> infeasible(n, 0);
+  for (size_t b = 0; b < n; ++b) {
+    infeasible[b] = cfg.reachable[b] && !df.block_entry[b].feasible;
+  }
+  std::fill(visited.begin(), visited.end(), 0);
+  for (size_t b = 0; b < n; ++b) {
+    if (!infeasible[b] || visited[b]) {
+      continue;
+    }
+    bool boundary = false;
+    for (int p : cfg.preds[b]) {
+      if (df.block_entry[p].feasible) {
+        boundary = true;
+        break;
+      }
+    }
+    if (!boundary) {
+      continue;
+    }
+    SourceLocation loc = FindRegionLoc(module, cfg, static_cast<int>(b), infeasible, visited);
+    if (!loc.IsValid()) {
+      continue;
+    }
+    Finding finding;
+    finding.rule = kRuleUnreachableCode;
+    finding.severity = Severity::kWarning;
+    finding.location = loc;
+    finding.message =
+        "unreachable code: the branch condition leading here is statically constant";
+    findings.push_back(std::move(finding));
+  }
+}
+
+void RunProgressRule(const ir::Module& module, const CfgFacts& cfg, const DataflowFacts& df,
+                     std::vector<Finding>& findings) {
+  bool module_has_progress = false;
+  for (const ir::Block& block : module.blocks) {
+    if (block.is_progress_label) {
+      module_has_progress = true;
+      break;
+    }
+  }
+  for (const SccInfo& scc : cfg.sccs) {
+    if (!scc.reachable || !scc.has_cycle) {
+      continue;
+    }
+    bool feasible = false;
+    for (int b : scc.blocks) {
+      if (df.block_entry[b].feasible) {
+        feasible = true;
+        break;
+      }
+    }
+    if (!feasible) {
+      continue;
+    }
+    bool has_exit = false;
+    for (int b : scc.blocks) {
+      for (int s : cfg.succs[b]) {
+        if (cfg.scc_id[s] != cfg.scc_id[b]) {
+          has_exit = true;
+        }
+      }
+    }
+    SourceLocation loc;
+    for (int b : scc.blocks) {
+      for (const ir::Inst& inst : module.blocks[b].insts) {
+        if (inst.loc.IsValid()) {
+          loc = inst.loc;
+          break;
+        }
+      }
+      if (loc.IsValid()) {
+        break;
+      }
+    }
+    if (!loc.IsValid()) {
+      continue;
+    }
+    if (!scc.has_blocking && !has_exit) {
+      // The process spins forever without ever blocking: no interleaving,
+      // no end state, no progress — a definite livelock.
+      Finding finding;
+      finding.rule = kRuleProgressReachability;
+      finding.severity = Severity::kError;
+      finding.location = loc;
+      finding.message =
+          "busy loop: this cycle never blocks (no send/recv/nondet) and has no exit";
+      findings.push_back(std::move(finding));
+      continue;
+    }
+    if (module_has_progress && scc.has_blocking && !scc.has_progress) {
+      bool reaches = false;
+      for (int b : scc.blocks) {
+        if (cfg.reaches_progress[b]) {
+          reaches = true;
+          break;
+        }
+      }
+      if (!reaches) {
+        Finding finding;
+        finding.rule = kRuleProgressReachability;
+        finding.severity = Severity::kWarning;
+        finding.location = loc;
+        finding.message =
+            "cycle cannot reach any progress label: executions looping here are "
+            "non-progress cycles the checker will report as livelock";
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+}
+
+void RunChannelRule(const ir::Module& module, bool verifier_mode,
+                    std::vector<Finding>& findings) {
+  // Location of the first send/recv on each port, for reporting.
+  std::vector<SourceLocation> port_loc(module.ports.size());
+  for (const ir::Block& block : module.blocks) {
+    for (const ir::Inst& inst : block.insts) {
+      if ((inst.op == ir::Opcode::kSend || inst.op == ir::Opcode::kRecv) && inst.port >= 0 &&
+          inst.port < static_cast<int>(port_loc.size()) && !port_loc[inst.port].IsValid()) {
+        port_loc[inst.port] = inst.loc;
+      }
+    }
+  }
+  for (size_t p = 0; p < module.ports.size(); ++p) {
+    const ir::Port& port = module.ports[p];
+    if (port.channel == nullptr) {
+      continue;
+    }
+    // Verifier glue legally acts as other layers (owning their endpoints), so
+    // the direction check only applies to driver compilations.
+    if (!verifier_mode) {
+      const std::string& owner = port.is_send ? port.channel->from : port.channel->to;
+      if (owner != module.layer_name) {
+        Finding finding;
+        finding.rule = kRuleChannelConformance;
+        finding.severity = Severity::kError;
+        finding.location = port_loc[p];
+        finding.message = "layer '" + module.layer_name + "' " +
+                          (port.is_send ? "sends on" : "receives on") + " channel '" +
+                          ChannelName(*port.channel) + "', whose " +
+                          (port.is_send ? "sender" : "receiver") + " is '" + owner +
+                          "' in the ESI declaration";
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  for (const ir::Block& block : module.blocks) {
+    for (const ir::Inst& inst : block.insts) {
+      if (inst.op != ir::Opcode::kSend && inst.op != ir::Opcode::kRecv) {
+        continue;
+      }
+      if (inst.port < 0 || inst.port >= static_cast<int>(module.ports.size()) ||
+          module.ports[inst.port].channel == nullptr) {
+        Finding finding;
+        finding.rule = kRuleChannelConformance;
+        finding.severity = Severity::kError;
+        finding.location = inst.loc;
+        finding.message = "send/recv references port " + std::to_string(inst.port) +
+                          ", which is not declared by the module";
+        findings.push_back(std::move(finding));
+        continue;
+      }
+      const esi::ChannelInfo* channel = module.ports[inst.port].channel;
+      if (inst.count != channel->flat_size) {
+        Finding finding;
+        finding.rule = kRuleChannelConformance;
+        finding.severity = Severity::kError;
+        finding.location = inst.loc;
+        finding.message = "message of " + std::to_string(inst.count) + " words on channel '" +
+                          ChannelName(*channel) + "', which carries " +
+                          std::to_string(channel->flat_size) + " words";
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+}
+
+bool FindingBefore(const Finding& a, const Finding& b) {
+  if (a.location.line != b.location.line) {
+    return a.location.line < b.location.line;
+  }
+  if (a.location.column != b.location.column) {
+    return a.location.column < b.location.column;
+  }
+  return a.rule < b.rule;
+}
+
+// Parses `//esmlint <verb> [rules...]` marker lines (produced from
+// `#pragma esmlint ...` by the preprocessor, or written directly as
+// comments). Verbs: `suppress` (next line only), `disable`/`enable`
+// (region). No rule list (or `all`) matches every rule.
+class SuppressionMap {
+ public:
+  explicit SuppressionMap(std::string_view preprocessed_esm) {
+    uint32_t line_no = 0;
+    for (std::string_view line : SplitLines(preprocessed_esm)) {
+      ++line_no;
+      std::string_view trimmed = Trim(line);
+      if (!StartsWith(trimmed, "//esmlint")) {
+        continue;
+      }
+      std::istringstream tokens{std::string(trimmed.substr(9))};
+      Marker marker;
+      marker.line = line_no;
+      std::string verb;
+      tokens >> verb;
+      if (verb == "suppress") {
+        marker.kind = Marker::kSuppressNext;
+      } else if (verb == "disable") {
+        marker.kind = Marker::kDisable;
+      } else if (verb == "enable") {
+        marker.kind = Marker::kEnable;
+      } else {
+        bad_pragmas.push_back({line_no, verb});
+        continue;
+      }
+      std::string rule;
+      while (tokens >> rule) {
+        if (rule == "all") {
+          marker.all = true;
+        } else if (AllRules().count(rule) > 0) {
+          marker.rules.insert(rule);
+        } else {
+          bad_pragmas.push_back({line_no, rule});
+        }
+      }
+      if (marker.rules.empty()) {
+        marker.all = true;
+      }
+      markers_.push_back(std::move(marker));
+    }
+  }
+
+  bool IsSuppressed(uint32_t line, const std::string& rule) const {
+    bool all_disabled = false;
+    std::set<std::string> disabled;
+    for (const Marker& marker : markers_) {
+      if (marker.kind == Marker::kSuppressNext) {
+        if (marker.line + 1 == line && (marker.all || marker.rules.count(rule) > 0)) {
+          return true;
+        }
+        continue;
+      }
+      if (marker.line >= line) {
+        break;
+      }
+      if (marker.kind == Marker::kDisable) {
+        if (marker.all) {
+          all_disabled = true;
+        } else {
+          disabled.insert(marker.rules.begin(), marker.rules.end());
+        }
+      } else {  // kEnable
+        if (marker.all) {
+          all_disabled = false;
+          disabled.clear();
+        } else {
+          for (const std::string& r : marker.rules) {
+            disabled.erase(r);
+          }
+        }
+      }
+    }
+    return all_disabled || disabled.count(rule) > 0;
+  }
+
+  // (line, token) pairs for unknown verbs or rule names.
+  std::vector<std::pair<uint32_t, std::string>> bad_pragmas;
+
+ private:
+  struct Marker {
+    enum Kind { kSuppressNext, kDisable, kEnable };
+    uint32_t line = 0;
+    Kind kind = kSuppressNext;
+    bool all = false;
+    std::set<std::string> rules;
+  };
+
+  std::vector<Marker> markers_;
+};
+
+}  // namespace
+
+const std::set<std::string>& AllRules() {
+  static const std::set<std::string> rules = {
+      kRuleUseBeforeInit,  kRuleUnreachableCode,    kRuleTruncationLoss,
+      kRuleStaticBounds,   kRuleChannelConformance, kRuleProgressReachability,
+  };
+  return rules;
+}
+
+std::vector<Finding> AnalyzeModule(const ir::Module& module, bool verifier_mode) {
+  CfgFacts cfg = BuildCfgFacts(module);
+  RuleObserver observer(module);
+  DataflowFacts df = RunDataflow(module, &observer);
+  observer.FlushUninitReads();
+  std::vector<Finding> findings = std::move(observer.findings);
+  RunUnreachableRule(module, cfg, df, findings);
+  RunProgressRule(module, cfg, df, findings);
+  RunChannelRule(module, verifier_mode, findings);
+  std::stable_sort(findings.begin(), findings.end(), FindingBefore);
+  return findings;
+}
+
+std::vector<Finding> FindUnusedChannels(const esi::SystemInfo& system,
+                                        const std::vector<ir::Module>& modules) {
+  std::set<const esi::ChannelInfo*> used;
+  std::set<std::string> compiled_layers;
+  for (const ir::Module& module : modules) {
+    compiled_layers.insert(module.layer_name);
+    for (const ir::Port& port : module.ports) {
+      used.insert(port.channel);
+    }
+  }
+  std::vector<Finding> findings;
+  for (const esi::InterfaceInfo& iface : system.interfaces()) {
+    for (const std::optional<esi::ChannelInfo>* slot : {&iface.to_second, &iface.to_first}) {
+      if (!slot->has_value() || used.count(&**slot) > 0) {
+        continue;
+      }
+      const esi::ChannelInfo& channel = **slot;
+      // Only flag channels whose both endpoints were compiled here; an
+      // absent endpoint may use the channel in another compilation.
+      if (compiled_layers.count(channel.from) == 0 || compiled_layers.count(channel.to) == 0) {
+        continue;
+      }
+      Finding finding;
+      finding.rule = kRuleChannelConformance;
+      finding.severity = Severity::kWarning;
+      finding.location = channel.location;
+      finding.in_esi = true;
+      finding.message =
+          "channel '" + ChannelName(channel) + "' is declared but no process uses it";
+      findings.push_back(std::move(finding));
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(), FindingBefore);
+  return findings;
+}
+
+AnalysisResult AnalyzeCompilation(const ir::Compilation& comp, DiagnosticEngine& diag,
+                                  const AnalysisOptions& options) {
+  AnalysisResult result;
+  SuppressionMap suppressions(comp.preprocessed_esm());
+  for (const auto& [line, token] : suppressions.bad_pragmas) {
+    diag.Warning(comp.esm_buffer(), SourceLocation{line, 1, 0},
+                 "unknown esmlint pragma token '" + token + "'");
+    ++result.warnings;
+  }
+
+  bool verifier_mode = comp.options().allow_nondet;
+  std::vector<Finding> findings;
+  for (const ir::Module& module : comp.modules()) {
+    std::vector<Finding> module_findings = AnalyzeModule(module, verifier_mode);
+    findings.insert(findings.end(), std::make_move_iterator(module_findings.begin()),
+                    std::make_move_iterator(module_findings.end()));
+  }
+  std::vector<Finding> unused = FindUnusedChannels(comp.system(), comp.modules());
+  findings.insert(findings.end(), std::make_move_iterator(unused.begin()),
+                  std::make_move_iterator(unused.end()));
+
+  for (const Finding& finding : findings) {
+    if (options.disabled.count(finding.rule) > 0 ||
+        (!finding.in_esi && finding.location.IsValid() &&
+         suppressions.IsSuppressed(finding.location.line, finding.rule))) {
+      ++result.suppressed;
+      continue;
+    }
+    Severity severity = finding.severity;
+    if (severity == Severity::kWarning && options.werror) {
+      severity = Severity::kError;
+    }
+    const SourceBuffer& buffer = finding.in_esi ? comp.esi_buffer() : comp.esm_buffer();
+    diag.Report(severity, buffer, finding.location,
+                finding.message + " [" + finding.rule + "]");
+    for (const FindingNote& note : finding.notes) {
+      if (note.location.IsValid()) {
+        diag.Note(comp.esm_buffer(), note.location, note.message);
+      }
+    }
+    if (severity == Severity::kError) {
+      ++result.errors;
+    } else {
+      ++result.warnings;
+    }
+  }
+  return result;
+}
+
+std::string DumpAnalysis(const ir::Compilation& comp) {
+  std::ostringstream out;
+  for (const ir::Module& module : comp.modules()) {
+    CfgFacts cfg = BuildCfgFacts(module);
+    DataflowFacts df = RunDataflow(module, nullptr);
+    int reachable = 0;
+    int feasible = 0;
+    for (size_t b = 0; b < module.blocks.size(); ++b) {
+      reachable += cfg.reachable[b] ? 1 : 0;
+      feasible += df.block_entry[b].feasible ? 1 : 0;
+    }
+    int cycles = 0;
+    for (const SccInfo& scc : cfg.sccs) {
+      cycles += scc.has_cycle ? 1 : 0;
+    }
+    out << "== module " << module.layer_name << " ==\n";
+    out << "blocks: " << module.blocks.size() << "  reachable: " << reachable
+        << "  feasible: " << feasible << "  cyclic sccs: " << cycles << "\n";
+    for (size_t b = 0; b < module.blocks.size(); ++b) {
+      const ir::Block& block = module.blocks[b];
+      out << "block " << b;
+      if (!block.label.empty()) {
+        out << " '" << block.label << "'";
+      }
+      if (block.is_progress_label) {
+        out << " [progress]";
+      }
+      if (block.is_end_label) {
+        out << " [end]";
+      }
+      if (!cfg.reachable[b]) {
+        out << " unreachable\n";
+        continue;
+      }
+      if (!df.block_entry[b].feasible) {
+        out << " infeasible\n";
+        continue;
+      }
+      out << "\n";
+      for (size_t r = 0; r < module.slots.size(); ++r) {
+        const ir::SlotInfo& slot = module.slots[r];
+        if (slot.slot_class != ir::SlotClass::kVar) {
+          continue;
+        }
+        const SlotState& state = df.block_entry[b].records[r];
+        out << "  " << slot.name << ": " << IntervalStr(state.interval)
+            << (state.maybe_uninit ? " maybe-uninit" : "") << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace efeu::analysis

@@ -1,0 +1,94 @@
+// esmlint: the static-analysis pass manager over compiled ESM specifications.
+// Runs CFG and dataflow passes on every lowered ir::Module and reports rule
+// findings as source diagnostics, before the model checker (or any backend)
+// ever sees the program. See DESIGN.md section "Static analysis".
+//
+// Rules (names double as suppression keys for `#pragma esmlint`):
+//   use-before-init        warning  kVar record read while may-uninitialized
+//   unreachable-code       warning  block no path (or no feasible path) reaches
+//   truncation-loss        warning  write whose value range never fits the type
+//   static-bounds          error    index range always outside the array bound
+//   channel-conformance    error    port direction/arity vs the ESI declaration
+//                          warning  channel declared but used by no process
+//   progress-reachability  error    reachable cycle with no blocking op and no exit
+//                          warning  blocking cycle that cannot reach a progress label
+
+#ifndef SRC_ANALYSIS_ANALYSIS_H_
+#define SRC_ANALYSIS_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/compile.h"
+#include "src/ir/ir.h"
+#include "src/support/diagnostics.h"
+
+namespace efeu::analysis {
+
+inline constexpr char kRuleUseBeforeInit[] = "use-before-init";
+inline constexpr char kRuleUnreachableCode[] = "unreachable-code";
+inline constexpr char kRuleTruncationLoss[] = "truncation-loss";
+inline constexpr char kRuleStaticBounds[] = "static-bounds";
+inline constexpr char kRuleChannelConformance[] = "channel-conformance";
+inline constexpr char kRuleProgressReachability[] = "progress-reachability";
+
+// All rule names, for suppression-pragma validation.
+const std::set<std::string>& AllRules();
+
+struct FindingNote {
+  SourceLocation location;
+  std::string message;
+};
+
+// One rule hit, not yet filtered by suppressions or escalated by Werror.
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  SourceLocation location;
+  // True when the location refers to the ESI buffer (channel declarations)
+  // rather than the ESM buffer.
+  bool in_esi = false;
+  std::string message;
+  std::vector<FindingNote> notes;
+};
+
+// Runs every per-module rule (all but unused-channel). `verifier_mode`
+// relaxes the channel-direction check: verifier glue legally "acts as" other
+// layers and owns their channel endpoints.
+std::vector<Finding> AnalyzeModule(const ir::Module& module, bool verifier_mode);
+
+// Cross-module rule: channels declared in the ESI system that no compiled
+// process sends or receives on, reported only when both endpoint layers were
+// compiled (an absent layer may live in another compilation).
+std::vector<Finding> FindUnusedChannels(const esi::SystemInfo& system,
+                                        const std::vector<ir::Module>& modules);
+
+struct AnalysisOptions {
+  // Escalate warnings to errors.
+  bool werror = false;
+  // Rule names disabled for the whole run (in addition to in-source pragmas).
+  std::set<std::string> disabled;
+};
+
+struct AnalysisResult {
+  int errors = 0;
+  int warnings = 0;
+  int suppressed = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+// The full lint pass: analyzes every module of the compilation, applies
+// `#pragma esmlint` suppressions and the options, and reports the surviving
+// findings through `diag` (notes attached after their primary diagnostic).
+AnalysisResult AnalyzeCompilation(const ir::Compilation& comp, DiagnosticEngine& diag,
+                                  const AnalysisOptions& options = {});
+
+// Human-readable dump of the computed facts (reachability, feasibility,
+// per-variable intervals at block entry) for `esmc --dump-analysis`.
+std::string DumpAnalysis(const ir::Compilation& comp);
+
+}  // namespace efeu::analysis
+
+#endif  // SRC_ANALYSIS_ANALYSIS_H_

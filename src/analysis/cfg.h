@@ -1,0 +1,84 @@
+// Control-flow-graph facts over a lowered ir::Module, shared by the lint
+// rules (src/analysis/analysis.cc) and the model checker's partial-order
+// reduction lookahead (check::IrProcess::PeekNextStep): successor/predecessor
+// lists, reachability from the entry block, Tarjan strongly-connected
+// components, and the per-block "what can happen before the next blocking
+// instruction" summary fixpoint.
+
+#ifndef SRC_ANALYSIS_CFG_H_
+#define SRC_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace efeu::analysis {
+
+// Conservative summary of what a process may do from some CFG point before
+// its next blocking instruction. Mirrors check::NextStepSummary, but with
+// "nothing" defaults: this is the bottom element the fixpoint grows from,
+// whereas the checker-facing struct defaults to "anything" for processes
+// without static lookahead.
+struct StepSummary {
+  // The walk might pass a progress label before blocking again.
+  bool may_pass_progress = false;
+  // The walk might block at a nondet choice next.
+  bool may_choose = false;
+  // Bit p set: the walk might block on port p next (ports >= 64 saturate the
+  // whole mask).
+  uint64_t port_mask = 0;
+};
+
+// The saturating bit for `port` in a StepSummary::port_mask.
+uint64_t PortBit(int port);
+
+// Union of two over-approximations; returns whether `into` grew.
+bool MergeStepSummary(StepSummary& into, const StepSummary& from);
+
+// Least fixpoint of the per-block-entry summaries: what can happen from the
+// entry of each block until the next blocking instruction. Progress labels
+// are observed at block *entry* (the executor raises the flag on jump/branch
+// into a labeled block), so a block's own label contributes to its entry
+// summary but never to a mid-block scan.
+std::vector<StepSummary> ComputeBlockEntrySummaries(const ir::Module& module);
+
+// What can happen from (block, inst_index) until the next blocking
+// instruction, given the converged (or still growing) block-entry summaries.
+// Does not add `block`'s own progress label (see above).
+StepSummary ScanSummaryFrom(const ir::Module& module,
+                            const std::vector<StepSummary>& block_entry, int block,
+                            int inst_index);
+
+// One strongly connected component of the block graph.
+struct SccInfo {
+  std::vector<int> blocks;
+  // The component contains a cycle: more than one block, or a self-edge.
+  bool has_cycle = false;
+  // Any send/recv/nondet instruction inside the component.
+  bool has_blocking = false;
+  // Any progress-labeled block inside the component.
+  bool has_progress = false;
+  // Reachable from the entry block.
+  bool reachable = false;
+};
+
+struct CfgFacts {
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+  // Block reachable from the entry block (graph reachability only; see
+  // DataflowFacts for branch-pruned feasibility).
+  std::vector<char> reachable;
+  // Block index -> index into `sccs`.
+  std::vector<int> scc_id;
+  std::vector<SccInfo> sccs;
+  // Block can reach a progress-labeled block (a progress block reaches
+  // itself).
+  std::vector<char> reaches_progress;
+};
+
+CfgFacts BuildCfgFacts(const ir::Module& module);
+
+}  // namespace efeu::analysis
+
+#endif  // SRC_ANALYSIS_CFG_H_

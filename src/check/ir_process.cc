@@ -1,11 +1,17 @@
 #include "src/check/ir_process.h"
 
+#include "src/analysis/cfg.h"
+
 namespace efeu::check {
 
 namespace {
 
 // A layer that loops forever without communicating is a specification bug.
 constexpr uint64_t kSliceBudget = 10'000'000;
+
+NextStepSummary ToNextStepSummary(const analysis::StepSummary& summary) {
+  return NextStepSummary{summary.may_pass_progress, summary.may_choose, summary.port_mask};
+}
 
 }  // namespace
 
@@ -32,93 +38,14 @@ vm::RunState IrProcess::RunToBlock(std::string* error) {
   return executor_.state();
 }
 
-namespace {
-
-uint64_t PortBit(int port) {
-  // Ports beyond the mask width saturate to "any port" — still conservative.
-  return port >= 0 && port < 64 ? uint64_t{1} << port : ~uint64_t{0};
-}
-
-// Union of two over-approximations; returns whether `into` grew.
-bool MergeSummary(NextStepSummary& into, const NextStepSummary& from) {
-  bool changed = false;
-  if (from.may_pass_progress && !into.may_pass_progress) {
-    into.may_pass_progress = true;
-    changed = true;
-  }
-  if (from.may_choose && !into.may_choose) {
-    into.may_choose = true;
-    changed = true;
-  }
-  if ((into.port_mask | from.port_mask) != into.port_mask) {
-    into.port_mask |= from.port_mask;
-    changed = true;
-  }
-  return changed;
-}
-
-constexpr NextStepSummary kNothing{/*may_pass_progress=*/false, /*may_choose=*/false,
-                                   /*port_mask=*/0};
-
-}  // namespace
-
-// What can happen from (block, inst_index) until the next blocking
-// instruction, assuming block_entry_summary_ is a (possibly still growing)
-// under-iteration of the per-block fixpoint. Progress labels are observed at
-// block *entry* (the executor sets the flag on jump/branch into a labeled
-// block), so only successor blocks contribute their label, never `block`
-// itself.
-NextStepSummary IrProcess::ScanFrom(int block, int inst_index) const {
-  NextStepSummary summary = kNothing;
-  const std::vector<ir::Block>& blocks = executor_.module().blocks;
-  const std::vector<ir::Inst>& insts = blocks[block].insts;
-  for (size_t i = static_cast<size_t>(inst_index); i < insts.size(); ++i) {
-    const ir::Inst& inst = insts[i];
-    switch (inst.op) {
-      case ir::Opcode::kSend:
-      case ir::Opcode::kRecv:
-        summary.port_mask |= PortBit(inst.port);
-        return summary;
-      case ir::Opcode::kNondet:
-        summary.may_choose = true;
-        return summary;
-      case ir::Opcode::kHalt:
-        return summary;
-      case ir::Opcode::kJump:
-        MergeSummary(summary, block_entry_summary_[inst.target]);
-        return summary;
-      case ir::Opcode::kBranch:
-        MergeSummary(summary, block_entry_summary_[inst.target]);
-        MergeSummary(summary, block_entry_summary_[inst.target2]);
-        return summary;
-      default:
-        break;
-    }
-  }
-  return summary;  // Unreachable: every block ends with a terminator.
-}
-
 void IrProcess::EnsureBlockSummaries() const {
   if (summaries_ready_) {
     return;
   }
-  const std::vector<ir::Block>& blocks = executor_.module().blocks;
-  block_entry_summary_.assign(blocks.size(), kNothing);
-  // Least fixpoint by iteration: summaries only grow and the lattice is
-  // small (two bits plus a port mask), so this converges in a few passes.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t b = 0; b < blocks.size(); ++b) {
-      NextStepSummary summary = ScanFrom(static_cast<int>(b), 0);
-      if (blocks[b].is_progress_label) {
-        summary.may_pass_progress = true;
-      }
-      if (MergeSummary(block_entry_summary_[b], summary)) {
-        changed = true;
-      }
-    }
-  }
+  // The per-block-entry "what can happen before the next blocking
+  // instruction" fixpoint is shared with the lint pass (which uses it for
+  // progress-label reachability); see src/analysis/cfg.h for the semantics.
+  block_entry_summary_ = analysis::ComputeBlockEntrySummaries(executor_.module());
   summaries_ready_ = true;
 }
 
@@ -131,7 +58,9 @@ NextStepSummary IrProcess::PeekNextStep() const {
   EnsureBlockSummaries();
   // Execution resumes just past the blocking instruction (which is never a
   // block terminator, so the next index is in range).
-  return ScanFrom(executor_.current_block(), executor_.current_inst_index() + 1);
+  return ToNextStepSummary(analysis::ScanSummaryFrom(executor_.module(), block_entry_summary_,
+                                                     executor_.current_block(),
+                                                     executor_.current_inst_index() + 1));
 }
 
 bool IrProcess::TakeProgressFlag() {

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/analysis/cfg.h"
 #include "src/check/process.h"
 #include "src/ir/ir.h"
 #include "src/vm/executor.h"
@@ -44,14 +45,14 @@ class IrProcess : public Process {
 
  private:
   // Lazily computed CFG fixpoint for PeekNextStep: what can happen from the
-  // entry of each block before the next blocking instruction.
+  // entry of each block before the next blocking instruction. Shared with the
+  // lint pass; see src/analysis/cfg.h.
   void EnsureBlockSummaries() const;
-  NextStepSummary ScanFrom(int block, int inst_index) const;
 
   vm::IrExecutor executor_;
   std::string name_;
   std::vector<PortDecl> ports_;
-  mutable std::vector<NextStepSummary> block_entry_summary_;
+  mutable std::vector<analysis::StepSummary> block_entry_summary_;
   mutable bool summaries_ready_ = false;
 };
 

@@ -34,6 +34,7 @@ bool BuildChannel(const SystemInfo& info, const ChannelDecl& decl, std::string f
   out.from = std::move(from);
   out.to = std::move(to);
   out.flat_size = 0;
+  out.location = decl.location;
   std::set<std::string> seen;
   for (const FieldDecl& field : decl.fields) {
     if (!seen.insert(field.name).second) {

@@ -41,6 +41,8 @@ struct ChannelInfo {
   std::vector<FieldInfo> fields;
   // Total number of int32 slots in a flattened message.
   int flat_size = 0;
+  // Where the channel was declared in the ESI file (for lint diagnostics).
+  SourceLocation location;
 
   // Name of the generated struct type visible in ESM, e.g. "CEepDriverToCTransaction".
   std::string MessageStructName() const { return from + "To" + to; }

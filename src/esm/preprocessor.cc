@@ -158,6 +158,16 @@ bool Preprocessor::ProcessInto(std::string_view text, std::string& out, std::str
       if (currently_live()) {
         macros_.erase(std::string(rest));
       }
+    } else if (directive == "pragma") {
+      // `#pragma esmlint <args>` becomes a `//esmlint <args>` marker line in
+      // the preprocessed output, so the lint pass sees suppressions at their
+      // correct (preprocessed-buffer) line numbers — the same coordinate
+      // space diagnostics are reported in. Other pragmas are dropped.
+      if (currently_live() && rest.rfind("esmlint", 0) == 0) {
+        out += "//esmlint";
+        out += rest.substr(7);
+        out += '\n';
+      }
     } else if (directive == "include") {
       if (currently_live()) {
         if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {

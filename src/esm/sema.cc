@@ -151,6 +151,7 @@ bool SemaContext::CollectDeclsAndLabels(Stmt& stmt, LayerInfo& info,
       }
       VarInfo var;
       var.name = decl.name;
+      var.location = decl.location;
       if (!decl.type_name.empty()) {
         if (!ResolveNamedType(decl)) {
           return false;

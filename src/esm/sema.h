@@ -23,6 +23,8 @@ struct VarInfo {
   std::string name;
   Type type;
   const esi::ChannelInfo* struct_channel = nullptr;
+  // Where the variable was declared (for "declared here" notes).
+  SourceLocation location;
 
   bool IsStruct() const { return struct_channel != nullptr; }
   int FlatSize() const { return IsStruct() ? struct_channel->flat_size : type.FlatSize(); }

@@ -19,9 +19,11 @@ void RSymbol() {
   RSEvent ev;
   bit have_ev;
 
-  // The bus idles with both lines pulled up.
+  // The bus idles with both lines pulled up. Every reply is preceded by an
+  // event assignment, but make the resting value explicit anyway.
   prev_scl = 1;
   prev_sda = 1;
+  ev = RS_EV_START;
 
   end_init:
   cmd = RSymbolReadRByte();
@@ -92,6 +94,8 @@ void RTransaction() {
   byte addr7;
   bit rw;
   bit in_txn;
+
+  in_txn = 0;
 
   main_loop:
   end_listen:
@@ -223,6 +227,16 @@ void REep() {
   byte obytes;
   REResult res;
   byte outdata;
+  int i;
+
+  // Erased EEPROM: every cell reads zero, offset pointer at the start.
+  offset = 0;
+  obytes = 0;
+  i = 0;
+  while (i < EEP_MEM_SIZE) {
+    mem[i] = 0;
+    i = i + 1;
+  }
 
   end_init:
   q = REepReadRTransaction();

@@ -412,6 +412,13 @@ void CWorld() {
   int base;
   byte firstbyte;
 
+  // The memory model starts erased, mirroring the REep specification.
+  base = 0;
+  while (base < EEP_MODEL_SIZE) {
+    model[base] = 0;
+    base = base + 1;
+  }
+
   steps = 0;
   while (steps < EEP_VERIF_OPS) {
     op = nondet(2);

@@ -12,8 +12,11 @@ namespace efeu::i2c {
 
 // ESI: the system description (layers, enums, interfaces).
 const std::string& StandardEsi();
-// Verifier-only oracle interfaces, appended to StandardEsi() for verifiers.
-const std::string& VerifierEsi();
+// Verifier-only oracle interfaces, appended to StandardEsi() per verifier
+// level. Each is one-way: the input-space glue posts, the observer reads.
+const std::string& SymbolOracleEsi();       // CByte -> RByte
+const std::string& ByteOracleEsi();         // CTransaction -> RTransaction
+const std::string& TransactionOracleEsi();  // CEepDriver -> REep
 
 // ESM layer sources. Controller stack.
 const std::string& CSymbolEsm();       // honors #define NO_CLOCK_STRETCHING

@@ -49,9 +49,7 @@ std::unique_ptr<ir::Compilation> CompileMix(DiagnosticEngine& diag, const MixOpt
   compile_options.defines = options.defines;
 
   std::string esi = StandardEsi();
-  if (options.verifier) {
-    esi += VerifierEsi();
-  }
+  esi += options.extra_esi;
 
   // The EFEU_CONTROLLER / EFEU_RESPONDER selection is sequenced with textual
   // directives so the KS0127 configuration can take the controller half from

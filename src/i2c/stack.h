@@ -53,11 +53,14 @@ struct MixOptions {
   bool reep = false;
   ControllerStackOptions controller;
   ResponderStackOptions responder;
+  // Extra ESI text appended after the standard system description (the
+  // verifier oracle interface for the level under test, if any).
+  std::string extra_esi;
   // Extra ESM text appended after the stack layers (verifier glue, specs).
   std::string extra_esm;
   // Extra preprocessor defines.
   std::map<std::string, std::string> defines;
-  bool verifier = false;  // include oracle interfaces, allow nondet/post/act-as
+  bool verifier = false;  // allow nondet/post/act-as in the ESM sources
 };
 
 std::unique_ptr<ir::Compilation> CompileMix(DiagnosticEngine& diag, const MixOptions& options);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "src/analysis/analysis.h"
 #include "src/i2c/codes.h"
 #include "src/i2c/electrical.h"
 #include "src/i2c/specs/specs.h"
@@ -104,6 +105,7 @@ std::unique_ptr<VerifierSystem> BuildSymbolVerifier(const VerifyConfig& config,
   mix.verifier = true;
   mix.controller.no_clock_stretching = config.no_clock_stretching;
   mix.defines = CommonDefines(config);
+  mix.extra_esi = SymbolOracleEsi();
   mix.extra_esm = SymbolVerifierEsm();
   auto comp = CompileMix(diag, mix);
   if (comp == nullptr) {
@@ -142,6 +144,7 @@ std::unique_ptr<VerifierSystem> BuildByteVerifier(const VerifyConfig& config,
   mix.controller.ks0127_compat = config.ks0127_compat_controller;
   mix.responder.ks0127 = config.ks0127_responder;
   mix.defines = CommonDefines(config);
+  mix.extra_esi = ByteOracleEsi();
   mix.extra_esm = ByteVerifierEsm();
   if (config.abstraction == VerifyAbstraction::kNone) {
     mix.csymbol = true;
@@ -196,6 +199,7 @@ std::unique_ptr<VerifierSystem> BuildTransactionVerifier(const VerifyConfig& con
   mix.controller.ks0127_compat = config.ks0127_compat_controller;
   mix.responder.ks0127 = config.ks0127_responder;
   mix.defines = CommonDefines(config);
+  mix.extra_esi = TransactionOracleEsi();
   mix.extra_esm = TransactionVerifierEsm();
   switch (config.abstraction) {
     case VerifyAbstraction::kNone:
@@ -431,18 +435,31 @@ std::unique_ptr<VerifierSystem> BuildVerifier(const VerifyConfig& config,
           (config.level == VerifyLevel::kEepDriver &&
            config.abstraction == VerifyAbstraction::kTransaction)) &&
          "fault_events needs the EepDriver verifier with the Transaction abstraction");
+  std::unique_ptr<VerifierSystem> vs;
   switch (config.level) {
     case VerifyLevel::kSymbol:
       assert(config.abstraction == VerifyAbstraction::kNone);
-      return BuildSymbolVerifier(config, diag);
+      vs = BuildSymbolVerifier(config, diag);
+      break;
     case VerifyLevel::kByte:
-      return BuildByteVerifier(config, diag);
+      vs = BuildByteVerifier(config, diag);
+      break;
     case VerifyLevel::kTransaction:
-      return BuildTransactionVerifier(config, diag);
+      vs = BuildTransactionVerifier(config, diag);
+      break;
     case VerifyLevel::kEepDriver:
-      return BuildEepVerifier(config, diag);
+      vs = BuildEepVerifier(config, diag);
+      break;
   }
-  return nullptr;
+  if (vs != nullptr && config.analyze_before_check) {
+    for (const auto& comp : vs->compilations_) {
+      analysis::AnalysisResult lint = analysis::AnalyzeCompilation(*comp, diag, {});
+      if (!lint.ok()) {
+        return nullptr;
+      }
+    }
+  }
+  return vs;
 }
 
 VerifyRunResult RunVerification(const VerifyConfig& config, DiagnosticEngine& diag,

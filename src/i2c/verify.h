@@ -60,6 +60,13 @@ struct VerifyConfig {
   // Only supported by the EepDriver verifier with the Transaction
   // abstraction; implies the EEP_FAULTS relaxation of the CWorld oracle.
   int fault_events = 0;
+  // Run the static lint pass (src/analysis) over every compilation before
+  // handing the system to the checker. Findings at error severity fail the
+  // build fast — BuildVerifier returns nullptr with the lint diagnostics —
+  // instead of waiting for the model checker to stumble on the bug. The pass
+  // never mutates the compiled modules, so enabling it cannot perturb the
+  // checker's state counts.
+  bool analyze_before_check = false;
 };
 
 // Owns everything a verification run needs: compilations (whose channel and

@@ -23,6 +23,7 @@ const esm::LayerInfo* Compilation::FindLayer(std::string_view layer_name) const 
 std::unique_ptr<Compilation> Compile(const std::string& esi_text, const std::string& esm_text,
                                      DiagnosticEngine& diag, const CompileOptions& options) {
   auto compilation = std::make_unique<Compilation>();
+  compilation->options_ = options;
 
   // ESI.
   compilation->esi_buffer_ = std::make_unique<SourceBuffer>("spec.esi", esi_text);

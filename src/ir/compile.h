@@ -37,6 +37,13 @@ class Compilation {
   const std::vector<Module>& modules() const { return modules_; }
   // The preprocessed ESM text (what the backends see).
   const std::string& preprocessed_esm() const { return preprocessed_esm_; }
+  // The buffers diagnostics were (and lint findings are) reported against.
+  // The ESM buffer holds the *preprocessed* text.
+  const SourceBuffer& esi_buffer() const { return *esi_buffer_; }
+  const SourceBuffer& esm_buffer() const { return *esm_buffer_; }
+  // The options the compilation ran with; options().allow_nondet marks
+  // verifier specifications (glue may "act as" other layers).
+  const CompileOptions& options() const { return options_; }
 
   const Module* FindModule(std::string_view layer_name) const;
   const esm::LayerInfo* FindLayer(std::string_view layer_name) const;
@@ -48,6 +55,7 @@ class Compilation {
                                               DiagnosticEngine& diag,
                                               const CompileOptions& options);
 
+  CompileOptions options_;
   std::unique_ptr<SourceBuffer> esi_buffer_;
   std::unique_ptr<SourceBuffer> esm_buffer_;
   std::string preprocessed_esm_;

@@ -33,6 +33,9 @@ struct SlotInfo {
   SlotClass slot_class = SlotClass::kTemp;
   int offset = 0;
   int size = 1;  // number of int32 words
+  // Declaration site of the ESM variable backing a kVar slot ("declared
+  // here" notes); invalid for stage/scratch/temp slots.
+  SourceLocation decl_loc;
 };
 
 enum class Opcode {

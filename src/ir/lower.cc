@@ -198,6 +198,7 @@ void Lowerer::LayOutFrame() {
         slot.slot_class = SlotClass::kVar;
         slot.offset = offset + field.flat_offset;
         slot.size = field.type.FlatSize();
+        slot.decl_loc = var.location;
         module_.slots.push_back(std::move(slot));
       }
       offset += var.struct_channel->flat_size;
@@ -208,6 +209,7 @@ void Lowerer::LayOutFrame() {
       slot.slot_class = SlotClass::kVar;
       slot.offset = offset;
       slot.size = var.type.FlatSize();
+      slot.decl_loc = var.location;
       module_.slots.push_back(std::move(slot));
       offset += var.type.FlatSize();
     }

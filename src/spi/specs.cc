@@ -92,11 +92,18 @@ interface <SpRegs, SpRByte> {
   => { RSBAction action; u8 value; },
   <= { RSBEvent ev; u8 value; }
 };
+)esi");
+  return *text;
+}
 
-// Verifier-only oracle between the two glue processes.
+// Verifier-only oracle between the byte-level glue processes: the input
+// space posts expectations, the observer reads them. One-way, appended to
+// SpiEsi() only for the byte-level verifier so other mixes carry no dead
+// channels.
+const std::string& SpiOracleEsi() {
+  static const std::string* text = new std::string(R"esi(
 interface <SpDriver, SpRegs> {
-  => { u8 op; u8 value; },
-  <= { u8 op; u8 value; }
+  => { u8 op; u8 value; }
 };
 )esi");
   return *text;
@@ -269,6 +276,9 @@ void SpRSymbol() {
 
   prev_sclk = 0;
   prev_cs = 1;
+  // Every reply is preceded by an event assignment inside the wait loop,
+  // but make the resting value explicit anyway.
+  ev = SR_EV_SELECTED;
 
   end_init:
   cmd = SpRSymbolReadSpRByte();
@@ -387,6 +397,13 @@ void SpRegs() {
   byte regs[16];
   byte cmd;
   byte idx;
+
+  // All registers read zero after reset.
+  idx = 0;
+  while (idx < 16) {
+    regs[idx] = 0;
+    idx = idx + 1;
+  }
 
   main_loop:
   end_wait:
@@ -516,6 +533,13 @@ void SpWorld() {
   byte a;
   byte c;
   byte v;
+
+  // The model mirrors the device's reset state: all registers zero.
+  a = 0;
+  while (a < 16) {
+    model[a] = 0;
+    a = a + 1;
+  }
 
   steps = 0;
   while (steps < SPI_VERIF_OPS) {

@@ -16,8 +16,11 @@
 
 namespace efeu::spi {
 
-// ESI: layers, enums, interfaces (plus the verifier oracle interface).
+// ESI: layers, enums, interfaces.
 const std::string& SpiEsi();
+// Verifier-only one-way oracle interface (SpDriver -> SpRegs), appended to
+// SpiEsi() for the byte-level verifier.
+const std::string& SpiOracleEsi();
 
 // Controller stack: SpDriver (register access), SpByte (full-duplex byte
 // exchange + chip select), SpSymbol (bit exchange; honors SPI_MODE1).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/analysis/analysis.h"
 #include "src/spi/specs.h"
 
 namespace efeu::spi {
@@ -59,7 +60,9 @@ std::unique_ptr<SpiVerifierSystem> BuildSpiVerifier(const SpiVerifyConfig& confi
   options.allow_nondet = true;
   options.defines["SPI_VERIF_OPS"] = std::to_string(config.num_ops);
 
+  std::string esi = SpiEsi();
   if (config.level == SpiVerifyLevel::kByte) {
+    esi += SpiOracleEsi();
     esm += SpByteVerifierEsm();  // glue SpDriver + SpRegs
   } else {
     esm += SpDriverEsm();
@@ -67,9 +70,15 @@ std::unique_ptr<SpiVerifierSystem> BuildSpiVerifier(const SpiVerifyConfig& confi
     esm += SpDriverVerifierEsm();  // glue SpWorld
   }
 
-  vs->compilation_ = ir::Compile(SpiEsi(), esm, diag, options);
+  vs->compilation_ = ir::Compile(esi, esm, diag, options);
   if (vs->compilation_ == nullptr) {
     return nullptr;
+  }
+  if (config.analyze_before_check) {
+    analysis::AnalysisResult lint = analysis::AnalyzeCompilation(*vs->compilation_, diag, {});
+    if (!lint.ok()) {
+      return nullptr;
+    }
   }
   const ir::Compilation& comp = *vs->compilation_;
   const esi::SystemInfo& info = comp.system();

@@ -25,6 +25,10 @@ struct SpiVerifyConfig {
   // The CPHA-mismatch quirk: the controller shifts data on the leading edge
   // (mode 1) while the device samples mode-0 style.
   bool mode1_controller = false;
+  // Run the static lint pass over the compilation before model checking;
+  // lint errors make BuildSpiVerifier return nullptr with the diagnostics.
+  // Mirrors i2c::VerifyConfig::analyze_before_check.
+  bool analyze_before_check = false;
 };
 
 class SpiVerifierSystem {

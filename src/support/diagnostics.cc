@@ -18,6 +18,10 @@ const char* SeverityName(Severity severity) {
   return "unknown";
 }
 
+bool IsTokenChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
 }  // namespace
 
 std::string Diagnostic::Render() const {
@@ -26,10 +30,19 @@ std::string Diagnostic::Render() const {
       << message;
   if (!source_line.empty() && location.IsValid()) {
     out << "\n  " << source_line << "\n  ";
-    for (uint32_t i = 1; i < location.column; ++i) {
+    uint32_t column = location.column == 0 ? 1 : location.column;
+    for (uint32_t i = 1; i < column; ++i) {
       out << ' ';
     }
     out << '^';
+    // Underline the rest of the identifier/number under the caret, clang
+    // style, so multi-character tokens read as a span rather than a point.
+    size_t index = column - 1;
+    if (index < source_line.size() && IsTokenChar(source_line[index])) {
+      for (size_t i = index + 1; i < source_line.size() && IsTokenChar(source_line[i]); ++i) {
+        out << '~';
+      }
+    }
   }
   return out.str();
 }

@@ -5,12 +5,16 @@
 // Usage:
 //   esmc --esi spec.esi --esm layers.esm [--esm more.esm ...]
 //        [-D NAME[=VALUE] ...] [--verifier]
-//        --emit promela|c|verilog|mmio|ir [--entry LAYER]
+//        [--lint | --lint=Werror] [--dump-analysis]
+//        [--emit promela|c|verilog|mmio|ir] [--entry LAYER]
 //        [--iface UPPER:LOWER] [-o DIR]
 //
 // With the built-in I2C specifications:
 //   esmc --builtin-i2c controller --emit verilog
 //   esmc --builtin-i2c responder --emit promela
+//
+// Exit codes: 0 success, 1 compile/read error, 2 usage error, 3 lint
+// findings at error severity (--lint=Werror escalates warnings).
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analysis.h"
 #include "src/codegen/c/c_backend.h"
 #include "src/codegen/mmio/mmio_backend.h"
 #include "src/codegen/promela/promela_backend.h"
@@ -41,6 +46,9 @@ struct Options {
   std::string iface;  // UPPER:LOWER for --emit mmio
   std::string out_dir;
   std::string builtin;  // "controller" or "responder"
+  bool lint = false;
+  bool lint_werror = false;
+  bool dump_analysis = false;
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -69,7 +77,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: esmc (--esi FILE --esm FILE... | --builtin-i2c controller|responder)\n"
                "            [-D NAME[=VALUE]] [--verifier]\n"
-               "            --emit promela|c|verilog|mmio|ir\n"
+               "            [--lint | --lint=Werror] [--dump-analysis]\n"
+               "            [--emit promela|c|verilog|mmio|ir]\n"
                "            [--entry LAYER] [--iface UPPER:LOWER] [-o DIR]\n");
   return 2;
 }
@@ -131,6 +140,13 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.out_dir = value;
+    } else if (arg == "--lint") {
+      options.lint = true;
+    } else if (arg == "--lint=Werror") {
+      options.lint = true;
+      options.lint_werror = true;
+    } else if (arg == "--dump-analysis") {
+      options.dump_analysis = true;
     } else if (arg == "--builtin-i2c") {
       const char* value = next();
       if (value == nullptr) {
@@ -142,7 +158,7 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (options.emit.empty()) {
+  if (options.emit.empty() && !options.lint && !options.dump_analysis) {
     return Usage();
   }
 
@@ -197,8 +213,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", diag.RenderAll().c_str());
     return 1;
   }
+
+  // ---- Lint / analysis dump -------------------------------------------
+  efeu::analysis::AnalysisResult lint_result;
+  if (options.lint) {
+    efeu::analysis::AnalysisOptions analysis_options;
+    analysis_options.werror = options.lint_werror;
+    lint_result = efeu::analysis::AnalyzeCompilation(*compilation, diag, analysis_options);
+  }
   for (const efeu::Diagnostic& diagnostic : diag.diagnostics()) {
     std::fprintf(stderr, "%s\n", diagnostic.Render().c_str());
+  }
+  if (options.lint) {
+    std::fprintf(stderr, "esmc: lint: %d error(s), %d warning(s), %d suppressed\n",
+                 lint_result.errors, lint_result.warnings, lint_result.suppressed);
+  }
+  if (options.dump_analysis) {
+    EmitFile(options, "analysis.txt", efeu::analysis::DumpAnalysis(*compilation));
+  }
+  if (!lint_result.ok()) {
+    return 3;
+  }
+  if (options.emit.empty()) {
+    return 0;
   }
 
   // ---- Emit -----------------------------------------------------------
