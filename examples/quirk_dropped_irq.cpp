@@ -1,0 +1,116 @@
+// Quirk: the hardware half finishes an operation but the completion
+// interrupt never arrives (a dropped IRQ edge — lost across a flaky
+// interrupt controller, masked during a race, or simply never latched).
+// The I2C transfer itself was fine; it is the HW/SW *coupling* that failed.
+// Three scenarios:
+//
+//  1. Bare driver, dropped IRQ: the interrupt wait deadline fires and the
+//     driver reports a terminal failure (`wedged`) — bounded and visible,
+//     but the device is lost for good even though the bus is healthy.
+//  2. Supervised driver, same fault: the supervisor's ladder soft-resets the
+//     whole stack (hardware FSMs, MMIO register file, software coroutines),
+//     reruns the operation and completes it. One counter line tells the
+//     story: timeouts=1, soft_resets=1, and the data is intact.
+//  3. Supervised driver, IRQs dropped persistently: every ladder cycle is
+//     exhausted, page writes degrade to single-byte writes, and only when
+//     even those cannot complete does the supervisor declare the pair
+//     wedged. The health state walks the whole ladder.
+//
+// All faults are scripted, so the runs are deterministic and replayable.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/driver/hybrid.h"
+#include "src/driver/resources.h"
+#include "src/driver/supervisor.h"
+
+namespace {
+
+efeu::driver::HybridConfig BaseConfig() {
+  efeu::driver::HybridConfig config;
+  config.split = efeu::driver::SplitPoint::kByte;
+  config.interrupt_driven = true;  // the IRQ path is the point of this quirk
+  config.recovery.enabled = true;
+  config.recovery.wait_timeout_ns = 2e6;  // 2 ms interrupt-wait deadline
+  config.recovery.op_deadline_ns = 1e7;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace efeu;
+
+  std::vector<uint8_t> payload = {0xCA, 0xFE, 0xF0, 0x0D};
+
+  // Scenario 1: no supervisor. The dropped IRQ is detected (deadline), but
+  // detection is all the bare driver can do — the stack stays down.
+  {
+    driver::HybridConfig config = BaseConfig();
+    config.fault_plan = sim::FaultPlan::Scripted({
+        {sim::FaultKind::kDroppedInterrupt, /*at=*/0, /*duration=*/1},
+    });
+    driver::HybridDriver eeprom(config);
+    std::printf("[bare] writing 4 bytes; the completion IRQ is dropped\n");
+    if (eeprom.Write(0x0080, payload)) {
+      std::printf("[bare] write succeeded unexpectedly\n");
+      return 1;
+    }
+    std::printf("[bare] bounded failure: status=%d wedged=%d\n", eeprom.last_status(),
+                eeprom.wedged() ? 1 : 0);
+    std::printf("[bare] %s\n",
+                driver::FormatRecoveryCounters(eeprom.recovery_counters()).c_str());
+  }
+
+  // Scenario 2: the same fault under supervision. The soft-reset rung brings
+  // the stack back and the operation reruns to completion.
+  {
+    driver::HybridConfig config = BaseConfig();
+    config.fault_plan = sim::FaultPlan::Scripted({
+        {sim::FaultKind::kDroppedInterrupt, /*at=*/0, /*duration=*/1},
+    });
+    driver::HybridDriver eeprom(config);
+    driver::Supervisor<driver::HybridDriver> sup(&eeprom);
+    std::printf("\n[supervised] same dropped IRQ, supervisor attached\n");
+    if (!sup.Write(0x0080, payload)) {
+      std::printf("[supervised] write FAILED unexpectedly\n");
+      return 1;
+    }
+    std::vector<uint8_t> data;
+    if (!sup.Read(0x0080, 4, &data) || data != payload) {
+      std::printf("[supervised] read-back mismatch\n");
+      return 1;
+    }
+    std::printf("[supervised] completed via soft reset, data intact, health=%s\n",
+                driver::HealthStateName(sup.health()));
+    std::printf("[supervised] %s\n",
+                driver::FormatRecoveryCounters(sup.counters()).c_str());
+    std::printf("[supervised] replay: %s\n", eeprom.fault_plan().ReplayCommand().c_str());
+  }
+
+  // Scenario 3: IRQs keep getting dropped. The ladder escalates — reset,
+  // re-probe, single-byte degradation — and only wedges when nothing works.
+  {
+    driver::HybridConfig config = BaseConfig();
+    std::vector<sim::FaultEvent> events;
+    for (uint64_t at = 0; at < 64; ++at) {
+      events.push_back({sim::FaultKind::kDroppedInterrupt, at, 1});
+    }
+    config.fault_plan = sim::FaultPlan::Scripted(events);
+    driver::HybridDriver eeprom(config);
+    driver::Supervisor<driver::HybridDriver> sup(&eeprom);
+    std::printf("\n[persistent] every completion IRQ dropped\n");
+    bool ok = sup.Write(0x0080, payload);
+    std::printf("[persistent] write %s; health=%s\n", ok ? "succeeded" : "failed",
+                driver::HealthStateName(sup.health()));
+    std::printf("[persistent] %s\n",
+                driver::FormatRecoveryCounters(sup.counters()).c_str());
+    if (ok || sup.health() != driver::HealthState::kWedged) {
+      std::printf("[persistent] expected a terminal wedge after the full ladder\n");
+      return 1;
+    }
+    std::printf("[persistent] every rung exhausted before the terminal wedge\n");
+  }
+  return 0;
+}

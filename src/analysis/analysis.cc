@@ -99,6 +99,11 @@ class RuleObserver : public DataflowObserver {
     }
   }
 
+  // Records with at least one maybe-uninitialized read on a feasible path,
+  // keyed to the earliest such read. The reset-safety rule diffs this map
+  // between the cold-boot and stale-entry dataflow runs.
+  const std::map<int, SourceLocation>& UninitReadSites() const { return first_uninit_read_; }
+
   std::vector<Finding> findings;
 
  private:
@@ -116,6 +121,58 @@ class RuleObserver : public DataflowObserver {
   std::map<int, SourceLocation> first_uninit_read_;
   std::set<std::string> reported_;
 };
+
+// Collects only the uninitialized-read sites of the stale-entry (reset path)
+// dataflow run. Interval-based rules stay with the cold-boot run, so widening
+// the entry state for the reset model cannot introduce false positives for
+// them.
+class StaleEntryObserver : public DataflowObserver {
+ public:
+  void OnUninitRead(int block, const ir::Inst& inst, int record) override {
+    if (!inst.loc.IsValid()) {
+      return;
+    }
+    auto it = sites_.find(record);
+    if (it == sites_.end() || inst.loc.line < it->second.line ||
+        (inst.loc.line == it->second.line && inst.loc.column < it->second.column)) {
+      sites_[record] = inst.loc;
+    }
+  }
+
+  const std::map<int, SourceLocation>& UninitReadSites() const { return sites_; }
+
+ private:
+  std::map<int, SourceLocation> sites_;
+};
+
+// reset-safety: a read the cold-boot analysis proves initialization-dominated
+// becomes reachable-uninitialized once the entry state is widened to stale
+// post-reset values. Such a read relies on the zeroed frame (for example, a
+// guard that is statically false at cold boot re-routing execution), so the
+// reset entry path must reassign the variable before it is used.
+void RunResetSafetyRule(const ir::Module& module,
+                        const std::map<int, SourceLocation>& cold_boot_sites,
+                        std::vector<Finding>& findings) {
+  StaleEntryObserver stale;
+  DataflowOptions options;
+  options.stale_entry = true;
+  RunDataflow(module, &stale, options);
+  for (const auto& [record, loc] : stale.UninitReadSites()) {
+    if (cold_boot_sites.count(record) > 0) {
+      continue;  // Already a use-before-init finding; reset adds nothing.
+    }
+    Finding finding;
+    finding.rule = kRuleResetSafety;
+    finding.severity = Severity::kWarning;
+    finding.location = loc;
+    finding.message = "'" + SlotName(module, record) +
+                      "' is not reinitialized on the reset entry path: this read is only "
+                      "assignment-dominated because frames start zeroed, and after a soft "
+                      "reset the stale persistent state can reach it without a reassignment";
+    AddDeclNote(module, record, finding);
+    findings.push_back(std::move(finding));
+  }
+}
 
 // First valid source location found by breadth-first search over `allowed`
 // blocks starting at `root`; marks every visited block in `visited`.
@@ -464,6 +521,7 @@ const std::set<std::string>& AllRules() {
   static const std::set<std::string> rules = {
       kRuleUseBeforeInit,  kRuleUnreachableCode,    kRuleTruncationLoss,
       kRuleStaticBounds,   kRuleChannelConformance, kRuleProgressReachability,
+      kRuleResetSafety,
   };
   return rules;
 }
@@ -474,6 +532,7 @@ std::vector<Finding> AnalyzeModule(const ir::Module& module, bool verifier_mode)
   DataflowFacts df = RunDataflow(module, &observer);
   observer.FlushUninitReads();
   std::vector<Finding> findings = std::move(observer.findings);
+  RunResetSafetyRule(module, observer.UninitReadSites(), findings);
   RunUnreachableRule(module, cfg, df, findings);
   RunProgressRule(module, cfg, df, findings);
   RunChannelRule(module, verifier_mode, findings);

@@ -12,6 +12,10 @@
 //                          warning  channel declared but used by no process
 //   progress-reachability  error    reachable cycle with no blocking op and no exit
 //                          warning  blocking cycle that cannot reach a progress label
+//   reset-safety           warning  read initialized on every cold-boot path only
+//                                   because frames start zeroed; the reset entry
+//                                   path (stale persistent state) reaches it
+//                                   without a reassignment
 
 #ifndef SRC_ANALYSIS_ANALYSIS_H_
 #define SRC_ANALYSIS_ANALYSIS_H_
@@ -32,6 +36,7 @@ inline constexpr char kRuleTruncationLoss[] = "truncation-loss";
 inline constexpr char kRuleStaticBounds[] = "static-bounds";
 inline constexpr char kRuleChannelConformance[] = "channel-conformance";
 inline constexpr char kRuleProgressReachability[] = "progress-reachability";
+inline constexpr char kRuleResetSafety[] = "reset-safety";
 
 // All rule names, for suppression-pragma validation.
 const std::set<std::string>& AllRules();

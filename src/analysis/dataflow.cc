@@ -531,6 +531,11 @@ bool JoinInto(BlockState& target, const BlockState& from, bool widen) {
 }  // namespace
 
 DataflowFacts RunDataflow(const ir::Module& module, DataflowObserver* observer) {
+  return RunDataflow(module, observer, DataflowOptions{});
+}
+
+DataflowFacts RunDataflow(const ir::Module& module, DataflowObserver* observer,
+                          const DataflowOptions& options) {
   DataflowFacts facts;
   facts.record_of = BuildRecordOf(module);
   size_t n = module.blocks.size();
@@ -561,6 +566,16 @@ DataflowFacts RunDataflow(const ir::Module& module, DataflowObserver* observer) 
     state.records.resize(module.slots.size());
   }
   entry[node(0, 0)].feasible = true;
+  if (options.stale_entry) {
+    // Reset entry path: persistent variables carry whatever the aborted run
+    // left in them, bounded only by their storage range.
+    BlockState& initial = entry[node(0, 0)];
+    for (size_t r = 0; r < module.slots.size(); ++r) {
+      if (module.slots[r].slot_class == ir::SlotClass::kVar) {
+        initial.records[r].interval = Interval::Storage(module.slots[r].type);
+      }
+    }
+  }
   std::vector<int> join_count(2 * n, 0);
   std::vector<char> queued(2 * n, 0);
   std::deque<int> worklist;

@@ -93,10 +93,23 @@ struct DataflowFacts {
   std::vector<int> record_of;
 };
 
+struct DataflowOptions {
+  // Model the reset entry path instead of cold boot: kVar records enter the
+  // process with their full storage range (the stale values a soft reset can
+  // leave behind — the Verilog watchdog reset returns every FSM to its
+  // initial state but does not scrub persistent storage) rather than the
+  // zeroed frame. Reads that are initialization-dominated only under the
+  // frames-start-zeroed assumption surface as uninit reads in this mode; the
+  // reset-safety rule reports the delta against a normal run.
+  bool stale_entry = false;
+};
+
 // Runs the forward fixpoint (with widening on loops), then replays every
 // feasible block once against `observer` (may be null) using the converged
 // entry states.
 DataflowFacts RunDataflow(const ir::Module& module, DataflowObserver* observer);
+DataflowFacts RunDataflow(const ir::Module& module, DataflowObserver* observer,
+                          const DataflowOptions& options);
 
 }  // namespace efeu::analysis
 

@@ -150,9 +150,29 @@ class LayerCPrinter {
     return "void " + name + "(" + params + ")";
   }
 
+  std::string ResetSignature() const { return "void " + layer_.name + "_reset(void)"; }
+
   std::string Print() {
     out_.Line("/* Layer " + layer_.name + ": generated by ESMC (C backend). */");
     out_.Line("#include \"efeu_gen.h\"");
+    out_.Blank();
+    // Supervision ladder: arms a coroutine reinit. The next invocation
+    // restarts from the initial state with zeroed persistent locals; the
+    // reset cascades into every generated callee so the whole stack
+    // converges together. External boilerplate (e.g. the Electrical bus
+    // hook) is stateless by construction and is not reset here.
+    out_.Line("static int _reset_pending;");
+    out_.Blank();
+    out_.Line(ResetSignature() + " {");
+    out_.Indent();
+    out_.Line("_reset_pending = 1;");
+    for (const std::string& child : ChildrenOf(layer_.name)) {
+      if (graph_.external_callees.count(child) == 0) {
+        out_.Line(child + "_reset();");
+      }
+    }
+    out_.Dedent();
+    out_.Line("}");
     out_.Blank();
     out_.Line(Signature() + " {");
     out_.Indent();
@@ -190,6 +210,32 @@ class LayerCPrinter {
     // suspend until the next invocation.
     out_.Line("int _in_consumed = 0;");
     out_.Line("(void)_in_consumed;");
+    out_.Blank();
+    // Perform the armed reinit before dispatching to any saved continuation:
+    // the coroutine forgets its suspension point and every persistent local
+    // returns to its zero-initialized starting value.
+    out_.Line("if (_reset_pending) {");
+    out_.Indent();
+    out_.Line("_reset_pending = 0;");
+    out_.Line("_continuation_pos = 0;");
+    for (const esm::VarInfo& var : info_.vars) {
+      if (var.IsStruct() || var.type.IsArray()) {
+        std::string object = var.IsStruct() ? "&" + var.name : var.name;
+        out_.Line("memset(" + object + ", 0, sizeof " + var.name + ");");
+      } else {
+        out_.Line(var.name + " = 0;");
+      }
+    }
+    for (const std::string& child : ChildrenOf(layer_.name)) {
+      if (compilation_.system().FindChannel(layer_.name, child) != nullptr) {
+        out_.Line("memset(&_call_" + child + ", 0, sizeof _call_" + child + ");");
+      }
+      if (compilation_.system().FindChannel(child, layer_.name) != nullptr) {
+        out_.Line("memset(&_res_" + child + ", 0, sizeof _res_" + child + ");");
+      }
+    }
+    out_.Dedent();
+    out_.Line("}");
     out_.Blank();
     // Pre-scan for continuation indices so the dispatch switch can be
     // emitted before the body.
@@ -449,6 +495,7 @@ COutput GenerateC(const ir::Compilation& compilation, const std::string& entry_l
   header.Line("#define EFEU_GEN_H_");
   header.Blank();
   header.Line("#include <assert.h>");
+  header.Line("#include <string.h>");
   header.Blank();
   header.Line("typedef unsigned char bit;");
   header.Line("typedef unsigned char bool_t;");
@@ -527,6 +574,7 @@ COutput GenerateC(const ir::Compilation& compilation, const std::string& entry_l
     const esm::LayerInfo* info = compilation.FindLayer(layer_name);
     LayerCPrinter printer(compilation, graph, *layer_def, *info, layer_name == entry_layer);
     prototypes.push_back(printer.Signature() + ";");
+    prototypes.push_back(printer.ResetSignature() + ";");
     output.layers[layer_name] = printer.Print();
   }
   for (const std::string& prototype : prototypes) {

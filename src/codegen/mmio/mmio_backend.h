@@ -32,6 +32,12 @@ struct MmioRegisterMap {
   int up_valid_offset = 0;
   int up_ready_offset = 0;
   int status_offset = 0;  // status & reset register
+  // Supervision registers (appended after the handshake block so existing
+  // offsets never move): a write to SOFT_RESET pulses the stack-wide
+  // synchronous reset; WDOG programs the watchdog limit in bus clock cycles
+  // (0 disables). STATUS bit 2 is the sticky wdog-fired flag.
+  int soft_reset_offset = 0;
+  int wdog_offset = 0;
   int total_bytes = 0;
 
   // Words the software writes to send one down-message (data + valid).

@@ -25,6 +25,11 @@ struct VerilogOutput {
 // Generates one module.
 std::string GenerateVerilogModule(const ir::Module& module);
 
+// Generates the per-stack supervision watchdog: a cycle counter that pulses
+// the layers' shared soft_rst when the programmed limit elapses without a
+// kick, with a sticky fired flag for software.
+std::string GenerateVerilogWatchdog();
+
 // Generates every module of the compilation.
 VerilogOutput GenerateVerilog(const ir::Compilation& compilation);
 

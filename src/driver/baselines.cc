@@ -219,6 +219,37 @@ void BitBangDriver::RecoverBus() {
   SyncRtl();
 }
 
+void BitBangDriver::SoftReset() {
+  ++recovery_counters_.soft_resets;
+  // All-software driver: coroutine reinit is the whole reset. Release both
+  // GPIO lines so the bus floats back to idle.
+  sw_.Reset();
+  sw_.Run();
+  last_sw_steps_ = sw_.TotalSteps();
+  gpio_scl_ = true;
+  gpio_sda_ = true;
+  bus_.SetDriver(gpio_driver_id_, gpio_scl_, gpio_sda_);
+  wedged_ = false;
+  last_status_ = i2c::kCeResOk;
+  Busy(2 * timing_.gpio_write_ns);
+  SyncRtl();
+}
+
+bool BitBangDriver::Probe() {
+  ++recovery_counters_.reprobes;
+  // A single-byte read from offset 0, bypassing the retry ladder.
+  std::vector<int32_t> request(20, 0);
+  request[0] = i2c::kCeActRead;
+  request[1] = eeprom_address_;
+  request[2] = 0;
+  request[3] = 1;
+  std::vector<int32_t> reply;
+  if (!RunOperation(request, &reply)) {
+    return false;
+  }
+  return reply[0] == i2c::kCeResOk && reply[1] == 1;
+}
+
 bool BitBangDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
   std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActRead;
@@ -282,38 +313,76 @@ DriverMetrics BitBangDriver::MeasureReads(int ops, int length) {
 // ---------------------------------------------------------------------------
 
 XilinxIpDriver::XilinxIpDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
-                               bool capture_waveform)
-    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address) {
+                               bool capture_waveform, const sim::FaultPlan& fault_plan)
+    : timing_(timing), rtl_(timing.clock_ns), eeprom_address_(eeprom.address),
+      fault_plan_(fault_plan) {
   engine_ = std::make_unique<sim::XilinxIpEngine>(&bus_, timing.half_cycle_ticks,
                                                   timing.xilinx_interbyte_gap_ticks);
   sim::EepromConfig eeprom_config = eeprom;
   eeprom_config.clock_ns = timing.clock_ns;
   eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
+  eeprom_->SetFaultPlan(&fault_plan_);
   rtl_.AddComponent(engine_.get());
   rtl_.AddComponent(eeprom_.get());
   if (capture_waveform) {
     bus_.EnableCapture(true);
     rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
   }
+  last_status_ = i2c::kCeResOk;
 }
 
 XilinxIpDriver::~XilinxIpDriver() = default;
 
-bool XilinxIpDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
-  // Driver setup: program the transaction into the TX FIFO.
-  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
-  engine_->StartRead(eeprom_address_, offset, length);
+bool XilinxIpDriver::RunEngine(int payload_bytes) {
+  ++recovery_counters_.attempts;
   constexpr double kTimeoutNs = 2e9;
   double deadline = rtl_.time_ns() + kTimeoutNs;
   while (!engine_->done() && rtl_.time_ns() < deadline) {
     rtl_.Tick();
   }
-  if (!engine_->done() || engine_->ack_failure()) {
+  if (!engine_->done()) {
+    ++recovery_counters_.timeouts;
+    wedged_ = true;
+    last_status_ = i2c::kCeResFail;
     return false;
   }
+  if (engine_->ack_failure()) {
+    ++recovery_counters_.nacks;
+    last_status_ = i2c::kCeResNack;
+    return false;
+  }
+  // Boundary fault: the completion interrupt is lost; the driver's blocking
+  // wait gives up even though the engine finished (timeout modeled as an
+  // immediate failure so the simulation need not tick through it).
+  if (fault_plan_.Consult(sim::FaultKind::kDroppedInterrupt) > 0) {
+    ++recovery_counters_.timeouts;
+    wedged_ = true;
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
+  // Boundary fault: a spurious FIFO interrupt costs one extra service pass.
+  if (fault_plan_.Consult(sim::FaultKind::kSpuriousInterrupt) > 0) {
+    ++irq_count_;
+    cpu_busy_ns_ += timing_.xilinx_byte_irq_ns;
+  }
   // FIFO-service interrupt per payload byte plus the completion interrupt.
-  irq_count_ += static_cast<uint64_t>(length) + 1;
-  cpu_busy_ns_ += (length + 1) * timing_.xilinx_byte_irq_ns;
+  irq_count_ += static_cast<uint64_t>(payload_bytes) + 1;
+  cpu_busy_ns_ += (payload_bytes + 1) * timing_.xilinx_byte_irq_ns;
+  last_status_ = i2c::kCeResOk;
+  return true;
+}
+
+bool XilinxIpDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
+  if (wedged_) {
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
+  // Driver setup: program the transaction into the TX FIFO.
+  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
+  engine_->StartRead(eeprom_address_, offset, length);
+  if (!RunEngine(length)) {
+    return false;
+  }
   if (out != nullptr) {
     *out = engine_->read_data();
   }
@@ -321,19 +390,31 @@ bool XilinxIpDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
 }
 
 bool XilinxIpDriver::Write(int offset, const std::vector<uint8_t>& data) {
-  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
-  engine_->StartWrite(eeprom_address_, offset, data);
-  constexpr double kTimeoutNs = 2e9;
-  double deadline = rtl_.time_ns() + kTimeoutNs;
-  while (!engine_->done() && rtl_.time_ns() < deadline) {
-    rtl_.Tick();
-  }
-  if (!engine_->done() || engine_->ack_failure()) {
+  if (wedged_) {
+    last_status_ = i2c::kCeResFail;
     return false;
   }
-  irq_count_ += data.size() + 1;
-  cpu_busy_ns_ += (static_cast<double>(data.size()) + 1) * timing_.xilinx_byte_irq_ns;
-  return true;
+  cpu_busy_ns_ += timing_.xilinx_setup_writes * timing_.mmio_write_ns;
+  engine_->StartWrite(eeprom_address_, offset, data);
+  return RunEngine(static_cast<int>(data.size()));
+}
+
+void XilinxIpDriver::SoftReset() {
+  ++recovery_counters_.soft_resets;
+  // The AXI IIC SOFTR register: abandon the queued transaction, release the
+  // bus, clear the wedged flag. One MMIO write.
+  engine_->SoftReset();
+  cpu_busy_ns_ += timing_.mmio_write_ns;
+  wedged_ = false;
+  last_status_ = i2c::kCeResOk;
+}
+
+bool XilinxIpDriver::Probe() {
+  ++recovery_counters_.reprobes;
+  std::vector<uint8_t> data;
+  // Probing costs an attempt through the normal read path (single byte).
+  bool ok = Read(0, 1, &data);
+  return ok && data.size() == 1;
 }
 
 DriverMetrics XilinxIpDriver::MeasureReads(int ops, int length) {
@@ -359,6 +440,8 @@ DriverMetrics XilinxIpDriver::MeasureReads(int ops, int length) {
   metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
   metrics.irq_count = irq_count_ - start_irqs;
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
+  metrics.recovery = recovery_counters_;
+  metrics.faults_injected = fault_plan_.faults_injected();
   return metrics;
 }
 

@@ -35,11 +35,17 @@ class BitBangDriver {
   bool Write(int offset, const std::vector<uint8_t>& data);
   DriverMetrics MeasureReads(int ops, int length);
 
+  // Supervision-ladder entry points (all-software driver: coroutine reinit
+  // plus releasing the GPIO lines) and a single-byte re-probe.
+  void SoftReset();
+  bool Probe();
+
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
   sim::FaultPlan& fault_plan() { return fault_plan_; }
   const RecoveryCounters& recovery_counters() const { return recovery_counters_; }
   int32_t last_status() const { return last_status_; }
+  bool wedged() const { return wedged_; }
 
  private:
   bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
@@ -80,17 +86,29 @@ class BitBangDriver {
 class XilinxIpDriver {
  public:
   XilinxIpDriver(const TimingModel& timing, const sim::EepromConfig& eeprom,
-                 bool capture_waveform = false);
+                 bool capture_waveform = false, const sim::FaultPlan& fault_plan = {});
   ~XilinxIpDriver();
 
   bool Read(int offset, int length, std::vector<uint8_t>* out);
   bool Write(int offset, const std::vector<uint8_t>& data);
   DriverMetrics MeasureReads(int ops, int length);
 
+  // Supervision-ladder entry points: the AXI IIC SOFTR-style engine reset
+  // and a single-byte re-probe.
+  void SoftReset();
+  bool Probe();
+
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
+  sim::FaultPlan& fault_plan() { return fault_plan_; }
+  const RecoveryCounters& recovery_counters() const { return recovery_counters_; }
+  int32_t last_status() const { return last_status_; }
+  bool wedged() const { return wedged_; }
 
  private:
+  // One transaction on the engine; waits for the completion interrupt.
+  bool RunEngine(int payload_bytes);
+
   TimingModel timing_;
   rtl::RtlSystem rtl_;
   sim::I2cBus bus_;
@@ -99,6 +117,14 @@ class XilinxIpDriver {
   double cpu_busy_ns_ = 0;
   uint64_t irq_count_ = 0;
   int eeprom_address_;
+
+  // Boundary fault injection and supervision surface (mirrors HybridDriver;
+  // the engine itself has no wire-fault consult points, but dropped and
+  // spurious completion interrupts hit this driver like any other).
+  sim::FaultPlan fault_plan_;
+  RecoveryCounters recovery_counters_;
+  int32_t last_status_ = 0;
+  bool wedged_ = false;
 };
 
 }  // namespace efeu::driver

@@ -199,12 +199,18 @@ bool HybridDriver::WaitUpMessage() {
   // A realistic driver timeout, relative to when this wait started.
   const double deadline = now_ns() + config_.recovery.wait_timeout_ns;
   if (!config_.interrupt_driven) {
+    // Boundary fault: a corrupted STATUS read makes the poll loop see "not
+    // ready" for `corrupt` polls even after the message landed.
+    int corrupt = fault_plan_.Consult(sim::FaultKind::kCorruptedMmioRead);
     // Polling: spin on the UP_VALID register.
     while (true) {
       Busy(config_.timing.mmio_read_ns);
       SyncRtl();
       if (regfile_->UpFull()) {
-        return true;
+        if (corrupt == 0) {
+          return true;
+        }
+        --corrupt;
       }
       if (sw_time_ns_ > deadline) {
         return false;
@@ -214,7 +220,21 @@ bool HybridDriver::WaitUpMessage() {
   // Interrupt-driven: the CPU sleeps in the blocking UIO read; wall time
   // follows the hardware.
   SyncRtl();
-  while (!regfile_->irq()) {
+  // Boundary fault: a spurious IRQ edge wakes the driver with nothing in the
+  // register file; it pays the full interrupt path and goes back to sleep.
+  if (fault_plan_.Consult(sim::FaultKind::kSpuriousInterrupt) > 0) {
+    double spurious_busy = config_.timing.irq_overhead_ns * config_.timing.irq_busy_fraction;
+    sw_time_ns_ += config_.timing.irq_overhead_ns - spurious_busy;
+    Busy(spurious_busy);
+    ++irq_count_;
+    Busy(config_.timing.mmio_read_ns);  // status read: nothing pending
+    SyncRtl();
+    Busy(config_.timing.irq_exit_ns);
+  }
+  // Boundary fault: the IRQ edge for this message never reaches the CPU, so
+  // the blocking read sleeps until its timeout.
+  const bool dropped = fault_plan_.Consult(sim::FaultKind::kDroppedInterrupt) > 0;
+  while (dropped || !regfile_->irq()) {
     rtl_.Tick();
     if (rtl_.time_ns() > deadline) {
       return false;
@@ -231,6 +251,11 @@ bool HybridDriver::WaitUpMessage() {
   Busy(config_.timing.mmio_read_ns);
   SyncRtl();
   Busy(config_.timing.irq_exit_ns);
+  // Boundary fault: the post-wakeup status read is garbage; the driver
+  // cannot trust the message and reports the wait as failed.
+  if (fault_plan_.Consult(sim::FaultKind::kCorruptedMmioRead) > 0) {
+    return false;
+  }
   return regfile_->UpFull();
 }
 
@@ -259,13 +284,21 @@ bool HybridDriver::PumpOnce() {
       }
       Busy(config_.timing.mmio_write_ns);
       SyncRtl();
-      regfile_->SetDownValid();
+      // Boundary fault: the DOWN_VALID doorbell write is silently dropped on
+      // the interconnect; hardware never learns about the message.
+      if (fault_plan_.Consult(sim::FaultKind::kLostDoorbell) == 0) {
+        regfile_->SetDownValid();
+      }
       return false;
     }
     if (sw_.WantsToRecv(boundary_up_)) {
       Busy(config_.timing.mmio_write_ns);
       SyncRtl();
-      regfile_->ArmUp();
+      // Boundary fault: the UP_READY write is lost, so the up ready/valid
+      // handshake never completes and the message never lands.
+      if (fault_plan_.Consult(sim::FaultKind::kStalledUpMessage) == 0) {
+        regfile_->ArmUp();
+      }
       if (!WaitUpMessage()) {
         // The hardware missed its deadline with the software stack blocked
         // mid-protocol: surface a terminal failure instead of hanging.
@@ -303,10 +336,14 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
     }
     Busy(config_.timing.mmio_write_ns);
     SyncRtl();
-    regfile_->SetDownValid();
+    if (fault_plan_.Consult(sim::FaultKind::kLostDoorbell) == 0) {
+      regfile_->SetDownValid();
+    }
     Busy(config_.timing.mmio_write_ns);
     SyncRtl();
-    regfile_->ArmUp();
+    if (fault_plan_.Consult(sim::FaultKind::kStalledUpMessage) == 0) {
+      regfile_->ArmUp();
+    }
     if (!WaitUpMessage()) {
       return false;
     }
@@ -393,6 +430,55 @@ bool HybridDriver::Transact(const std::vector<int32_t>& request,
     Idle(backoff);
     backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_ns);
   }
+}
+
+void HybridDriver::SoftReset() {
+  ++recovery_counters_.soft_resets;
+  // Hardware side: every layer FSM, the adapter and the register file back
+  // to their initial state. Component resets publish deasserted handshake
+  // flags at their next Commit at the earliest, so clear the wires directly
+  // too — a peer must not observe a stale pre-reset valid/ready.
+  for (const std::unique_ptr<rtl::RtlModule>& module : hw_modules_) {
+    module->Reset();
+  }
+  adapter_->Reset();
+  regfile_->SoftReset();
+  rtl_.ResetWires();
+  bus_.SetDriver(recovery_driver_id_, /*scl=*/true, /*sda=*/true);
+  // Software side: coroutine reinit, then run every layer back to its
+  // initial blocking point (startup, not timed).
+  if (!sw_empty_) {
+    sw_.Reset();
+    sw_.Run();
+    last_sw_steps_ = sw_.TotalSteps();
+  }
+  wedged_ = false;
+  pump_dead_ = false;
+  last_status_ = i2c::kCeResOk;
+  // One SOFT_RESET register write, then let the hardware settle into its
+  // initial handshakes again.
+  Busy(config_.timing.mmio_write_ns);
+  SyncRtl();
+  for (int i = 0; i < 32; ++i) {
+    rtl_.Tick();
+  }
+  sw_time_ns_ = std::max(sw_time_ns_, rtl_.time_ns());
+}
+
+bool HybridDriver::Probe() {
+  ++recovery_counters_.reprobes;
+  // A single-byte read from offset 0, bypassing the retry ladder: one
+  // attempt, straight answer.
+  std::vector<int32_t> request(20, 0);
+  request[0] = i2c::kCeActRead;
+  request[1] = config_.eeprom.address;
+  request[2] = 0;
+  request[3] = 1;
+  std::vector<int32_t> reply;
+  if (!RunOperation(request, &reply)) {
+    return false;
+  }
+  return reply[0] == i2c::kCeResOk && reply[1] == 1;
 }
 
 void HybridDriver::RecoverBus() {

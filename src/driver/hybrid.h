@@ -93,6 +93,16 @@ class HybridDriver {
   // SCL frequency, CPU usage and interrupt count (paper sections 5.2/5.3).
   DriverMetrics MeasureReads(int ops, int length);
 
+  // Hardware soft reset + coroutine reinit (the supervision ladder's third
+  // rung): returns every hardware FSM, the register file, the bus adapter
+  // and every software layer to its initial state, clears the wedged flag
+  // and releases the bus. Device-internal state (e.g. an EEPROM mid-read) is
+  // NOT touched — run bus recovery first if the device may be mid-transfer.
+  void SoftReset();
+  // Re-probe after a reset: a single-byte read from the device, bypassing
+  // the retry ladder. True if the device answered with data.
+  bool Probe();
+
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
   sim::Eeprom24aa512& extra_eeprom(int index) { return *extra_eeproms_[index]; }

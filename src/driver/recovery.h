@@ -41,6 +41,10 @@ struct RecoveryCounters {
   uint64_t bus_recoveries = 0;  // 9-pulse sequences issued
   uint64_t deadline_hits = 0;   // operations abandoned at the deadline
   double backoff_ns = 0;        // idle time spent backing off
+  // Supervision-ladder stages (driver::Supervisor).
+  uint64_t soft_resets = 0;       // hardware soft-reset + coroutine reinit
+  uint64_t reprobes = 0;          // post-reset device re-probes
+  uint64_t degraded_entries = 0;  // transitions into degraded mode
 };
 
 }  // namespace efeu::driver

@@ -125,17 +125,20 @@ ResourceEstimate EstimateRecoveryWatchdog(int up_words) {
   // 24-bit deadline counter + compare, the 9-pulse sequencer FSM (a 4-bit
   // pulse counter, two half-cycle timers sharing the adapter's divider), and
   // a stale-flag per up-message word so software can tell a late reply from
-  // a fresh one.
-  estimate.luts = 48 + 2 * up_words;
-  estimate.ffs = 38 + up_words;
+  // a fresh one. The supervision ladder adds the per-stack WDOG limit
+  // register + comparator, the SOFT_RESET pulse fanout into every layer FSM,
+  // and the sticky wdog-fired status bit.
+  estimate.luts = 48 + 2 * up_words + 14;  // wdog compare + reset fanout
+  estimate.ffs = 38 + up_words + 26;       // 24-bit wdog limit + pulse/sticky bits
   return estimate;
 }
 
 std::string FormatRecoveryCounters(const RecoveryCounters& counters) {
-  char buf[192];
+  char buf[288];
   std::snprintf(buf, sizeof(buf),
                 "attempts=%llu retries=%llu nacks=%llu failures=%llu timeouts=%llu "
-                "bus_recoveries=%llu deadline_hits=%llu backoff_us=%.1f",
+                "bus_recoveries=%llu deadline_hits=%llu backoff_us=%.1f "
+                "soft_resets=%llu reprobes=%llu degraded=%llu",
                 static_cast<unsigned long long>(counters.attempts),
                 static_cast<unsigned long long>(counters.retries),
                 static_cast<unsigned long long>(counters.nacks),
@@ -143,7 +146,10 @@ std::string FormatRecoveryCounters(const RecoveryCounters& counters) {
                 static_cast<unsigned long long>(counters.timeouts),
                 static_cast<unsigned long long>(counters.bus_recoveries),
                 static_cast<unsigned long long>(counters.deadline_hits),
-                counters.backoff_ns / 1e3);
+                counters.backoff_ns / 1e3,
+                static_cast<unsigned long long>(counters.soft_resets),
+                static_cast<unsigned long long>(counters.reprobes),
+                static_cast<unsigned long long>(counters.degraded_entries));
   return std::string(buf);
 }
 

@@ -1,0 +1,189 @@
+// Cross-boundary supervision (the staged degradation ladder): a health FSM
+// wrapped uniformly around the hybrid, bit-bang and Xilinx-baseline drivers.
+// The wrapped driver's own RecoveryPolicy covers the first two rungs (retry/
+// backoff and 9-pulse bus recovery); the supervisor escalates through the
+// rest when an operation still fails:
+//
+//   healthy --op fails--> recovering: hardware soft-reset + coroutine reinit,
+//   then (from the second ladder cycle) a full device re-probe before the
+//   operation is retried. A page write that keeps failing falls back to
+//   degraded mode (single-byte writes). Only when every rung is exhausted
+//   does the supervisor declare the pair wedged; wedged is terminal.
+//
+// Duck-typed over the driver: needs Read/Write/SoftReset/Probe plus the
+// recovery_counters()/last_status()/wedged() surface all three drivers share.
+
+#ifndef SRC_DRIVER_SUPERVISOR_H_
+#define SRC_DRIVER_SUPERVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/driver/recovery.h"
+
+namespace efeu::driver {
+
+enum class HealthState {
+  kHealthy,     // operations complete without supervisor intervention
+  kDegraded,    // functional, but page writes run as single-byte writes
+  kRecovering,  // mid-ladder: a reset/re-probe cycle is in flight
+  kWedged,      // every rung exhausted; all further operations fail fast
+};
+
+inline const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kRecovering:
+      return "recovering";
+    case HealthState::kWedged:
+      return "wedged";
+  }
+  return "?";
+}
+
+struct SupervisorOptions {
+  // Soft-reset (+ re-probe) cycles per operation before giving up.
+  int max_ladder_cycles = 3;
+  // Consecutive page writes that needed the reset ladder (failed their first
+  // try) before proactively entering degraded mode; a page write the whole
+  // ladder cannot complete falls back to single bytes immediately.
+  int page_fail_threshold = 2;
+};
+
+template <typename Driver>
+class Supervisor {
+ public:
+  explicit Supervisor(Driver* driver, SupervisorOptions options = {})
+      : driver_(driver), options_(options) {}
+
+  HealthState health() const { return health_; }
+  Driver& driver() { return *driver_; }
+
+  // The driver's counters with the supervisor-level degraded-mode entries
+  // folded in (the driver itself never touches degraded_entries).
+  RecoveryCounters counters() const {
+    RecoveryCounters merged = driver_->recovery_counters();
+    merged.degraded_entries += degraded_entries_;
+    return merged;
+  }
+
+  bool Read(int offset, int length, std::vector<uint8_t>* out) {
+    if (health_ == HealthState::kWedged) {
+      return false;
+    }
+    if (RunLadder([&] { return driver_->Read(offset, length, out); })) {
+      return true;
+    }
+    health_ = HealthState::kWedged;
+    return false;
+  }
+
+  bool Write(int offset, const std::vector<uint8_t>& data) {
+    if (health_ == HealthState::kWedged) {
+      return false;
+    }
+    const bool page = data.size() > 1;
+    if (page && degraded_) {
+      return WriteSingleBytes(offset, data);
+    }
+    bool first_try_failed = false;
+    if (RunLadder([&] { return driver_->Write(offset, data); }, &first_try_failed)) {
+      if (page) {
+        if (first_try_failed) {
+          // The write completed, but only through a reset cycle. A page
+          // write that keeps needing the ladder degrades proactively
+          // instead of betting the next one on it too.
+          if (++consecutive_page_failures_ >= options_.page_fail_threshold) {
+            EnterDegraded();
+          }
+        } else {
+          consecutive_page_failures_ = 0;
+        }
+        if (degraded_) {
+          health_ = HealthState::kDegraded;
+        }
+      }
+      return true;
+    }
+    if (page) {
+      // Last rung before wedged: the device may still take one byte at a
+      // time. The failed ladder left the stack down; reset it first.
+      EnterDegraded();
+      driver_->SoftReset();
+      if (WriteSingleBytes(offset, data)) {
+        return true;
+      }
+    }
+    health_ = HealthState::kWedged;
+    return false;
+  }
+
+ private:
+  template <typename Op>
+  bool RunLadder(Op op, bool* first_try_failed = nullptr) {
+    // Rungs 1-2 (retry/backoff, bus recovery) run inside the driver's own
+    // RecoveryPolicy on this first attempt.
+    if (op()) {
+      Recovered();
+      return true;
+    }
+    if (first_try_failed != nullptr) {
+      *first_try_failed = true;
+    }
+    for (int cycle = 0; cycle < options_.max_ladder_cycles; ++cycle) {
+      health_ = HealthState::kRecovering;
+      // Rung 3: hardware soft reset + coroutine reinit.
+      driver_->SoftReset();
+      if (cycle > 0) {
+        // Rung 4: full device re-probe before trusting the stack again.
+        if (!driver_->Probe()) {
+          // A failed probe can strand the stack mid-protocol; clean up so
+          // the next cycle starts from the initial state.
+          driver_->SoftReset();
+          continue;
+        }
+      }
+      if (op()) {
+        Recovered();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool WriteSingleBytes(int offset, const std::vector<uint8_t>& data) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      std::vector<uint8_t> one = {data[i]};
+      if (!RunLadder([&] { return driver_->Write(offset + static_cast<int>(i), one); })) {
+        health_ = HealthState::kWedged;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Recovered() {
+    health_ = degraded_ ? HealthState::kDegraded : HealthState::kHealthy;
+  }
+
+  void EnterDegraded() {
+    if (!degraded_) {
+      degraded_ = true;
+      ++degraded_entries_;
+    }
+  }
+
+  Driver* driver_;
+  SupervisorOptions options_;
+  HealthState health_ = HealthState::kHealthy;
+  bool degraded_ = false;
+  int consecutive_page_failures_ = 0;
+  uint64_t degraded_entries_ = 0;
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_SUPERVISOR_H_

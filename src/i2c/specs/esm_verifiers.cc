@@ -411,6 +411,9 @@ void CWorld() {
   byte dev;
   int base;
   byte firstbyte;
+#ifdef EEP_RESET
+  byte fails;
+#endif
 
   // The memory model starts erased, mirroring the REep specification.
   base = 0;
@@ -419,6 +422,9 @@ void CWorld() {
     base = base + 1;
   }
 
+#ifdef EEP_RESET
+  fails = 0;
+#endif
   steps = 0;
   while (steps < EEP_VERIF_OPS) {
     op = nondet(2);
@@ -452,6 +458,22 @@ void CWorld() {
         i = i + 1;
       }
       r = CWorldTalkCEepDriver(CE_ACT_WRITE, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+#ifdef EEP_RESET
+      // Reset convergence: a supervision soft reset mid-transaction fails
+      // that operation with CE_RES_FAIL (never a hang, never a garbage
+      // status), at most EEP_RESET_EVENTS operations fail per execution, and
+      // every later operation runs normally on the converged stack. NACK
+      // additionally needs fault injection to be on.
+#ifdef EEP_FAULTS
+      assert(r.res == CE_RES_OK || r.res == CE_RES_NACK || r.res == CE_RES_FAIL);
+#else
+      assert(r.res == CE_RES_OK || r.res == CE_RES_FAIL);
+#endif
+      if (r.res == CE_RES_FAIL) {
+        fails = fails + 1;
+      }
+      assert(fails <= EEP_RESET_EVENTS);
+#else
 #ifdef EEP_FAULTS
       // Under fault injection a transaction may end in NACK and a write may
       // land partially, so the memory model cannot be tracked; the oracle
@@ -465,8 +487,20 @@ void CWorld() {
         i = i + 1;
       }
 #endif
+#endif
     } else {
       r = CWorldTalkCEepDriver(CE_ACT_READ, 0x50 + dev, EEP_FIXED_OFFSET, plen, data);
+#ifdef EEP_RESET
+#ifdef EEP_FAULTS
+      assert(r.res == CE_RES_OK || r.res == CE_RES_NACK || r.res == CE_RES_FAIL);
+#else
+      assert(r.res == CE_RES_OK || r.res == CE_RES_FAIL);
+#endif
+      if (r.res == CE_RES_FAIL) {
+        fails = fails + 1;
+      }
+      assert(fails <= EEP_RESET_EVENTS);
+#else
 #ifdef EEP_FAULTS
       assert(r.res == CE_RES_OK || r.res == CE_RES_NACK);
 #else
@@ -477,6 +511,7 @@ void CWorld() {
         assert(r.data[i] == model[base + ((EEP_FIXED_OFFSET + i) % EEP_MEM_SIZE)]);
         i = i + 1;
       }
+#endif
 #endif
     }
     steps = steps + 1;

@@ -19,7 +19,8 @@ constexpr int kEventIndex = 38;
 constexpr int kActive = 39;  // 0 = none, otherwise device index + 1
 constexpr int kTarget = 40;  // device index + 1 for the latched command
 constexpr int kFaultsLeft = 41;  // remaining fault budget for this execution
-constexpr int kStateWords = 42;
+constexpr int kResetsLeft = 42;  // remaining soft-reset budget for this execution
+constexpr int kStateWords = 43;
 
 // Phases.
 constexpr int32_t kPhaseRecvCmd = 0;
@@ -27,20 +28,27 @@ constexpr int32_t kPhaseSendEvent = 1;
 constexpr int32_t kPhaseRecvAck = 2;
 constexpr int32_t kPhaseReply = 3;
 // Nondet branch point before an acknowledged event: choice 0 delivers the
-// event, choice 1 spends a fault and the event NACKs instead.
+// event; with fault budget left, the next choice spends a fault and the event
+// NACKs; with reset budget left, the last choice spends a supervision soft
+// reset and the transaction fails mid-flight.
 constexpr int32_t kPhaseChooseFault = 4;
+// Soft-reset unwinding: deliver the bus-release STOP to the mid-session
+// device, then consume its acknowledgment before failing the transaction.
+constexpr int32_t kPhaseResetStop = 5;
+constexpr int32_t kPhaseResetAck = 6;
 
 }  // namespace
 
 TransactionSpecProcess::TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
                                                const esi::ChannelInfo* reply_channel,
                                                std::vector<TransactionSpecDevice> devices,
-                                               int max_faults)
+                                               int max_faults, int max_resets)
     : NativeProcess("TransactionSpec"),
       cmd_channel_(cmd_channel),
       reply_channel_(reply_channel),
       devices_(std::move(devices)),
-      max_faults_(max_faults) {
+      max_faults_(max_faults),
+      max_resets_(max_resets) {
   recv_cmd_ = AddPort(cmd_channel, /*is_send=*/false);
   send_reply_ = AddPort(reply_channel, /*is_send=*/true);
   for (const TransactionSpecDevice& device : devices_) {
@@ -54,6 +62,7 @@ TransactionSpecProcess::TransactionSpecProcess(const esi::ChannelInfo* cmd_chann
 void TransactionSpecProcess::InitState(std::vector<int32_t>& state) {
   std::fill(state.begin(), state.end(), 0);
   state[kFaultsLeft] = max_faults_;
+  state[kResetsLeft] = max_resets_;
 }
 
 int TransactionSpecProcess::TargetDevice(const std::vector<int32_t>& state) const {
@@ -114,7 +123,16 @@ check::NativeProcess::PendingOp TransactionSpecProcess::ComputePending(
     }
     case kPhaseChooseFault:
       op.kind = vm::RunState::kBlockedNondet;
-      op.arity = 2;
+      op.arity = 1 + (state[kFaultsLeft] > 0 ? 1 : 0) + (state[kResetsLeft] > 0 ? 1 : 0);
+      return op;
+    case kPhaseResetStop:
+      op.kind = vm::RunState::kBlockedSend;
+      op.port = send_ev_[state[kActive] - 1];
+      op.message = {kReEvStop, 0};
+      return op;
+    case kPhaseResetAck:
+      op.kind = vm::RunState::kBlockedRecv;
+      op.port = recv_ack_[state[kActive] - 1];
       return op;
     default: {
       op.kind = vm::RunState::kBlockedSend;
@@ -162,7 +180,8 @@ void TransactionSpecProcess::OnRecv(int port, std::span<const int32_t> message,
         return;
       }
       state[kActive] = state[kTarget];
-      state[kPhase] = state[kFaultsLeft] > 0 ? kPhaseChooseFault : kPhaseSendEvent;
+      state[kPhase] = state[kFaultsLeft] > 0 || state[kResetsLeft] > 0 ? kPhaseChooseFault
+                                                                       : kPhaseSendEvent;
       return;
     }
     if (state[kAction] == kCtActStop && state[kActive] > 0) {
@@ -174,6 +193,13 @@ void TransactionSpecProcess::OnRecv(int port, std::span<const int32_t> message,
     return;
   }
   // Acknowledgment from a device: {res, rdata}.
+  if (state[kPhase] == kPhaseResetAck) {
+    // The device has processed the bus-release STOP; the session is over and
+    // the failed transaction can be reported.
+    state[kActive] = 0;
+    state[kPhase] = kPhaseReply;
+    return;
+  }
   int32_t i = state[kEventIndex];
   if (message[0] == kReResNack) {
     state[kRes] = kCtResNack;
@@ -194,7 +220,8 @@ void TransactionSpecProcess::OnRecv(int port, std::span<const int32_t> message,
     }
     state[kPhase] = kPhaseReply;
   } else {
-    state[kPhase] = state[kFaultsLeft] > 0 ? kPhaseChooseFault : kPhaseSendEvent;
+    state[kPhase] = state[kFaultsLeft] > 0 || state[kResetsLeft] > 0 ? kPhaseChooseFault
+                                                                     : kPhaseSendEvent;
   }
 }
 
@@ -204,19 +231,38 @@ void TransactionSpecProcess::OnChoice(int32_t choice, std::vector<int32_t>& stat
     state[kPhase] = kPhaseSendEvent;
     return;
   }
-  // Spend a fault: event kEventIndex never reaches the device and the
-  // controller observes NACK. kRLen reflects the payload bytes that did
-  // complete (the address byte is event 0).
-  state[kFaultsLeft] -= 1;
   int32_t i = state[kEventIndex];
-  state[kRes] = kCtResNack;
+  if (choice == 1 && state[kFaultsLeft] > 0) {
+    // Spend a fault: event kEventIndex never reaches the device and the
+    // controller observes NACK. kRLen reflects the payload bytes that did
+    // complete (the address byte is event 0).
+    state[kFaultsLeft] -= 1;
+    state[kRes] = kCtResNack;
+    state[kRLen] = i > 0 ? i - 1 : 0;
+    if (i == 0) {
+      // Address byte faulted: the device never joined the session, so a
+      // following STOP has nothing to deliver.
+      state[kActive] = 0;
+    }
+    state[kPhase] = kPhaseReply;
+    return;
+  }
+  // Spend a supervision soft reset: the watchdog (or software) pulses the
+  // stack-wide reset mid-transaction. Every layer FSM returns to its initial
+  // state, the released bus reads as a STOP condition to the mid-session
+  // device, and the controller observes CT_RES_FAIL for the aborted
+  // transaction.
+  state[kResetsLeft] -= 1;
+  state[kRes] = kCtResFail;
   state[kRLen] = i > 0 ? i - 1 : 0;
   if (i == 0) {
-    // Address byte faulted: the device never joined the session, so a
-    // following STOP has nothing to deliver.
+    // Reset before the address byte: the device never joined the session, so
+    // there is no STOP to deliver and nothing to unwind.
     state[kActive] = 0;
+    state[kPhase] = kPhaseReply;
+    return;
   }
-  state[kPhase] = kPhaseReply;
+  state[kPhase] = kPhaseResetStop;
 }
 
 void TransactionSpecProcess::OnSendComplete(int port, std::vector<int32_t>& state) {
@@ -224,7 +270,7 @@ void TransactionSpecProcess::OnSendComplete(int port, std::vector<int32_t>& stat
     state[kPhase] = kPhaseRecvCmd;
     return;
   }
-  state[kPhase] = kPhaseRecvAck;
+  state[kPhase] = state[kPhase] == kPhaseResetStop ? kPhaseResetAck : kPhaseRecvAck;
 }
 
 bool TransactionSpecProcess::AtValidEndState() const {

@@ -35,15 +35,25 @@ class TransactionSpecProcess : public check::NativeProcess {
   // fails with NACK, up to `max_faults` faults per execution. This models the
   // transaction-level effect of every electrical single fault (address NACK,
   // data NACK, ACK glitch) the simulator can inject.
+  //
+  // With `max_resets` > 0 the same choice point additionally offers a
+  // supervision soft reset: the in-flight event is abandoned, the addressed
+  // device observes the bus release as a STOP condition, and the controller
+  // sees CT_RES_FAIL — the transaction-level shadow of the watchdog/
+  // SOFT_RESET pulse returning every layer FSM to its initial state. Proving
+  // the usual oracle plus valid end states under this choice is the reset
+  // convergence property: after any mid-transaction reset the stack returns
+  // to its initial protocol state and later operations still behave.
   TransactionSpecProcess(const esi::ChannelInfo* cmd_channel,
                          const esi::ChannelInfo* reply_channel,
-                         std::vector<TransactionSpecDevice> devices, int max_faults = 0);
+                         std::vector<TransactionSpecDevice> devices, int max_faults = 0,
+                         int max_resets = 0);
 
   bool AtValidEndState() const override;
 
   std::unique_ptr<check::Process> Clone() const override {
     return std::make_unique<TransactionSpecProcess>(cmd_channel_, reply_channel_, devices_,
-                                                    max_faults_);
+                                                    max_faults_, max_resets_);
   }
 
  protected:
@@ -66,6 +76,7 @@ class TransactionSpecProcess : public check::NativeProcess {
   const esi::ChannelInfo* reply_channel_ = nullptr;
   std::vector<TransactionSpecDevice> devices_;
   int max_faults_ = 0;
+  int max_resets_ = 0;
   int recv_cmd_ = -1;
   int send_reply_ = -1;
   std::vector<int> send_ev_;

@@ -93,6 +93,10 @@ std::map<std::string, std::string> CommonDefines(const VerifyConfig& config) {
   if (config.fault_events > 0) {
     defines["EEP_FAULTS"] = "1";
   }
+  if (config.reset_events > 0) {
+    defines["EEP_RESET"] = "1";
+    defines["EEP_RESET_EVENTS"] = std::to_string(config.reset_events);
+  }
   return defines;
 }
 
@@ -301,7 +305,8 @@ std::unique_ptr<VerifierSystem> BuildEepVerifier(const VerifyConfig& config,
     }
     int spec = sys.AddProcess(std::make_unique<TransactionSpecProcess>(
         info.FindChannel("CEepDriver", "CTransaction"),
-        info.FindChannel("CTransaction", "CEepDriver"), devices, config.fault_events));
+        info.FindChannel("CTransaction", "CEepDriver"), devices, config.fault_events,
+        config.reset_events));
     WireAdjacent(sys, info, ced, "CEepDriver", spec, "CTransaction");
     for (int k = 0; k < config.num_eeproms; ++k) {
       sys.ConnectByChannel(spec, eeps[k], info.FindChannel("RTransaction", "REep"));
@@ -435,6 +440,10 @@ std::unique_ptr<VerifierSystem> BuildVerifier(const VerifyConfig& config,
           (config.level == VerifyLevel::kEepDriver &&
            config.abstraction == VerifyAbstraction::kTransaction)) &&
          "fault_events needs the EepDriver verifier with the Transaction abstraction");
+  assert((config.reset_events == 0 ||
+          (config.level == VerifyLevel::kEepDriver &&
+           config.abstraction == VerifyAbstraction::kTransaction)) &&
+         "reset_events needs the EepDriver verifier with the Transaction abstraction");
   std::unique_ptr<VerifierSystem> vs;
   switch (config.level) {
     case VerifyLevel::kSymbol:

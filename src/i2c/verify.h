@@ -60,6 +60,14 @@ struct VerifyConfig {
   // Only supported by the EepDriver verifier with the Transaction
   // abstraction; implies the EEP_FAULTS relaxation of the CWorld oracle.
   int fault_events = 0;
+  // Soft-reset budget per execution: the checker additionally explores every
+  // schedule in which up to this many supervision soft resets (watchdog or
+  // SOFT_RESET pulse) strike mid-transaction. Each reset aborts the in-flight
+  // transaction with CT_RES_FAIL and returns the stack below the EepDriver to
+  // its initial state; proving the oracle plus valid end states under this
+  // budget is the reset convergence property. Same support constraints as
+  // fault_events; implies the EEP_RESET relaxation of the CWorld oracle.
+  int reset_events = 0;
   // Run the static lint pass (src/analysis) over every compilation before
   // handing the system to the checker. Findings at error severity fail the
   // build fast — BuildVerifier returns nullptr with the lint diagnostics —

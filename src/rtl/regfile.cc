@@ -1,6 +1,31 @@
 #include "src/rtl/regfile.h"
 
+#include <algorithm>
+
 namespace efeu::rtl {
+
+void MmioRegfile::SoftReset() {
+  std::fill(down_staged_.begin(), down_staged_.end(), 0);
+  sw_down_valid_ = false;
+  down_out_valid_ = false;
+  next_down_out_valid_ = false;
+  next_clear_sw_down_ = false;
+  std::fill(up_latched_.begin(), up_latched_.end(), 0);
+  sw_up_ready_ = false;
+  up_out_ready_ = false;
+  next_up_out_ready_ = false;
+  next_clear_sw_up_ = false;
+  next_latch_up_ = false;
+  up_full_ = false;
+  irq_ = false;
+  if (down_wire_ != nullptr) {
+    down_wire_->valid = false;
+    down_wire_->data = down_staged_;
+  }
+  if (up_wire_ != nullptr) {
+    up_wire_->ready = false;
+  }
+}
 
 void MmioRegfile::Evaluate() {
   next_down_out_valid_ = down_out_valid_;

@@ -48,6 +48,12 @@ class MmioRegfile : public RtlComponent {
   }
   bool irq() const { return irq_; }
 
+  // Software-triggered synchronous soft reset (the generated SOFT_RESET
+  // register): drops any staged/latched message and every handshake flag,
+  // publishing the deasserted valid/ready onto the bound wires immediately
+  // so the hardware side cannot observe a stale handshake mid-reset.
+  void SoftReset();
+
   // -- RtlComponent -----------------------------------------------------
   void Evaluate() override;
   void Commit() override;

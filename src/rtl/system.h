@@ -4,6 +4,7 @@
 #ifndef SRC_RTL_SYSTEM_H_
 #define SRC_RTL_SYSTEM_H_
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -44,6 +45,18 @@ class RtlSystem {
   void TickUntil(double target_ns) {
     while (time_ns() < target_ns) {
       Tick();
+    }
+  }
+
+  // Synchronous soft reset of the interconnect: deasserts valid/ready and
+  // zeroes the payload on every wire. Component Reset() methods only publish
+  // their deasserted outputs at the next Commit(), so without this a peer
+  // could observe a stale pre-reset handshake on the first post-reset cycle.
+  void ResetWires() {
+    for (HsWire& wire : wires_) {
+      wire.valid = false;
+      wire.ready = false;
+      std::fill(wire.data.begin(), wire.data.end(), 0);
     }
   }
 

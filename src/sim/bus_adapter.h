@@ -38,6 +38,27 @@ class BusAdapter : public rtl::RtlComponent {
   // at every bus sample. Non-owning; nullptr = ideal bus.
   void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
 
+  // Soft reset: abandons any half cycle in flight, releases both lines and
+  // deasserts the handshake outputs (published immediately, like
+  // MmioRegfile::SoftReset). The pacing clock keeps running.
+  void Reset() {
+    phase_ = Phase::kWaitLevels;
+    next_phase_ = Phase::kWaitLevels;
+    hold_left_ = 0;
+    next_hold_left_ = 0;
+    drive_scl_ = next_drive_scl_ = true;
+    drive_sda_ = next_drive_sda_ = true;
+    out_ready_ = next_out_ready_ = false;
+    out_valid_ = next_out_valid_ = false;
+    bus_->SetDriver(driver_id_, true, true);
+    if (down_wire_ != nullptr) {
+      down_wire_->ready = false;
+    }
+    if (up_wire_ != nullptr) {
+      up_wire_->valid = false;
+    }
+  }
+
   void Evaluate() override;
   void Commit() override;
 

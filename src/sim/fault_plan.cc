@@ -1,6 +1,8 @@
 #include "src/sim/fault_plan.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 namespace efeu::sim {
 
@@ -18,8 +20,64 @@ const char* FaultKindName(FaultKind kind) {
       return "scl-stuck-low";
     case FaultKind::kDeviceBusy:
       return "device-busy";
+    case FaultKind::kDroppedInterrupt:
+      return "dropped-interrupt";
+    case FaultKind::kSpuriousInterrupt:
+      return "spurious-interrupt";
+    case FaultKind::kStalledUpMessage:
+      return "stalled-up-message";
+    case FaultKind::kCorruptedMmioRead:
+      return "corrupted-mmio-read";
+    case FaultKind::kLostDoorbell:
+      return "lost-doorbell";
   }
   return "?";
+}
+
+namespace {
+
+// The C++ enumerator spelling, for ReplayCommand's pasteable snippet.
+const char* FaultKindEnumerator(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNackOnAddress:
+      return "kNackOnAddress";
+    case FaultKind::kNackOnData:
+      return "kNackOnData";
+    case FaultKind::kAckGlitch:
+      return "kAckGlitch";
+    case FaultKind::kSdaStuckLow:
+      return "kSdaStuckLow";
+    case FaultKind::kSclStuckLow:
+      return "kSclStuckLow";
+    case FaultKind::kDeviceBusy:
+      return "kDeviceBusy";
+    case FaultKind::kDroppedInterrupt:
+      return "kDroppedInterrupt";
+    case FaultKind::kSpuriousInterrupt:
+      return "kSpuriousInterrupt";
+    case FaultKind::kStalledUpMessage:
+      return "kStalledUpMessage";
+    case FaultKind::kCorruptedMmioRead:
+      return "kCorruptedMmioRead";
+    case FaultKind::kLostDoorbell:
+      return "kLostDoorbell";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool IsBoundaryFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDroppedInterrupt:
+    case FaultKind::kSpuriousInterrupt:
+    case FaultKind::kStalledUpMessage:
+    case FaultKind::kCorruptedMmioRead:
+    case FaultKind::kLostDoorbell:
+      return true;
+    default:
+      return false;
+  }
 }
 
 FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
@@ -58,6 +116,10 @@ int FaultPlan::RandomDuration(FaultKind kind) {
       return 1 + static_cast<int>(NextRandom() % 4);
     case FaultKind::kDeviceBusy:
       return 1 + static_cast<int>(NextRandom() % 2);
+    case FaultKind::kCorruptedMmioRead:
+      // A short window of garbage status reads; bounded so polling loops
+      // always see a clean read before their deadline.
+      return 1 + static_cast<int>(NextRandom() % 3);
     default:
       return 1;
   }
@@ -65,6 +127,12 @@ int FaultPlan::RandomDuration(FaultKind kind) {
 
 int FaultPlan::Consult(FaultKind kind) {
   if (mode_ == Mode::kInactive) {
+    return 0;
+  }
+  if (mode_ == Mode::kRandom && !boundary_random_ && IsBoundaryFault(kind)) {
+    // Count the opportunity (replay positions stay stable) but leave the
+    // RNG stream untouched so wire-fault schedules are seed-compatible.
+    ++opportunities_[static_cast<int>(kind)];
     return 0;
   }
   uint64_t opportunity = opportunities_[static_cast<int>(kind)]++;
@@ -134,6 +202,45 @@ FaultPlan FaultPlan::Replayed() const {
     events.push_back(FaultEvent{record.kind, record.opportunity, record.duration});
   }
   return Scripted(std::move(events));
+}
+
+std::string FaultPlan::Describe() const {
+  char buf[128];
+  std::string out;
+  switch (mode_) {
+    case Mode::kInactive:
+      out = "inactive";
+      break;
+    case Mode::kScripted:
+      std::snprintf(buf, sizeof(buf), "scripted(%zu events)", events_.size());
+      out = buf;
+      break;
+    case Mode::kRandom:
+      std::snprintf(buf, sizeof(buf), "random(seed=0x%" PRIx64 ", rate=%g, max=%" PRId64 ")",
+                    seed_, rate_, max_faults_);
+      out = buf;
+      break;
+  }
+  out += " trace=[";
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%s@%" PRIu64 "x%d", i > 0 ? " " : "",
+                  FaultKindName(trace_[i].kind), trace_[i].opportunity, trace_[i].duration);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string FaultPlan::ReplayCommand() const {
+  std::string out = "FaultPlan::Scripted({";
+  char buf[128];
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{FaultKind::%s, %" PRIu64 ", %d}", i > 0 ? ", " : "",
+                  FaultKindEnumerator(trace_[i].kind), trace_[i].opportunity, trace_[i].duration);
+    out += buf;
+  }
+  out += "})";
+  return out;
 }
 
 void FaultPlan::Reset() {

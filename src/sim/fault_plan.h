@@ -10,6 +10,7 @@
 #define SRC_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/sim/i2c_bus.h"
@@ -23,9 +24,22 @@ enum class FaultKind {
   kSdaStuckLow,    // SDA held low for `duration` bus samples
   kSclStuckLow,    // SCL held low for `duration` bus samples (stretch burst)
   kDeviceBusy,     // device NACKs `duration` consecutive address bytes
+  // Boundary faults: failures of the HW/SW coupling itself (MMIO regfile,
+  // interrupt line, ready/valid handshake) rather than of the I2C wire.
+  // Consulted by the hybrid coupling in src/driver/hybrid.cc and by the
+  // Xilinx-IP baseline, never by the bus devices.
+  kDroppedInterrupt,   // a pending up-message raises no IRQ edge
+  kSpuriousInterrupt,  // an IRQ edge with no up-message behind it
+  kStalledUpMessage,   // up ready/valid handshake never completes
+  kCorruptedMmioRead,  // a status read returns garbage for `duration` polls
+  kLostDoorbell,       // a down-valid doorbell write is silently dropped
 };
 
-inline constexpr int kNumFaultKinds = 6;
+inline constexpr int kNumFaultKinds = 11;
+
+// True for the MMIO/interrupt-boundary kinds (consulted by driver couplings,
+// not by bus devices).
+bool IsBoundaryFault(FaultKind kind);
 
 const char* FaultKindName(FaultKind kind);
 
@@ -60,6 +74,12 @@ class FaultPlan {
 
   bool active() const { return mode_ != Mode::kInactive; }
 
+  // Random plans skip the boundary kinds unless opted in, so a seeded wire-
+  // fault stream is unchanged by the driver couplings' extra consult sites.
+  // Scripted plans fire whatever they script regardless of this flag.
+  void set_boundary_faults(bool enabled) { boundary_random_ = enabled; }
+  bool boundary_faults() const { return boundary_random_; }
+
   // Consulted by a device at one opportunity for `kind`; returns the fault
   // duration (0 = behave normally) and advances the per-kind counter.
   int Consult(FaultKind kind);
@@ -83,6 +103,15 @@ class FaultPlan {
   // stimulus.
   FaultPlan Replayed() const;
 
+  // Human-readable description of how the plan was constructed plus the
+  // trace so far, e.g. "random(seed=0x2a, rate=0.02) trace=[ack-glitch@3x1]".
+  std::string Describe() const;
+
+  // A single line of C++ that rebuilds a scripted plan reproducing this
+  // plan's trace. Embedded in assertion messages so a seeded-random CI
+  // failure is replayable from the log alone.
+  std::string ReplayCommand() const;
+
   // Clears counters, trace and stuck-line state; reseeds the RNG. The plan
   // then behaves exactly as freshly constructed.
   void Reset();
@@ -99,6 +128,7 @@ class FaultPlan {
   uint64_t rng_ = 0;
   double rate_ = 0;
   int64_t max_faults_ = -1;
+  bool boundary_random_ = false;
 
   uint64_t opportunities_[kNumFaultKinds] = {};
   std::vector<FaultRecord> trace_;

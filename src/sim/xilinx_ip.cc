@@ -88,6 +88,20 @@ void XilinxIpEngine::StartWrite(int dev_address, int offset,
   PushStop();
 }
 
+void XilinxIpEngine::SoftReset() {
+  steps_.clear();
+  step_ = 0;
+  hold_left_ = 0;
+  ack_failure_ = false;
+  read_data_.clear();
+  bit_accum_ = 0;
+  bits_seen_ = 0;
+  payload_bytes_ = 0;
+  next_drive_scl_ = true;
+  next_drive_sda_ = true;
+  bus_->SetDriver(driver_id_, true, true);
+}
+
 void XilinxIpEngine::Evaluate() {
   next_drive_scl_ = true;
   next_drive_sda_ = true;

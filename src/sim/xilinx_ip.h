@@ -30,6 +30,10 @@ class XilinxIpEngine : public rtl::RtlComponent {
   // Data bytes moved (FIFO service interrupts in the driver model).
   int payload_bytes() const { return payload_bytes_; }
 
+  // Soft reset (the AXI IIC SOFTR register): abandons the queued transaction,
+  // clears all engine state and releases both bus lines.
+  void SoftReset();
+
   void Evaluate() override;
   void Commit() override;
 

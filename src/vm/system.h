@@ -68,6 +68,18 @@ class System {
   // if the process is not blocked receiving on this port.
   bool DeliverMessage(PortRef ref, std::span<const int32_t> message);
 
+  // Coroutine reinit for the supervision ladder: resets every process to its
+  // initial state (frames re-zeroed, pc at block 0) and clears any recorded
+  // error. Rendezvous channels hold no buffered data in this VM, so resetting
+  // the endpoints also drains every channel. Per-process step counters
+  // restart from zero; callers tracking TotalSteps() deltas resynchronize.
+  void Reset() {
+    for (ProcessEntry& entry : processes_) {
+      entry.executor->Reset();
+    }
+    error_.clear();
+  }
+
   // Total instructions executed across all processes (cost accounting).
   uint64_t TotalSteps() const;
 

@@ -403,6 +403,97 @@ void Up() {
   EXPECT_EQ(out.result.warnings, 0) << out.rendered;
 }
 
+// ---- reset-safety ----------------------------------------------------------
+
+// The canonical trigger: a guard derived from state the zeroed frame
+// guarantees is 0 at cold boot. The `if (y == 0)` arm is the only feasible
+// path at cold boot, so 'x' is always assigned before use — but after a soft
+// reset the array holds stale values, the guard can go either way, and the
+// skipping path reaches the read of 'x' with no assignment.
+TEST(AnalysisResetSafety, ZeroGuardedAssignmentIsFlagged) {
+  LintOutcome out = Lint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte arr[4];
+  byte y;
+  int x;
+  arr[0] = 0;
+  r = UpTalkDown(1);
+  y = arr[r.r];
+  if (y == 0) {
+    x = 1;
+  }
+  r = UpTalkDown(x);
+}
+)esm") + kEchoDown);
+  EXPECT_EQ(out.result.errors, 0);
+  EXPECT_GE(out.result.warnings, 1);
+  EXPECT_NE(out.rendered.find("[reset-safety]"), std::string::npos) << out.rendered;
+  EXPECT_NE(out.rendered.find("'x'"), std::string::npos) << out.rendered;
+  EXPECT_NE(out.rendered.find("reset entry path"), std::string::npos) << out.rendered;
+}
+
+TEST(AnalysisResetSafety, ExplicitReinitIsSilent) {
+  // Same shape, but 'x' is unconditionally assigned before the guard — the
+  // reset entry path re-executes that assignment, so the read is safe.
+  LintOutcome out = Lint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte arr[4];
+  byte y;
+  int x;
+  arr[0] = 0;
+  r = UpTalkDown(1);
+  y = arr[r.r];
+  x = 0;
+  if (y == 0) {
+    x = 1;
+  }
+  r = UpTalkDown(x);
+}
+)esm") + kEchoDown);
+  EXPECT_EQ(out.result.errors, 0);
+  EXPECT_EQ(out.result.warnings, 0) << out.rendered;
+}
+
+TEST(AnalysisResetSafety, ColdBootUninitReadIsNotDoubleReported) {
+  // A read that is already use-before-init at cold boot must not also appear
+  // as reset-safety: the reset model adds nothing the base rule missed.
+  LintOutcome out = Lint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int x;
+  int y;
+  y = x + 1;
+  r = UpTalkDown(y);
+}
+)esm") + kEchoDown);
+  EXPECT_NE(out.rendered.find("[use-before-init]"), std::string::npos) << out.rendered;
+  EXPECT_EQ(out.rendered.find("[reset-safety]"), std::string::npos) << out.rendered;
+}
+
+TEST(AnalysisResetSafety, SuppressionPragmaApplies) {
+  LintOutcome out = Lint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte arr[4];
+  byte y;
+  int x;
+  arr[0] = 0;
+  r = UpTalkDown(1);
+  y = arr[r.r];
+  if (y == 0) {
+    x = 1;
+  }
+#pragma esmlint suppress reset-safety
+  r = UpTalkDown(x);
+}
+)esm") + kEchoDown);
+  EXPECT_EQ(out.result.errors, 0);
+  EXPECT_EQ(out.result.warnings, 0) << out.rendered;
+  EXPECT_EQ(out.result.suppressed, 1);
+}
+
 // ---- suppressions, options -------------------------------------------------
 
 TEST(AnalysisSuppression, PragmaSuppressesNextLine) {

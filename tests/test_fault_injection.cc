@@ -122,6 +122,78 @@ TEST(FaultPlan, ReplayedReproducesRandomTrace) {
   }
 }
 
+// Random plans skip the MMIO/interrupt boundary kinds unless opted in, so a
+// wire-fault seed produces the same schedule whether or not the driver
+// coupling's extra consult sites exist.
+TEST(FaultPlan, RandomSkipsBoundaryKindsByDefault) {
+  sim::FaultPlan plan = sim::FaultPlan::Random(11, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(plan.Consult(sim::FaultKind::kDroppedInterrupt), 0);
+    EXPECT_EQ(plan.Consult(sim::FaultKind::kStalledUpMessage), 0);
+    EXPECT_EQ(plan.Consult(sim::FaultKind::kLostDoorbell), 0);
+  }
+  EXPECT_EQ(plan.faults_injected(), 0u);
+
+  sim::FaultPlan opted = sim::FaultPlan::Random(11, 1.0);
+  opted.set_boundary_faults(true);
+  EXPECT_GT(opted.Consult(sim::FaultKind::kDroppedInterrupt), 0);
+  EXPECT_EQ(opted.faults_injected(), 1u);
+
+  // Scripted plans fire boundary kinds regardless of the flag.
+  sim::FaultPlan scripted =
+      sim::FaultPlan::Scripted({{sim::FaultKind::kLostDoorbell, 0, 1}});
+  EXPECT_EQ(scripted.Consult(sim::FaultKind::kLostDoorbell), 1);
+}
+
+TEST(FaultPlan, DisabledBoundaryConsultsLeaveWireStreamUnchanged) {
+  // The same seed must yield the same wire-fault trace whether or not
+  // (disabled) boundary consults are interleaved: the RNG stream may only
+  // advance on opportunities that can fire.
+  auto wire_trace = [](bool interleave_boundary) {
+    sim::FaultPlan plan = sim::FaultPlan::Random(77, 0.1);
+    for (int i = 0; i < 200; ++i) {
+      if (interleave_boundary) {
+        plan.Consult(sim::FaultKind::kCorruptedMmioRead);
+        plan.Consult(sim::FaultKind::kSpuriousInterrupt);
+      }
+      plan.Consult(sim::FaultKind::kNackOnAddress);
+      plan.Consult(sim::FaultKind::kAckGlitch);
+    }
+    return plan.trace();
+  };
+  std::vector<sim::FaultRecord> plain = wire_trace(false);
+  std::vector<sim::FaultRecord> interleaved = wire_trace(true);
+  ASSERT_GT(plain.size(), 0u);
+  ASSERT_EQ(plain.size(), interleaved.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].kind, interleaved[i].kind);
+    EXPECT_EQ(plain[i].opportunity, interleaved[i].opportunity);
+    EXPECT_EQ(plain[i].duration, interleaved[i].duration);
+  }
+}
+
+// The replay surface embedded in assertion messages: Describe() is the
+// human-readable schedule, ReplayCommand() a pasteable line of C++. Pinned
+// here so a CI log's replay snippet always compiles.
+TEST(FaultPlan, DescribeAndReplayCommandAreStable) {
+  sim::FaultPlan plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kDroppedInterrupt, 2, 1},
+      {sim::FaultKind::kCorruptedMmioRead, 0, 3},
+  });
+  plan.Consult(sim::FaultKind::kDroppedInterrupt);
+  plan.Consult(sim::FaultKind::kDroppedInterrupt);
+  plan.Consult(sim::FaultKind::kDroppedInterrupt);  // opportunity 2: fires
+  plan.Consult(sim::FaultKind::kCorruptedMmioRead);  // opportunity 0: fires
+  EXPECT_EQ(plan.Describe(),
+            "scripted(2 events) trace=[dropped-interrupt@2x1 corrupted-mmio-read@0x3]");
+  EXPECT_EQ(plan.ReplayCommand(),
+            "FaultPlan::Scripted({{FaultKind::kDroppedInterrupt, 2, 1}, "
+            "{FaultKind::kCorruptedMmioRead, 0, 3}})");
+
+  sim::FaultPlan random = sim::FaultPlan::Random(0x2a, 0.02, /*max_faults=*/4);
+  EXPECT_EQ(random.Describe(), "random(seed=0x2a, rate=0.02, max=4) trace=[]");
+}
+
 // ---------------------------------------------------------------------------
 // EEPROM page-buffer and write-cycle faithfulness (bit-banged directly)
 // ---------------------------------------------------------------------------
@@ -286,9 +358,15 @@ TEST(DriverRecovery, ReadAfterWriteUnderSeededFaultSchedule) {
   });
   HybridDriver driver(config);
   std::vector<uint8_t> payload = {0x5A, 0x5B, 0x5C};
-  ASSERT_TRUE(driver.Write(0x0140, payload)) << FormatRecoveryCounters(driver.recovery_counters());
+  ASSERT_TRUE(driver.Write(0x0140, payload))
+      << FormatRecoveryCounters(driver.recovery_counters()) << "\n"
+      << driver.fault_plan().Describe()
+      << "\nreplay: " << driver.fault_plan().ReplayCommand();
   std::vector<uint8_t> data;
-  ASSERT_TRUE(driver.Read(0x0140, 3, &data)) << FormatRecoveryCounters(driver.recovery_counters());
+  ASSERT_TRUE(driver.Read(0x0140, 3, &data))
+      << FormatRecoveryCounters(driver.recovery_counters()) << "\n"
+      << driver.fault_plan().Describe()
+      << "\nreplay: " << driver.fault_plan().ReplayCommand();
   EXPECT_EQ(data, payload);
 
   const RecoveryCounters& counters = driver.recovery_counters();
@@ -346,8 +424,8 @@ TEST(DriverRecovery, StuckBusIsTerminalNotHang) {
       {sim::FaultKind::kSclStuckLow, 4, 1 << 30},
   });
   HybridDriver driver(config);
-  EXPECT_FALSE(driver.Write(0x10, {0x01}));
-  EXPECT_TRUE(driver.wedged());
+  EXPECT_FALSE(driver.Write(0x10, {0x01})) << driver.fault_plan().Describe();
+  EXPECT_TRUE(driver.wedged()) << driver.fault_plan().Describe();
   EXPECT_EQ(driver.last_status(), i2c::kCeResFail);
   const RecoveryCounters& counters = driver.recovery_counters();
   EXPECT_EQ(counters.timeouts, 1u);
@@ -370,8 +448,11 @@ TEST(DriverRecovery, BitBangRecoversFromFaults) {
   recovery.enabled = true;
   BitBangDriver driver(timing, eeprom, /*capture_waveform=*/false, plan, recovery);
   std::vector<uint8_t> payload = {0x77, 0x78};
-  ASSERT_TRUE(driver.Write(0x60, payload)) << FormatRecoveryCounters(driver.recovery_counters());
-  ASSERT_TRUE(driver.Write(0x62, payload));  // rides out the write cycle too
+  ASSERT_TRUE(driver.Write(0x60, payload))
+      << FormatRecoveryCounters(driver.recovery_counters())
+      << "\nreplay: " << driver.fault_plan().ReplayCommand();
+  ASSERT_TRUE(driver.Write(0x62, payload))  // rides out the write cycle too
+      << "\nreplay: " << driver.fault_plan().ReplayCommand();
   EXPECT_EQ(driver.eeprom().MemoryAt(0x60), 0x77);
   EXPECT_EQ(driver.eeprom().MemoryAt(0x62), 0x77);
   EXPECT_GE(driver.recovery_counters().retries, 2u);

@@ -263,6 +263,54 @@ TEST(EepVerifier, QuiescesUnderDoubleFaultSchedules) {
   EXPECT_TRUE(result.ok) << Describe(result);
 }
 
+// Reset convergence (the supervision tentpole's proof obligation): with the
+// soft-reset event enabled as a nondeterministic choice at every scheduling
+// point, the driver must still complete every operation — a reset fired at
+// any instant returns the whole stack to a state from which the pending
+// operation reruns and terminates with a correct EEPROM image.
+TEST(EepVerifier, ConvergesUnderSingleResetSchedules) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 4;
+  config.reset_events = 1;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+
+  // The reset branches genuinely enlarge the explored space.
+  VerifyConfig no_resets = config;
+  no_resets.reset_events = 0;
+  VerifyRunResult baseline = RunConfig(no_resets);
+  ASSERT_TRUE(baseline.ok) << Describe(baseline);
+  EXPECT_GT(result.safety.states_stored, baseline.safety.states_stored);
+}
+
+TEST(EepVerifier, ConvergesUnderDoubleResetSchedules) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 2;
+  config.reset_events = 2;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
+// Faults and resets compose: a NACK fault may force the recovery path and a
+// reset may strike while that recovery is in flight.
+TEST(EepVerifier, ConvergesUnderMixedFaultAndResetSchedules) {
+  VerifyConfig config;
+  config.level = VerifyLevel::kEepDriver;
+  config.abstraction = VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 2;
+  config.fault_events = 1;
+  config.reset_events = 1;
+  VerifyRunResult result = RunConfig(config);
+  EXPECT_TRUE(result.ok) << Describe(result);
+}
+
 // The parallel safety engine must agree with the sequential one on the full
 // Byte-layer stack: same verdict, same stored-state and transition counts
 // (claim-before-expand makes them exactly equal, not just close).

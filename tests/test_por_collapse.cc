@@ -114,6 +114,28 @@ std::vector<I2cCase> I2cCases() {
     c.fault_events = 2;
     cases.push_back({"eep/txn/faults2", c});
   }
+  {
+    // Soft reset as a nondeterministic event: reset convergence must survive
+    // both reductions.
+    i2c::VerifyConfig c;
+    c.level = i2c::VerifyLevel::kEepDriver;
+    c.abstraction = i2c::VerifyAbstraction::kTransaction;
+    c.num_ops = 2;
+    c.max_len = 3;
+    c.reset_events = 1;
+    cases.push_back({"eep/txn/resets1", c});
+  }
+  {
+    // A fault and a reset composed in one schedule.
+    i2c::VerifyConfig c;
+    c.level = i2c::VerifyLevel::kEepDriver;
+    c.abstraction = i2c::VerifyAbstraction::kTransaction;
+    c.num_ops = 2;
+    c.max_len = 2;
+    c.fault_events = 1;
+    c.reset_events = 1;
+    cases.push_back({"eep/txn/faults1-resets1", c});
+  }
   return cases;
 }
 
