@@ -1,0 +1,172 @@
+// Runtime-monitor cost and coverage: (1) the shadow-checker/bus-watcher
+// overhead on the Figure 10 throughput path — monitors must stay within a
+// 10% elapsed-time envelope of the unmonitored driver on every split — and
+// (2) the detection-latency sweep over every fault kind that corrupts
+// externally observable state, reporting which monitor fired and when.
+//
+// --json <path> writes the machine-readable report (sections "overhead" and
+// "detection"); --quick trims the op count for the CI perf-smoke job.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/hybrid.h"
+#include "src/monitor/monitor_spec.h"
+#include "src/sim/fault_plan.h"
+
+namespace efeu {
+namespace {
+
+constexpr double kOverheadBudget = 0.10;  // fraction of unmonitored elapsed
+
+driver::DriverMetrics Measure(driver::SplitPoint split, bool interrupt_driven,
+                              bool monitors, int ops) {
+  driver::HybridConfig config;
+  config.split = split;
+  config.interrupt_driven = interrupt_driven;
+  config.enable_monitors = monitors;
+  config.capture_waveform = true;  // frequency stats need bus samples
+  driver::HybridDriver hybrid(config);
+  return hybrid.MeasureReads(ops, 14);
+}
+
+bool RunOverhead(bench::JsonReport* json, int ops) {
+  bench::PrintHeader(
+      "Monitor overhead on the Figure 10 throughput path (reads of 14 bytes;\n"
+      "budget: monitored elapsed within 10% of unmonitored)");
+  bench::Table table({13, 10, 10, 10, 10, 8});
+  table.Row({"Split", "Mode", "kHz off", "kHz on", "overhd %", "ok"});
+  bench::PrintRule();
+
+  bool ok = true;
+  const driver::SplitPoint splits[] = {
+      driver::SplitPoint::kElectrical, driver::SplitPoint::kSymbol,
+      driver::SplitPoint::kByte, driver::SplitPoint::kTransaction,
+      driver::SplitPoint::kEepDriver,
+  };
+  for (driver::SplitPoint split : splits) {
+    for (bool interrupt_driven : {false, true}) {
+      driver::DriverMetrics off = Measure(split, interrupt_driven, false, ops);
+      driver::DriverMetrics on = Measure(split, interrupt_driven, true, ops);
+      if (!off.functional || !on.functional) {
+        // The interrupt-driven Electrical driver does not function (paper
+        // section 5.5) with or without monitors; nothing to compare.
+        table.Row({driver::SplitPointName(split),
+                   interrupt_driven ? "interrupt" : "polling", "n/a", "n/a", "n/a",
+                   off.functional == on.functional ? "yes" : "NO"});
+        ok = ok && off.functional == on.functional;
+        continue;
+      }
+      const double overhead = off.elapsed_ns > 0
+                                  ? on.elapsed_ns / off.elapsed_ns - 1.0
+                                  : 0.0;
+      const bool within = overhead <= kOverheadBudget && on.monitor.total == 0;
+      ok = ok && within;
+      table.Row({driver::SplitPointName(split),
+                 interrupt_driven ? "interrupt" : "polling",
+                 bench::Fmt(off.frequency.mean_khz, 2), bench::Fmt(on.frequency.mean_khz, 2),
+                 bench::Fmt(100 * overhead, 2), within ? "yes" : "NO"});
+      if (json != nullptr) {
+        json->AddRow()
+            .Set("section", "overhead")
+            .Set("config", std::string(driver::SplitPointName(split)) +
+                               (interrupt_driven ? "/interrupt" : "/polling"))
+            .Set("khz_off", off.frequency.mean_khz)
+            .Set("khz_on", on.frequency.mean_khz)
+            .Set("elapsed_off_ns", off.elapsed_ns)
+            .Set("elapsed_on_ns", on.elapsed_ns)
+            .Set("overhead_pct", 100 * overhead)
+            .Set("clean_trips", on.monitor.total)
+            .Set("ok", within);
+      }
+    }
+  }
+  return ok;
+}
+
+struct DetectionCase {
+  sim::FaultKind fault;
+  bool interrupt_driven;
+  monitor::TripKind expect;
+};
+
+bool RunDetection(bench::JsonReport* json) {
+  bench::PrintHeader(
+      "Detection latency: every fault kind corrupting observable state must\n"
+      "trip a monitor within its bounded window (kByte split)");
+  bench::Table table({20, 10, 18, 14, 8});
+  table.Row({"Fault", "Mode", "Trip kind", "first trip at", "ok"});
+  bench::PrintRule();
+
+  const DetectionCase cases[] = {
+      {sim::FaultKind::kSdaStuckLow, false, monitor::TripKind::kStuckBus},
+      {sim::FaultKind::kSclStuckLow, false, monitor::TripKind::kStuckBus},
+      {sim::FaultKind::kLostDoorbell, false, monitor::TripKind::kDeadline},
+      {sim::FaultKind::kStalledUpMessage, false, monitor::TripKind::kDeadline},
+      {sim::FaultKind::kCorruptedMmioRead, false, monitor::TripKind::kDeadline},
+      {sim::FaultKind::kDroppedInterrupt, true, monitor::TripKind::kDeadline},
+      {sim::FaultKind::kSpuriousInterrupt, true, monitor::TripKind::kSpuriousIrq},
+  };
+  bool ok = true;
+  for (const DetectionCase& test_case : cases) {
+    driver::HybridConfig config;
+    config.split = driver::SplitPoint::kByte;
+    config.interrupt_driven = test_case.interrupt_driven;
+    config.enable_monitors = true;
+    config.recovery.enabled = true;
+    config.recovery.wait_timeout_ns = 2e6;
+    config.recovery.op_deadline_ns = 1e7;
+    config.fault_plan = sim::FaultPlan::Scripted({{test_case.fault, 0, 1 << 24}});
+    driver::HybridDriver hybrid(config);
+    (void)hybrid.Write(0x30, {0x42});
+    const monitor::TripCounters counters = hybrid.MonitorCounters();
+    const bool detected =
+        counters.by_kind[static_cast<int>(test_case.expect)] > 0;
+    ok = ok && detected;
+    table.Row({sim::FaultKindName(test_case.fault),
+               test_case.interrupt_driven ? "interrupt" : "polling",
+               monitor::TripKindName(test_case.expect),
+               std::to_string(counters.first_trip_at), detected ? "yes" : "NO"});
+    if (json != nullptr) {
+      json->AddRow()
+          .Set("section", "detection")
+          .Set("config", std::string(sim::FaultKindName(test_case.fault)) +
+                             (test_case.interrupt_driven ? "/interrupt" : "/polling"))
+          .Set("trip_kind", monitor::TripKindName(test_case.expect))
+          .Set("trips", counters.total)
+          .Set("first_trip_at", counters.first_trip_at)
+          .Set("ok", detected);
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace efeu
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  efeu::bench::JsonReport json("monitors");
+  efeu::bench::JsonReport* report = json_path.empty() ? nullptr : &json;
+  const int ops = quick ? 2 : 5;
+  bool ok = efeu::RunOverhead(report, ops);
+  ok = efeu::RunDetection(report) && ok;
+  if (!json_path.empty() && !json.WriteTo(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", ok ? "monitors: all checks passed"
+                          : "monitors: CHECK FAILED (see NO rows above)");
+  return ok ? 0 : 1;
+}

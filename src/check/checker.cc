@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <memory>
+#include <unordered_set>
 
 #include "src/support/check.h"
 
@@ -344,6 +345,9 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     // Index of the edge this frame most recently descended through (for
     // counterexample traces).
     int taken = -1;
+    // Descriptions of the forced-run transitions walked inline between the
+    // parent's `taken` edge and this frame's state (see kPorChainSampleMask).
+    std::vector<std::string> chain;
   };
 
   std::vector<Frame> stack;
@@ -356,6 +360,8 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
       const Frame& frame = stack[i];
       assert(frame.taken >= 0);
       trace.push_back(frame.transitions[static_cast<size_t>(frame.taken)].Describe(*this));
+      const Frame& child = stack[i + 1];
+      trace.insert(trace.end(), child.chain.begin(), child.chain.end());
     }
     if (!stack.empty() && current != nullptr) {
       trace.push_back(current->Describe(*this));
@@ -363,11 +369,15 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     return trace;
   };
 
-  auto report = [&](ViolationKind kind, std::string message, const Transition* current) {
+  auto report = [&](ViolationKind kind, std::string message, const Transition* current,
+                    const std::vector<std::string>* chain = nullptr) {
     Violation v;
     v.kind = kind;
     v.message = std::move(message);
     v.trace = make_trace(current);
+    if (chain != nullptr) {
+      v.trace.insert(v.trace.end(), chain->begin(), chain->end());
+    }
     result.violation = std::move(v);
   };
 
@@ -544,10 +554,72 @@ CheckResult CheckedSystem::Check(const CheckerOptions& options) {
     child.transitions = EnabledTransitions();
     child.progress_count = next_progress;
 
+    // Forced-run compression (see kPorChainSampleMask in checker.h): walk a
+    // run of singleton-transition states inline, closure-checking each one,
+    // storing only the sampled states, and land the DFS on the first state
+    // that branches, ends, or is already stored. Disabled for the livelock
+    // search (progress credits are tracked per stack frame) and for the
+    // dedup-free tree search (no table to sample into).
+    if (options.por && !options.check_livelock && !options.disable_state_dedup &&
+        child.transitions.size() == 1) {
+      std::unordered_set<std::vector<int32_t>, StateHash> walk_seen;
+      bool abandoned = false;
+      bool halt = false;
+      while (child.transitions.size() == 1) {
+        const Transition forced = child.transitions[0];
+        codec.NoteStep(forced);
+        Apply(forced);
+        ++result.transitions;
+        child.chain.push_back(forced.Describe(*this));
+        bool chain_progress = false;
+        if (!Closure(&violation, &chain_progress)) {
+          report(violation.kind, violation.message, &t, &child.chain);
+          halt = true;
+          break;
+        }
+        codec.EncodeStep(&next_key);
+        next_hash = HashWords(next_key);
+        if (chain_progress) {
+          ++child.progress_count;
+        }
+        child.transitions = EnabledTransitions();
+        if (child.transitions.size() != 1) {
+          break;  // Landing state (branch point or end): claimed below.
+        }
+        if ((HashWords(SnapshotAll()) & kPorChainSampleMask) == 0) {
+          if (!visited.ClaimHashed(next_hash, next_key, child.progress_count)) {
+            abandoned = true;  // Sampled run state already stored: the rest
+            break;             // of the run was (or is being) explored.
+          }
+        } else {
+          if (!walk_seen.insert(next_key).second) {
+            abandoned = true;  // Unsampled cycle, now fully traversed once.
+            break;
+          }
+          ++result.por_reduced_states;
+        }
+        if (out_of_budget()) {
+          result.budget_exhausted = true;
+          halt = true;
+          break;
+        }
+      }
+      if (halt) {
+        break;
+      }
+      if (abandoned) {
+        continue;
+      }
+      // Claim the landing state like any other fresh child.
+      if (!visited.ClaimHashed(next_hash, next_key, child.progress_count)) {
+        continue;
+      }
+    }
+
     if (child.transitions.empty()) {
       if (options.check_deadlock && !AllAtValidEnd()) {
         report(ViolationKind::kInvalidEndState,
-               "invalid end state: " + DescribeBlockedProcesses(), &t);
+               "invalid end state: " + DescribeBlockedProcesses(), &t, &child.chain);
         break;
       }
       continue;  // Valid end state; no successors.

@@ -107,10 +107,26 @@ struct CheckResult {
   // (0 without `collapse`). Total checker memory for bytes/state comparisons
   // is state_bytes + component_bytes.
   uint64_t component_bytes = 0;
-  // States that were expanded with a reduced (singleton ample) transition
-  // set and never fell back to the full expansion.
+  // States whose exploration the partial-order reduction elided or reduced:
+  // states expanded with a reduced (singleton ample) transition set that
+  // never fell back to the full expansion, plus states on forced runs
+  // (exactly one enabled transition) that were walked inline without a DFS
+  // frame or visited-table entry (see kPorChainSampleMask).
   uint64_t por_reduced_states = 0;
 };
+
+// Forced-run ("chain") compression, applied by both engines when `por` is on
+// in a safety search with state dedup: a state with exactly one enabled
+// transition is trivially fully expanded, so it needs no DFS frame, and only
+// a sparse sample of run states goes into the visited table — just enough
+// that a later path re-entering the run terminates against a stored state.
+// A run state is stored iff the hash of its FULL state vector (deliberately
+// not the COLLAPSE key, so collapse on/off store identical sets) has these
+// low bits clear; mask 7 stores 1 in 8. Sampled runs keep verdicts exact:
+// every run state is still visited and closure-checked, and any cycle
+// through a run contains fully expanded states, satisfying the ample-set
+// cycle proviso without extra bookkeeping.
+inline constexpr uint64_t kPorChainSampleMask = 7;
 
 class CheckedSystem {
  public:

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 
 #include "src/check/state_codec.h"
 #include "src/support/hash.h"
@@ -15,6 +16,12 @@
 namespace efeu::check {
 
 namespace {
+
+struct StateHash {
+  size_t operator()(const std::vector<int32_t>& state) const {
+    return static_cast<size_t>(HashWords(state));
+  }
+};
 
 struct WorkItem {
   // Post-closure state key (see StateCodec), already claimed in the shared
@@ -259,7 +266,60 @@ bool Engine::Seed(CheckedSystem& system, CheckResult* result) {
       }
       std::vector<std::string> trace = item.trace;
       trace.push_back(t.Describe(system));
-      if (system.EnabledTransitions().empty()) {
+      std::vector<CheckedSystem::Transition> next_transitions = system.EnabledTransitions();
+
+      // Forced-run compression during seeding too, with the same sampling
+      // rule as the DFS engines: the seed phase must store the same states
+      // the sequential engine would, or the engines' stored sets diverge.
+      // Seed states are fully expanded, and run states are fully expanded by
+      // construction, so the proviso argument is unchanged.
+      if (options_.base.por && next_transitions.size() == 1) {
+        std::unordered_set<std::vector<int32_t>, StateHash> walk_seen;
+        bool abandoned = false;
+        while (next_transitions.size() == 1) {
+          const CheckedSystem::Transition forced = next_transitions[0];
+          codec.NoteStep(forced);
+          system.Apply(forced);
+          transitions_.fetch_add(1, std::memory_order_relaxed);
+          Violation chain_violation;
+          bool chain_progress = false;
+          if (!system.Closure(&chain_violation, &chain_progress)) {
+            trace.push_back(forced.Describe(system));
+            chain_violation.trace = std::move(trace);
+            result->violation = std::move(chain_violation);
+            return false;
+          }
+          trace.push_back(forced.Describe(system));
+          codec.EncodeStep(&next_key);
+          next_transitions = system.EnabledTransitions();
+          if (next_transitions.size() != 1) {
+            break;  // Landing state (branch point or end): claimed below.
+          }
+          if ((HashWords(system.SnapshotAll()) & kPorChainSampleMask) == 0) {
+            if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
+              abandoned = true;  // Sampled run state already stored.
+              break;
+            }
+          } else {
+            if (!walk_seen.insert(next_key).second) {
+              abandoned = true;  // Unsampled cycle, now fully traversed once.
+              break;
+            }
+            por_reduced_.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (OutOfBudget()) {
+            return false;
+          }
+        }
+        if (abandoned) {
+          continue;
+        }
+        if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
+          continue;
+        }
+      }
+
+      if (next_transitions.empty()) {
         if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
           Violation v;
           v.kind = ViolationKind::kInvalidEndState;
@@ -307,6 +367,9 @@ void Engine::Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& i
     // Description of the transition that led into this frame (empty for the
     // item's root frame, whose path is item.trace).
     std::string desc;
+    // Descriptions of the forced-run transitions walked inline between that
+    // edge and this frame's state (see kPorChainSampleMask in checker.h).
+    std::vector<std::string> chain;
   };
   std::vector<Frame> stack;
 
@@ -314,6 +377,7 @@ void Engine::Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& i
     std::vector<std::string> trace = item.trace;
     for (size_t i = 1; i < stack.size(); ++i) {
       trace.push_back(stack[i].desc);
+      trace.insert(trace.end(), stack[i].chain.begin(), stack[i].chain.end());
     }
     if (current != nullptr) {
       trace.push_back(current->Describe(system));
@@ -385,12 +449,68 @@ void Engine::Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& i
       continue;
     }
     std::vector<CheckedSystem::Transition> next_transitions = system.EnabledTransitions();
+
+    // Forced-run compression, mirroring the sequential engine exactly (same
+    // full-state sampling rule, so both engines store identical sets; see
+    // kPorChainSampleMask in checker.h). Run states are fully expanded by
+    // construction, so no cycle-proviso fallback is needed on a mid-run
+    // claim failure.
+    std::vector<std::string> chain;
+    if (por && next_transitions.size() == 1) {
+      std::unordered_set<std::vector<int32_t>, StateHash> walk_seen;
+      bool abandoned = false;
+      while (next_transitions.size() == 1) {
+        const CheckedSystem::Transition forced = next_transitions[0];
+        codec.NoteStep(forced);
+        system.Apply(forced);
+        transitions_.fetch_add(1, std::memory_order_relaxed);
+        chain.push_back(forced.Describe(system));
+        Violation chain_violation;
+        bool chain_progress = false;
+        if (!system.Closure(&chain_violation, &chain_progress)) {
+          chain_violation.trace = build_trace(&t);
+          chain_violation.trace.insert(chain_violation.trace.end(), chain.begin(),
+                                       chain.end());
+          ReportViolation(std::move(chain_violation));
+          return;
+        }
+        codec.EncodeStep(&next_key);
+        next_transitions = system.EnabledTransitions();
+        if (next_transitions.size() != 1) {
+          break;  // Landing state (branch point or end): claimed below.
+        }
+        if ((HashWords(system.SnapshotAll()) & kPorChainSampleMask) == 0) {
+          if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
+            abandoned = true;  // Sampled run state already stored.
+            break;
+          }
+        } else {
+          if (!walk_seen.insert(next_key).second) {
+            abandoned = true;  // Unsampled cycle, now fully traversed once.
+            break;
+          }
+          por_reduced_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (ShouldStop() || OutOfBudget()) {
+          return;
+        }
+      }
+      if (abandoned) {
+        continue;
+      }
+      // Claim the landing state like any other fresh child.
+      if (!table_.ClaimHashed(HashWords(next_key), next_key)) {
+        continue;
+      }
+    }
+
     if (next_transitions.empty()) {
       if (options_.base.check_deadlock && !system.AllAtValidEnd()) {
         Violation v;
         v.kind = ViolationKind::kInvalidEndState;
         v.message = "invalid end state: " + system.DescribeBlockedProcesses();
         v.trace = build_trace(&t);
+        v.trace.insert(v.trace.end(), chain.begin(), chain.end());
         ReportViolation(std::move(v));
         return;
       }
@@ -400,12 +520,14 @@ void Engine::Explore(CheckedSystem& system, StateCodec& codec, const WorkItem& i
       // Other workers look starved: donate this subtree instead of descending.
       WorkItem donated;
       donated.trace = build_trace(&t);
+      donated.trace.insert(donated.trace.end(), chain.begin(), chain.end());
       donated.state = next_key;
       PushWork(std::move(donated));
       continue;
     }
     Frame child;
     child.desc = t.Describe(system);
+    child.chain = std::move(chain);
     child.key = next_key;
     child.transitions = std::move(next_transitions);
     if (por) {

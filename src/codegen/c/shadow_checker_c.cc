@@ -1,0 +1,224 @@
+#include "src/codegen/c/shadow_checker_c.h"
+
+#include <cctype>
+
+#include "src/support/text.h"
+
+namespace efeu::codegen {
+
+namespace {
+
+std::string LowerSanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out += (std::isalnum(u) != 0 || c == '_')
+               ? static_cast<char>(std::tolower(u))
+               : '_';
+  }
+  return out;
+}
+
+std::string UpperSanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out += (std::isalnum(u) != 0 || c == '_')
+               ? static_cast<char>(std::toupper(u))
+               : '_';
+  }
+  return out;
+}
+
+// Emits the min/max tables for one direction. No tables for an empty spec:
+// the corresponding check degenerates to "always passes".
+void EmitBoundTables(CodeWriter& out, const monitor::ChannelSpec& channel,
+                     const std::string& prefix, const std::string& dir) {
+  if (channel.bounds.empty()) {
+    return;
+  }
+  out.Line("/* " + dir + " channel " + channel.name + ": one inclusive bound per flat word. */");
+  for (const char* which : {"min", "max"}) {
+    out.Line("static const int32_t " + prefix + "_" + dir + "_" + which + "[" +
+             std::to_string(channel.bounds.size()) + "] = {");
+    out.Indent();
+    for (const monitor::WordBound& bound : channel.bounds) {
+      const int32_t value = which[1] == 'i' ? bound.min : bound.max;
+      out.Line(std::to_string(value) + ",  /* " + bound.field + " */");
+    }
+    out.Dedent();
+    out.Line("};");
+  }
+  out.Blank();
+}
+
+void EmitCheckCall(CodeWriter& out, const monitor::ChannelSpec& channel,
+                   const std::string& prefix, const std::string& dir) {
+  if (channel.bounds.empty()) {
+    out.Line("(void)words;");
+    return;
+  }
+  out.Line("int failed = " + prefix + "_check_words(words, " + prefix + "_" +
+           dir + "_min, " + prefix + "_" + dir + "_max, " +
+           std::to_string(channel.bounds.size()) + ");");
+  out.Line("if (failed >= 0) {");
+  out.Indent();
+  out.Line("s->last_failed_word = failed;");
+  out.Line(prefix + "_shadow_trip(s, " + UpperSanitize(prefix) + "_TRIP_FIELD_RANGE);");
+  out.Dedent();
+  out.Line("}");
+}
+
+}  // namespace
+
+std::string GenerateShadowCheckerC(const monitor::MonitorSpec& spec,
+                                   const std::string& name) {
+  const std::string prefix = LowerSanitize(name);
+  const std::string upper = UpperSanitize(name);
+  CodeWriter out;
+  out.Line("/* Generated runtime shadow checker for boundary \"" + name + "\".");
+  out.Line(" *");
+  out.Line(" * Derived from the ESI interface specification; a message that fails a");
+  out.Line(" * range check here could not have been produced by a run of the verified");
+  out.Line(" * stack, so every trip indicates a hardware, coupling or memory fault.");
+  out.Line(" * Feed every boundary event through the on_* functions; trip counters");
+  out.Line(" * are cumulative, reset() only clears the request/reply sequence state.");
+  out.Line(" */");
+  out.Line("#include <stdint.h>");
+  out.Blank();
+  out.Line("#define " + upper + "_DOWN_WORDS " + std::to_string(spec.down.flat_size));
+  out.Line("#define " + upper + "_UP_WORDS " + std::to_string(spec.up.flat_size));
+  out.Blank();
+  out.Line("/* Trip kinds; ordinals match monitor::TripKind and the trip_kind output");
+  out.Line(" * of the generated efeu_bus_watcher Verilog module. */");
+  out.Line("enum " + prefix + "_trip_kind {");
+  out.Indent();
+  out.Line(upper + "_TRIP_FIELD_RANGE = 0,");
+  out.Line(upper + "_TRIP_SEQUENCE = 1,");
+  out.Line(upper + "_TRIP_DEADLINE = 2,");
+  out.Line(upper + "_TRIP_STUCK_BUS = 3,");
+  out.Line(upper + "_TRIP_SPURIOUS_IRQ = 4,");
+  out.Line(upper + "_TRIP_HANDSHAKE_STALL = 5,");
+  out.Line(upper + "_NUM_TRIP_KINDS = 6");
+  out.Dedent();
+  out.Line("};");
+  out.Blank();
+  out.Line("typedef struct {");
+  out.Indent();
+  out.Line("int32_t outstanding;       /* requests sent minus replies seen */");
+  out.Line("uint64_t events;           /* boundary events observed */");
+  out.Line("uint64_t trips_total;      /* cumulative across resets */");
+  out.Line("uint64_t trips_by_kind[" + upper + "_NUM_TRIP_KINDS];");
+  out.Line("uint64_t first_trip_at;    /* event index of the first trip; 0 = none */");
+  out.Line("int32_t last_failed_word;  /* flat word of the last range trip; -1 = none */");
+  out.Dedent();
+  out.Line("} " + prefix + "_shadow_t;");
+  out.Blank();
+  EmitBoundTables(out, spec.down, prefix, "down");
+  EmitBoundTables(out, spec.up, prefix, "up");
+  if (!spec.down.bounds.empty() || !spec.up.bounds.empty()) {
+    out.Line("static int " + prefix +
+             "_check_words(const int32_t* words, const int32_t* mins,");
+    out.Line("              const int32_t* maxs, int n) {");
+    out.Indent();
+    out.Line("int i;");
+    out.Line("for (i = 0; i < n; ++i) {");
+    out.Indent();
+    out.Line("if (words[i] < mins[i] || words[i] > maxs[i]) {");
+    out.Indent();
+    out.Line("return i;");
+    out.Dedent();
+    out.Line("}");
+    out.Dedent();
+    out.Line("}");
+    out.Line("return -1;");
+    out.Dedent();
+    out.Line("}");
+    out.Blank();
+  }
+  out.Line("static void " + prefix + "_shadow_trip(" + prefix + "_shadow_t* s, int kind) {");
+  out.Indent();
+  out.Line("s->trips_total += 1;");
+  out.Line("s->trips_by_kind[kind] += 1;");
+  out.Line("if (s->first_trip_at == 0) {");
+  out.Indent();
+  out.Line("s->first_trip_at = s->events;");
+  out.Dedent();
+  out.Line("}");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("void " + prefix + "_shadow_init(" + prefix + "_shadow_t* s) {");
+  out.Indent();
+  out.Line("int i;");
+  out.Line("s->outstanding = 0;");
+  out.Line("s->events = 0;");
+  out.Line("s->trips_total = 0;");
+  out.Line("for (i = 0; i < " + upper + "_NUM_TRIP_KINDS; ++i) {");
+  out.Indent();
+  out.Line("s->trips_by_kind[i] = 0;");
+  out.Dedent();
+  out.Line("}");
+  out.Line("s->first_trip_at = 0;");
+  out.Line("s->last_failed_word = -1;");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("/* Sequence state only; counters deliberately survive a soft reset. */");
+  out.Line("void " + prefix + "_shadow_reset(" + prefix + "_shadow_t* s) {");
+  out.Indent();
+  out.Line("s->outstanding = 0;");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("/* A request crossed the boundary downward. Returns trips so far. */");
+  out.Line("uint64_t " + prefix + "_shadow_on_down(" + prefix + "_shadow_t* s,");
+  out.Line("                                const int32_t* words) {");
+  out.Indent();
+  out.Line("s->events += 1;");
+  EmitCheckCall(out, spec.down, prefix, "down");
+  out.Line("s->outstanding += 1;");
+  out.Line("return s->trips_total;");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("/* A reply crossed the boundary upward. Returns trips so far. */");
+  out.Line("uint64_t " + prefix + "_shadow_on_up(" + prefix + "_shadow_t* s,");
+  out.Line("                              const int32_t* words) {");
+  out.Indent();
+  out.Line("s->events += 1;");
+  out.Line("if (s->outstanding == 0) {");
+  out.Indent();
+  out.Line(prefix + "_shadow_trip(s, " + upper + "_TRIP_SEQUENCE);");
+  out.Dedent();
+  out.Line("} else {");
+  out.Indent();
+  out.Line("s->outstanding -= 1;");
+  out.Dedent();
+  out.Line("}");
+  EmitCheckCall(out, spec.up, prefix, "up");
+  out.Line("return s->trips_total;");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("/* An interrupt wakeup found no message behind it. */");
+  out.Line("uint64_t " + prefix + "_shadow_on_spurious_wakeup(" + prefix + "_shadow_t* s) {");
+  out.Indent();
+  out.Line("s->events += 1;");
+  out.Line(prefix + "_shadow_trip(s, " + upper + "_TRIP_SPURIOUS_IRQ);");
+  out.Line("return s->trips_total;");
+  out.Dedent();
+  out.Line("}");
+  out.Blank();
+  out.Line("/* An armed wait crossed the driver's deadline. */");
+  out.Line("uint64_t " + prefix + "_shadow_on_wait_timeout(" + prefix + "_shadow_t* s) {");
+  out.Indent();
+  out.Line("s->events += 1;");
+  out.Line(prefix + "_shadow_trip(s, " + upper + "_TRIP_DEADLINE);");
+  out.Line("return s->trips_total;");
+  out.Dedent();
+  out.Line("}");
+  return out.TakeString();
+}
+
+}  // namespace efeu::codegen

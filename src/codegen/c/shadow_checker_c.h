@@ -1,0 +1,25 @@
+// The software half of monitor synthesis: emits the standalone C shadow
+// checker for one software/hardware boundary. The generated file is
+// self-contained C99 (stdint.h only) and mirrors monitor::ShadowChecker
+// word for word — same trip kinds, same request/reply sequence rule, same
+// per-word range tables derived from the ESI spec — so a host driver built
+// outside this repo can link the identical contract the simulated drivers
+// check in-process.
+
+#ifndef SRC_CODEGEN_C_SHADOW_CHECKER_C_H_
+#define SRC_CODEGEN_C_SHADOW_CHECKER_C_H_
+
+#include <string>
+
+#include "src/monitor/monitor_spec.h"
+
+namespace efeu::codegen {
+
+// `name` prefixes every emitted identifier (lower-cased, sanitized). Either
+// direction of `spec` may be empty; its range check compiles to a no-op.
+std::string GenerateShadowCheckerC(const monitor::MonitorSpec& spec,
+                                   const std::string& name);
+
+}  // namespace efeu::codegen
+
+#endif  // SRC_CODEGEN_C_SHADOW_CHECKER_C_H_

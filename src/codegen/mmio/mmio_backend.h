@@ -38,6 +38,10 @@ struct MmioRegisterMap {
   // (0 disables). STATUS bit 2 is the sticky wdog-fired flag.
   int soft_reset_offset = 0;
   int wdog_offset = 0;
+  // Runtime assertion monitor: STATUS bit 3 is the sticky assert_trip of the
+  // efeu_bus_watcher module (also an IRQ cause); reading MONITOR returns the
+  // trip flag in bit 0, writing any value clears it.
+  int monitor_offset = 0;
   int total_bytes = 0;
 
   // Words the software writes to send one down-message (data + valid).

@@ -30,6 +30,14 @@ std::string GenerateVerilogModule(const ir::Module& module);
 // kick, with a sticky fired flag for software.
 std::string GenerateVerilogWatchdog();
 
+// Generates the runtime assertion monitor (the hardware half of the
+// ESM-derived monitors): a passive bus watcher that observes SCL/SDA and the
+// MMIO doorbell/up-full handshake flags and latches a sticky assert_trip
+// (with the trip kind) when a line sticks low or a handshake stalls past its
+// programmed limit. assert_trip feeds STATUS bit 3 and the IRQ line of the
+// generated MMIO bridge.
+std::string GenerateVerilogBusWatcher();
+
 // Generates every module of the compilation.
 VerilogOutput GenerateVerilog(const ir::Compilation& compilation);
 

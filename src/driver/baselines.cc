@@ -71,6 +71,11 @@ bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
                                  std::vector<int32_t>* reply) {
   // Let the top layer return to its request-receive point first.
   sw_.Run();
+  if (shadow_) {
+    // The shadow checker is driver software: bill a bounds compare per word.
+    Busy(timing_.sw_instr_ns * static_cast<double>(4 + 3 * request.size()));
+    shadow_->OnDownMessage(request);
+  }
   bool delivered = sw_.DeliverMessage(top_in_, request);
   assert(delivered);
   (void)delivered;
@@ -82,11 +87,19 @@ bool BitBangDriver::RunOperation(const std::vector<int32_t>& request,
     Busy(static_cast<double>(steps - last_sw_steps_) * timing_.sw_instr_ns);
     last_sw_steps_ = steps;
     if (recovery_.enabled && sw_time_ns_ > op_deadline) {
+      if (shadow_) {
+        Busy(timing_.sw_instr_ns * 4);
+        shadow_->OnWaitTimeout();
+      }
       return false;
     }
     if (sw_.WantsToSend(top_out_)) {
       std::optional<std::vector<int32_t>> result = sw_.TakeMessage(top_out_);
       *reply = std::move(*result);
+      if (shadow_) {
+        Busy(timing_.sw_instr_ns * static_cast<double>(4 + 3 * reply->size()));
+        shadow_->OnUpMessage(*reply);
+      }
       return true;
     }
     if (sw_.WantsToSend(levels_out_)) {
@@ -223,6 +236,12 @@ void BitBangDriver::SoftReset() {
   ++recovery_counters_.soft_resets;
   // All-software driver: coroutine reinit is the whole reset. Release both
   // GPIO lines so the bus floats back to idle.
+  if (shadow_) {
+    shadow_->Reset();
+  }
+  if (watcher_) {
+    watcher_->Reset();
+  }
   sw_.Reset();
   sw_.Run();
   last_sw_steps_ = sw_.TotalSteps();
@@ -305,7 +324,38 @@ DriverMetrics BitBangDriver::MeasureReads(int ops, int length) {
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
   metrics.recovery = recovery_counters_;
   metrics.faults_injected = fault_plan_.faults_injected();
+  metrics.monitor = MonitorCounters();
   return metrics;
+}
+
+void BitBangDriver::EnableMonitors(monitor::BusWatcherOptions options) {
+  if (shadow_) {
+    return;
+  }
+  const esi::SystemInfo& info = compilation_->system();
+  monitor_spec_ = monitor::MonitorSpec::FromSystem(info, info.FindChannel("CWorld", "CEepDriver"),
+                                                   info.FindChannel("CEepDriver", "CWorld"));
+  shadow_ = std::make_unique<monitor::ShadowChecker>(&monitor_spec_);
+  watcher_ = std::make_unique<monitor::BusWatcher>(&bus_, /*regfile=*/nullptr, options);
+  rtl_.AddComponent(watcher_.get());
+}
+
+monitor::TripCounters BitBangDriver::MonitorCounters() const {
+  monitor::TripCounters merged;
+  if (shadow_) {
+    merged.Merge(shadow_->counters());
+  }
+  if (watcher_) {
+    merged.Merge(watcher_->counters());
+  }
+  return merged;
+}
+
+uint64_t BitBangDriver::ConsumeMonitorTrips() {
+  const uint64_t total = MonitorCounters().total;
+  const uint64_t fresh = total - consumed_monitor_trips_;
+  consumed_monitor_trips_ = total;
+  return fresh;
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +394,9 @@ bool XilinxIpDriver::RunEngine(int payload_bytes) {
     ++recovery_counters_.timeouts;
     wedged_ = true;
     last_status_ = i2c::kCeResFail;
+    if (shadow_) {
+      shadow_->OnWaitTimeout();
+    }
     return false;
   }
   if (engine_->ack_failure()) {
@@ -358,12 +411,18 @@ bool XilinxIpDriver::RunEngine(int payload_bytes) {
     ++recovery_counters_.timeouts;
     wedged_ = true;
     last_status_ = i2c::kCeResFail;
+    if (shadow_) {
+      shadow_->OnWaitTimeout();
+    }
     return false;
   }
   // Boundary fault: a spurious FIFO interrupt costs one extra service pass.
   if (fault_plan_.Consult(sim::FaultKind::kSpuriousInterrupt) > 0) {
     ++irq_count_;
     cpu_busy_ns_ += timing_.xilinx_byte_irq_ns;
+    if (shadow_) {
+      shadow_->OnSpuriousWakeup();
+    }
   }
   // FIFO-service interrupt per payload byte plus the completion interrupt.
   irq_count_ += static_cast<uint64_t>(payload_bytes) + 1;
@@ -403,6 +462,12 @@ void XilinxIpDriver::SoftReset() {
   ++recovery_counters_.soft_resets;
   // The AXI IIC SOFTR register: abandon the queued transaction, release the
   // bus, clear the wedged flag. One MMIO write.
+  if (shadow_) {
+    shadow_->Reset();
+  }
+  if (watcher_) {
+    watcher_->Reset();
+  }
   engine_->SoftReset();
   cpu_busy_ns_ += timing_.mmio_write_ns;
   wedged_ = false;
@@ -442,7 +507,37 @@ DriverMetrics XilinxIpDriver::MeasureReads(int ops, int length) {
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
   metrics.recovery = recovery_counters_;
   metrics.faults_injected = fault_plan_.faults_injected();
+  metrics.monitor = MonitorCounters();
   return metrics;
+}
+
+void XilinxIpDriver::EnableMonitors(monitor::BusWatcherOptions options) {
+  if (shadow_) {
+    return;
+  }
+  // No generated boundary spec: the shadow checker contributes only the
+  // wait-deadline and spurious-interrupt checks.
+  shadow_ = std::make_unique<monitor::ShadowChecker>(nullptr);
+  watcher_ = std::make_unique<monitor::BusWatcher>(&bus_, /*regfile=*/nullptr, options);
+  rtl_.AddComponent(watcher_.get());
+}
+
+monitor::TripCounters XilinxIpDriver::MonitorCounters() const {
+  monitor::TripCounters merged;
+  if (shadow_) {
+    merged.Merge(shadow_->counters());
+  }
+  if (watcher_) {
+    merged.Merge(watcher_->counters());
+  }
+  return merged;
+}
+
+uint64_t XilinxIpDriver::ConsumeMonitorTrips() {
+  const uint64_t total = MonitorCounters().total;
+  const uint64_t fresh = total - consumed_monitor_trips_;
+  consumed_monitor_trips_ = total;
+  return fresh;
 }
 
 }  // namespace efeu::driver

@@ -12,6 +12,9 @@
 #include "src/driver/hybrid.h"
 #include "src/driver/timing.h"
 #include "src/ir/compile.h"
+#include "src/monitor/bus_watcher.h"
+#include "src/monitor/monitor_spec.h"
+#include "src/monitor/shadow_checker.h"
 #include "src/rtl/system.h"
 #include "src/sim/eeprom.h"
 #include "src/sim/i2c_bus.h"
@@ -39,6 +42,14 @@ class BitBangDriver {
   // plus releasing the GPIO lines) and a single-byte re-probe.
   void SoftReset();
   bool Probe();
+
+  // Runtime monitors: a ShadowChecker on the CWorld request/reply boundary
+  // plus a BusWatcher on the GPIO-driven bus. No-op until enabled.
+  void EnableMonitors(monitor::BusWatcherOptions options = {});
+  bool monitors_enabled() const { return shadow_ != nullptr; }
+  monitor::TripCounters MonitorCounters() const;
+  // Trips since the last call (the supervisor's escalation input).
+  uint64_t ConsumeMonitorTrips();
 
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
@@ -79,6 +90,12 @@ class BitBangDriver {
   RecoveryCounters recovery_counters_;
   int32_t last_status_ = 0;
   bool wedged_ = false;
+
+  // Runtime monitors (null until EnableMonitors).
+  monitor::MonitorSpec monitor_spec_;
+  std::unique_ptr<monitor::ShadowChecker> shadow_;
+  std::unique_ptr<monitor::BusWatcher> watcher_;
+  uint64_t consumed_monitor_trips_ = 0;
 };
 
 // Xilinx AXI IIC baseline: hardware engine plus an interrupt-driven driver
@@ -97,6 +114,13 @@ class XilinxIpDriver {
   // and a single-byte re-probe.
   void SoftReset();
   bool Probe();
+
+  // Runtime monitors. The IP has no generated boundary, so only the wire
+  // watcher and the wait/interrupt checks apply (null message spec).
+  void EnableMonitors(monitor::BusWatcherOptions options = {});
+  bool monitors_enabled() const { return shadow_ != nullptr; }
+  monitor::TripCounters MonitorCounters() const;
+  uint64_t ConsumeMonitorTrips();
 
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
@@ -125,6 +149,11 @@ class XilinxIpDriver {
   RecoveryCounters recovery_counters_;
   int32_t last_status_ = 0;
   bool wedged_ = false;
+
+  // Runtime monitors (null until EnableMonitors).
+  std::unique_ptr<monitor::ShadowChecker> shadow_;
+  std::unique_ptr<monitor::BusWatcher> watcher_;
+  uint64_t consumed_monitor_trips_ = 0;
 };
 
 }  // namespace efeu::driver

@@ -147,6 +147,25 @@ HybridDriver::HybridDriver(const HybridConfig& config)
     adapter_->BindUp(aw_up);
   }
 
+  // ---- Runtime monitors --------------------------------------------------
+  if (config_.enable_monitors) {
+    monitor_spec_ = monitor::MonitorSpec::FromSystem(info, down_channel, up_channel);
+    shadow_ = std::make_unique<monitor::ShadowChecker>(&monitor_spec_);
+    monitor::BusWatcherOptions watcher_options = config_.watcher;
+    if (config_.split == SplitPoint::kElectrical) {
+      // At the Electrical split every half cycle crosses the MMIO boundary,
+      // so the software (MMIO accesses, interrupt entry/exit, VM steps)
+      // paces the bus and legal low runs stretch by orders of magnitude.
+      // Widen the window accordingly; detection stays bounded.
+      watcher_options.stuck_low_limit *= 64;
+      watcher_options.handshake_limit *= 4;
+    }
+    watcher_ = std::make_unique<monitor::BusWatcher>(&bus_, regfile_.get(), watcher_options);
+    // Added after every active component: the watcher observes the cycle's
+    // committed state and drives nothing.
+    rtl_.AddComponent(watcher_.get());
+  }
+
   // ---- Software side ------------------------------------------------------
   sw_empty_ = first_hw == 0;
   if (!sw_empty_) {
@@ -195,6 +214,10 @@ void HybridDriver::Idle(double ns) {
   SyncRtl();
 }
 
+void HybridDriver::ShadowBusy(size_t words) {
+  Busy(config_.timing.sw_instr_ns * static_cast<double>(4 + 3 * words));
+}
+
 bool HybridDriver::WaitUpMessage() {
   // A realistic driver timeout, relative to when this wait started.
   const double deadline = now_ns() + config_.recovery.wait_timeout_ns;
@@ -213,6 +236,10 @@ bool HybridDriver::WaitUpMessage() {
         --corrupt;
       }
       if (sw_time_ns_ > deadline) {
+        if (shadow_) {
+          ShadowBusy(0);
+          shadow_->OnWaitTimeout();
+        }
         return false;
       }
     }
@@ -230,6 +257,10 @@ bool HybridDriver::WaitUpMessage() {
     Busy(config_.timing.mmio_read_ns);  // status read: nothing pending
     SyncRtl();
     Busy(config_.timing.irq_exit_ns);
+    if (shadow_) {
+      ShadowBusy(0);
+      shadow_->OnSpuriousWakeup();
+    }
   }
   // Boundary fault: the IRQ edge for this message never reaches the CPU, so
   // the blocking read sleeps until its timeout.
@@ -237,6 +268,10 @@ bool HybridDriver::WaitUpMessage() {
   while (dropped || !regfile_->irq()) {
     rtl_.Tick();
     if (rtl_.time_ns() > deadline) {
+      if (shadow_) {
+        ShadowBusy(0);
+        shadow_->OnWaitTimeout();
+      }
       return false;
     }
   }
@@ -254,6 +289,10 @@ bool HybridDriver::WaitUpMessage() {
   // Boundary fault: the post-wakeup status read is garbage; the driver
   // cannot trust the message and reports the wait as failed.
   if (fault_plan_.Consult(sim::FaultKind::kCorruptedMmioRead) > 0) {
+    if (shadow_) {
+      ShadowBusy(0);
+      shadow_->OnWaitTimeout();
+    }
     return false;
   }
   return regfile_->UpFull();
@@ -274,6 +313,10 @@ bool HybridDriver::PumpOnce() {
     if (sw_.WantsToSend(boundary_down_)) {
       std::optional<std::vector<int32_t>> msg = sw_.TakeMessage(boundary_down_);
       assert(msg.has_value());
+      if (shadow_) {
+        ShadowBusy(msg->size());
+        shadow_->OnDownMessage(*msg);
+      }
       // In the talk protocol the previous send was necessarily consumed
       // before its reply arrived, so no valid-flag readback is needed.
       assert(config_.ablate_no_auto_reset || !regfile_->DownPending());
@@ -312,6 +355,10 @@ bool HybridDriver::PumpOnce() {
       }
       SyncRtl();
       regfile_->ConsumeUp();
+      if (shadow_) {
+        ShadowBusy(msg.size());
+        shadow_->OnUpMessage(msg);
+      }
       bool delivered = sw_.DeliverMessage(boundary_up_, msg);
       assert(delivered);
       (void)delivered;
@@ -336,6 +383,10 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
     }
     Busy(config_.timing.mmio_write_ns);
     SyncRtl();
+    if (shadow_) {
+      ShadowBusy(request.size());
+      shadow_->OnDownMessage(request);
+    }
     if (fault_plan_.Consult(sim::FaultKind::kLostDoorbell) == 0) {
       regfile_->SetDownValid();
     }
@@ -354,6 +405,10 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
     }
     SyncRtl();
     regfile_->ConsumeUp();
+    if (shadow_) {
+      ShadowBusy(reply->size());
+      shadow_->OnUpMessage(*reply);
+    }
     Busy(config_.timing.op_setup_ns);
     return true;
   }
@@ -443,6 +498,12 @@ void HybridDriver::SoftReset() {
   }
   adapter_->Reset();
   regfile_->SoftReset();
+  if (watcher_) {
+    watcher_->Reset();
+  }
+  if (shadow_) {
+    shadow_->Reset();
+  }
   rtl_.ResetWires();
   bus_.SetDriver(recovery_driver_id_, /*scl=*/true, /*sda=*/true);
   // Software side: coroutine reinit, then run every layer back to its
@@ -570,6 +631,7 @@ DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
   metrics.recovery = recovery_counters_;
   metrics.faults_injected = fault_plan_.faults_injected();
+  metrics.monitor = MonitorCounters();
   if (config_.split == SplitPoint::kElectrical && config_.interrupt_driven) {
     // Platform constraint reproduced from the paper (section 5.2): the
     // interrupt-driven Electrical driver does not function correctly due to
@@ -579,6 +641,24 @@ DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
     metrics.note = "does not function: excessive interrupts (one per half cycle)";
   }
   return metrics;
+}
+
+monitor::TripCounters HybridDriver::MonitorCounters() const {
+  monitor::TripCounters merged;
+  if (shadow_) {
+    merged.Merge(shadow_->counters());
+  }
+  if (watcher_) {
+    merged.Merge(watcher_->counters());
+  }
+  return merged;
+}
+
+uint64_t HybridDriver::ConsumeMonitorTrips() {
+  const uint64_t total = MonitorCounters().total;
+  const uint64_t fresh = total - consumed_monitor_trips_;
+  consumed_monitor_trips_ = total;
+  return fresh;
 }
 
 std::vector<const ir::Module*> HybridDriver::HardwareModules() const {

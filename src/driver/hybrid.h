@@ -17,6 +17,9 @@
 #include "src/driver/recovery.h"
 #include "src/driver/timing.h"
 #include "src/ir/compile.h"
+#include "src/monitor/bus_watcher.h"
+#include "src/monitor/monitor_spec.h"
+#include "src/monitor/shadow_checker.h"
 #include "src/rtl/regfile.h"
 #include "src/rtl/rtl_module.h"
 #include "src/rtl/system.h"
@@ -59,6 +62,14 @@ struct HybridConfig {
   // Ablations (see bench/bench_ablation.cc and DESIGN.md).
   bool ablate_no_auto_reset = false;
   bool ablate_fixed_hold_adapter = false;
+  // Runtime assertion monitors synthesized from the boundary's ESI spec: a
+  // BusWatcher RTL component on the bus/regfile plus a ShadowChecker FSM on
+  // every boundary event. Off by default — an unmonitored driver is
+  // byte-identical to one built before monitors existed.
+  bool enable_monitors = false;
+  // Tick limits for the bus watcher; the defaults suit the default timing
+  // model (64 bus cycles stuck, ~0.7 ms handshake stall).
+  monitor::BusWatcherOptions watcher;
 };
 
 struct DriverMetrics {
@@ -71,6 +82,9 @@ struct DriverMetrics {
   // Recovery cost of the whole driver lifetime so far.
   RecoveryCounters recovery;
   uint64_t faults_injected = 0;
+  // Runtime-monitor outcome (bus watcher + shadow checker merged); all
+  // zeros when monitors are disabled.
+  monitor::TripCounters monitor;
 };
 
 class HybridDriver {
@@ -119,6 +133,16 @@ class HybridDriver {
   // further operation fails fast instead of hanging.
   bool wedged() const { return wedged_; }
 
+  // -- Runtime monitors ---------------------------------------------------
+  bool monitors_enabled() const { return shadow_ != nullptr; }
+  // Bus watcher + shadow checker trips, merged.
+  monitor::TripCounters MonitorCounters() const;
+  // Trips observed since the last call (the supervisor's escalation input;
+  // see Supervisor::PollMonitors). Always 0 with monitors disabled.
+  uint64_t ConsumeMonitorTrips();
+  const monitor::ShadowChecker* shadow_checker() const { return shadow_.get(); }
+  const monitor::BusWatcher* bus_watcher() const { return watcher_.get(); }
+
   // The modules placed in hardware for this split (resource estimation).
   std::vector<const ir::Module*> HardwareModules() const;
   // Boundary message sizes in 32-bit words (MMIO register file sizing).
@@ -134,6 +158,10 @@ class HybridDriver {
   // Advances wall time without CPU work (sleeping between retries); the
   // hardware — including a device write cycle — keeps running.
   void Idle(double ns);
+  // Bills the shadow checker's per-event cost (a bounds compare per message
+  // word plus loop overhead) against the modeled CPU — the checker is driver
+  // software and pays for its instructions like any other code path.
+  void ShadowBusy(size_t words);
   // One step of the host event loop; returns true when the top-level result
   // message became available (stored in result_) or the hardware missed its
   // deadline (pump_dead_).
@@ -175,6 +203,12 @@ class HybridDriver {
   uint64_t irq_count_ = 0;
   int down_words_ = 0;
   int up_words_ = 0;
+
+  // Runtime monitors (null unless config.enable_monitors).
+  monitor::MonitorSpec monitor_spec_;
+  std::unique_ptr<monitor::ShadowChecker> shadow_;
+  std::unique_ptr<monitor::BusWatcher> watcher_;
+  uint64_t consumed_monitor_trips_ = 0;
 
   // Fault injection and recovery.
   sim::FaultPlan fault_plan_;

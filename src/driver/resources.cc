@@ -134,23 +134,31 @@ ResourceEstimate EstimateRecoveryWatchdog(int up_words) {
 }
 
 std::string FormatRecoveryCounters(const RecoveryCounters& counters) {
-  char buf[288];
-  std::snprintf(buf, sizeof(buf),
-                "attempts=%llu retries=%llu nacks=%llu failures=%llu timeouts=%llu "
-                "bus_recoveries=%llu deadline_hits=%llu backoff_us=%.1f "
-                "soft_resets=%llu reprobes=%llu degraded=%llu",
-                static_cast<unsigned long long>(counters.attempts),
-                static_cast<unsigned long long>(counters.retries),
-                static_cast<unsigned long long>(counters.nacks),
-                static_cast<unsigned long long>(counters.failures),
-                static_cast<unsigned long long>(counters.timeouts),
-                static_cast<unsigned long long>(counters.bus_recoveries),
-                static_cast<unsigned long long>(counters.deadline_hits),
-                counters.backoff_ns / 1e3,
-                static_cast<unsigned long long>(counters.soft_resets),
-                static_cast<unsigned long long>(counters.reprobes),
-                static_cast<unsigned long long>(counters.degraded_entries));
-  return std::string(buf);
+  // Built field by field: the old fixed snprintf buffer silently truncated
+  // the tail fields once several counters grew past a few digits.
+  std::string out;
+  auto field = [&out](const char* name, uint64_t value) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("attempts", counters.attempts);
+  field("retries", counters.retries);
+  field("nacks", counters.nacks);
+  field("failures", counters.failures);
+  field("timeouts", counters.timeouts);
+  field("bus_recoveries", counters.bus_recoveries);
+  field("deadline_hits", counters.deadline_hits);
+  char backoff[32];
+  std::snprintf(backoff, sizeof(backoff), " backoff_us=%.1f", counters.backoff_ns / 1e3);
+  out += backoff;
+  field("soft_resets", counters.soft_resets);
+  field("reprobes", counters.reprobes);
+  field("degraded", counters.degraded_entries);
+  return out;
 }
 
 }  // namespace efeu::driver

@@ -51,6 +51,14 @@ struct SupervisorOptions {
   // try) before proactively entering degraded mode; a page write the whole
   // ladder cannot complete falls back to single bytes immediately.
   int page_fail_threshold = 2;
+  // Consecutive supervised operations that complete without the ladder (and
+  // without a monitor trip) while degraded before page mode is trusted
+  // again. 0 keeps degraded mode sticky for the supervisor's lifetime.
+  int degraded_recovery_threshold = 8;
+  // Monitor trips without an intervening clean operation before the
+  // supervisor forces a soft reset on the wrapped driver (rung 3 of the
+  // ladder, entered from the runtime monitors instead of a failed op).
+  int trip_reset_threshold = 3;
 };
 
 template <typename Driver>
@@ -70,13 +78,41 @@ class Supervisor {
     return merged;
   }
 
+  // Monitor trips observed since construction, and trips since the last
+  // clean operation (the escalation input).
+  uint64_t monitor_trips() const { return monitor_trips_; }
+
+  // Runtime-monitor input to the ladder: a bus watcher or shadow checker
+  // flagged a spec violation outside any supervised operation. One trip
+  // demotes the pair to recovering (the next operation re-runs the ladder
+  // from a clean slate); trip_reset_threshold trips without an intervening
+  // clean operation force the soft reset immediately.
+  void NoteMonitorTrip() {
+    if (health_ == HealthState::kWedged) {
+      return;
+    }
+    ++monitor_trips_;
+    clean_streak_ = 0;
+    health_ = HealthState::kRecovering;
+    if (options_.trip_reset_threshold > 0 &&
+        ++trips_since_clean_op_ >= options_.trip_reset_threshold) {
+      driver_->SoftReset();
+      trips_since_clean_op_ = 0;
+    }
+  }
+
   bool Read(int offset, int length, std::vector<uint8_t>* out) {
     if (health_ == HealthState::kWedged) {
       return false;
     }
-    if (RunLadder([&] { return driver_->Read(offset, length, out); })) {
+    PollMonitors();
+    bool first_try_failed = false;
+    if (RunLadder([&] { return driver_->Read(offset, length, out); }, &first_try_failed)) {
+      NoteOperationSucceeded(first_try_failed);
+      PollMonitors();
       return true;
     }
+    PollMonitors();
     health_ = HealthState::kWedged;
     return false;
   }
@@ -85,9 +121,16 @@ class Supervisor {
     if (health_ == HealthState::kWedged) {
       return false;
     }
+    PollMonitors();
     const bool page = data.size() > 1;
     if (page && degraded_) {
-      return WriteSingleBytes(offset, data);
+      bool any_ladder = false;
+      if (!WriteSingleBytes(offset, data, &any_ladder)) {
+        return false;
+      }
+      NoteOperationSucceeded(any_ladder);
+      PollMonitors();
+      return true;
     }
     bool first_try_failed = false;
     if (RunLadder([&] { return driver_->Write(offset, data); }, &first_try_failed)) {
@@ -106,6 +149,8 @@ class Supervisor {
           health_ = HealthState::kDegraded;
         }
       }
+      NoteOperationSucceeded(first_try_failed);
+      PollMonitors();
       return true;
     }
     if (page) {
@@ -113,15 +158,30 @@ class Supervisor {
       // time. The failed ladder left the stack down; reset it first.
       EnterDegraded();
       driver_->SoftReset();
-      if (WriteSingleBytes(offset, data)) {
+      bool any_ladder = false;
+      if (WriteSingleBytes(offset, data, &any_ladder)) {
+        NoteOperationSucceeded(/*needed_ladder=*/true);
+        PollMonitors();
         return true;
       }
+      return false;
     }
     health_ = HealthState::kWedged;
     return false;
   }
 
  private:
+  // Drains trips the wrapped driver's runtime monitors recorded since the
+  // last poll and feeds them into the ladder. Compiled out for drivers
+  // without monitors (e.g. test fakes), keeping the supervisor duck-typed.
+  void PollMonitors() {
+    if constexpr (requires { driver_->ConsumeMonitorTrips(); }) {
+      for (uint64_t trips = driver_->ConsumeMonitorTrips(); trips > 0; --trips) {
+        NoteMonitorTrip();
+      }
+    }
+  }
+
   template <typename Op>
   bool RunLadder(Op op, bool* first_try_failed = nullptr) {
     // Rungs 1-2 (retry/backoff, bus recovery) run inside the driver's own
@@ -154,12 +214,17 @@ class Supervisor {
     return false;
   }
 
-  bool WriteSingleBytes(int offset, const std::vector<uint8_t>& data) {
+  bool WriteSingleBytes(int offset, const std::vector<uint8_t>& data, bool* any_ladder) {
     for (size_t i = 0; i < data.size(); ++i) {
       std::vector<uint8_t> one = {data[i]};
-      if (!RunLadder([&] { return driver_->Write(offset + static_cast<int>(i), one); })) {
+      bool first_try_failed = false;
+      if (!RunLadder([&] { return driver_->Write(offset + static_cast<int>(i), one); },
+                     &first_try_failed)) {
         health_ = HealthState::kWedged;
         return false;
+      }
+      if (first_try_failed) {
+        *any_ladder = true;
       }
     }
     return true;
@@ -169,11 +234,39 @@ class Supervisor {
     health_ = degraded_ ? HealthState::kDegraded : HealthState::kHealthy;
   }
 
+  // A supervised operation completed. Clean completions (no ladder) while
+  // degraded accumulate toward re-promotion; any ladder use restarts the
+  // streak. Every success clears the monitor-trip escalation counter.
+  void NoteOperationSucceeded(bool needed_ladder) {
+    trips_since_clean_op_ = 0;
+    if (needed_ladder) {
+      clean_streak_ = 0;
+      return;
+    }
+    if (degraded_ && options_.degraded_recovery_threshold > 0 &&
+        ++clean_streak_ >= options_.degraded_recovery_threshold) {
+      ExitDegraded();
+    }
+  }
+
+  // Counts DISTINCT degradation episodes: the edge guard means a ladder that
+  // re-enters degraded via recovering (without an intervening promotion to
+  // healthy) cannot bump the counter twice, and only ExitDegraded re-arms
+  // it. degraded_entries is therefore "how many times the pair fell back to
+  // single-byte mode", not "how many rungs ended in degraded".
   void EnterDegraded() {
     if (!degraded_) {
       degraded_ = true;
       ++degraded_entries_;
     }
+    clean_streak_ = 0;
+  }
+
+  void ExitDegraded() {
+    degraded_ = false;
+    clean_streak_ = 0;
+    consecutive_page_failures_ = 0;
+    health_ = HealthState::kHealthy;
   }
 
   Driver* driver_;
@@ -181,7 +274,10 @@ class Supervisor {
   HealthState health_ = HealthState::kHealthy;
   bool degraded_ = false;
   int consecutive_page_failures_ = 0;
+  int clean_streak_ = 0;
+  int trips_since_clean_op_ = 0;
   uint64_t degraded_entries_ = 0;
+  uint64_t monitor_trips_ = 0;
 };
 
 }  // namespace efeu::driver

@@ -1,0 +1,163 @@
+#include "src/monitor/monitor_spec.h"
+
+#include <limits>
+
+namespace efeu::monitor {
+
+namespace {
+
+// Inclusive element range an ESI scalar type admits. Enum ranges come from
+// the member count; everything else from the storage the type truncates to.
+void ElementRange(const esi::SystemInfo& info, const Type& type, int32_t* min, int32_t* max) {
+  switch (type.kind) {
+    case ScalarKind::kBit:
+    case ScalarKind::kBool:
+      *min = 0;
+      *max = 1;
+      return;
+    case ScalarKind::kU8:
+      *min = 0;
+      *max = 255;
+      return;
+    case ScalarKind::kI16:
+      *min = -32768;
+      *max = 32767;
+      return;
+    case ScalarKind::kI32:
+      *min = std::numeric_limits<int32_t>::min();
+      *max = std::numeric_limits<int32_t>::max();
+      return;
+    case ScalarKind::kEnum: {
+      const esi::EnumInfo* e = info.FindEnum(type.enum_name);
+      *min = 0;
+      *max = e != nullptr && !e->members.empty()
+                 ? static_cast<int32_t>(e->members.size()) - 1
+                 : 0;
+      return;
+    }
+  }
+  *min = std::numeric_limits<int32_t>::min();
+  *max = std::numeric_limits<int32_t>::max();
+}
+
+ChannelSpec BuildChannelSpec(const esi::SystemInfo& info, const esi::ChannelInfo* channel) {
+  ChannelSpec spec;
+  if (channel == nullptr) {
+    return spec;
+  }
+  spec.name = channel->MessageStructName();
+  spec.flat_size = channel->flat_size;
+
+  // A scalar whose name contains "len" alongside exactly one payload array
+  // can never exceed the array capacity; tighten its bound accordingly.
+  int array_capacity = 0;
+  int array_fields = 0;
+  for (const esi::FieldInfo& field : channel->fields) {
+    if (field.type.IsArray()) {
+      ++array_fields;
+      array_capacity = field.type.array_size;
+    }
+  }
+  const bool clamp_lengths = array_fields == 1;
+
+  for (const esi::FieldInfo& field : channel->fields) {
+    int32_t min = 0;
+    int32_t max = 0;
+    ElementRange(info, field.type.Element(), &min, &max);
+    if (clamp_lengths && !field.type.IsArray() &&
+        field.name.find("len") != std::string::npos &&
+        max > static_cast<int32_t>(array_capacity)) {
+      max = static_cast<int32_t>(array_capacity);
+    }
+    for (int i = 0; i < field.type.FlatSize(); ++i) {
+      WordBound bound;
+      bound.word = field.flat_offset + i;
+      bound.min = min;
+      bound.max = max;
+      bound.field =
+          field.type.IsArray() ? field.name + "[" + std::to_string(i) + "]" : field.name;
+      spec.bounds.push_back(std::move(bound));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* TripKindName(TripKind kind) {
+  switch (kind) {
+    case TripKind::kFieldRange:
+      return "field-range";
+    case TripKind::kSequence:
+      return "sequence";
+    case TripKind::kDeadline:
+      return "deadline";
+    case TripKind::kStuckBus:
+      return "stuck-bus";
+    case TripKind::kSpuriousIrq:
+      return "spurious-irq";
+    case TripKind::kHandshakeStall:
+      return "handshake-stall";
+  }
+  return "?";
+}
+
+bool ChannelSpec::CheckMessage(std::span<const int32_t> words, int* failed) const {
+  for (size_t i = 0; i < bounds.size() && i < words.size(); ++i) {
+    const WordBound& bound = bounds[i];
+    const int32_t value = words[bound.word];
+    if (value < bound.min || value > bound.max) {
+      if (failed != nullptr) {
+        *failed = static_cast<int>(i);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+MonitorSpec MonitorSpec::FromSystem(const esi::SystemInfo& info,
+                                    const esi::ChannelInfo* down_channel,
+                                    const esi::ChannelInfo* up_channel) {
+  MonitorSpec spec;
+  spec.down = BuildChannelSpec(info, down_channel);
+  spec.up = BuildChannelSpec(info, up_channel);
+  return spec;
+}
+
+void TripCounters::Merge(const TripCounters& other) {
+  total += other.total;
+  for (int i = 0; i < kNumTripKinds; ++i) {
+    by_kind[i] += other.by_kind[i];
+  }
+  if (other.total > 0 && (first_trip_at == 0 || other.first_trip_at < first_trip_at)) {
+    first_trip_at = other.first_trip_at;
+  }
+  if (!other.last_trip.empty()) {
+    last_trip = other.last_trip;
+  }
+}
+
+std::string FormatTripCounters(const TripCounters& counters) {
+  if (counters.total == 0) {
+    return "monitor trips: none";
+  }
+  std::string out = "monitor trips: " + std::to_string(counters.total);
+  const char* sep = " (";
+  for (int kind = 0; kind < kNumTripKinds; ++kind) {
+    if (counters.by_kind[kind] == 0) {
+      continue;
+    }
+    out += sep;
+    out += TripKindName(static_cast<TripKind>(kind));
+    out += " x" + std::to_string(counters.by_kind[kind]);
+    sep = ", ";
+  }
+  out += "), first at " + std::to_string(counters.first_trip_at);
+  if (!counters.last_trip.empty()) {
+    out += ", last: " + counters.last_trip;
+  }
+  return out;
+}
+
+}  // namespace efeu::monitor

@@ -1,0 +1,100 @@
+// Monitor synthesis (the runtime-assertion companion to the static
+// verification story): lowers the ESI interface specification of a
+// software/hardware boundary into a checkable word-level contract. The same
+// MonitorSpec feeds three consumers — the software ShadowChecker FSM linked
+// into every driver, the cycle-level BusWatcher RTL component, and the
+// codegen backends that emit the standalone C checker and the Verilog
+// bus-watcher module shipped alongside the generated RTL.
+//
+// Everything here is DERIVED from the spec, never hand-listed per device:
+// each field of a boundary channel contributes the value range its ESI type
+// admits (enum ordinals, u8/i16 storage ranges, bit/bool 0..1), and a scalar
+// length field with a sibling payload array is clamped to the array capacity.
+// A message that violates any bound could not have been produced by a run of
+// the verified stack, so an observed violation is a hardware fault, a
+// coupling fault, or memory corruption — never a false alarm.
+
+#ifndef SRC_MONITOR_MONITOR_SPEC_H_
+#define SRC_MONITOR_MONITOR_SPEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/esi/system_info.h"
+
+namespace efeu::monitor {
+
+// What a monitor observed when it fired. The ordinals are frozen: they index
+// TripCounters::by_kind, appear in bench/CI JSON, and match the trip_kind
+// output of the generated Verilog bus watcher.
+enum class TripKind {
+  kFieldRange = 0,  // a boundary message word outside its ESI-typed range
+  kSequence = 1,    // a reply observed with no outstanding request
+  kDeadline = 2,    // an armed wait crossed the driver's deadline
+  kStuckBus = 3,    // SCL or SDA held low past the stretch limit
+  kSpuriousIrq = 4, // an interrupt wakeup with no message behind it
+  kHandshakeStall = 5,  // doorbell/ready-valid pending past the tick limit
+};
+
+inline constexpr int kNumTripKinds = 6;
+
+const char* TripKindName(TripKind kind);
+
+// Inclusive bounds for one int32 slot of a flattened boundary message.
+struct WordBound {
+  int word = 0;
+  int32_t min = 0;
+  int32_t max = 0;
+  // "field" or "field[i]" for array slots (diagnostics only).
+  std::string field;
+};
+
+// The word-level contract of one channel direction.
+struct ChannelSpec {
+  std::string name;  // the channel's MessageStructName
+  int flat_size = 0;
+  std::vector<WordBound> bounds;  // exactly one per flat word
+
+  // True when every word of `words` lies inside its bound. On failure,
+  // *failed (when non-null) receives the index into `bounds` of the first
+  // violated slot.
+  bool CheckMessage(std::span<const int32_t> words, int* failed = nullptr) const;
+};
+
+// The monitored contract of a software/hardware boundary: the downstream
+// (software -> hardware) and upstream (hardware -> software) channels.
+struct MonitorSpec {
+  ChannelSpec down;
+  ChannelSpec up;
+
+  // Derives the contract from the compiled system. Either channel may be
+  // null (e.g. a driver that only watches the wire); its spec stays empty
+  // and the checker skips field validation for that direction.
+  static MonitorSpec FromSystem(const esi::SystemInfo& info,
+                                const esi::ChannelInfo* down_channel,
+                                const esi::ChannelInfo* up_channel);
+};
+
+// Aggregated monitor outcome, shared by the shadow checker and the bus
+// watcher and surfaced through DriverMetrics.
+struct TripCounters {
+  uint64_t total = 0;
+  uint64_t by_kind[kNumTripKinds] = {};
+  // Observation index of the first trip: RTL ticks for the bus watcher,
+  // boundary events for the shadow checker. 0 when nothing tripped.
+  uint64_t first_trip_at = 0;
+  // Human-readable description of the most recent trip.
+  std::string last_trip;
+
+  void Merge(const TripCounters& other);
+};
+
+// One-line human summary for soak logs and test failure messages, e.g.
+// "monitor trips: 3 (deadline x2, stuck-bus x1), first at 42".
+std::string FormatTripCounters(const TripCounters& counters);
+
+}  // namespace efeu::monitor
+
+#endif  // SRC_MONITOR_MONITOR_SPEC_H_

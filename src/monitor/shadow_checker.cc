@@ -1,0 +1,52 @@
+#include "src/monitor/shadow_checker.h"
+
+namespace efeu::monitor {
+
+void ShadowChecker::Trip(TripKind kind, std::string what) {
+  ++counters_.total;
+  ++counters_.by_kind[static_cast<int>(kind)];
+  if (counters_.total == 1) {
+    counters_.first_trip_at = events_;
+  }
+  counters_.last_trip = std::move(what);
+}
+
+void ShadowChecker::OnDownMessage(std::span<const int32_t> words) {
+  ++events_;
+  if (spec_ != nullptr && !spec_->down.bounds.empty()) {
+    int failed = 0;
+    if (!spec_->down.CheckMessage(words, &failed)) {
+      Trip(TripKind::kFieldRange,
+           spec_->down.name + "." + spec_->down.bounds[failed].field + " out of range");
+    }
+  }
+  ++outstanding_;
+}
+
+void ShadowChecker::OnUpMessage(std::span<const int32_t> words) {
+  ++events_;
+  if (outstanding_ == 0) {
+    Trip(TripKind::kSequence, "reply with no outstanding request");
+  } else {
+    --outstanding_;
+  }
+  if (spec_ != nullptr && !spec_->up.bounds.empty()) {
+    int failed = 0;
+    if (!spec_->up.CheckMessage(words, &failed)) {
+      Trip(TripKind::kFieldRange,
+           spec_->up.name + "." + spec_->up.bounds[failed].field + " out of range");
+    }
+  }
+}
+
+void ShadowChecker::OnSpuriousWakeup() {
+  ++events_;
+  Trip(TripKind::kSpuriousIrq, "interrupt wakeup with no pending message");
+}
+
+void ShadowChecker::OnWaitTimeout() {
+  ++events_;
+  Trip(TripKind::kDeadline, "armed wait crossed its deadline");
+}
+
+}  // namespace efeu::monitor

@@ -1,0 +1,60 @@
+// The software half of the synthesized runtime monitor: a shadow FSM the
+// drivers feed with every boundary event they perform (message staged down,
+// message read up, interrupt wakeup, wait deadline). It re-validates each
+// event against the MonitorSpec — the contract the static checker verified
+// the stack against — so any divergence it sees is a runtime fault of the
+// hardware, the coupling, or memory, not a software bug.
+//
+// The checker is deliberately oblivious of simulation: it sees only the
+// events the driver hands it, in order, which is exactly what the generated
+// C checker (codegen::GenerateShadowCheckerC) sees on a real platform.
+
+#ifndef SRC_MONITOR_SHADOW_CHECKER_H_
+#define SRC_MONITOR_SHADOW_CHECKER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/monitor/monitor_spec.h"
+
+namespace efeu::monitor {
+
+class ShadowChecker {
+ public:
+  // `spec` may outlive the checker and may be null (sequence/deadline/IRQ
+  // checks only — used by drivers without a generated boundary, like the
+  // Xilinx IP baseline).
+  explicit ShadowChecker(const MonitorSpec* spec) : spec_(spec) {}
+
+  // A request was staged toward the hardware.
+  void OnDownMessage(std::span<const int32_t> words);
+  // A reply landed and was read back. Trips kSequence when no request is
+  // outstanding (every boundary protocol in the stack is request/reply).
+  void OnUpMessage(std::span<const int32_t> words);
+  // An interrupt wakeup found nothing in the register file.
+  void OnSpuriousWakeup();
+  // An armed wait crossed the driver's deadline: the doorbell, the up
+  // handshake or the interrupt line is dead.
+  void OnWaitTimeout();
+
+  // Clears the protocol state (outstanding requests), matching a stack
+  // soft reset. Trip counters are cumulative and survive resets.
+  void Reset() { outstanding_ = 0; }
+
+  bool tripped() const { return counters_.total > 0; }
+  const TripCounters& counters() const { return counters_; }
+  uint64_t events() const { return events_; }
+
+ private:
+  void Trip(TripKind kind, std::string what);
+
+  const MonitorSpec* spec_;
+  int outstanding_ = 0;  // requests sent down without a reply yet
+  uint64_t events_ = 0;
+  TripCounters counters_;
+};
+
+}  // namespace efeu::monitor
+
+#endif  // SRC_MONITOR_SHADOW_CHECKER_H_

@@ -6,7 +6,7 @@
 //   esmc --esi spec.esi --esm layers.esm [--esm more.esm ...]
 //        [-D NAME[=VALUE] ...] [--verifier]
 //        [--lint | --lint=Werror] [--dump-analysis]
-//        [--emit promela|c|verilog|mmio|ir] [--entry LAYER]
+//        [--emit promela|c|verilog|mmio|monitor|ir] [--entry LAYER]
 //        [--iface UPPER:LOWER] [-o DIR]
 //
 // With the built-in I2C specifications:
@@ -27,6 +27,7 @@
 
 #include "src/analysis/analysis.h"
 #include "src/codegen/c/c_backend.h"
+#include "src/codegen/c/shadow_checker_c.h"
 #include "src/codegen/mmio/mmio_backend.h"
 #include "src/codegen/promela/promela_backend.h"
 #include "src/codegen/verilog/verilog_backend.h"
@@ -78,7 +79,7 @@ int Usage() {
                "usage: esmc (--esi FILE --esm FILE... | --builtin-i2c controller|responder)\n"
                "            [-D NAME[=VALUE]] [--verifier]\n"
                "            [--lint | --lint=Werror] [--dump-analysis]\n"
-               "            [--emit promela|c|verilog|mmio|ir]\n"
+               "            [--emit promela|c|verilog|mmio|monitor|ir]\n"
                "            [--entry LAYER] [--iface UPPER:LOWER] [-o DIR]\n");
   return 2;
 }
@@ -276,6 +277,30 @@ int main(int argc, char** argv) {
         efeu::codegen::GenerateMmio(upper + "_" + lower, down, up);
     EmitFile(options, upper + "_" + lower + "_driver.c", output.c_driver);
     EmitFile(options, upper + "_" + lower + "_axil.vhd", output.vhdl);
+  } else if (options.emit == "monitor") {
+    // Runtime assertion monitors for the boundary named by --iface: the
+    // standalone C shadow checker (software half) plus the Verilog bus
+    // watcher that ships with every generated stack (hardware half).
+    size_t colon = options.iface.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "esmc: --emit monitor requires --iface UPPER:LOWER\n");
+      return 2;
+    }
+    std::string upper = options.iface.substr(0, colon);
+    std::string lower = options.iface.substr(colon + 1);
+    const efeu::esi::ChannelInfo* down = compilation->system().FindChannel(upper, lower);
+    const efeu::esi::ChannelInfo* up = compilation->system().FindChannel(lower, upper);
+    if (down == nullptr && up == nullptr) {
+      std::fprintf(stderr, "esmc: no interface between %s and %s\n", upper.c_str(),
+                   lower.c_str());
+      return 1;
+    }
+    efeu::monitor::MonitorSpec spec =
+        efeu::monitor::MonitorSpec::FromSystem(compilation->system(), down, up);
+    const std::string name = upper + "_" + lower;
+    EmitFile(options, name + "_shadow.c",
+             efeu::codegen::GenerateShadowCheckerC(spec, name));
+    EmitFile(options, "efeu_bus_watcher.v", efeu::codegen::GenerateVerilogBusWatcher());
   } else if (options.emit == "ir") {
     for (const efeu::ir::Module& module : compilation->modules()) {
       EmitFile(options, module.layer_name + ".ir", efeu::ir::DumpModule(module));

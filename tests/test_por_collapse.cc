@@ -497,5 +497,44 @@ void Up() {
   }
 }
 
+// Forced-run chain compression must actually bite on the serialized
+// fault-injection pipeline (the configs BENCH_check.json records): those
+// state spaces are dominated by singleton-transition states that classic
+// ample sets never touch (PickAmple refuses to reduce a singleton set).
+// Tripwire for the regression where por_reduced_states was 0 on every
+// EEPROM fault config and por=on stored exactly as many states as por=off.
+TEST(PorCollapseEquivalence, FaultConfigsReportPorReduction) {
+  i2c::VerifyConfig config;
+  config.level = i2c::VerifyLevel::kEepDriver;
+  config.abstraction = i2c::VerifyAbstraction::kTransaction;
+  config.num_ops = 2;
+  config.max_len = 4;
+  config.fault_events = 2;
+
+  DiagnosticEngine diag;
+  i2c::VerifyRunResult reduced = i2c::RunVerification(config, diag, Combo(true, true));
+  ASSERT_FALSE(diag.HasErrors()) << diag.RenderAll();
+  ASSERT_TRUE(reduced.ok);
+  EXPECT_GT(reduced.safety.por_reduced_states, 0u)
+      << "POR elided nothing on a fault config (ample starvation regression)";
+
+  DiagnosticEngine diag2;
+  i2c::VerifyRunResult baseline = i2c::RunVerification(config, diag2, Combo(false, true));
+  ASSERT_FALSE(diag2.HasErrors()) << diag2.RenderAll();
+  ASSERT_TRUE(baseline.ok);
+  EXPECT_LT(reduced.safety.states_stored, baseline.safety.states_stored)
+      << "por=on should store strictly fewer states than por=off here";
+
+  // The parallel engine applies the same sampling rule and must agree on the
+  // stored set exactly.
+  check::CheckerOptions parallel_options = Combo(true, true);
+  parallel_options.num_threads = 4;
+  DiagnosticEngine diag3;
+  i2c::VerifyRunResult parallel =
+      i2c::RunVerification(config, diag3, parallel_options);
+  ASSERT_TRUE(parallel.ok);
+  EXPECT_EQ(parallel.safety.states_stored, reduced.safety.states_stored);
+}
+
 }  // namespace
 }  // namespace efeu

@@ -19,6 +19,7 @@
 #include "src/driver/resources.h"
 #include "src/driver/supervisor.h"
 #include "src/i2c/codes.h"
+#include "src/monitor/monitor_spec.h"
 #include "src/sim/fault_plan.h"
 
 namespace efeu::driver {
@@ -154,6 +155,96 @@ TEST(SupervisorLadder, RepeatedLadderRecoveriesDegradeProactively) {
   int page_calls = driver.page_write_calls();
   ASSERT_TRUE(sup.Write(0x44, {0x15, 0x16}));
   EXPECT_EQ(driver.page_write_calls(), page_calls);
+}
+
+TEST(SupervisorLadder, DegradedEpisodesCountDistinctly) {
+  // degraded_entries counts distinct degradation episodes: re-entering via
+  // recovering without an intervening promotion to healthy never
+  // double-counts, and only a full clean-streak promotion re-arms the
+  // counter for a genuine second episode.
+  FakeDriver driver;
+  driver.fail_page_writes_ = true;
+  SupervisorOptions options;
+  options.degraded_recovery_threshold = 3;
+  Supervisor<FakeDriver> sup(&driver, options);
+
+  ASSERT_TRUE(sup.Write(0x10, {0x01, 0x02}));
+  EXPECT_EQ(sup.health(), HealthState::kDegraded);
+  EXPECT_EQ(sup.counters().degraded_entries, 1u);
+
+  // Clean degraded operations build the re-promotion streak; at the
+  // threshold the supervisor re-arms page mode to probe whether the fault
+  // cleared. The episode counter must not move while degraded.
+  ASSERT_TRUE(sup.Write(0x20, {0xA0, 0xA1}));
+  ASSERT_TRUE(sup.Write(0x22, {0xA2, 0xA3}));
+  EXPECT_EQ(sup.health(), HealthState::kDegraded);
+  EXPECT_EQ(sup.counters().degraded_entries, 1u);
+  ASSERT_TRUE(sup.Write(0x24, {0xA4, 0xA5}));
+  EXPECT_EQ(sup.health(), HealthState::kHealthy);
+
+  // The fault is still present: the next page write falls back again — a
+  // second distinct episode.
+  ASSERT_TRUE(sup.Write(0x40, {0xB0, 0xB1}));
+  EXPECT_EQ(sup.health(), HealthState::kDegraded);
+  EXPECT_EQ(sup.counters().degraded_entries, 2u);
+
+  // Staying degraded across further traffic does not re-count.
+  ASSERT_TRUE(sup.Write(0x50, {0xC0, 0xC1}));
+  EXPECT_EQ(sup.counters().degraded_entries, 2u);
+}
+
+TEST(SupervisorLadder, MonitorTripsEscalateThroughLadder) {
+  // Runtime-monitor trips are a ladder input: one trip demotes the pair to
+  // recovering; trip_reset_threshold trips with no clean operation in
+  // between force the soft reset directly.
+  FakeDriver driver;
+  SupervisorOptions options;
+  options.trip_reset_threshold = 3;
+  Supervisor<FakeDriver> sup(&driver, options);
+  ASSERT_TRUE(sup.Write(0x10, {0x42}));
+  EXPECT_EQ(sup.health(), HealthState::kHealthy);
+
+  sup.NoteMonitorTrip();
+  EXPECT_EQ(sup.health(), HealthState::kRecovering);
+  EXPECT_EQ(sup.monitor_trips(), 1u);
+  EXPECT_EQ(sup.counters().soft_resets, 0u);
+
+  // A clean operation clears the escalation and restores healthy.
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(sup.Read(0x10, 1, &data));
+  EXPECT_EQ(sup.health(), HealthState::kHealthy);
+
+  // Three trips back to back: the third one resets the stack.
+  sup.NoteMonitorTrip();
+  sup.NoteMonitorTrip();
+  EXPECT_EQ(sup.counters().soft_resets, 0u);
+  sup.NoteMonitorTrip();
+  EXPECT_EQ(sup.counters().soft_resets, 1u);
+  EXPECT_EQ(sup.monitor_trips(), 4u);
+  EXPECT_EQ(sup.health(), HealthState::kRecovering);
+}
+
+TEST(SupervisorLadder, FormatRecoveryCountersHandlesLargeCounts) {
+  // The old implementation rendered into a fixed 288-byte buffer and
+  // silently truncated the tail fields once counters grew past a few
+  // digits; every field must survive 3+-digit (and larger) counts.
+  RecoveryCounters counters;
+  counters.attempts = 123456789012ull;
+  counters.retries = 987654321ull;
+  counters.nacks = 100;
+  counters.failures = 1001;
+  counters.timeouts = 2002;
+  counters.bus_recoveries = 3003;
+  counters.deadline_hits = 4004;
+  counters.backoff_ns = 1234567.0;
+  counters.soft_resets = 505;
+  counters.reprobes = 606;
+  counters.degraded_entries = 707;
+  std::string s = FormatRecoveryCounters(counters);
+  EXPECT_NE(s.find("attempts=123456789012"), std::string::npos) << s;
+  EXPECT_NE(s.find("backoff_us=1234.6"), std::string::npos) << s;
+  EXPECT_NE(s.find("reprobes=606"), std::string::npos) << s;
+  EXPECT_NE(s.find("degraded=707"), std::string::npos) << s;
 }
 
 TEST(SupervisorLadder, WedgedIsTerminalAndFailsFast) {
@@ -424,6 +515,10 @@ std::string RunSoakSeed(uint64_t seed, bool interrupt_driven) {
   HybridConfig config = SupervisedConfig(interrupt_driven);
   config.fault_plan = sim::FaultPlan::Random(seed, 0.01, /*max_faults=*/4);
   config.fault_plan.set_boundary_faults(true);
+  // The soak runs fully monitored: trips feed the supervision ladder and the
+  // counters land in every failure report, so a soak log shows which monitor
+  // (if any) saw the fault before the operation failed.
+  config.enable_monitors = true;
   HybridDriver driver(config);
   Supervisor<HybridDriver> sup(&driver);
   auto sampling_fault_injected = [&driver]() {
@@ -454,13 +549,15 @@ std::string RunSoakSeed(uint64_t seed, bool interrupt_driven) {
              std::to_string(op) + " " + step + ": " +
              driver.fault_plan().Describe() +
              "\nreplay: " + driver.fault_plan().ReplayCommand() + "\n" +
-             FormatRecoveryCounters(sup.counters());
+             FormatRecoveryCounters(sup.counters()) + "\n" +
+             monitor::FormatTripCounters(driver.MonitorCounters());
     }
     offset += 8;
   }
   if (sup.health() == HealthState::kWedged) {
     return "seed " + std::to_string(seed) + " wedged: " + driver.fault_plan().Describe() +
-           "\nreplay: " + driver.fault_plan().ReplayCommand();
+           "\nreplay: " + driver.fault_plan().ReplayCommand() + "\n" +
+           monitor::FormatTripCounters(driver.MonitorCounters());
   }
   return "";
 }
