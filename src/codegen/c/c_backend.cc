@@ -313,6 +313,41 @@ class LayerCPrinter {
   }
 
   // -- Printing --------------------------------------------------------------
+  // All C expressions print with guarded shifts so out-of-range shift amounts
+  // evaluate to 0 exactly like the interpreters (ESM expressions are
+  // side-effect free, so the guard's double evaluation is safe), and with
+  // enum reads cast back to int so C's unsigned enum promotion cannot flip
+  // comparisons the interpreters evaluate in signed arithmetic.
+  static ExprPrintOptions CExprOptions() {
+    ExprPrintOptions options;
+    options.guard_shifts = true;
+    options.cast_enum_reads_to_int = true;
+    return options;
+  }
+
+  static std::string PrintCExpr(const esm::Expr& expr) {
+    return PrintExpr(expr, CExprOptions());
+  }
+
+  static std::string PrintCLvalue(const esm::Expr& expr) {
+    return PrintLvalue(expr, CExprOptions());
+  }
+
+  // Mirrors the IR lowering's store truncation (Type::Truncate) for values
+  // landing in a typed location. C's narrow locals already wrap correctly for
+  // byte (unsigned char) and short, but bit/bool must collapse to 0/1 — the
+  // unsigned char local would happily hold 138 — and enum locations are
+  // int-sized in C, so they must wrap to a byte explicitly.
+  static std::string TruncateToType(const Type& type, const std::string& value) {
+    if (type.IsBoolish()) {
+      return "((" + value + ") != 0)";
+    }
+    if (type.IsEnum()) {
+      return "(enum " + type.enum_name + ")(byte)(" + value + ")";
+    }
+    return value;
+  }
+
   void PrintBlockContents(const esm::BlockStmt& block) {
     for (const esm::StmtPtr& stmt : block.statements) {
       PrintStmt(*stmt);
@@ -326,14 +361,16 @@ class LayerCPrinter {
       const esi::FieldInfo& field = call.out_channel->fields[i];
       const esm::Expr& arg = *call.args[i];
       if (field.type.IsArray()) {
-        std::string src = PrintExpr(arg);
+        std::string src = PrintCExpr(arg);
         out_.Line("for (_i = 0; _i < " + std::to_string(field.type.array_size) + "; ++_i) {");
         out_.Indent();
         out_.Line(dest + field.name + "[_i] = " + src + "[_i];");
         out_.Dedent();
         out_.Line("}");
+      } else if (field.type.IsBoolish() || field.type.IsEnum()) {
+        out_.Line(dest + field.name + " = " + TruncateToType(field.type, PrintCExpr(arg)) + ";");
       } else {
-        out_.Line(dest + field.name + " = (" + CTypeName(field.type) + ")(" + PrintExpr(arg) +
+        out_.Line(dest + field.name + " = (" + CTypeName(field.type) + ")(" + PrintCExpr(arg) +
                   ");");
       }
     }
@@ -400,11 +437,12 @@ class LayerCPrinter {
       assert(call.call_kind != esm::CallKind::kNondet &&
              "nondet() cannot appear in generated drivers");
       if (call.call_kind != esm::CallKind::kUnresolved) {
-        PrintComm(call, PrintExpr(*assign.lhs));
+        PrintComm(call, PrintCLvalue(*assign.lhs));
         return;
       }
     }
-    out_.Line(PrintExpr(assign) + ";");
+    out_.Line(PrintCLvalue(*assign.lhs) + " = " +
+              TruncateToType(assign.lhs->type, PrintCExpr(*assign.rhs)) + ";");
   }
 
   void PrintStmt(const esm::Stmt& stmt) {
@@ -422,12 +460,12 @@ class LayerCPrinter {
           PrintAssign(static_cast<const esm::AssignExpr&>(*node.expr));
           return;
         }
-        out_.Line(PrintExpr(*node.expr) + ";");
+        out_.Line(PrintCExpr(*node.expr) + ";");
         return;
       }
       case esm::StmtKind::kIf: {
         const auto& node = static_cast<const esm::IfStmt&>(stmt);
-        out_.Line("if (" + PrintExpr(*node.condition) + ") {");
+        out_.Line("if (" + PrintCExpr(*node.condition) + ") {");
         out_.Indent();
         PrintStmt(*node.then_branch);
         out_.Dedent();
@@ -442,7 +480,7 @@ class LayerCPrinter {
       }
       case esm::StmtKind::kWhile: {
         const auto& node = static_cast<const esm::WhileStmt&>(stmt);
-        out_.Line("while (" + PrintExpr(*node.condition) + ") {");
+        out_.Line("while (" + PrintCExpr(*node.condition) + ") {");
         out_.Indent();
         PrintStmt(*node.body);
         out_.Dedent();
@@ -456,7 +494,7 @@ class LayerCPrinter {
         out_.Line(static_cast<const esm::LabelStmt&>(stmt).name + ":;");
         return;
       case esm::StmtKind::kAssert:
-        out_.Line("EFEU_ASSERT(" + PrintExpr(*static_cast<const esm::AssertStmt&>(stmt).condition) +
+        out_.Line("EFEU_ASSERT(" + PrintCExpr(*static_cast<const esm::AssertStmt&>(stmt).condition) +
                   ");");
         return;
       case esm::StmtKind::kBlock:
@@ -500,7 +538,12 @@ COutput GenerateC(const ir::Compilation& compilation, const std::string& entry_l
   header.Line("typedef unsigned char bit;");
   header.Line("typedef unsigned char bool_t;");
   header.Line("typedef unsigned char byte;");
+  // Overridable so test harnesses can intercept assertion failures (the fuzz
+  // differential oracle predefines EFEU_ASSERT via -include to longjmp out of
+  // the generated code instead of aborting the host process).
+  header.Line("#ifndef EFEU_ASSERT");
   header.Line("#define EFEU_ASSERT(cond) assert(cond)");
+  header.Line("#endif");
   header.Blank();
   for (const esi::EnumInfo& info : system.enums()) {
     header.Line("enum " + info.name + " {");

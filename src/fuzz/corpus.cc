@@ -1,0 +1,183 @@
+#include "src/fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace efeu::fuzz {
+namespace {
+
+constexpr const char* kEsiMarker = "=== esi ===";
+constexpr const char* kEsmMarker = "=== esm ===";
+constexpr const char* kScheduleMarker = "=== schedule ===";
+
+std::string TrimTrailingNewlines(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+}  // namespace
+
+// Collapses trailing newlines to exactly one, so serialize -> parse is a
+// fixpoint (the line-based parser cannot represent trailing blank lines).
+static std::string CanonicalSource(std::string text) {
+  while (text.size() >= 2 && text[text.size() - 1] == '\n' && text[text.size() - 2] == '\n') {
+    text.pop_back();
+  }
+  return text;
+}
+
+CorpusEntry EntryFromModel(const SpecModel& model, std::string note) {
+  CorpusEntry entry;
+  entry.seed = model.seed;
+  entry.note = std::move(note);
+  entry.esi = CanonicalSource(model.RenderEsi());
+  entry.esm = CanonicalSource(model.RenderEsm());
+  entry.stimuli = model.stimuli;
+  return entry;
+}
+
+std::string SerializeEntry(const CorpusEntry& entry) {
+  std::ostringstream out;
+  out << "# efz 1\n";
+  out << "# seed: " << entry.seed << "\n";
+  if (!entry.note.empty()) {
+    // Notes may span lines (divergence descriptions); keep each commented.
+    std::istringstream note(entry.note);
+    std::string line;
+    while (std::getline(note, line)) {
+      out << "# note: " << line << "\n";
+    }
+  }
+  out << kEsiMarker << "\n" << TrimTrailingNewlines(entry.esi) << "\n";
+  out << kEsmMarker << "\n" << TrimTrailingNewlines(entry.esm) << "\n";
+  out << kScheduleMarker << "\n";
+  for (const std::vector<int32_t>& command : entry.stimuli) {
+    for (size_t i = 0; i < command.size(); ++i) {
+      out << (i > 0 ? " " : "") << command[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool ParseEntry(const std::string& text, CorpusEntry* out, std::string* error) {
+  *out = CorpusEntry{};
+  enum class Section { kHeader, kEsi, kEsm, kSchedule } section = Section::kHeader;
+  std::istringstream in(text);
+  std::string line;
+  std::string esi;
+  std::string esm;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line == kEsiMarker) {
+      section = Section::kEsi;
+      continue;
+    }
+    if (line == kEsmMarker) {
+      section = Section::kEsm;
+      continue;
+    }
+    if (line == kScheduleMarker) {
+      section = Section::kSchedule;
+      continue;
+    }
+    switch (section) {
+      case Section::kHeader: {
+        const std::string seed_prefix = "# seed: ";
+        const std::string note_prefix = "# note: ";
+        if (line.rfind(seed_prefix, 0) == 0) {
+          out->seed = std::strtoull(line.c_str() + seed_prefix.size(), nullptr, 10);
+        } else if (line.rfind(note_prefix, 0) == 0) {
+          if (!out->note.empty()) {
+            out->note += "\n";
+          }
+          out->note += line.substr(note_prefix.size());
+        }
+        break;
+      }
+      case Section::kEsi:
+        esi += line + "\n";
+        break;
+      case Section::kEsm:
+        esm += line + "\n";
+        break;
+      case Section::kSchedule: {
+        if (line.empty()) {
+          break;
+        }
+        std::istringstream words(line);
+        std::vector<int32_t> command;
+        long long word = 0;
+        while (words >> word) {
+          command.push_back(static_cast<int32_t>(word));
+        }
+        if (!words.eof()) {
+          *error = "malformed schedule line: " + line;
+          return false;
+        }
+        out->stimuli.push_back(std::move(command));
+        break;
+      }
+    }
+  }
+  if (esi.empty() || esm.empty()) {
+    *error = "missing esi/esm section";
+    return false;
+  }
+  out->esi = std::move(esi);
+  out->esm = std::move(esm);
+  return true;
+}
+
+bool LoadEntryFile(const std::string& path, CorpusEntry* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!ParseEntry(text.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  out->name = std::filesystem::path(path).stem().string();
+  return true;
+}
+
+bool WriteEntryFile(const std::string& path, const CorpusEntry& entry) {
+  std::ofstream out(path);
+  out << SerializeEntry(entry);
+  return out.good();
+}
+
+bool LoadCorpusDir(const std::string& dir, std::vector<CorpusEntry>* out, std::string* error) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    if (item.path().extension() == ".efz") {
+      paths.push_back(item.path().string());
+    }
+  }
+  if (ec) {
+    *error = "cannot list " + dir + ": " + ec.message();
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    CorpusEntry entry;
+    if (!LoadEntryFile(path, &entry, error)) {
+      return false;
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+}  // namespace efeu::fuzz

@@ -1,0 +1,51 @@
+// The on-disk corpus format (.efz): one self-contained differential-testing
+// input — rendered ESI and ESM sources plus the deterministic Env schedule —
+// with a small comment header carrying provenance (generator seed, notes).
+// Seed corpus entries and minimized divergence repros both use this format,
+// so a repro replays with the exact same harness path as a corpus entry.
+//
+//   # efz 1
+//   # seed: 42
+//   # note: ...
+//   === esi ===
+//   <esi source>
+//   === esm ===
+//   <esm source>
+//   === schedule ===
+//   7 255 0        <- one line of int32 words per Env command
+
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/spec_model.h"
+
+namespace efeu::fuzz {
+
+struct CorpusEntry {
+  std::string name;  // file stem; empty until loaded/written
+  uint64_t seed = 0;
+  std::string note;
+  std::string esi;
+  std::string esm;
+  std::vector<std::vector<int32_t>> stimuli;
+};
+
+CorpusEntry EntryFromModel(const SpecModel& model, std::string note);
+
+std::string SerializeEntry(const CorpusEntry& entry);
+bool ParseEntry(const std::string& text, CorpusEntry* out, std::string* error);
+
+// Reads/writes one .efz file.
+bool LoadEntryFile(const std::string& path, CorpusEntry* out, std::string* error);
+bool WriteEntryFile(const std::string& path, const CorpusEntry& entry);
+
+// Loads every *.efz under `dir`, sorted by file name (deterministic order).
+bool LoadCorpusDir(const std::string& dir, std::vector<CorpusEntry>* out, std::string* error);
+
+}  // namespace efeu::fuzz
+
+#endif  // SRC_FUZZ_CORPUS_H_

@@ -1,0 +1,745 @@
+#include "src/fuzz/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/rng.h"
+
+namespace efeu::fuzz {
+namespace {
+
+constexpr int64_t kInt32Max = 2147483647LL;
+constexpr int64_t kInt32Min = -2147483648LL;
+
+// An expression plus a conservative value interval. Every composition rule
+// keeps [lo, hi] inside int32, so the generated C never overflows signed
+// arithmetic and every backend computes the same value.
+struct RangedExpr {
+  std::unique_ptr<FExpr> e;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct TypeRange {
+  int64_t lo;
+  int64_t hi;
+};
+
+TypeRange RangeOf(FType t) {
+  switch (t) {
+    case FType::kBit:
+      return {0, 1};
+    case FType::kByte:
+      return {0, 255};
+    case FType::kShort:
+      return {-32768, 32767};
+    case FType::kEnum:
+      return {0, 255};
+  }
+  return {0, 255};
+}
+
+// A readable scalar the expression grammar can use as a leaf.
+struct LeafVar {
+  std::unique_ptr<FExpr> (*make)(const LeafVar&) = nullptr;  // unused; kept simple below
+  enum class Kind { kScalar, kCmdField, kReplyField, kArrayElem } kind = Kind::kScalar;
+  std::string name;       // var name / struct var name / array name
+  std::string field;      // struct field
+  FType type = FType::kByte;
+  int array_size = 0;     // for kArrayElem and array struct fields
+};
+
+// Smallest power-of-two mask covering v (v >= 0).
+int64_t MaskCover(int64_t v) {
+  int64_t m = 1;
+  while (m - 1 < v && m < (1LL << 32)) {
+    m <<= 1;
+  }
+  return m - 1;
+}
+
+class Generator {
+ public:
+  Generator(uint64_t seed, const GeneratorOptions& options)
+      : options_(options), rng_(seed) {
+    model_.seed = seed;
+  }
+
+  SpecModel Generate() {
+    GenEnums();
+    GenTopology();
+    GenChannels();
+    for (LayerSpec& layer : model_.layers) {
+      GenLayerBody(layer);
+    }
+    GenStimuli();
+    return std::move(model_);
+  }
+
+ private:
+  // -------------------------------------------------------------------------
+  // Structure
+  // -------------------------------------------------------------------------
+
+  void GenEnums() {
+    int n = rng_.Below(3);  // 0..2 enums
+    for (int k = 0; k < n; ++k) {
+      EnumSpec e;
+      e.name = "E" + std::to_string(k);
+      int members = rng_.Range(2, 5);
+      for (int j = 0; j < members; ++j) {
+        e.members.push_back("E" + std::to_string(k) + "_M" + std::to_string(j));
+      }
+      model_.enums.push_back(std::move(e));
+    }
+  }
+
+  void GenTopology() {
+    int n = rng_.Range(options_.min_layers, options_.max_layers);
+    for (int i = 0; i < n; ++i) {
+      LayerSpec layer;
+      layer.name = "L" + std::to_string(i + 1);
+      model_.layers.push_back(std::move(layer));
+    }
+    model_.layers[0].parent = "Env";
+    if (n == 3 && rng_.Chance(1, 2)) {
+      // Small tree: L1 talks to both L2 and L3.
+      model_.layers[1].parent = "L1";
+      model_.layers[2].parent = "L1";
+      model_.layers[0].children = {"L2", "L3"};
+    } else {
+      // Chain: L1 -> L2 -> ... -> Ln.
+      for (int i = 1; i < n; ++i) {
+        model_.layers[i].parent = model_.layers[i - 1].name;
+        model_.layers[i - 1].children = {model_.layers[i].name};
+      }
+    }
+  }
+
+  FieldSpec GenField(const std::string& name, bool allow_array) {
+    FieldSpec f;
+    f.name = name;
+    int pick = rng_.Below(100);
+    if (!model_.enums.empty() && pick < 25) {
+      f.type = FType::kEnum;
+      f.enum_name = model_.enums[rng_.Below(static_cast<int>(model_.enums.size()))].name;
+    } else if (pick < 50) {
+      f.type = FType::kBit;
+    } else if (pick < 80) {
+      f.type = FType::kByte;
+    } else {
+      f.type = FType::kShort;
+    }
+    if (allow_array && f.type != FType::kEnum && rng_.Chance(1, 4)) {
+      // Arity edges on purpose: size-1 arrays and the 16-element upper end.
+      static const int kSizes[] = {1, 2, 4, 8, 16};
+      f.array_size = kSizes[rng_.Below(5)];
+    }
+    return f;
+  }
+
+  ChannelSpec GenChannelSpec(const std::string& prefix) {
+    ChannelSpec ch;
+    int nf = rng_.Range(1, 3);
+    for (int i = 0; i < nf; ++i) {
+      ch.fields.push_back(GenField(prefix + std::to_string(i), /*allow_array=*/true));
+    }
+    return ch;
+  }
+
+  void GenChannels() {
+    // One two-way interface per adjacent pair, down first then up, in the
+    // fixed order Env->L1 then each layer->child.
+    AddPair("Env", model_.layers[0].name);
+    for (const LayerSpec& layer : model_.layers) {
+      for (const std::string& child : layer.children) {
+        AddPair(layer.name, child);
+      }
+    }
+  }
+
+  void AddPair(const std::string& parent, const std::string& child) {
+    SpecModel::ChannelDef down;
+    down.from = parent;
+    down.to = child;
+    down.channel = GenChannelSpec("c");
+    model_.channels.push_back(std::move(down));
+    SpecModel::ChannelDef up;
+    up.from = child;
+    up.to = parent;
+    up.channel = GenChannelSpec("r");
+    model_.channels.push_back(std::move(up));
+  }
+
+  // -------------------------------------------------------------------------
+  // Per-layer body
+  // -------------------------------------------------------------------------
+
+  struct LayerCtx {
+    LayerSpec* layer = nullptr;
+    const ChannelSpec* cmd = nullptr;  // parent -> layer
+    std::vector<LeafVar> leaves;       // readable scalars / array elems
+    std::vector<const VarSpec*> assignable;  // scalar vars (not counters)
+    std::vector<const VarSpec*> arrays;      // writable arrays
+    // Loop nesting: counter name + bound for in-bounds counter indexing.
+    std::vector<std::pair<std::string, int>> loop_stack;
+    int stmt_budget = 0;
+  };
+
+  const EnumSpec& EnumByName(const std::string& name) const {
+    for (const EnumSpec& e : model_.enums) {
+      if (e.name == name) {
+        return e;
+      }
+    }
+    assert(false && "unknown enum");
+    return model_.enums.front();
+  }
+
+  int64_t BoundaryLiteral(FType t) {
+    TypeRange r = RangeOf(t);
+    switch (rng_.Below(6)) {
+      case 0:
+        return 0;
+      case 1:
+        return 1;
+      case 2:
+        return r.hi;
+      case 3:
+        return r.lo;
+      case 4:
+        return std::min<int64_t>(r.hi, rng_.Range(0, 16));
+      default:
+        return rng_.Range(static_cast<int>(std::max<int64_t>(r.lo, -255)),
+                          static_cast<int>(std::min<int64_t>(r.hi, 255)));
+    }
+  }
+
+  void GenLayerBody(LayerSpec& layer) {
+    LayerCtx ctx;
+    ctx.layer = &layer;
+    ctx.cmd = &model_.FindChannel(layer.parent, layer.name)->channel;
+
+    // Two dedicated loop counters; never assigned outside their loops.
+    for (int i = 0; i < 2; ++i) {
+      VarSpec c;
+      c.name = "i" + std::to_string(i);
+      c.type = FType::kByte;
+      c.init = 0;
+      layer.vars.push_back(c);
+    }
+    // General scalars.
+    int nv = rng_.Range(2, 4);
+    for (int i = 0; i < nv; ++i) {
+      VarSpec v;
+      v.name = "v" + std::to_string(i);
+      int pick = rng_.Below(100);
+      if (!model_.enums.empty() && pick < 20) {
+        v.type = FType::kEnum;
+        v.enum_name = model_.enums[rng_.Below(static_cast<int>(model_.enums.size()))].name;
+        const EnumSpec& e = EnumByName(v.enum_name);
+        v.init_member = e.members[rng_.Below(static_cast<int>(e.members.size()))];
+      } else if (pick < 50) {
+        v.type = FType::kBit;
+        v.init = rng_.Below(2);
+      } else if (pick < 80) {
+        v.type = FType::kByte;
+        v.init = BoundaryLiteral(FType::kByte);
+      } else {
+        v.type = FType::kShort;
+        v.init = BoundaryLiteral(FType::kShort);
+      }
+      layer.vars.push_back(v);
+    }
+    // Scratch array.
+    if (rng_.Chance(1, 2)) {
+      VarSpec a;
+      a.name = "arr0";
+      a.type = rng_.Chance(1, 3) ? FType::kShort : FType::kByte;
+      static const int kSizes[] = {1, 2, 4, 8};
+      a.array_size = kSizes[rng_.Below(4)];
+      layer.vars.push_back(a);
+    }
+    // Dedicated arrays matching array fields of the reply channel and of
+    // every child's command channel (send arguments must be whole arrays of
+    // the exact size).
+    const ChannelSpec& up = model_.FindChannel(layer.name, layer.parent)->channel;
+    for (size_t i = 0; i < up.fields.size(); ++i) {
+      if (up.fields[i].array_size > 0) {
+        VarSpec a;
+        a.name = "rpl" + std::to_string(i);
+        a.type = up.fields[i].type;
+        a.array_size = up.fields[i].array_size;
+        layer.vars.push_back(a);
+      }
+    }
+    for (const std::string& child : layer.children) {
+      const ChannelSpec& down = model_.FindChannel(layer.name, child)->channel;
+      for (size_t i = 0; i < down.fields.size(); ++i) {
+        if (down.fields[i].array_size > 0) {
+          VarSpec a;
+          a.name = "snd_" + child + "_" + std::to_string(i);
+          a.type = down.fields[i].type;
+          a.array_size = down.fields[i].array_size;
+          layer.vars.push_back(a);
+        }
+      }
+    }
+
+    // Leaf/assignment tables (vars vector is stable from here on).
+    for (const VarSpec& v : layer.vars) {
+      if (v.array_size > 0) {
+        LeafVar lv;
+        lv.kind = LeafVar::Kind::kArrayElem;
+        lv.name = v.name;
+        lv.type = v.type;
+        lv.array_size = v.array_size;
+        ctx.leaves.push_back(lv);
+        ctx.arrays.push_back(&v);
+      } else {
+        LeafVar lv;
+        lv.kind = LeafVar::Kind::kScalar;
+        lv.name = v.name;
+        lv.type = v.type;
+        ctx.leaves.push_back(lv);
+        if (v.name[0] != 'i') {
+          ctx.assignable.push_back(&v);
+        }
+      }
+    }
+    for (const FieldSpec& f : ctx.cmd->fields) {
+      LeafVar lv;
+      lv.kind = f.array_size > 0 ? LeafVar::Kind::kArrayElem : LeafVar::Kind::kCmdField;
+      lv.name = f.array_size > 0 ? "cmd." + f.name : "cmd";
+      lv.field = f.name;
+      lv.type = f.type;
+      lv.array_size = f.array_size;
+      ctx.leaves.push_back(lv);
+    }
+    for (const std::string& child : layer.children) {
+      const ChannelSpec& res = model_.FindChannel(child, layer.name)->channel;
+      for (const FieldSpec& f : res.fields) {
+        LeafVar lv;
+        lv.kind = f.array_size > 0 ? LeafVar::Kind::kArrayElem : LeafVar::Kind::kReplyField;
+        lv.name = f.array_size > 0 ? "r_" + child + "." + f.name : "r_" + child;
+        lv.field = f.name;
+        lv.type = f.type;
+        lv.array_size = f.array_size;
+        ctx.leaves.push_back(lv);
+      }
+    }
+
+    // Body: every child is talked to unconditionally first (so its reply
+    // struct is live before any conditional use), then random statements.
+    for (const std::string& child : layer.children) {
+      layer.compute.push_back(GenTalk(ctx, child));
+    }
+    ctx.stmt_budget = rng_.Range(2, options_.max_stmts);
+    while (ctx.stmt_budget > 0) {
+      layer.compute.push_back(GenStmt(ctx, /*depth=*/0));
+    }
+
+    // Reply arguments.
+    for (size_t i = 0; i < up.fields.size(); ++i) {
+      if (up.fields[i].array_size > 0) {
+        layer.reply_args.push_back(FExpr::Var("rpl" + std::to_string(i)));
+      } else {
+        layer.reply_args.push_back(GenArith(ctx, 0, /*at_root=*/true).e);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Statements
+  // -------------------------------------------------------------------------
+
+  FStmt GenTalk(LayerCtx& ctx, const std::string& child) {
+    FStmt s;
+    s.kind = FStmt::Kind::kTalkChild;
+    s.child = child;
+    s.result_var = "r_" + child;
+    const ChannelSpec& down = model_.FindChannel(ctx.layer->name, child)->channel;
+    for (size_t i = 0; i < down.fields.size(); ++i) {
+      if (down.fields[i].array_size > 0) {
+        s.args.push_back(FExpr::Var("snd_" + child + "_" + std::to_string(i)));
+      } else {
+        s.args.push_back(GenArith(ctx, 1, /*at_root=*/true).e);
+      }
+    }
+    return s;
+  }
+
+  std::unique_ptr<FExpr> GenIndex(LayerCtx& ctx, int array_size) {
+    if (!ctx.loop_stack.empty() && rng_.Chance(1, 2)) {
+      // A counter is a valid index when its loop bound never exceeds the
+      // array size (counter stays in [0, bound-1]).
+      const auto& [counter, bound] = ctx.loop_stack.back();
+      if (bound <= array_size) {
+        return FExpr::Var(counter);
+      }
+    }
+    return FExpr::Lit(rng_.Below(array_size));
+  }
+
+  FStmt GenAssign(LayerCtx& ctx) {
+    FStmt s;
+    s.kind = FStmt::Kind::kAssign;
+    const VarSpec& v =
+        *ctx.assignable[rng_.Below(static_cast<int>(ctx.assignable.size()))];
+    s.lhs = v.name;
+    if (v.type == FType::kEnum && rng_.Chance(1, 2)) {
+      const EnumSpec& e = EnumByName(v.enum_name);
+      s.rhs = FExpr::EnumLit(e.members[rng_.Below(static_cast<int>(e.members.size()))]);
+    } else {
+      s.rhs = GenArith(ctx, 0, /*at_root=*/true).e;
+    }
+    return s;
+  }
+
+  FStmt GenElemAssign(LayerCtx& ctx) {
+    FStmt s;
+    s.kind = FStmt::Kind::kElemAssign;
+    const VarSpec& a = *ctx.arrays[rng_.Below(static_cast<int>(ctx.arrays.size()))];
+    s.lhs = a.name;
+    s.index = GenIndex(ctx, a.array_size);
+    s.rhs = GenArith(ctx, 0, /*at_root=*/true).e;
+    return s;
+  }
+
+  FStmt GenAssert(LayerCtx& ctx) {
+    // Type-range asserts: true under IR truncation semantics in every
+    // backend, so a failure is always a backend bug (e.g. a bit variable
+    // holding a value other than 0/1).
+    FStmt s;
+    s.kind = FStmt::Kind::kAssert;
+    const VarSpec* scalars[16];
+    int n = 0;
+    for (const VarSpec* v : ctx.assignable) {
+      if (n < 16) {
+        scalars[n++] = v;
+      }
+    }
+    const VarSpec& v = *scalars[rng_.Below(n)];
+    TypeRange r = RangeOf(v.type);
+    s.cond = FExpr::Binary(
+        "&&", FExpr::Binary(">=", FExpr::Var(v.name), FExpr::Lit(r.lo)),
+        FExpr::Binary("<=", FExpr::Var(v.name), FExpr::Lit(r.hi)));
+    return s;
+  }
+
+  FStmt GenIf(LayerCtx& ctx, int depth) {
+    FStmt s;
+    s.kind = FStmt::Kind::kIf;
+    s.cond = GenCond(ctx);
+    int then_n = rng_.Range(1, 3);
+    for (int i = 0; i < then_n; ++i) {
+      s.body.push_back(GenStmt(ctx, depth + 1));
+    }
+    if (rng_.Chance(1, 2)) {
+      int else_n = rng_.Range(1, 2);
+      for (int i = 0; i < else_n; ++i) {
+        s.else_body.push_back(GenStmt(ctx, depth + 1));
+      }
+    }
+    return s;
+  }
+
+  FStmt GenLoop(LayerCtx& ctx, int depth) {
+    FStmt s;
+    s.kind = FStmt::Kind::kLoop;
+    s.counter = "i" + std::to_string(ctx.loop_stack.size());
+    s.bound = rng_.Range(1, 8);
+    ctx.loop_stack.emplace_back(s.counter, s.bound);
+    int n = rng_.Range(1, 3);
+    for (int i = 0; i < n; ++i) {
+      s.body.push_back(GenStmt(ctx, depth + 1));
+    }
+    ctx.loop_stack.pop_back();
+    return s;
+  }
+
+  FStmt GenStmt(LayerCtx& ctx, int depth) {
+    ctx.stmt_budget--;
+    bool can_nest = depth < 2;
+    bool can_loop = can_nest && ctx.loop_stack.size() < 2;
+    bool has_children = !ctx.layer->children.empty();
+    while (true) {
+      switch (rng_.Below(14)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+        case 4:
+          return GenAssign(ctx);
+        case 5:
+        case 6:
+          if (!ctx.arrays.empty()) {
+            return GenElemAssign(ctx);
+          }
+          break;
+        case 7:
+        case 8:
+          if (can_nest) {
+            return GenIf(ctx, depth);
+          }
+          break;
+        case 9:
+        case 10: {
+          if (can_loop) {
+            FStmt loop = GenLoop(ctx, depth);
+            // Loop-exit invariant: the counter equals the bound.
+            if (rng_.Chance(1, 2)) {
+              FStmt check;
+              check.kind = FStmt::Kind::kAssert;
+              check.cond =
+                  FExpr::Binary("==", FExpr::Var(loop.counter), FExpr::Lit(loop.bound));
+              FStmt wrapper;
+              wrapper.kind = FStmt::Kind::kIf;
+              wrapper.cond = FExpr::Lit(1);
+              wrapper.body.push_back(std::move(loop));
+              wrapper.body.push_back(std::move(check));
+              return wrapper;
+            }
+            return loop;
+          }
+          break;
+        }
+        case 11:
+          return GenAssert(ctx);
+        case 12:
+        case 13:
+          if (has_children && can_nest) {
+            return GenTalk(ctx,
+                           ctx.layer->children[rng_.Below(
+                               static_cast<int>(ctx.layer->children.size()))]);
+          }
+          break;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Expressions
+  // -------------------------------------------------------------------------
+
+  RangedExpr GenLeaf(LayerCtx& ctx) {
+    if (rng_.Chance(1, 4)) {
+      int64_t v = BoundaryLiteral(rng_.Chance(1, 2) ? FType::kByte : FType::kShort);
+      RangedExpr r;
+      r.e = FExpr::Lit(v);
+      r.lo = r.hi = v;
+      return r;
+    }
+    const LeafVar& lv = ctx.leaves[rng_.Below(static_cast<int>(ctx.leaves.size()))];
+    TypeRange tr = RangeOf(lv.type);
+    RangedExpr r;
+    r.lo = tr.lo;
+    r.hi = tr.hi;
+    switch (lv.kind) {
+      case LeafVar::Kind::kScalar:
+        r.e = FExpr::Var(lv.name);
+        break;
+      case LeafVar::Kind::kCmdField:
+      case LeafVar::Kind::kReplyField:
+        r.e = FExpr::Field(lv.name, lv.field);
+        break;
+      case LeafVar::Kind::kArrayElem:
+        r.e = FExpr::Elem(lv.name, GenIndex(ctx, lv.array_size));
+        break;
+    }
+    return r;
+  }
+
+  // Nonnegative leaf (for bitwise/shift operands): masks a leaf with 255 if
+  // its range dips below zero.
+  RangedExpr GenLeafNonNeg(LayerCtx& ctx) {
+    RangedExpr a = GenLeaf(ctx);
+    if (a.lo < 0) {
+      a.e = FExpr::Binary("&", std::move(a.e), FExpr::Lit(255));
+      a.lo = 0;
+      a.hi = 255;
+    }
+    if (a.e->kind == FExpr::Kind::kLit) {
+      a.lo = a.hi = a.e->lit;
+    }
+    return a;
+  }
+
+  RangedExpr GenArith(LayerCtx& ctx, int depth, bool at_root) {
+    if (depth >= 3 || rng_.Chance(1, 3)) {
+      return GenLeaf(ctx);
+    }
+    int pick = rng_.Below(20);
+    if (at_root && pick >= 16) {
+      return GenShift(ctx, depth);
+    }
+    if (pick >= 16) {
+      pick -= 8;  // redistribute the shift slots when not at root
+    }
+    if (pick < 6) {  // + / -
+      RangedExpr a = GenArith(ctx, depth + 1, false);
+      RangedExpr b = GenArith(ctx, depth + 1, false);
+      bool add = rng_.Chance(1, 2);
+      int64_t lo = add ? a.lo + b.lo : a.lo - b.hi;
+      int64_t hi = add ? a.hi + b.hi : a.hi - b.lo;
+      if (lo < kInt32Min || hi > kInt32Max) {
+        return a;  // overflow risk: drop the second operand
+      }
+      RangedExpr r;
+      r.e = FExpr::Binary(add ? "+" : "-", std::move(a.e), std::move(b.e));
+      r.lo = lo;
+      r.hi = hi;
+      return r;
+    }
+    if (pick < 9) {  // * (leaf operands only: product of our type ranges fits)
+      RangedExpr a = GenLeaf(ctx);
+      RangedExpr b = GenLeaf(ctx);
+      int64_t c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+      RangedExpr r;
+      r.e = FExpr::Binary("*", std::move(a.e), std::move(b.e));
+      r.lo = *std::min_element(c, c + 4);
+      r.hi = *std::max_element(c, c + 4);
+      return r;
+    }
+    if (pick < 13) {  // & | ^ (nonnegative operands)
+      RangedExpr a = GenLeafNonNeg(ctx);
+      RangedExpr b = GenLeafNonNeg(ctx);
+      static const char* kOps[] = {"&", "|", "^"};
+      RangedExpr r;
+      int64_t cover = MaskCover(std::max(a.hi, b.hi));
+      r.e = FExpr::Binary(kOps[rng_.Below(3)], std::move(a.e), std::move(b.e));
+      r.lo = 0;
+      r.hi = cover;
+      return r;
+    }
+    // / and % with a guaranteed-nonzero positive divisor.
+    RangedExpr a = GenArith(ctx, depth + 1, false);
+    RangedExpr b;
+    if (rng_.Chance(1, 2)) {
+      int64_t d = rng_.Range(1, 16);
+      b.e = FExpr::Lit(d);
+      b.lo = b.hi = d;
+    } else {
+      b = GenLeafNonNeg(ctx);
+      b.e = FExpr::Binary("|", std::move(b.e), FExpr::Lit(1));
+      b.lo = 1;
+      b.hi = b.hi | 1;
+    }
+    bool div = rng_.Chance(1, 2);
+    int64_t mag = std::max(std::abs(a.lo), std::abs(a.hi));
+    RangedExpr r;
+    if (div) {
+      r.e = FExpr::Binary("/", std::move(a.e), std::move(b.e));
+      r.lo = -mag;
+      r.hi = mag;
+    } else {
+      r.e = FExpr::Binary("%", std::move(a.e), std::move(b.e));
+      r.lo = -(b.hi - 1);
+      r.hi = b.hi - 1;
+    }
+    return r;
+  }
+
+  RangedExpr GenShift(LayerCtx& ctx, int depth) {
+    RangedExpr a = GenLeafNonNeg(ctx);
+    bool left = rng_.Chance(1, 2);
+    if (options_.shift_hazards && !left && rng_.Chance(1, 8)) {
+      // Variable shift amount: IR semantics yield 0 for amounts >= 32; a
+      // backend printing the raw operator inherits the ISA's masking instead.
+      const VarSpec* byte_var = nullptr;
+      for (const VarSpec* v : ctx.assignable) {
+        if (v->type == FType::kByte) {
+          byte_var = v;
+        }
+      }
+      if (byte_var != nullptr) {
+        RangedExpr r;
+        r.e = FExpr::Binary(">>", std::move(a.e), FExpr::Var(byte_var->name));
+        r.lo = 0;
+        r.hi = a.hi;
+        return r;
+      }
+    }
+    int max_k = 0;
+    while (max_k < 7 && (a.hi << (max_k + 1)) <= kInt32Max) {
+      ++max_k;
+    }
+    int k = rng_.Below(max_k + 1);
+    RangedExpr r;
+    if (left) {
+      r.e = FExpr::Binary("<<", std::move(a.e), FExpr::Lit(k));
+      r.lo = a.lo << k;
+      r.hi = a.hi << k;
+    } else {
+      r.e = FExpr::Binary(">>", std::move(a.e), FExpr::Lit(k));
+      r.lo = a.lo >> k;
+      r.hi = a.hi >> k;
+    }
+    return r;
+  }
+
+  std::unique_ptr<FExpr> GenCond(LayerCtx& ctx) {
+    static const char* kCmps[] = {"<", ">", "<=", ">=", "==", "!="};
+    RangedExpr a = GenArith(ctx, 1, /*at_root=*/false);
+    RangedExpr b = rng_.Chance(1, 2) ? GenLeaf(ctx) : GenArith(ctx, 2, false);
+    auto cmp = FExpr::Binary(kCmps[rng_.Below(6)], std::move(a.e), std::move(b.e));
+    if (rng_.Chance(1, 4)) {
+      RangedExpr c = GenLeaf(ctx);
+      RangedExpr d = GenLeaf(ctx);
+      auto cmp2 = FExpr::Binary(kCmps[rng_.Below(6)], std::move(c.e), std::move(d.e));
+      return FExpr::Binary(rng_.Chance(1, 2) ? "&&" : "||", std::move(cmp),
+                           std::move(cmp2));
+    }
+    return cmp;
+  }
+
+  // -------------------------------------------------------------------------
+  // Schedule
+  // -------------------------------------------------------------------------
+
+  int64_t StimulusValue(const FieldSpec& f) {
+    switch (f.type) {
+      case FType::kBit:
+        return rng_.Below(2);
+      case FType::kByte:
+        return BoundaryLiteral(FType::kByte) & 0xff;
+      case FType::kShort:
+        return BoundaryLiteral(FType::kShort);
+      case FType::kEnum: {
+        const EnumSpec& e = EnumByName(f.enum_name);
+        return rng_.Below(static_cast<int>(e.members.size()));
+      }
+    }
+    return 0;
+  }
+
+  void GenStimuli() {
+    const ChannelSpec& down = model_.FindChannel("Env", model_.layers[0].name)->channel;
+    int steps = rng_.Range(options_.min_steps, options_.max_steps);
+    for (int s = 0; s < steps; ++s) {
+      std::vector<int32_t> msg;
+      for (const FieldSpec& f : down.fields) {
+        int n = f.array_size > 0 ? f.array_size : 1;
+        for (int i = 0; i < n; ++i) {
+          msg.push_back(static_cast<int32_t>(StimulusValue(f)));
+        }
+      }
+      model_.stimuli.push_back(std::move(msg));
+    }
+  }
+
+  GeneratorOptions options_;
+  Rng rng_;
+  SpecModel model_;
+};
+
+}  // namespace
+
+SpecModel GenerateSpec(uint64_t seed, const GeneratorOptions& options) {
+  return Generator(seed, options).Generate();
+}
+
+}  // namespace efeu::fuzz

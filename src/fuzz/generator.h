@@ -1,0 +1,41 @@
+// Grammar-based spec generator. Every spec it emits is accepted by
+// parse/sema/lowering by construction, stays inside the deterministic
+// (Kahn-network) fragment all four execution targets agree on, and avoids C
+// undefined behaviour in every arithmetic intermediate — so a divergence
+// between targets is always a compiler/backend bug, never spec-level UB.
+//
+// The grammar is biased toward the corners the issue names: nested branches,
+// counted loops, channel arity edges (1-field channels, arrays of size 1 and
+// 16), enum/int boundary literals, and narrowing assignments into bit/byte
+// variables whose truncation semantics every backend must implement
+// identically.
+
+#ifndef SRC_FUZZ_GENERATOR_H_
+#define SRC_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/fuzz/spec_model.h"
+
+namespace efeu::fuzz {
+
+struct GeneratorOptions {
+  int min_layers = 1;  // defined layers below Env
+  int max_layers = 3;
+  int min_steps = 2;  // deterministic schedule length (Env->entry messages)
+  int max_steps = 6;
+  int max_stmts = 6;  // top-level statements per layer body
+  // Emit occasional variable-amount shifts. The IR semantics guard shift
+  // amounts (>= 32 yields 0); a backend that prints the raw operator instead
+  // inherits the host ISA's masking. Disabled, every shift amount is a
+  // literal in [0, 7].
+  bool shift_hazards = true;
+};
+
+// Deterministically generates a spec model from `seed`. The same seed and
+// options always produce a byte-identical model (and rendering).
+SpecModel GenerateSpec(uint64_t seed, const GeneratorOptions& options = {});
+
+}  // namespace efeu::fuzz
+
+#endif  // SRC_FUZZ_GENERATOR_H_

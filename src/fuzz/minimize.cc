@@ -1,0 +1,274 @@
+#include "src/fuzz/minimize.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace efeu::fuzz {
+namespace {
+
+// Pre-order walk over the *enabled* statements of every layer. Disabled
+// statements are skipped together with their subtrees (they don't render).
+void CollectEnabledStmts(std::vector<FStmt>& stmts, std::vector<FStmt*>* out) {
+  for (FStmt& stmt : stmts) {
+    if (stmt.disabled) {
+      continue;
+    }
+    out->push_back(&stmt);
+    CollectEnabledStmts(stmt.body, out);
+    CollectEnabledStmts(stmt.else_body, out);
+  }
+}
+
+std::vector<FStmt*> CollectEnabledStmts(SpecModel& model) {
+  std::vector<FStmt*> out;
+  for (LayerSpec& layer : model.layers) {
+    CollectEnabledStmts(layer.compute, &out);
+  }
+  return out;
+}
+
+// Expression slots eligible for literal replacement. Assert conditions are
+// deliberately excluded: rewriting them would change which property fails.
+struct ExprSlot {
+  std::unique_ptr<FExpr>* slot;
+  int64_t replacement;
+};
+
+void CollectExprSlots(std::vector<FStmt>& stmts, std::vector<ExprSlot>* out) {
+  for (FStmt& stmt : stmts) {
+    if (stmt.disabled) {
+      continue;
+    }
+    switch (stmt.kind) {
+      case FStmt::Kind::kAssign:
+      case FStmt::Kind::kElemAssign:
+        if (stmt.rhs != nullptr && stmt.rhs->kind != FExpr::Kind::kLit) {
+          out->push_back({&stmt.rhs, 0});
+        }
+        if (stmt.index != nullptr && stmt.index->kind != FExpr::Kind::kLit) {
+          out->push_back({&stmt.index, 0});
+        }
+        break;
+      case FStmt::Kind::kIf:
+        if (stmt.cond->kind != FExpr::Kind::kLit) {
+          out->push_back({&stmt.cond, 1});
+        }
+        break;
+      case FStmt::Kind::kTalkChild:
+        for (std::unique_ptr<FExpr>& arg : stmt.args) {
+          if (arg->kind != FExpr::Kind::kLit) {
+            out->push_back({&arg, 0});
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    CollectExprSlots(stmt.body, out);
+    CollectExprSlots(stmt.else_body, out);
+  }
+}
+
+std::vector<ExprSlot> CollectExprSlots(SpecModel& model) {
+  std::vector<ExprSlot> out;
+  for (LayerSpec& layer : model.layers) {
+    CollectExprSlots(layer.compute, &out);
+    for (std::unique_ptr<FExpr>& arg : layer.reply_args) {
+      if (arg->kind != FExpr::Kind::kLit) {
+        out.push_back({&arg, 0});
+      }
+    }
+  }
+  return out;
+}
+
+bool ExprMentionsBase(const FExpr& expr, const std::string& base) {
+  if ((expr.kind == FExpr::Kind::kField || expr.kind == FExpr::Kind::kVar ||
+       expr.kind == FExpr::Kind::kElem) &&
+      expr.name == base) {
+    return true;
+  }
+  if (expr.a != nullptr && ExprMentionsBase(*expr.a, base)) {
+    return true;
+  }
+  return expr.b != nullptr && ExprMentionsBase(*expr.b, base);
+}
+
+bool StmtsMentionChild(const std::vector<FStmt>& stmts, const std::string& child,
+                       const std::string& reply_base) {
+  for (const FStmt& stmt : stmts) {
+    if (stmt.disabled) {
+      continue;
+    }
+    if (stmt.kind == FStmt::Kind::kTalkChild && stmt.child == child) {
+      return true;
+    }
+    for (const FExpr* e : {stmt.rhs.get(), stmt.index.get(), stmt.cond.get()}) {
+      if (e != nullptr && ExprMentionsBase(*e, reply_base)) {
+        return true;
+      }
+    }
+    for (const std::unique_ptr<FExpr>& arg : stmt.args) {
+      if (ExprMentionsBase(*arg, reply_base)) {
+        return true;
+      }
+    }
+    if (StmtsMentionChild(stmt.body, child, reply_base) ||
+        StmtsMentionChild(stmt.else_body, child, reply_base)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Removes leaf layer `child` (no children of its own) if its parent no longer
+// references it. Returns false when the drop does not apply.
+bool TryDropLeafLayer(SpecModel& model, const std::string& child) {
+  LayerSpec* child_layer = nullptr;
+  LayerSpec* parent_layer = nullptr;
+  for (LayerSpec& layer : model.layers) {
+    if (layer.name == child) {
+      child_layer = &layer;
+    }
+  }
+  if (child_layer == nullptr || !child_layer->children.empty()) {
+    return false;
+  }
+  for (LayerSpec& layer : model.layers) {
+    if (layer.name == child_layer->parent) {
+      parent_layer = &layer;
+    }
+  }
+  if (parent_layer == nullptr) {
+    return false;  // Entry layer (parent is Env) can never be dropped.
+  }
+  std::string reply_base = "r_" + child;
+  if (StmtsMentionChild(parent_layer->compute, child, reply_base)) {
+    return false;
+  }
+  for (const std::unique_ptr<FExpr>& arg : parent_layer->reply_args) {
+    if (ExprMentionsBase(*arg, reply_base)) {
+      return false;
+    }
+  }
+  parent_layer->children.erase(
+      std::remove(parent_layer->children.begin(), parent_layer->children.end(), child),
+      parent_layer->children.end());
+  model.layers.erase(std::remove_if(model.layers.begin(), model.layers.end(),
+                                    [&](const LayerSpec& l) { return l.name == child; }),
+                     model.layers.end());
+  model.channels.erase(std::remove_if(model.channels.begin(), model.channels.end(),
+                                      [&](const SpecModel::ChannelDef& c) {
+                                        return c.from == child || c.to == child;
+                                      }),
+                       model.channels.end());
+  return true;
+}
+
+}  // namespace
+
+SpecModel Minimize(const SpecModel& input, const MinimizeOracle& oracle,
+                   const MinimizeOptions& options, MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& s = stats != nullptr ? *stats : local;
+  SpecModel current = input.CloneModel();
+
+  auto attempt = [&](SpecModel&& candidate) {
+    if (s.attempts >= options.max_attempts) {
+      return false;
+    }
+    ++s.attempts;
+    if (oracle(candidate)) {
+      current = std::move(candidate);
+      ++s.successes;
+      return true;
+    }
+    return false;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+
+    // 1. Drop trailing schedule steps.
+    while (current.stimuli.size() > 1) {
+      SpecModel candidate = current.CloneModel();
+      candidate.stimuli.pop_back();
+      if (!attempt(std::move(candidate))) {
+        break;
+      }
+      changed = true;
+    }
+
+    // 2. Disable statements one at a time (pre-order: outermost first, so a
+    // successful disable removes whole subtrees early).
+    for (int i = 0;; ++i) {
+      SpecModel candidate = current.CloneModel();
+      std::vector<FStmt*> stmts = CollectEnabledStmts(candidate);
+      if (i >= static_cast<int>(stmts.size())) {
+        break;
+      }
+      stmts[i]->disabled = true;
+      if (attempt(std::move(candidate))) {
+        changed = true;
+        --i;  // The next statement now sits at this index.
+      }
+    }
+
+    // 3. Collapse loop bounds to a single iteration.
+    for (int i = 0;; ++i) {
+      SpecModel candidate = current.CloneModel();
+      std::vector<FStmt*> stmts = CollectEnabledStmts(candidate);
+      int seen = 0;
+      FStmt* loop = nullptr;
+      for (FStmt* stmt : stmts) {
+        if (stmt->kind == FStmt::Kind::kLoop && stmt->bound > 1 && seen++ == i) {
+          loop = stmt;
+          break;
+        }
+      }
+      if (loop == nullptr) {
+        break;
+      }
+      loop->bound = 1;
+      if (attempt(std::move(candidate))) {
+        changed = true;
+        --i;
+      }
+    }
+
+    // 4. Replace expressions with literals (rhs/index/talk args with 0,
+    // if-conditions with 1).
+    for (int i = 0;; ++i) {
+      SpecModel candidate = current.CloneModel();
+      std::vector<ExprSlot> slots = CollectExprSlots(candidate);
+      if (i >= static_cast<int>(slots.size())) {
+        break;
+      }
+      *slots[i].slot = FExpr::Lit(slots[i].replacement);
+      if (attempt(std::move(candidate))) {
+        changed = true;
+        --i;
+      }
+    }
+
+    // 5. Drop leaf layers whose parents no longer reference them.
+    for (size_t i = 1; i < current.layers.size();) {
+      SpecModel candidate = current.CloneModel();
+      std::string name = current.layers[i].name;
+      if (!TryDropLeafLayer(candidate, name) || !attempt(std::move(candidate))) {
+        ++i;
+        continue;
+      }
+      changed = true;
+      i = 1;  // Layer list shifted; restart the scan.
+    }
+
+    if (!changed || s.attempts >= options.max_attempts) {
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace efeu::fuzz

@@ -1,0 +1,40 @@
+// Delta-debugging over the fuzzer's spec AST. Given a SpecModel whose run is
+// "interesting" (the oracle returns true — typically: still reproduces the
+// same divergence signature), greedily shrinks the model to a local fixpoint:
+// trailing schedule steps dropped, statements disabled, loop bounds collapsed
+// to one iteration, expressions replaced by literals, and unreferenced leaf
+// layers removed. Every candidate is produced by re-rendering the mutated
+// model, so minimized repros stay well-formed by construction.
+
+#ifndef SRC_FUZZ_MINIMIZE_H_
+#define SRC_FUZZ_MINIMIZE_H_
+
+#include <functional>
+
+#include "src/fuzz/spec_model.h"
+
+namespace efeu::fuzz {
+
+// Returns true when the candidate is still interesting.
+using MinimizeOracle = std::function<bool(const SpecModel&)>;
+
+struct MinimizeOptions {
+  // Fixpoint rounds over all passes.
+  int max_rounds = 6;
+  // Hard cap on oracle invocations (each one runs the differential harness).
+  int max_attempts = 400;
+};
+
+struct MinimizeStats {
+  int attempts = 0;   // oracle invocations
+  int successes = 0;  // adopted reductions
+};
+
+// Shrinks `input` (which must satisfy the oracle) and returns the reduced
+// model. The result always satisfies the oracle.
+SpecModel Minimize(const SpecModel& input, const MinimizeOracle& oracle,
+                   const MinimizeOptions& options = {}, MinimizeStats* stats = nullptr);
+
+}  // namespace efeu::fuzz
+
+#endif  // SRC_FUZZ_MINIMIZE_H_

@@ -1,0 +1,203 @@
+#include "src/fuzz/mutator.h"
+
+#include <vector>
+
+namespace efeu::fuzz {
+namespace {
+
+// Keeps a mutated schedule word inside the field's value domain, mirroring
+// the generator's pre-truncation: out-of-domain words would make the narrow C
+// struct fields disagree with the VM's raw int32 frame slots by construction,
+// which is stimulus noise, not a code bug.
+int32_t ClampToField(const SpecModel& model, const FieldSpec& field, int64_t value) {
+  switch (field.type) {
+    case FType::kBit:
+      return value != 0 ? 1 : 0;
+    case FType::kByte:
+      return static_cast<int32_t>(value & 0xff);
+    case FType::kShort:
+      return static_cast<int16_t>(value);
+    case FType::kEnum:
+      for (const EnumSpec& e : model.enums) {
+        if (e.name == field.enum_name) {
+          int n = static_cast<int>(e.members.size());
+          return static_cast<int32_t>(((value % n) + n) % n);
+        }
+      }
+      return 0;
+  }
+  return 0;
+}
+
+// The field covering flattened word `offset` of a command message.
+const FieldSpec* FieldAtOffset(const ChannelSpec& channel, int offset) {
+  int pos = 0;
+  for (const FieldSpec& field : channel.fields) {
+    int n = field.array_size > 0 ? field.array_size : 1;
+    if (offset < pos + n) {
+      return &field;
+    }
+    pos += n;
+  }
+  return nullptr;
+}
+
+int64_t InterestingValue(Rng& rng) {
+  static const int64_t kValues[] = {0, 1, 2, 7, 8, 127, 128, 255, 256, -1, -128, 32767, -32768};
+  if (rng.Chance(1, 2)) {
+    return kValues[rng.Below(static_cast<int>(std::size(kValues)))];
+  }
+  return rng.Range(-300, 300);
+}
+
+void CollectLiterals(std::vector<FStmt>& stmts, std::vector<FExpr*>* out) {
+  auto walk = [&](auto&& self, FExpr* expr) -> void {
+    if (expr == nullptr) {
+      return;
+    }
+    // Enum member literals carry their spelling in `name`; nudging their
+    // numeric value would render an undefined identifier, so skip them.
+    if (expr->kind == FExpr::Kind::kLit && expr->name.empty()) {
+      out->push_back(expr);
+    }
+    self(self, expr->a.get());
+    self(self, expr->b.get());
+  };
+  for (FStmt& stmt : stmts) {
+    if (stmt.disabled) {
+      continue;
+    }
+    // Divisor and shift-amount literals are load-bearing for definedness
+    // (the generator sized them); only nudge plain rhs/cond/index literals.
+    if (stmt.rhs != nullptr && (stmt.rhs->op != "/" && stmt.rhs->op != "%")) {
+      walk(walk, stmt.rhs.get());
+    }
+    walk(walk, stmt.index.get());
+    walk(walk, stmt.cond.get());
+    CollectLiterals(stmt.body, out);
+    CollectLiterals(stmt.else_body, out);
+  }
+}
+
+}  // namespace
+
+SpecModel MutateModel(const SpecModel& base, Rng& rng) {
+  SpecModel model = base.CloneModel();
+  const ChannelSpec& down = model.FindChannel("Env", model.layers[0].name)->channel;
+  int mutations = rng.Range(1, 3);
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng.Below(5)) {
+      case 0: {  // Nudge one schedule word.
+        if (model.stimuli.empty()) {
+          break;
+        }
+        std::vector<int32_t>& command =
+            model.stimuli[rng.Below(static_cast<int>(model.stimuli.size()))];
+        if (command.empty()) {
+          break;
+        }
+        int offset = rng.Below(static_cast<int>(command.size()));
+        const FieldSpec* field = FieldAtOffset(down, offset);
+        if (field != nullptr) {
+          command[offset] = ClampToField(model, *field, InterestingValue(rng));
+        }
+        break;
+      }
+      case 1: {  // Duplicate a schedule step.
+        if (model.stimuli.empty() || model.stimuli.size() >= 12) {
+          break;
+        }
+        size_t pick = rng.Below(static_cast<int>(model.stimuli.size()));
+        model.stimuli.insert(model.stimuli.begin() + pick, model.stimuli[pick]);
+        break;
+      }
+      case 2: {  // Drop a schedule step.
+        if (model.stimuli.size() <= 1) {
+          break;
+        }
+        model.stimuli.erase(model.stimuli.begin() +
+                            rng.Below(static_cast<int>(model.stimuli.size())));
+        break;
+      }
+      case 3: {  // Nudge an expression literal.
+        std::vector<FExpr*> literals;
+        for (LayerSpec& layer : model.layers) {
+          CollectLiterals(layer.compute, &literals);
+        }
+        if (literals.empty()) {
+          break;
+        }
+        FExpr* lit = literals[rng.Below(static_cast<int>(literals.size()))];
+        switch (rng.Below(3)) {
+          case 0:
+            lit->lit += rng.Chance(1, 2) ? 1 : -1;
+            break;
+          case 1:
+            lit->lit = -lit->lit;
+            break;
+          default:
+            lit->lit = InterestingValue(rng);
+            break;
+        }
+        break;
+      }
+      default: {  // Change a loop bound.
+        std::vector<FStmt*> loops;
+        auto collect = [&](auto&& self, std::vector<FStmt>& stmts) -> void {
+          for (FStmt& stmt : stmts) {
+            if (stmt.disabled) {
+              continue;
+            }
+            if (stmt.kind == FStmt::Kind::kLoop) {
+              loops.push_back(&stmt);
+            }
+            self(self, stmt.body);
+            self(self, stmt.else_body);
+          }
+        };
+        for (LayerSpec& layer : model.layers) {
+          collect(collect, layer.compute);
+        }
+        if (!loops.empty()) {
+          loops[rng.Below(static_cast<int>(loops.size()))]->bound =
+              static_cast<int>(rng.Range(1, 8));
+        }
+        break;
+      }
+    }
+  }
+  return model;
+}
+
+std::string MutateText(const std::string& text, Rng& rng) {
+  std::string out = text;
+  if (out.empty()) {
+    return out;
+  }
+  static const char kCharset[] = "(){};=<>+-*/%&|!^,.0123456789abczABCZ_ \n\"";
+  int edits = static_cast<int>(rng.Range(1, 4));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng.Below(static_cast<int>(out.size()));
+    switch (rng.Below(4)) {
+      case 0:  // Delete a character.
+        out.erase(pos, 1);
+        break;
+      case 1:  // Insert a character.
+        out.insert(out.begin() + pos, kCharset[rng.Below(static_cast<int>(sizeof(kCharset) - 1))]);
+        break;
+      case 2: {  // Duplicate a short chunk.
+        size_t len = std::min<size_t>(1 + rng.Below(16), out.size() - pos);
+        out.insert(pos, out.substr(pos, len));
+        break;
+      }
+      default: {  // Delete the rest of the line.
+        size_t end = out.find('\n', pos);
+        out.erase(pos, end == std::string::npos ? std::string::npos : end - pos);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace efeu::fuzz

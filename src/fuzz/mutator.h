@@ -1,0 +1,29 @@
+// Mutation mode over existing specs, complementing the from-scratch grammar
+// generator. Two flavors:
+//
+//  - MutateModel: closed mutations over a SpecModel (schedule words nudged to
+//    boundary values, schedule steps duplicated/dropped, expression literals
+//    nudged, loop bounds changed). The result re-renders to a well-formed
+//    spec, so it exercises the differential harness, not the parser.
+//
+//  - MutateText: byte/line-level corruption of rendered spec text, for
+//    frontend robustness — the parser and sema must reject garbage with
+//    diagnostics, never crash.
+
+#ifndef SRC_FUZZ_MUTATOR_H_
+#define SRC_FUZZ_MUTATOR_H_
+
+#include <string>
+
+#include "src/fuzz/rng.h"
+#include "src/fuzz/spec_model.h"
+
+namespace efeu::fuzz {
+
+SpecModel MutateModel(const SpecModel& base, Rng& rng);
+
+std::string MutateText(const std::string& text, Rng& rng);
+
+}  // namespace efeu::fuzz
+
+#endif  // SRC_FUZZ_MUTATOR_H_

@@ -1,0 +1,378 @@
+#include "src/fuzz/spec_model.h"
+
+#include <sstream>
+
+namespace efeu::fuzz {
+
+std::string EsiTypeName(FType type, const std::string& enum_name) {
+  switch (type) {
+    case FType::kBit:
+      return "bit";
+    case FType::kByte:
+      return "u8";
+    case FType::kShort:
+      return "i16";
+    case FType::kEnum:
+      return enum_name;
+  }
+  return "u8";
+}
+
+std::string EsmTypeName(FType type, const std::string& enum_name) {
+  switch (type) {
+    case FType::kBit:
+      return "bit";
+    case FType::kByte:
+      return "byte";
+    case FType::kShort:
+      return "short";
+    case FType::kEnum:
+      return enum_name;
+  }
+  return "byte";
+}
+
+int ChannelSpec::FlatSize() const {
+  int size = 0;
+  for (const FieldSpec& field : fields) {
+    size += field.array_size > 0 ? field.array_size : 1;
+  }
+  return size;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+std::string FExpr::Render() const {
+  switch (kind) {
+    case Kind::kLit:
+      return name.empty() ? std::to_string(lit) : name;
+    case Kind::kVar:
+      return name;
+    case Kind::kElem:
+      return name + "[" + a->Render() + "]";
+    case Kind::kField:
+      return name + "." + field;
+    case Kind::kUnary:
+      return "(" + op + a->Render() + ")";
+    case Kind::kBinary:
+      return "(" + a->Render() + " " + op + " " + b->Render() + ")";
+  }
+  return "0";
+}
+
+std::unique_ptr<FExpr> FExpr::CloneExpr() const {
+  auto copy = std::make_unique<FExpr>();
+  copy->kind = kind;
+  copy->lit = lit;
+  copy->name = name;
+  copy->field = field;
+  copy->op = op;
+  if (a != nullptr) {
+    copy->a = a->CloneExpr();
+  }
+  if (b != nullptr) {
+    copy->b = b->CloneExpr();
+  }
+  return copy;
+}
+
+std::unique_ptr<FExpr> FExpr::Lit(int64_t v) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kLit;
+  e->lit = v;
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::EnumLit(std::string member) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kLit;
+  e->name = std::move(member);
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::Var(std::string name) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::Elem(std::string name, std::unique_ptr<FExpr> index) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kElem;
+  e->name = std::move(name);
+  e->a = std::move(index);
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::Field(std::string base, std::string field) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kField;
+  e->name = std::move(base);
+  e->field = std::move(field);
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::Unary(std::string op, std::unique_ptr<FExpr> a) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kUnary;
+  e->op = std::move(op);
+  e->a = std::move(a);
+  return e;
+}
+
+std::unique_ptr<FExpr> FExpr::Binary(std::string op, std::unique_ptr<FExpr> a,
+                                     std::unique_ptr<FExpr> b) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = Kind::kBinary;
+  e->op = std::move(op);
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+FStmt FStmt::CloneStmt() const {
+  FStmt copy;
+  copy.kind = kind;
+  copy.disabled = disabled;
+  copy.lhs = lhs;
+  copy.index = index != nullptr ? index->CloneExpr() : nullptr;
+  copy.rhs = rhs != nullptr ? rhs->CloneExpr() : nullptr;
+  copy.cond = cond != nullptr ? cond->CloneExpr() : nullptr;
+  for (const FStmt& s : body) {
+    copy.body.push_back(s.CloneStmt());
+  }
+  for (const FStmt& s : else_body) {
+    copy.else_body.push_back(s.CloneStmt());
+  }
+  copy.counter = counter;
+  copy.bound = bound;
+  copy.child = child;
+  copy.result_var = result_var;
+  for (const auto& arg : args) {
+    copy.args.push_back(arg->CloneExpr());
+  }
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+const SpecModel::ChannelDef* SpecModel::FindChannel(const std::string& from,
+                                                    const std::string& to) const {
+  for (const ChannelDef& def : channels) {
+    if (def.from == from && def.to == to) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+SpecModel SpecModel::CloneModel() const {
+  SpecModel copy;
+  copy.seed = seed;
+  copy.enums = enums;
+  copy.channels = channels;
+  copy.stimuli = stimuli;
+  for (const LayerSpec& layer : layers) {
+    LayerSpec layer_copy;
+    layer_copy.name = layer.name;
+    layer_copy.parent = layer.parent;
+    layer_copy.children = layer.children;
+    layer_copy.vars = layer.vars;
+    for (const FStmt& stmt : layer.compute) {
+      layer_copy.compute.push_back(stmt.CloneStmt());
+    }
+    for (const auto& arg : layer.reply_args) {
+      layer_copy.reply_args.push_back(arg->CloneExpr());
+    }
+    copy.layers.push_back(std::move(layer_copy));
+  }
+  return copy;
+}
+
+namespace {
+
+void RenderFields(std::ostringstream& out, const ChannelSpec& channel) {
+  for (const FieldSpec& field : channel.fields) {
+    out << "    " << EsiTypeName(field.type, field.enum_name) << " " << field.name;
+    if (field.array_size > 0) {
+      out << "[" << field.array_size << "]";
+    }
+    out << ";\n";
+  }
+}
+
+void RenderStmts(std::ostringstream& out, const std::vector<FStmt>& stmts,
+                 const std::string& layer, int indent);
+
+void RenderStmt(std::ostringstream& out, const FStmt& stmt, const std::string& layer,
+                int indent) {
+  if (stmt.disabled) {
+    return;
+  }
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (stmt.kind) {
+    case FStmt::Kind::kAssign:
+      out << pad << stmt.lhs << " = " << stmt.rhs->Render() << ";\n";
+      return;
+    case FStmt::Kind::kElemAssign:
+      out << pad << stmt.lhs << "[" << stmt.index->Render() << "] = " << stmt.rhs->Render()
+          << ";\n";
+      return;
+    case FStmt::Kind::kIf:
+      out << pad << "if (" << stmt.cond->Render() << ") {\n";
+      RenderStmts(out, stmt.body, layer, indent + 1);
+      if (!stmt.else_body.empty()) {
+        out << pad << "} else {\n";
+        RenderStmts(out, stmt.else_body, layer, indent + 1);
+      }
+      out << pad << "}\n";
+      return;
+    case FStmt::Kind::kLoop:
+      out << pad << stmt.counter << " = 0;\n";
+      out << pad << "while (" << stmt.counter << " < " << stmt.bound << ") {\n";
+      RenderStmts(out, stmt.body, layer, indent + 1);
+      out << pad << "  " << stmt.counter << " = " << stmt.counter << " + 1;\n";
+      out << pad << "}\n";
+      return;
+    case FStmt::Kind::kAssert:
+      out << pad << "assert(" << stmt.cond->Render() << ");\n";
+      return;
+    case FStmt::Kind::kTalkChild: {
+      out << pad << stmt.result_var << " = " << layer << "Talk" << stmt.child << "(";
+      for (size_t i = 0; i < stmt.args.size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << stmt.args[i]->Render();
+      }
+      out << ");\n";
+      return;
+    }
+  }
+}
+
+void RenderStmts(std::ostringstream& out, const std::vector<FStmt>& stmts,
+                 const std::string& layer, int indent) {
+  for (const FStmt& stmt : stmts) {
+    RenderStmt(out, stmt, layer, indent);
+  }
+}
+
+}  // namespace
+
+std::string SpecModel::RenderEsi() const {
+  std::ostringstream out;
+  out << "// Generated by esmfuzz (seed " << seed << ").\n";
+  out << "layer Env;\n";
+  for (const LayerSpec& layer : layers) {
+    out << "layer " << layer.name << ";\n";
+  }
+  out << "\n";
+  for (const EnumSpec& e : enums) {
+    out << "enum " << e.name << " {\n";
+    for (const std::string& member : e.members) {
+      out << "  " << member << ",\n";
+    }
+    out << "};\n\n";
+  }
+  // Group directed channels into interfaces. Every generated interface is
+  // two-way: parent->child declared "=>", child->parent "<=".
+  for (const ChannelDef& def : channels) {
+    // Emit when this is the "down" direction (its reverse exists later or
+    // earlier); skip the reverse to avoid duplicates.
+    const ChannelDef* reverse = FindChannel(def.to, def.from);
+    if (reverse != nullptr && def.from > def.to && !(def.from == "Env")) {
+      continue;  // handled when visiting the lexicographically smaller pair
+    }
+    // Deterministic: emit each unordered pair exactly once, at its first
+    // appearance in `channels` (generator inserts down then up).
+    bool first_occurrence = true;
+    for (const ChannelDef& other : channels) {
+      if (&other == &def) {
+        break;
+      }
+      if ((other.from == def.from && other.to == def.to) ||
+          (other.from == def.to && other.to == def.from)) {
+        first_occurrence = false;
+        break;
+      }
+    }
+    if (!first_occurrence) {
+      continue;
+    }
+    out << "interface <" << def.from << ", " << def.to << "> {\n";
+    out << "  => {\n";
+    RenderFields(out, def.channel);
+    out << "  }";
+    if (reverse != nullptr) {
+      out << ",\n  <= {\n";
+      RenderFields(out, reverse->channel);
+      out << "  }\n";
+    } else {
+      out << "\n";
+    }
+    out << "};\n\n";
+  }
+  return out.str();
+}
+
+std::string SpecModel::RenderEsm() const {
+  std::ostringstream out;
+  out << "// Generated by esmfuzz (seed " << seed << ").\n";
+  for (const LayerSpec& layer : layers) {
+    out << "void " << layer.name << "() {\n";
+    // Declarations: the parent command struct, one struct per child reply,
+    // then scalar/array locals.
+    out << "  " << layer.parent << "To" << layer.name << " cmd;\n";
+    for (const std::string& child : layer.children) {
+      out << "  " << child << "To" << layer.name << " r_" << child << ";\n";
+    }
+    for (const VarSpec& var : layer.vars) {
+      out << "  " << EsmTypeName(var.type, var.enum_name) << " " << var.name;
+      if (var.array_size > 0) {
+        out << "[" << var.array_size << "]";
+      }
+      out << ";\n";
+    }
+    out << "\n";
+    // Initialize every scalar before first use (array elements are zeroed by
+    // every backend; scalars get explicit boundary-biased literals).
+    for (const VarSpec& var : layer.vars) {
+      if (var.array_size > 0) {
+        continue;
+      }
+      if (var.type == FType::kEnum) {
+        out << "  " << var.name << " = " << var.init_member << ";\n";
+      } else {
+        out << "  " << var.name << " = " << var.init << ";\n";
+      }
+    }
+    out << "\n  end_init:\n";
+    out << "  cmd = " << layer.name << "Read" << layer.parent << "();\n";
+    out << "\n  process:\n";
+    RenderStmts(out, layer.compute, layer.name, 1);
+    out << "\n  end_reply:\n";
+    out << "  cmd = " << layer.name << "Talk" << layer.parent << "(";
+    for (size_t i = 0; i < layer.reply_args.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << layer.reply_args[i]->Render();
+    }
+    out << ");\n";
+    out << "  goto process;\n";
+    out << "}\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace efeu::fuzz

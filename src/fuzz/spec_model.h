@@ -1,0 +1,168 @@
+// The fuzzer's own structural model of a generated specification. The
+// grammar-based generator builds a SpecModel (never raw text), the renderer
+// turns it into ESI/ESM sources, and the minimizer shrinks the model and
+// re-renders — so every spec the fuzzer emits is well-formed by construction
+// and every minimization step stays inside the grammar.
+//
+// Generated systems are closed driver stacks shaped like the paper's: an
+// undefined environment layer `Env` on top, a chain (optionally a small tree)
+// of defined layers L1..Ln below it, every adjacent pair connected by a
+// two-way interface. Each defined layer is a canonical server loop —
+//   end_init: cmd = <L>Read<Parent>(); process: ...; end_reply:
+//   cmd = <L>Talk<Parent>(...); goto process;
+// — which is exactly the communication shape all four execution targets
+// (checker, VM, RTL simulation, generated C) support, so scheduling freedom
+// never makes the observable trace ambiguous (the system is a Kahn network).
+
+#ifndef SRC_FUZZ_SPEC_MODEL_H_
+#define SRC_FUZZ_SPEC_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace efeu::fuzz {
+
+// Value types the generator uses. Deliberately excludes i32 so that bounded
+// expression depth keeps every intermediate inside int32 (no UB in the
+// generated C, identical wrap semantics everywhere).
+enum class FType { kBit, kByte, kShort, kEnum };
+
+// Spelling in ESI field declarations ("bit", "u8", "i16", or the enum name).
+std::string EsiTypeName(FType type, const std::string& enum_name);
+// Spelling in ESM variable declarations ("bit", "byte", "short", enum name).
+std::string EsmTypeName(FType type, const std::string& enum_name);
+
+struct FieldSpec {
+  std::string name;
+  FType type = FType::kByte;
+  std::string enum_name;  // when type == kEnum
+  int array_size = 0;     // 0 = scalar
+};
+
+struct ChannelSpec {
+  std::vector<FieldSpec> fields;
+  int FlatSize() const;
+};
+
+struct EnumSpec {
+  std::string name;
+  std::vector<std::string> members;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions. A small tree; `Render` prints ESM syntax.
+// ---------------------------------------------------------------------------
+
+struct FExpr {
+  enum class Kind {
+    kLit,     // integer literal
+    kVar,     // scalar variable
+    kElem,    // array variable element: name[index]
+    kField,   // struct_var.field (scalar field)
+    kUnary,   // op a
+    kBinary,  // a op b
+  };
+  Kind kind = Kind::kLit;
+  int64_t lit = 0;
+  std::string name;   // var / struct var / enum member spelling for kLit enums
+  std::string field;  // kField
+  std::string op;     // kUnary/kBinary spelling ("+", "<<", "==", ...)
+  std::unique_ptr<FExpr> a;
+  std::unique_ptr<FExpr> b;
+
+  std::string Render() const;
+  std::unique_ptr<FExpr> CloneExpr() const;
+
+  static std::unique_ptr<FExpr> Lit(int64_t v);
+  static std::unique_ptr<FExpr> EnumLit(std::string member);
+  static std::unique_ptr<FExpr> Var(std::string name);
+  static std::unique_ptr<FExpr> Elem(std::string name, std::unique_ptr<FExpr> index);
+  static std::unique_ptr<FExpr> Field(std::string base, std::string field);
+  static std::unique_ptr<FExpr> Unary(std::string op, std::unique_ptr<FExpr> a);
+  static std::unique_ptr<FExpr> Binary(std::string op, std::unique_ptr<FExpr> a,
+                                       std::unique_ptr<FExpr> b);
+};
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+struct FStmt {
+  enum class Kind {
+    kAssign,     // lhs = rhs;
+    kElemAssign, // lhs[index] = rhs;
+    kIf,         // if (cond) { body } [else { else_body }]
+    kLoop,       // counter = 0; while (counter < bound) { body; counter++; }
+    kAssert,     // assert(cond);
+    kTalkChild,  // result_var = <L>Talk<child>(args...);
+  };
+  Kind kind = Kind::kAssign;
+  // The minimizer flips this to skip the statement (and its subtree) when
+  // rendering; keeping the node preserves stable handles across attempts.
+  bool disabled = false;
+
+  std::string lhs;                // kAssign/kElemAssign target variable
+  std::unique_ptr<FExpr> index;   // kElemAssign
+  std::unique_ptr<FExpr> rhs;     // kAssign/kElemAssign
+  std::unique_ptr<FExpr> cond;    // kIf/kAssert
+  std::vector<FStmt> body;        // kIf then / kLoop body
+  std::vector<FStmt> else_body;   // kIf
+  std::string counter;            // kLoop counter variable
+  int bound = 0;                  // kLoop iteration count
+  std::string child;              // kTalkChild peer layer
+  std::string result_var;         // kTalkChild result struct variable
+  std::vector<std::unique_ptr<FExpr>> args;  // kTalkChild arguments
+
+  FStmt CloneStmt() const;
+};
+
+// ---------------------------------------------------------------------------
+// Layers and the whole model.
+// ---------------------------------------------------------------------------
+
+struct VarSpec {
+  std::string name;
+  FType type = FType::kByte;
+  std::string enum_name;
+  int array_size = 0;
+  int64_t init = 0;           // initial literal assigned before end_init
+  std::string init_member;    // enum member spelling when type == kEnum
+};
+
+struct LayerSpec {
+  std::string name;
+  std::string parent;                  // "Env" for the entry layer
+  std::vector<std::string> children;   // defined layers this one talks to
+  std::vector<VarSpec> vars;           // scalar/array locals (all initialized)
+  std::vector<FStmt> compute;          // statements between read and reply
+  std::vector<std::unique_ptr<FExpr>> reply_args;  // <L>Talk<Parent> arguments
+};
+
+struct SpecModel {
+  uint64_t seed = 0;
+  std::vector<EnumSpec> enums;
+  // Directed channels keyed "<From>-><To>"; rendered grouped per interface.
+  struct ChannelDef {
+    std::string from;
+    std::string to;
+    ChannelSpec channel;
+  };
+  std::vector<ChannelDef> channels;
+  std::vector<LayerSpec> layers;  // entry first
+  // Deterministic event schedule: one pre-truncated flattened Env->entry
+  // message per step.
+  std::vector<std::vector<int32_t>> stimuli;
+
+  const ChannelDef* FindChannel(const std::string& from, const std::string& to) const;
+  SpecModel CloneModel() const;
+
+  // Renders the ESI and ESM sources.
+  std::string RenderEsi() const;
+  std::string RenderEsm() const;
+};
+
+}  // namespace efeu::fuzz
+
+#endif  // SRC_FUZZ_SPEC_MODEL_H_

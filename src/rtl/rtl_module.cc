@@ -131,47 +131,55 @@ void RtlModule::Evaluate() {
     return;
   }
 
-  // Run the segment's plain instructions (blocking assignments).
+  // The segment's plain instructions (blocking assignments). For a segment
+  // ended by a handshake the body must run exactly once — on the entry
+  // cycle, when the registered valid/ready is still low — and not again on
+  // the wait or completion cycles; re-running it every cycle repeats its
+  // side effects (found by differential fuzzing: `v = v + 14;` before a
+  // talk incremented once per wait cycle). Mirrors the generated Verilog.
   auto& frame = next_frame_;
-  for (int i = segment.first; i < segment.last; ++i) {
-    const ir::Inst& inst = block.insts[i];
-    switch (inst.op) {
-      case ir::Opcode::kConst:
-        frame[inst.dst] = inst.type.Truncate(inst.imm);
-        break;
-      case ir::Opcode::kCopy:
-        frame[inst.dst] = inst.type.Truncate(frame[inst.a]);
-        break;
-      case ir::Opcode::kUnOp:
-        frame[inst.dst] = EvalUnOp(inst.unop, frame[inst.a]);
-        break;
-      case ir::Opcode::kBinOp:
-        frame[inst.dst] = EvalBinOp(inst.binop, frame[inst.a], frame[inst.b]);
-        break;
-      case ir::Opcode::kLoadIdx: {
-        int32_t index = frame[inst.b];
-        frame[inst.dst] =
-            (index >= 0 && index < inst.imm) ? inst.type.Truncate(frame[inst.a + index]) : 0;
-        break;
-      }
-      case ir::Opcode::kStoreIdx: {
-        int32_t index = frame[inst.b];
-        if (index >= 0 && index < inst.imm) {
-          frame[inst.dst + index] = inst.type.Truncate(frame[inst.a]);
+  auto run_body = [&]() {
+    for (int i = segment.first; i < segment.last; ++i) {
+      const ir::Inst& inst = block.insts[i];
+      switch (inst.op) {
+        case ir::Opcode::kConst:
+          frame[inst.dst] = inst.type.Truncate(inst.imm);
+          break;
+        case ir::Opcode::kCopy:
+          frame[inst.dst] = inst.type.Truncate(frame[inst.a]);
+          break;
+        case ir::Opcode::kUnOp:
+          frame[inst.dst] = EvalUnOp(inst.unop, frame[inst.a]);
+          break;
+        case ir::Opcode::kBinOp:
+          frame[inst.dst] = EvalBinOp(inst.binop, frame[inst.a], frame[inst.b]);
+          break;
+        case ir::Opcode::kLoadIdx: {
+          int32_t index = frame[inst.b];
+          frame[inst.dst] =
+              (index >= 0 && index < inst.imm) ? inst.type.Truncate(frame[inst.a + index]) : 0;
+          break;
         }
-        break;
+        case ir::Opcode::kStoreIdx: {
+          int32_t index = frame[inst.b];
+          if (index >= 0 && index < inst.imm) {
+            frame[inst.dst + index] = inst.type.Truncate(frame[inst.a]);
+          }
+          break;
+        }
+        case ir::Opcode::kAssert:
+        case ir::Opcode::kNondet:
+          // Checked by the model checker; not synthesizable behaviour.
+          break;
+        default:
+          assert(false && "unexpected instruction in segment body");
+          break;
       }
-      case ir::Opcode::kAssert:
-      case ir::Opcode::kNondet:
-        // Checked by the model checker; not synthesizable behaviour.
-        break;
-      default:
-        assert(false && "unexpected instruction in segment body");
-        break;
     }
-  }
+  };
 
   if (segment.ender < 0) {
+    run_body();
     next_segment_ = segment_ + 1;
     ++busy_cycles_;
     return;
@@ -187,7 +195,9 @@ void RtlModule::Evaluate() {
         port.next_valid = false;
         next_segment_ = segment_ + 1;
         ++busy_cycles_;
-      } else {
+      } else if (!port.out_valid) {
+        // Entry cycle: run the body once, stage the data, raise valid.
+        run_body();
         for (int w = 0; w < inst.count; ++w) {
           port.next_data[w] = frame[inst.a + w];
         }
@@ -204,21 +214,26 @@ void RtlModule::Evaluate() {
         }
         next_in_recv_deassert_ = true;
         ++busy_cycles_;
-      } else {
+      } else if (!port.out_ready) {
+        // Entry cycle: body once, then raise ready and wait.
+        run_body();
         port.next_ready = true;
       }
       break;
     }
     case ir::Opcode::kJump:
+      run_body();
       next_segment_ = segmentation_.block_entry[inst.target];
       ++busy_cycles_;
       break;
     case ir::Opcode::kBranch:
+      run_body();
       next_segment_ = frame[inst.a] != 0 ? segmentation_.block_entry[inst.target]
                                          : segmentation_.block_entry[inst.target2];
       ++busy_cycles_;
       break;
     case ir::Opcode::kHalt:
+      run_body();
       halted_ = true;
       break;
     default:

@@ -5,6 +5,7 @@
 #ifndef SRC_RTL_RTL_MODULE_H_
 #define SRC_RTL_RTL_MODULE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,9 @@ class RtlModule : public RtlComponent {
   bool halted() const { return halted_; }
   // Cumulative clock cycles in which the FSM did useful (non-waiting) work.
   uint64_t busy_cycles() const { return busy_cycles_; }
+  // Committed frame contents (differential comparison against the VM/checker
+  // frames; layouts are identical because both execute the same ir::Module).
+  std::span<const int32_t> frame() const { return frame_; }
 
   void Reset();
 

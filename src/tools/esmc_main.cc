@@ -13,8 +13,9 @@
 //   esmc --builtin-i2c controller --emit verilog
 //   esmc --builtin-i2c responder --emit promela
 //
-// Exit codes: 0 success, 1 compile/read error, 2 usage error, 3 lint
-// findings at error severity (--lint=Werror escalates warnings).
+// Exit codes: 0 success, 1 file read error, 2 usage or parse/sema error,
+// 3 lint findings at error severity (--lint=Werror escalates warnings).
+// Regression-tested across all --emit modes by tests/test_fuzz.cc.
 
 #include <cstdio>
 #include <cstring>
@@ -212,7 +213,10 @@ int main(int argc, char** argv) {
   }
   if (compilation == nullptr) {
     std::fprintf(stderr, "%s\n", diag.RenderAll().c_str());
-    return 1;
+    // Same code as a usage error: the input (not the environment) is bad.
+    // Build systems distinguish "fix the spec" (2/3) from "fix the
+    // invocation or filesystem" (1) — see tests/test_fuzz.cc.
+    return 2;
   }
 
   // ---- Lint / analysis dump -------------------------------------------

@@ -58,6 +58,9 @@ bool System::TryTransfer() {
     }
     std::vector<int32_t> message(sender.pending_message().begin(),
                                  sender.pending_message().end());
+    if (observer_) {
+      observer_(PortRef{static_cast<int>(p), port}, *link, message);
+    }
     sender.CompleteSend();
     receiver.CompleteRecv(message);
     return true;

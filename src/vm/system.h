@@ -9,6 +9,7 @@
 #ifndef SRC_VM_SYSTEM_H_
 #define SRC_VM_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -80,6 +81,15 @@ class System {
     error_.clear();
   }
 
+  // Observes every internal rendezvous transfer: the sender/receiver port
+  // refs and the transferred message, invoked before the endpoints advance.
+  // Used by the differential fuzz harness to compare per-channel message
+  // sequences across execution targets. External deliveries (DeliverMessage/
+  // TakeMessage) are not reported; the host already sees those.
+  using TransferObserver =
+      std::function<void(PortRef sender, PortRef receiver, std::span<const int32_t> message)>;
+  void SetTransferObserver(TransferObserver observer) { observer_ = std::move(observer); }
+
   // Total instructions executed across all processes (cost accounting).
   uint64_t TotalSteps() const;
 
@@ -99,6 +109,7 @@ class System {
 
   std::vector<ProcessEntry> processes_;
   std::string error_;
+  TransferObserver observer_;
 };
 
 }  // namespace efeu::vm
