@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "src/analysis/cfg.h"
+#include "src/ir/opcode_info.h"
 
 namespace efeu::analysis {
 
@@ -100,6 +101,12 @@ Interval TruncateInterval(const Interval& v, const Type& type) {
 }
 
 Interval EvalUnOpInterval(esm::UnaryOp op, const Interval& a) {
+  // Exact operands fold through the shared scalar evaluator
+  // (src/ir/opcode_info.h), so singleton results agree bit-for-bit with every
+  // execution tier instead of re-deriving each operator's arithmetic here.
+  if (a.IsExact()) {
+    return Interval::Exact(ir::EvalUnOp(op, static_cast<int32_t>(a.lo)));
+  }
   switch (op) {
     case esm::UnaryOp::kPlus:
       return a;
@@ -138,6 +145,15 @@ Interval Bool01(bool definitely_true, bool definitely_false) {
 }  // namespace
 
 Interval EvalBinOpInterval(esm::BinaryOp op, const Interval& a, const Interval& b) {
+  // Exact operands: fold via the shared scalar evaluator. Division/modulo by
+  // an exact zero stays partial (a checker-visible runtime error, not a
+  // value) and falls through to the conservative per-operator handling.
+  if (a.IsExact() && b.IsExact()) {
+    int32_t folded = 0;
+    if (ir::EvalBinOp(op, static_cast<int32_t>(a.lo), static_cast<int32_t>(b.lo), &folded)) {
+      return Interval::Exact(folded);
+    }
+  }
   switch (op) {
     case esm::BinaryOp::kAdd:
       return ClampWrap(a.lo + b.lo, a.hi + b.hi);

@@ -2,63 +2,15 @@
 
 #include <cassert>
 
+#include "src/ir/opcode_info.h"
+
 namespace efeu::codegen {
 
-const char* UnaryOpSpelling(esm::UnaryOp op) {
-  switch (op) {
-    case esm::UnaryOp::kPlus:
-      return "+";
-    case esm::UnaryOp::kNegate:
-      return "-";
-    case esm::UnaryOp::kBitNot:
-      return "~";
-    case esm::UnaryOp::kLogicalNot:
-      return "!";
-  }
-  return "?";
-}
+// Delegates to the shared opcode table (src/ir/opcode_info.h) so every
+// printer and execution tier agrees on one spelling per operator.
+const char* UnaryOpSpelling(esm::UnaryOp op) { return ir::UnaryOpSpelling(op); }
 
-const char* BinaryOpSpelling(esm::BinaryOp op) {
-  switch (op) {
-    case esm::BinaryOp::kMul:
-      return "*";
-    case esm::BinaryOp::kDiv:
-      return "/";
-    case esm::BinaryOp::kMod:
-      return "%";
-    case esm::BinaryOp::kAdd:
-      return "+";
-    case esm::BinaryOp::kSub:
-      return "-";
-    case esm::BinaryOp::kShl:
-      return "<<";
-    case esm::BinaryOp::kShr:
-      return ">>";
-    case esm::BinaryOp::kLt:
-      return "<";
-    case esm::BinaryOp::kGt:
-      return ">";
-    case esm::BinaryOp::kLe:
-      return "<=";
-    case esm::BinaryOp::kGe:
-      return ">=";
-    case esm::BinaryOp::kEq:
-      return "==";
-    case esm::BinaryOp::kNe:
-      return "!=";
-    case esm::BinaryOp::kBitAnd:
-      return "&";
-    case esm::BinaryOp::kBitXor:
-      return "^";
-    case esm::BinaryOp::kBitOr:
-      return "|";
-    case esm::BinaryOp::kLogicalAnd:
-      return "&&";
-    case esm::BinaryOp::kLogicalOr:
-      return "||";
-  }
-  return "?";
-}
+const char* BinaryOpSpelling(esm::BinaryOp op) { return ir::BinaryOpSpelling(op); }
 
 namespace {
 

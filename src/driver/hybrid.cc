@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <span>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
 
 #include "src/i2c/codes.h"
 #include "src/i2c/stack.h"
@@ -9,6 +16,55 @@
 namespace efeu::driver {
 
 namespace {
+
+// Host-time source for the vm-host cost counter. One VM slice per boundary
+// pump is tens of nanoseconds, so the timer must be cheap relative to the
+// quantity it measures: on x86 rdtsc costs about half a steady_clock::now()
+// pair. Ticks convert to seconds through a once-per-process calibration
+// against steady_clock (invariant TSC keeps the rate stable).
+#if defined(__x86_64__) || defined(__i386__)
+uint64_t HostTicks() { return __rdtsc(); }
+
+double TicksPerSecond() {
+  static const double rate = [] {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const uint64_t tick_start = HostTicks();
+    // 2 ms keeps the calibration error well under 1% and is paid once per
+    // process, outside any timed region.
+    while (std::chrono::steady_clock::now() - wall_start < std::chrono::milliseconds(2)) {
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    return static_cast<double>(HostTicks() - tick_start) / seconds;
+  }();
+  return rate;
+}
+#else
+uint64_t HostTicks() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+double TicksPerSecond() { return 1e9; }
+#endif
+
+// Smallest observable cost of an empty HostTicks() pair: the timer latency
+// that lands inside every timed interval. Calibrated once per process; the
+// minimum over many trials is interference-free, so subtracting it never
+// over-corrects.
+uint64_t TimerBias() {
+  static const uint64_t bias = [] {
+    uint64_t best = ~uint64_t{0};
+    for (int i = 0; i < 4096; ++i) {
+      const uint64_t start = HostTicks();
+      const uint64_t stop = HostTicks();
+      best = std::min(best, stop - start);
+    }
+    return best;
+  }();
+  return bias;
+}
 
 // Controller layers, top to bottom.
 const char* kLayers[] = {"CEepDriver", "CTransaction", "CByte", "CSymbol"};
@@ -46,6 +102,26 @@ const char* SplitPointName(SplitPoint split) {
       return "EepDriver";
   }
   return "?";
+}
+
+std::string FormatExecCounters(const DriverMetrics& metrics) {
+  std::string out;
+  auto field = [&out](const char* name, uint64_t value) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("instr_retired", metrics.instructions_retired);
+  field("mmio_bursts", metrics.mmio_bursts);
+  field("irqs_coalesced", metrics.irqs_coalesced);
+  field("irqs", metrics.irq_count);
+  char host[48];
+  std::snprintf(host, sizeof(host), " vm_host_ms=%.3f", metrics.vm_host_seconds * 1e3);
+  out += host;
+  return out;
 }
 
 HybridDriver::HybridDriver(const HybridConfig& config)
@@ -188,8 +264,10 @@ HybridDriver::HybridDriver(const HybridConfig& config)
     int bottom = procs.back();
     boundary_down_ = sw_.FindPort(bottom, down_channel, /*is_send=*/true);
     boundary_up_ = sw_.FindPort(bottom, up_channel, /*is_send=*/false);
+    sw_.SetExecMode(config_.exec_mode);
+    sw_.Precompile();
     // Let every layer reach its initial blocking point (startup, not timed).
-    sw_.Run();
+    RunSw();
     last_sw_steps_ = sw_.TotalSteps();
   }
   // Let the hardware reach its initial handshakes.
@@ -200,6 +278,22 @@ HybridDriver::HybridDriver(const HybridConfig& config)
 
 HybridDriver::~HybridDriver() = default;
 
+vm::SystemState HybridDriver::RunSw() {
+  // A boundary-pump slice retires ~10 IR instructions, so the timer pair's
+  // own latency is a sizeable fraction of the quantity under measurement;
+  // subtracting the calibrated empty-pair cost removes that inclusion bias
+  // (min-based calibration cannot over-subtract).
+  const uint64_t start = HostTicks();
+  vm::SystemState state = sw_.Run();
+  const uint64_t delta = HostTicks() - start;
+  vm_host_ticks_ += delta - std::min(delta, TimerBias());
+  return state;
+}
+
+double HybridDriver::vm_host_seconds() const {
+  return static_cast<double>(vm_host_ticks_) / TicksPerSecond();
+}
+
 double HybridDriver::now_ns() const { return std::max(sw_time_ns_, rtl_.time_ns()); }
 
 void HybridDriver::SyncRtl() { rtl_.TickUntil(sw_time_ns_); }
@@ -207,6 +301,10 @@ void HybridDriver::SyncRtl() { rtl_.TickUntil(sw_time_ns_); }
 void HybridDriver::Busy(double ns) {
   sw_time_ns_ += ns;
   cpu_busy_ns_ += ns;
+}
+
+double HybridDriver::BurstCost(double first_ns, int words) const {
+  return first_ns + config_.timing.mmio_burst_word_ns * static_cast<double>(std::max(0, words - 1));
 }
 
 void HybridDriver::Idle(double ns) {
@@ -241,6 +339,25 @@ bool HybridDriver::WaitUpMessage() {
           shadow_->OnWaitTimeout();
         }
         return false;
+      }
+    }
+  }
+  // Interrupt coalescing: within the drain window after the last real IRQ
+  // the driver polls instead of sleeping, so a burst of boundary messages
+  // pays one interrupt. The window is bounded — if it expires empty, the
+  // driver re-arms the sleeping wait below, so monitor detection latency is
+  // bounded by irq_coalesce_window_ns plus the normal interrupt path.
+  if (config_.irq_coalesce_window_ns > 0 && now_ns() <= irq_drain_deadline_ns_) {
+    int corrupt = fault_plan_.Consult(sim::FaultKind::kCorruptedMmioRead);
+    while (now_ns() <= irq_drain_deadline_ns_) {
+      Busy(config_.timing.mmio_read_ns);
+      SyncRtl();
+      if (regfile_->UpFull()) {
+        if (corrupt == 0) {
+          ++irqs_coalesced_;
+          return true;
+        }
+        --corrupt;
       }
     }
   }
@@ -295,12 +412,16 @@ bool HybridDriver::WaitUpMessage() {
     }
     return false;
   }
-  return regfile_->UpFull();
+  if (regfile_->UpFull()) {
+    irq_drain_deadline_ns_ = now_ns() + config_.irq_coalesce_window_ns;
+    return true;
+  }
+  return false;
 }
 
 bool HybridDriver::PumpOnce() {
   if (!sw_empty_) {
-    vm::SystemState state = sw_.Run();
+    vm::SystemState state = RunSw();
     assert(state != vm::SystemState::kFailed);
     (void)state;
     uint64_t steps = sw_.TotalSteps();
@@ -320,10 +441,17 @@ bool HybridDriver::PumpOnce() {
       // In the talk protocol the previous send was necessarily consumed
       // before its reply arrived, so no valid-flag readback is needed.
       assert(config_.ablate_no_auto_reset || !regfile_->DownPending());
-      for (int i = 0; i < down_words_; ++i) {
-        Busy(config_.timing.mmio_write_ns);
+      if (config_.mmio_bursts && down_words_ > 1) {
+        Busy(BurstCost(config_.timing.mmio_write_ns, down_words_));
         SyncRtl();
-        regfile_->WriteDownWord(i, (*msg)[i]);
+        regfile_->WriteDown(*msg);
+        ++mmio_bursts_;
+      } else {
+        for (int i = 0; i < down_words_; ++i) {
+          Busy(config_.timing.mmio_write_ns);
+          SyncRtl();
+          regfile_->WriteDownWord(i, (*msg)[i]);
+        }
       }
       Busy(config_.timing.mmio_write_ns);
       SyncRtl();
@@ -348,10 +476,22 @@ bool HybridDriver::PumpOnce() {
         pump_dead_ = true;
         return true;
       }
-      std::vector<int32_t> msg(up_words_);
-      for (int i = 0; i < up_words_; ++i) {
-        Busy(config_.timing.mmio_read_ns);
-        msg[i] = regfile_->ReadUpWord(i);
+      // With bursts the span aliases the latch registers straight through
+      // shadow checking and channel delivery (no intermediate copy); the
+      // latch cannot be overwritten before the next ArmUp().
+      std::span<const int32_t> msg;
+      std::vector<int32_t> copy;
+      if (config_.mmio_bursts && up_words_ > 1) {
+        Busy(BurstCost(config_.timing.mmio_read_ns, up_words_));
+        msg = regfile_->ReadUp();
+        ++mmio_bursts_;
+      } else {
+        copy.resize(up_words_);
+        for (int i = 0; i < up_words_; ++i) {
+          Busy(config_.timing.mmio_read_ns);
+          copy[i] = regfile_->ReadUpWord(i);
+        }
+        msg = copy;
       }
       SyncRtl();
       regfile_->ConsumeUp();
@@ -376,10 +516,17 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
     // Whole stack in hardware: the application performs the MMIO itself.
     Busy(config_.timing.op_setup_ns);
     assert(config_.ablate_no_auto_reset || !regfile_->DownPending());
-    for (int i = 0; i < down_words_; ++i) {
-      Busy(config_.timing.mmio_write_ns);
+    if (config_.mmio_bursts && down_words_ > 1) {
+      Busy(BurstCost(config_.timing.mmio_write_ns, down_words_));
       SyncRtl();
-      regfile_->WriteDownWord(i, request[i]);
+      regfile_->WriteDown(request);
+      ++mmio_bursts_;
+    } else {
+      for (int i = 0; i < down_words_; ++i) {
+        Busy(config_.timing.mmio_write_ns);
+        SyncRtl();
+        regfile_->WriteDownWord(i, request[i]);
+      }
     }
     Busy(config_.timing.mmio_write_ns);
     SyncRtl();
@@ -399,9 +546,16 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
       return false;
     }
     reply->resize(up_words_);
-    for (int i = 0; i < up_words_; ++i) {
-      Busy(config_.timing.mmio_read_ns);
-      (*reply)[i] = regfile_->ReadUpWord(i);
+    if (config_.mmio_bursts && up_words_ > 1) {
+      Busy(BurstCost(config_.timing.mmio_read_ns, up_words_));
+      std::span<const int32_t> up = regfile_->ReadUp();
+      std::copy(up.begin(), up.end(), reply->begin());
+      ++mmio_bursts_;
+    } else {
+      for (int i = 0; i < up_words_; ++i) {
+        Busy(config_.timing.mmio_read_ns);
+        (*reply)[i] = regfile_->ReadUpWord(i);
+      }
     }
     SyncRtl();
     regfile_->ConsumeUp();
@@ -414,7 +568,7 @@ bool HybridDriver::RunOperation(const std::vector<int32_t>& request,
   }
 
   // Let the top layer return to its request-receive point first.
-  sw_.Run();
+  RunSw();
   bool delivered = sw_.DeliverMessage(top_in_, request);
   assert(delivered && "stack not ready for a new operation");
   (void)delivered;
@@ -510,11 +664,12 @@ void HybridDriver::SoftReset() {
   // initial blocking point (startup, not timed).
   if (!sw_empty_) {
     sw_.Reset();
-    sw_.Run();
+    RunSw();
     last_sw_steps_ = sw_.TotalSteps();
   }
   wedged_ = false;
   pump_dead_ = false;
+  irq_drain_deadline_ns_ = 0;
   last_status_ = i2c::kCeResOk;
   // One SOFT_RESET register write, then let the hardware settle into its
   // initial handshakes again.
@@ -618,6 +773,10 @@ DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
   double start_busy = cpu_busy_ns_;
   double start_time = now_ns();
   uint64_t start_irqs = irq_count_;
+  uint64_t start_steps = sw_.TotalSteps();
+  uint64_t start_bursts = mmio_bursts_;
+  uint64_t start_coalesced = irqs_coalesced_;
+  const uint64_t start_vm_host_ticks = vm_host_ticks_;
   for (int i = 0; i < ops; ++i) {
     if (!Read(0, length, &data)) {
       metrics.functional = false;
@@ -628,6 +787,11 @@ DriverMetrics HybridDriver::MeasureReads(int ops, int length) {
   metrics.elapsed_ns = now_ns() - start_time;
   metrics.cpu_usage = (cpu_busy_ns_ - start_busy) / metrics.elapsed_ns;
   metrics.irq_count = irq_count_ - start_irqs;
+  metrics.instructions_retired = sw_.TotalSteps() - start_steps;
+  metrics.mmio_bursts = mmio_bursts_ - start_bursts;
+  metrics.irqs_coalesced = irqs_coalesced_ - start_coalesced;
+  metrics.vm_host_seconds =
+      static_cast<double>(vm_host_ticks_ - start_vm_host_ticks) / TicksPerSecond();
   metrics.frequency = sim::AnalyzeSclFrequency(bus_.samples());
   metrics.recovery = recovery_counters_;
   metrics.faults_injected = fault_plan_.faults_injected();

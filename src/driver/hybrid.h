@@ -47,6 +47,22 @@ const char* SplitPointName(SplitPoint split);
 struct HybridConfig {
   SplitPoint split = SplitPoint::kByte;
   bool interrupt_driven = false;
+  // Execution tier for the software layers above the split (src/vm/
+  // exec_mode.h): interp / threaded / compiled. Semantics are identical
+  // across tiers; only the per-instruction dispatch cost on the host — and
+  // therefore bench wall-time, not the modeled timeline — changes.
+  vm::ExecMode exec_mode = vm::ExecMode::kInterp;
+  // Batch the hybrid boundary: move adjacent MMIO data words as one AXI
+  // burst (first beat at full cost, later beats at mmio_burst_word_ns)
+  // instead of one bus transaction per word. The doorbell/ready writes stay
+  // separate accesses, so every boundary fault point is preserved.
+  bool mmio_bursts = false;
+  // Interrupt coalescing: after an IRQ-driven wakeup the driver keeps
+  // polling the status register for this long before re-arming the sleeping
+  // wait, so back-to-back up-messages ride one interrupt. The window bounds
+  // the extra latency of the monitors' view: the shadow checker still sees
+  // every message no later than the drain deadline. 0 disables.
+  double irq_coalesce_window_ns = 0.0;
   TimingModel timing;
   // Modeled EEPROM (the responder on the bus).
   sim::EepromConfig eeprom;
@@ -79,6 +95,14 @@ struct DriverMetrics {
   double cpu_usage = 0;  // busy fraction of one core (0..1)
   double elapsed_ns = 0;
   uint64_t irq_count = 0;
+  // Execution-path counters (DESIGN.md "Execution modes").
+  uint64_t instructions_retired = 0;  // software-VM IR instructions executed
+  uint64_t mmio_bursts = 0;           // word loops replaced by one AXI burst
+  uint64_t irqs_coalesced = 0;        // up-messages drained without a new IRQ
+  // Host wall-clock spent inside the software VM (the part the execution
+  // tier accelerates; everything else — RTL sim, bus model — is shared).
+  // Instruction throughput = instructions_retired / vm_host_seconds.
+  double vm_host_seconds = 0;
   // Recovery cost of the whole driver lifetime so far.
   RecoveryCounters recovery;
   uint64_t faults_injected = 0;
@@ -86,6 +110,10 @@ struct DriverMetrics {
   // zeros when monitors are disabled.
   monitor::TripCounters monitor;
 };
+
+// One-line execution-path counter summary ("instr_retired=... mmio_bursts=..."
+// style, like FormatRecoveryCounters) for bench output and soak reports.
+std::string FormatExecCounters(const DriverMetrics& metrics);
 
 class HybridDriver {
  public:
@@ -123,6 +151,15 @@ class HybridDriver {
   double now_ns() const;
   double cpu_busy_ns() const { return cpu_busy_ns_; }
   uint64_t irq_count() const { return irq_count_; }
+  uint64_t mmio_bursts() const { return mmio_bursts_; }
+  uint64_t irqs_coalesced() const { return irqs_coalesced_; }
+  // Cumulative IR instructions executed by the software layers.
+  uint64_t instructions_retired() const { return sw_.TotalSteps(); }
+  // Configured execution tier for the software layers (the effective tier
+  // degrades to threaded when the compiled tier is unavailable).
+  vm::ExecMode exec_mode() const { return sw_.exec_mode(); }
+  // Cumulative host wall-clock spent inside the software VM.
+  double vm_host_seconds() const;
   // The live fault plan (the driver's own copy of config.fault_plan; its
   // trace grows as faults fire).
   sim::FaultPlan& fault_plan() { return fault_plan_; }
@@ -143,6 +180,10 @@ class HybridDriver {
   const monitor::ShadowChecker* shadow_checker() const { return shadow_.get(); }
   const monitor::BusWatcher* bus_watcher() const { return watcher_.get(); }
 
+  // The software stack's VM, exposed for instrumentation (trace recording,
+  // observers). Mutating its processes mid-operation voids the warranty.
+  vm::System& software_system() { return sw_; }
+
   // The modules placed in hardware for this split (resource estimation).
   std::vector<const ir::Module*> HardwareModules() const;
   // Boundary message sizes in 32-bit words (MMIO register file sizing).
@@ -151,10 +192,19 @@ class HybridDriver {
   const ir::Compilation& compilation() const { return *compilation_; }
 
  private:
+  // Runs the software stack, accumulating host time into vm_host_ticks_
+  // (the tier-sensitive share of driver cost). Timed with the cheapest
+  // monotonic source available (rdtsc on x86): one VM slice per boundary
+  // pump is tens of nanoseconds, so a steady_clock pair would be a
+  // measurable fraction of the quantity under measurement.
+  vm::SystemState RunSw();
   // Advances the RTL domain to the software timeline.
   void SyncRtl();
   // Adds busy CPU time (also advances the software clock).
   void Busy(double ns);
+  // Modeled cost of an AXI burst of `words` beats whose first beat costs
+  // `first_ns` (single-access cost) and later beats pipeline.
+  double BurstCost(double first_ns, int words) const;
   // Advances wall time without CPU work (sleeping between retries); the
   // hardware — including a device write cycle — keeps running.
   void Idle(double ns);
@@ -200,7 +250,12 @@ class HybridDriver {
 
   double sw_time_ns_ = 0;
   double cpu_busy_ns_ = 0;
+  uint64_t vm_host_ticks_ = 0;
   uint64_t irq_count_ = 0;
+  uint64_t mmio_bursts_ = 0;
+  uint64_t irqs_coalesced_ = 0;
+  // End of the post-IRQ polled drain window (interrupt coalescing).
+  double irq_drain_deadline_ns_ = 0;
   int down_words_ = 0;
   int up_words_ = 0;
 

@@ -22,6 +22,9 @@ struct TimingModel {
   // Posted MMIO write / blocking MMIO read over AXI into the PL.
   double mmio_write_ns = 130.0;
   double mmio_read_ns = 420.0;
+  // Pipelined beat cost within one AXI burst (HybridConfig::mmio_bursts):
+  // the first beat pays the full single-access cost, each further beat this.
+  double mmio_burst_word_ns = 30.0;
   // GPIO register access via the Linux gpiod path (bit-banging baseline);
   // includes the spinlock-polled wait the kernel driver uses.
   double gpio_write_ns = 400.0;

@@ -74,13 +74,19 @@ const ir::Module* FindEntryModule(const ir::Compilation& compilation) {
 // ---------------------------------------------------------------------------
 
 TargetTrace RunVmTarget(const ir::Compilation& compilation, const std::string& entry,
-                        const Stimuli& stimuli) {
+                        const Stimuli& stimuli,
+                        vm::ExecMode mode = vm::ExecMode::kInterp) {
   TargetTrace trace;
   vm::System system;
+  system.SetExecMode(mode);
   std::map<std::string, int> pid;
   for (const ir::Module& module : compilation.modules()) {
     pid[module.layer_name] = system.AddProcess(&module, module.layer_name);
   }
+  // One compiler invocation for the whole spec instead of one per module;
+  // results land in the content-addressed artifact cache, so fuzz iterations
+  // that regenerate an identical module reuse the shared object.
+  system.Precompile();
   for (const ir::Module& module : compilation.modules()) {
     for (size_t p = 0; p < module.ports.size(); ++p) {
       const ir::Port& port = module.ports[p];
@@ -98,7 +104,10 @@ TargetTrace RunVmTarget(const ir::Compilation& compilation, const std::string& e
     }
   }
   system.SetTransferObserver(
-      [&](vm::PortRef sender, vm::PortRef, std::span<const int32_t> message) {
+      [&](vm::PortRef sender, vm::PortRef receiver, std::span<const int32_t> message) {
+        if (sender.process < 0 || receiver.process < 0) {
+          return;  // Externally completed exchange; the harness logs those itself.
+        }
         const esi::ChannelInfo* channel =
             system.executor(sender.process).module().ports[sender.port].channel;
         if (!IsEnvChannel(channel)) {
@@ -850,9 +859,36 @@ DifferentialResult RunDifferential(const std::string& esi_text, const std::strin
   result.accepted = true;
 
   result.vm = RunVmTarget(*compilation, entry, stimuli);
-  result.checker = RunCheckerTarget(*compilation, entry, stimuli, options);
   std::string why;
-  if (!CompareTraces("checker", result.vm, result.checker, /*compare_internals=*/true, &why)) {
+  if (options.run_vm_tiers) {
+    // The tiers implement the interpreter's exact step semantics, so they are
+    // compared on everything even when the run failed: same verdict, same
+    // failing step, byte-identical error text, same internal channel
+    // sequences. (The checker is allowed to word errors differently; the
+    // tiers are not.)
+    auto compare_tier = [&](const std::string& name, const TargetTrace& tier) {
+      if (!result.agree) {
+        return;
+      }
+      if (!CompareTraces(name, result.vm, tier, /*compare_internals=*/true, &why)) {
+        result.agree = false;
+        result.divergence = why;
+      } else if (tier.error != result.vm.error) {
+        result.agree = false;
+        result.divergence =
+            name + ": error text \"" + tier.error + "\", vm \"" + result.vm.error + "\"";
+      }
+    };
+    result.vm_threaded =
+        RunVmTarget(*compilation, entry, stimuli, vm::ExecMode::kThreaded);
+    compare_tier("vm-threaded", result.vm_threaded);
+    result.vm_compiled =
+        RunVmTarget(*compilation, entry, stimuli, vm::ExecMode::kCompiled);
+    compare_tier("vm-compiled", result.vm_compiled);
+  }
+  result.checker = RunCheckerTarget(*compilation, entry, stimuli, options);
+  if (result.agree &&
+      !CompareTraces("checker", result.vm, result.checker, /*compare_internals=*/true, &why)) {
     result.agree = false;
     result.divergence = why;
   }

@@ -1,5 +1,6 @@
-// Four-way differential harness: runs one accepted fuzz spec through the
-// model checker's transition relation, the VM interpreter, the cycle-accurate
+// Five-way differential harness: runs one accepted fuzz spec through the
+// model checker's transition relation, the VM (all three execution tiers:
+// interpreter, direct-threaded, and runtime-compiled), the cycle-accurate
 // RTL simulator, and the dlopen'd generated C, feeding every target the same
 // deterministic event schedule (a fixed sequence of Env commands) and
 // asserting agreement step for step.
@@ -17,11 +18,14 @@
 //   - the full message sequence on every internal channel (checker, VM, RTL)
 //   - final values of every named ESM variable after the schedule (ok only)
 //
-// Comparison policy: the checker is compared against the VM on everything.
-// The RTL simulator and the generated C are compared only when the VM verdict
-// is ok — by design the RTL treats asserts as non-synthesizable no-ops and
-// guards division, and the C would SIGFPE on division by zero, so failing
-// runs are meaningful only on the checker/VM pair.
+// Comparison policy: the checker and the VM's threaded/compiled tiers are
+// compared against the interpreter on everything — the tiers share the
+// interpreter's exact step semantics, so even failing runs must agree on the
+// verdict, the failing step, and the error text. The RTL simulator and the
+// generated C are compared only when the VM verdict is ok — by design the
+// RTL treats asserts as non-synthesizable no-ops and guards division, and
+// the C would SIGFPE on division by zero, so failing runs are meaningful
+// only on the deterministic software targets.
 
 #ifndef SRC_FUZZ_DIFFERENTIAL_H_
 #define SRC_FUZZ_DIFFERENTIAL_H_
@@ -66,6 +70,11 @@ struct DifferentialOptions {
   // Compile + dlopen the generated C (skipped automatically when the VM
   // verdict is not kOk or no C compiler is available).
   bool run_c = true;
+  // Re-run the VM under the direct-threaded and runtime-compiled execution
+  // tiers and compare each against the interpreter trace (verdict, failing
+  // step, error text, replies, channel sequences, final variables). The
+  // compiled tier degrades to threaded when no host C compiler is available.
+  bool run_vm_tiers = true;
   // Additionally run the full model checker with 1 and 2 threads and compare
   // the verdicts (search-order independence of the parallel engine).
   bool compare_checker_threads = false;
@@ -81,7 +90,9 @@ struct DifferentialResult {
   bool accepted = false;
   std::string reject_reason;
 
-  TargetTrace vm;
+  TargetTrace vm;           // interpreter tier: the reference trace
+  TargetTrace vm_threaded;  // direct-threaded tier (when run_vm_tiers)
+  TargetTrace vm_compiled;  // runtime-compiled tier (when run_vm_tiers)
   TargetTrace checker;
   TargetTrace rtl;
   TargetTrace c;

@@ -2,65 +2,15 @@
 
 #include <sstream>
 
+#include "src/ir/opcode_info.h"
+
 namespace efeu::ir {
 
 namespace {
 
-const char* UnOpName(esm::UnaryOp op) {
-  switch (op) {
-    case esm::UnaryOp::kPlus:
-      return "+";
-    case esm::UnaryOp::kNegate:
-      return "-";
-    case esm::UnaryOp::kBitNot:
-      return "~";
-    case esm::UnaryOp::kLogicalNot:
-      return "!";
-  }
-  return "?";
-}
+const char* UnOpName(esm::UnaryOp op) { return UnaryOpSpelling(op); }
 
-const char* BinOpName(esm::BinaryOp op) {
-  switch (op) {
-    case esm::BinaryOp::kMul:
-      return "*";
-    case esm::BinaryOp::kDiv:
-      return "/";
-    case esm::BinaryOp::kMod:
-      return "%";
-    case esm::BinaryOp::kAdd:
-      return "+";
-    case esm::BinaryOp::kSub:
-      return "-";
-    case esm::BinaryOp::kShl:
-      return "<<";
-    case esm::BinaryOp::kShr:
-      return ">>";
-    case esm::BinaryOp::kLt:
-      return "<";
-    case esm::BinaryOp::kGt:
-      return ">";
-    case esm::BinaryOp::kLe:
-      return "<=";
-    case esm::BinaryOp::kGe:
-      return ">=";
-    case esm::BinaryOp::kEq:
-      return "==";
-    case esm::BinaryOp::kNe:
-      return "!=";
-    case esm::BinaryOp::kBitAnd:
-      return "&";
-    case esm::BinaryOp::kBitXor:
-      return "^";
-    case esm::BinaryOp::kBitOr:
-      return "|";
-    case esm::BinaryOp::kLogicalAnd:
-      return "&&";
-    case esm::BinaryOp::kLogicalOr:
-      return "||";
-  }
-  return "?";
-}
+const char* BinOpName(esm::BinaryOp op) { return BinaryOpSpelling(op); }
 
 }  // namespace
 

@@ -1,0 +1,82 @@
+#include "src/ir/opcode_info.h"
+
+namespace efeu::ir {
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  // Indexed by Opcode; keep in declaration order (ir.h).
+  static const OpcodeInfo kTable[] = {
+      //            name        blocking terminator writes_dst reads_a may_fail
+      /*kConst*/    {"const",    false,   false,     true,      false,  false},
+      /*kCopy*/     {"copy",     false,   false,     true,      true,   false},
+      /*kUnOp*/     {"unop",     false,   false,     true,      true,   false},
+      /*kBinOp*/    {"binop",    false,   false,     true,      true,   true},
+      /*kLoadIdx*/  {"loadidx",  false,   false,     true,      false,  true},
+      /*kStoreIdx*/ {"storeidx", false,   false,     false,     true,   true},
+      /*kSend*/     {"send",     true,    false,     false,     false,  false},
+      /*kRecv*/     {"recv",     true,    false,     false,     false,  false},
+      /*kNondet*/   {"nondet",   true,    false,     true,      false,  false},
+      /*kAssert*/   {"assert",   false,   false,     false,     true,   true},
+      /*kJump*/     {"jump",     false,   true,      false,     false,  false},
+      /*kBranch*/   {"branch",   false,   true,      false,     true,   false},
+      /*kHalt*/     {"halt",     false,   true,      false,     false,  false},
+  };
+  return kTable[static_cast<int>(op)];
+}
+
+const char* UnaryOpSpelling(esm::UnaryOp op) {
+  switch (op) {
+    case esm::UnaryOp::kPlus:
+      return "+";
+    case esm::UnaryOp::kNegate:
+      return "-";
+    case esm::UnaryOp::kBitNot:
+      return "~";
+    case esm::UnaryOp::kLogicalNot:
+      return "!";
+  }
+  return "?";
+}
+
+const char* BinaryOpSpelling(esm::BinaryOp op) {
+  switch (op) {
+    case esm::BinaryOp::kMul:
+      return "*";
+    case esm::BinaryOp::kDiv:
+      return "/";
+    case esm::BinaryOp::kMod:
+      return "%";
+    case esm::BinaryOp::kAdd:
+      return "+";
+    case esm::BinaryOp::kSub:
+      return "-";
+    case esm::BinaryOp::kShl:
+      return "<<";
+    case esm::BinaryOp::kShr:
+      return ">>";
+    case esm::BinaryOp::kLt:
+      return "<";
+    case esm::BinaryOp::kGt:
+      return ">";
+    case esm::BinaryOp::kLe:
+      return "<=";
+    case esm::BinaryOp::kGe:
+      return ">=";
+    case esm::BinaryOp::kEq:
+      return "==";
+    case esm::BinaryOp::kNe:
+      return "!=";
+    case esm::BinaryOp::kBitAnd:
+      return "&";
+    case esm::BinaryOp::kBitXor:
+      return "^";
+    case esm::BinaryOp::kBitOr:
+      return "|";
+    case esm::BinaryOp::kLogicalAnd:
+      return "&&";
+    case esm::BinaryOp::kLogicalOr:
+      return "||";
+  }
+  return "?";
+}
+
+}  // namespace efeu::ir

@@ -10,6 +10,8 @@
 #ifndef SRC_RTL_REGFILE_H_
 #define SRC_RTL_REGFILE_H_
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "src/rtl/component.h"
@@ -35,12 +37,22 @@ class MmioRegfile : public RtlComponent {
 
   // -- Software-side register accesses (between ticks) ---------------------
   void WriteDownWord(int index, int32_t value) { down_staged_[index] = value; }
+  // Burst write: stages every data word in one AXI burst. Register contents
+  // are identical to word-at-a-time access; only the modeled bus cost (paid
+  // by the driver's timing model) differs.
+  void WriteDown(std::span<const int32_t> words) {
+    std::copy(words.begin(), words.end(), down_staged_.begin());
+  }
   void SetDownValid() { sw_down_valid_ = true; }
   // True while the published message has not been consumed by hardware.
   bool DownPending() const { return sw_down_valid_ || down_out_valid_; }
   void ArmUp() { sw_up_ready_ = true; }
   bool UpFull() const { return up_full_; }
   int32_t ReadUpWord(int index) const { return up_latched_[index]; }
+  // Burst read, zero-copy: the span aliases the latch registers and stays
+  // valid until the next packet lands, which cannot happen before ArmUp()
+  // re-arms the handshake — consume and deliver before re-arming.
+  std::span<const int32_t> ReadUp() const { return up_latched_; }
   // Acknowledges the landed message and clears the interrupt.
   void ConsumeUp() {
     up_full_ = false;

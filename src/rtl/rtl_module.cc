@@ -2,71 +2,10 @@
 
 #include <cassert>
 
+#include "src/ir/opcode_info.h"
 #include "src/support/check.h"
 
 namespace efeu::rtl {
-
-namespace {
-
-int32_t EvalUnOp(esm::UnaryOp op, int32_t a) {
-  switch (op) {
-    case esm::UnaryOp::kPlus:
-      return a;
-    case esm::UnaryOp::kNegate:
-      return static_cast<int32_t>(-static_cast<int64_t>(a));
-    case esm::UnaryOp::kBitNot:
-      return ~a;
-    case esm::UnaryOp::kLogicalNot:
-      return a == 0 ? 1 : 0;
-  }
-  return 0;
-}
-
-int32_t EvalBinOp(esm::BinaryOp op, int32_t a, int32_t b) {
-  int64_t wa = a;
-  int64_t wb = b;
-  switch (op) {
-    case esm::BinaryOp::kMul:
-      return static_cast<int32_t>(wa * wb);
-    case esm::BinaryOp::kDiv:
-      return b == 0 ? 0 : static_cast<int32_t>(wa / wb);
-    case esm::BinaryOp::kMod:
-      return b == 0 ? 0 : static_cast<int32_t>(wa % wb);
-    case esm::BinaryOp::kAdd:
-      return static_cast<int32_t>(wa + wb);
-    case esm::BinaryOp::kSub:
-      return static_cast<int32_t>(wa - wb);
-    case esm::BinaryOp::kShl:
-      return (b >= 0 && b < 32) ? static_cast<int32_t>(wa << wb) : 0;
-    case esm::BinaryOp::kShr:
-      return (b >= 0 && b < 32) ? static_cast<int32_t>(wa >> wb) : 0;
-    case esm::BinaryOp::kLt:
-      return wa < wb ? 1 : 0;
-    case esm::BinaryOp::kGt:
-      return wa > wb ? 1 : 0;
-    case esm::BinaryOp::kLe:
-      return wa <= wb ? 1 : 0;
-    case esm::BinaryOp::kGe:
-      return wa >= wb ? 1 : 0;
-    case esm::BinaryOp::kEq:
-      return wa == wb ? 1 : 0;
-    case esm::BinaryOp::kNe:
-      return wa != wb ? 1 : 0;
-    case esm::BinaryOp::kBitAnd:
-      return a & b;
-    case esm::BinaryOp::kBitXor:
-      return a ^ b;
-    case esm::BinaryOp::kBitOr:
-      return a | b;
-    case esm::BinaryOp::kLogicalAnd:
-      return (a != 0 && b != 0) ? 1 : 0;
-    case esm::BinaryOp::kLogicalOr:
-      return (a != 0 || b != 0) ? 1 : 0;
-  }
-  return 0;
-}
-
-}  // namespace
 
 RtlModule::RtlModule(const ir::Module* module, std::string instance_name)
     : module_(module), name_(std::move(instance_name)), segmentation_(ir::SegmentModule(*module)) {
@@ -149,10 +88,10 @@ void RtlModule::Evaluate() {
           frame[inst.dst] = inst.type.Truncate(frame[inst.a]);
           break;
         case ir::Opcode::kUnOp:
-          frame[inst.dst] = EvalUnOp(inst.unop, frame[inst.a]);
+          frame[inst.dst] = ir::EvalUnOp(inst.unop, frame[inst.a]);
           break;
         case ir::Opcode::kBinOp:
-          frame[inst.dst] = EvalBinOp(inst.binop, frame[inst.a], frame[inst.b]);
+          frame[inst.dst] = ir::EvalBinOpTotal(inst.binop, frame[inst.a], frame[inst.b]);
           break;
         case ir::Opcode::kLoadIdx: {
           int32_t index = frame[inst.b];

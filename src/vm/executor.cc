@@ -2,95 +2,10 @@
 
 #include <cassert>
 
+#include "src/ir/opcode_info.h"
+#include "src/vm/compiled.h"
+
 namespace efeu::vm {
-
-namespace {
-
-int32_t EvalUnOp(esm::UnaryOp op, int32_t a) {
-  switch (op) {
-    case esm::UnaryOp::kPlus:
-      return a;
-    case esm::UnaryOp::kNegate:
-      return static_cast<int32_t>(-static_cast<int64_t>(a));
-    case esm::UnaryOp::kBitNot:
-      return ~a;
-    case esm::UnaryOp::kLogicalNot:
-      return a == 0 ? 1 : 0;
-  }
-  return 0;
-}
-
-bool EvalBinOp(esm::BinaryOp op, int32_t a, int32_t b, int32_t* out) {
-  int64_t wa = a;
-  int64_t wb = b;
-  int64_t result = 0;
-  switch (op) {
-    case esm::BinaryOp::kMul:
-      result = wa * wb;
-      break;
-    case esm::BinaryOp::kDiv:
-      if (b == 0) {
-        return false;
-      }
-      result = wa / wb;
-      break;
-    case esm::BinaryOp::kMod:
-      if (b == 0) {
-        return false;
-      }
-      result = wa % wb;
-      break;
-    case esm::BinaryOp::kAdd:
-      result = wa + wb;
-      break;
-    case esm::BinaryOp::kSub:
-      result = wa - wb;
-      break;
-    case esm::BinaryOp::kShl:
-      result = wb >= 0 && wb < 32 ? (wa << wb) : 0;
-      break;
-    case esm::BinaryOp::kShr:
-      result = wb >= 0 && wb < 32 ? (wa >> wb) : 0;
-      break;
-    case esm::BinaryOp::kLt:
-      result = wa < wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kGt:
-      result = wa > wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kLe:
-      result = wa <= wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kGe:
-      result = wa >= wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kEq:
-      result = wa == wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kNe:
-      result = wa != wb ? 1 : 0;
-      break;
-    case esm::BinaryOp::kBitAnd:
-      result = wa & wb;
-      break;
-    case esm::BinaryOp::kBitXor:
-      result = wa ^ wb;
-      break;
-    case esm::BinaryOp::kBitOr:
-      result = wa | wb;
-      break;
-    case esm::BinaryOp::kLogicalAnd:
-      result = (wa != 0 && wb != 0) ? 1 : 0;
-      break;
-    case esm::BinaryOp::kLogicalOr:
-      result = (wa != 0 || wb != 0) ? 1 : 0;
-      break;
-  }
-  *out = static_cast<int32_t>(result);
-  return true;
-}
-
-}  // namespace
 
 IrExecutor::IrExecutor(const ir::Module* module) : module_(module) { Reset(); }
 
@@ -111,6 +26,22 @@ void IrExecutor::Fail(RunState state, std::string message) {
   error_ = std::move(message);
 }
 
+void IrExecutor::FailDivZero(const ir::Inst& inst) {
+  Fail(RunState::kRuntimeError,
+       module_->layer_name + ": division by zero at " + inst.loc.ToString());
+}
+
+void IrExecutor::FailOutOfBounds(const ir::Inst& inst, int32_t index) {
+  Fail(RunState::kRuntimeError, module_->layer_name + ": array index " +
+                                    std::to_string(index) + " out of bounds at " +
+                                    inst.loc.ToString());
+}
+
+void IrExecutor::FailAssert(const ir::Inst& inst) {
+  Fail(RunState::kAssertFailed,
+       module_->layer_name + ": assertion failed at " + inst.loc.ToString());
+}
+
 void IrExecutor::AdvancePastCurrent() {
   ++inst_index_;
   // Blocking instructions are never terminators, so the block still has
@@ -129,13 +60,12 @@ bool IrExecutor::Step() {
       frame_[inst.dst] = inst.type.Truncate(frame_[inst.a]);
       break;
     case ir::Opcode::kUnOp:
-      frame_[inst.dst] = EvalUnOp(inst.unop, frame_[inst.a]);
+      frame_[inst.dst] = ir::EvalUnOp(inst.unop, frame_[inst.a]);
       break;
     case ir::Opcode::kBinOp: {
       int32_t result = 0;
-      if (!EvalBinOp(inst.binop, frame_[inst.a], frame_[inst.b], &result)) {
-        Fail(RunState::kRuntimeError,
-             module_->layer_name + ": division by zero at " + inst.loc.ToString());
+      if (!ir::EvalBinOp(inst.binop, frame_[inst.a], frame_[inst.b], &result)) {
+        FailDivZero(inst);
         return false;
       }
       frame_[inst.dst] = result;
@@ -144,9 +74,7 @@ bool IrExecutor::Step() {
     case ir::Opcode::kLoadIdx: {
       int32_t index = frame_[inst.b];
       if (index < 0 || index >= inst.imm) {
-        Fail(RunState::kRuntimeError, module_->layer_name + ": array index " +
-                                          std::to_string(index) + " out of bounds at " +
-                                          inst.loc.ToString());
+        FailOutOfBounds(inst, index);
         return false;
       }
       frame_[inst.dst] = inst.type.Truncate(frame_[inst.a + index]);
@@ -155,9 +83,7 @@ bool IrExecutor::Step() {
     case ir::Opcode::kStoreIdx: {
       int32_t index = frame_[inst.b];
       if (index < 0 || index >= inst.imm) {
-        Fail(RunState::kRuntimeError, module_->layer_name + ": array index " +
-                                          std::to_string(index) + " out of bounds at " +
-                                          inst.loc.ToString());
+        FailOutOfBounds(inst, index);
         return false;
       }
       frame_[inst.dst + index] = inst.type.Truncate(frame_[inst.a]);
@@ -174,8 +100,7 @@ bool IrExecutor::Step() {
       return false;
     case ir::Opcode::kAssert:
       if (frame_[inst.a] == 0) {
-        Fail(RunState::kAssertFailed,
-             module_->layer_name + ": assertion failed at " + inst.loc.ToString());
+        FailAssert(inst);
         return false;
       }
       break;
@@ -201,10 +126,7 @@ bool IrExecutor::Step() {
   return true;
 }
 
-RunState IrExecutor::Run(uint64_t max_steps) {
-  if (state_ != RunState::kRunnable) {
-    return state_;
-  }
+RunState IrExecutor::RunInterp(uint64_t max_steps) {
   uint64_t executed = 0;
   while (Step()) {
     if (max_steps != 0 && ++executed >= max_steps) {
@@ -212,6 +134,28 @@ RunState IrExecutor::Run(uint64_t max_steps) {
     }
   }
   return state_;
+}
+
+RunState IrExecutor::Run(uint64_t max_steps) {
+  if (state_ != RunState::kRunnable) {
+    return state_;
+  }
+  switch (effective_mode()) {
+    case ExecMode::kInterp:
+      return RunInterp(max_steps);
+    case ExecMode::kThreaded:
+      return RunThreaded(max_steps);
+    case ExecMode::kCompiled:
+      return RunCompiled(max_steps);
+  }
+  return RunInterp(max_steps);
+}
+
+ExecMode IrExecutor::effective_mode() const {
+  if (mode_ == ExecMode::kCompiled && (compiled_unavailable_ || !CompiledTierAvailable())) {
+    return ExecMode::kThreaded;
+  }
+  return mode_;
 }
 
 int IrExecutor::blocked_port() const {

@@ -29,6 +29,12 @@ struct PortRef {
   }
 };
 
+// The "port" of the host in externally completed exchanges, as reported to
+// the transfer observer: DeliverMessage passes it as the sender, TakeMessage
+// as the receiver. Observers interested only in internal rendezvous skip
+// refs with a negative process id.
+inline constexpr PortRef kExternalPort{-1, -1};
+
 enum class SystemState {
   kRunning,     // some process can still make progress
   kQuiescent,   // every process blocked on an unmatched channel (or halted)
@@ -55,7 +61,24 @@ class System {
 
   // Runs processes and transfers messages until quiescent or failed.
   // `max_transfers` bounds rendezvous transfers (0 = unlimited).
+  //
+  // Scheduling is worklist-driven: a process is (re)considered only when it
+  // was just unblocked or freshly added, and a rendezvous completes by direct
+  // peer lookup instead of a system-wide rescan, so the per-transfer cost is
+  // O(1) in the number of processes. The per-channel message sequences are
+  // schedule-independent (the system is a Kahn network: each receive has a
+  // unique matching send), so this is observably equivalent to the previous
+  // sweep scheduler apart from which failing process is reported first.
   SystemState Run(uint64_t max_transfers = 0);
+
+  // Selects the execution tier for all current and future processes.
+  void SetExecMode(ExecMode mode);
+  ExecMode exec_mode() const { return default_mode_; }
+  // Batch-compiles every process module for the compiled tier in one
+  // compiler invocation (no-op unless the mode is kCompiled and a host C
+  // compiler is available). Lazy per-module compilation happens anyway on
+  // first Run; this just front-loads the cost.
+  void Precompile();
 
   // -- External ports --------------------------------------------------------
   // True if `ref`'s process is blocked sending on `ref.port`.
@@ -74,18 +97,15 @@ class System {
   // error. Rendezvous channels hold no buffered data in this VM, so resetting
   // the endpoints also drains every channel. Per-process step counters
   // restart from zero; callers tracking TotalSteps() deltas resynchronize.
-  void Reset() {
-    for (ProcessEntry& entry : processes_) {
-      entry.executor->Reset();
-    }
-    error_.clear();
-  }
+  void Reset();
 
-  // Observes every internal rendezvous transfer: the sender/receiver port
-  // refs and the transferred message, invoked before the endpoints advance.
-  // Used by the differential fuzz harness to compare per-channel message
-  // sequences across execution targets. External deliveries (DeliverMessage/
-  // TakeMessage) are not reported; the host already sees those.
+  // Observes every message transfer: the sender/receiver port refs and the
+  // transferred message, invoked before the endpoints advance. Internal
+  // rendezvous report both real endpoints; externally completed exchanges
+  // (DeliverMessage/TakeMessage) report kExternalPort on the host side, so a
+  // recorder sees each process's full consumption order in one stream. Used
+  // by the differential fuzz harness to compare per-channel message
+  // sequences across execution targets and by the dispatch-replay bench.
   using TransferObserver =
       std::function<void(PortRef sender, PortRef receiver, std::span<const int32_t> message)>;
   void SetTransferObserver(TransferObserver observer) { observer_ = std::move(observer); }
@@ -104,12 +124,26 @@ class System {
     std::vector<std::optional<PortRef>> links;
   };
 
-  // Attempts one rendezvous transfer anywhere in the system.
-  bool TryTransfer();
+  // Completes the rendezvous `sender` -> `receiver` (both endpoints must be
+  // blocked on the matching ports). The message is delivered zero-copy: the
+  // receiver reads the sender's staged frame span directly.
+  void Transfer(PortRef sender, PortRef receiver);
+
+  // Marks a process for (re)consideration by the next Run().
+  void Enqueue(int process);
 
   std::vector<ProcessEntry> processes_;
   std::string error_;
   TransferObserver observer_;
+  ExecMode default_mode_ = ExecMode::kInterp;
+  // Persistent worklist. A process enters when added, connected, reset, or
+  // externally completed (DeliverMessage/TakeMessage); Run() drains it and a
+  // process parked on an unmatched channel stays off the list until one of
+  // those events can change its situation. The hybrid driver calls Run() once
+  // per boundary pump, so re-seeding the list from all processes every call
+  // would dominate the short slices fine splits produce.
+  std::vector<int> work_;
+  std::vector<char> queued_;
 };
 
 }  // namespace efeu::vm

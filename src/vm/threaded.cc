@@ -1,0 +1,380 @@
+#include "src/vm/threaded.h"
+
+#include <cassert>
+
+#include "src/ir/opcode_info.h"
+#include "src/vm/executor.h"
+
+// Computed goto needs the GNU labels-as-values extension; MSVC falls back to
+// the switch loop below, which still profits from flattening and fusion.
+#if defined(__GNUC__) || defined(__clang__)
+#define EFEU_DIRECT_THREADING 1
+#endif
+
+namespace efeu::vm {
+
+namespace {
+
+FlatOp BaseFlatOp(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::kConst:
+      return FlatOp::kConst;
+    case ir::Opcode::kCopy:
+      return FlatOp::kCopy;
+    case ir::Opcode::kUnOp:
+      return FlatOp::kUnOp;
+    case ir::Opcode::kBinOp:
+      return FlatOp::kBinOp;
+    case ir::Opcode::kLoadIdx:
+      return FlatOp::kLoadIdx;
+    case ir::Opcode::kStoreIdx:
+      return FlatOp::kStoreIdx;
+    case ir::Opcode::kSend:
+      return FlatOp::kSend;
+    case ir::Opcode::kRecv:
+      return FlatOp::kRecv;
+    case ir::Opcode::kNondet:
+      return FlatOp::kNondet;
+    case ir::Opcode::kAssert:
+      return FlatOp::kAssert;
+    case ir::Opcode::kJump:
+      return FlatOp::kJump;
+    case ir::Opcode::kBranch:
+      return FlatOp::kBranch;
+    case ir::Opcode::kHalt:
+      return FlatOp::kHalt;
+  }
+  return FlatOp::kHalt;
+}
+
+}  // namespace
+
+std::shared_ptr<const FlatProgram> FlatProgram::Build(const ir::Module& module) {
+  auto program = std::make_shared<FlatProgram>();
+  program->module = &module;
+  program->block_base.resize(module.blocks.size());
+  int total = module.CountInsts();
+  program->insts.reserve(total);
+  program->flat_block.reserve(total);
+  program->flat_index.reserve(total);
+
+  for (size_t b = 0; b < module.blocks.size(); ++b) {
+    program->block_base[b] = static_cast<int>(program->insts.size());
+    const ir::Block& block = module.blocks[b];
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+      FlatInst flat;
+      flat.inst = &block.insts[i];
+      flat.op = BaseFlatOp(flat.inst->op);
+      program->insts.push_back(flat);
+      program->flat_block.push_back(static_cast<int>(b));
+      program->flat_index.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Second pass: rewrite jump targets to flat indices and cache the targets'
+  // progress-label bits so the hot loop never touches Block.
+  for (FlatInst& flat : program->insts) {
+    const ir::Inst& inst = *flat.inst;
+    if (inst.op == ir::Opcode::kJump || inst.op == ir::Opcode::kBranch) {
+      flat.target = program->block_base[inst.target];
+      flat.target_progress = module.blocks[inst.target].is_progress_label;
+    }
+    if (inst.op == ir::Opcode::kBranch) {
+      flat.target2 = program->block_base[inst.target2];
+      flat.target2_progress = module.blocks[inst.target2].is_progress_label;
+    }
+  }
+
+  // Fusion pass: collapse adjacent pairs within a block into one dispatch.
+  // Only the *first* slot of a pair changes; control can legally enter at the
+  // second slot only after a budget stop between the halves, and that slot
+  // still carries its original opcode.
+  for (size_t f = 0; f + 1 < program->insts.size(); ++f) {
+    FlatInst& first = program->insts[f];
+    FlatInst& next = program->insts[f + 1];
+    if (program->flat_block[f] != program->flat_block[f + 1]) {
+      continue;  // Pair must not straddle a block boundary.
+    }
+    if (first.op == FlatOp::kConst && next.op == FlatOp::kBinOp) {
+      first.op = FlatOp::kConstBinOp;
+      first.second = next.inst;
+    } else if (first.op == FlatOp::kBinOp && next.op == FlatOp::kBranch) {
+      first.op = FlatOp::kBinOpBranch;
+      first.second = next.inst;
+      first.target = next.target;
+      first.target2 = next.target2;
+      first.target_progress = next.target_progress;
+      first.target2_progress = next.target2_progress;
+    } else {
+      continue;
+    }
+    ++program->fused_pairs;
+    ++f;  // Never fuse the consumed slot into a following pair.
+  }
+  return program;
+}
+
+RunState IrExecutor::RunThreaded(uint64_t max_steps) {
+  if (!flat_) {
+    flat_ = FlatProgram::Build(*module_);
+  }
+  const FlatProgram& fp = *flat_;
+  const FlatInst* code = fp.insts.data();
+  int32_t* frame = frame_.data();
+  int pc = fp.block_base[block_] + inst_index_;
+  uint64_t steps = steps_;
+  uint64_t executed = 0;
+  bool progress = progress_seen_;
+
+  // Writes the canonical pc/counters back; every exit path funnels through
+  // here so the machine state is indistinguishable from the interpreter's.
+  auto sync = [&](int at) {
+    steps_ = steps;
+    progress_seen_ = progress;
+    block_ = fp.flat_block[at];
+    inst_index_ = fp.flat_index[at];
+  };
+
+// Stops with the pc at flat index `p` when the step budget is exhausted,
+// mirroring the interpreter's post-step check (state stays kRunnable).
+#define EFEU_BUDGET_AT(p)                        \
+  if (max_steps != 0 && ++executed >= max_steps) { \
+    sync(p);                                     \
+    return RunState::kRunnable;                  \
+  }
+
+#ifdef EFEU_DIRECT_THREADING
+  // Label table indexed by FlatOp. Keep in enum order.
+  static const void* kLabels[] = {
+      &&L_Const, &&L_Copy,   &&L_UnOp,   &&L_BinOp,  &&L_LoadIdx,
+      &&L_StoreIdx, &&L_Send, &&L_Recv,  &&L_Nondet, &&L_Assert,
+      &&L_Jump,  &&L_Branch, &&L_Halt,   &&L_ConstBinOp, &&L_BinOpBranch,
+  };
+#define EFEU_DISPATCH() goto* kLabels[static_cast<int>(code[pc].op)]
+  EFEU_DISPATCH();
+#else
+#define EFEU_DISPATCH() continue
+  for (;;) {
+    switch (code[pc].op) {
+      case FlatOp::kConst:
+        goto L_Const;
+      case FlatOp::kCopy:
+        goto L_Copy;
+      case FlatOp::kUnOp:
+        goto L_UnOp;
+      case FlatOp::kBinOp:
+        goto L_BinOp;
+      case FlatOp::kLoadIdx:
+        goto L_LoadIdx;
+      case FlatOp::kStoreIdx:
+        goto L_StoreIdx;
+      case FlatOp::kSend:
+        goto L_Send;
+      case FlatOp::kRecv:
+        goto L_Recv;
+      case FlatOp::kNondet:
+        goto L_Nondet;
+      case FlatOp::kAssert:
+        goto L_Assert;
+      case FlatOp::kJump:
+        goto L_Jump;
+      case FlatOp::kBranch:
+        goto L_Branch;
+      case FlatOp::kHalt:
+        goto L_Halt;
+      case FlatOp::kConstBinOp:
+        goto L_ConstBinOp;
+      case FlatOp::kBinOpBranch:
+        goto L_BinOpBranch;
+    }
+#endif
+
+L_Const: {
+  const ir::Inst& inst = *code[pc].inst;
+  frame[inst.dst] = inst.type.Truncate(inst.imm);
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_Copy: {
+  const ir::Inst& inst = *code[pc].inst;
+  frame[inst.dst] = inst.type.Truncate(frame[inst.a]);
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_UnOp: {
+  const ir::Inst& inst = *code[pc].inst;
+  frame[inst.dst] = ir::EvalUnOp(inst.unop, frame[inst.a]);
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_BinOp: {
+  const ir::Inst& inst = *code[pc].inst;
+  int32_t result = 0;
+  if (!ir::EvalBinOp(inst.binop, frame[inst.a], frame[inst.b], &result)) {
+    ++steps;
+    sync(pc);
+    FailDivZero(inst);
+    return state_;
+  }
+  frame[inst.dst] = result;
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_LoadIdx: {
+  const ir::Inst& inst = *code[pc].inst;
+  int32_t index = frame[inst.b];
+  if (index < 0 || index >= inst.imm) {
+    ++steps;
+    sync(pc);
+    FailOutOfBounds(inst, index);
+    return state_;
+  }
+  frame[inst.dst] = inst.type.Truncate(frame[inst.a + index]);
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_StoreIdx: {
+  const ir::Inst& inst = *code[pc].inst;
+  int32_t index = frame[inst.b];
+  if (index < 0 || index >= inst.imm) {
+    ++steps;
+    sync(pc);
+    FailOutOfBounds(inst, index);
+    return state_;
+  }
+  frame[inst.dst + index] = inst.type.Truncate(frame[inst.a]);
+  ++steps;
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_Send: {
+  ++steps;
+  sync(pc);
+  state_ = RunState::kBlockedSend;
+  return state_;
+}
+L_Recv: {
+  ++steps;
+  sync(pc);
+  state_ = RunState::kBlockedRecv;
+  return state_;
+}
+L_Nondet: {
+  ++steps;
+  sync(pc);
+  state_ = RunState::kBlockedNondet;
+  return state_;
+}
+L_Assert: {
+  const ir::Inst& inst = *code[pc].inst;
+  ++steps;
+  if (frame[inst.a] == 0) {
+    sync(pc);
+    FailAssert(inst);
+    return state_;
+  }
+  ++pc;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_Jump: {
+  const FlatInst& flat = code[pc];
+  ++steps;
+  pc = flat.target;
+  if (flat.target_progress) {
+    progress = true;
+  }
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_Branch: {
+  const FlatInst& flat = code[pc];
+  ++steps;
+  if (frame[flat.inst->a] != 0) {
+    pc = flat.target;
+    if (flat.target_progress) {
+      progress = true;
+    }
+  } else {
+    pc = flat.target2;
+    if (flat.target2_progress) {
+      progress = true;
+    }
+  }
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_Halt: {
+  ++steps;
+  sync(pc);
+  state_ = RunState::kHalted;
+  return state_;
+}
+L_ConstBinOp: {
+  const FlatInst& flat = code[pc];
+  const ir::Inst& c = *flat.inst;
+  frame[c.dst] = c.type.Truncate(c.imm);
+  ++steps;
+  EFEU_BUDGET_AT(pc + 1);  // Budget stop between the halves resumes at the binop.
+  const ir::Inst& b = *flat.second;
+  int32_t result = 0;
+  if (!ir::EvalBinOp(b.binop, frame[b.a], frame[b.b], &result)) {
+    ++steps;
+    sync(pc + 1);
+    FailDivZero(b);
+    return state_;
+  }
+  frame[b.dst] = result;
+  ++steps;
+  pc += 2;
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+L_BinOpBranch: {
+  const FlatInst& flat = code[pc];
+  const ir::Inst& b = *flat.inst;
+  int32_t result = 0;
+  if (!ir::EvalBinOp(b.binop, frame[b.a], frame[b.b], &result)) {
+    ++steps;
+    sync(pc);
+    FailDivZero(b);
+    return state_;
+  }
+  frame[b.dst] = result;
+  ++steps;
+  EFEU_BUDGET_AT(pc + 1);  // Budget stop between the halves resumes at the branch.
+  ++steps;
+  if (frame[flat.second->a] != 0) {
+    pc = flat.target;
+    if (flat.target_progress) {
+      progress = true;
+    }
+  } else {
+    pc = flat.target2;
+    if (flat.target2_progress) {
+      progress = true;
+    }
+  }
+  EFEU_BUDGET_AT(pc);
+  EFEU_DISPATCH();
+}
+
+#ifndef EFEU_DIRECT_THREADING
+  }
+#endif
+#undef EFEU_DISPATCH
+#undef EFEU_BUDGET_AT
+}
+
+}  // namespace efeu::vm

@@ -1,0 +1,68 @@
+// The direct-threaded execution tier: the module's CFG is flattened into one
+// linear instruction stream (flat index = block_base[block] + inst_index, so
+// the canonical pc maps 1:1 in both directions), jump targets are rewritten
+// to flat indices, and adjacent common pairs are fused into superinstructions.
+// The dispatcher in threaded.cc uses computed goto where the compiler
+// supports it (GCC/Clang labels-as-values) and a tight switch loop otherwise.
+//
+// Fusion keeps *both* instructions' side effects — the fused handler executes
+// the pair back to back and counts two steps — so it is semantics-preserving
+// by construction: frames, step counts, blocking points, and error strings
+// are byte-identical to the interpreter tier (tests/test_exec_modes.cc).
+
+#ifndef SRC_VM_THREADED_H_
+#define SRC_VM_THREADED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace efeu::vm {
+
+enum class FlatOp : uint8_t {
+  kConst,
+  kCopy,
+  kUnOp,
+  kBinOp,
+  kLoadIdx,
+  kStoreIdx,
+  kSend,
+  kRecv,
+  kNondet,
+  kAssert,
+  kJump,
+  kBranch,
+  kHalt,
+  // Fused pairs. The second instruction's flat slot still exists (the fused
+  // handler skips it by advancing 2), so pc mapping stays 1:1 and a budget
+  // stop between the halves resumes at the untouched second slot.
+  kConstBinOp,   // kConst immediately followed by kBinOp
+  kBinOpBranch,  // kBinOp immediately followed by kBranch
+};
+
+struct FlatInst {
+  FlatOp op = FlatOp::kHalt;
+  const ir::Inst* inst = nullptr;    // primary instruction
+  const ir::Inst* second = nullptr;  // fused successor, or nullptr
+  int target = -1;                   // flat index of kJump/kBranch targets
+  int target2 = -1;
+  bool target_progress = false;   // target block carries a progress label
+  bool target2_progress = false;
+};
+
+struct FlatProgram {
+  const ir::Module* module = nullptr;
+  std::vector<FlatInst> insts;
+  std::vector<int> block_base;  // flat index of each block's first instruction
+  std::vector<int> flat_block;  // flat index -> owning block
+  std::vector<int> flat_index;  // flat index -> inst index within the block
+  int fused_pairs = 0;
+
+  static std::shared_ptr<const FlatProgram> Build(const ir::Module& module);
+};
+
+}  // namespace efeu::vm
+
+#endif  // SRC_VM_THREADED_H_

@@ -162,4 +162,110 @@ TEST(DriverAblation, NoAutoResetBreaksTheDriver) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Boundary batching, interrupt coalescing, and execution tiers
+// ---------------------------------------------------------------------------
+
+// MMIO bursts change the modeled cost of boundary crossings, never the data:
+// reads return identical bytes and the bus keeps its protocol timing, while
+// every multi-word crossing is counted as a burst.
+TEST(DriverBatching, MmioBurstsPreserveDataAndCount) {
+  HybridConfig config;
+  config.split = SplitPoint::kByte;
+  // Keep the model's write cycle short so the ack-poll below stays bounded.
+  config.eeprom.write_cycle_ns = 50000;
+  HybridConfig burst_config = config;
+  burst_config.mmio_bursts = true;
+
+  HybridDriver plain(config);
+  HybridDriver burst(burst_config);
+  std::vector<uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  ASSERT_TRUE(plain.Write(32, payload));
+  ASSERT_TRUE(burst.Write(32, payload));
+  // Ack-poll the device through its internal write cycle.
+  std::vector<uint8_t> a;
+  std::vector<uint8_t> b;
+  int attempts = 0;
+  while (!plain.Read(32, 5, &a) && attempts < 100) {
+    ++attempts;
+  }
+  ASSERT_LT(attempts, 100);
+  attempts = 0;
+  while (!burst.Read(32, 5, &b) && attempts < 100) {
+    ++attempts;
+  }
+  ASSERT_LT(attempts, 100);
+  EXPECT_EQ(a, payload);
+  EXPECT_EQ(b, payload);
+  EXPECT_EQ(plain.mmio_bursts(), 0u);
+  EXPECT_GT(burst.mmio_bursts(), 0u);
+}
+
+// Bursting the boundary reduces the software's share of each crossing, so
+// the measured bus frequency can only improve at software-paced splits.
+TEST(DriverBatching, MmioBurstsDoNotSlowTheBus) {
+  // kTransaction crosses 19/18-word messages, kByte 2/2-word ones; kSymbol's
+  // single-word boundary has nothing to burst, so its counter must stay zero.
+  for (SplitPoint split :
+       {SplitPoint::kTransaction, SplitPoint::kByte, SplitPoint::kSymbol}) {
+    HybridConfig config;
+    config.split = split;
+    config.capture_waveform = true;
+    DriverMetrics plain = HybridDriver(config).MeasureReads(2, 14);
+    config.mmio_bursts = true;
+    DriverMetrics burst = HybridDriver(config).MeasureReads(2, 14);
+    ASSERT_TRUE(plain.functional && burst.functional) << SplitPointName(split);
+    EXPECT_GE(burst.frequency.mean_khz, plain.frequency.mean_khz * 0.999)
+        << SplitPointName(split);
+    if (split == SplitPoint::kSymbol) {
+      EXPECT_EQ(burst.mmio_bursts, 0u);
+    } else {
+      EXPECT_GT(burst.mmio_bursts, 0u) << SplitPointName(split);
+    }
+  }
+}
+
+// With a drain window armed, back-to-back up-messages at a chatty split ride
+// one interrupt: the IRQ count drops and the coalesced counter accounts for
+// the difference in deliveries.
+TEST(DriverBatching, IrqCoalescingReducesInterrupts) {
+  HybridConfig config;
+  config.split = SplitPoint::kByte;
+  config.interrupt_driven = true;
+  DriverMetrics plain = HybridDriver(config).MeasureReads(2, 14);
+  config.irq_coalesce_window_ns = 40000.0;  // ~2 byte times at 400 kHz
+  DriverMetrics coalesced = HybridDriver(config).MeasureReads(2, 14);
+  ASSERT_TRUE(plain.functional && coalesced.functional);
+  EXPECT_EQ(plain.irqs_coalesced, 0u);
+  EXPECT_GT(coalesced.irqs_coalesced, 0u);
+  EXPECT_LT(coalesced.irq_count, plain.irq_count);
+}
+
+// The execution tier is invisible to the modeled timeline: metrics from a
+// compiled-tier driver are identical to the interpreter's, and the
+// instructions-retired counter matches exactly.
+TEST(DriverBatching, ExecTiersAgreeOnModeledMetrics) {
+  DriverMetrics reference;
+  for (vm::ExecMode mode : {vm::ExecMode::kInterp, vm::ExecMode::kThreaded,
+                            vm::ExecMode::kCompiled}) {
+    HybridConfig config;
+    config.split = SplitPoint::kByte;
+    config.capture_waveform = true;
+    config.exec_mode = mode;
+    DriverMetrics metrics = HybridDriver(config).MeasureReads(2, 14);
+    ASSERT_TRUE(metrics.functional) << vm::ExecModeName(mode);
+    EXPECT_GT(metrics.instructions_retired, 0u);
+    if (mode == vm::ExecMode::kInterp) {
+      reference = metrics;
+    } else {
+      EXPECT_EQ(metrics.instructions_retired, reference.instructions_retired)
+          << vm::ExecModeName(mode);
+      EXPECT_DOUBLE_EQ(metrics.elapsed_ns, reference.elapsed_ns) << vm::ExecModeName(mode);
+      EXPECT_DOUBLE_EQ(metrics.cpu_usage, reference.cpu_usage) << vm::ExecModeName(mode);
+      EXPECT_EQ(metrics.irq_count, reference.irq_count) << vm::ExecModeName(mode);
+    }
+  }
+}
+
 }  // namespace efeu::driver

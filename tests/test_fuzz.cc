@@ -1,5 +1,5 @@
 // Tier-1 slice of the fuzz subsystem: generator determinism and acceptance,
-// bounded four-way differential smoke runs (fixed seeds, seconds not hours),
+// bounded five-way differential smoke runs (fixed seeds, seconds not hours),
 // minimizer behaviour, corpus replay, the esmc exit-code contract, and named
 // regression tests for the C-backend bugs the fuzzer found. The open-ended
 // nightly campaign lives in CI (`esmfuzz --iterations 500 ...`), not here.
@@ -53,9 +53,10 @@ TEST(FuzzGenerator, DifferentSeedsDiffer) {
 
 TEST(FuzzGenerator, GeneratedSpecsAreAlwaysAccepted) {
   // Well-typed by construction: the frontend must accept every generated
-  // spec. Runs without the C target to stay fast.
+  // spec. Runs without the C target or the VM tiers to stay fast.
   DifferentialOptions options;
   options.run_c = false;
+  options.run_vm_tiers = false;
   for (uint64_t seed = 1; seed <= 60; ++seed) {
     SpecModel model = GenerateSpec(seed);
     DifferentialResult result = RunDifferential(model, options);
@@ -70,10 +71,29 @@ TEST(FuzzGenerator, GeneratedSpecsAreAlwaysAccepted) {
 TEST(FuzzDifferential, CheckerVmRtlAgreeOnFixedSeeds) {
   DifferentialOptions options;
   options.run_c = false;
+  options.run_vm_tiers = false;  // Tier coverage: ExecutionTiersAgreeOnFixedSeeds.
   for (uint64_t seed = 100; seed < 140; ++seed) {
     DifferentialResult result = RunDifferential(GenerateSpec(seed), options);
     ASSERT_TRUE(result.accepted) << "seed " << seed << ": " << result.reject_reason;
     EXPECT_TRUE(result.agree) << "seed " << seed << ": " << result.divergence;
+  }
+}
+
+// The VM execution tiers ride every differential run (run_vm_tiers defaults
+// on); this pins a dedicated fixed-seed slice where the traces must agree on
+// verdict, error text, replies, channels, and final variables — including
+// seeds whose runs fail, where the tiers must fail identically.
+TEST(FuzzDifferential, ExecutionTiersAgreeOnFixedSeeds) {
+  DifferentialOptions options;
+  options.run_c = false;
+  for (uint64_t seed = 300; seed < 330; ++seed) {
+    DifferentialResult result = RunDifferential(GenerateSpec(seed), options);
+    ASSERT_TRUE(result.accepted) << "seed " << seed << ": " << result.reject_reason;
+    EXPECT_TRUE(result.agree) << "seed " << seed << ": " << result.divergence;
+    EXPECT_EQ(result.vm_threaded.verdict, result.vm.verdict) << "seed " << seed;
+    EXPECT_EQ(result.vm_compiled.verdict, result.vm.verdict) << "seed " << seed;
+    EXPECT_EQ(result.vm_threaded.error, result.vm.error) << "seed " << seed;
+    EXPECT_EQ(result.vm_compiled.error, result.vm.error) << "seed " << seed;
   }
 }
 
@@ -94,6 +114,7 @@ TEST(FuzzDifferential, GeneratedCAgreesOnFixedSeeds) {
 TEST(FuzzDifferential, VerdictIsDeterministicAcrossRunsAndCheckerThreads) {
   DifferentialOptions options;
   options.run_c = false;
+  options.run_vm_tiers = false;
   for (uint64_t seed : {11u, 23u, 307u, 5001u}) {
     SpecModel model = GenerateSpec(seed);
     DifferentialResult first = RunDifferential(model, options);

@@ -550,7 +550,11 @@ std::string RunSoakSeed(uint64_t seed, bool interrupt_driven) {
              driver.fault_plan().Describe() +
              "\nreplay: " + driver.fault_plan().ReplayCommand() + "\n" +
              FormatRecoveryCounters(sup.counters()) + "\n" +
-             monitor::FormatTripCounters(driver.MonitorCounters());
+             monitor::FormatTripCounters(driver.MonitorCounters()) + "\n" +
+             "exec: mode=" + vm::ExecModeName(driver.exec_mode()) +
+             " instr_retired=" + std::to_string(driver.instructions_retired()) +
+             " mmio_bursts=" + std::to_string(driver.mmio_bursts()) +
+             " irqs_coalesced=" + std::to_string(driver.irqs_coalesced());
     }
     offset += 8;
   }
