@@ -521,7 +521,7 @@ const std::set<std::string>& AllRules() {
   static const std::set<std::string> rules = {
       kRuleUseBeforeInit,  kRuleUnreachableCode,    kRuleTruncationLoss,
       kRuleStaticBounds,   kRuleChannelConformance, kRuleProgressReachability,
-      kRuleResetSafety,
+      kRuleResetSafety,    kRuleAssertAlwaysTrue,   kRuleInfeasibleBranch,
   };
   return rules;
 }
@@ -616,6 +616,81 @@ AnalysisResult AnalyzeCompilation(const ir::Compilation& comp, DiagnosticEngine&
         diag.Note(comp.esm_buffer(), note.location, note.message);
       }
     }
+    if (severity == Severity::kError) {
+      ++result.errors;
+    } else {
+      ++result.warnings;
+    }
+  }
+  return result;
+}
+
+AnalysisResult ReportSymFindings(const ir::Compilation& comp,
+                                 const sym::CompilationSummary& summary, DiagnosticEngine& diag,
+                                 const AnalysisOptions& options) {
+  std::vector<Finding> findings;
+  for (const sym::ModuleSummary& m : summary.modules) {
+    if (!m.complete) {
+      continue;  // Nothing was proved; no rule can fire.
+    }
+    for (const sym::SiteVerdict& site : m.sites) {
+      if (site.kind != sym::SiteVerdict::Kind::kAssert || !site.tautology) {
+        continue;
+      }
+      Finding finding;
+      finding.rule = kRuleAssertAlwaysTrue;
+      finding.severity = Severity::kWarning;
+      finding.location = site.loc;
+      finding.message = "assert holds for every value its operand types admit; "
+                        "the check is vacuous";
+      findings.push_back(std::move(finding));
+    }
+    for (const sym::BranchInfo& branch : m.infeasible_branches) {
+      // Only type-level dead arms are findings: an arm dead merely because
+      // of the peers this compilation pairs the module with (or because of
+      // an assumed external contract) is a configuration fact, not a spec
+      // defect — the same spec text may be live in another build.
+      if (branch.assumed || !branch.from_types) {
+        continue;
+      }
+      Finding finding;
+      finding.rule = kRuleInfeasibleBranch;
+      finding.severity = Severity::kWarning;
+      finding.location = branch.loc;
+      finding.message = std::string("branch ") +
+                        (branch.true_infeasible && branch.false_infeasible
+                             ? "is unreachable"
+                             : branch.true_infeasible ? "never takes its true arm"
+                                                      : "never takes its false arm") +
+                        " for any value its operand types admit";
+      findings.push_back(std::move(finding));
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(), FindingBefore);
+  // Several IR sites can lower from one source construct; report each
+  // (rule, location) once.
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.rule == b.rule && a.location.line == b.location.line &&
+                                      a.location.column == b.location.column;
+                             }),
+                 findings.end());
+
+  AnalysisResult result;
+  SuppressionMap suppressions(comp.preprocessed_esm());
+  for (const Finding& finding : findings) {
+    if (options.disabled.count(finding.rule) > 0 ||
+        (finding.location.IsValid() &&
+         suppressions.IsSuppressed(finding.location.line, finding.rule))) {
+      ++result.suppressed;
+      continue;
+    }
+    Severity severity = finding.severity;
+    if (severity == Severity::kWarning && options.werror) {
+      severity = Severity::kError;
+    }
+    diag.Report(severity, comp.esm_buffer(), finding.location,
+                finding.message + " [" + finding.rule + "]");
     if (severity == Severity::kError) {
       ++result.errors;
     } else {

@@ -16,6 +16,11 @@
 //                                   because frames start zeroed; the reset entry
 //                                   path (stale persistent state) reaches it
 //                                   without a reassignment
+//   assert-always-true     warning  assert provable from the leaf storage types
+//                                   alone (esmsym pass; the check is vacuous)
+//   infeasible-branch      warning  branch arm dead for every value its operand
+//                                   types admit (esmsym pass; arms dead only
+//                                   under this build's peers stay silent)
 
 #ifndef SRC_ANALYSIS_ANALYSIS_H_
 #define SRC_ANALYSIS_ANALYSIS_H_
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/sym/symexec.h"
 #include "src/ir/compile.h"
 #include "src/ir/ir.h"
 #include "src/support/diagnostics.h"
@@ -37,6 +43,9 @@ inline constexpr char kRuleStaticBounds[] = "static-bounds";
 inline constexpr char kRuleChannelConformance[] = "channel-conformance";
 inline constexpr char kRuleProgressReachability[] = "progress-reachability";
 inline constexpr char kRuleResetSafety[] = "reset-safety";
+// Reported by the esmsym pass (esmc --sym), not the dataflow lint pass.
+inline constexpr char kRuleAssertAlwaysTrue[] = "assert-always-true";
+inline constexpr char kRuleInfeasibleBranch[] = "infeasible-branch";
 
 // All rule names, for suppression-pragma validation.
 const std::set<std::string>& AllRules();
@@ -93,6 +102,17 @@ AnalysisResult AnalyzeCompilation(const ir::Compilation& comp, DiagnosticEngine&
 // Human-readable dump of the computed facts (reachability, feasibility,
 // per-variable intervals at block entry) for `esmc --dump-analysis`.
 std::string DumpAnalysis(const ir::Compilation& comp);
+
+// The esmsym lint export (esmc --sym): converts an already computed symbolic
+// summary into findings for the two sym-backed rules — `assert-always-true`
+// (type-tautology asserts: vacuous no matter what the program computes) and
+// `infeasible-branch` (a branch arm no admitted valuation reaches, skipping
+// proofs that lean on assumed external contracts) — then applies the same
+// `#pragma esmlint` suppressions and options as AnalyzeCompilation. Unproved
+// obligations are NOT findings here; esmc reports those as per-site verdicts.
+AnalysisResult ReportSymFindings(const ir::Compilation& comp,
+                                 const sym::CompilationSummary& summary, DiagnosticEngine& diag,
+                                 const AnalysisOptions& options = {});
 
 }  // namespace efeu::analysis
 

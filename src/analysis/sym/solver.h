@@ -1,0 +1,148 @@
+// The esmsym path-condition solver: a small, home-grown decision procedure
+// over expression DAGs whose leaves are abstract SymVals. It decides assert
+// and branch conditions three ways, in order of precision:
+//
+//   1. exact small-set enumeration — when every distinct leaf carries a
+//      value set and the cross product is small, evaluate the DAG pointwise
+//      with the *exact* IR scalar semantics (ir::EvalBinOp, including
+//      bit-width truncation), partitioning combinations into true/false;
+//   2. leaf projection — from the same enumeration, project each arm's
+//      admitted values per leaf, giving the per-arm store refinements that
+//      make chained `if (x == A) ... else if (x == B) ... else` dead arms
+//      provable;
+//   3. abstract fallback — evaluate the DAG over the interval + congruence
+//      domain when enumeration is out of reach.
+//
+// The solver also answers "is this assert a *type tautology*" — true for
+// every value the leaf storage types admit, independent of reachable values
+// — which is what the assert-always-true lint rule reports (a contingent
+// assert that merely happens to be provable is a verification success, not a
+// spec smell).
+
+#ifndef SRC_ANALYSIS_SYM_SOLVER_H_
+#define SRC_ANALYSIS_SYM_SOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/sym/domain.h"
+#include "src/esi/type.h"
+#include "src/esm/ast.h"
+
+namespace efeu::analysis::sym {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// One node of an expression DAG. Leaves snapshot the abstract value (and
+// generation) of a slot record at the time the expression was built, so a
+// later overwrite of the record cannot corrupt the meaning of an already
+// computed temporary; refinement write-back checks the generation instead.
+struct Expr {
+  enum class Kind { kLeaf, kConst, kUn, kBin, kTrunc };
+  Kind kind = Kind::kConst;
+
+  // kLeaf.
+  int record = -1;
+  uint64_t gen = 0;
+  SymVal leaf_val;
+  Type leaf_type;  // Element storage type of the record (tautology checks).
+  // Multi-word records (array fields) share one abstract cell across
+  // elements, so a comparison against one element must not narrow the cell.
+  bool refinable = true;
+
+  // kConst.
+  int32_t cval = 0;
+
+  esm::UnaryOp un = esm::UnaryOp::kPlus;
+  esm::BinaryOp bin = esm::BinaryOp::kAdd;
+  Type trunc_type;  // kTrunc.
+  ExprPtr a;
+  ExprPtr b;
+  // Node count of the DAG rooted here; builders cap expression growth on it.
+  int size = 1;
+
+  static ExprPtr Leaf(int record, uint64_t gen, SymVal val, Type type, bool refinable);
+  static ExprPtr Const(int32_t v);
+  static ExprPtr Un(esm::UnaryOp op, ExprPtr a);
+  static ExprPtr Bin(esm::BinaryOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr Trunc(Type type, ExprPtr a);
+};
+
+// Hard caps keeping the solver strictly linear-ish per query.
+inline constexpr int kMaxExprLeaves = 6;
+inline constexpr int64_t kMaxCombos = 512;
+inline constexpr int64_t kMaxTautologyCombos = 1024;
+
+enum class Outcome {
+  kAlwaysTrue,   // nonzero for every admitted leaf combination
+  kAlwaysFalse,  // zero for every admitted leaf combination
+  kUnknown,
+};
+
+// One per-arm leaf refinement: record's admitted values on that arm.
+struct LeafRefinement {
+  int record = -1;
+  uint64_t gen = 0;
+  SymVal refined;
+};
+
+struct SolveResult {
+  Outcome outcome = Outcome::kUnknown;
+  // Whether the condition ever failed to evaluate (division by zero in some
+  // admitted combination): blocks "always" claims about executions.
+  bool may_fail = false;
+  // The decision depends on an assumed external channel contract.
+  bool assumed = false;
+  // Populated on enumeration: per-leaf admitted values when the condition is
+  // nonzero / zero. Empty refinements mean "no narrowing learned".
+  std::vector<LeafRefinement> when_true;
+  std::vector<LeafRefinement> when_false;
+  // Enumeration was exact (outcomes/refinements came from path 1/2 above).
+  bool enumerated = false;
+};
+
+class Solver {
+ public:
+  // Decides `e != 0`. Counts work into the cumulative counters below.
+  SolveResult Solve(const ExprPtr& e);
+
+  // True when `e != 0` holds for every combination of values the leaf
+  // *storage types* admit — i.e. the assert is vacuous no matter what the
+  // program computes. Only decidable for small leaf storages; returns false
+  // (not a claim) when enumeration is out of reach or any leaf is tainted by
+  // an assumed contract.
+  bool IsTypeTautology(const ExprPtr& e);
+
+  // The verdict of `e != 0` over every combination of values the leaf
+  // *storage types* admit, ignoring everything the analysis learned about
+  // the actual values. kAlwaysTrue / kAlwaysFalse here means the outcome is
+  // a property of the types alone — it holds against any contract-honoring
+  // peer, not just the peers of this compilation. kUnknown when the outcome
+  // varies, enumeration is out of reach, or the condition has no program
+  // leaves (a constant condition is a control-flow idiom, e.g. `while (1)`,
+  // not a type fact). When a subtree below a Trunc holds a leaf too wide to
+  // enumerate, the Trunc node itself becomes the enumeration variable
+  // (truncation is surjective onto its storage), so narrow-variable idioms
+  // like `assert(b < 256)` over a u8 decide even when `b` was computed from
+  // i32 values.
+  Outcome StorageOutcome(const ExprPtr& e);
+
+  // Abstract evaluation of the DAG over the SymVal domain (fallback path;
+  // also used to value temporaries that carry expressions).
+  SymVal Eval(const ExprPtr& e);
+
+  uint64_t queries() const { return queries_; }
+  uint64_t enumerations() const { return enumerations_; }
+  uint64_t combos_evaluated() const { return combos_evaluated_; }
+
+ private:
+  uint64_t queries_ = 0;
+  uint64_t enumerations_ = 0;
+  uint64_t combos_evaluated_ = 0;
+};
+
+}  // namespace efeu::analysis::sym
+
+#endif  // SRC_ANALYSIS_SYM_SOLVER_H_

@@ -30,6 +30,23 @@ std::string UpperSanitize(const std::string& name) {
   return out;
 }
 
+std::vector<int> ActiveIndices(const monitor::ChannelSpec& channel) {
+  std::vector<int> active;
+  for (size_t i = 0; i < channel.bounds.size(); ++i) {
+    if (!channel.bounds[i].statically_discharged) {
+      active.push_back(static_cast<int>(i));
+    }
+  }
+  return active;
+}
+
+// A direction with some (but not all) bounds statically discharged gets
+// compacted tables plus a word-index table; a fully armed direction keeps the
+// dense one-bound-per-word layout.
+bool IsSparse(const monitor::ChannelSpec& channel) {
+  return ActiveIndices(channel).size() < channel.bounds.size();
+}
+
 // Emits the min/max tables for one direction. No tables for an empty spec:
 // the corresponding check degenerates to "always passes".
 void EmitBoundTables(CodeWriter& out, const monitor::ChannelSpec& channel,
@@ -37,12 +54,38 @@ void EmitBoundTables(CodeWriter& out, const monitor::ChannelSpec& channel,
   if (channel.bounds.empty()) {
     return;
   }
-  out.Line("/* " + dir + " channel " + channel.name + ": one inclusive bound per flat word. */");
+  const std::vector<int> active = ActiveIndices(channel);
+  if (active.empty()) {
+    out.Line("/* " + dir + " channel " + channel.name + ": all " +
+             std::to_string(channel.bounds.size()) +
+             " bounds statically discharged; no tables emitted. */");
+    out.Blank();
+    return;
+  }
+  if (active.size() == channel.bounds.size()) {
+    out.Line("/* " + dir + " channel " + channel.name +
+             ": one inclusive bound per flat word. */");
+  } else {
+    out.Line("/* " + dir + " channel " + channel.name + ": " +
+             std::to_string(channel.bounds.size() - active.size()) + " of " +
+             std::to_string(channel.bounds.size()) +
+             " bounds statically discharged; tables cover armed words only. */");
+    out.Line("static const int32_t " + prefix + "_" + dir + "_word[" +
+             std::to_string(active.size()) + "] = {");
+    out.Indent();
+    for (int i : active) {
+      out.Line(std::to_string(channel.bounds[i].word) + ",  /* " +
+               channel.bounds[i].field + " */");
+    }
+    out.Dedent();
+    out.Line("};");
+  }
   for (const char* which : {"min", "max"}) {
     out.Line("static const int32_t " + prefix + "_" + dir + "_" + which + "[" +
-             std::to_string(channel.bounds.size()) + "] = {");
+             std::to_string(active.size()) + "] = {");
     out.Indent();
-    for (const monitor::WordBound& bound : channel.bounds) {
+    for (int i : active) {
+      const monitor::WordBound& bound = channel.bounds[i];
       const int32_t value = which[1] == 'i' ? bound.min : bound.max;
       out.Line(std::to_string(value) + ",  /* " + bound.field + " */");
     }
@@ -54,16 +97,26 @@ void EmitBoundTables(CodeWriter& out, const monitor::ChannelSpec& channel,
 
 void EmitCheckCall(CodeWriter& out, const monitor::ChannelSpec& channel,
                    const std::string& prefix, const std::string& dir) {
-  if (channel.bounds.empty()) {
+  const std::vector<int> active = ActiveIndices(channel);
+  if (active.empty()) {
     out.Line("(void)words;");
     return;
   }
-  out.Line("int failed = " + prefix + "_check_words(words, " + prefix + "_" +
-           dir + "_min, " + prefix + "_" + dir + "_max, " +
-           std::to_string(channel.bounds.size()) + ");");
-  out.Line("if (failed >= 0) {");
-  out.Indent();
-  out.Line("s->last_failed_word = failed;");
+  if (active.size() == channel.bounds.size()) {
+    out.Line("int failed = " + prefix + "_check_words(words, " + prefix + "_" +
+             dir + "_min, " + prefix + "_" + dir + "_max, " +
+             std::to_string(channel.bounds.size()) + ");");
+    out.Line("if (failed >= 0) {");
+    out.Indent();
+    out.Line("s->last_failed_word = failed;");
+  } else {
+    out.Line("int failed = " + prefix + "_check_words_at(words, " + prefix + "_" + dir +
+             "_word, " + prefix + "_" + dir + "_min, " + prefix + "_" + dir + "_max, " +
+             std::to_string(active.size()) + ");");
+    out.Line("if (failed >= 0) {");
+    out.Indent();
+    out.Line("s->last_failed_word = " + prefix + "_" + dir + "_word[failed];");
+  }
   out.Line(prefix + "_shadow_trip(s, " + UpperSanitize(prefix) + "_TRIP_FIELD_RANGE);");
   out.Dedent();
   out.Line("}");
@@ -116,7 +169,11 @@ std::string GenerateShadowCheckerC(const monitor::MonitorSpec& spec,
   out.Blank();
   EmitBoundTables(out, spec.down, prefix, "down");
   EmitBoundTables(out, spec.up, prefix, "up");
-  if (!spec.down.bounds.empty() || !spec.up.bounds.empty()) {
+  const bool any_dense = (!spec.down.bounds.empty() && !IsSparse(spec.down)) ||
+                         (!spec.up.bounds.empty() && !IsSparse(spec.up));
+  const bool any_sparse = (IsSparse(spec.down) && spec.down.ActiveBounds() > 0) ||
+                          (IsSparse(spec.up) && spec.up.ActiveBounds() > 0);
+  if (any_dense) {
     out.Line("static int " + prefix +
              "_check_words(const int32_t* words, const int32_t* mins,");
     out.Line("              const int32_t* maxs, int n) {");
@@ -125,6 +182,27 @@ std::string GenerateShadowCheckerC(const monitor::MonitorSpec& spec,
     out.Line("for (i = 0; i < n; ++i) {");
     out.Indent();
     out.Line("if (words[i] < mins[i] || words[i] > maxs[i]) {");
+    out.Indent();
+    out.Line("return i;");
+    out.Dedent();
+    out.Line("}");
+    out.Dedent();
+    out.Line("}");
+    out.Line("return -1;");
+    out.Dedent();
+    out.Line("}");
+    out.Blank();
+  }
+  if (any_sparse) {
+    out.Line("/* Armed-word variant: `at` maps table index i to the flat word. */");
+    out.Line("static int " + prefix +
+             "_check_words_at(const int32_t* words, const int32_t* at,");
+    out.Line("                 const int32_t* mins, const int32_t* maxs, int n) {");
+    out.Indent();
+    out.Line("int i;");
+    out.Line("for (i = 0; i < n; ++i) {");
+    out.Indent();
+    out.Line("if (words[at[i]] < mins[i] || words[at[i]] > maxs[i]) {");
     out.Indent();
     out.Line("return i;");
     out.Dedent();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <sstream>
 
+#include "src/analysis/sym/symexec.h"
 #include "src/check/checker.h"
 #include "src/check/ir_process.h"
 #include "src/check/native_process.h"
@@ -911,6 +912,33 @@ DifferentialResult RunDifferential(const std::string& esi_text, const std::strin
   }
   if (options.compare_checker_threads) {
     CompareCheckerEngines(*compilation, entry, stimuli, &result);
+  }
+  if (options.run_sym) {
+    analysis::sym::SymOptions sym_options;
+    sym_options.external_facts = analysis::sym::ExternalFacts::kTop;
+    analysis::sym::CompilationSummary summary =
+        analysis::sym::AnalyzeCompilationSym(*compilation, sym_options);
+    result.sym_ran = true;
+    for (const analysis::sym::ModuleSummary& m : summary.modules) {
+      for (const analysis::sym::SiteVerdict& site : m.sites) {
+        ++result.sym_obligations;
+        if (site.proved && !site.assumed) {
+          ++result.sym_proved;
+        }
+      }
+    }
+    bool any_assumed = false;
+    result.sym_all_proved = summary.AllProved(&any_assumed) && !any_assumed;
+    // With unconstrained externals a full proof is unconditional; any
+    // failing execution of any schedule refutes it. The interpreter is the
+    // reference trace, and the tiers/checker already compared against it.
+    if (result.sym_all_proved && (result.vm.verdict == Verdict::kAssertFailed ||
+                                  result.vm.verdict == Verdict::kRuntimeError)) {
+      result.sym_consistent = false;
+      result.sym_error = std::string("esmsym proved every obligation, but the vm run ") +
+                         VerdictName(result.vm.verdict) + " at step " +
+                         std::to_string(result.vm.failed_step) + ": " + result.vm.error;
+    }
   }
   return result;
 }

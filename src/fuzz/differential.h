@@ -78,6 +78,10 @@ struct DifferentialOptions {
   // Additionally run the full model checker with 1 and 2 threads and compare
   // the verdicts (search-order independence of the parallel engine).
   bool compare_checker_threads = false;
+  // Run the symbolic executor (src/analysis/sym) over the spec with
+  // unconstrained external words and cross-check its verdict against the
+  // execution targets (see DifferentialResult::sym_consistent).
+  bool run_sym = true;
   uint64_t max_rtl_cycles = 200000;
   uint64_t max_checker_transitions = 100000;
   // Where temporary C build directories are created.
@@ -105,6 +109,20 @@ struct DifferentialResult {
   // Results of the optional 1-vs-2-thread full model-check comparison.
   bool checker_parallel_consistent = true;
   std::string checker_parallel_error;
+
+  // Symbolic-executor soundness cross-check (run_sym). The executor runs
+  // with unconstrained external words (fuzz stimuli are raw int32), so its
+  // proofs are unconditional: if every assert/divisor/index obligation of
+  // every module is proved, NO schedule may fail an assert or hit a runtime
+  // fault — a tripped obligation after a full proof is an executor soundness
+  // bug, and sym_consistent goes false. Partial proofs assert nothing a
+  // single schedule could falsify, so only the all-proved case checks.
+  bool sym_ran = false;
+  bool sym_all_proved = false;
+  int sym_obligations = 0;
+  int sym_proved = 0;
+  bool sym_consistent = true;
+  std::string sym_error;
 };
 
 // True when a C compiler (`cc`) is on PATH; probed once per process.

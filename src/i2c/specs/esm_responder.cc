@@ -224,6 +224,7 @@ void REep() {
   RTransactionToREep q;
   byte mem[EEP_MEM_SIZE];
   int offset;
+  byte ohi;
   byte obytes;
   REResult res;
   byte outdata;
@@ -231,6 +232,7 @@ void REep() {
 
   // Erased EEPROM: every cell reads zero, offset pointer at the start.
   offset = 0;
+  ohi = 0;
   obytes = 0;
   i = 0;
   while (i < EEP_MEM_SIZE) {
@@ -250,10 +252,14 @@ void REep() {
     obytes = 2;
   } else if (q.ev == RE_EV_DATA) {
     if (obytes == 0) {
-      offset = q.wdata << 8;
+      // Latch the high address byte; the pointer is combined and reduced
+      // into the modeled window only once the low byte arrives, so `offset`
+      // always holds a valid index (the hardware pointer wraps the same
+      // way: it can never point outside the array it addresses).
+      ohi = q.wdata;
       obytes = 1;
     } else if (obytes == 1) {
-      offset = (offset | q.wdata) % EEP_MEM_SIZE;
+      offset = ((ohi << 8) | q.wdata) % EEP_MEM_SIZE;
       obytes = 2;
     } else {
       mem[offset] = q.wdata;

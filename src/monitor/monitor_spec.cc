@@ -105,6 +105,9 @@ const char* TripKindName(TripKind kind) {
 bool ChannelSpec::CheckMessage(std::span<const int32_t> words, int* failed) const {
   for (size_t i = 0; i < bounds.size() && i < words.size(); ++i) {
     const WordBound& bound = bounds[i];
+    if (bound.statically_discharged) {
+      continue;
+    }
     const int32_t value = words[bound.word];
     if (value < bound.min || value > bound.max) {
       if (failed != nullptr) {
@@ -114,6 +117,67 @@ bool ChannelSpec::CheckMessage(std::span<const int32_t> words, int* failed) cons
     }
   }
   return true;
+}
+
+int ChannelSpec::ActiveBounds() const {
+  int active = 0;
+  for (const WordBound& bound : bounds) {
+    active += bound.statically_discharged ? 0 : 1;
+  }
+  return active;
+}
+
+void ApplyStaticDischarge(const esi::SystemInfo& info, const esi::ChannelInfo* channel,
+                          std::span<const ProvenWordFact> facts, ChannelSpec* spec) {
+  if (channel == nullptr || spec == nullptr) {
+    return;
+  }
+  for (WordBound& bound : spec->bounds) {
+    // The range the producer's truncation can actually emit for this word.
+    // Distinct from ElementRange: an enum truncates to 8-bit storage, which
+    // is wider than its ordinal range — so enum bounds need a proven fact.
+    const esi::FieldInfo* field = nullptr;
+    for (const esi::FieldInfo& f : channel->fields) {
+      if (bound.word >= f.flat_offset && bound.word < f.flat_offset + f.type.FlatSize()) {
+        field = &f;
+      }
+    }
+    if (field != nullptr) {
+      Type elem = field->type.Element();
+      int64_t smin = 0;
+      int64_t smax = 0;
+      switch (elem.kind) {
+        case ScalarKind::kBit:
+        case ScalarKind::kBool:
+          smax = 1;
+          break;
+        case ScalarKind::kU8:
+        case ScalarKind::kEnum:  // 8-bit storage.
+          smax = 255;
+          break;
+        case ScalarKind::kI16:
+          smin = -32768;
+          smax = 32767;
+          break;
+        case ScalarKind::kI32:
+          smin = std::numeric_limits<int32_t>::min();
+          smax = std::numeric_limits<int32_t>::max();
+          break;
+      }
+      if (smin >= bound.min && smax <= bound.max) {
+        bound.statically_discharged = true;
+        continue;
+      }
+    }
+    for (const ProvenWordFact& fact : facts) {
+      if (fact.word == bound.word && !fact.assumed && fact.min >= bound.min &&
+          fact.max <= bound.max) {
+        bound.statically_discharged = true;
+        break;
+      }
+    }
+  }
+  (void)info;
 }
 
 MonitorSpec MonitorSpec::FromSystem(const esi::SystemInfo& info,

@@ -49,6 +49,10 @@ struct WordBound {
   int32_t max = 0;
   // "field" or "field[i]" for array slots (diagnostics only).
   std::string field;
+  // Proven un-trippable for messages the verified software produces;
+  // CheckMessage and the emitted C checker skip it. Only
+  // ApplyStaticDischarge sets this — FromSystem always arms every bound.
+  bool statically_discharged = false;
 };
 
 // The word-level contract of one channel direction.
@@ -57,10 +61,13 @@ struct ChannelSpec {
   int flat_size = 0;
   std::vector<WordBound> bounds;  // exactly one per flat word
 
-  // True when every word of `words` lies inside its bound. On failure,
-  // *failed (when non-null) receives the index into `bounds` of the first
-  // violated slot.
+  // True when every word of `words` lies inside its (non-discharged) bound.
+  // On failure, *failed (when non-null) receives the index into `bounds` of
+  // the first violated slot.
   bool CheckMessage(std::span<const int32_t> words, int* failed = nullptr) const;
+
+  // Bounds still armed after static discharge (all of them by default).
+  int ActiveBounds() const;
 };
 
 // The monitored contract of a software/hardware boundary: the downstream
@@ -76,6 +83,26 @@ struct MonitorSpec {
                                 const esi::ChannelInfo* down_channel,
                                 const esi::ChannelInfo* up_channel);
 };
+
+// One per-word fact proven by an upstream static analysis (the esmsym send
+// summaries). A plain struct so the monitor library takes no dependency on
+// the analysis layer; esmc and the verifier convert summaries themselves.
+struct ProvenWordFact {
+  int word = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  // The proof leans on an assumed external contract; never discharges.
+  bool assumed = false;
+};
+
+// Marks a bound of `spec` discharged when (a) the bound already admits every
+// value the field's *storage* type can hold — the typed producer truncates
+// each staged word, so the bound cannot trip — or (b) a non-assumed proven
+// fact fits inside the bound. Apply to the software-produced (down)
+// direction only: up-direction bounds exist to catch hardware faults, which
+// no software-side proof can rule out.
+void ApplyStaticDischarge(const esi::SystemInfo& info, const esi::ChannelInfo* channel,
+                          std::span<const ProvenWordFact> facts, ChannelSpec* spec);
 
 // Aggregated monitor outcome, shared by the shadow checker and the bus
 // watcher and surfaced through DriverMetrics.

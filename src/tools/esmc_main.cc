@@ -51,6 +51,9 @@ struct Options {
   bool lint = false;
   bool lint_werror = false;
   bool dump_analysis = false;
+  bool sym = false;
+  bool sym_werror = false;
+  bool dump_sym = false;
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -80,6 +83,7 @@ int Usage() {
                "usage: esmc (--esi FILE --esm FILE... | --builtin-i2c controller|responder)\n"
                "            [-D NAME[=VALUE]] [--verifier]\n"
                "            [--lint | --lint=Werror] [--dump-analysis]\n"
+               "            [--sym | --sym=Werror] [--dump-sym]\n"
                "            [--emit promela|c|verilog|mmio|monitor|ir]\n"
                "            [--entry LAYER] [--iface UPPER:LOWER] [-o DIR]\n");
   return 2;
@@ -149,6 +153,13 @@ int main(int argc, char** argv) {
       options.lint_werror = true;
     } else if (arg == "--dump-analysis") {
       options.dump_analysis = true;
+    } else if (arg == "--sym") {
+      options.sym = true;
+    } else if (arg == "--sym=Werror") {
+      options.sym = true;
+      options.sym_werror = true;
+    } else if (arg == "--dump-sym") {
+      options.dump_sym = true;
     } else if (arg == "--builtin-i2c") {
       const char* value = next();
       if (value == nullptr) {
@@ -160,7 +171,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (options.emit.empty() && !options.lint && !options.dump_analysis) {
+  if (options.emit.empty() && !options.lint && !options.dump_analysis && !options.sym &&
+      !options.dump_sym) {
     return Usage();
   }
 
@@ -219,12 +231,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // ---- Lint / analysis dump -------------------------------------------
+  // ---- Lint / sym / analysis dump -------------------------------------
   efeu::analysis::AnalysisResult lint_result;
   if (options.lint) {
     efeu::analysis::AnalysisOptions analysis_options;
     analysis_options.werror = options.lint_werror;
     lint_result = efeu::analysis::AnalyzeCompilation(*compilation, diag, analysis_options);
+  }
+  efeu::analysis::AnalysisResult sym_result;
+  efeu::analysis::sym::CompilationSummary sym_summary;
+  if (options.sym || options.dump_sym ||
+      (options.emit == "monitor" && options.sym)) {
+    // External senders get the assumed ESI contract facts: the proofs are
+    // per-module, conditioned on every peer honoring its channel contract.
+    sym_summary = efeu::analysis::sym::AnalyzeCompilationSym(*compilation);
+  }
+  if (options.sym) {
+    efeu::analysis::AnalysisOptions analysis_options;
+    analysis_options.werror = options.sym_werror;
+    sym_result =
+        efeu::analysis::ReportSymFindings(*compilation, sym_summary, diag, analysis_options);
+    // Unproved obligations are informational (a verdict, not a rule hit):
+    // the explicit checker still covers them. Caret notes point at the site.
+    for (const efeu::analysis::sym::ModuleSummary& m : sym_summary.modules) {
+      for (const efeu::analysis::sym::SiteVerdict& site : m.sites) {
+        if (site.proved || !site.loc.IsValid()) {
+          continue;
+        }
+        const char* what = site.kind == efeu::analysis::sym::SiteVerdict::Kind::kAssert
+                               ? "assert"
+                               : site.kind == efeu::analysis::sym::SiteVerdict::Kind::kDivisor
+                                     ? "divisor"
+                                     : "index";
+        diag.Note(compilation->esm_buffer(), site.loc,
+                  std::string(what) + " not statically proved in " + m.layer +
+                      (site.always_fails ? " (fails for every admitted value)" : "") +
+                      "; value " + site.value);
+      }
+    }
   }
   for (const efeu::Diagnostic& diagnostic : diag.diagnostics()) {
     std::fprintf(stderr, "%s\n", diagnostic.Render().c_str());
@@ -233,10 +277,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "esmc: lint: %d error(s), %d warning(s), %d suppressed\n",
                  lint_result.errors, lint_result.warnings, lint_result.suppressed);
   }
+  if (options.sym) {
+    int proved = 0;
+    int total = 0;
+    int assumed = 0;
+    for (const efeu::analysis::sym::ModuleSummary& m : sym_summary.modules) {
+      for (const efeu::analysis::sym::SiteVerdict& site : m.sites) {
+        ++total;
+        proved += site.proved ? 1 : 0;
+        assumed += site.proved && site.assumed ? 1 : 0;
+      }
+    }
+    std::fprintf(stderr,
+                 "esmc: sym: %d/%d obligation(s) proved (%d on assumed contracts), "
+                 "%llu path(s), %llu solver quer%s; %d error(s), %d warning(s), %d suppressed\n",
+                 proved, total, assumed,
+                 static_cast<unsigned long long>(sym_summary.TotalPaths()),
+                 static_cast<unsigned long long>(sym_summary.TotalSolverQueries()),
+                 sym_summary.TotalSolverQueries() == 1 ? "y" : "ies", sym_result.errors,
+                 sym_result.warnings, sym_result.suppressed);
+  }
   if (options.dump_analysis) {
     EmitFile(options, "analysis.txt", efeu::analysis::DumpAnalysis(*compilation));
   }
-  if (!lint_result.ok()) {
+  if (options.dump_sym) {
+    EmitFile(options, "sym.txt",
+             efeu::analysis::sym::RenderSymSummary(*compilation, sym_summary));
+  }
+  if (!lint_result.ok() || !sym_result.ok()) {
     return 3;
   }
   if (options.emit.empty()) {
@@ -301,6 +369,41 @@ int main(int argc, char** argv) {
     }
     efeu::monitor::MonitorSpec spec =
         efeu::monitor::MonitorSpec::FromSystem(compilation->system(), down, up);
+    if (options.sym && down != nullptr) {
+      // Drop range contracts the symbolic pass proved the software side can
+      // never violate. Down direction only: up-direction bounds exist to
+      // catch hardware faults, which no software-side proof rules out.
+      std::vector<efeu::monitor::ProvenWordFact> facts;
+      for (const efeu::ir::Module& module : compilation->modules()) {
+        int port = module.FindPort(down, /*is_send=*/true);
+        if (port < 0) {
+          continue;
+        }
+        for (const efeu::analysis::sym::ModuleSummary& m : sym_summary.modules) {
+          if (m.layer != module.layer_name) {
+            continue;
+          }
+          for (const efeu::analysis::sym::PortFacts& pf : m.send_facts) {
+            if (pf.port != port) {
+              continue;
+            }
+            for (size_t w = 0; w < pf.words.size(); ++w) {
+              const efeu::analysis::sym::SymVal& v = pf.words[w];
+              efeu::monitor::ProvenWordFact fact;
+              fact.word = static_cast<int>(w);
+              fact.min = v.HasSet() ? v.values.front() : v.interval.lo;
+              fact.max = v.HasSet() ? v.values.back() : v.interval.hi;
+              fact.assumed = v.assumed;
+              facts.push_back(fact);
+            }
+          }
+        }
+      }
+      efeu::monitor::ApplyStaticDischarge(compilation->system(), down, facts, &spec.down);
+      int dropped = static_cast<int>(spec.down.bounds.size()) - spec.down.ActiveBounds();
+      std::fprintf(stderr, "esmc: monitor: %d of %zu down bound(s) statically discharged\n",
+                   dropped, spec.down.bounds.size());
+    }
     const std::string name = upper + "_" + lower;
     EmitFile(options, name + "_shadow.c",
              efeu::codegen::GenerateShadowCheckerC(spec, name));

@@ -97,6 +97,30 @@ TEST(FuzzDifferential, ExecutionTiersAgreeOnFixedSeeds) {
   }
 }
 
+// The symbolic executor rides every differential run too (run_sym defaults
+// on, with unconstrained external words): when it proves EVERY obligation of
+// a spec, no schedule may fail, so a failing execution target would be an
+// executor soundness bug. This pins a fixed-seed slice where the cross-check
+// must hold and must actually engage (obligations counted, some fully
+// proved) — a slice where sym never ran would make the guarantee vacuous.
+TEST(FuzzDifferential, SymVerdictsAgreeWithExecutionOnFixedSeeds) {
+  DifferentialOptions options;
+  options.run_c = false;
+  options.run_vm_tiers = false;
+  int total_obligations = 0;
+  int fully_proved_specs = 0;
+  for (uint64_t seed = 400; seed < 440; ++seed) {
+    DifferentialResult result = RunDifferential(GenerateSpec(seed), options);
+    ASSERT_TRUE(result.accepted) << "seed " << seed << ": " << result.reject_reason;
+    EXPECT_TRUE(result.sym_ran) << "seed " << seed;
+    EXPECT_TRUE(result.sym_consistent) << "seed " << seed << ": " << result.sym_error;
+    total_obligations += result.sym_obligations;
+    fully_proved_specs += result.sym_all_proved ? 1 : 0;
+  }
+  EXPECT_GT(total_obligations, 0);
+  EXPECT_GT(fully_proved_specs, 0);
+}
+
 TEST(FuzzDifferential, GeneratedCAgreesOnFixedSeeds) {
   if (!HaveCCompiler()) {
     GTEST_SKIP() << "no C compiler on PATH";
@@ -192,6 +216,11 @@ TEST(FuzzCorpus, FuzzCorpusReplay) {
         RunDifferential(entry.esi, entry.esm, entry.stimuli, options);
     ASSERT_TRUE(result.accepted) << entry.name << ": " << result.reject_reason;
     EXPECT_TRUE(result.agree) << entry.name << ": " << result.divergence;
+    // Every committed repro also replays through the symbolic soundness
+    // cross-check: a corpus entry that once exposed an executor bug must
+    // keep exposing it.
+    EXPECT_TRUE(result.sym_ran) << entry.name;
+    EXPECT_TRUE(result.sym_consistent) << entry.name << ": " << result.sym_error;
   }
 }
 

@@ -1,0 +1,829 @@
+// Tests for esmsym (src/analysis/sym): the abstract domain at bit-width
+// boundaries, the path-condition solver (enumeration, refinement, storage
+// verdicts), the symbolic executor over small lowered specs (rendezvous
+// facts, short-circuit conditions, nondet, loop widening), the two sym-backed
+// lint rules with triggering and silent cases, golden summary rendering, the
+// shipped specifications proving clean under Werror, and the checker fast
+// path (symbolic discharge) with exact state parity when not discharged.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analysis.h"
+#include "src/analysis/sym/domain.h"
+#include "src/analysis/sym/solver.h"
+#include "src/analysis/sym/symexec.h"
+#include "src/i2c/stack.h"
+#include "src/i2c/verify.h"
+#include "src/ir/compile.h"
+#include "src/support/diagnostics.h"
+
+namespace efeu {
+namespace {
+
+using analysis::Interval;
+using analysis::sym::CompilationSummary;
+using analysis::sym::EvalBinOp;
+using analysis::sym::ExcludeValue;
+using analysis::sym::Expr;
+using analysis::sym::ExprPtr;
+using analysis::sym::Join;
+using analysis::sym::ModuleSummary;
+using analysis::sym::Outcome;
+using analysis::sym::Refine;
+using analysis::sym::SiteVerdict;
+using analysis::sym::Solver;
+using analysis::sym::SymVal;
+using analysis::sym::Truncate;
+using analysis::sym::Widen;
+
+// ---- domain: truncation at storage boundaries ------------------------------
+
+TEST(SymDomain, TruncateWrapsU8Pointwise) {
+  SymVal v = SymVal::FromSet({255, 256, 257, -1});
+  SymVal t = Truncate(v, Type::U8());
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_TRUE(t.Contains(1));
+  EXPECT_TRUE(t.Contains(255));
+  EXPECT_FALSE(t.Contains(256));
+  EXPECT_FALSE(t.Contains(-1));
+}
+
+TEST(SymDomain, TruncateSignExtendsI16) {
+  SymVal v = SymVal::FromSet({32767, 32768, 65535});
+  SymVal t = Truncate(v, Type::I16());
+  EXPECT_TRUE(t.Contains(32767));
+  EXPECT_TRUE(t.Contains(-32768));
+  EXPECT_TRUE(t.Contains(-1));
+  EXPECT_FALSE(t.Contains(32768));
+}
+
+TEST(SymDomain, TruncateNormalizesBoolish) {
+  SymVal t = Truncate(SymVal::FromSet({0, 7}), Type::Bool());
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_TRUE(t.Contains(1));
+  EXPECT_FALSE(t.Contains(7));
+  EXPECT_EQ(t.interval.lo, 0);
+  EXPECT_EQ(t.interval.hi, 1);
+}
+
+TEST(SymDomain, CongruenceSurvivesU8Truncation) {
+  // Even values stay even through a mod-256 reduction: gcd(2, 256) == 2.
+  SymVal v = SymVal::FromInterval(Interval::Of(0, 511));
+  v.mod = 2;
+  v.res = 0;
+  SymVal t = Truncate(v, Type::U8());
+  EXPECT_EQ(t.mod, 2);
+  EXPECT_EQ(t.res, 0);
+  EXPECT_FALSE(t.Contains(1));
+  EXPECT_TRUE(t.Contains(254));
+}
+
+TEST(SymDomain, StorageHullsMatchBitWidths) {
+  SymVal u8 = SymVal::Storage(Type::U8());
+  EXPECT_EQ(u8.interval.lo, 0);
+  EXPECT_EQ(u8.interval.hi, 255);
+  SymVal i16 = SymVal::Storage(Type::I16());
+  EXPECT_EQ(i16.interval.lo, -32768);
+  EXPECT_EQ(i16.interval.hi, 32767);
+  SymVal bit = SymVal::Storage(Type::Bit());
+  EXPECT_EQ(bit.interval.lo, 0);
+  EXPECT_EQ(bit.interval.hi, 1);
+}
+
+// ---- domain: join, widen, refine, exclude ----------------------------------
+
+TEST(SymDomain, JoinKeepsSmallSetsExact) {
+  SymVal j = Join(SymVal::FromSet({0, 2}), SymVal::FromSet({4}));
+  EXPECT_TRUE(j.HasSet());
+  EXPECT_TRUE(j.Contains(0));
+  EXPECT_TRUE(j.Contains(2));
+  EXPECT_TRUE(j.Contains(4));
+  EXPECT_FALSE(j.Contains(1));
+  EXPECT_FALSE(j.Contains(3));
+}
+
+TEST(SymDomain, JoinCollapsesOversizedSetsToHull) {
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  for (int i = 0; i < analysis::sym::kMaxSetSize; ++i) {
+    a.push_back(2 * i);
+    b.push_back(2 * i + 100);
+  }
+  SymVal j = Join(SymVal::FromSet(a), SymVal::FromSet(b));
+  EXPECT_FALSE(j.HasSet());
+  EXPECT_EQ(j.interval.lo, 0);
+  EXPECT_EQ(j.interval.hi, 100 + 2 * (analysis::sym::kMaxSetSize - 1));
+}
+
+TEST(SymDomain, JoinPropagatesAssumedTaint) {
+  SymVal tainted = SymVal::Exact(1);
+  tainted.assumed = true;
+  EXPECT_TRUE(Join(SymVal::Exact(0), tainted).assumed);
+  EXPECT_FALSE(Join(SymVal::Exact(0), SymVal::Exact(1)).assumed);
+}
+
+TEST(SymDomain, WidenJumpsGrowingBoundsToStorageHull) {
+  SymVal prev = SymVal::FromInterval(Interval::Of(0, 3));
+  SymVal next = SymVal::FromInterval(Interval::Of(0, 4));
+  SymVal w = Widen(prev, next, Interval::Of(0, 255));
+  EXPECT_EQ(w.interval.hi, 255);
+  EXPECT_EQ(w.interval.lo, 0);
+  // A stable bound is left alone.
+  SymVal stable = Widen(prev, prev, Interval::Of(0, 255));
+  EXPECT_EQ(stable.interval.hi, 3);
+}
+
+TEST(SymDomain, RefineIntersectsAndKeepsNonEmpty) {
+  SymVal r = Refine(SymVal::FromSet({0, 2, 5}), SymVal::FromInterval(Interval::Of(1, 4)));
+  EXPECT_TRUE(r.Contains(2));
+  EXPECT_FALSE(r.Contains(0));
+  EXPECT_FALSE(r.Contains(5));
+  // Empty intersection: refinement is advisory, the input survives.
+  SymVal kept = Refine(SymVal::Exact(7), SymVal::Exact(9));
+  EXPECT_TRUE(kept.Contains(7));
+}
+
+TEST(SymDomain, ExcludeValueDropsSetMember) {
+  SymVal v = ExcludeValue(SymVal::FromSet({0, 2, 5}), 0);
+  EXPECT_FALSE(v.Contains(0));
+  EXPECT_TRUE(v.Contains(2));
+  EXPECT_TRUE(v.Contains(5));
+}
+
+TEST(SymDomain, ExcludeValueTightensIntervalEndpoints) {
+  SymVal lo = ExcludeValue(SymVal::FromInterval(Interval::Of(0, 300)), 0);
+  EXPECT_EQ(lo.interval.lo, 1);
+  SymVal hi = ExcludeValue(SymVal::FromInterval(Interval::Of(-5, 300)), 300);
+  EXPECT_EQ(hi.interval.hi, 299);
+}
+
+TEST(SymDomain, ExcludeValueLeavesInteriorPointsAlone) {
+  // An interior exclusion is not representable in the domain.
+  SymVal v = ExcludeValue(SymVal::FromInterval(Interval::Of(0, 300)), 150);
+  EXPECT_EQ(v.interval.lo, 0);
+  EXPECT_EQ(v.interval.hi, 300);
+  EXPECT_TRUE(v.Contains(150));
+}
+
+TEST(SymDomain, ExcludeValuePreservesTaint) {
+  SymVal v = SymVal::FromSet({0, 2});
+  v.assumed = true;
+  EXPECT_TRUE(ExcludeValue(v, 0).assumed);
+}
+
+TEST(SymDomain, DivisionReportsMayFailOnlyWhenZeroAdmitted) {
+  bool may_fail = false;
+  SymVal q = EvalBinOp(esm::BinaryOp::kDiv, SymVal::Exact(10), SymVal::FromSet({0, 2}), &may_fail);
+  EXPECT_TRUE(may_fail);
+  EXPECT_TRUE(q.Contains(5));
+  may_fail = false;
+  EvalBinOp(esm::BinaryOp::kDiv, SymVal::Exact(10), SymVal::FromInterval(Interval::Of(1, 4)),
+            &may_fail);
+  EXPECT_FALSE(may_fail);
+}
+
+// ---- solver: enumeration, refinement, storage verdicts ---------------------
+
+ExprPtr LeafOf(int record, SymVal val, Type type = Type::I32()) {
+  return Expr::Leaf(record, /*gen=*/1, std::move(val), type, /*refinable=*/true);
+}
+
+TEST(SymSolver, EnumerationDecidesAndRefines) {
+  Solver solver;
+  // x in {0, 2, 5}; condition (x == 2).
+  ExprPtr cond =
+      Expr::Bin(esm::BinaryOp::kEq, LeafOf(0, SymVal::FromSet({0, 2, 5})), Expr::Const(2));
+  auto r = solver.Solve(cond);
+  EXPECT_EQ(r.outcome, Outcome::kUnknown);
+  EXPECT_TRUE(r.enumerated);
+  ASSERT_EQ(r.when_true.size(), 1u);
+  EXPECT_TRUE(r.when_true[0].refined.Contains(2));
+  EXPECT_FALSE(r.when_true[0].refined.Contains(0));
+  ASSERT_EQ(r.when_false.size(), 1u);
+  EXPECT_TRUE(r.when_false[0].refined.Contains(0));
+  EXPECT_TRUE(r.when_false[0].refined.Contains(5));
+  EXPECT_FALSE(r.when_false[0].refined.Contains(2));
+}
+
+TEST(SymSolver, EnumerationProvesAlwaysTrue) {
+  Solver solver;
+  ExprPtr cond =
+      Expr::Bin(esm::BinaryOp::kLt, LeafOf(0, SymVal::FromSet({1, 2, 3})), Expr::Const(4));
+  EXPECT_EQ(solver.Solve(cond).outcome, Outcome::kAlwaysTrue);
+}
+
+TEST(SymSolver, DivisionByPossiblyZeroLeafSetsMayFail) {
+  Solver solver;
+  ExprPtr cond =
+      Expr::Bin(esm::BinaryOp::kDiv, Expr::Const(8), LeafOf(0, SymVal::FromSet({0, 2})));
+  auto r = solver.Solve(cond);
+  EXPECT_TRUE(r.may_fail);
+}
+
+TEST(SymSolver, AssumedLeafTaintsTheDecision) {
+  Solver solver;
+  SymVal v = SymVal::FromSet({1, 2});
+  v.assumed = true;
+  ExprPtr cond = Expr::Bin(esm::BinaryOp::kGe, LeafOf(0, v), Expr::Const(1));
+  auto r = solver.Solve(cond);
+  EXPECT_EQ(r.outcome, Outcome::kAlwaysTrue);
+  EXPECT_TRUE(r.assumed);
+  // And an assumed leaf can never ground a type-tautology claim.
+  EXPECT_FALSE(solver.IsTypeTautology(cond));
+}
+
+TEST(SymSolver, StorageOutcomeJudgesTypesNotValues) {
+  Solver solver;
+  // b is a bool that the analysis knows is exactly 1; (b <= 1) holds for the
+  // whole storage, (b == 1) only for the learned value.
+  ExprPtr vacuous =
+      Expr::Bin(esm::BinaryOp::kLe, LeafOf(0, SymVal::Exact(1), Type::Bool()), Expr::Const(1));
+  EXPECT_EQ(solver.StorageOutcome(vacuous), Outcome::kAlwaysTrue);
+  EXPECT_TRUE(solver.IsTypeTautology(vacuous));
+  ExprPtr contingent =
+      Expr::Bin(esm::BinaryOp::kEq, LeafOf(0, SymVal::Exact(1), Type::Bool()), Expr::Const(1));
+  EXPECT_EQ(solver.StorageOutcome(contingent), Outcome::kUnknown);
+  EXPECT_FALSE(solver.IsTypeTautology(contingent));
+}
+
+TEST(SymSolver, StorageOutcomeAlwaysFalseAtBitWidthBoundary) {
+  Solver solver;
+  // A u8 can never exceed 255 — dead for any value its storage admits.
+  ExprPtr dead =
+      Expr::Bin(esm::BinaryOp::kGt, LeafOf(0, SymVal::Exact(3), Type::U8()), Expr::Const(300));
+  EXPECT_EQ(solver.StorageOutcome(dead), Outcome::kAlwaysFalse);
+}
+
+TEST(SymSolver, StorageOutcomeUnknownWithoutProgramLeaves) {
+  Solver solver;
+  // `while (1)` headers: a constant condition is control flow, not a type
+  // fact, so neither lint rule may claim it.
+  EXPECT_EQ(solver.StorageOutcome(Expr::Const(1)), Outcome::kUnknown);
+  EXPECT_FALSE(solver.IsTypeTautology(Expr::Const(1)));
+}
+
+// ---- executor over small lowered specs -------------------------------------
+
+constexpr char kPairEsi[] = R"esi(
+layer Up;
+layer Down;
+interface <Up, Down> {
+  => { i32 v; },
+  <= { i32 r; }
+};
+)esi";
+
+constexpr char kEchoDown[] = R"esm(
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(q.v);
+  goto end_reply;
+}
+)esm";
+
+struct SymOutcome {
+  std::unique_ptr<ir::Compilation> comp;
+  CompilationSummary summary;
+};
+
+SymOutcome RunSym(const std::string& esm, bool allow_nondet = false,
+                  const analysis::sym::SymOptions& options = {}) {
+  SymOutcome out;
+  DiagnosticEngine diag;
+  ir::CompileOptions copts;
+  copts.allow_nondet = allow_nondet;
+  out.comp = ir::Compile(kPairEsi, esm, diag, copts);
+  EXPECT_NE(out.comp, nullptr) << diag.RenderAll();
+  if (out.comp == nullptr) {
+    return out;
+  }
+  out.summary = analysis::sym::AnalyzeCompilationSym(*out.comp, options);
+  return out;
+}
+
+const ModuleSummary* FindModuleSummary(const SymOutcome& out, const std::string& layer) {
+  for (const ModuleSummary& m : out.summary.modules) {
+    if (m.layer == layer) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+// All assert-kind sites of one module, in program order.
+std::vector<const SiteVerdict*> AssertSites(const ModuleSummary& m) {
+  std::vector<const SiteVerdict*> sites;
+  for (const SiteVerdict& s : m.sites) {
+    if (s.kind == SiteVerdict::Kind::kAssert) {
+      sites.push_back(&s);
+    }
+  }
+  return sites;
+}
+
+TEST(SymExec, RendezvousProvesCrossLayerAssert) {
+  // Up's reply facts come from Down's computed send summary (assume-guarantee
+  // round 2), so the assert is proved without any assumed contract.
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(5);
+  assert(r.r == 5);
+}
+)esm") + kEchoDown);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  auto asserts = AssertSites(*up);
+  ASSERT_EQ(asserts.size(), 1u);
+  EXPECT_TRUE(asserts[0]->proved) << asserts[0]->value;
+  EXPECT_FALSE(asserts[0]->assumed);
+  bool any_assumed = true;
+  EXPECT_TRUE(out.summary.AllProved(&any_assumed));
+  EXPECT_FALSE(any_assumed);
+  EXPECT_GE(out.summary.rounds, 2);
+}
+
+TEST(SymExec, ShortCircuitOrConditionIsProved) {
+  // Short-circuit `||` lowers to a CFG that joins the condition cell from two
+  // blocks; the proof needs the arm-local strengthening of the condition cell
+  // itself (the cell is not a leaf of its own defining expression).
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int x;
+  r = UpTalkDown(1);
+  if (r.r > 0) {
+    x = 0;
+  } else {
+    x = 2;
+  }
+  assert(x == 0 || x == 2);
+  r = UpTalkDown(x);
+}
+)esm") + kEchoDown);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  auto asserts = AssertSites(*up);
+  ASSERT_EQ(asserts.size(), 1u);
+  EXPECT_TRUE(asserts[0]->proved) << asserts[0]->value;
+  EXPECT_FALSE(asserts[0]->assumed);
+}
+
+TEST(SymExec, NondetChoicesBecomeExactSets) {
+  // One summary covers both nondet arms; the assert bounds the choice.
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int c;
+  c = nondet(2);
+  assert(c < 2);
+  r = UpTalkDown(c);
+}
+)esm") + kEchoDown,
+                          /*allow_nondet=*/true);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  auto asserts = AssertSites(*up);
+  ASSERT_EQ(asserts.size(), 1u);
+  EXPECT_TRUE(asserts[0]->proved) << asserts[0]->value;
+}
+
+TEST(SymExec, GuardedDivisionIsProved) {
+  // The `d > 0` refinement is interval-representable ([1, hi]); a `d != 0`
+  // guard around an interval spanning zero would not be (interior-point
+  // exclusion), and the obligation would soundly stay unproved.
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int d;
+  int y;
+  r = UpTalkDown(3);
+  d = r.r;
+  if (d > 0) {
+    y = 12 / d;
+  } else {
+    y = 0;
+  }
+  r = UpTalkDown(y);
+}
+)esm") + kEchoDown);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  bool saw_divisor = false;
+  for (const SiteVerdict& s : up->sites) {
+    if (s.kind == SiteVerdict::Kind::kDivisor) {
+      saw_divisor = true;
+      EXPECT_TRUE(s.proved) << s.value;
+    }
+  }
+  EXPECT_TRUE(saw_divisor);
+}
+
+TEST(SymExec, UnguardedNondetDivisorStaysUnproved) {
+  // d draws from {0, 1, 2}; 12 / d can fail, and no proof may claim
+  // otherwise.
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int d;
+  int y;
+  d = nondet(3);
+  y = 12 / d;
+  r = UpTalkDown(y);
+}
+)esm") + kEchoDown,
+                          /*allow_nondet=*/true);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  bool saw_divisor = false;
+  for (const SiteVerdict& s : up->sites) {
+    if (s.kind == SiteVerdict::Kind::kDivisor) {
+      saw_divisor = true;
+      EXPECT_FALSE(s.proved) << s.value;
+    }
+  }
+  EXPECT_TRUE(saw_divisor);
+  EXPECT_FALSE(out.summary.AllProved());
+}
+
+TEST(SymExec, LoopIndexBoundsProvedThroughWidening) {
+  // The loop counter widens at the loop head, but the branch refinement on
+  // `i < 4` re-narrows the body store, so the index obligation stays proved.
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int arr[4];
+  int i;
+  i = 0;
+  while (i < 4) {
+    arr[i] = i;
+    i = i + 1;
+  }
+  r = UpTalkDown(arr[3]);
+}
+)esm") + kEchoDown);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  EXPECT_TRUE(up->complete);
+  EXPECT_GE(up->widenings, 0u);
+  bool saw_index = false;
+  for (const SiteVerdict& s : up->sites) {
+    if (s.kind == SiteVerdict::Kind::kIndex) {
+      saw_index = true;
+      EXPECT_TRUE(s.proved) << s.value;
+    }
+  }
+  EXPECT_TRUE(saw_index);
+}
+
+TEST(SymExec, BudgetExhaustionLeavesSitesUnproved) {
+  // A loop forces loop-head revisits (straight-line chains complete in one
+  // visit), so a one-visit budget must abort and withhold every proof.
+  analysis::sym::SymOptions options;
+  options.max_block_visits = 1;
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  int i;
+  i = 0;
+  while (i < 4) {
+    i = i + 1;
+  }
+  r = UpTalkDown(5);
+  assert(r.r == 5);
+}
+)esm") + kEchoDown,
+                          /*allow_nondet=*/false, options);
+  const ModuleSummary* up = FindModuleSummary(out, "Up");
+  ASSERT_NE(up, nullptr);
+  EXPECT_FALSE(up->complete);
+  EXPECT_FALSE(out.summary.AllProved());
+}
+
+// ---- sym-backed lint rules: triggering and silent cases --------------------
+
+struct SymLintOutcome {
+  analysis::AnalysisResult result;
+  std::string rendered;
+};
+
+SymLintOutcome SymLint(const std::string& esm, const analysis::AnalysisOptions& options = {},
+                       bool allow_nondet = false) {
+  SymLintOutcome outcome;
+  SymOutcome sym = RunSym(esm, allow_nondet);
+  if (sym.comp == nullptr) {
+    return outcome;
+  }
+  DiagnosticEngine diag;
+  outcome.result = analysis::ReportSymFindings(*sym.comp, sym.summary, diag, options);
+  outcome.rendered = diag.RenderAll();
+  return outcome;
+}
+
+TEST(SymLintRules, AssertAlwaysTrueFiresOnTypeTautology) {
+  SymLintOutcome out = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte b;
+  r = UpTalkDown(7);
+  b = r.r;
+  assert(b < 256);
+  r = UpTalkDown(b);
+}
+)esm") + kEchoDown);
+  EXPECT_GE(out.result.warnings, 1);
+  EXPECT_NE(out.rendered.find("[assert-always-true]"), std::string::npos) << out.rendered;
+}
+
+TEST(SymLintRules, ContingentProvedAssertStaysSilent) {
+  // Provable from the learned values but not from the types: a verification
+  // success, not a spec smell.
+  SymLintOutcome out = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(5);
+  assert(r.r == 5);
+}
+)esm") + kEchoDown);
+  EXPECT_EQ(out.result.warnings, 0) << out.rendered;
+  EXPECT_EQ(out.result.errors, 0) << out.rendered;
+}
+
+TEST(SymLintRules, InfeasibleBranchFiresOnTypeLevelDeadArm) {
+  SymLintOutcome out = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte b;
+  r = UpTalkDown(7);
+  b = r.r;
+  if (b > 300) {
+    r = UpTalkDown(0);
+  }
+  r = UpTalkDown(b);
+}
+)esm") + kEchoDown);
+  EXPECT_GE(out.result.warnings, 1);
+  EXPECT_NE(out.rendered.find("[infeasible-branch]"), std::string::npos) << out.rendered;
+  EXPECT_NE(out.rendered.find("operand types"), std::string::npos) << out.rendered;
+}
+
+TEST(SymLintRules, PeerDerivedDeadArmStaysSilent) {
+  // The arm is dead only because THIS Down never sends 3 — the spec text is
+  // live under other peers, so it is a configuration fact, not a finding.
+  SymLintOutcome out = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  r = UpTalkDown(1);
+  if (r.r == 3) {
+    r = UpTalkDown(0);
+  }
+  r = UpTalkDown(2);
+}
+)esm") + std::string(R"esm(
+void Down() {
+  UpToDown q;
+  end_init:
+  q = DownReadUp();
+  end_reply:
+  q = DownTalkUp(2);
+  goto end_reply;
+}
+)esm"));
+  EXPECT_EQ(out.result.warnings, 0) << out.rendered;
+  EXPECT_EQ(out.result.errors, 0) << out.rendered;
+}
+
+TEST(SymLintRules, WerrorEscalatesAndPragmaSuppresses) {
+  analysis::AnalysisOptions werror;
+  werror.werror = true;
+  SymLintOutcome out = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte b;
+  r = UpTalkDown(7);
+  b = r.r;
+  assert(b < 256);
+  r = UpTalkDown(b);
+}
+)esm") + kEchoDown,
+                               werror);
+  EXPECT_GE(out.result.errors, 1);
+  EXPECT_FALSE(out.result.ok());
+
+  SymLintOutcome suppressed = SymLint(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte b;
+  r = UpTalkDown(7);
+  b = r.r;
+#pragma esmlint suppress assert-always-true
+  assert(b < 256);
+  r = UpTalkDown(b);
+}
+)esm") + kEchoDown,
+                                      werror);
+  EXPECT_EQ(suppressed.result.errors, 0) << suppressed.rendered;
+  EXPECT_EQ(suppressed.result.suppressed, 1);
+}
+
+// ---- golden summary rendering ----------------------------------------------
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(EFEU_GOLDEN_DIR) + "/" + name;
+}
+
+void CompareOrUpdate(const std::string& name, const std::string& generated) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("EFEU_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << generated;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run `efeu_tests --update-goldens` to create it";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(generated, golden.str())
+      << "sym summary for " << name << " changed; if intended, refresh with "
+      << "`efeu_tests --update-goldens` and commit the diff";
+}
+
+TEST(SymGolden, SummaryRenderingMatchesGolden) {
+  // One spec touching every summary section: proved and unproved sites of
+  // all three kinds, an infeasible branch, send facts, and path statistics
+  // (counters are deterministic — the executor explores in program order).
+  SymOutcome out = RunSym(std::string(R"esm(
+void Up() {
+  DownToUp r;
+  byte b;
+  int y;
+  r = UpTalkDown(6);
+  b = r.r;
+  assert(b < 256);
+  if (b > 300) {
+    y = 1;
+  } else {
+    y = 12 / b;
+  }
+  r = UpTalkDown(y);
+}
+)esm") + kEchoDown);
+  ASSERT_NE(out.comp, nullptr);
+  CompareOrUpdate("sym_summary.txt",
+                  analysis::sym::RenderSymSummary(*out.comp, out.summary));
+}
+
+// ---- shipped specifications prove clean under --sym=Werror ------------------
+
+void ExpectSymClean(const ir::Compilation& comp, const std::string& what) {
+  CompilationSummary summary = analysis::sym::AnalyzeCompilationSym(comp);
+  DiagnosticEngine diag;
+  analysis::AnalysisOptions options;
+  options.werror = true;
+  analysis::AnalysisResult result = analysis::ReportSymFindings(comp, summary, diag, options);
+  EXPECT_EQ(result.errors, 0) << what << ":\n" << diag.RenderAll();
+  EXPECT_EQ(result.warnings, 0) << what << ":\n" << diag.RenderAll();
+  EXPECT_EQ(result.suppressed, 0) << what << ": shipped specs must not need sym suppressions";
+}
+
+TEST(ShippedSpecsSym, DriverStacksAreCleanUnderWerror) {
+  {
+    DiagnosticEngine diag;
+    auto comp = i2c::CompileControllerStack(diag);
+    ASSERT_NE(comp, nullptr) << diag.RenderAll();
+    ExpectSymClean(*comp, "controller stack");
+  }
+  {
+    DiagnosticEngine diag;
+    i2c::ControllerStackOptions options;
+    options.no_clock_stretching = true;
+    options.ks0127_compat = true;
+    auto comp = i2c::CompileControllerStack(diag, options);
+    ASSERT_NE(comp, nullptr) << diag.RenderAll();
+    ExpectSymClean(*comp, "controller stack (quirks)");
+  }
+  {
+    DiagnosticEngine diag;
+    auto comp = i2c::CompileResponderStack(diag);
+    ASSERT_NE(comp, nullptr) << diag.RenderAll();
+    ExpectSymClean(*comp, "responder stack");
+  }
+  {
+    DiagnosticEngine diag;
+    i2c::ResponderStackOptions options;
+    options.ks0127 = true;
+    auto comp = i2c::CompileResponderStack(diag, options);
+    ASSERT_NE(comp, nullptr) << diag.RenderAll();
+    ExpectSymClean(*comp, "responder stack (ks0127)");
+  }
+}
+
+TEST(ShippedSpecsSym, VerifierMixesAreCleanUnderWerror) {
+  using i2c::VerifyAbstraction;
+  using i2c::VerifyLevel;
+  struct Combo {
+    VerifyLevel level;
+    VerifyAbstraction abstraction;
+  };
+  const Combo combos[] = {
+      {VerifyLevel::kSymbol, VerifyAbstraction::kNone},
+      {VerifyLevel::kByte, VerifyAbstraction::kSymbol},
+      {VerifyLevel::kTransaction, VerifyAbstraction::kByte},
+      {VerifyLevel::kEepDriver, VerifyAbstraction::kTransaction},
+  };
+  for (const Combo& combo : combos) {
+    i2c::VerifyConfig config;
+    config.level = combo.level;
+    config.abstraction = combo.abstraction;
+    DiagnosticEngine diag;
+    auto vs = i2c::BuildVerifier(config, diag);
+    ASSERT_NE(vs, nullptr) << diag.RenderAll();
+    std::string what = "i2c verifier level=" + std::to_string(static_cast<int>(combo.level)) +
+                       " abstraction=" + std::to_string(static_cast<int>(combo.abstraction));
+    for (const auto& comp : vs->compilations()) {
+      ExpectSymClean(*comp, what);
+    }
+  }
+}
+
+// ---- checker fast path: symbolic discharge ---------------------------------
+
+i2c::VerifyConfig FaultConfig(int fault_events, int reset_events, int max_len) {
+  i2c::VerifyConfig config;
+  config.level = i2c::VerifyLevel::kEepDriver;
+  config.abstraction = i2c::VerifyAbstraction::kTransaction;
+  config.num_eeproms = 1;
+  config.num_ops = 2;
+  config.max_len = max_len;
+  config.fault_events = fault_events;
+  config.reset_events = reset_events;
+  return config;
+}
+
+TEST(SymDischarge, FaultConfigFullyDischargesSafetyPass) {
+  // The degraded fault oracle is provable from the declared transaction
+  // facts alone, so the explicit safety pass is skipped entirely: its
+  // properties hold for ALL fault schedules at once.
+  i2c::VerifyConfig config = FaultConfig(/*fault_events=*/2, /*reset_events=*/0, /*max_len=*/2);
+  config.sym_discharge = true;
+  DiagnosticEngine diag;
+  i2c::VerifyRunResult result = i2c::RunVerification(config, diag);
+  EXPECT_TRUE(result.ok) << diag.RenderAll();
+  EXPECT_TRUE(result.sym.attempted);
+  EXPECT_TRUE(result.sym.discharged);
+  EXPECT_EQ(result.sym.proved, result.sym.obligations);
+  EXPECT_GT(result.sym.obligations, 0);
+  EXPECT_EQ(result.safety.states_stored, 0u);
+  EXPECT_GT(result.liveness.states_stored, 0u);
+}
+
+TEST(SymDischarge, ResetConfigDoesNotDischargeAndKeepsStateParity) {
+  // The reset-convergence oracle counts failures across operations — beyond
+  // the per-message facts the executor tracks — so the fast path must fall
+  // back to the explicit passes, byte-for-byte the same exploration.
+  i2c::VerifyConfig config = FaultConfig(/*fault_events=*/1, /*reset_events=*/1, /*max_len=*/2);
+  DiagnosticEngine diag_off;
+  i2c::VerifyRunResult off = i2c::RunVerification(config, diag_off);
+  config.sym_discharge = true;
+  DiagnosticEngine diag_on;
+  i2c::VerifyRunResult on = i2c::RunVerification(config, diag_on);
+  EXPECT_TRUE(on.sym.attempted);
+  EXPECT_FALSE(on.sym.discharged);
+  EXPECT_LT(on.sym.proved, on.sym.obligations);
+  EXPECT_EQ(on.ok, off.ok);
+  EXPECT_EQ(on.safety.ok, off.safety.ok);
+  EXPECT_EQ(on.safety.states_stored, off.safety.states_stored);
+  EXPECT_EQ(on.liveness.states_stored, off.liveness.states_stored);
+}
+
+TEST(SymDischarge, FaultFreeDataOracleDoesNotDischarge) {
+  // Without faults the CWorld oracle checks full data correspondence
+  // (read-back equals the model array) — relational state the symbolic
+  // summary cannot express — so the config must not discharge.
+  i2c::VerifyConfig config = FaultConfig(/*fault_events=*/0, /*reset_events=*/0, /*max_len=*/2);
+  DiagnosticEngine diag_off;
+  i2c::VerifyRunResult off = i2c::RunVerification(config, diag_off);
+  config.sym_discharge = true;
+  DiagnosticEngine diag_on;
+  i2c::VerifyRunResult on = i2c::RunVerification(config, diag_on);
+  EXPECT_TRUE(on.sym.attempted);
+  EXPECT_FALSE(on.sym.discharged);
+  EXPECT_EQ(on.ok, off.ok);
+  EXPECT_EQ(on.safety.states_stored, off.safety.states_stored);
+  EXPECT_EQ(on.liveness.states_stored, off.liveness.states_stored);
+}
+
+}  // namespace
+}  // namespace efeu
