@@ -126,36 +126,74 @@ std::string FormatExecCounters(const DriverMetrics& metrics) {
 
 HybridDriver::HybridDriver(const HybridConfig& config)
     : config_(config), rtl_(config.timing.clock_ns) {
-  DiagnosticEngine diag;
-  compilation_ = i2c::CompileControllerStack(diag);
+  if (config_.shared_compilation != nullptr) {
+    compilation_ = config_.shared_compilation;
+  } else {
+    DiagnosticEngine diag;
+    compilation_ = i2c::CompileControllerStack(diag);
+  }
   assert(compilation_ != nullptr && "controller stack failed to compile");
   const esi::SystemInfo& info = compilation_->system();
 
-  // ---- Bus, EEPROM, adapter -------------------------------------------
-  sim::EepromConfig eeprom_config = config_.eeprom;
-  eeprom_config.clock_ns = config_.timing.clock_ns;
+  // ---- Bus, topology, devices, adapter --------------------------------
   adapter_ = std::make_unique<sim::BusAdapter>(&bus_, config_.timing.half_cycle_ticks,
                                                !config_.ablate_fixed_hold_adapter);
-  eeprom_ = std::make_unique<sim::Eeprom24aa512>(&bus_, eeprom_config);
   rtl_.AddComponent(adapter_.get());
+  // Devices hang off the controller's bus directly, or off one mux channel
+  // when the mux topology is enabled.
+  sim::I2cBus* device_bus = &bus_;
+  if (config_.mux_topology.enabled) {
+    std::vector<sim::I2cBus*> channels;
+    for (int c = 0; c < config_.mux_topology.mux.channels; ++c) {
+      downstream_buses_.push_back(std::make_unique<sim::I2cBus>());
+      channels.push_back(downstream_buses_.back().get());
+    }
+    mux_ = std::make_unique<sim::I2cMux>(&bus_, channels, config_.mux_topology.mux);
+    rtl_.AddComponent(mux_.get());
+    device_bus = downstream_buses_[static_cast<size_t>(
+        config_.mux_topology.device_channel)].get();
+  }
+  if (config_.enable_second_master) {
+    sim::SecondMasterConfig master_config = config_.second_master;
+    master_config.clock_ns = config_.timing.clock_ns;
+    second_master_ = std::make_unique<sim::SecondMaster>(&bus_, master_config);
+    rtl_.AddComponent(second_master_.get());
+  }
+  sim::EepromConfig eeprom_config = config_.eeprom;
+  eeprom_config.clock_ns = config_.timing.clock_ns;
+  eeprom_ = std::make_unique<sim::Eeprom24aa512>(device_bus, eeprom_config);
   rtl_.AddComponent(eeprom_.get());
   for (const sim::EepromConfig& extra : config_.extra_eeproms) {
     sim::EepromConfig cfg = extra;
     cfg.clock_ns = config_.timing.clock_ns;
-    extra_eeproms_.push_back(std::make_unique<sim::Eeprom24aa512>(&bus_, cfg));
+    extra_eeproms_.push_back(std::make_unique<sim::Eeprom24aa512>(device_bus, cfg));
     rtl_.AddComponent(extra_eeproms_.back().get());
+  }
+  for (const sim::MfdConfig& mfd_config : config_.mfd_devices) {
+    mfds_.push_back(std::make_unique<sim::MfdRegFileDevice>(device_bus, mfd_config));
+    rtl_.AddComponent(mfds_.back().get());
   }
   if (config_.capture_waveform) {
     bus_.EnableCapture(true);
     rtl_.SetPostTickHook([this](double now) { bus_.Capture(now); });
   }
   // Fault injection: the driver owns the live plan; the adapter injects the
-  // electrical faults, the primary EEPROM the device-side ones. The recovery
-  // driver releases both lines until a bus-recovery sequence runs, so an
-  // inactive plan leaves the bus byte-identical to the ideal one.
+  // electrical faults, the primary EEPROM the device-side ones, the topology
+  // components the fabric ones. The recovery driver releases both lines
+  // until a bus-recovery sequence runs, so an inactive plan leaves the bus
+  // byte-identical to the ideal one.
   fault_plan_ = config_.fault_plan;
   adapter_->SetFaultPlan(&fault_plan_);
   eeprom_->SetFaultPlan(&fault_plan_);
+  if (mux_ != nullptr) {
+    mux_->SetFaultPlan(&fault_plan_);
+  }
+  if (second_master_ != nullptr) {
+    second_master_->SetFaultPlan(&fault_plan_);
+  }
+  for (const std::unique_ptr<sim::MfdRegFileDevice>& mfd : mfds_) {
+    mfd->SetFaultPlan(&fault_plan_);
+  }
   recovery_driver_id_ = bus_.AddDriver();
   last_status_ = i2c::kCeResOk;
 
@@ -611,7 +649,12 @@ bool HybridDriver::Transact(const std::vector<int32_t>& request,
       wedged_ = true;
       last_status_ = i2c::kCeResFail;
       if (policy.enabled && policy.bus_recovery) {
-        RecoverBus();
+        // A bus owned by a competing master is busy, not stuck: nine pulses
+        // would fight the owner mid-byte. The supervisor's WaitBusFree rung
+        // handles that case; the pulses stay for genuinely stuck lines.
+        if (second_master_ == nullptr || !second_master_->holding()) {
+          RecoverBus();
+        }
       }
       return false;
     }
@@ -670,6 +713,10 @@ void HybridDriver::SoftReset() {
   wedged_ = false;
   pump_dead_ = false;
   irq_drain_deadline_ns_ = 0;
+  // The reset may have been provoked by a mux that silently lost (or never
+  // took) its routing; drop the cached select so the next operation re-
+  // programs and re-verifies it.
+  mux_selected_ = false;
   last_status_ = i2c::kCeResOk;
   // One SOFT_RESET register write, then let the hardware settle into its
   // initial handshakes again.
@@ -683,6 +730,11 @@ void HybridDriver::SoftReset() {
 
 bool HybridDriver::Probe() {
   ++recovery_counters_.reprobes;
+  // Behind a mux the device is unreachable until the select is re-verified
+  // (the preceding SoftReset dropped the cache).
+  if (!EnsureMuxSelected()) {
+    return false;
+  }
   // A single-byte read from offset 0, bypassing the retry ladder: one
   // attempt, straight answer.
   std::vector<int32_t> request(20, 0);
@@ -714,6 +766,77 @@ void HybridDriver::RecoverBus() {
   Idle(half_ns);
 }
 
+bool HybridDriver::WaitBusFree() {
+  if (second_master_ == nullptr) {
+    return true;  // single-master bus: nothing to wait for, no time spent
+  }
+  const double deadline = now_ns() + config_.recovery.bus_free_timeout_ns;
+  const double poll_ns = config_.timing.half_cycle_ticks * config_.timing.clock_ns;
+  bool found_owned = false;
+  int idle_polls = 0;
+  // Two consecutive idle samples a half cycle apart: a single high read
+  // could land inside the owner's clock high phase.
+  while (idle_polls < 2) {
+    SyncRtl();
+    if (bus_.scl() && bus_.sda()) {
+      ++idle_polls;
+    } else {
+      idle_polls = 0;
+      found_owned = true;
+    }
+    if (now_ns() > deadline) {
+      return false;
+    }
+    Idle(poll_ns);
+  }
+  if (found_owned) {
+    ++recovery_counters_.arbitration_waits;
+  }
+  return true;
+}
+
+bool HybridDriver::SelectMuxOnce(int mask) {
+  std::vector<int32_t> request(20, 0);
+  request[0] = i2c::kCeActWrite;
+  request[1] = config_.mux_topology.mux.address;
+  request[2] = 0;
+  request[3] = 1;
+  request[4] = mask;
+  std::vector<int32_t> reply;
+  if (!Transact(request, &reply)) {
+    return false;
+  }
+  // The mux ACKs a select even when its latch is stuck; only the read-back
+  // proves the control register took the mask. (A misrouted latch passes
+  // this check by design -- that one surfaces as NACKs on the device and is
+  // healed by the re-select after the supervisor's reset rung.)
+  request[0] = i2c::kCeActRead;
+  request[4] = 0;
+  if (!Transact(request, &reply)) {
+    return false;
+  }
+  return reply[0] == i2c::kCeResOk && reply[1] == 1 && (reply[2] & 0xFF) == mask;
+}
+
+bool HybridDriver::EnsureMuxSelected() {
+  if (!config_.mux_topology.enabled || mux_selected_) {
+    return true;
+  }
+  const int mask = 1 << config_.mux_topology.device_channel;
+  const int attempts = config_.recovery.enabled ? config_.recovery.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ++recovery_counters_.mux_selects;
+    if (SelectMuxOnce(mask)) {
+      mux_selected_ = true;
+      return true;
+    }
+    if (wedged_) {
+      return false;
+    }
+  }
+  return false;
+}
+
 bool HybridDriver::Read(int offset, int length, std::vector<uint8_t>* out) {
   return ReadFrom(config_.eeprom.address, offset, length, out);
 }
@@ -725,6 +848,10 @@ bool HybridDriver::Write(int offset, const std::vector<uint8_t>& data) {
 bool HybridDriver::ReadFrom(int bus_address, int offset, int length,
                             std::vector<uint8_t>* out) {
   assert(length >= 1 && length <= 14);
+  if (!EnsureMuxSelected()) {
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
   std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActRead;
   request[1] = bus_address;
@@ -748,6 +875,10 @@ bool HybridDriver::ReadFrom(int bus_address, int offset, int length,
 
 bool HybridDriver::WriteTo(int bus_address, int offset, const std::vector<uint8_t>& data) {
   assert(!data.empty() && data.size() <= 14);
+  if (!EnsureMuxSelected()) {
+    last_status_ = i2c::kCeResFail;
+    return false;
+  }
   std::vector<int32_t> request(20, 0);
   request[0] = i2c::kCeActWrite;
   request[1] = bus_address;

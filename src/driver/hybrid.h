@@ -27,6 +27,9 @@
 #include "src/sim/eeprom.h"
 #include "src/sim/fault_plan.h"
 #include "src/sim/i2c_bus.h"
+#include "src/sim/mux.h"
+#include "src/sim/regfile_device.h"
+#include "src/sim/second_master.h"
 #include "src/sim/waveform.h"
 #include "src/vm/system.h"
 
@@ -43,6 +46,17 @@ enum class SplitPoint {
 };
 
 const char* SplitPointName(SplitPoint split);
+
+// Optional bus-fabric growth between the controller and its devices. All of
+// it is off by default: an unconfigured driver builds the exact
+// point-to-point bus it always did, byte for byte.
+struct MuxTopologyConfig {
+  bool enabled = false;
+  sim::MuxConfig mux;
+  // Downstream channel the modeled devices (EEPROMs, MFDs) hang off; the
+  // driver must program the mux before they are reachable.
+  int device_channel = 0;
+};
 
 struct HybridConfig {
   SplitPoint split = SplitPoint::kByte;
@@ -69,6 +83,20 @@ struct HybridConfig {
   // Additional EEPROMs sharing the bus (distinct addresses) — the
   // interoperability scenario the paper motivates.
   std::vector<sim::EepromConfig> extra_eeproms;
+  // Register-file MFD devices (sim::MfdRegFileDevice) sharing the device
+  // segment, driven through MfdClient over the unmodified controller stack.
+  std::vector<sim::MfdConfig> mfd_devices;
+  // Bus mux between controller and devices; the driver gains a select+verify
+  // step (EnsureMuxSelected) and the kMuxStuck/kMuxMisroute fault surface.
+  MuxTopologyConfig mux_topology;
+  // A competing bus master (multi-master arbitration): kArbitrationLoss
+  // seizes the bus at a START, and the supervisor gains the WaitBusFree rung.
+  bool enable_second_master = false;
+  sim::SecondMasterConfig second_master;
+  // Share one compiled controller stack across many drivers (the compilation
+  // is const after construction). Null = compile privately, as before; the
+  // fleet passes one compilation to thousands of stacks.
+  std::shared_ptr<const ir::Compilation> shared_compilation;
   bool capture_waveform = false;
   // Deterministic fault injection on the simulated bus and the primary
   // EEPROM (extra EEPROMs stay ideal). Default-constructed = inactive.
@@ -145,9 +173,25 @@ class HybridDriver {
   // the retry ladder. True if the device answered with data.
   bool Probe();
 
+  // Multi-master rung: waits until the bus has been idle (both lines high)
+  // for two consecutive polls or bus_free_timeout_ns elapsed. A no-op
+  // returning true unless a second master is configured, so the supervised
+  // single-master timeline is untouched. Counts arbitration_waits when the
+  // wait actually found the bus owned.
+  bool WaitBusFree();
+  // Mux rung: programs the mux's channel mask for the device segment and
+  // verifies it by read-back, retrying per the recovery policy. Cached until
+  // the next SoftReset; a no-op returning true without a mux.
+  bool EnsureMuxSelected();
+
   sim::I2cBus& bus() { return bus_; }
   sim::Eeprom24aa512& eeprom() { return *eeprom_; }
   sim::Eeprom24aa512& extra_eeprom(int index) { return *extra_eeproms_[index]; }
+  // Topology components; null/empty unless configured.
+  sim::I2cMux* mux() { return mux_.get(); }
+  sim::SecondMaster* second_master() { return second_master_.get(); }
+  sim::MfdRegFileDevice& mfd(int index) { return *mfds_[index]; }
+  sim::I2cBus& downstream_bus(int channel) { return *downstream_buses_[channel]; }
   double now_ns() const;
   double cpu_busy_ns() const { return cpu_busy_ns_; }
   uint64_t irq_count() const { return irq_count_; }
@@ -223,12 +267,14 @@ class HybridDriver {
   bool RunOperation(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
   // RunOperation wrapped in the configured retry/backoff/deadline policy.
   bool Transact(const std::vector<int32_t>& request, std::vector<int32_t>* reply);
+  // One mux select + read-back verification round trip.
+  bool SelectMuxOnce(int mask);
   // The 9-clock-pulse + STOP bus-recovery sequence, driven over the
   // driver-owned bus driver (i2c_recover_bus style).
   void RecoverBus();
 
   HybridConfig config_;
-  std::unique_ptr<ir::Compilation> compilation_;
+  std::shared_ptr<const ir::Compilation> compilation_;
 
   // RTL side.
   rtl::RtlSystem rtl_;
@@ -236,6 +282,12 @@ class HybridDriver {
   std::unique_ptr<sim::BusAdapter> adapter_;
   std::unique_ptr<sim::Eeprom24aa512> eeprom_;
   std::vector<std::unique_ptr<sim::Eeprom24aa512>> extra_eeproms_;
+  // Topology (all empty/null on a point-to-point bus).
+  std::vector<std::unique_ptr<sim::I2cBus>> downstream_buses_;
+  std::unique_ptr<sim::I2cMux> mux_;
+  std::unique_ptr<sim::SecondMaster> second_master_;
+  std::vector<std::unique_ptr<sim::MfdRegFileDevice>> mfds_;
+  bool mux_selected_ = false;
   std::unique_ptr<rtl::MmioRegfile> regfile_;
   std::vector<std::unique_ptr<rtl::RtlModule>> hw_modules_;
 

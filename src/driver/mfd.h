@@ -1,0 +1,100 @@
+// Driver-side client for the register-file MFD device (sim::MfdRegFileDevice):
+// 16-bit register accessors over the unmodified byte-oriented controller
+// stack, plus the leicaefi-style IRQ-chip top half — read STATUS once, fan
+// the pending bits out to per-cell handlers, acknowledge everything observed
+// with a single write-1-to-clear. Duck-typed over any driver exposing
+// ReadFrom/WriteTo, so it runs bare (HybridDriver) or supervised
+// (Supervisor<HybridDriver>) without change.
+
+#ifndef SRC_DRIVER_MFD_H_
+#define SRC_DRIVER_MFD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/regfile_device.h"
+
+namespace efeu::driver {
+
+template <typename Driver>
+class MfdClient {
+ public:
+  // Handlers receive the full STATUS word their cell bit was set in.
+  using CellHandler = std::function<void(uint16_t status)>;
+
+  MfdClient(Driver* driver, int bus_address)
+      : driver_(driver), address_(bus_address) {}
+
+  bool ReadReg(int index, uint16_t* value) {
+    std::vector<uint8_t> bytes;
+    if (!driver_->ReadFrom(address_, index, 2, &bytes) || bytes.size() != 2) {
+      return false;
+    }
+    *value = static_cast<uint16_t>((bytes[0] << 8) | bytes[1]);
+    return true;
+  }
+
+  bool WriteReg(int index, uint16_t value) {
+    return driver_->WriteTo(
+        address_, index,
+        {static_cast<uint8_t>(value >> 8), static_cast<uint8_t>(value & 0xFF)});
+  }
+
+  // Chip identification: true when the ID register carries the 0xEF magic.
+  bool ProbeId(uint16_t* id) {
+    if (!ReadReg(sim::kMfdRegId, id)) {
+      return false;
+    }
+    return (*id & 0xFF00) == 0xEF00;
+  }
+
+  bool EnableIrqs(uint16_t mask) { return WriteReg(sim::kMfdRegIrqEnable, mask); }
+
+  void SetCellHandler(int cell, CellHandler handler) {
+    if (cell >= static_cast<int>(handlers_.size())) {
+      handlers_.resize(static_cast<size_t>(cell) + 1);
+    }
+    handlers_[static_cast<size_t>(cell)] = std::move(handler);
+  }
+
+  // The IRQ-chip top half. Returns the number of cell handlers invoked, 0
+  // when nothing was pending, -1 on a bus failure. Pending bits without a
+  // registered handler are still acknowledged (the real driver logs and
+  // masks those; here they just clear).
+  int DispatchIrqs() {
+    uint16_t status = 0;
+    if (!ReadReg(sim::kMfdRegIrqStatus, &status)) {
+      return -1;
+    }
+    if (status == 0) {
+      return 0;
+    }
+    int dispatched = 0;
+    for (size_t cell = 0; cell < handlers_.size(); ++cell) {
+      if (((status >> cell) & 1) != 0 && handlers_[cell]) {
+        handlers_[cell](status);
+        ++dispatched;
+      }
+    }
+    // One W1C ack for every bit observed in this pass; a bit raised after
+    // the status read survives the ack and triggers the next dispatch.
+    if (!WriteReg(sim::kMfdRegIrqStatus, status)) {
+      return -1;
+    }
+    irqs_dispatched_ += static_cast<uint64_t>(dispatched);
+    return dispatched;
+  }
+
+  uint64_t irqs_dispatched() const { return irqs_dispatched_; }
+
+ private:
+  Driver* driver_;
+  int address_;
+  std::vector<CellHandler> handlers_;
+  uint64_t irqs_dispatched_ = 0;
+};
+
+}  // namespace efeu::driver
+
+#endif  // SRC_DRIVER_MFD_H_

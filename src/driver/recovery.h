@@ -30,6 +30,11 @@ struct RecoveryPolicy {
   // How long a single wait for the hardware (MMIO up-message or IRQ) may
   // take before the driver declares the stack wedged instead of hanging.
   double wait_timeout_ns = 5e7;
+  // Multi-master topologies: how long the supervisor's arbitration rung
+  // waits for a competing master to release the bus (both lines high) before
+  // escalating to the soft reset anyway. Covers the longest modeled
+  // occupancy (sim::SecondMaster) with headroom.
+  double bus_free_timeout_ns = 2e7;
 };
 
 struct RecoveryCounters {
@@ -45,6 +50,9 @@ struct RecoveryCounters {
   uint64_t soft_resets = 0;       // hardware soft-reset + coroutine reinit
   uint64_t reprobes = 0;          // post-reset device re-probes
   uint64_t degraded_entries = 0;  // transitions into degraded mode
+  // Topology recovery (mux + multi-master; zero on point-to-point stacks).
+  uint64_t arbitration_waits = 0;  // bus-free waits that found the bus owned
+  uint64_t mux_selects = 0;        // mux select+verify attempts issued
 };
 
 }  // namespace efeu::driver

@@ -158,6 +158,8 @@ std::string FormatRecoveryCounters(const RecoveryCounters& counters) {
   field("soft_resets", counters.soft_resets);
   field("reprobes", counters.reprobes);
   field("degraded", counters.degraded_entries);
+  field("arb_waits", counters.arbitration_waits);
+  field("mux_selects", counters.mux_selects);
   return out;
 }
 

@@ -170,6 +170,45 @@ class Supervisor {
     return false;
   }
 
+  // Addressed operations for composite devices (the MFD register file),
+  // run through the same ladder as Read/Write. WriteTo deliberately skips
+  // the degraded single-byte fallback: a register write is an atomic 16-bit
+  // pair, and splitting it would tear the register. Only instantiated for
+  // drivers exposing ReadFrom/WriteTo (the supervisor stays duck-typed).
+  bool ReadFrom(int bus_address, int offset, int length, std::vector<uint8_t>* out) {
+    if (health_ == HealthState::kWedged) {
+      return false;
+    }
+    PollMonitors();
+    bool first_try_failed = false;
+    if (RunLadder([&] { return driver_->ReadFrom(bus_address, offset, length, out); },
+                  &first_try_failed)) {
+      NoteOperationSucceeded(first_try_failed);
+      PollMonitors();
+      return true;
+    }
+    PollMonitors();
+    health_ = HealthState::kWedged;
+    return false;
+  }
+
+  bool WriteTo(int bus_address, int offset, const std::vector<uint8_t>& data) {
+    if (health_ == HealthState::kWedged) {
+      return false;
+    }
+    PollMonitors();
+    bool first_try_failed = false;
+    if (RunLadder([&] { return driver_->WriteTo(bus_address, offset, data); },
+                  &first_try_failed)) {
+      NoteOperationSucceeded(first_try_failed);
+      PollMonitors();
+      return true;
+    }
+    PollMonitors();
+    health_ = HealthState::kWedged;
+    return false;
+  }
+
  private:
   // Drains trips the wrapped driver's runtime monitors recorded since the
   // last poll and feeds them into the ladder. Compiled out for drivers
@@ -197,6 +236,17 @@ class Supervisor {
       health_ = HealthState::kRecovering;
       // Rung 3: hardware soft reset + coroutine reinit.
       driver_->SoftReset();
+      // Arbitration rung (multi-master topologies): the failure may mean a
+      // competing master owns the bus, in which case retrying against a
+      // seized bus just burns ladder cycles — wait for both lines to idle
+      // before the retry. This must run AFTER the reset: a wedged stack's
+      // own FSM can be stuck driving SDA low, and only the reset releases
+      // our side of the wires so the wait observes the competing master
+      // alone. Compiled out for drivers without the surface; a timed-out
+      // wait still falls through to the retry below.
+      if constexpr (requires { driver_->WaitBusFree(); }) {
+        driver_->WaitBusFree();
+      }
       if (cycle > 0) {
         // Rung 4: full device re-probe before trusting the stack again.
         if (!driver_->Probe()) {

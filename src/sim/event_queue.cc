@@ -1,0 +1,182 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace efeu::sim {
+
+void EventQueue::Schedule(double due_ns, uint32_t source) {
+  Entry entry;
+  entry.due_ns = due_ns;
+  entry.tick = static_cast<uint64_t>(std::llround(std::max(due_ns, 0.0) * kTicksPerNs));
+  if (entry.tick < now_tick_) {
+    entry.tick = now_tick_;
+  }
+  entry.seq = next_seq_++;
+  entry.source = source;
+  Insert(entry);
+  ++size_;
+  ++stats_.scheduled;
+  stats_.max_size = std::max(stats_.max_size, size_);
+}
+
+void EventQueue::Insert(const Entry& entry) {
+  // Level selection is block-aligned, not delta-based: an entry lives at the
+  // LOWEST level whose higher-order tick blocks all match `now`. This keeps
+  // every level wrap-free (slot indices within a level are absolute inside
+  // the shared upper block, so circular slot order == tick order) and makes
+  // cascades strictly descend: an entry re-inserted from level L's cursor
+  // slot shares now's level-L block and lands at level < L. A delta-based
+  // pick would let a far-ahead entry alias into its level's cursor slot and
+  // cascade back into it forever.
+  if ((entry.tick >> (kSlotBits * kLevels)) !=
+      (now_tick_ >> (kSlotBits * kLevels))) {
+    far_.push_back(entry);
+    far_min_tick_ = std::min(far_min_tick_, entry.tick);
+    ++stats_.far_parked;
+    return;
+  }
+  int level = kLevels - 1;
+  while (level > 0 &&
+         (entry.tick >> (kSlotBits * level)) == (now_tick_ >> (kSlotBits * level))) {
+    --level;
+  }
+  uint64_t slot = (entry.tick >> (kSlotBits * level)) & kSlotMask;
+  slots_[level][slot].push_back(entry);
+  SetBit(level, slot);
+}
+
+void EventQueue::SetBit(int level, uint64_t slot) {
+  bitmap_[level][slot >> 6] |= 1ull << (slot & 63);
+}
+
+void EventQueue::ClearBitIfEmpty(int level, uint64_t slot) {
+  if (slots_[level][slot].empty()) {
+    bitmap_[level][slot >> 6] &= ~(1ull << (slot & 63));
+  }
+}
+
+int EventQueue::FirstSlotDistance(int level) const {
+  const uint64_t* bm = bitmap_[level];
+  int cursor =
+      static_cast<int>((now_tick_ >> (kSlotBits * level)) & kSlotMask);
+  int word = cursor >> 6;
+  int bit = cursor & 63;
+  uint64_t high = bm[word] >> bit;
+  if (high != 0) {
+    return __builtin_ctzll(high);
+  }
+  int dist = 64 - bit;
+  for (int i = 1; i < 4; ++i) {
+    uint64_t w = bm[(word + i) & 3];
+    if (w != 0) {
+      return dist + __builtin_ctzll(w);
+    }
+    dist += 64;
+  }
+  uint64_t low = bit > 0 ? (bm[word] & ((1ull << bit) - 1)) : 0;
+  if (low != 0) {
+    // Wrapped back into the cursor word: bit j of it sits 256 - bit + j
+    // circular slots away, and dist already equals 256 - bit here.
+    return dist + __builtin_ctzll(low);
+  }
+  return -1;
+}
+
+void EventQueue::CascadeLevel(int level, int distance) {
+  uint64_t cursor = now_tick_ >> (kSlotBits * level);
+  uint64_t absolute = cursor + static_cast<uint64_t>(distance);
+  uint64_t slot = absolute & kSlotMask;
+  uint64_t base = absolute << (kSlotBits * level);
+  now_tick_ = std::max(now_tick_, base);
+  std::vector<Entry> moved;
+  moved.swap(slots_[level][slot]);
+  ClearBitIfEmpty(level, slot);
+  stats_.cascaded += moved.size();
+  for (const Entry& entry : moved) {
+    Insert(entry);
+  }
+}
+
+void EventQueue::CascadeFar() {
+  now_tick_ = std::max(now_tick_, far_min_tick_);
+  std::vector<Entry> keep;
+  far_min_tick_ = ~0ull;
+  for (const Entry& entry : far_) {
+    if ((entry.tick >> (kSlotBits * kLevels)) ==
+        (now_tick_ >> (kSlotBits * kLevels))) {
+      Insert(entry);
+      ++stats_.cascaded;
+    } else {
+      far_min_tick_ = std::min(far_min_tick_, entry.tick);
+      keep.push_back(entry);
+    }
+  }
+  far_.swap(keep);
+}
+
+bool EventQueue::Pop(Event* out) {
+  if (size_ == 0) {
+    return false;
+  }
+  for (;;) {
+    // Candidate ticks per level. Level 0 gives an exact tick (every entry in
+    // a level-0 slot shares one: all live level-0 ticks sit in [now, now+256)
+    // so the slot index determines the tick). Upper levels give the slot's
+    // base tick, a lower bound on everything inside it.
+    constexpr uint64_t kInf = ~0ull;
+    int d0 = FirstSlotDistance(0);
+    uint64_t t0 = kInf;
+    uint64_t slot0 = 0;
+    if (d0 >= 0) {
+      slot0 = ((now_tick_ >> 0) + static_cast<uint64_t>(d0)) & kSlotMask;
+      t0 = slots_[0][slot0].front().tick;
+    }
+    uint64_t best_bound = far_.empty() ? kInf : far_min_tick_;
+    int best_level = far_.empty() ? -1 : kLevels;  // kLevels marks the far list
+    for (int level = kLevels - 1; level >= 1; --level) {
+      int d = FirstSlotDistance(level);
+      if (d < 0) {
+        continue;
+      }
+      uint64_t base = ((now_tick_ >> (kSlotBits * level)) +
+                       static_cast<uint64_t>(d))
+                      << (kSlotBits * level);
+      uint64_t bound = std::max(base, now_tick_);
+      if (bound <= best_bound) {
+        best_bound = bound;
+        best_level = level;
+      }
+    }
+    if (t0 < best_bound || best_level < 0) {
+      // Nothing above can be due sooner (or tie with) the level-0 event.
+      std::vector<Entry>& slot = slots_[0][slot0];
+      size_t min_index = 0;
+      for (size_t i = 1; i < slot.size(); ++i) {
+        if (slot[i].seq < slot[min_index].seq) {
+          min_index = i;
+        }
+      }
+      Entry entry = slot[min_index];
+      slot[min_index] = slot.back();
+      slot.pop_back();
+      ClearBitIfEmpty(0, slot0);
+      now_tick_ = entry.tick;
+      --size_;
+      out->due_ns = entry.due_ns;
+      out->seq = entry.seq;
+      out->source = entry.source;
+      return true;
+    }
+    // An upper level (or the far list) may hold an entry at or before t0:
+    // cascade it down and re-evaluate. Ties cascade first so equal-tick
+    // entries meet in one level-0 slot and pop in seq order.
+    if (best_level == kLevels) {
+      CascadeFar();
+    } else {
+      CascadeLevel(best_level, FirstSlotDistance(best_level));
+    }
+  }
+}
+
+}  // namespace efeu::sim

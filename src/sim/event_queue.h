@@ -1,0 +1,95 @@
+// Shared event queue for the fleet simulation engine: a hierarchical timer
+// wheel ordering (virtual-time, schedule-seq) pairs. Stacks register as event
+// sources and are woken strictly in virtual-time order; equal due times are
+// broken by schedule order, so a queue drained twice from the same schedule
+// sequence pops byte-identical event orders -- the determinism invariant the
+// fleet tests pin (see DESIGN.md "Fleet simulation").
+//
+// Wheel shape: 4 levels x 256 slots at a 1/16 ns tick. Levels are
+// block-aligned: an entry lives at the lowest level whose higher-order tick
+// blocks all match `now`, so each level is wrap-free and the wheel spans the
+// current 2^32-tick (~268 ms) block of virtual time; events beyond it park
+// in an overflow far list.
+// Each level keeps a 256-bit occupancy bitmap so an idle region is skipped in
+// a few word scans instead of tick-by-tick advance (ops in this simulation
+// are whole milliseconds apart -- tens of millions of ticks).
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace efeu::sim {
+
+class EventQueue {
+ public:
+  struct Event {
+    double due_ns = 0;    // the time the source asked for, unquantized
+    uint64_t seq = 0;     // schedule order; ties on due time pop in this order
+    uint32_t source = 0;  // registered event-source id (fleet: stack index)
+  };
+
+  // Schedules `source` to fire at virtual time `due_ns`. A due time in the
+  // past is clamped to `now_ns` (time never runs backwards).
+  void Schedule(double due_ns, uint32_t source);
+
+  // Pops the earliest (due, seq) event into *out and advances virtual time to
+  // it. Returns false when the queue is empty.
+  bool Pop(Event* out);
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Virtual time of the last popped event (0 before the first pop).
+  double now_ns() const { return static_cast<double>(now_tick_) * kNsPerTick; }
+
+  struct Stats {
+    uint64_t scheduled = 0;  // total Schedule calls
+    uint64_t cascaded = 0;   // entries moved down a level on advance
+    uint64_t far_parked = 0; // entries that overflowed the wheel horizon
+    size_t max_size = 0;     // high-water mark of pending events
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr uint64_t kSlots = 1ull << kSlotBits;
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+  static constexpr double kTicksPerNs = 16.0;
+  static constexpr double kNsPerTick = 1.0 / kTicksPerNs;
+
+  struct Entry {
+    uint64_t tick = 0;
+    uint64_t seq = 0;
+    uint32_t source = 0;
+    double due_ns = 0;
+  };
+
+  void Insert(const Entry& entry);
+  void SetBit(int level, uint64_t slot);
+  void ClearBitIfEmpty(int level, uint64_t slot);
+  // First nonempty slot at `level` in circular order from the level's cursor;
+  // returns the circular distance (0..255) or -1 when the level is empty.
+  int FirstSlotDistance(int level) const;
+  // Moves every entry of one upper-level slot (or the eligible far-list
+  // prefix) down into lower levels, advancing now_tick_ to the slot base.
+  void CascadeLevel(int level, int distance);
+  void CascadeFar();
+
+  std::vector<Entry> slots_[kLevels][kSlots];
+  uint64_t bitmap_[kLevels][4] = {};
+  std::vector<Entry> far_;
+  uint64_t far_min_tick_ = ~0ull;
+
+  uint64_t now_tick_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace efeu::sim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

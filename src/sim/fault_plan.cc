@@ -30,6 +30,12 @@ const char* FaultKindName(FaultKind kind) {
       return "corrupted-mmio-read";
     case FaultKind::kLostDoorbell:
       return "lost-doorbell";
+    case FaultKind::kMuxStuck:
+      return "mux-stuck";
+    case FaultKind::kMuxMisroute:
+      return "mux-misroute";
+    case FaultKind::kArbitrationLoss:
+      return "arbitration-loss";
   }
   return "?";
 }
@@ -61,6 +67,12 @@ const char* FaultKindEnumerator(FaultKind kind) {
       return "kCorruptedMmioRead";
     case FaultKind::kLostDoorbell:
       return "kLostDoorbell";
+    case FaultKind::kMuxStuck:
+      return "kMuxStuck";
+    case FaultKind::kMuxMisroute:
+      return "kMuxMisroute";
+    case FaultKind::kArbitrationLoss:
+      return "kArbitrationLoss";
   }
   return "?";
 }
@@ -120,6 +132,14 @@ int FaultPlan::RandomDuration(FaultKind kind) {
       // A short window of garbage status reads; bounded so polling loops
       // always see a clean read before their deadline.
       return 1 + static_cast<int>(NextRandom() % 3);
+    case FaultKind::kMuxStuck:
+      // Select attempts swallowed before the switch moves again; bounded so
+      // the driver's re-select loop always reconverges.
+      return 1 + static_cast<int>(NextRandom() % 2);
+    case FaultKind::kArbitrationLoss:
+      // Competing-master bus occupancy in address-byte windows; bounded so
+      // the loser's bus-free wait always sees the bus released.
+      return 1 + static_cast<int>(NextRandom() % 2);
     default:
       return 1;
   }

@@ -33,9 +33,16 @@ enum class FaultKind {
   kStalledUpMessage,   // up ready/valid handshake never completes
   kCorruptedMmioRead,  // a status read returns garbage for `duration` polls
   kLostDoorbell,       // a down-valid doorbell write is silently dropped
+  // Topology faults: failures of the bus fabric between controller and
+  // device (mux chips, competing masters) rather than of either endpoint.
+  // Consulted by the topology components in src/sim/mux.cc and
+  // src/sim/second_master.cc, never by point-to-point devices.
+  kMuxStuck,         // a mux select is acked but the switch does not move
+  kMuxMisroute,      // a mux select latches but routes the wrong channel
+  kArbitrationLoss,  // a second master wins the bus at the controller START
 };
 
-inline constexpr int kNumFaultKinds = 11;
+inline constexpr int kNumFaultKinds = 14;
 
 // True for the MMIO/interrupt-boundary kinds (consulted by driver couplings,
 // not by bus devices).

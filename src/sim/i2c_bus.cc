@@ -36,6 +36,30 @@ bool I2cBus::sda() const {
   return true;
 }
 
+bool I2cBus::SclExcept(int id) const {
+  if (scl_forced_low_) {
+    return false;
+  }
+  for (int i = 0; i < static_cast<int>(drivers_.size()); ++i) {
+    if (i != id && !drivers_[i].scl) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool I2cBus::SdaExcept(int id) const {
+  if (sda_forced_low_) {
+    return false;
+  }
+  for (int i = 0; i < static_cast<int>(drivers_.size()); ++i) {
+    if (i != id && !drivers_[i].sda) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void I2cBus::Capture(double t_ns) {
   if (!capture_) {
     return;

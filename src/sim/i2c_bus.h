@@ -21,6 +21,13 @@ class I2cBus {
   bool scl() const;
   bool sda() const;
 
+  // Combined levels with one driver's contribution masked out (still honoring
+  // a forced-low overlay). A pass-gate repeater (sim::I2cMux) forwards the
+  // level of everyone-but-itself to the other bus segment, so its own
+  // forwarded drive never feeds back as a latched low.
+  bool SclExcept(int id) const;
+  bool SdaExcept(int id) const;
+
   // Fault-injection overlay: an externally forced-low line reads low for
   // every device, like a short to ground (the stuck-bus faults of
   // sim::FaultPlan). Normal drivers are unaffected otherwise.

@@ -1,0 +1,215 @@
+#include "src/sim/mux.h"
+
+namespace efeu::sim {
+
+I2cMux::I2cMux(I2cBus* upstream, std::vector<I2cBus*> downstream, const MuxConfig& config)
+    : upstream_(upstream),
+      downstream_(std::move(downstream)),
+      config_(config),
+      upstream_id_(upstream->AddDriver()) {
+  downstream_ids_.reserve(downstream_.size());
+  for (I2cBus* bus : downstream_) {
+    downstream_ids_.push_back(bus->AddDriver());
+  }
+  next_down_scl_.assign(downstream_.size(), true);
+  next_down_sda_.assign(downstream_.size(), true);
+}
+
+int I2cMux::RotateMask(int mask) const {
+  int n = config_.channels;
+  int all = (1 << n) - 1;
+  mask &= all;
+  return ((mask << 1) | (mask >> (n - 1))) & all;
+}
+
+void I2cMux::ApplySelect(int mask) {
+  mask &= (1 << config_.channels) - 1;
+  ++selects_applied_;
+  if (stuck_left_ > 0) {
+    --stuck_left_;
+    ++selects_stuck_;
+    return;
+  }
+  if (fault_plan_ != nullptr) {
+    if (int duration = fault_plan_->Consult(FaultKind::kMuxStuck)) {
+      // This apply and the next duration-1 are swallowed; the ACK already
+      // went out, so only a read-back can tell the driver.
+      stuck_left_ = duration - 1;
+      ++selects_stuck_;
+      return;
+    }
+    if (fault_plan_->Consult(FaultKind::kMuxMisroute) > 0 && config_.channels > 1) {
+      control_mask_ = mask;
+      routed_mask_ = RotateMask(mask);
+      ++selects_misrouted_;
+      return;
+    }
+  }
+  control_mask_ = mask;
+  routed_mask_ = mask;
+}
+
+void I2cMux::OnStart() {
+  have_pending_ = false;
+  mode_ = Mode::kReceiveByte;
+  addressed_phase_ = true;
+  bit_count_ = 0;
+  shift_ = 0;
+  next_fsm_sda_ = true;
+}
+
+void I2cMux::OnStop() {
+  if (writing_ && have_pending_) {
+    ApplySelect(pending_mask_);
+  }
+  have_pending_ = false;
+  writing_ = false;
+  mode_ = Mode::kIdle;
+  next_fsm_sda_ = true;
+}
+
+void I2cMux::HandleReceivedByte() {
+  if (addressed_phase_) {
+    int addr7 = (shift_ >> 1) & 0x7F;
+    bool read = (shift_ & 1) != 0;
+    addressed_phase_ = false;
+    if (addr7 != config_.address) {
+      mode_ = Mode::kIgnore;
+      next_fsm_sda_ = true;
+      return;
+    }
+    writing_ = !read;
+    next_fsm_sda_ = false;  // ACK
+    mode_ = Mode::kAckDrive;
+    return;
+  }
+  // Every received byte is acknowledged; only the last one before the STOP
+  // becomes the select mask (the stack's two offset bytes pass through).
+  pending_mask_ = shift_ & 0xFF;
+  have_pending_ = true;
+  next_fsm_sda_ = false;  // ACK
+  mode_ = Mode::kAckDrive;
+}
+
+void I2cMux::OnRisingEdge(bool sda) {
+  switch (mode_) {
+    case Mode::kReceiveByte:
+      shift_ = ((shift_ << 1) | (sda ? 1 : 0)) & 0x1FF;
+      ++bit_count_;
+      break;
+    case Mode::kAckSample:
+      if (!sda) {
+        send_byte_ = control_mask_;
+        send_bit_index_ = 0;
+        mode_ = Mode::kSendBits;
+      } else {
+        mode_ = Mode::kIgnore;
+        next_fsm_sda_ = true;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void I2cMux::OnFallingEdge() {
+  switch (mode_) {
+    case Mode::kReceiveByte:
+      if (bit_count_ == 8) {
+        HandleReceivedByte();
+      }
+      break;
+    case Mode::kAckDrive:
+      next_fsm_sda_ = true;
+      if (writing_) {
+        mode_ = Mode::kReceiveByte;
+        bit_count_ = 0;
+        shift_ = 0;
+      } else {
+        send_byte_ = control_mask_;
+        mode_ = Mode::kSendBits;
+        next_fsm_sda_ = ((send_byte_ >> 7) & 1) != 0;
+        send_bit_index_ = 1;
+      }
+      break;
+    case Mode::kSendBits:
+      if (send_bit_index_ < 8) {
+        next_fsm_sda_ = ((send_byte_ >> (7 - send_bit_index_)) & 1) != 0;
+        ++send_bit_index_;
+      } else {
+        next_fsm_sda_ = true;
+        mode_ = Mode::kAckSample;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void I2cMux::Evaluate() {
+  // Control FSM, following the combined upstream levels like any slave.
+  next_fsm_sda_ = fsm_sda_;
+  bool scl = upstream_->scl();
+  bool sda = upstream_->sda();
+  if (scl && prev_scl_) {
+    if (prev_sda_ && !sda) {
+      OnStart();
+    } else if (!prev_sda_ && sda) {
+      OnStop();
+    }
+  } else if (!prev_scl_ && scl) {
+    OnRisingEdge(sda);
+  } else if (prev_scl_ && !scl) {
+    OnFallingEdge();
+  }
+  prev_scl_ = scl;
+  prev_sda_ = sda;
+
+  // Pass gates: every selected channel and the upstream segment form one
+  // wired-AND net. Each side's forwarded drive is the AND of every OTHER
+  // segment's except-own level, so the mux's own forwarded low never reads
+  // back as a latched low (see I2cBus::SclExcept).
+  bool up_scl = upstream_->SclExcept(upstream_id_);
+  bool up_sda = upstream_->SdaExcept(upstream_id_);
+  bool down_all_scl = true;
+  bool down_all_sda = true;
+  std::vector<bool> down_scl(downstream_.size(), true);
+  std::vector<bool> down_sda(downstream_.size(), true);
+  for (size_t c = 0; c < downstream_.size(); ++c) {
+    if ((routed_mask_ >> c) & 1) {
+      down_scl[c] = downstream_[c]->SclExcept(downstream_ids_[c]);
+      down_sda[c] = downstream_[c]->SdaExcept(downstream_ids_[c]);
+      down_all_scl = down_all_scl && down_scl[c];
+      down_all_sda = down_all_sda && down_sda[c];
+    }
+  }
+  next_up_scl_ = down_all_scl;
+  next_up_sda_ = down_all_sda;
+  for (size_t c = 0; c < downstream_.size(); ++c) {
+    if ((routed_mask_ >> c) & 1) {
+      bool others_scl = true;
+      bool others_sda = true;
+      for (size_t o = 0; o < downstream_.size(); ++o) {
+        if (o != c && ((routed_mask_ >> o) & 1)) {
+          others_scl = others_scl && down_scl[o];
+          others_sda = others_sda && down_sda[o];
+        }
+      }
+      next_down_scl_[c] = up_scl && others_scl;
+      next_down_sda_[c] = up_sda && others_sda;
+    } else {
+      next_down_scl_[c] = true;
+      next_down_sda_[c] = true;
+    }
+  }
+}
+
+void I2cMux::Commit() {
+  fsm_sda_ = next_fsm_sda_;
+  upstream_->SetDriver(upstream_id_, next_up_scl_, next_up_sda_ && fsm_sda_);
+  for (size_t c = 0; c < downstream_.size(); ++c) {
+    downstream_[c]->SetDriver(downstream_ids_[c], next_down_scl_[c], next_down_sda_[c]);
+  }
+}
+
+}  // namespace efeu::sim

@@ -21,6 +21,7 @@
 #include "src/i2c/codes.h"
 #include "src/monitor/monitor_spec.h"
 #include "src/sim/fault_plan.h"
+#include "src/sim/fleet.h"
 
 namespace efeu::driver {
 namespace {
@@ -503,88 +504,44 @@ TEST(SupervisionBaselines, XilinxIpRecoversFromDroppedCompletionInterrupt) {
 // Seed-matrix fault soak
 // ---------------------------------------------------------------------------
 
-// One supervised run under a seeded random schedule of wire + boundary
-// faults. Returns a replay-ready failure description, or "" on success.
+// One supervised run per (seed, wait mode) under a seeded random schedule of
+// wire + boundary faults, all seeds soaking together as one fleet on one
+// virtual timeline instead of 2 x num_seeds sequential driver builds. Each
+// stack carries the supervised soak config (kByte split, 50 us write cycle,
+// monitors on, FaultPlan::Random(seed, 0.01, max 4) with boundary faults);
+// failures come back replay-ready from the fleet report.
 //
 // Data integrity is only asserted for schedules without line-sampling faults
 // (ack-glitch, stuck SCL/SDA): those corrupt individual sampled bits on the
 // wire, which plain I2C has no checksum to detect — by design the supervisor
 // guarantees recovery and data integrity for protocol-level and boundary
-// faults, and completion (no wedge, no hang) for everything.
-std::string RunSoakSeed(uint64_t seed, bool interrupt_driven) {
-  HybridConfig config = SupervisedConfig(interrupt_driven);
-  config.fault_plan = sim::FaultPlan::Random(seed, 0.01, /*max_faults=*/4);
-  config.fault_plan.set_boundary_faults(true);
-  // The soak runs fully monitored: trips feed the supervision ladder and the
-  // counters land in every failure report, so a soak log shows which monitor
-  // (if any) saw the fault before the operation failed.
-  config.enable_monitors = true;
-  HybridDriver driver(config);
-  Supervisor<HybridDriver> sup(&driver);
-  auto sampling_fault_injected = [&driver]() {
-    for (const sim::FaultRecord& record : driver.fault_plan().trace()) {
-      if (record.kind == sim::FaultKind::kAckGlitch ||
-          record.kind == sim::FaultKind::kSclStuckLow ||
-          record.kind == sim::FaultKind::kSdaStuckLow) {
-        return true;
-      }
-    }
-    return false;
-  };
-  const std::vector<uint8_t> payload = {0x10, 0x32, 0x54, 0x76};
-  int offset = 0x0400;
-  for (int op = 0; op < 3; ++op) {
-    std::vector<uint8_t> data;
-    std::string step;
-    if (!sup.Write(offset, payload)) {
-      step = "write";
-    } else if (!sup.Read(offset, 4, &data)) {
-      step = "read";
-    } else if (data != payload && !sampling_fault_injected()) {
-      step = "data mismatch";
-    }
-    if (!step.empty()) {
-      return "seed " + std::to_string(seed) +
-             (interrupt_driven ? " (interrupt)" : " (polling)") + " op " +
-             std::to_string(op) + " " + step + ": " +
-             driver.fault_plan().Describe() +
-             "\nreplay: " + driver.fault_plan().ReplayCommand() + "\n" +
-             FormatRecoveryCounters(sup.counters()) + "\n" +
-             monitor::FormatTripCounters(driver.MonitorCounters()) + "\n" +
-             "exec: mode=" + vm::ExecModeName(driver.exec_mode()) +
-             " instr_retired=" + std::to_string(driver.instructions_retired()) +
-             " mmio_bursts=" + std::to_string(driver.mmio_bursts()) +
-             " irqs_coalesced=" + std::to_string(driver.irqs_coalesced());
-    }
-    offset += 8;
-  }
-  if (sup.health() == HealthState::kWedged) {
-    return "seed " + std::to_string(seed) + " wedged: " + driver.fault_plan().Describe() +
-           "\nreplay: " + driver.fault_plan().ReplayCommand() + "\n" +
-           monitor::FormatTripCounters(driver.MonitorCounters());
-  }
-  return "";
-}
-
+// faults, and completion (no wedge, no hang) for everything. The fleet's
+// EEPROM stack runner applies the same exemption.
+//
 // Tier-1 runs a 2-seed slice; the nightly CI job sets EFEU_FAULT_SOAK to run
 // the full 64-seed matrix in both wait modes (see .github/workflows/ci.yml).
 TEST(FaultSoak, SeedMatrixCompletesSupervised) {
   const bool full = std::getenv("EFEU_FAULT_SOAK") != nullptr;
   const uint64_t num_seeds = full ? 64 : 2;
-  std::vector<std::string> failures;
+  sim::Fleet fleet;
   for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
     for (bool interrupt_driven : {false, true}) {
-      std::string failure = RunSoakSeed(seed, interrupt_driven);
-      if (!failure.empty()) {
-        failures.push_back(failure);
-      }
+      sim::StackConfig config;
+      config.stack_class = sim::StackClass::kEeprom;
+      config.seed = seed;
+      config.interrupt_driven = interrupt_driven;
+      fleet.AddStack(config);
     }
   }
+  sim::FleetReport report = fleet.Run();
   std::string all;
-  for (const std::string& failure : failures) {
+  for (const std::string& failure : report.failures) {
     all += failure + "\n---\n";
   }
-  EXPECT_TRUE(failures.empty()) << all;
+  EXPECT_TRUE(report.failures.empty()) << all;
+  EXPECT_EQ(report.wedged, 0) << report.Format();
+  EXPECT_EQ(report.ops_completed,
+            num_seeds * 2 * 3 * 2);  // seeds x modes x rounds x (write+read)
 }
 
 }  // namespace

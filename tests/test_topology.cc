@@ -1,0 +1,510 @@
+// Bus-topology tests (the fleet tentpole's fault surface): the I2C mux model
+// bit-banged directly (select latch, read-back, repeater pass gates, the
+// mux-stuck and misroute faults), the second-master arbitration model, the
+// driver-level recovery matrices (mux-stuck + arbitration-loss schedules in
+// polling AND interrupt modes, asserting the supervision ladder ends healthy),
+// and the register-file MFD device: register window semantics, IRQ-chip
+// gating, cell fan-out, and the MfdClient dispatch top half.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/hybrid.h"
+#include "src/driver/mfd.h"
+#include "src/driver/resources.h"
+#include "src/driver/supervisor.h"
+#include "src/rtl/system.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/i2c_bus.h"
+#include "src/sim/mux.h"
+#include "src/sim/regfile_device.h"
+#include "src/sim/second_master.h"
+
+namespace efeu::driver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mux model, bit-banged directly
+// ---------------------------------------------------------------------------
+
+// Minimal rig: a GPIO-style master on the upstream bus, the mux fanning out
+// to `channels` downstream segments, and one EEPROM on downstream channel 0.
+class MuxRig {
+ public:
+  explicit MuxRig(int channels = 4) : rtl_(10.0) {
+    id_ = upstream_.AddDriver();
+    for (int c = 0; c < channels; ++c) {
+      downstream_.push_back(std::make_unique<sim::I2cBus>());
+    }
+    std::vector<sim::I2cBus*> raw;
+    for (auto& bus : downstream_) {
+      raw.push_back(bus.get());
+    }
+    sim::MuxConfig config;
+    config.channels = channels;
+    mux_ = std::make_unique<sim::I2cMux>(&upstream_, raw, config);
+    sim::EepromConfig eeprom;
+    eeprom.write_cycle_ns = 0;
+    eeprom_ = std::make_unique<sim::Eeprom24aa512>(downstream_[0].get(), eeprom);
+    rtl_.AddComponent(mux_.get());
+    rtl_.AddComponent(eeprom_.get());
+    Set(true, true);
+    Step(4);
+  }
+
+  sim::I2cMux& mux() { return *mux_; }
+
+  void Start() {
+    Set(true, true);
+    Step(2);
+    Set(true, false);
+    Step(2);
+    Set(false, false);
+    Step(2);
+  }
+
+  void Stop() {
+    Set(false, false);
+    Step(2);
+    Set(true, false);
+    Step(2);
+    Set(true, true);
+    Step(2);
+  }
+
+  bool SendByte(uint8_t byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      bool sda = ((byte >> bit) & 1) != 0;
+      Set(false, sda);
+      Step(2);
+      Set(true, sda);
+      Step(2);
+      Set(false, sda);
+      Step(2);
+    }
+    Set(false, true);  // release SDA for the ACK
+    Step(2);
+    Set(true, true);
+    Step(2);
+    bool ack = !upstream_.sda();
+    Set(false, true);
+    Step(2);
+    return ack;
+  }
+
+  // Clocks in one byte from the addressed device, NACKing it afterwards.
+  uint8_t ReceiveByte() {
+    uint8_t byte = 0;
+    for (int bit = 7; bit >= 0; --bit) {
+      Set(false, true);
+      Step(2);
+      Set(true, true);
+      Step(2);
+      if (upstream_.sda()) {
+        byte = static_cast<uint8_t>(byte | (1 << bit));
+      }
+      Set(false, true);
+      Step(2);
+    }
+    // Master NACK: SDA stays high through the ninth clock.
+    Set(false, true);
+    Step(2);
+    Set(true, true);
+    Step(2);
+    Set(false, true);
+    Step(2);
+    return byte;
+  }
+
+  // One full select transfer: START, address+W, one mask byte, STOP.
+  bool Select(uint8_t mask) {
+    Start();
+    bool ack = SendByte(static_cast<uint8_t>(0x70 << 1));
+    ack = SendByte(mask) && ack;
+    Stop();
+    return ack;
+  }
+
+  uint8_t ReadBack() {
+    Start();
+    EXPECT_TRUE(SendByte(static_cast<uint8_t>((0x70 << 1) | 1)));
+    uint8_t mask = ReceiveByte();
+    Stop();
+    return mask;
+  }
+
+ private:
+  void Set(bool scl, bool sda) { upstream_.SetDriver(id_, scl, sda); }
+  void Step(int n) {
+    for (int i = 0; i < n; ++i) {
+      rtl_.Tick();
+    }
+  }
+
+  sim::I2cBus upstream_;
+  rtl::RtlSystem rtl_;
+  std::vector<std::unique_ptr<sim::I2cBus>> downstream_;
+  std::unique_ptr<sim::I2cMux> mux_;
+  std::unique_ptr<sim::Eeprom24aa512> eeprom_;
+  int id_ = -1;
+};
+
+TEST(MuxModel, SelectLatchesOnStopAndReadsBack) {
+  MuxRig rig;
+  EXPECT_EQ(rig.mux().control_mask(), 0);
+  ASSERT_TRUE(rig.Select(0x05));
+  EXPECT_EQ(rig.mux().control_mask(), 0x05);
+  EXPECT_EQ(rig.mux().routed_mask(), 0x05);
+  EXPECT_EQ(rig.mux().selects_applied(), 1u);
+  // Read-back returns the latched mask without disturbing it.
+  EXPECT_EQ(rig.ReadBack(), 0x05);
+  EXPECT_EQ(rig.mux().control_mask(), 0x05);
+  EXPECT_EQ(rig.mux().selects_applied(), 1u);
+}
+
+TEST(MuxModel, MaskClipsToChannelCount) {
+  MuxRig rig(/*channels=*/2);
+  ASSERT_TRUE(rig.Select(0xFF));
+  EXPECT_EQ(rig.mux().control_mask(), 0x03);
+}
+
+TEST(MuxModel, RepeaterGatesDownstreamDevices) {
+  MuxRig rig;
+  // Channel 0 deselected: the EEPROM behind it is unreachable — its address
+  // byte goes unacknowledged on the upstream segment.
+  rig.Start();
+  EXPECT_FALSE(rig.SendByte(0x50 << 1));
+  rig.Stop();
+  // Close the channel-0 pass gate and the same transfer reaches the device.
+  ASSERT_TRUE(rig.Select(0x01));
+  rig.Start();
+  EXPECT_TRUE(rig.SendByte(0x50 << 1));
+  rig.Stop();
+  // Deselect again: gate open, device gone.
+  ASSERT_TRUE(rig.Select(0x00));
+  rig.Start();
+  EXPECT_FALSE(rig.SendByte(0x50 << 1));
+  rig.Stop();
+}
+
+TEST(MuxModel, StuckFaultFreezesBothLatches) {
+  MuxRig rig;
+  sim::FaultPlan plan =
+      sim::FaultPlan::Scripted({{sim::FaultKind::kMuxStuck, 0, 1}});
+  rig.mux().SetFaultPlan(&plan);
+  // The select is acknowledged on the wire but the latch does not move —
+  // exactly what the driver's read-back verification exists to catch.
+  ASSERT_TRUE(rig.Select(0x02));
+  EXPECT_EQ(rig.mux().control_mask(), 0x00);
+  EXPECT_EQ(rig.ReadBack(), 0x00);
+  EXPECT_EQ(rig.mux().selects_stuck(), 1u);
+  // The next select applies normally.
+  ASSERT_TRUE(rig.Select(0x02));
+  EXPECT_EQ(rig.mux().control_mask(), 0x02);
+  EXPECT_EQ(rig.mux().routed_mask(), 0x02);
+}
+
+TEST(MuxModel, MisrouteFaultPassesReadBackButRoutesWrong) {
+  MuxRig rig;
+  sim::FaultPlan plan =
+      sim::FaultPlan::Scripted({{sim::FaultKind::kMuxMisroute, 0, 1}});
+  rig.mux().SetFaultPlan(&plan);
+  ASSERT_TRUE(rig.Select(0x01));
+  // Read-back looks clean; the pass gates closed on the rotated mask.
+  EXPECT_EQ(rig.mux().control_mask(), 0x01);
+  EXPECT_EQ(rig.ReadBack(), 0x01);
+  EXPECT_EQ(rig.mux().routed_mask(), 0x02);
+  EXPECT_EQ(rig.mux().selects_misrouted(), 1u);
+  // The device on channel 0 is unreachable despite the clean-looking select.
+  rig.Start();
+  EXPECT_FALSE(rig.SendByte(0x50 << 1));
+  rig.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Driver-level topology recovery matrices
+// ---------------------------------------------------------------------------
+
+HybridConfig TopologyConfig(bool interrupt_driven) {
+  HybridConfig config;
+  config.split = SplitPoint::kByte;
+  config.interrupt_driven = interrupt_driven;
+  config.eeprom.write_cycle_ns = 50000;
+  config.recovery.enabled = true;
+  config.recovery.wait_timeout_ns = 2e6;
+  config.recovery.op_deadline_ns = 1e7;
+  return config;
+}
+
+// A mux between controller and device plus a scripted topology fault; the
+// supervised write+read must end healthy with the select healed.
+void RunMuxFaultCase(sim::FaultKind kind, int duration, bool interrupt_driven) {
+  HybridConfig config = TopologyConfig(interrupt_driven);
+  config.mux_topology.enabled = true;
+  config.mux_topology.mux.channels = 4;
+  config.mux_topology.device_channel = 2;
+  config.fault_plan = sim::FaultPlan::Scripted({{kind, 0, duration}});
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  std::string context = std::string(sim::FaultKindName(kind)) +
+                        (interrupt_driven ? " (interrupt)" : " (polling)");
+  std::vector<uint8_t> payload = {0x5A, 0x6B};
+  ASSERT_TRUE(sup.Write(0x0240, payload))
+      << context << ": " << driver.fault_plan().Describe() << "\nreplay: "
+      << driver.fault_plan().ReplayCommand() << "\n"
+      << FormatRecoveryCounters(sup.counters());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(sup.Read(0x0240, 2, &data)) << context;
+  EXPECT_EQ(data, payload) << context;
+  EXPECT_NE(sup.health(), HealthState::kWedged) << context;
+  EXPECT_GT(driver.fault_plan().faults_injected(), 0u)
+      << context << ": scripted topology fault never fired";
+  // The select was verified against the fault: more than the single clean
+  // attempt was needed.
+  EXPECT_GT(sup.counters().mux_selects, 1u) << context;
+  EXPECT_EQ(driver.mux()->routed_mask(), 1 << 2) << context;
+}
+
+TEST(MuxRecovery, StuckSelectHealsInPollingMode) {
+  RunMuxFaultCase(sim::FaultKind::kMuxStuck, /*duration=*/2, false);
+}
+
+TEST(MuxRecovery, StuckSelectHealsInInterruptMode) {
+  RunMuxFaultCase(sim::FaultKind::kMuxStuck, /*duration=*/2, true);
+}
+
+TEST(MuxRecovery, MisrouteHealsInPollingMode) {
+  RunMuxFaultCase(sim::FaultKind::kMuxMisroute, /*duration=*/1, false);
+}
+
+TEST(MuxRecovery, MisrouteHealsInInterruptMode) {
+  RunMuxFaultCase(sim::FaultKind::kMuxMisroute, /*duration=*/1, true);
+}
+
+TEST(MuxRecovery, MisrouteCostsASoftReset) {
+  // A misrouted select passes read-back, so only the device NACKs expose it:
+  // the heal necessarily runs through the supervisor's reset rung (which
+  // drops the select cache) rather than inside EnsureMuxSelected.
+  HybridConfig config = TopologyConfig(/*interrupt_driven=*/false);
+  config.mux_topology.enabled = true;
+  config.fault_plan =
+      sim::FaultPlan::Scripted({{sim::FaultKind::kMuxMisroute, 0, 1}});
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  ASSERT_TRUE(sup.Write(0x0250, {0x77}));
+  EXPECT_GT(sup.counters().soft_resets, 0u);
+  EXPECT_EQ(driver.mux()->selects_misrouted(), 1u);
+}
+
+TEST(MuxRecovery, CleanMuxCostsOneSelect) {
+  // No faults: the select+verify runs once, is cached, and every further
+  // operation rides the cached selection.
+  HybridConfig config = TopologyConfig(/*interrupt_driven=*/false);
+  config.mux_topology.enabled = true;
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  std::vector<uint8_t> payload = {0x01, 0x02, 0x03};
+  ASSERT_TRUE(sup.Write(0x0260, payload));
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(sup.Read(0x0260, 3, &data));
+  EXPECT_EQ(data, payload);
+  EXPECT_EQ(sup.counters().mux_selects, 1u);
+  EXPECT_EQ(sup.counters().soft_resets, 0u);
+  EXPECT_EQ(driver.mux()->selects_applied(), 1u);
+}
+
+void RunArbitrationCase(bool interrupt_driven) {
+  HybridConfig config = TopologyConfig(interrupt_driven);
+  config.enable_second_master = true;
+  config.fault_plan =
+      sim::FaultPlan::Scripted({{sim::FaultKind::kArbitrationLoss, 0, 1}});
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  const char* context = interrupt_driven ? "interrupt" : "polling";
+  std::vector<uint8_t> payload = {0x9C, 0x9D};
+  ASSERT_TRUE(sup.Write(0x0270, payload))
+      << context << ": " << driver.fault_plan().Describe() << "\nreplay: "
+      << driver.fault_plan().ReplayCommand() << "\n"
+      << FormatRecoveryCounters(sup.counters());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(sup.Read(0x0270, 2, &data)) << context;
+  EXPECT_EQ(data, payload) << context;
+  EXPECT_NE(sup.health(), HealthState::kWedged) << context;
+  // The second master genuinely won the bus once, the stack's hardware wait
+  // wedged, and the arbitration rung saw the owned bus before the reset.
+  EXPECT_EQ(driver.second_master()->arbitration_wins(), 1u) << context;
+  EXPECT_GT(sup.counters().timeouts, 0u) << context;
+  EXPECT_GT(sup.counters().arbitration_waits, 0u) << context;
+  EXPECT_GT(sup.counters().soft_resets, 0u) << context;
+  EXPECT_FALSE(driver.second_master()->holding()) << context;
+}
+
+TEST(ArbitrationRecovery, LossHealsInPollingMode) {
+  RunArbitrationCase(/*interrupt_driven=*/false);
+}
+
+TEST(ArbitrationRecovery, LossHealsInInterruptMode) {
+  RunArbitrationCase(/*interrupt_driven=*/true);
+}
+
+TEST(ArbitrationRecovery, QuietSecondMasterIsFree) {
+  // A competing master that never wins costs nothing: no waits, no resets.
+  HybridConfig config = TopologyConfig(/*interrupt_driven=*/false);
+  config.enable_second_master = true;
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  ASSERT_TRUE(sup.Write(0x0280, {0x31, 0x32}));
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(sup.Read(0x0280, 2, &data));
+  EXPECT_GT(driver.second_master()->starts_seen(), 0u);
+  EXPECT_EQ(driver.second_master()->arbitration_wins(), 0u);
+  EXPECT_EQ(sup.counters().arbitration_waits, 0u);
+  EXPECT_EQ(sup.counters().soft_resets, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Register-file MFD device + MfdClient
+// ---------------------------------------------------------------------------
+
+HybridConfig MfdDriverConfig() {
+  HybridConfig config;
+  config.split = SplitPoint::kByte;
+  config.eeprom.write_cycle_ns = 0;
+  config.mfd_devices.push_back(sim::MfdConfig{});
+  return config;
+}
+
+TEST(MfdDevice, IdRegisterCarriesMagicAndCellCount) {
+  HybridDriver driver(MfdDriverConfig());
+  MfdClient<HybridDriver> client(&driver, sim::MfdConfig{}.address);
+  uint16_t id = 0;
+  ASSERT_TRUE(client.ProbeId(&id));
+  EXPECT_EQ(id, 0xEF03);  // three default cells
+  EXPECT_EQ(driver.mfd(0).num_cells(), 3);
+}
+
+TEST(MfdDevice, RegisterPairsAutoIncrementBothDirections) {
+  HybridDriver driver(MfdDriverConfig());
+  // One 4-byte transfer = two 16-bit registers, big-endian, auto-increment.
+  // Indices 3-4 sit in the unmapped gap before the first cell bank: plain
+  // storage, no side effects.
+  ASSERT_TRUE(driver.WriteTo(0x30, 3, {0x11, 0x22, 0x33, 0x44}));
+  EXPECT_EQ(driver.mfd(0).RegisterAt(3), 0x1122);
+  EXPECT_EQ(driver.mfd(0).RegisterAt(4), 0x3344);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(driver.ReadFrom(0x30, 3, 4, &data));
+  EXPECT_EQ(data, (std::vector<uint8_t>{0x11, 0x22, 0x33, 0x44}));
+}
+
+TEST(MfdDevice, GpioOutLatchesInAndRaisesEdgeIrq) {
+  HybridDriver driver(MfdDriverConfig());
+  MfdClient<HybridDriver> client(&driver, 0x30);
+  const int gpio_out = sim::kMfdCellStride;
+  ASSERT_TRUE(client.WriteReg(gpio_out, 0xBEEF));
+  uint16_t in = 0;
+  ASSERT_TRUE(client.ReadReg(gpio_out + 1, &in));
+  EXPECT_EQ(in, 0xBEEF);
+  // The edge raised the cell-0 bit in STATUS regardless of ENABLE.
+  EXPECT_EQ(driver.mfd(0).RegisterAt(sim::kMfdRegIrqStatus) & 1, 1);
+  // ...but the INT# line stays down until the cell is enabled.
+  EXPECT_FALSE(driver.mfd(0).irq_asserted());
+  ASSERT_TRUE(client.EnableIrqs(0x0001));
+  EXPECT_TRUE(driver.mfd(0).irq_asserted());
+}
+
+TEST(MfdDevice, IrqStatusIsWriteOneToClear) {
+  HybridDriver driver(MfdDriverConfig());
+  MfdClient<HybridDriver> client(&driver, 0x30);
+  driver.mfd(0).PokeRegister(sim::kMfdRegIrqStatus, 0x0005);
+  // Clearing bit 0 leaves bit 2 pending; writing zeros clears nothing.
+  ASSERT_TRUE(client.WriteReg(sim::kMfdRegIrqStatus, 0x0001));
+  EXPECT_EQ(driver.mfd(0).RegisterAt(sim::kMfdRegIrqStatus), 0x0004);
+  ASSERT_TRUE(client.WriteReg(sim::kMfdRegIrqStatus, 0x0000));
+  EXPECT_EQ(driver.mfd(0).RegisterAt(sim::kMfdRegIrqStatus), 0x0004);
+}
+
+TEST(MfdDevice, CounterCellCountsDownAndRollsOverToIrq) {
+  HybridDriver driver(MfdDriverConfig());
+  MfdClient<HybridDriver> client(&driver, 0x30);
+  const int counter_ctrl = 2 * sim::kMfdCellStride;
+  ASSERT_TRUE(client.WriteReg(counter_ctrl, 4));
+  // The countdown runs on the shared RTL timeline; any bus traffic (here: a
+  // register read loop) advances it. 4 counts x 64 prescale ticks is a few
+  // microseconds — one register round trip is far longer.
+  uint16_t count = 0xFFFF;
+  ASSERT_TRUE(client.ReadReg(counter_ctrl + 1, &count));
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(driver.mfd(0).RegisterAt(sim::kMfdRegIrqStatus) & 2, 2);
+}
+
+TEST(MfdDevice, StatCellBusyWindowSeedsValueAndIrq) {
+  HybridDriver driver(MfdDriverConfig());
+  MfdClient<HybridDriver> client(&driver, 0x30);
+  const int stat_base = 3 * sim::kMfdCellStride;
+  ASSERT_TRUE(client.WriteReg(stat_base, 1));  // TRIGGER
+  uint16_t status = 0xFFFF;
+  ASSERT_TRUE(client.ReadReg(stat_base + 2, &status));
+  EXPECT_EQ(status & 1, 0) << "busy window outlived a full register read";
+  uint16_t value = 0;
+  ASSERT_TRUE(client.ReadReg(stat_base + 1, &value));
+  EXPECT_NE(value, 0);
+  EXPECT_EQ(driver.mfd(0).RegisterAt(sim::kMfdRegIrqStatus) & 4, 4);
+  // The same seed reproduces the same conversion value.
+  HybridDriver twin(MfdDriverConfig());
+  MfdClient<HybridDriver> twin_client(&twin, 0x30);
+  ASSERT_TRUE(twin_client.WriteReg(stat_base, 1));
+  uint16_t twin_value = 0;
+  ASSERT_TRUE(twin_client.ReadReg(stat_base + 1, &twin_value));
+  EXPECT_EQ(twin_value, value);
+}
+
+TEST(MfdClientDispatch, FansOutOnceAndAcksObservedBits) {
+  HybridConfig config = MfdDriverConfig();
+  config.recovery.enabled = true;
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  MfdClient<Supervisor<HybridDriver>> client(&sup, 0x30);
+  std::vector<int> hits;
+  client.SetCellHandler(0, [&hits](uint16_t) { hits.push_back(0); });
+  client.SetCellHandler(1, [&hits](uint16_t) { hits.push_back(1); });
+  ASSERT_TRUE(client.EnableIrqs(0xFFFF));
+  // Raise cells 0 and 1: a GPIO edge and a counter rollover.
+  ASSERT_TRUE(client.WriteReg(sim::kMfdCellStride, 0x0001));
+  ASSERT_TRUE(client.WriteReg(2 * sim::kMfdCellStride, 1));
+  EXPECT_EQ(client.DispatchIrqs(), 2);
+  EXPECT_EQ(hits, (std::vector<int>{0, 1}));
+  // Everything observed was acknowledged; nothing pends.
+  EXPECT_EQ(client.DispatchIrqs(), 0);
+  EXPECT_FALSE(driver.mfd(0).irq_asserted());
+  EXPECT_EQ(client.irqs_dispatched(), 2u);
+}
+
+TEST(MfdClientDispatch, SupervisedDispatchSurvivesWireFaults) {
+  HybridConfig config = MfdDriverConfig();
+  config.recovery.enabled = true;
+  config.recovery.wait_timeout_ns = 2e6;
+  config.recovery.op_deadline_ns = 1e7;
+  config.fault_plan = sim::FaultPlan::Scripted({
+      {sim::FaultKind::kNackOnAddress, 0, 1},
+      {sim::FaultKind::kNackOnData, 1, 1},
+  });
+  HybridDriver driver(config);
+  Supervisor<HybridDriver> sup(&driver);
+  MfdClient<Supervisor<HybridDriver>> client(&sup, 0x30);
+  uint64_t handled = 0;
+  client.SetCellHandler(0, [&handled](uint16_t) { ++handled; });
+  ASSERT_TRUE(client.EnableIrqs(0xFFFF))
+      << driver.fault_plan().Describe()
+      << "\nreplay: " << driver.fault_plan().ReplayCommand();
+  ASSERT_TRUE(client.WriteReg(sim::kMfdCellStride, 0x00A5));
+  EXPECT_EQ(client.DispatchIrqs(), 1);
+  EXPECT_EQ(handled, 1u);
+  EXPECT_NE(sup.health(), HealthState::kWedged);
+  EXPECT_GT(driver.fault_plan().faults_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace efeu::driver
